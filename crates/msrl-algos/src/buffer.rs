@@ -1,0 +1,219 @@
+//! Experience buffers — the storage behind MSRL's
+//! `replay_buffer_insert` / `replay_buffer_sample` interaction API.
+
+use msrl_core::api::SampleBatch;
+use msrl_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// An on-policy trajectory buffer: actors append step batches, the
+/// learner drains the whole trajectory once per episode (the
+/// coarse-grained exchange of DP-A) or per step (DP-B).
+#[derive(Default)]
+pub struct TrajectoryBuffer {
+    steps: Vec<SampleBatch>,
+}
+
+impl TrajectoryBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        TrajectoryBuffer::default()
+    }
+
+    /// Number of buffered step batches.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether no steps are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Total transitions across all buffered steps.
+    pub fn transitions(&self) -> usize {
+        self.steps.iter().map(SampleBatch::len).sum()
+    }
+
+    /// Appends one step's batch (`MSRL.replay_buffer_insert`).
+    pub fn insert(&mut self, step: SampleBatch) {
+        self.steps.push(step);
+    }
+
+    /// Removes and concatenates everything buffered
+    /// (`MSRL.replay_buffer_sample` for on-policy algorithms). Rows come
+    /// out time-major (step 0's envs, step 1's envs, …) and unsegmented.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if buffered widths disagree.
+    pub fn drain(&mut self) -> msrl_core::Result<SampleBatch> {
+        let steps = std::mem::take(&mut self.steps);
+        SampleBatch::concat(&steps)
+    }
+
+    /// Drains into *env-major* layout: all of env 0's steps, then env 1's,
+    /// … with `segment_len` set to the step count, which is the layout
+    /// PPO's learner-side GAE requires. All buffered steps must hold the
+    /// same number of environments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if buffered widths disagree.
+    pub fn drain_env_major(&mut self) -> msrl_core::Result<SampleBatch> {
+        let steps = std::mem::take(&mut self.steps);
+        let t_len = steps.len();
+        if t_len == 0 {
+            return Ok(SampleBatch::default());
+        }
+        let n_envs = steps[0].len();
+        let mut per_env: Vec<SampleBatch> = Vec::with_capacity(n_envs * t_len);
+        for e in 0..n_envs {
+            for step in &steps {
+                per_env.push(step.slice(e, e + 1));
+            }
+        }
+        let mut out = SampleBatch::concat(&per_env)?;
+        out.segment_len = t_len;
+        Ok(out)
+    }
+}
+
+/// A bounded uniform replay buffer (for off-policy algorithms and the
+/// DP-F parameter-server configurations).
+pub struct ReplayBuffer {
+    capacity: usize,
+    rows: Vec<SampleBatch>,
+    next: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    pub fn new(capacity: usize) -> Self {
+        ReplayBuffer { capacity: capacity.max(1), rows: Vec::new(), next: 0 }
+    }
+
+    /// Transitions currently stored.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts every transition of `batch` individually, evicting the
+    /// oldest entries once at capacity (ring semantics).
+    pub fn insert(&mut self, batch: &SampleBatch) {
+        for i in 0..batch.len() {
+            let row = batch.slice(i, i + 1);
+            if self.rows.len() < self.capacity {
+                self.rows.push(row);
+            } else {
+                self.rows[self.next] = row;
+                self.next = (self.next + 1) % self.capacity;
+            }
+        }
+    }
+
+    /// Samples `n` transitions uniformly with replacement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the buffer is empty.
+    pub fn sample(&self, n: usize, rng: &mut StdRng) -> msrl_core::Result<SampleBatch> {
+        if self.rows.is_empty() {
+            return Err(msrl_core::FdgError::MissingKernel { op: "ReplaySample(empty)".into() });
+        }
+        let picks: Vec<SampleBatch> =
+            (0..n).map(|_| self.rows[rng.gen_range(0..self.rows.len())].clone()).collect();
+        SampleBatch::concat(&picks)
+    }
+}
+
+/// Builds a single-step [`SampleBatch`] from raw step tensors — the
+/// payload actors push through `replay_buffer_insert`.
+#[allow(clippy::too_many_arguments)]
+pub fn step_batch(
+    obs: Tensor,
+    actions: Tensor,
+    rewards: Tensor,
+    next_obs: Tensor,
+    dones: Vec<bool>,
+    log_probs: Tensor,
+    values: Tensor,
+) -> SampleBatch {
+    SampleBatch { obs, actions, rewards, next_obs, dones, log_probs, values, segment_len: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn batch(n: usize, base: f32) -> SampleBatch {
+        SampleBatch {
+            obs: Tensor::full(&[n, 2], base),
+            actions: Tensor::full(&[n], base),
+            rewards: Tensor::full(&[n], base),
+            next_obs: Tensor::full(&[n, 2], base),
+            dones: vec![false; n],
+            log_probs: Tensor::full(&[n], base),
+            values: Tensor::full(&[n], base),
+            segment_len: 0,
+        }
+    }
+
+    #[test]
+    fn trajectory_insert_drain() {
+        let mut buf = TrajectoryBuffer::new();
+        buf.insert(batch(4, 1.0));
+        buf.insert(batch(4, 2.0));
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.transitions(), 8);
+        let all = buf.drain().unwrap();
+        assert_eq!(all.len(), 8);
+        assert!(buf.is_empty());
+        assert_eq!(all.rewards.data()[0], 1.0);
+        assert_eq!(all.rewards.data()[7], 2.0);
+    }
+
+    #[test]
+    fn replay_evicts_oldest_at_capacity() {
+        let mut buf = ReplayBuffer::new(3);
+        buf.insert(&batch(2, 1.0));
+        buf.insert(&batch(2, 2.0)); // 4th insert evicts the first 1.0 row
+        assert_eq!(buf.len(), 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = buf.sample(100, &mut rng).unwrap();
+        let ones = s.rewards.data().iter().filter(|&&r| r == 1.0).count();
+        let twos = s.rewards.data().iter().filter(|&&r| r == 2.0).count();
+        assert_eq!(ones + twos, 100);
+        assert!(twos > ones, "two 2.0 rows vs one 1.0 row should dominate");
+    }
+
+    #[test]
+    fn replay_sample_empty_fails() {
+        let buf = ReplayBuffer::new(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(buf.sample(1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn replay_sampling_is_uniformish() {
+        let mut buf = ReplayBuffer::new(10);
+        for i in 0..10 {
+            buf.insert(&batch(1, i as f32));
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = buf.sample(5000, &mut rng).unwrap();
+        let mut counts = [0usize; 10];
+        for &r in s.rewards.data() {
+            counts[r as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((300..700).contains(&c), "value {i} drawn {c} times");
+        }
+    }
+}

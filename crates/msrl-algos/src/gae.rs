@@ -1,0 +1,142 @@
+//! Discounted returns and generalised advantage estimation (GAE).
+//!
+//! These are the `discounted_reward` and `gae` functions of the paper's
+//! MAPPO listing (Alg. 1 lines 18–19), operating on per-environment
+//! trajectories laid out time-major.
+
+/// Discounted returns `G_t = r_t + γ·G_{t+1}`, restarting at terminal
+/// steps and bootstrapping the final step from `bootstrap` when the
+/// trajectory was truncated mid-episode.
+pub fn discounted_returns(rewards: &[f32], dones: &[bool], gamma: f32, bootstrap: f32) -> Vec<f32> {
+    let mut out = vec![0.0; rewards.len()];
+    let mut acc = bootstrap;
+    for t in (0..rewards.len()).rev() {
+        if dones[t] {
+            acc = 0.0;
+        }
+        acc = rewards[t] + gamma * acc;
+        out[t] = acc;
+    }
+    out
+}
+
+/// Generalised advantage estimation (Schulman et al. 2016).
+///
+/// `values[t]` is the critic's estimate at state `t`; `last_value`
+/// bootstraps the step after the trajectory (0 if the episode ended).
+/// Returns `(advantages, returns)` with `returns = advantages + values`
+/// (the value-function regression target).
+pub fn gae(
+    rewards: &[f32],
+    values: &[f32],
+    dones: &[bool],
+    last_value: f32,
+    gamma: f32,
+    lambda: f32,
+) -> (Vec<f32>, Vec<f32>) {
+    let n = rewards.len();
+    debug_assert_eq!(values.len(), n);
+    debug_assert_eq!(dones.len(), n);
+    let mut adv = vec![0.0f32; n];
+    let mut acc = 0.0f32;
+    for t in (0..n).rev() {
+        let (next_value, next_nonterminal) = if dones[t] {
+            (0.0, 0.0)
+        } else if t + 1 < n {
+            (values[t + 1], 1.0)
+        } else {
+            (last_value, 1.0)
+        };
+        let delta = rewards[t] + gamma * next_value * next_nonterminal - values[t];
+        acc = delta + gamma * lambda * next_nonterminal * acc;
+        adv[t] = acc;
+    }
+    let returns = adv.iter().zip(values).map(|(a, v)| a + v).collect();
+    (adv, returns)
+}
+
+/// Normalises advantages to zero mean and unit standard deviation (the
+/// standard PPO stabilisation); no-op for batches smaller than 2.
+pub fn normalize(adv: &mut [f32]) {
+    if adv.len() < 2 {
+        return;
+    }
+    let n = adv.len() as f32;
+    let mean: f32 = adv.iter().sum::<f32>() / n;
+    let var: f32 = adv.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / n;
+    let std = var.sqrt().max(1e-6);
+    for a in adv {
+        *a = (*a - mean) / std;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_hand_computed() {
+        // r = [1, 1, 1], γ = 0.5, episode ends at t=2.
+        let g = discounted_returns(&[1.0, 1.0, 1.0], &[false, false, true], 0.5, 99.0);
+        assert_eq!(g, vec![1.75, 1.5, 1.0]);
+    }
+
+    #[test]
+    fn returns_bootstrap_when_truncated() {
+        let g = discounted_returns(&[1.0], &[false], 0.5, 10.0);
+        assert_eq!(g, vec![6.0]); // 1 + 0.5·10
+    }
+
+    #[test]
+    fn returns_reset_at_episode_boundary() {
+        // Two one-step episodes back to back.
+        let g = discounted_returns(&[2.0, 3.0], &[true, true], 0.9, 0.0);
+        assert_eq!(g, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn gae_with_lambda_one_matches_monte_carlo_advantage() {
+        // λ = 1 ⇒ advantage = discounted return − value.
+        let rewards = [1.0, 2.0, 3.0];
+        let values = [0.5, 0.5, 0.5];
+        let dones = [false, false, true];
+        let (adv, ret) = gae(&rewards, &values, &dones, 0.0, 0.9, 1.0);
+        let g = discounted_returns(&rewards, &dones, 0.9, 0.0);
+        for i in 0..3 {
+            assert!((adv[i] - (g[i] - values[i])).abs() < 1e-5, "t={i}");
+            assert!((ret[i] - g[i]).abs() < 1e-5, "t={i}");
+        }
+    }
+
+    #[test]
+    fn gae_with_lambda_zero_is_td_error() {
+        let rewards = [1.0, 1.0];
+        let values = [0.3, 0.7];
+        let dones = [false, false];
+        let (adv, _) = gae(&rewards, &values, &dones, 0.5, 0.9, 0.0);
+        // δ_0 = 1 + 0.9·0.7 − 0.3; δ_1 = 1 + 0.9·0.5 − 0.7
+        assert!((adv[0] - (1.0 + 0.9 * 0.7 - 0.3)).abs() < 1e-6);
+        assert!((adv[1] - (1.0 + 0.9 * 0.5 - 0.7)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gae_does_not_leak_across_done() {
+        // Terminal at t=0: advantage at t=0 ignores t=1 entirely.
+        let (adv, _) = gae(&[1.0, 5.0], &[0.0, 0.0], &[true, false], 9.0, 0.9, 0.95);
+        assert!((adv[0] - 1.0).abs() < 1e-6, "adv[0]={}", adv[0]);
+    }
+
+    #[test]
+    fn normalize_zero_mean_unit_std() {
+        let mut a = vec![1.0, 2.0, 3.0, 4.0];
+        normalize(&mut a);
+        let mean: f32 = a.iter().sum::<f32>() / 4.0;
+        let var: f32 = a.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-4);
+        // Tiny batches untouched.
+        let mut single = vec![5.0];
+        normalize(&mut single);
+        assert_eq!(single, vec![5.0]);
+    }
+}

@@ -1,0 +1,532 @@
+//! Proximal Policy Optimization (Schulman et al. 2017) on the MSRL
+//! component API.
+//!
+//! The implementation mirrors the paper's algorithm structure: a
+//! [`PpoActor`] performs policy inference and carries the behaviour
+//! statistics PPO's clipped ratio needs; a [`PpoLearner`] recomputes GAE
+//! over the sampled trajectories (as in Alg. 1 lines 18–19) and runs
+//! several clipped-surrogate epochs. Both halves share one
+//! [`PpoPolicy`], whose flat-weight serialisation is the payload of the
+//! runtime's weight-sync collectives.
+
+use msrl_core::api::{ActOutput, Actor, Learner, SampleBatch};
+use msrl_core::{FdgError, Result};
+use msrl_tensor::autograd::Tape;
+use msrl_tensor::dist::{categorical_stats, gaussian_stats, Categorical, DiagGaussian};
+use msrl_tensor::nn::{Activation, Mlp};
+use msrl_tensor::optim::{clip_grad_norm, Adam, Optimizer};
+use msrl_tensor::{init, ops, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::gae;
+
+/// PPO hyper-parameters (defaults follow the common MuJoCo settings the
+/// paper's evaluation uses).
+#[derive(Debug, Clone)]
+pub struct PpoConfig {
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// GAE λ.
+    pub gae_lambda: f32,
+    /// Clipping radius ε of the surrogate ratio.
+    pub clip: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Optimisation epochs per batch.
+    pub epochs: usize,
+    /// Entropy bonus coefficient.
+    pub entropy_coef: f32,
+    /// Value-loss coefficient.
+    pub value_coef: f32,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f32,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        PpoConfig {
+            gamma: 0.99,
+            gae_lambda: 0.95,
+            clip: 0.2,
+            lr: 3e-4,
+            epochs: 4,
+            entropy_coef: 0.01,
+            value_coef: 0.5,
+            max_grad_norm: 0.5,
+        }
+    }
+}
+
+/// The PPO policy: an actor network, a critic network, and (for
+/// continuous control) a state-independent log-std vector.
+#[derive(Debug, Clone)]
+pub struct PpoPolicy {
+    /// Maps observations to action logits (discrete) or means
+    /// (continuous).
+    pub actor: Mlp,
+    /// Maps observations to a scalar value estimate.
+    pub critic: Mlp,
+    /// Per-dimension log standard deviation (continuous only).
+    pub log_std: Tensor,
+    /// Whether actions are discrete indices.
+    pub discrete: bool,
+}
+
+impl PpoPolicy {
+    /// A discrete-action policy with the given hidden widths.
+    pub fn discrete(obs_dim: usize, n_actions: usize, hidden: &[usize], seed: u64) -> Self {
+        let mut rng = init::rng(seed);
+        let mut actor_sizes = vec![obs_dim];
+        actor_sizes.extend_from_slice(hidden);
+        actor_sizes.push(n_actions);
+        let mut critic_sizes = vec![obs_dim];
+        critic_sizes.extend_from_slice(hidden);
+        critic_sizes.push(1);
+        PpoPolicy {
+            actor: Mlp::new(&actor_sizes, Activation::Tanh, Activation::Linear, &mut rng),
+            critic: Mlp::new(&critic_sizes, Activation::Tanh, Activation::Linear, &mut rng),
+            log_std: Tensor::zeros(&[0]),
+            discrete: true,
+        }
+    }
+
+    /// A continuous (diagonal-Gaussian) policy with the given hidden
+    /// widths.
+    pub fn continuous(obs_dim: usize, act_dim: usize, hidden: &[usize], seed: u64) -> Self {
+        let mut p = Self::discrete(obs_dim, act_dim, hidden, seed);
+        p.log_std = Tensor::full(&[act_dim], -0.5);
+        p.discrete = false;
+        p
+    }
+
+    /// The seven-layer configuration of the paper's evaluation (§7.1).
+    pub fn seven_layer_continuous(obs_dim: usize, act_dim: usize, seed: u64) -> Self {
+        Self::continuous(obs_dim, act_dim, &[64, 64, 64, 64, 64], seed)
+    }
+
+    /// Total scalar parameters (actor + critic + log-std).
+    pub fn num_params(&self) -> usize {
+        self.actor.num_params() + self.critic.num_params() + self.log_std.len()
+    }
+
+    /// Serialises all weights to a flat vector (weight-sync payload).
+    pub fn flatten(&self) -> Vec<f32> {
+        let mut v = self.actor.flatten_params();
+        v.extend(self.critic.flatten_params());
+        v.extend_from_slice(self.log_std.data());
+        v
+    }
+
+    /// Loads weights from [`PpoPolicy::flatten`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on a length mismatch.
+    pub fn unflatten(&mut self, flat: &[f32]) -> Result<()> {
+        if flat.len() != self.num_params() {
+            return Err(FdgError::Tensor(msrl_tensor::TensorError::LengthMismatch {
+                expected: self.num_params(),
+                actual: flat.len(),
+            }));
+        }
+        let a = self.actor.num_params();
+        let c = self.critic.num_params();
+        self.actor.unflatten_params(&flat[..a])?;
+        self.critic.unflatten_params(&flat[a..a + c])?;
+        if !self.log_std.is_empty() {
+            self.log_std.data_mut().copy_from_slice(&flat[a + c..]);
+        }
+        Ok(())
+    }
+
+    /// Policy inference + sampling for a batch of observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed observations.
+    pub fn act(&self, obs: &Tensor, rng: &mut StdRng) -> Result<ActOutput> {
+        let out = self.actor.infer(obs)?;
+        let values = self.critic.infer(obs)?;
+        let batch = obs.shape()[0];
+        let values = values.reshape(&[batch])?;
+        if self.discrete {
+            let dist = Categorical::from_logits(&out)?;
+            let actions = dist.sample(rng);
+            let log_probs = dist.log_prob(&actions)?;
+            let actions_t =
+                Tensor::from_vec(actions.iter().map(|&a| a as f32).collect(), &[batch])?;
+            Ok(ActOutput { actions: actions_t, log_probs, values: Some(values) })
+        } else {
+            let dist = DiagGaussian::new(out, self.log_std.clone())?;
+            let actions = dist.sample(rng);
+            let log_probs = dist.log_prob(&actions)?;
+            Ok(ActOutput { actions, log_probs, values: Some(values) })
+        }
+    }
+
+    /// Critic value estimates, `[batch]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed observations.
+    pub fn values(&self, obs: &Tensor) -> Result<Tensor> {
+        let v = self.critic.infer(obs)?;
+        Ok(v.reshape(&[obs.shape()[0]])?)
+    }
+}
+
+/// The data-collection half of PPO (`Actor.act()` in the paper's API).
+pub struct PpoActor {
+    /// The (replicated) policy.
+    pub policy: PpoPolicy,
+    rng: StdRng,
+}
+
+impl PpoActor {
+    /// Creates an actor over a policy replica.
+    pub fn new(policy: PpoPolicy, seed: u64) -> Self {
+        PpoActor { policy, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Actor for PpoActor {
+    fn act(&mut self, obs: &Tensor) -> Result<ActOutput> {
+        self.policy.act(obs, &mut self.rng)
+    }
+
+    fn policy_params(&self) -> Vec<f32> {
+        self.policy.flatten()
+    }
+
+    fn set_policy_params(&mut self, flat: &[f32]) -> Result<()> {
+        self.policy.unflatten(flat)
+    }
+}
+
+/// The training half of PPO (`Learner.learn()` in the paper's API).
+pub struct PpoLearner {
+    /// The policy being optimised.
+    pub policy: PpoPolicy,
+    /// Hyper-parameters.
+    pub cfg: PpoConfig,
+    opt: Adam,
+}
+
+impl PpoLearner {
+    /// Creates a learner owning a policy.
+    pub fn new(policy: PpoPolicy, cfg: PpoConfig) -> Self {
+        let opt = Adam::new(cfg.lr);
+        PpoLearner { policy, cfg, opt }
+    }
+
+    /// Computes GAE advantages and value targets over the batch's
+    /// env-major segments.
+    fn advantages(&self, batch: &SampleBatch) -> Result<(Vec<f32>, Vec<f32>)> {
+        let n = batch.len();
+        let seg = if batch.segment_len > 0 { batch.segment_len } else { n };
+        if !n.is_multiple_of(seg) {
+            return Err(FdgError::Tensor(msrl_tensor::TensorError::LengthMismatch {
+                expected: seg,
+                actual: n,
+            }));
+        }
+        let mut adv = Vec::with_capacity(n);
+        let mut ret = Vec::with_capacity(n);
+        for s in 0..n / seg {
+            let lo = s * seg;
+            let hi = lo + seg;
+            let rewards = &batch.rewards.data()[lo..hi];
+            let values = &batch.values.data()[lo..hi];
+            let dones = &batch.dones[lo..hi];
+            // Bootstrap from the critic at the segment's last next-state
+            // unless the episode ended there.
+            let last_value = if dones[seg - 1] {
+                0.0
+            } else {
+                let last = batch.next_obs.shape()[1];
+                let row = Tensor::from_vec(
+                    batch.next_obs.data()[(hi - 1) * last..hi * last].to_vec(),
+                    &[1, last],
+                )
+                .map_err(FdgError::Tensor)?;
+                self.policy.values(&row)?.item().map_err(FdgError::Tensor)?
+            };
+            let (a, r) = gae::gae(
+                rewards,
+                values,
+                dones,
+                last_value,
+                self.cfg.gamma,
+                self.cfg.gae_lambda,
+            );
+            adv.extend(a);
+            ret.extend(r);
+        }
+        gae::normalize(&mut adv);
+        Ok((adv, ret))
+    }
+
+    /// One clipped-surrogate optimisation pass; returns `(loss, grads)`
+    /// without mutating the policy.
+    fn loss_and_grads(
+        &self,
+        batch: &SampleBatch,
+        adv: &[f32],
+        ret: &[f32],
+    ) -> Result<(f32, Vec<Tensor>)> {
+        let n = batch.len();
+        let tape = Tape::new();
+        let actor = self.policy.actor.bind(&tape);
+        let critic = self.policy.critic.bind(&tape);
+        let obs = tape.var(batch.obs.clone());
+        let out = actor.forward(&obs)?;
+
+        let mut log_std_var = None;
+        let (log_prob, entropy) = if self.policy.discrete {
+            let idx: Vec<usize> = batch.actions.data().iter().map(|&a| a as usize).collect();
+            categorical_stats(&out, &idx)?
+        } else {
+            let log_std = tape.var(self.policy.log_std.clone());
+            let stats = gaussian_stats(&out, &log_std, &batch.actions)?;
+            log_std_var = Some(log_std);
+            stats
+        };
+
+        let adv_t = tape.var(Tensor::from_vec(adv.to_vec(), &[n]).map_err(FdgError::Tensor)?);
+        let old_lp = tape.var(batch.log_probs.clone());
+        let ratio = log_prob.sub(&old_lp)?.exp();
+        let unclipped = ratio.mul(&adv_t)?;
+        let clipped = ratio.clamp(1.0 - self.cfg.clip, 1.0 + self.cfg.clip).mul(&adv_t)?;
+        let policy_loss = unclipped.min(&clipped)?.mean().neg();
+
+        let ret_t = tape.var(Tensor::from_vec(ret.to_vec(), &[n]).map_err(FdgError::Tensor)?);
+        let values = critic.forward(&obs)?.reshape(&[n])?;
+        let value_loss = values.sub(&ret_t)?.square().mean();
+
+        let loss = policy_loss
+            .add(&value_loss.mul_scalar(self.cfg.value_coef))?
+            .add(&entropy.mean().mul_scalar(-self.cfg.entropy_coef))?;
+
+        let grads = tape.backward(&loss)?;
+        let mut gs = actor.grads(&grads);
+        gs.extend(critic.grads(&grads));
+        if let Some(ls) = &log_std_var {
+            gs.push(grads.get_or_zeros(ls));
+        }
+        clip_grad_norm(&mut gs, self.cfg.max_grad_norm);
+        Ok((loss.value().item().map_err(FdgError::Tensor)?, gs))
+    }
+
+    fn apply(&mut self, grads: &[Tensor]) -> Result<()> {
+        let discrete = self.policy.discrete;
+        let mut params = self.policy.actor.params_mut();
+        params.extend(self.policy.critic.params_mut());
+        if !discrete {
+            params.push(&mut self.policy.log_std);
+        }
+        self.opt.step(&mut params, grads).map_err(FdgError::Tensor)
+    }
+}
+
+impl Learner for PpoLearner {
+    fn learn(&mut self, batch: &SampleBatch) -> Result<f32> {
+        if batch.is_empty() {
+            return Err(FdgError::MissingKernel { op: "Learn(empty batch)".into() });
+        }
+        let (adv, ret) = self.advantages(batch)?;
+        let mut last_loss = 0.0;
+        for _ in 0..self.cfg.epochs {
+            let (loss, grads) = self.loss_and_grads(batch, &adv, &ret)?;
+            self.apply(&grads)?;
+            last_loss = loss;
+        }
+        Ok(last_loss)
+    }
+
+    fn policy_params(&self) -> Vec<f32> {
+        self.policy.flatten()
+    }
+
+    fn set_policy_params(&mut self, flat: &[f32]) -> Result<()> {
+        self.policy.unflatten(flat)
+    }
+
+    fn grads(&mut self, batch: &SampleBatch) -> Result<Vec<f32>> {
+        let (adv, ret) = self.advantages(batch)?;
+        let (_, grads) = self.loss_and_grads(batch, &adv, &ret)?;
+        Ok(grads.iter().flat_map(|g| g.data().iter().copied()).collect())
+    }
+
+    fn apply_grads(&mut self, flat: &[f32]) -> Result<()> {
+        let mut grads = Vec::new();
+        let mut offset = 0;
+        {
+            let mut shapes: Vec<Vec<usize>> = self
+                .policy
+                .actor
+                .params()
+                .iter()
+                .chain(self.policy.critic.params().iter())
+                .map(|p| p.shape().to_vec())
+                .collect();
+            if !self.policy.discrete {
+                shapes.push(self.policy.log_std.shape().to_vec());
+            }
+            for shape in shapes {
+                let len: usize = shape.iter().product();
+                if offset + len > flat.len() {
+                    return Err(FdgError::Tensor(msrl_tensor::TensorError::LengthMismatch {
+                        expected: offset + len,
+                        actual: flat.len(),
+                    }));
+                }
+                grads.push(
+                    Tensor::from_vec(flat[offset..offset + len].to_vec(), &shape)
+                        .map_err(FdgError::Tensor)?,
+                );
+                offset += len;
+            }
+        }
+        self.apply(&grads)
+    }
+}
+
+/// Evaluates a policy greedily for one episode; returns the total reward.
+/// Shared by tests and examples.
+pub fn evaluate<E: msrl_env::Environment>(
+    policy: &PpoPolicy,
+    env: &mut E,
+    max_steps: usize,
+) -> Result<f32> {
+    let mut obs = env.reset();
+    let mut total = 0.0;
+    for _ in 0..max_steps {
+        let row = obs.reshape(&[1, env.obs_dim()]).map_err(FdgError::Tensor)?;
+        let out = policy.actor.infer(&row)?;
+        let action = if policy.discrete {
+            let am = ops::argmax_rows(&out).map_err(FdgError::Tensor)?;
+            msrl_env::Action::Discrete(am.data()[0] as usize)
+        } else {
+            msrl_env::Action::Continuous(
+                out.reshape(&[policy.actor.output_dim()]).map_err(FdgError::Tensor)?,
+            )
+        };
+        let step = env.step(&action);
+        total += step.reward;
+        obs = step.obs;
+        if step.done {
+            break;
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rollout::collect;
+    use msrl_env::cartpole::CartPole;
+    use msrl_env::VecEnv;
+
+    #[test]
+    fn policy_flatten_roundtrip() {
+        let p = PpoPolicy::continuous(4, 2, &[8], 0);
+        let flat = p.flatten();
+        assert_eq!(flat.len(), p.num_params());
+        let mut q = PpoPolicy::continuous(4, 2, &[8], 1);
+        assert_ne!(q.flatten(), flat);
+        q.unflatten(&flat).unwrap();
+        assert_eq!(q.flatten(), flat);
+        assert!(q.unflatten(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn act_shapes_discrete_and_continuous() {
+        let mut rng = init::rng(0);
+        let obs = Tensor::zeros(&[5, 4]);
+        let d = PpoPolicy::discrete(4, 3, &[8], 0);
+        let out = d.act(&obs, &mut rng).unwrap();
+        assert_eq!(out.actions.shape(), &[5]);
+        assert_eq!(out.log_probs.shape(), &[5]);
+        assert!(out.actions.data().iter().all(|&a| (0.0..3.0).contains(&a)));
+        let c = PpoPolicy::continuous(4, 2, &[8], 0);
+        let out = c.act(&obs, &mut rng).unwrap();
+        assert_eq!(out.actions.shape(), &[5, 2]);
+        assert_eq!(out.values.unwrap().shape(), &[5]);
+    }
+
+    #[test]
+    fn learn_reduces_loss_on_fixed_batch() {
+        let policy = PpoPolicy::discrete(4, 2, &[16], 3);
+        let mut learner = PpoLearner::new(policy.clone(), PpoConfig::default());
+        let mut actor = PpoActor::new(policy, 4);
+        let mut envs = VecEnv::from_fn(4, |i| CartPole::new(i as u64));
+        let batch = collect(&mut actor, &mut envs, 32).unwrap();
+        let (adv, ret) = learner.advantages(&batch).unwrap();
+        let (loss0, _) = learner.loss_and_grads(&batch, &adv, &ret).unwrap();
+        for _ in 0..20 {
+            let (_, grads) = learner.loss_and_grads(&batch, &adv, &ret).unwrap();
+            learner.apply(&grads).unwrap();
+        }
+        let (loss1, _) = learner.loss_and_grads(&batch, &adv, &ret).unwrap();
+        assert!(loss1 < loss0, "loss {loss0} → {loss1}");
+    }
+
+    #[test]
+    fn grads_match_learn_direction() {
+        // DP-C path: grads() then apply_grads() must change the policy.
+        let policy = PpoPolicy::discrete(4, 2, &[8], 5);
+        let mut learner = PpoLearner::new(policy.clone(), PpoConfig::default());
+        let mut actor = PpoActor::new(policy, 6);
+        let mut envs = VecEnv::from_fn(2, |i| CartPole::new(10 + i as u64));
+        let batch = collect(&mut actor, &mut envs, 16).unwrap();
+        let before = learner.policy_params();
+        let g = learner.grads(&batch).unwrap();
+        assert_eq!(
+            g.len(),
+            learner.policy.actor.num_params() + learner.policy.critic.num_params()
+        );
+        learner.apply_grads(&g).unwrap();
+        assert_ne!(learner.policy_params(), before);
+        assert!(learner.apply_grads(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn learn_rejects_empty_batch() {
+        let policy = PpoPolicy::discrete(4, 2, &[8], 0);
+        let mut learner = PpoLearner::new(policy, PpoConfig::default());
+        assert!(learner.learn(&SampleBatch::default()).is_err());
+    }
+
+    /// End-to-end: PPO must actually solve CartPole. This is the
+    /// ground-truth test that the whole algorithm stack (tensor ops,
+    /// autograd, distributions, GAE, optimizer) is correct.
+    #[test]
+    fn ppo_solves_cartpole() {
+        let policy = PpoPolicy::discrete(4, 2, &[32, 32], 7);
+        let cfg = PpoConfig { lr: 3e-3, epochs: 6, ..PpoConfig::default() };
+        let mut learner = PpoLearner::new(policy.clone(), cfg);
+        let mut actor = PpoActor::new(policy, 8);
+        let mut envs = VecEnv::from_fn(8, |i| CartPole::new(100 + i as u64));
+
+        let mut eval_env = CartPole::new(999);
+        let before = evaluate(&learner.policy, &mut eval_env, 500).unwrap();
+
+        for _ in 0..40 {
+            let batch = collect(&mut actor, &mut envs, 64).unwrap();
+            learner.learn(&batch).unwrap();
+            actor.set_policy_params(&learner.policy_params()).unwrap();
+        }
+        let mut total = 0.0;
+        for seed in 0..5 {
+            let mut env = CartPole::new(2000 + seed);
+            total += evaluate(&learner.policy, &mut env, 500).unwrap();
+        }
+        let after = total / 5.0;
+        assert!(
+            after > before + 50.0 && after > 150.0,
+            "PPO must improve markedly: {before} → {after}"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Vectorised experience collection.
+//!
+//! This is the body of an *actor fragment*: step a set of environments
+//! with the current policy for a fixed number of steps, buffering the
+//! transitions. The runtime replicates this function across actor
+//! fragments under every distribution policy.
+
+use msrl_core::api::{Actor, SampleBatch};
+use msrl_core::{FdgError, Result};
+use msrl_env::{Action, ActionSpec, VecEnv};
+use msrl_tensor::Tensor;
+
+use crate::buffer::{step_batch, TrajectoryBuffer};
+
+/// Decodes an actor's batched action tensor into per-env [`Action`]s.
+pub fn decode_actions(actions: &Tensor, spec: ActionSpec) -> Vec<Action> {
+    match spec {
+        ActionSpec::Discrete { .. } => {
+            actions.data().iter().map(|&a| Action::Discrete(a as usize)).collect()
+        }
+        ActionSpec::Continuous { dim, low, high } => {
+            let n = actions.shape()[0];
+            (0..n)
+                .map(|i| {
+                    let row: Vec<f32> = actions.data()[i * dim..(i + 1) * dim]
+                        .iter()
+                        .map(|v| v.clamp(low, high))
+                        .collect();
+                    Action::Continuous(Tensor::from_vec(row, &[dim]).expect("fixed width"))
+                })
+                .collect()
+        }
+    }
+}
+
+/// Collects `steps` vectorised steps from `envs` with `actor`; returns an
+/// env-major [`SampleBatch`] (`segment_len == steps`) ready for PPO's
+/// learner-side GAE.
+///
+/// # Errors
+///
+/// Propagates actor/tensor failures.
+pub fn collect(actor: &mut dyn Actor, envs: &mut VecEnv, steps: usize) -> Result<SampleBatch> {
+    let mut buf = TrajectoryBuffer::new();
+    let mut obs = envs.reset();
+    for _ in 0..steps {
+        let out = actor.act(&obs)?;
+        let actions = decode_actions(&out.actions, envs.action_spec());
+        let step = envs.step(&actions);
+        let values = out.values.clone().ok_or(FdgError::MissingKernel {
+            op: "Actor without value head in PPO rollout".into(),
+        })?;
+        buf.insert(step_batch(
+            obs.clone(),
+            out.actions,
+            step.rewards.clone(),
+            step.obs.clone(),
+            step.dones.clone(),
+            out.log_probs,
+            values,
+        ));
+        obs = step.obs;
+    }
+    buf.drain_env_major()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ppo::{PpoActor, PpoPolicy};
+    use msrl_env::cartpole::CartPole;
+
+    #[test]
+    fn collect_shapes_and_segments() {
+        let mut actor = PpoActor::new(PpoPolicy::discrete(4, 2, &[8], 0), 1);
+        let mut envs = VecEnv::from_fn(3, |i| CartPole::new(i as u64));
+        let batch = collect(&mut actor, &mut envs, 10).unwrap();
+        assert_eq!(batch.len(), 30);
+        assert_eq!(batch.segment_len, 10);
+        assert_eq!(batch.obs.shape(), &[30, 4]);
+        assert_eq!(batch.actions.shape(), &[30]);
+        assert_eq!(batch.values.shape(), &[30]);
+    }
+
+    #[test]
+    fn env_major_layout_keeps_time_contiguous() {
+        // With a deterministic env, env 0's rows must be its own
+        // consecutive steps: obs[t+1] of env 0 equals next_obs[t].
+        let mut actor = PpoActor::new(PpoPolicy::discrete(4, 2, &[8], 0), 2);
+        let mut envs = VecEnv::from_fn(2, |i| CartPole::new(i as u64));
+        let batch = collect(&mut actor, &mut envs, 5).unwrap();
+        for t in 0..4 {
+            if batch.dones[t] {
+                continue;
+            }
+            let next_row = &batch.next_obs.data()[t * 4..(t + 1) * 4];
+            let obs_row = &batch.obs.data()[(t + 1) * 4..(t + 2) * 4];
+            assert_eq!(next_row, obs_row, "t={t}");
+        }
+    }
+
+    #[test]
+    fn decode_continuous_clamps() {
+        let t = Tensor::from_vec(vec![5.0, -5.0], &[1, 2]).unwrap();
+        let acts = decode_actions(&t, ActionSpec::Continuous { dim: 2, low: -1.0, high: 1.0 });
+        let a = acts[0].as_continuous().unwrap();
+        assert_eq!(a.data(), &[1.0, -1.0]);
+    }
+}

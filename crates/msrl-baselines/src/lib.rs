@@ -1,0 +1,27 @@
+//! # msrl-baselines
+//!
+//! Re-implementations of the comparator systems in the paper's
+//! evaluation (§7.3), built on the same substrates as msrl-rs so the
+//! comparisons isolate *architecture*, not implementation quality:
+//!
+//! * [`raylike`] — an actor-model execution engine in the style of Ray:
+//!   stateful actors with mailboxes, remote method calls returning
+//!   futures, and a driver that coordinates them. Its PPO implementation
+//!   has the two structural properties the paper attributes to Ray's
+//!   RLlib: each actor steps its environments *sequentially* on the CPU,
+//!   and per-environment inference is not batched/fused.
+//! * [`warpdrive`] — a WarpDrive-style monolithic trainer: the entire
+//!   loop on one "device" over a batched environment, with one kernel
+//!   per pipeline stage (no cross-stage fusion) and a host sync per step.
+//!   Kernel-launch counters expose the overhead MSRL's graph compilation
+//!   removes (Fig. 10a's mechanism).
+//! * [`sequential`] — the single-GPU sequential MARL baseline of
+//!   Fig. 11a: one device trains all agents in turn, with a memory
+//!   accountant that reports OOM when the joint working set exceeds the
+//!   device budget.
+
+#![warn(missing_docs)]
+
+pub mod raylike;
+pub mod sequential;
+pub mod warpdrive;

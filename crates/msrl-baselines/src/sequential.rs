@@ -1,0 +1,106 @@
+//! The sequential single-device MARL baseline of Fig. 11a.
+//!
+//! One device trains all `n` MAPPO agents in turn. A memory accountant
+//! tracks the joint working set (activations of each agent's critic over
+//! the O(n²) observations); exceeding the device budget is an OOM — the
+//! paper's baseline runs out of memory at 64 agents while MSRL's DP-E
+//! continues.
+
+use msrl_algos::mappo::Mappo;
+use msrl_algos::ppo::PpoConfig;
+use msrl_core::Result;
+use msrl_env::mpe::SimpleSpread;
+use msrl_env::MultiAgentEnvironment;
+
+/// Device memory budget for the baseline (16 GB cards, as in Tab. 3).
+pub const DEVICE_MEM_BYTES: u64 = 16 << 30;
+
+/// Outcome of a sequential MARL training attempt.
+#[derive(Debug, Clone)]
+pub enum SequentialOutcome {
+    /// Training ran; per-episode mean step rewards attached.
+    Completed {
+        /// Mean per-agent step reward per episode.
+        episode_rewards: Vec<f32>,
+        /// Peak working set in bytes.
+        peak_memory: u64,
+    },
+    /// The joint working set exceeded the device budget.
+    OutOfMemory {
+        /// The working set that was required.
+        required: u64,
+    },
+}
+
+/// Estimated training working set for `n` agents with `obs_dim`-wide
+/// observations, `horizon` steps per episode, and `hidden` critic width
+/// (activations + gradients for all agents resident at once, f32).
+pub fn working_set_bytes(n: usize, obs_dim: usize, horizon: usize, hidden: usize) -> u64 {
+    // Per agent: activations over the episode batch for a critic that
+    // consumes the joint observation (n agents × obs_dim), twice for the
+    // backward pass, plus parameter/optimizer state (small).
+    let joint_in = n * obs_dim;
+    let per_agent = 2 * horizon * (joint_in + hidden) * 4;
+    // The sequential baseline keeps every agent's state resident.
+    (n * per_agent) as u64 * 32 // 32 vectorised env instances resident
+}
+
+/// Trains all agents sequentially on one device, or reports OOM.
+///
+/// # Errors
+///
+/// Propagates algorithm failures.
+pub fn run_sequential_mappo(
+    n_agents: usize,
+    episodes: usize,
+    seed: u64,
+) -> Result<SequentialOutcome> {
+    let mut env = SimpleSpread::new(n_agents, seed).with_global_obs(true);
+    let required = working_set_bytes(n_agents, env.obs_dim(), env.horizon(), 64);
+    if required > DEVICE_MEM_BYTES {
+        return Ok(SequentialOutcome::OutOfMemory { required });
+    }
+    let mut mappo = Mappo::new(&env, &[32], PpoConfig::default(), seed + 1);
+    let mut episode_rewards = Vec::with_capacity(episodes);
+    for _ in 0..episodes {
+        // Sequential: the single device handles every agent's collection
+        // and training inside this call.
+        let r = mappo.train_iteration(&mut env, 1)?;
+        episode_rewards.push(r);
+    }
+    Ok(SequentialOutcome::Completed { episode_rewards, peak_memory: required })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_agent_counts_complete() {
+        match run_sequential_mappo(2, 3, 0).unwrap() {
+            SequentialOutcome::Completed { episode_rewards, peak_memory } => {
+                assert_eq!(episode_rewards.len(), 3);
+                assert!(peak_memory < DEVICE_MEM_BYTES);
+            }
+            SequentialOutcome::OutOfMemory { .. } => panic!("2 agents must fit"),
+        }
+    }
+
+    #[test]
+    fn memory_grows_superlinearly_and_ooms_at_64() {
+        let m = |n: usize| {
+            let env = SimpleSpread::new(n, 0).with_global_obs(true);
+            working_set_bytes(n, env.obs_dim(), env.horizon(), 64)
+        };
+        // O(n²) obs × n agents × n joint-input ⇒ steep growth.
+        assert!(m(32) > 40 * m(8), "m(8)={} m(32)={}", m(8), m(32));
+        assert!(m(32) <= DEVICE_MEM_BYTES, "32 agents fit: {}", m(32));
+        assert!(m(64) > DEVICE_MEM_BYTES, "64 agents OOM: {}", m(64));
+        match run_sequential_mappo(64, 1, 0).unwrap() {
+            SequentialOutcome::OutOfMemory { required } => {
+                assert!(required > DEVICE_MEM_BYTES);
+            }
+            SequentialOutcome::Completed { .. } => panic!("64 agents must OOM"),
+        }
+    }
+}

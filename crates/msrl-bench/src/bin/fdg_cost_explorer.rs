@@ -1,0 +1,98 @@
+//! FDG cost explorer: trace PPO, partition it with Algorithm 2, and
+//! price one iteration of the *actual* FDG on the paper's two clusters
+//! under different fragment→device assignments.
+//!
+//! This is the §4.2 trade-off (fragment granularity × co-location) made
+//! interactive: the same graph costs differently depending on where its
+//! fragments land, and invalid placements (the CPU-bound environment
+//! fragment on a GPU) are rejected before anything runs.
+
+use std::collections::HashMap;
+
+use msrl_bench::banner;
+use msrl_comm::DeviceId;
+use msrl_core::config::AlgorithmConfig;
+use msrl_core::partition::build_fdg;
+use msrl_core::{DeviceReq, Fdg, FragmentId};
+use msrl_runtime::trace_algos::trace_ppo;
+use msrl_sim::fdg_sim::{iteration_time, validate_assignment, KernelCosts};
+use msrl_sim::scenarios::{cloud, local, Cluster};
+
+/// Assigns CPU-only fragments to CPUs and the rest to GPUs, co-located
+/// on one node or spread across nodes.
+fn assignment(fdg: &Fdg, spread: bool) -> HashMap<FragmentId, DeviceId> {
+    let mut cpu = 0;
+    let mut gpu = 0;
+    fdg.fragments
+        .iter()
+        .map(|f| {
+            let node = |i: usize| if spread { i } else { 0 };
+            let d = match f.device_req {
+                DeviceReq::CpuOnly => {
+                    cpu += 1;
+                    DeviceId::cpu(node(cpu - 1), 0)
+                }
+                _ => {
+                    gpu += 1;
+                    DeviceId::gpu(node(gpu - 1), if spread { 0 } else { gpu - 1 })
+                }
+            };
+            (f.id, d)
+        })
+        .collect()
+}
+
+fn price(fdg: &Fdg, c: &Cluster, name: &str) {
+    let k = KernelCosts { env_step_s: 8e-4 * 32.0, learn_s: 0.05 };
+    for (label, spread) in [("co-located (one node)", false), ("spread (one fragment per node)", true)] {
+        let a = assignment(fdg, spread);
+        match iteration_time(fdg, &a, c, k) {
+            Ok(t) => println!("{name:>6} cluster, {label:<32} {:.3} ms/iteration", t * 1e3),
+            Err(e) => println!("{name:>6} cluster, {label:<32} rejected: {e}"),
+        }
+    }
+}
+
+fn main() {
+    banner(
+        "FDG explorer",
+        "pricing the real PPO FDG under placements (§4.2 trade-offs)",
+        "co-location avoids network hops; CPU-only fragments cannot go to GPUs",
+    );
+    let algo = AlgorithmConfig::ppo(1, 32);
+    let fdg = build_fdg(trace_ppo(&algo, 17, 6, 64)).expect("PPO traces and partitions");
+    println!(
+        "FDG: {} nodes, {} fragments ({} annotations)",
+        fdg.graph.len(),
+        fdg.fragments.len(),
+        fdg.graph.annotations.len()
+    );
+    for f in &fdg.fragments {
+        println!(
+            "  fragment {:?} [{:?}]: {} interior nodes, {} entries, {} exits ({} B out)",
+            f.id,
+            f.kind,
+            f.interior.len(),
+            f.entries.len(),
+            f.exits.len(),
+            f.exit_bytes(&fdg.graph)
+        );
+    }
+    println!();
+    price(&fdg, &cloud(), "cloud");
+    price(&fdg, &local(), "local");
+
+    // Demonstrate the validator rejecting an illegal placement.
+    let mut bad = assignment(&fdg, false);
+    for (fid, d) in bad.iter_mut() {
+        let frag = fdg.fragments.iter().find(|f| f.id == *fid).expect("fragment exists");
+        if frag.device_req == DeviceReq::CpuOnly {
+            *d = DeviceId::gpu(0, 0);
+        }
+    }
+    println!();
+    match validate_assignment(&fdg, &bad) {
+        Err(e) => println!("illegal placement rejected as expected: {e}"),
+        Ok(()) => println!("unexpected: illegal placement accepted"),
+    }
+}

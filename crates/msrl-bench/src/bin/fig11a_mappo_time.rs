@@ -1,0 +1,46 @@
+//! Fig. 11a — MAPPO training time per episode vs. agent count, MSRL
+//! (DP-E, one GPU per agent) vs. the sequential single-GPU baseline,
+//! MPE `simple_spread` with O(n³) global observations, cloud cluster.
+//!
+//! Paper shape: both curves rise sharply (cubic observation growth);
+//! MSRL is 58× faster at 32 agents; the baseline exhausts GPU memory at
+//! 64 agents while MSRL trains an episode in 23.8 minutes.
+
+use msrl_bench::{banner, fmt_secs, series};
+use msrl_baselines::sequential::{run_sequential_mappo, SequentialOutcome};
+use msrl_sim::scenarios::{cloud, dp_e_episode, sequential_mappo_episode, MappoWorkload};
+
+fn main() {
+    banner(
+        "Fig 11a",
+        "MAPPO episode time vs #agents (simple_spread, global obs)",
+        "58× over sequential at 32 agents; baseline OOM at 64; MSRL 23.8 min @64",
+    );
+    let c = cloud();
+    let mut rows = Vec::new();
+    for n in [2usize, 4, 8, 16, 32, 64] {
+        let w = MappoWorkload::spread(n);
+        let msrl = dp_e_episode(&w, &c);
+        let seq = sequential_mappo_episode(&w, &c);
+        rows.push((n as f64, vec![msrl, seq.unwrap_or(f64::NAN)]));
+    }
+    series("agents", &["MSRL DP-E [s]", "sequential [s]"], &rows);
+    let w32 = MappoWorkload::spread(32);
+    let speedup =
+        sequential_mappo_episode(&w32, &c).expect("32 agents fit") / dp_e_episode(&w32, &c);
+    println!("\nspeedup at 32 agents: {speedup:.0}× (paper: 58×)");
+    let w64 = MappoWorkload::spread(64);
+    println!(
+        "64 agents: sequential {:?} (paper: OOM), MSRL {} (paper: 23.8 min)",
+        sequential_mappo_episode(&w64, &c).map(fmt_secs),
+        fmt_secs(dp_e_episode(&w64, &c))
+    );
+
+    println!("\n--- real baseline memory accounting (this machine) ---");
+    match run_sequential_mappo(64, 1, 0).expect("memory check") {
+        SequentialOutcome::OutOfMemory { required } => {
+            println!("sequential 64 agents: OOM (needs {:.0} GiB > 16 GiB)", required as f64 / (1u64 << 30) as f64)
+        }
+        SequentialOutcome::Completed { .. } => println!("unexpected: 64 agents fit"),
+    }
+}

@@ -1,0 +1,27 @@
+//! Fig. 11b — MAPPO training throughput (MB of observation data trained
+//! per second) vs. agent count under DP-E.
+//!
+//! Paper shape: throughput rises steeply with agents — 64 agents train
+//! over 7600× more data per second than 2 agents, because data volume
+//! grows as O(n³) while per-episode time is dominated by fixed costs at
+//! small n.
+
+use msrl_bench::{banner, series};
+use msrl_sim::scenarios::{cloud, mappo_throughput, MappoWorkload};
+
+fn main() {
+    banner(
+        "Fig 11b",
+        "MAPPO training throughput vs #agents (simple_spread)",
+        "throughput at 64 agents > 7600× that at 2 agents",
+    );
+    let c = cloud();
+    let mut rows = Vec::new();
+    for n in [2usize, 4, 8, 16, 32, 64] {
+        let w = MappoWorkload::spread(n);
+        rows.push((n as f64, vec![mappo_throughput(&w, &c) / 1e6]));
+    }
+    series("agents", &["throughput [MB/s]"], &rows);
+    let ratio = rows.last().unwrap().1[0] / rows[0].1[0];
+    println!("\nthroughput ratio 64 vs 2 agents: {ratio:.0}× (paper: >7600×)");
+}

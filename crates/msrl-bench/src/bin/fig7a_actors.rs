@@ -1,0 +1,38 @@
+//! Fig. 7a — PPO training time (to reward 3000) vs. number of actors,
+//! DP-A vs. DP-C, 200 environments, cloud cluster.
+//!
+//! Paper shape: DP-A scales better with more actors; DP-C wins at low
+//! actor counts, reaches its best point mid-range, then deteriorates.
+
+use msrl_bench::{banner, series};
+use msrl_sim::scenarios::{cloud, ppo_training_time, PpoWorkload};
+
+fn main() {
+    banner(
+        "Fig 7a",
+        "training time vs #actors (PPO, 200 envs, cloud)",
+        "DP-C best ~40 actors, beats DP-A at low counts; DP-A scales better beyond",
+    );
+    let w = PpoWorkload::halfcheetah(200);
+    let c = cloud();
+    let mut rows = Vec::new();
+    let mut best_c = (0usize, f64::INFINITY);
+    let mut crossover = None;
+    for p in [2usize, 4, 8, 12, 16, 20, 24, 30, 40, 50, 60, 70] {
+        let a = ppo_training_time("DP-A", &w, &c, p);
+        let cc = ppo_training_time("DP-C", &w, &c, p);
+        if cc < best_c.1 {
+            best_c = (p, cc);
+        }
+        if crossover.is_none() && a < cc {
+            crossover = Some(p);
+        }
+        rows.push((p as f64, vec![a, cc]));
+    }
+    series("actors", &["DP-A [s]", "DP-C [s]"], &rows);
+    println!("\nDP-C optimum at {} actors (paper: ~40)", best_c.0);
+    match crossover {
+        Some(p) => println!("DP-A overtakes DP-C from {p} actors (paper: ~30)"),
+        None => println!("no crossover in range"),
+    }
+}

@@ -1,0 +1,28 @@
+//! Fig. 7b — time per episode vs. number of actors for PPO and A3C
+//! under DP-A (cloud cluster).
+//!
+//! Paper shape: PPO's episode time falls as actors divide the
+//! environment work; A3C's stays constant because each actor owns
+//! exactly one environment regardless of the actor count.
+
+use msrl_bench::{banner, series};
+use msrl_sim::scenarios::{a3c_episode, cloud, dp_a_episode, PpoWorkload};
+
+fn main() {
+    banner(
+        "Fig 7b",
+        "episode time vs #actors (PPO vs A3C under DP-A, cloud)",
+        "PPO decreases with actors; A3C flat (A3C needs ≥2 actors)",
+    );
+    let w = PpoWorkload::halfcheetah(200);
+    let c = cloud();
+    let mut rows = Vec::new();
+    for p in [2usize, 4, 8, 12, 16, 20, 24] {
+        rows.push((p as f64, vec![dp_a_episode(&w, &c, p, true), a3c_episode(&w, &c, p)]));
+    }
+    series("actors", &["PPO [s]", "A3C [s]"], &rows);
+    let ppo_ratio = rows[0].1[0] / rows.last().unwrap().1[0];
+    let a3c_ratio = rows[0].1[1] / rows.last().unwrap().1[1];
+    println!("\nPPO 2→24 actors speedup: {ppo_ratio:.1}× (paper: decreasing)");
+    println!("A3C 2→24 actors speedup: {a3c_ratio:.2}× (paper: ~1, constant)");
+}

@@ -1,0 +1,35 @@
+//! Fig. 7c — PPO training time vs. environment count (100–600) at a
+//! fixed 50 actors, DP-A vs. DP-C, cloud cluster.
+//!
+//! Paper shape: DP-A's time grows with environments (trajectory traffic
+//! and bigger batches at the single learner); DP-C stays roughly stable
+//! (it only communicates gradients); the curves cross around 320
+//! environments.
+
+use msrl_bench::{banner, series};
+use msrl_sim::scenarios::{cloud, ppo_training_time, PpoWorkload};
+
+fn main() {
+    banner(
+        "Fig 7c",
+        "training time vs #envs (PPO, 50 actors, cloud)",
+        "DP-A increases with envs, DP-C stable; crossover ≈ 320 envs",
+    );
+    let c = cloud();
+    let mut rows = Vec::new();
+    let mut crossover = None;
+    for envs in [100usize, 200, 300, 320, 400, 500, 600] {
+        let w = PpoWorkload::halfcheetah(envs);
+        let a = ppo_training_time("DP-A", &w, &c, 50);
+        let cc = ppo_training_time("DP-C", &w, &c, 50);
+        if crossover.is_none() && cc < a {
+            crossover = Some(envs);
+        }
+        rows.push((envs as f64, vec![a, cc]));
+    }
+    series("envs", &["DP-A [s]", "DP-C [s]"], &rows);
+    match crossover {
+        Some(e) => println!("\nDP-C overtakes DP-A from {e} envs (paper: ~320)"),
+        None => println!("\nno crossover in range"),
+    }
+}

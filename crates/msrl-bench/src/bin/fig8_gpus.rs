@@ -1,0 +1,82 @@
+//! Fig. 8 — impact of GPU count on PPO training (320 HalfCheetah envs).
+//!
+//! Four panels: training time to reward 4000 and per-episode time, on
+//! the cloud (a/b) and local (c/d) clusters, for DP-A, DP-B, DP-C and
+//! the training-time-excluded variants DP-A′/DP-B′.
+//!
+//! Paper shapes: on the cloud cluster DP-A achieves ≈5.3× speedup at 64
+//! GPUs, DP-C is best at 16 but loses to DP-A at 64, DP-B bottoms out
+//! mid-range; excluding training time, DP-A′ keeps scaling 32→64
+//! (+25%). On the local cluster (NVLink/IB) DP-A beats DP-C at every
+//! GPU count.
+
+use msrl_bench::{banner, series};
+use msrl_sim::scenarios::{cloud, local, ppo_episode, ppo_training_time, Cluster, PpoWorkload};
+
+fn panel(cluster: &Cluster, name: &str, gpu_counts: &[usize]) {
+    let w = PpoWorkload::halfcheetah(320);
+    println!("\n--- {name} cluster: training time to reward ---");
+    let rows: Vec<(f64, Vec<f64>)> = gpu_counts
+        .iter()
+        .map(|&p| {
+            (
+                p as f64,
+                vec![
+                    ppo_training_time("DP-A", &w, cluster, p),
+                    ppo_training_time("DP-B", &w, cluster, p),
+                    ppo_training_time("DP-C", &w, cluster, p),
+                ],
+            )
+        })
+        .collect();
+    series("GPUs", &["DP-A [s]", "DP-B [s]", "DP-C [s]"], &rows);
+
+    println!("\n--- {name} cluster: time per episode ---");
+    let rows: Vec<(f64, Vec<f64>)> = gpu_counts
+        .iter()
+        .map(|&p| {
+            (
+                p as f64,
+                vec![
+                    ppo_episode("DP-A", &w, cluster, p),
+                    ppo_episode("DP-A'", &w, cluster, p),
+                    ppo_episode("DP-B", &w, cluster, p),
+                    ppo_episode("DP-B'", &w, cluster, p),
+                    ppo_episode("DP-C", &w, cluster, p),
+                ],
+            )
+        })
+        .collect();
+    series("GPUs", &["DP-A", "DP-A'", "DP-B", "DP-B'", "DP-C"], &rows);
+}
+
+fn main() {
+    banner(
+        "Fig 8",
+        "impact of GPU count (PPO, 320 envs)",
+        "cloud: DP-A 5.3× @64, DP-C best @16; local: DP-A always beats DP-C",
+    );
+    let w = PpoWorkload::halfcheetah(320);
+
+    let cc = cloud();
+    panel(&cc, "cloud (8a/8b)", &[1, 2, 4, 8, 16, 32, 64]);
+    let speedup =
+        ppo_training_time("DP-A", &w, &cc, 1) / ppo_training_time("DP-A", &w, &cc, 64);
+    println!("\ncloud DP-A speedup 1→64 GPUs: {speedup:.1}× (paper: 5.3×)");
+    let c16 = ppo_training_time("DP-C", &w, &cc, 16) < ppo_training_time("DP-A", &w, &cc, 16);
+    let a64 = ppo_training_time("DP-A", &w, &cc, 64) < ppo_training_time("DP-C", &w, &cc, 64);
+    println!("cloud: DP-C wins @16: {c16} (paper: true); DP-A wins @64: {a64} (paper: true)");
+    let ap32 = ppo_episode("DP-A'", &w, &cc, 32);
+    let ap64 = ppo_episode("DP-A'", &w, &cc, 64);
+    println!(
+        "cloud DP-A' 32→64 GPUs episode-time gain: {:.0}% (paper: ~25%)",
+        100.0 * (ap32 - ap64) / ap32
+    );
+
+    let lc = local();
+    panel(&lc, "local (8c/8d)", &[1, 2, 4, 8, 16, 32]);
+    let a_always = [2usize, 4, 8, 16, 32].iter().all(|&p| {
+        ppo_training_time("DP-A", &w, &lc, p) < ppo_training_time("DP-C", &w, &lc, p)
+    });
+    println!("\nlocal: DP-A beats DP-C at every GPU count: {a_always} (paper: true)");
+}

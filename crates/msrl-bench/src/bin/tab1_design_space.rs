@@ -1,0 +1,65 @@
+//! Tab. 1 — the design space of distributed RL systems.
+//!
+//! Qualitative, reproduced as the paper's table plus, for the MSRL row,
+//! live evidence from this reproduction: the execution abstraction is a
+//! heterogeneous FDG (printed from a real trace), distribution is
+//! dataflow partitioning (Algorithm 2 runs here), and the algorithm
+//! abstraction is the agent/actor/learner/env component API.
+
+use msrl_bench::banner;
+use msrl_core::config::AlgorithmConfig;
+use msrl_core::partition::build_fdg;
+use msrl_core::DeviceReq;
+use msrl_runtime::trace_algos::trace_ppo;
+
+fn main() {
+    banner(
+        "Tab 1",
+        "design space of distributed RL systems",
+        "function-based / actor-based / dataflow-based vs MSRL's fragmented dataflow graph",
+    );
+    println!(
+        "{:<12} {:<12} {:<28} {:<26} {:<22} algorithm",
+        "type", "system", "execution", "distribution", "acceleration"
+    );
+    let rows = [
+        ("function", "SEED RL", "Python functions", "environment only", "DNNs", "actor/learner/env"),
+        ("function", "Acme", "Python components", "delegated to backend", "DNNs", "agent"),
+        ("actor", "Ray/RLlib", "tasks + stateful actors", "greedy scheduler, RPC", "DNNs", "Ray API / agent"),
+        ("dataflow", "Podracer", "JIT-compiled by JAX", "two hard-coded schemes", "funcs/DNNs/envs", "JAX API"),
+        ("dataflow", "RLlib Flow", "predefined operators", "sharded Ray tasks", "DNNs", "operator API"),
+        ("dataflow", "WarpDrive", "GPU thread blocks", "none (single GPU)", "CUDA kernels", "CUDA"),
+        ("FDG", "MSRL", "heterogeneous fragments", "dataflow partitioning", "funcs/ops/DNNs/envs", "agent/actor/learner/env"),
+    ];
+    for (t, s, e, d, a, alg) in rows {
+        println!("{t:<12} {s:<12} {e:<28} {d:<26} {a:<22} {alg}");
+    }
+
+    // Live evidence for the MSRL row from this reproduction.
+    println!("\n--- the MSRL row, demonstrated ---");
+    let fdg = build_fdg(trace_ppo(&AlgorithmConfig::ppo(1, 32), 17, 6, 64)).expect("partitions");
+    let hetero: Vec<String> = fdg
+        .fragments
+        .iter()
+        .map(|f| {
+            format!(
+                "{}:{}",
+                f.kind.label(),
+                match f.device_req {
+                    DeviceReq::CpuOnly => "CPU",
+                    DeviceReq::GpuOnly => "GPU",
+                    DeviceReq::Any => "any",
+                }
+            )
+        })
+        .collect();
+    println!("execution    = heterogeneous fragments: {}", hetero.join(", "));
+    println!(
+        "distribution = Algorithm 2 partitioned {} nodes into {} fragments at {} annotations",
+        fdg.graph.len(),
+        fdg.fragments.len(),
+        fdg.graph.annotations.len()
+    );
+    println!("acceleration = operator fragments interpret/fuse; env fragments run native");
+    println!("algorithm    = Agent/Actor/Learner traits + MSRL interaction API (msrl_core::api)");
+}

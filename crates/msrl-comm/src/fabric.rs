@@ -1,0 +1,439 @@
+//! A real in-process transport with MPI/NCCL-style collectives.
+//!
+//! When MSRL executes a fragmented dataflow graph for real, each fragment
+//! replica runs on its own thread ("device") and synchronises with the
+//! collectives named by the partition annotations. [`Fabric::new`] builds
+//! a fully-connected group of [`Endpoint`]s over FIFO channels; each
+//! endpoint then offers `send`/`recv`, `all_gather`, `all_reduce_mean`,
+//! `broadcast` and `barrier` with the same blocking semantics as the MPI
+//! operations they stand in for.
+//!
+//! An optional injected latency per message reproduces the `tc`-based
+//! latency experiments of the paper (Fig. 7d) in real mode.
+
+use std::fmt;
+use std::time::Duration;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+/// Errors from transport operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The destination rank does not exist.
+    UnknownRank {
+        /// Offending rank.
+        rank: usize,
+        /// Group size.
+        size: usize,
+    },
+    /// The peer endpoint was dropped while we were waiting on it.
+    Disconnected,
+    /// A collective received a message with an unexpected tag — the group
+    /// is executing mismatched collectives (a fragment-graph bug).
+    TagMismatch {
+        /// Tag we expected.
+        expected: u64,
+        /// Tag we received.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::UnknownRank { rank, size } => {
+                write!(f, "rank {rank} out of range for group of {size}")
+            }
+            CommError::Disconnected => write!(f, "peer endpoint disconnected"),
+            CommError::TagMismatch { expected, actual } => {
+                write!(f, "collective tag mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// A message: an opaque `f32` payload plus a collective tag.
+#[derive(Debug, Clone)]
+struct Message {
+    tag: u64,
+    payload: Vec<f32>,
+}
+
+/// A communication group factory.
+pub struct Fabric;
+
+impl Fabric {
+    /// Builds a fully-connected group of `n` endpoints.
+    ///
+    /// Endpoint `i` can be moved to its own thread; all endpoints must
+    /// participate in each collective, mirroring MPI communicator
+    /// semantics.
+    pub fn new(n: usize) -> Vec<Endpoint> {
+        Self::with_latency(n, Duration::ZERO)
+    }
+
+    /// Like [`Fabric::new`], but every `send` sleeps for `latency` first,
+    /// emulating a slow network in real executions.
+    pub fn with_latency(n: usize, latency: Duration) -> Vec<Endpoint> {
+        let mut senders: Vec<Vec<Sender<Message>>> = vec![Vec::with_capacity(n); n];
+        let mut receivers: Vec<Vec<Receiver<Message>>> = (0..n).map(|_| Vec::new()).collect();
+        // receivers[i][j] carries messages j → i.
+        for i in 0..n {
+            for _j in 0..n {
+                let (tx, rx) = unbounded();
+                receivers[i].push(rx);
+                senders[i].push(tx);
+            }
+        }
+        // senders built so that senders_for_rank_j[i] sends j → i: we need
+        // for each endpoint j the list tx[j→i] for all i.
+        let mut out = Vec::with_capacity(n);
+        for j in 0..n {
+            let mut txs = Vec::with_capacity(n);
+            for receiver_senders in senders.iter() {
+                txs.push(receiver_senders[j].clone());
+            }
+            out.push(Endpoint {
+                rank: j,
+                size: n,
+                txs,
+                rxs: std::mem::take(&mut receivers[j]),
+                latency,
+                next_tag: 1,
+            });
+        }
+        out
+    }
+}
+
+/// One participant in a communication group.
+///
+/// Endpoints are `Send` (movable to a device thread) but not `Sync`:
+/// exactly one thread drives each endpoint, matching one-rank-per-device
+/// MPI/NCCL usage.
+pub struct Endpoint {
+    rank: usize,
+    size: usize,
+    /// `txs[i]` sends to rank `i`.
+    txs: Vec<Sender<Message>>,
+    /// `rxs[j]` receives from rank `j`.
+    rxs: Vec<Receiver<Message>>,
+    latency: Duration,
+    next_tag: u64,
+}
+
+impl Endpoint {
+    /// This endpoint's rank within the group.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The group size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn advance_tag(&mut self) -> u64 {
+        let t = self.next_tag;
+        self.next_tag += 1;
+        t
+    }
+
+    /// Sends a payload to `to` (non-blocking; channels are unbounded).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ranks or if the peer is gone.
+    pub fn send(&self, to: usize, payload: Vec<f32>) -> Result<(), CommError> {
+        self.send_tagged(to, 0, payload)
+    }
+
+    fn send_tagged(&self, to: usize, tag: u64, payload: Vec<f32>) -> Result<(), CommError> {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+        let tx = self.txs.get(to).ok_or(CommError::UnknownRank { rank: to, size: self.size })?;
+        tx.send(Message { tag, payload }).map_err(|_| CommError::Disconnected)
+    }
+
+    /// Blocks until a payload arrives from `from`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ranks or if the peer is gone.
+    pub fn recv(&self, from: usize) -> Result<Vec<f32>, CommError> {
+        Ok(self.recv_tagged(from)?.1)
+    }
+
+    fn recv_tagged(&self, from: usize) -> Result<(u64, Vec<f32>), CommError> {
+        let rx =
+            self.rxs.get(from).ok_or(CommError::UnknownRank { rank: from, size: self.size })?;
+        let msg = rx.recv().map_err(|_| CommError::Disconnected)?;
+        Ok((msg.tag, msg.payload))
+    }
+
+    /// Non-blocking receive from `from`; `Ok(None)` when no message is
+    /// queued. The asynchronous path A3C-style policies use.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ranks or if the peer is gone.
+    pub fn try_recv(&self, from: usize) -> Result<Option<Vec<f32>>, CommError> {
+        let rx =
+            self.rxs.get(from).ok_or(CommError::UnknownRank { rank: from, size: self.size })?;
+        match rx.try_recv() {
+            Ok(msg) => Ok(Some(msg.payload)),
+            Err(crossbeam_channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam_channel::TryRecvError::Disconnected) => Err(CommError::Disconnected),
+        }
+    }
+
+    /// AllGather: every rank contributes a payload and receives all
+    /// payloads, indexed by rank. Blocks until the whole group arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection or collective mismatch.
+    pub fn all_gather(&mut self, payload: Vec<f32>) -> Result<Vec<Vec<f32>>, CommError> {
+        let tag = self.advance_tag();
+        for to in 0..self.size {
+            if to != self.rank {
+                self.send_tagged(to, tag, payload.clone())?;
+            }
+        }
+        let mut out: Vec<Vec<f32>> = vec![Vec::new(); self.size];
+        for (from, slot) in out.iter_mut().enumerate() {
+            if from == self.rank {
+                *slot = payload.clone();
+            } else {
+                let (t, p) = self.recv_tagged(from)?;
+                if t != tag {
+                    return Err(CommError::TagMismatch { expected: tag, actual: t });
+                }
+                *slot = p;
+            }
+        }
+        Ok(out)
+    }
+
+    /// AllReduce with mean: element-wise average of every rank's payload.
+    /// All payloads must have equal length.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection, mismatched collectives, or
+    /// ragged payload lengths.
+    pub fn all_reduce_mean(&mut self, payload: Vec<f32>) -> Result<Vec<f32>, CommError> {
+        let len = payload.len();
+        let parts = self.all_gather(payload)?;
+        let mut acc = vec![0.0f32; len];
+        for p in &parts {
+            if p.len() != len {
+                return Err(CommError::TagMismatch { expected: len as u64, actual: p.len() as u64 });
+            }
+            for (a, v) in acc.iter_mut().zip(p) {
+                *a += v;
+            }
+        }
+        let n = self.size as f32;
+        for a in &mut acc {
+            *a /= n;
+        }
+        Ok(acc)
+    }
+
+    /// Broadcast from `root`: the root's payload is returned on every
+    /// rank (the root passes its data; other ranks pass anything).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection or collective mismatch.
+    pub fn broadcast(&mut self, root: usize, payload: Vec<f32>) -> Result<Vec<f32>, CommError> {
+        if root >= self.size {
+            return Err(CommError::UnknownRank { rank: root, size: self.size });
+        }
+        let tag = self.advance_tag();
+        if self.rank == root {
+            for to in 0..self.size {
+                if to != root {
+                    self.send_tagged(to, tag, payload.clone())?;
+                }
+            }
+            Ok(payload)
+        } else {
+            let (t, p) = self.recv_tagged(root)?;
+            if t != tag {
+                return Err(CommError::TagMismatch { expected: tag, actual: t });
+            }
+            Ok(p)
+        }
+    }
+
+    /// Barrier: returns once every rank has entered.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection.
+    pub fn barrier(&mut self) -> Result<(), CommError> {
+        self.all_gather(Vec::new()).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let mut eps = Fabric::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, vec![1.0, 2.0]).unwrap();
+        assert_eq!(b.recv(0).unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn send_to_unknown_rank_fails() {
+        let eps = Fabric::new(2);
+        assert!(matches!(
+            eps[0].send(5, vec![]),
+            Err(CommError::UnknownRank { rank: 5, size: 2 })
+        ));
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking() {
+        let mut eps = Fabric::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        assert_eq!(b.try_recv(0).unwrap(), None);
+        a.send(1, vec![7.0]).unwrap();
+        // Delivery through an in-process channel is immediate.
+        assert_eq!(b.try_recv(0).unwrap(), Some(vec![7.0]));
+    }
+
+    #[test]
+    fn all_gather_collects_in_rank_order() {
+        let eps = Fabric::new(4);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let mine = vec![ep.rank() as f32];
+                    ep.all_gather(mine).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let parts = h.join().unwrap();
+            assert_eq!(parts, vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_mean_averages() {
+        let eps = Fabric::new(3);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let mine = vec![ep.rank() as f32 * 3.0, 1.0];
+                    ep.all_reduce_mean(mine).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let avg = h.join().unwrap();
+            assert_eq!(avg, vec![3.0, 1.0]); // mean of 0,3,6 and of 1,1,1
+        }
+    }
+
+    #[test]
+    fn broadcast_distributes_root_payload() {
+        let eps = Fabric::new(3);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let mine = if ep.rank() == 1 { vec![42.0] } else { vec![] };
+                    ep.broadcast(1, mine).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![42.0]);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_stay_aligned() {
+        // Two back-to-back all_gathers must not interleave payloads.
+        let eps = Fabric::new(2);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let first = ep.all_gather(vec![1.0 + ep.rank() as f32]).unwrap();
+                    let second = ep.all_gather(vec![10.0 + ep.rank() as f32]).unwrap();
+                    (first, second)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (first, second) = h.join().unwrap();
+            assert_eq!(first, vec![vec![1.0], vec![2.0]]);
+            assert_eq!(second, vec![vec![10.0], vec![11.0]]);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronises() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let eps = Fabric::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                let c = Arc::clone(&counter);
+                thread::spawn(move || {
+                    if ep.rank() != 0 {
+                        // Everyone but rank 0 increments before the barrier.
+                        c.fetch_add(1, Ordering::SeqCst);
+                    } else {
+                        // Rank 0 waits a little so laggards would be caught.
+                        thread::sleep(Duration::from_millis(20));
+                    }
+                    ep.barrier().unwrap();
+                    c.load(Ordering::SeqCst)
+                })
+            })
+            .collect();
+        for h in handles {
+            // After the barrier every rank must observe all 3 increments.
+            assert_eq!(h.join().unwrap(), 3);
+        }
+    }
+
+    #[test]
+    fn disconnect_is_reported() {
+        let mut eps = Fabric::new(2);
+        let b = eps.pop().unwrap();
+        drop(eps); // rank 0 gone
+        assert_eq!(b.recv(0), Err(CommError::Disconnected));
+    }
+
+    #[test]
+    fn injected_latency_delays_send() {
+        let mut eps = Fabric::with_latency(2, Duration::from_millis(30));
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let t0 = std::time::Instant::now();
+        a.send(1, vec![1.0]).unwrap();
+        b.recv(0).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+}

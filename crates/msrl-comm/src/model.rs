@@ -1,0 +1,258 @@
+//! α–β link cost models and analytic collective cost formulas.
+//!
+//! The paper's distribution-policy trade-offs (Figs. 7c, 7d, 8) are driven
+//! by how often fragments synchronise and how much data each
+//! synchronisation moves. The standard α–β model prices a message of `n`
+//! bytes on a link as `α + n/β` (latency plus serialisation time); ring
+//! collective formulas then price AllReduce/AllGather/Broadcast across `p`
+//! participants. These are the cost inputs the discrete-event simulator
+//! charges when replaying the paper's cluster experiments.
+
+use serde::{Deserialize, Serialize};
+
+use crate::topology::DeviceId;
+
+/// An α–β link: fixed latency plus bytes over bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// One-way message latency in seconds (α).
+    pub latency_s: f64,
+    /// Bandwidth in bytes per second (β).
+    pub bandwidth_bps: f64,
+}
+
+impl LinkModel {
+    /// Creates a link model.
+    pub fn new(latency_s: f64, bandwidth_bps: f64) -> Self {
+        LinkModel { latency_s, bandwidth_bps }
+    }
+
+    /// Time to move `bytes` across the link once.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+
+    /// PCIe 3.0 x16: ~12.8 GB/s effective, ~5 µs latency.
+    pub fn pcie() -> Self {
+        LinkModel::new(5e-6, 12.8e9)
+    }
+
+    /// NVLink 2.0: ~150 GB/s effective, ~2 µs latency.
+    pub fn nvlink() -> Self {
+        LinkModel::new(2e-6, 150e9)
+    }
+
+    /// 10 Gb Ethernet: ~1.1 GB/s effective, ~200 µs latency (the paper's
+    /// cloud cluster measures 0.2 ms baseline latency in Fig. 7d).
+    pub fn ethernet_10g() -> Self {
+        LinkModel::new(200e-6, 1.1e9)
+    }
+
+    /// 100 Gb InfiniBand: ~11 GB/s effective, ~2 µs latency.
+    pub fn infiniband_100g() -> Self {
+        LinkModel::new(2e-6, 11e9)
+    }
+
+    /// In-process shared memory (co-located fragments): effectively free
+    /// but not zero, modelling a memcpy.
+    pub fn shared_memory() -> Self {
+        LinkModel::new(2e-7, 50e9)
+    }
+}
+
+/// A two-tier network: one link class inside a node, another between
+/// nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Link between devices on the same node (PCIe or NVLink).
+    pub intra_node: LinkModel,
+    /// Link between nodes (Ethernet or InfiniBand).
+    pub inter_node: LinkModel,
+}
+
+impl NetworkModel {
+    /// The paper's cloud cluster fabric: PCIe + 10 GbE.
+    pub fn cloud() -> Self {
+        NetworkModel { intra_node: LinkModel::pcie(), inter_node: LinkModel::ethernet_10g() }
+    }
+
+    /// The paper's local cluster fabric: NVLink + 100 Gb InfiniBand.
+    pub fn local() -> Self {
+        NetworkModel { intra_node: LinkModel::nvlink(), inter_node: LinkModel::infiniband_100g() }
+    }
+
+    /// Returns a copy with extra one-way latency added to the inter-node
+    /// link — the `tc`-injected latency sweep of Fig. 7d.
+    pub fn with_added_latency(mut self, seconds: f64) -> Self {
+        self.inter_node.latency_s += seconds;
+        self
+    }
+
+    /// The link between two devices.
+    pub fn link(&self, a: DeviceId, b: DeviceId) -> LinkModel {
+        if a.co_located(&b) {
+            self.intra_node
+        } else {
+            self.inter_node
+        }
+    }
+
+    /// The *widest-spanning* link among a participant set: if any pair
+    /// crosses nodes, collectives are bottlenecked by the inter-node link.
+    pub fn spanning_link(&self, participants: &[DeviceId]) -> LinkModel {
+        let crosses = participants
+            .windows(2)
+            .any(|w| !w[0].co_located(&w[1]))
+            || participants
+                .first()
+                .zip(participants.last())
+                .is_some_and(|(a, b)| !a.co_located(b));
+        if crosses {
+            self.inter_node
+        } else {
+            self.intra_node
+        }
+    }
+
+    /// Point-to-point transfer time.
+    pub fn p2p_time(&self, from: DeviceId, to: DeviceId, bytes: u64) -> f64 {
+        self.link(from, to).transfer_time(bytes)
+    }
+
+    /// Ring AllReduce over `p` participants, `bytes` per participant:
+    /// `2(p−1)` steps, each moving `bytes/p` and paying one latency.
+    pub fn allreduce_time(&self, participants: &[DeviceId], bytes: u64) -> f64 {
+        let p = participants.len();
+        if p <= 1 {
+            return 0.0;
+        }
+        let link = self.spanning_link(participants);
+        let steps = 2 * (p - 1);
+        steps as f64 * (link.latency_s + (bytes as f64 / p as f64) / link.bandwidth_bps)
+    }
+
+    /// Ring AllGather over `p` participants, `bytes` contributed by each:
+    /// `p−1` steps, each moving one contribution.
+    pub fn allgather_time(&self, participants: &[DeviceId], bytes: u64) -> f64 {
+        let p = participants.len();
+        if p <= 1 {
+            return 0.0;
+        }
+        let link = self.spanning_link(participants);
+        (p - 1) as f64 * (link.latency_s + bytes as f64 / link.bandwidth_bps)
+    }
+
+    /// Binomial-tree broadcast of `bytes` from a root to `p−1` receivers:
+    /// `⌈log₂ p⌉` rounds.
+    pub fn broadcast_time(&self, participants: &[DeviceId], bytes: u64) -> f64 {
+        let p = participants.len();
+        if p <= 1 {
+            return 0.0;
+        }
+        let link = self.spanning_link(participants);
+        let rounds = (p as f64).log2().ceil();
+        rounds * (link.latency_s + bytes as f64 / link.bandwidth_bps)
+    }
+
+    /// Gather of `bytes` from each of `p−1` senders to a root, serialised
+    /// at the root's ingress (the single-learner bottleneck of DP-A/DP-B).
+    pub fn gather_time(&self, participants: &[DeviceId], bytes: u64) -> f64 {
+        let p = participants.len();
+        if p <= 1 {
+            return 0.0;
+        }
+        let link = self.spanning_link(participants);
+        // The root receives p−1 messages; latency pipelines, payloads
+        // serialise on its ingress link.
+        link.latency_s + (p - 1) as f64 * (bytes as f64 / link.bandwidth_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpus_spread(n: usize) -> Vec<DeviceId> {
+        (0..n).map(|i| DeviceId::gpu(i, 0)).collect()
+    }
+
+    fn gpus_one_node(n: usize) -> Vec<DeviceId> {
+        (0..n).map(|i| DeviceId::gpu(0, i)).collect()
+    }
+
+    #[test]
+    fn transfer_time_is_alpha_beta() {
+        let l = LinkModel::new(1e-3, 1e9);
+        let t = l.transfer_time(1_000_000);
+        assert!((t - (1e-3 + 1e-3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nvlink_faster_than_ethernet() {
+        let bytes = 10_000_000;
+        assert!(LinkModel::nvlink().transfer_time(bytes) < LinkModel::ethernet_10g().transfer_time(bytes));
+    }
+
+    #[test]
+    fn colocated_uses_intra_link() {
+        let n = NetworkModel::local();
+        let t_intra = n.p2p_time(DeviceId::gpu(0, 0), DeviceId::gpu(0, 1), 1 << 20);
+        let t_inter = n.p2p_time(DeviceId::gpu(0, 0), DeviceId::gpu(1, 0), 1 << 20);
+        assert!(t_intra < t_inter);
+    }
+
+    #[test]
+    fn spanning_link_detects_cross_node() {
+        let n = NetworkModel::cloud();
+        assert_eq!(n.spanning_link(&gpus_one_node(4)), LinkModel::pcie());
+        assert_eq!(n.spanning_link(&gpus_spread(2)), LinkModel::ethernet_10g());
+    }
+
+    #[test]
+    fn allreduce_scales_with_latency_times_steps() {
+        // Small tensors: latency dominates; doubling participants roughly
+        // doubles the step count (Fig. 7d mechanism: DP-C transmits many
+        // small tensors and suffers under added latency).
+        let net = NetworkModel::cloud();
+        let t4 = net.allreduce_time(&gpus_spread(4), 1024);
+        let t8 = net.allreduce_time(&gpus_spread(8), 1024);
+        assert!(t8 > 1.8 * t4, "t8 {t8} vs t4 {t4}");
+    }
+
+    #[test]
+    fn allreduce_bandwidth_term_is_p_independent_for_large_tensors() {
+        // Large tensors: ring AllReduce moves ~2·bytes regardless of p.
+        let net = NetworkModel::local();
+        let big = 1 << 30;
+        let t4 = net.allreduce_time(&gpus_spread(4), big);
+        let t16 = net.allreduce_time(&gpus_spread(16), big);
+        assert!(t16 < 1.5 * t4, "t16 {t16} vs t4 {t4}");
+    }
+
+    #[test]
+    fn added_latency_only_affects_inter_node() {
+        let base = NetworkModel::cloud();
+        let slow = base.with_added_latency(6e-3);
+        assert_eq!(base.intra_node, slow.intra_node);
+        assert!(slow.inter_node.latency_s > 6e-3);
+    }
+
+    #[test]
+    fn collectives_are_free_for_single_participant() {
+        let net = NetworkModel::cloud();
+        let one = gpus_spread(1);
+        assert_eq!(net.allreduce_time(&one, 1 << 20), 0.0);
+        assert_eq!(net.allgather_time(&one, 1 << 20), 0.0);
+        assert_eq!(net.broadcast_time(&one, 1 << 20), 0.0);
+        assert_eq!(net.gather_time(&one, 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn gather_serialises_at_root() {
+        let net = NetworkModel::cloud();
+        let t8 = net.gather_time(&gpus_spread(8), 1 << 20);
+        let t16 = net.gather_time(&gpus_spread(16), 1 << 20);
+        // Payload term doubles with p (more senders into one root).
+        assert!(t16 > 1.9 * t8 - net.inter_node.latency_s);
+    }
+}

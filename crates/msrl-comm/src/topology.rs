@@ -1,0 +1,172 @@
+//! Cluster topology: devices, nodes and testbed descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a compute device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// A CPU core (or a pool of cores treated as one scheduling unit).
+    Cpu,
+    /// A GPU accelerator.
+    Gpu,
+}
+
+/// A device's position in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DeviceId {
+    /// Index of the worker node hosting the device.
+    pub node: usize,
+    /// Device kind.
+    pub kind: DeviceKind,
+    /// Index of the device within its kind on the node.
+    pub index: usize,
+}
+
+impl DeviceId {
+    /// A CPU device id.
+    pub fn cpu(node: usize, index: usize) -> Self {
+        DeviceId { node, kind: DeviceKind::Cpu, index }
+    }
+
+    /// A GPU device id.
+    pub fn gpu(node: usize, index: usize) -> Self {
+        DeviceId { node, kind: DeviceKind::Gpu, index }
+    }
+
+    /// Whether two devices share a node (and may use intra-node links).
+    pub fn co_located(&self, other: &DeviceId) -> bool {
+        self.node == other.node
+    }
+}
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let k = match self.kind {
+            DeviceKind::Cpu => "cpu",
+            DeviceKind::Gpu => "gpu",
+        };
+        write!(f, "node{}/{}{}", self.node, k, self.index)
+    }
+}
+
+/// One worker node's resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// CPU cores on the node.
+    pub cpu_cores: usize,
+    /// GPUs on the node.
+    pub gpus: usize,
+}
+
+/// A cluster: a homogeneous set of worker nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Human-readable name (e.g. `"cloud"`, `"local"`).
+    pub name: String,
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Per-node resources.
+    pub node: NodeSpec,
+}
+
+impl ClusterSpec {
+    /// Total GPUs in the cluster.
+    pub fn total_gpus(&self) -> usize {
+        self.nodes * self.node.gpus
+    }
+
+    /// Total CPU cores in the cluster.
+    pub fn total_cpus(&self) -> usize {
+        self.nodes * self.node.cpu_cores
+    }
+
+    /// Enumerates all GPU device ids.
+    pub fn gpus(&self) -> Vec<DeviceId> {
+        (0..self.nodes)
+            .flat_map(|n| (0..self.node.gpus).map(move |g| DeviceId::gpu(n, g)))
+            .collect()
+    }
+
+    /// Enumerates all CPU device ids.
+    pub fn cpus(&self) -> Vec<DeviceId> {
+        (0..self.nodes)
+            .flat_map(|n| (0..self.node.cpu_cores).map(move |c| DeviceId::cpu(n, c)))
+            .collect()
+    }
+
+    /// The first `n` GPUs in node-major order.
+    ///
+    /// Returns `None` if the cluster has fewer than `n` GPUs.
+    pub fn first_gpus(&self, n: usize) -> Option<Vec<DeviceId>> {
+        let all = self.gpus();
+        (all.len() >= n).then(|| all[..n].to_vec())
+    }
+}
+
+/// The paper's cloud testbed (Tab. 3): 16 Azure NC24s_v2 VMs, each with
+/// 24 Xeon E5-2690 cores and 4 P100 GPUs on PCIe, connected by 10 GbE.
+pub fn cloud_cluster() -> ClusterSpec {
+    ClusterSpec {
+        name: "cloud".to_string(),
+        nodes: 16,
+        node: NodeSpec { cpu_cores: 24, gpus: 4 },
+    }
+}
+
+/// The paper's local testbed (Tab. 3): 4 nodes, each with 96 Xeon 8160
+/// cores and 8 V100 GPUs on NVLink, connected by 100 Gbps InfiniBand.
+pub fn local_cluster() -> ClusterSpec {
+    ClusterSpec {
+        name: "local".to_string(),
+        nodes: 4,
+        node: NodeSpec { cpu_cores: 96, gpus: 8 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_totals_match_tab3() {
+        let cloud = cloud_cluster();
+        assert_eq!(cloud.total_gpus(), 64);
+        assert_eq!(cloud.total_cpus(), 384);
+        let local = local_cluster();
+        assert_eq!(local.total_gpus(), 32);
+        assert_eq!(local.total_cpus(), 384);
+    }
+
+    #[test]
+    fn gpu_enumeration_is_node_major() {
+        let c = ClusterSpec {
+            name: "t".into(),
+            nodes: 2,
+            node: NodeSpec { cpu_cores: 1, gpus: 2 },
+        };
+        let gpus = c.gpus();
+        assert_eq!(gpus.len(), 4);
+        assert_eq!(gpus[0], DeviceId::gpu(0, 0));
+        assert_eq!(gpus[1], DeviceId::gpu(0, 1));
+        assert_eq!(gpus[2], DeviceId::gpu(1, 0));
+    }
+
+    #[test]
+    fn first_gpus_bounds() {
+        let cloud = cloud_cluster();
+        assert_eq!(cloud.first_gpus(64).unwrap().len(), 64);
+        assert!(cloud.first_gpus(65).is_none());
+    }
+
+    #[test]
+    fn co_location() {
+        assert!(DeviceId::gpu(1, 0).co_located(&DeviceId::cpu(1, 5)));
+        assert!(!DeviceId::gpu(1, 0).co_located(&DeviceId::gpu(2, 0)));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(DeviceId::gpu(3, 1).to_string(), "node3/gpu1");
+        assert_eq!(DeviceId::cpu(0, 7).to_string(), "node0/cpu7");
+    }
+}

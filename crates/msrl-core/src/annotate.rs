@@ -1,0 +1,97 @@
+//! Partition annotations — the reproduction of the paper's
+//! `#@MSRL.fragment(type=…, ops=[…], data=[…])` comments (Alg. 1, §3).
+//!
+//! An annotation marks a *possible boundary* in the algorithm where
+//! computation may be split across devices. It names (i) the kind of
+//! fragment that begins at the boundary, (ii) the collective used to
+//! synchronise replicated fragments at the boundary, and (iii) the data
+//! nodes that must be transferred when computation is split there — the
+//! *common nodes* of §4.3.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::NodeId;
+
+/// The fragment types named by the paper's MAPPO example (Alg. 1) plus a
+/// user-defined escape hatch.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FragmentKind {
+    /// Action generation (policy inference).
+    Action,
+    /// Environment stepping.
+    Step,
+    /// Environment reset.
+    Reset,
+    /// Replay-buffer exchange.
+    Buffer,
+    /// Learner / policy training.
+    Learner,
+    /// User-defined fragment type.
+    Custom(String),
+}
+
+impl FragmentKind {
+    /// A short display label.
+    pub fn label(&self) -> &str {
+        match self {
+            FragmentKind::Action => "Action",
+            FragmentKind::Step => "Step",
+            FragmentKind::Reset => "Reset",
+            FragmentKind::Buffer => "Buffer",
+            FragmentKind::Learner => "Learner",
+            FragmentKind::Custom(s) => s,
+        }
+    }
+}
+
+/// The synchronisation operation replicated fragments use at a boundary.
+///
+/// Each maps to a communication operator of the DL engine (§5.1: "the
+/// AllGather annotation maps to a comms.AllGather operator"); here they
+/// map onto `msrl_comm::Endpoint` methods and the `msrl_comm::model` cost
+/// formulas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Collective {
+    /// Every replica contributes and receives all contributions.
+    AllGather,
+    /// Element-wise mean across replicas (gradient aggregation).
+    AllReduce,
+    /// One root distributes to all replicas (weight broadcast).
+    Broadcast,
+    /// Point-to-point transfer between two specific fragments.
+    SendRecv,
+}
+
+/// One partition annotation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionAnnotation {
+    /// Fragment type beginning at this boundary.
+    pub kind: FragmentKind,
+    /// Synchronisation collective at this boundary.
+    pub collective: Collective,
+    /// The data nodes transferred at the boundary (common nodes).
+    pub data: Vec<NodeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(FragmentKind::Action.label(), "Action");
+        assert_eq!(FragmentKind::Custom("PolicyPool".into()).label(), "PolicyPool");
+    }
+
+    #[test]
+    fn annotations_serialize() {
+        let a = PartitionAnnotation {
+            kind: FragmentKind::Buffer,
+            collective: Collective::AllGather,
+            data: vec![3, 4],
+        };
+        let s = serde_json::to_string(&a).unwrap();
+        let back: PartitionAnnotation = serde_json::from_str(&s).unwrap();
+        assert_eq!(a, back);
+    }
+}

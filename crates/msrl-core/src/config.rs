@@ -1,0 +1,165 @@
+//! Algorithm and deployment configurations (§3, Alg. 1 lines 35–47).
+//!
+//! MSRL deploys an algorithm from two documents: the *algorithm
+//! configuration* instantiates the logical components and their
+//! hyper-parameters; the *deployment configuration* names the cluster
+//! resources and the distribution policy. Keeping them separate is what
+//! lets users switch distribution policies "without requiring changes to
+//! the algorithm implementation".
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// The six default distribution policies of Tab. 2, plus custom ones.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyName {
+    /// DP-A — single learner, coarse (per-episode) synchronisation.
+    SingleLearnerCoarse,
+    /// DP-B — single learner, fine (per-step) synchronisation.
+    SingleLearnerFine,
+    /// DP-C — multiple data-parallel learners.
+    MultipleLearners,
+    /// DP-D — the whole training loop fused on GPUs.
+    GpuOnly,
+    /// DP-E — dedicated environment workers.
+    Environments,
+    /// DP-F — a central parameter-server / policy-pool fragment.
+    Central,
+    /// A user-defined policy by name.
+    Custom(String),
+}
+
+impl PolicyName {
+    /// The paper's short code (DP-A … DP-F).
+    pub fn code(&self) -> &str {
+        match self {
+            PolicyName::SingleLearnerCoarse => "DP-A",
+            PolicyName::SingleLearnerFine => "DP-B",
+            PolicyName::MultipleLearners => "DP-C",
+            PolicyName::GpuOnly => "DP-D",
+            PolicyName::Environments => "DP-E",
+            PolicyName::Central => "DP-F",
+            PolicyName::Custom(s) => s,
+        }
+    }
+}
+
+/// The algorithm configuration: logical components and hyper-parameters
+/// (Alg. 1 lines 35–43).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlgorithmConfig {
+    /// Algorithm name (e.g. `"PPO"`, `"MAPPO"`, `"A3C"`).
+    pub algorithm: String,
+    /// Number of agents (1 for single-agent RL).
+    pub agents: usize,
+    /// Number of actor instances per agent.
+    pub actors: usize,
+    /// Number of learner instances per agent.
+    pub learners: usize,
+    /// Environments each actor interacts with.
+    pub envs_per_actor: usize,
+    /// Steps per episode (trajectory length).
+    pub duration: usize,
+    /// Named hyper-parameters (gamma, clip, learning rate, …). A
+    /// `BTreeMap` keeps serialisation deterministic.
+    pub hyper: BTreeMap<String, f64>,
+}
+
+impl AlgorithmConfig {
+    /// A PPO configuration matching the paper's evaluation defaults
+    /// (seven-layer DNN, 1000-step episodes).
+    pub fn ppo(actors: usize, envs_per_actor: usize) -> Self {
+        let mut hyper = BTreeMap::new();
+        hyper.insert("gamma".into(), 0.99);
+        hyper.insert("gae_lambda".into(), 0.95);
+        hyper.insert("clip".into(), 0.2);
+        hyper.insert("lr".into(), 3e-4);
+        hyper.insert("epochs".into(), 4.0);
+        AlgorithmConfig {
+            algorithm: "PPO".into(),
+            agents: 1,
+            actors,
+            learners: 1,
+            envs_per_actor,
+            duration: 1000,
+            hyper,
+        }
+    }
+
+    /// A hyper-parameter with a default.
+    pub fn hyper_or(&self, key: &str, default: f64) -> f64 {
+        self.hyper.get(key).copied().unwrap_or(default)
+    }
+
+    /// Total environments across all actors.
+    pub fn total_envs(&self) -> usize {
+        self.agents * self.actors * self.envs_per_actor
+    }
+}
+
+/// The deployment configuration: resources and the distribution policy
+/// (Alg. 1 lines 44–47).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentConfig {
+    /// Worker addresses (host names in the original; labels here).
+    pub workers: Vec<String>,
+    /// GPUs available per worker.
+    pub gpus_per_worker: usize,
+    /// CPU cores available per worker.
+    pub cpus_per_worker: usize,
+    /// The distribution policy to apply.
+    pub distribution_policy: PolicyName,
+}
+
+impl DeploymentConfig {
+    /// A deployment over `n` synthetic workers.
+    pub fn workers(n: usize, gpus_per_worker: usize, policy: PolicyName) -> Self {
+        DeploymentConfig {
+            workers: (0..n).map(|i| format!("worker-{i}")).collect(),
+            gpus_per_worker,
+            cpus_per_worker: 24,
+            distribution_policy: policy,
+        }
+    }
+
+    /// Total GPUs in the deployment.
+    pub fn total_gpus(&self) -> usize {
+        self.workers.len() * self.gpus_per_worker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_codes_match_tab2() {
+        assert_eq!(PolicyName::SingleLearnerCoarse.code(), "DP-A");
+        assert_eq!(PolicyName::GpuOnly.code(), "DP-D");
+        assert_eq!(PolicyName::Custom("mine".into()).code(), "mine");
+    }
+
+    #[test]
+    fn ppo_defaults() {
+        let c = AlgorithmConfig::ppo(50, 4);
+        assert_eq!(c.total_envs(), 200);
+        assert_eq!(c.hyper_or("gamma", 0.0), 0.99);
+        assert_eq!(c.hyper_or("missing", 7.0), 7.0);
+        assert_eq!(c.duration, 1000);
+    }
+
+    #[test]
+    fn configs_roundtrip_through_json() {
+        let a = AlgorithmConfig::ppo(4, 32);
+        let s = serde_json::to_string_pretty(&a).unwrap();
+        let back: AlgorithmConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(a, back);
+
+        let d = DeploymentConfig::workers(16, 4, PolicyName::MultipleLearners);
+        let s = serde_json::to_string(&d).unwrap();
+        let back: DeploymentConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(d, back);
+        assert_eq!(back.total_gpus(), 64);
+    }
+}

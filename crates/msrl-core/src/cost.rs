@@ -1,0 +1,127 @@
+//! Per-node cost estimation: flops and payload bytes.
+//!
+//! The discrete-event cluster simulator replays FDG executions on modelled
+//! devices; this module supplies the work estimates it charges. Flop
+//! counts follow the standard conventions (a `[m,k]×[k,n]` matmul is
+//! `2mkn` flops; transcendental element-wise ops are weighted several
+//! flops per element).
+
+use crate::graph::{DataflowGraph, NodeId, OpKind, OpNode};
+
+fn volume(shape: &[usize]) -> u64 {
+    shape.iter().product::<usize>().max(1) as u64
+}
+
+/// Estimated floating-point operations to evaluate one node.
+pub fn node_flops(graph: &DataflowGraph, node: &OpNode) -> u64 {
+    let out = volume(&node.shape);
+    match &node.kind {
+        OpKind::Input { .. } | OpKind::Param { .. } | OpKind::Const | OpKind::Identity => 0,
+        OpKind::MatMul => {
+            // [m,k]×[k,n]: 2·m·k·n
+            let k = node
+                .inputs
+                .first()
+                .and_then(|&i| graph.nodes.get(i))
+                .and_then(|n| n.shape.last().copied())
+                .unwrap_or(1) as u64;
+            2 * out * k
+        }
+        OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Div | OpKind::Neg => out,
+        OpKind::Relu | OpKind::Clamp { .. } => out,
+        OpKind::Tanh | OpKind::Sigmoid | OpKind::Exp | OpKind::Ln => 8 * out,
+        OpKind::Square => out,
+        OpKind::Softmax | OpKind::LogSoftmax => 10 * out,
+        OpKind::SumAll | OpKind::MeanAll | OpKind::SumAxis { .. } => {
+            // Cost is reading the input.
+            node.inputs
+                .first()
+                .and_then(|&i| graph.nodes.get(i))
+                .map(|n| volume(&n.shape))
+                .unwrap_or(out)
+        }
+        OpKind::Concat { .. } | OpKind::Reshape { .. } => out,
+        // Macro ops are charged by the runtime from environment/learner
+        // cost hints, not from the graph.
+        _ => 0,
+    }
+}
+
+/// Total estimated flops for a set of nodes.
+pub fn subgraph_flops(graph: &DataflowGraph, nodes: &[NodeId]) -> u64 {
+    nodes
+        .iter()
+        .filter_map(|&i| graph.nodes.get(i))
+        .map(|n| node_flops(graph, n))
+        .sum()
+}
+
+/// Total estimated flops for the whole graph.
+pub fn graph_flops(graph: &DataflowGraph) -> u64 {
+    graph.nodes.iter().map(|n| node_flops(graph, n)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{trace_mlp, TraceCtx};
+
+    #[test]
+    fn matmul_flops_are_2mkn() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[8, 16]);
+        let w = ctx.param("w", &[16, 4]);
+        let y = x.matmul(&w);
+        let g = ctx.finish();
+        assert_eq!(node_flops(&g, &g.nodes[y.id()]), 2 * 8 * 16 * 4);
+    }
+
+    #[test]
+    fn sources_are_free() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[128]);
+        let w = ctx.param("w", &[128]);
+        let g = ctx.finish();
+        assert_eq!(node_flops(&g, &g.nodes[x.id()]), 0);
+        assert_eq!(node_flops(&g, &g.nodes[w.id()]), 0);
+    }
+
+    #[test]
+    fn bigger_networks_cost_more() {
+        let small = {
+            let ctx = TraceCtx::new();
+            let x = ctx.input("x", &[32, 8]);
+            trace_mlp(&ctx, "n", &x, &[8, 32, 4]);
+            graph_flops(&ctx.finish())
+        };
+        let large = {
+            let ctx = TraceCtx::new();
+            let x = ctx.input("x", &[32, 8]);
+            trace_mlp(&ctx, "n", &x, &[8, 256, 256, 4]);
+            graph_flops(&ctx.finish())
+        };
+        assert!(large > 10 * small, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn fused_graph_costs_scale_with_batch() {
+        use crate::fusion::fuse_graph;
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[4, 8]);
+        trace_mlp(&ctx, "n", &x, &[8, 16, 2]);
+        let g = ctx.finish();
+        let fused = fuse_graph(&g, 10).unwrap();
+        let base = graph_flops(&g);
+        let fused_cost = graph_flops(&fused);
+        assert_eq!(fused_cost, base * 10);
+    }
+
+    #[test]
+    fn reductions_charge_input_volume() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[64, 64]);
+        let s = x.sum_all();
+        let g = ctx.finish();
+        assert_eq!(node_flops(&g, &g.nodes[s.id()]), 64 * 64);
+    }
+}

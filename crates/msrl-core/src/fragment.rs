@@ -1,0 +1,117 @@
+//! Fragments: the nodes of a fragmented dataflow graph.
+//!
+//! A fragment (§4.1) is a self-contained piece of the algorithm's dataflow
+//! graph with an *entry* and an *exit* interface. Interfaces carry the
+//! data named by the partition annotations; when fragment instances are
+//! replicated across devices, the interface's collective synchronises
+//! them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::annotate::{Collective, FragmentKind};
+use crate::graph::{DataflowGraph, DeviceReq, NodeId};
+
+/// Identifier of a fragment within an FDG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FragmentId(pub usize);
+
+/// One boundary crossing of a fragment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interface {
+    /// The common node whose value crosses the boundary (id in the
+    /// *original* graph).
+    pub node: NodeId,
+    /// The collective synchronising replicas at this boundary.
+    pub collective: Collective,
+}
+
+/// A fragment: a subgraph of the algorithm plus its interfaces.
+///
+/// Nodes are referenced by their ids in the original [`DataflowGraph`];
+/// common nodes at the boundary are *duplicated*, i.e. they appear in
+/// every adjacent fragment (§4.3: "the algorithm also duplicates the
+/// common nodes in the original dataflow graph and fragment graph").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fragment {
+    /// This fragment's id.
+    pub id: FragmentId,
+    /// The fragment type (from the annotation that bounds it, or the
+    /// dominant component for default partitioning).
+    pub kind: FragmentKind,
+    /// Interior nodes: computed exclusively by this fragment.
+    pub interior: Vec<NodeId>,
+    /// Boundary (common) nodes duplicated into this fragment.
+    pub boundary: Vec<NodeId>,
+    /// Data received from other fragments before execution.
+    pub entries: Vec<Interface>,
+    /// Data sent to other fragments (or synchronised across replicas)
+    /// after execution.
+    pub exits: Vec<Interface>,
+    /// Merged hardware requirement of the interior nodes.
+    pub device_req: DeviceReq,
+}
+
+impl Fragment {
+    /// All nodes (interior + boundary), sorted and deduplicated.
+    pub fn all_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> =
+            self.interior.iter().chain(self.boundary.iter()).copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Whether this fragment computes the given node.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.interior.contains(&id) || self.boundary.contains(&id)
+    }
+
+    /// Bytes entering this fragment per execution (entry payloads).
+    pub fn entry_bytes(&self, graph: &DataflowGraph) -> u64 {
+        graph.bytes_of(&self.entries.iter().map(|i| i.node).collect::<Vec<_>>())
+    }
+
+    /// Bytes leaving this fragment per execution (exit payloads).
+    pub fn exit_bytes(&self, graph: &DataflowGraph) -> u64 {
+        graph.bytes_of(&self.exits.iter().map(|i| i.node).collect::<Vec<_>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpKind;
+
+    #[test]
+    fn all_nodes_dedups_boundary() {
+        let f = Fragment {
+            id: FragmentId(0),
+            kind: FragmentKind::Action,
+            interior: vec![2, 1],
+            boundary: vec![3, 1],
+            entries: vec![],
+            exits: vec![],
+            device_req: DeviceReq::Any,
+        };
+        assert_eq!(f.all_nodes(), vec![1, 2, 3]);
+        assert!(f.contains(3));
+        assert!(!f.contains(5));
+    }
+
+    #[test]
+    fn interface_bytes_use_node_shapes() {
+        let mut g = DataflowGraph::new();
+        let a = g.push(OpKind::Input { name: "a".into() }, vec![], vec![10], "x");
+        let f = Fragment {
+            id: FragmentId(0),
+            kind: FragmentKind::Step,
+            interior: vec![],
+            boundary: vec![a],
+            entries: vec![Interface { node: a, collective: Collective::AllGather }],
+            exits: vec![],
+            device_req: DeviceReq::Any,
+        };
+        assert_eq!(f.entry_bytes(&g), 40);
+        assert_eq!(f.exit_bytes(&g), 0);
+    }
+}

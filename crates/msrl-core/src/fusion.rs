@@ -1,0 +1,169 @@
+//! Fragment fusion (§5.2 of the paper).
+//!
+//! When multiple replicas of a data-parallel fragment land on one device,
+//! running each as its own stream costs kernel-launch overhead and extra
+//! host↔device copies. MSRL instead *fuses* them: tensors from the N
+//! replicas are batched along a leading axis, so one batched operator
+//! processes all replicas SIMD-style.
+//!
+//! [`fuse_graph`] performs the shape rewrite: every data tensor's leading
+//! dimension is multiplied by the replica count, while parameters stay
+//! shared (data parallelism replicates data, not weights). Fusion is only
+//! valid for *row-parallel* graphs — element-wise ops, `MatMul` with
+//! shared right-hand parameters, row-wise softmax — and
+//! [`fusible`] rejects graphs containing whole-tensor reductions, whose
+//! fused result would mix replicas.
+
+use crate::graph::{DataflowGraph, OpKind};
+use crate::{FdgError, Result};
+
+/// Whether a graph is safe to fuse: no op mixes rows across the batch.
+pub fn fusible(graph: &DataflowGraph) -> bool {
+    graph.nodes.iter().all(|n| {
+        !matches!(
+            n.kind,
+            OpKind::SumAll | OpKind::MeanAll | OpKind::Reshape { .. } | OpKind::SumAxis { axis: 0 }
+        )
+    })
+}
+
+/// Produces the fused version of a data-parallel graph for `replicas`
+/// co-located instances: leading dimensions of data tensors scale by the
+/// replica count; parameters and constants stay shared.
+///
+/// # Errors
+///
+/// Returns [`FdgError::InvalidFusion`] for zero replicas or a graph that
+/// is not row-parallel.
+pub fn fuse_graph(graph: &DataflowGraph, replicas: usize) -> Result<DataflowGraph> {
+    if replicas == 0 {
+        return Err(FdgError::InvalidFusion { replicas });
+    }
+    if !fusible(graph) {
+        return Err(FdgError::InvalidFusion { replicas });
+    }
+    let mut fused = graph.clone();
+    for n in &mut fused.nodes {
+        let shared = matches!(n.kind, OpKind::Param { .. } | OpKind::Const);
+        if !shared && !n.shape.is_empty() {
+            n.shape[0] *= replicas;
+        }
+    }
+    Ok(fused)
+}
+
+/// The kernel-launch count saved by fusing `replicas` instances of a
+/// graph: each non-source node is one launch per replica before fusion
+/// and one launch total after (the §5.2 CUDA-streams overhead argument).
+pub fn launches_saved(graph: &DataflowGraph, replicas: usize) -> usize {
+    let launches: usize = graph
+        .nodes
+        .iter()
+        .filter(|n| !matches!(n.kind, OpKind::Input { .. } | OpKind::Param { .. } | OpKind::Const))
+        .count();
+    launches * replicas.saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use crate::trace::{trace_mlp, TraceCtx};
+    use msrl_tensor::{ops, Tensor};
+
+    fn inference_graph() -> (DataflowGraph, usize) {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[4, 3]);
+        let out = trace_mlp(&ctx, "pi", &x, &[3, 5, 2]);
+        (ctx.finish(), out.id())
+    }
+
+    #[test]
+    fn fuse_scales_data_not_params() {
+        let (g, _) = inference_graph();
+        let fused = fuse_graph(&g, 8).unwrap();
+        for (orig, new) in g.nodes.iter().zip(&fused.nodes) {
+            match &orig.kind {
+                OpKind::Param { .. } | OpKind::Const => assert_eq!(orig.shape, new.shape),
+                _ if !orig.shape.is_empty() => {
+                    assert_eq!(new.shape[0], orig.shape[0] * 8);
+                    assert_eq!(&new.shape[1..], &orig.shape[1..]);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn fuse_rejects_zero_and_reductions() {
+        let (g, _) = inference_graph();
+        assert!(matches!(fuse_graph(&g, 0), Err(FdgError::InvalidFusion { .. })));
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[4]);
+        let _s = x.sum_all();
+        let g2 = ctx.finish();
+        assert!(!fusible(&g2));
+        assert!(fuse_graph(&g2, 2).is_err());
+    }
+
+    /// The semantic core of §5.2: executing the fused graph on stacked
+    /// replica inputs equals stacking the replicas' individual outputs.
+    #[test]
+    fn fused_execution_equals_stacked_replicas() {
+        let (g, out_id) = inference_graph();
+        let fused = fuse_graph(&g, 3).unwrap();
+
+        let params: Vec<(&str, Tensor)> = vec![
+            ("pi.w0", Tensor::from_vec((0..15).map(|i| 0.01 * i as f32).collect(), &[3, 5]).unwrap()),
+            ("pi.b0", Tensor::full(&[5], 0.1)),
+            ("pi.w1", Tensor::from_vec((0..10).map(|i| -0.02 * i as f32).collect(), &[5, 2]).unwrap()),
+            ("pi.b1", Tensor::zeros(&[2])),
+        ];
+        let replica_inputs: Vec<Tensor> = (0..3)
+            .map(|r| {
+                Tensor::from_vec(
+                    (0..12).map(|i| (r * 12 + i) as f32 * 0.05).collect(),
+                    &[4, 3],
+                )
+                .unwrap()
+            })
+            .collect();
+
+        // Per-replica execution.
+        let mut separate = Vec::new();
+        for x in &replica_inputs {
+            let mut interp = Interpreter::new();
+            for (k, v) in &params {
+                interp.bind_param(k, v.clone());
+            }
+            interp.bind_input("x", x.clone());
+            separate.push(interp.eval(&g).unwrap()[out_id].clone());
+        }
+        let refs: Vec<&Tensor> = separate.iter().collect();
+        let stacked = ops::concat(&refs, 0).unwrap();
+
+        // Fused execution on the batched input.
+        let input_refs: Vec<&Tensor> = replica_inputs.iter().collect();
+        let batched = ops::concat(&input_refs, 0).unwrap();
+        let mut interp = Interpreter::new();
+        for (k, v) in &params {
+            interp.bind_param(k, v.clone());
+        }
+        interp.bind_input("x", batched);
+        let fused_out = interp.eval(&fused).unwrap()[out_id].clone();
+
+        assert_eq!(fused_out.shape(), stacked.shape());
+        for (a, b) in fused_out.data().iter().zip(stacked.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn launches_saved_counts_compute_nodes() {
+        let (g, _) = inference_graph();
+        // 3 layers ⇒ w·x (2 matmul) + adds (2) + tanh (1) = 5 compute
+        // nodes for [3,5,2]: matmul, add, tanh, matmul, add.
+        assert_eq!(launches_saved(&g, 1), 0);
+        assert_eq!(launches_saved(&g, 4), 5 * 3);
+    }
+}

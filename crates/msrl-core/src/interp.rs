@@ -1,0 +1,366 @@
+//! The operator interpreter: msrl-rs's stand-in for a DL engine backend.
+//!
+//! Workers in the original system generate executable code for their
+//! fragments and hand it to MindSpore, which compiles the operator graph
+//! for the device (§5.2). Here, [`Interpreter::eval`] plays the engine:
+//! compute nodes evaluate through `msrl-tensor` operators, and stateful RL
+//! macro ops (environment stepping, replay buffers, learning) dispatch to
+//! *kernels* registered by the runtime — the analogue of the generated
+//! `Fragment.run()` code binding `MSRL.env_step()` to component objects.
+
+use std::collections::HashMap;
+
+use msrl_tensor::{ops, Tensor};
+
+use crate::fragment::Fragment;
+use crate::graph::{DataflowGraph, NodeId, OpKind, OpNode};
+use crate::{FdgError, Result};
+
+/// A stateful kernel for macro ops. Receives the node being evaluated and
+/// its input values; returns the node's output.
+pub type Kernel<'a> = Box<dyn FnMut(&OpNode, &[Tensor]) -> Result<Tensor> + 'a>;
+
+/// Evaluates dataflow (sub)graphs.
+#[derive(Default)]
+pub struct Interpreter<'a> {
+    kernels: HashMap<&'static str, Kernel<'a>>,
+    /// Values for `Input` nodes, by name.
+    pub inputs: HashMap<String, Tensor>,
+    /// Values for `Param` nodes, by name.
+    pub params: HashMap<String, Tensor>,
+    /// Values for `Const` nodes, by id.
+    pub consts: HashMap<NodeId, Tensor>,
+}
+
+impl<'a> Interpreter<'a> {
+    /// Creates an interpreter with no kernels or bindings.
+    pub fn new() -> Self {
+        Interpreter::default()
+    }
+
+    /// Registers the kernel for a macro op (keyed by [`OpKind::name`]).
+    pub fn register(&mut self, op: &'static str, kernel: Kernel<'a>) {
+        self.kernels.insert(op, kernel);
+    }
+
+    /// Binds an input by name.
+    pub fn bind_input(&mut self, name: &str, value: Tensor) {
+        self.inputs.insert(name.to_string(), value);
+    }
+
+    /// Binds a parameter by name.
+    pub fn bind_param(&mut self, name: &str, value: Tensor) {
+        self.params.insert(name.to_string(), value);
+    }
+
+    /// Evaluates the whole graph; returns every node's value.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on missing bindings/kernels or tensor failures.
+    pub fn eval(&mut self, graph: &DataflowGraph) -> Result<Vec<Tensor>> {
+        let ids: Vec<NodeId> = (0..graph.len()).collect();
+        let values = self.eval_nodes(graph, &ids, HashMap::new())?;
+        Ok(ids.into_iter().map(|i| values[&i].clone()).collect())
+    }
+
+    /// Evaluates one fragment. `preset` supplies values for entry
+    /// boundary nodes (data received over the fragment's entry
+    /// interface); returns the values of all evaluated nodes, from which
+    /// exit payloads can be read.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on missing bindings/kernels or tensor failures.
+    pub fn eval_fragment(
+        &mut self,
+        graph: &DataflowGraph,
+        fragment: &Fragment,
+        preset: HashMap<NodeId, Tensor>,
+    ) -> Result<HashMap<NodeId, Tensor>> {
+        self.eval_nodes(graph, &fragment.all_nodes(), preset)
+    }
+
+    fn eval_nodes(
+        &mut self,
+        graph: &DataflowGraph,
+        ids: &[NodeId],
+        preset: HashMap<NodeId, Tensor>,
+    ) -> Result<HashMap<NodeId, Tensor>> {
+        let mut values: HashMap<NodeId, Tensor> = preset;
+        // Tracing appends topologically, so ascending id order works.
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        for &id in &sorted {
+            if values.contains_key(&id) {
+                continue; // preset (entry interface value)
+            }
+            let node = graph.node(id)?;
+            let mut ins = Vec::with_capacity(node.inputs.len());
+            for &i in &node.inputs {
+                ins.push(values.get(&i).ok_or(FdgError::MissingInput { node: id })?.clone());
+            }
+            let v = self.eval_node(node, &ins)?;
+            values.insert(id, v);
+        }
+        Ok(values)
+    }
+
+    fn eval_node(&mut self, node: &OpNode, ins: &[Tensor]) -> Result<Tensor> {
+        let need = |n: usize| -> Result<()> {
+            if ins.len() < n {
+                Err(FdgError::MissingInput { node: node.id })
+            } else {
+                Ok(())
+            }
+        };
+        Ok(match &node.kind {
+            OpKind::Input { name } => self
+                .inputs
+                .get(name)
+                .cloned()
+                .ok_or(FdgError::MissingKernel { op: format!("Input({name})") })?,
+            OpKind::Param { name } => self
+                .params
+                .get(name)
+                .cloned()
+                .ok_or(FdgError::MissingKernel { op: format!("Param({name})") })?,
+            OpKind::Const => self
+                .consts
+                .get(&node.id)
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(&node.shape)),
+            OpKind::Identity => {
+                need(1)?;
+                ins[0].clone()
+            }
+            OpKind::MatMul => {
+                need(2)?;
+                ops::matmul(&ins[0], &ins[1])?
+            }
+            OpKind::Add => {
+                need(2)?;
+                ops::add(&ins[0], &ins[1])?
+            }
+            OpKind::Sub => {
+                need(2)?;
+                ops::sub(&ins[0], &ins[1])?
+            }
+            OpKind::Mul => {
+                need(2)?;
+                ops::mul(&ins[0], &ins[1])?
+            }
+            OpKind::Div => {
+                need(2)?;
+                ops::div(&ins[0], &ins[1])?
+            }
+            OpKind::Relu => {
+                need(1)?;
+                ops::relu(&ins[0])
+            }
+            OpKind::Tanh => {
+                need(1)?;
+                ops::tanh(&ins[0])
+            }
+            OpKind::Sigmoid => {
+                need(1)?;
+                ops::sigmoid(&ins[0])
+            }
+            OpKind::Exp => {
+                need(1)?;
+                ops::exp(&ins[0])
+            }
+            OpKind::Ln => {
+                need(1)?;
+                ops::ln(&ins[0])
+            }
+            OpKind::Square => {
+                need(1)?;
+                ops::square(&ins[0])
+            }
+            OpKind::Neg => {
+                need(1)?;
+                ops::neg(&ins[0])
+            }
+            OpKind::Clamp { lo, hi } => {
+                need(1)?;
+                ops::clamp(&ins[0], *lo, *hi)
+            }
+            OpKind::Softmax => {
+                need(1)?;
+                ops::softmax_rows(&ins[0])?
+            }
+            OpKind::LogSoftmax => {
+                need(1)?;
+                ops::log_softmax_rows(&ins[0])?
+            }
+            OpKind::SumAll => {
+                need(1)?;
+                ops::sum_all(&ins[0])
+            }
+            OpKind::MeanAll => {
+                need(1)?;
+                ops::mean_all(&ins[0])
+            }
+            OpKind::SumAxis { axis } => {
+                need(1)?;
+                ops::sum_axis(&ins[0], *axis)?
+            }
+            OpKind::Concat { axis } => {
+                need(1)?;
+                let refs: Vec<&Tensor> = ins.iter().collect();
+                ops::concat(&refs, *axis)?
+            }
+            OpKind::Reshape { dims } => {
+                need(1)?;
+                ins[0].reshape(dims)?
+            }
+            // Macro ops dispatch to registered kernels.
+            macro_op => {
+                let name = macro_op.name();
+                let kernel = self
+                    .kernels
+                    .get_mut(name)
+                    .ok_or_else(|| FdgError::MissingKernel { op: name.to_string() })?;
+                kernel(node, ins)?
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::{Collective, FragmentKind};
+    use crate::partition::build_fdg;
+    use crate::trace::{trace_mlp, TraceCtx};
+
+    #[test]
+    fn evaluates_mlp_like_tensor_lib() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[2, 3]);
+        let out = trace_mlp(&ctx, "net", &x, &[3, 4, 2]);
+        let graph = ctx.finish();
+
+        let mut interp = Interpreter::new();
+        let xv = Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.5, 0.5, -0.5], &[2, 3]).unwrap();
+        interp.bind_input("x", xv.clone());
+        let w0 = Tensor::full(&[3, 4], 0.1);
+        let b0 = Tensor::zeros(&[4]);
+        let w1 = Tensor::full(&[4, 2], 0.2);
+        let b1 = Tensor::full(&[2], 0.5);
+        interp.bind_param("net.w0", w0.clone());
+        interp.bind_param("net.b0", b0.clone());
+        interp.bind_param("net.w1", w1.clone());
+        interp.bind_param("net.b1", b1.clone());
+        let values = interp.eval(&graph).unwrap();
+
+        // Reference computation with the tensor library directly.
+        let h = ops::tanh(&ops::add(&ops::matmul(&xv, &w0).unwrap(), &b0).unwrap());
+        let expect = ops::add(&ops::matmul(&h, &w1).unwrap(), &b1).unwrap();
+        let got = &values[out.id()];
+        assert_eq!(got.shape(), expect.shape());
+        for (a, b) in got.data().iter().zip(expect.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn missing_input_binding_is_reported() {
+        let ctx = TraceCtx::new();
+        let _x = ctx.input("x", &[2]);
+        let graph = ctx.finish();
+        let mut interp = Interpreter::new();
+        assert!(matches!(interp.eval(&graph), Err(FdgError::MissingKernel { .. })));
+    }
+
+    #[test]
+    fn macro_op_without_kernel_is_reported() {
+        let ctx = TraceCtx::new();
+        let _obs = ctx.env_reset(4, 3);
+        let graph = ctx.finish();
+        let mut interp = Interpreter::new();
+        let err = interp.eval(&graph).unwrap_err();
+        assert!(matches!(err, FdgError::MissingKernel { op } if op == "EnvReset"));
+    }
+
+    #[test]
+    fn kernels_receive_inputs_and_keep_state() {
+        let ctx = TraceCtx::new();
+        let obs = ctx.env_reset(1, 2);
+        let act = obs.relu();
+        let (obs2, rew) = ctx.env_step(&act, 1, 2);
+        let graph = ctx.finish();
+
+        let mut interp = Interpreter::new();
+        interp.register("EnvReset", Box::new(|node, _| Ok(Tensor::ones(&node.shape))));
+        let mut step_count = 0;
+        interp.register(
+            "EnvStep",
+            Box::new(move |node, ins| {
+                // First EnvStep node (1 input) performs the step; the
+                // second (2 inputs) reports rewards.
+                if ins.len() == 1 {
+                    step_count += 1;
+                    Ok(Tensor::full(&node.shape, step_count as f32))
+                } else {
+                    Ok(Tensor::full(&node.shape, 0.5))
+                }
+            }),
+        );
+        let values = interp.eval(&graph).unwrap();
+        assert_eq!(values[obs2.id()].data(), &[1.0, 1.0]);
+        assert_eq!(values[rew.id()].data(), &[0.5]);
+    }
+
+    #[test]
+    fn fragment_eval_uses_preset_entries() {
+        // Split x.relu() | square().sum() at the relu output; evaluate the
+        // learner-side fragment alone by presetting the entry value.
+        let ctx = TraceCtx::new();
+        let saved = ctx.enter_component("actor");
+        let x = ctx.input("x", &[3]);
+        let a = x.relu();
+        ctx.annotate(FragmentKind::Action, Collective::SendRecv, &[&a]);
+        ctx.exit_component(saved);
+        let saved = ctx.enter_component("learner");
+        let loss = a.square().sum_all();
+        ctx.exit_component(saved);
+        let fdg = build_fdg(ctx.finish()).unwrap();
+        let learner = fdg
+            .fragments
+            .iter()
+            .find(|f| f.entries.iter().any(|i| i.node == a.id()))
+            .unwrap();
+
+        let mut interp = Interpreter::new();
+        let preset =
+            HashMap::from([(a.id(), Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap())]);
+        let values = interp.eval_fragment(&fdg.graph, learner, preset).unwrap();
+        assert_eq!(values[&loss.id()].item().unwrap(), 14.0);
+    }
+
+    #[test]
+    fn fragment_eval_without_entry_fails() {
+        let ctx = TraceCtx::new();
+        let saved = ctx.enter_component("actor");
+        let x = ctx.input("x", &[3]);
+        let a = x.relu();
+        ctx.annotate(FragmentKind::Action, Collective::SendRecv, &[&a]);
+        ctx.exit_component(saved);
+        let saved2 = ctx.enter_component("learner");
+        let _loss = a.square().sum_all();
+        ctx.exit_component(saved2);
+        let fdg = build_fdg(ctx.finish()).unwrap();
+        let learner = fdg
+            .fragments
+            .iter()
+            .find(|f| f.entries.iter().any(|i| i.node == a.id()))
+            .unwrap();
+        let mut interp = Interpreter::new();
+        // The boundary node's own inputs are outside the fragment: with no
+        // preset the evaluation must fail rather than silently recompute.
+        let err = interp.eval_fragment(&fdg.graph, learner, HashMap::new()).unwrap_err();
+        assert!(matches!(err, FdgError::MissingInput { .. } | FdgError::MissingKernel { .. }));
+    }
+}

@@ -1,0 +1,476 @@
+//! FDG generation — the paper's Algorithm 2.
+//!
+//! Given a dataflow graph with partition annotations, [`build_fdg`]:
+//!
+//! 1. parses the annotations and labels their data nodes as *common
+//!    nodes*;
+//! 2. splits the graph at the common nodes: treating common nodes as
+//!    walls, every connected region of the remaining nodes becomes one
+//!    fragment;
+//! 3. duplicates each common node into every adjacent fragment and
+//!    removes the consumed subgraph from further search (our region
+//!    construction visits each interior node exactly once, which is the
+//!    same guarantee);
+//! 4. synthesises the communication interfaces: a fragment containing a
+//!    common node's producers gets an *exit* bound to the annotated
+//!    collective; fragments containing its consumers get an *entry*.
+//!
+//! When the user provides no annotations, the graph is partitioned along
+//! algorithmic-component boundaries instead, with `SendRecv` interfaces on
+//! every crossing edge (§4.3, final paragraph).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::annotate::{Collective, FragmentKind, PartitionAnnotation};
+use crate::fragment::{Fragment, FragmentId, Interface};
+use crate::graph::{DataflowGraph, DeviceReq, NodeId};
+use crate::Result;
+
+/// A fragmented dataflow graph: the original graph plus its fragments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fdg {
+    /// The unpartitioned dataflow graph.
+    pub graph: DataflowGraph,
+    /// The fragments produced by Algorithm 2.
+    pub fragments: Vec<Fragment>,
+}
+
+impl Fdg {
+    /// The fragment computing the given interior node, if any.
+    pub fn fragment_of(&self, node: NodeId) -> Option<FragmentId> {
+        self.fragments.iter().find(|f| f.interior.contains(&node)).map(|f| f.id)
+    }
+
+    /// Fragments whose boundary duplicates the given common node.
+    pub fn fragments_sharing(&self, node: NodeId) -> Vec<FragmentId> {
+        self.fragments
+            .iter()
+            .filter(|f| f.boundary.contains(&node))
+            .map(|f| f.id)
+            .collect()
+    }
+
+    /// Validates the partition invariants:
+    /// every node is interior to at most one fragment; every non-common
+    /// node is interior to exactly one; common nodes appear on at least
+    /// one boundary.
+    pub fn check_invariants(&self) -> std::result::Result<(), String> {
+        let n = self.graph.len();
+        let common = self.graph.common_nodes();
+        let mut owner = vec![0usize; n];
+        for f in &self.fragments {
+            for &i in &f.interior {
+                owner[i] += 1;
+            }
+        }
+        for id in 0..n {
+            let is_common = common.contains(&id);
+            match (is_common, owner[id]) {
+                (false, 1) => {}
+                (false, c) => {
+                    return Err(format!("node {id} interior to {c} fragments, expected 1"))
+                }
+                (true, 0) => {}
+                (true, c) => {
+                    return Err(format!("common node {id} interior to {c} fragments"))
+                }
+            }
+        }
+        for &c in &common {
+            if self.fragments_sharing(c).is_empty() {
+                return Err(format!("common node {c} on no fragment boundary"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs Algorithm 2 on a traced graph.
+///
+/// # Errors
+///
+/// Returns an error when the graph fails validation (dangling edges,
+/// cycles, empty annotations).
+pub fn build_fdg(graph: DataflowGraph) -> Result<Fdg> {
+    graph.validate()?;
+    if graph.annotations.is_empty() {
+        build_default(graph)
+    } else {
+        build_annotated(graph)
+    }
+}
+
+/// Which annotation governs each common node (first one naming it wins —
+/// tracing order matches the paper's source order).
+fn annotation_of(graph: &DataflowGraph) -> HashMap<NodeId, PartitionAnnotation> {
+    let mut map = HashMap::new();
+    for a in &graph.annotations {
+        for &d in &a.data {
+            map.entry(d).or_insert_with(|| a.clone());
+        }
+    }
+    map
+}
+
+fn undirected_adjacency(graph: &DataflowGraph) -> Vec<Vec<NodeId>> {
+    let mut adj = vec![Vec::new(); graph.len()];
+    for n in &graph.nodes {
+        for &i in &n.inputs {
+            adj[n.id].push(i);
+            adj[i].push(n.id);
+        }
+    }
+    adj
+}
+
+fn build_annotated(graph: DataflowGraph) -> Result<Fdg> {
+    let ann = annotation_of(&graph);
+    let is_common: Vec<bool> = (0..graph.len()).map(|i| ann.contains_key(&i)).collect();
+    let adj = undirected_adjacency(&graph);
+
+    // Regions: connected components of non-common nodes.
+    let mut region = vec![usize::MAX; graph.len()];
+    let mut n_regions = 0;
+    for start in 0..graph.len() {
+        if is_common[start] || region[start] != usize::MAX {
+            continue;
+        }
+        let r = n_regions;
+        n_regions += 1;
+        let mut stack = vec![start];
+        region[start] = r;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !is_common[v] && region[v] == usize::MAX {
+                    region[v] = r;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+
+    let consumers = graph.consumers();
+    let mut fragments: Vec<Fragment> = (0..n_regions)
+        .map(|r| Fragment {
+            id: FragmentId(r),
+            kind: FragmentKind::Custom(String::new()),
+            interior: Vec::new(),
+            boundary: Vec::new(),
+            entries: Vec::new(),
+            exits: Vec::new(),
+            device_req: DeviceReq::Any,
+        })
+        .collect();
+    for n in &graph.nodes {
+        if !is_common[n.id] {
+            let f = &mut fragments[region[n.id]];
+            f.interior.push(n.id);
+            f.device_req = f.device_req.merge(n.device_req);
+        }
+    }
+
+    // Duplicate common nodes into adjacent fragments and wire interfaces.
+    // Producers resolve *transitively* through chains of common nodes:
+    // when two annotations are adjacent (consecutive common nodes), the
+    // downstream common node is still computed by the fragment owning its
+    // nearest non-common ancestor, with the intermediate common nodes
+    // duplicated alongside it.
+    let producer_regions_of = |c: NodeId| -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = graph.nodes[c].inputs.clone();
+        let mut seen = vec![false; graph.len()];
+        while let Some(u) = stack.pop() {
+            if seen[u] {
+                continue;
+            }
+            seen[u] = true;
+            if is_common[u] {
+                stack.extend(graph.nodes[u].inputs.iter().copied());
+            } else {
+                out.push(region[u]);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    };
+    for (&c, a) in &ann {
+        let producer_regions: Vec<usize> = producer_regions_of(c);
+        let consumer_regions: Vec<usize> = consumers[c]
+            .iter()
+            .filter(|&&i| !is_common[i])
+            .map(|&i| region[i])
+            .collect();
+        let mut touched: Vec<usize> = producer_regions
+            .iter()
+            .chain(consumer_regions.iter())
+            .copied()
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        if touched.is_empty() && !fragments.is_empty() {
+            // Isolated sync point (e.g. a parameter-sync node whose
+            // producers are all common): attach to the first fragment.
+            touched.push(0);
+        }
+        for r in touched {
+            let f = &mut fragments[r];
+            f.boundary.push(c);
+            let iface = Interface { node: c, collective: a.collective };
+            if producer_regions.contains(&r) {
+                f.exits.push(iface);
+            } else {
+                f.entries.push(iface);
+            }
+        }
+    }
+
+    // Fragment kinds: the annotation kind of the first exit, falling back
+    // to the dominant component label.
+    for f in &mut fragments {
+        f.interior.sort_unstable();
+        f.boundary.sort_unstable();
+        f.boundary.dedup();
+        f.entries.sort_by_key(|i| i.node);
+        f.exits.sort_by_key(|i| i.node);
+        f.kind = f
+            .exits
+            .first()
+            .or(f.entries.first())
+            .and_then(|i| ann.get(&i.node))
+            .map(|a| a.kind.clone())
+            .unwrap_or_else(|| FragmentKind::Custom(dominant_component(&graph, &f.interior)));
+    }
+
+    Ok(Fdg { graph, fragments })
+}
+
+fn dominant_component(graph: &DataflowGraph, nodes: &[NodeId]) -> String {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for &i in nodes {
+        *counts.entry(graph.nodes[i].component.as_str()).or_default() += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(name, c)| (c, std::cmp::Reverse(name.to_string())))
+        .map(|(name, _)| name.to_string())
+        .unwrap_or_default()
+}
+
+/// Default partitioning along algorithmic components: each distinct
+/// component label is one fragment; edges crossing components become
+/// `SendRecv` interfaces on the producing node.
+fn build_default(graph: DataflowGraph) -> Result<Fdg> {
+    let mut comp_ids: Vec<String> = Vec::new();
+    let mut frag_of = vec![0usize; graph.len()];
+    for n in &graph.nodes {
+        let idx = match comp_ids.iter().position(|c| c == &n.component) {
+            Some(i) => i,
+            None => {
+                comp_ids.push(n.component.clone());
+                comp_ids.len() - 1
+            }
+        };
+        frag_of[n.id] = idx;
+    }
+    let mut fragments: Vec<Fragment> = comp_ids
+        .iter()
+        .enumerate()
+        .map(|(i, name)| Fragment {
+            id: FragmentId(i),
+            kind: FragmentKind::Custom(name.clone()),
+            interior: Vec::new(),
+            boundary: Vec::new(),
+            entries: Vec::new(),
+            exits: Vec::new(),
+            device_req: DeviceReq::Any,
+        })
+        .collect();
+    for n in &graph.nodes {
+        let f = &mut fragments[frag_of[n.id]];
+        f.interior.push(n.id);
+        f.device_req = f.device_req.merge(n.device_req);
+    }
+    // Crossing edges become interfaces.
+    for n in &graph.nodes {
+        for &i in &n.inputs {
+            let (pf, cf) = (frag_of[i], frag_of[n.id]);
+            if pf != cf {
+                let exit = Interface { node: i, collective: Collective::SendRecv };
+                if !fragments[pf].exits.contains(&exit) {
+                    fragments[pf].exits.push(exit.clone());
+                }
+                if !fragments[cf].entries.contains(&exit) {
+                    fragments[cf].entries.push(exit);
+                    fragments[cf].boundary.push(i);
+                }
+            }
+        }
+    }
+    for f in &mut fragments {
+        f.interior.sort_unstable();
+        f.boundary.sort_unstable();
+        f.boundary.dedup();
+        f.entries.sort_by_key(|i| i.node);
+        f.exits.sort_by_key(|i| i.node);
+    }
+    Ok(Fdg { graph, fragments })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OpKind;
+    use crate::trace::TraceCtx;
+
+    /// The paper's Fig. 5 example: a learner-side graph split at the
+    /// replay-buffer sample and parameter nodes.
+    fn fig5_like() -> DataflowGraph {
+        let ctx = TraceCtx::new();
+        let saved = ctx.enter_component("trainer");
+        let insert = ctx.replay_insert(&[&ctx.input("reward", &[32]), &ctx.input("state", &[32, 4])]);
+        let sample = ctx.replay_sample(&insert, 32, 8);
+        ctx.annotate(FragmentKind::Buffer, Collective::AllGather, &[&sample]);
+        ctx.exit_component(saved);
+        let saved = ctx.enter_component("learner");
+        let loss = ctx.learn(&sample);
+        let params = ctx.read_params(&loss, 100);
+        ctx.annotate(FragmentKind::Learner, Collective::AllGather, &[&params]);
+        ctx.exit_component(saved);
+        ctx.finish()
+    }
+
+    #[test]
+    fn fig5_splits_into_two_fragments() {
+        let fdg = build_fdg(fig5_like()).unwrap();
+        assert_eq!(fdg.fragments.len(), 2, "{:#?}", fdg.fragments);
+        fdg.check_invariants().unwrap();
+        // The sample node is shared between both fragments (duplicated).
+        let sample_id = fdg
+            .graph
+            .nodes
+            .iter()
+            .find(|n| n.kind == OpKind::ReplaySample)
+            .unwrap()
+            .id;
+        assert_eq!(fdg.fragments_sharing(sample_id).len(), 2);
+    }
+
+    #[test]
+    fn fig5_interfaces_have_directions() {
+        let fdg = build_fdg(fig5_like()).unwrap();
+        let sample_id = fdg
+            .graph
+            .nodes
+            .iter()
+            .find(|n| n.kind == OpKind::ReplaySample)
+            .unwrap()
+            .id;
+        // Producer-side fragment exits the sample; consumer-side enters it.
+        let mut exits = 0;
+        let mut entries = 0;
+        for f in &fdg.fragments {
+            exits += f.exits.iter().filter(|i| i.node == sample_id).count();
+            entries += f.entries.iter().filter(|i| i.node == sample_id).count();
+        }
+        assert_eq!(exits, 1);
+        assert_eq!(entries, 1);
+    }
+
+    #[test]
+    fn learner_fragment_gets_annotation_kind() {
+        let fdg = build_fdg(fig5_like()).unwrap();
+        let kinds: Vec<_> = fdg.fragments.iter().map(|f| f.kind.clone()).collect();
+        assert!(kinds.contains(&FragmentKind::Buffer), "{kinds:?}");
+        assert!(kinds.contains(&FragmentKind::Learner), "{kinds:?}");
+    }
+
+    #[test]
+    fn no_annotations_partitions_by_component() {
+        let ctx = TraceCtx::new();
+        let saved = ctx.enter_component("actor");
+        let x = ctx.input("obs", &[4]);
+        let act = x.relu();
+        ctx.exit_component(saved);
+        let saved = ctx.enter_component("learner");
+        let _loss = act.square().sum_all();
+        ctx.exit_component(saved);
+        let fdg = build_fdg(ctx.finish()).unwrap();
+        assert_eq!(fdg.fragments.len(), 2);
+        fdg.check_invariants().unwrap();
+        // The crossing value uses SendRecv.
+        let actor = &fdg.fragments[0];
+        assert_eq!(actor.exits.len(), 1);
+        assert_eq!(actor.exits[0].collective, Collective::SendRecv);
+        let learner = &fdg.fragments[1];
+        assert_eq!(learner.entries.len(), 1);
+        assert_eq!(learner.entries[0].node, actor.exits[0].node);
+    }
+
+    #[test]
+    fn single_component_no_annotations_is_one_fragment() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[4]);
+        let _ = x.relu().square().sum_all();
+        let fdg = build_fdg(ctx.finish()).unwrap();
+        assert_eq!(fdg.fragments.len(), 1);
+        assert!(fdg.fragments[0].entries.is_empty());
+        assert!(fdg.fragments[0].exits.is_empty());
+    }
+
+    #[test]
+    fn device_requirements_propagate_to_fragments() {
+        let ctx = TraceCtx::new();
+        let saved = ctx.enter_component("env");
+        let obs = ctx.env_reset(8, 4);
+        ctx.exit_component(saved);
+        let saved = ctx.enter_component("policy");
+        let _y = obs.relu();
+        ctx.exit_component(saved);
+        let fdg = build_fdg(ctx.finish()).unwrap();
+        let env_frag = fdg
+            .fragments
+            .iter()
+            .find(|f| f.kind == FragmentKind::Custom("env".into()))
+            .unwrap();
+        assert_eq!(env_frag.device_req, DeviceReq::CpuOnly);
+        let policy_frag = fdg
+            .fragments
+            .iter()
+            .find(|f| f.kind == FragmentKind::Custom("policy".into()))
+            .unwrap();
+        assert_eq!(policy_frag.device_req, DeviceReq::Any);
+    }
+
+    #[test]
+    fn invariants_catch_broken_partition() {
+        let fdg = build_fdg(fig5_like()).unwrap();
+        let mut broken = fdg.clone();
+        // Steal a node into a second fragment's interior.
+        let stolen = broken.fragments[0].interior[0];
+        broken.fragments[1].interior.push(stolen);
+        assert!(broken.check_invariants().is_err());
+    }
+
+    #[test]
+    fn annotation_on_leaf_param_sync_is_exit() {
+        // A weight-sync exit with no downstream consumer must still be an
+        // exit on the producing fragment (Alg. 1 line 34).
+        let fdg = build_fdg(fig5_like()).unwrap();
+        let params_id = fdg
+            .graph
+            .nodes
+            .iter()
+            .find(|n| n.kind == OpKind::ReadParams)
+            .unwrap()
+            .id;
+        let learner = fdg
+            .fragments
+            .iter()
+            .find(|f| f.kind == FragmentKind::Learner)
+            .unwrap();
+        assert!(learner.exits.iter().any(|i| i.node == params_id));
+    }
+}

@@ -1,0 +1,393 @@
+//! Tracing: recording an algorithm's training-loop body as a dataflow
+//! graph.
+//!
+//! The original MSRL statically analyses the Python source of the
+//! algorithm to obtain its dataflow graph (§4.3). A Rust reproduction has
+//! no Python frontend, so the same artifact is obtained by *tracing*:
+//! algorithm code runs once against [`TracedVar`] handles, and every
+//! operation appends a node to the [`DataflowGraph`] under construction.
+//! Partition annotations become [`TraceCtx::annotate`] calls placed where
+//! the paper's `#@MSRL.fragment(...)` comments sit.
+//!
+//! Component scoping ([`TraceCtx::enter_component`]) labels nodes with the
+//! algorithmic component (actor/learner/…) that produced them, which
+//! drives the *default* partitioning along component boundaries when no
+//! annotations are provided (§4.3, last paragraph).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::annotate::{Collective, FragmentKind, PartitionAnnotation};
+use crate::graph::{DataflowGraph, NodeId, OpKind};
+
+#[derive(Default)]
+struct TraceInner {
+    graph: DataflowGraph,
+    component: String,
+}
+
+/// A tracing context. Cheap to clone (shared handle).
+#[derive(Clone, Default)]
+pub struct TraceCtx {
+    inner: Rc<RefCell<TraceInner>>,
+}
+
+/// A handle to one traced value: the symbolic analogue of a Python
+/// variable in the paper's algorithm code.
+#[derive(Clone)]
+pub struct TracedVar {
+    ctx: TraceCtx,
+    id: NodeId,
+    shape: Vec<usize>,
+}
+
+impl TraceCtx {
+    /// Creates an empty tracing context.
+    pub fn new() -> Self {
+        TraceCtx::default()
+    }
+
+    /// Finishes tracing, returning the recorded graph.
+    pub fn finish(self) -> DataflowGraph {
+        self.inner.take().graph
+    }
+
+    /// Sets the component label for subsequently traced nodes and returns
+    /// the previous label (restore it to leave the scope).
+    pub fn enter_component(&self, name: &str) -> String {
+        let mut inner = self.inner.borrow_mut();
+        std::mem::replace(&mut inner.component, name.to_string())
+    }
+
+    /// Restores a component label saved by [`TraceCtx::enter_component`].
+    pub fn exit_component(&self, saved: String) {
+        self.inner.borrow_mut().component = saved;
+    }
+
+    fn push(&self, kind: OpKind, inputs: Vec<NodeId>, shape: Vec<usize>) -> TracedVar {
+        let mut inner = self.inner.borrow_mut();
+        let component = inner.component.clone();
+        let id = inner.graph.push(kind, inputs, shape.clone(), &component);
+        TracedVar { ctx: self.clone(), id, shape }
+    }
+
+    /// Declares an external input of the given shape.
+    pub fn input(&self, name: &str, shape: &[usize]) -> TracedVar {
+        self.push(OpKind::Input { name: name.to_string() }, vec![], shape.to_vec())
+    }
+
+    /// Declares a trainable parameter of the given shape.
+    pub fn param(&self, name: &str, shape: &[usize]) -> TracedVar {
+        self.push(OpKind::Param { name: name.to_string() }, vec![], shape.to_vec())
+    }
+
+    /// Declares a constant of the given shape.
+    pub fn constant(&self, shape: &[usize]) -> TracedVar {
+        self.push(OpKind::Const, vec![], shape.to_vec())
+    }
+
+    /// Places a partition annotation over the given values — the
+    /// reproduction of `#@MSRL.fragment(type=…, ops=[…], data=[…])`.
+    pub fn annotate(&self, kind: FragmentKind, collective: Collective, data: &[&TracedVar]) {
+        let ann = PartitionAnnotation {
+            kind,
+            collective,
+            data: data.iter().map(|v| v.id).collect(),
+        };
+        self.inner.borrow_mut().graph.annotations.push(ann);
+    }
+
+    // -- RL macro ops ------------------------------------------------------
+
+    /// Traces an environment reset producing `[n_envs, obs_dim]`.
+    pub fn env_reset(&self, n_envs: usize, obs_dim: usize) -> TracedVar {
+        self.push(OpKind::EnvReset, vec![], vec![n_envs, obs_dim])
+    }
+
+    /// Traces an environment step: actions in, `(obs, rewards)` out.
+    pub fn env_step(&self, actions: &TracedVar, n_envs: usize, obs_dim: usize) -> (TracedVar, TracedVar) {
+        let obs = self.push(OpKind::EnvStep, vec![actions.id], vec![n_envs, obs_dim]);
+        // Rewards are a second output; model as a dependent node that the
+        // interpreter serves from the same kernel invocation.
+        let rewards = self.push(OpKind::EnvStep, vec![actions.id, obs.id], vec![n_envs]);
+        (obs, rewards)
+    }
+
+    /// Traces action sampling from policy output.
+    pub fn sample_action(&self, policy_out: &TracedVar, n_envs: usize, act_width: usize) -> TracedVar {
+        self.push(OpKind::SampleAction, vec![policy_out.id], vec![n_envs, act_width])
+    }
+
+    /// Traces a replay-buffer insert (`MSRL.replay_buffer_insert`).
+    pub fn replay_insert(&self, values: &[&TracedVar]) -> TracedVar {
+        let inputs = values.iter().map(|v| v.id).collect();
+        self.push(OpKind::ReplayInsert, inputs, vec![])
+    }
+
+    /// Traces a replay-buffer sample (`MSRL.replay_buffer_sample`)
+    /// yielding `[batch, width]`.
+    pub fn replay_sample(&self, after: &TracedVar, batch: usize, width: usize) -> TracedVar {
+        self.push(OpKind::ReplaySample, vec![after.id], vec![batch, width])
+    }
+
+    /// Traces the learner update (`MSRL.agent_learn`) yielding the loss.
+    pub fn learn(&self, sample: &TracedVar) -> TracedVar {
+        self.push(OpKind::Learn, vec![sample.id], vec![])
+    }
+
+    /// Traces reading the trainable parameters (for weight sync), with
+    /// `count` scalar parameters.
+    pub fn read_params(&self, after: &TracedVar, count: usize) -> TracedVar {
+        self.push(OpKind::ReadParams, vec![after.id], vec![count])
+    }
+
+    /// Traces overwriting the parameters from a synced tensor.
+    pub fn write_params(&self, params: &TracedVar) -> TracedVar {
+        self.push(OpKind::WriteParams, vec![params.id], vec![])
+    }
+}
+
+impl TracedVar {
+    /// This value's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This value's static shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    fn unary(&self, kind: OpKind, shape: Vec<usize>) -> TracedVar {
+        self.ctx.push(kind, vec![self.id], shape)
+    }
+
+    fn binary(&self, other: &TracedVar, kind: OpKind, shape: Vec<usize>) -> TracedVar {
+        self.ctx.push(kind, vec![self.id, other.id], shape)
+    }
+
+    /// Matrix multiply: `[m, k] × [k, n] → [m, n]`.
+    pub fn matmul(&self, other: &TracedVar) -> TracedVar {
+        let m = self.shape.first().copied().unwrap_or(1);
+        let n = other.shape.get(1).copied().unwrap_or(1);
+        self.binary(other, OpKind::MatMul, vec![m, n])
+    }
+
+    /// Element-wise add (shape of the broadcast result approximated by the
+    /// wider operand, which tracing keeps exact for our op patterns).
+    pub fn add(&self, other: &TracedVar) -> TracedVar {
+        let shape = if self.shape.len() >= other.shape.len() {
+            self.shape.clone()
+        } else {
+            other.shape.clone()
+        };
+        self.binary(other, OpKind::Add, shape)
+    }
+
+    /// Element-wise subtract.
+    pub fn sub(&self, other: &TracedVar) -> TracedVar {
+        self.binary(other, OpKind::Sub, self.shape.clone())
+    }
+
+    /// Element-wise multiply.
+    pub fn mul(&self, other: &TracedVar) -> TracedVar {
+        self.binary(other, OpKind::Mul, self.shape.clone())
+    }
+
+    /// Element-wise divide.
+    pub fn div(&self, other: &TracedVar) -> TracedVar {
+        self.binary(other, OpKind::Div, self.shape.clone())
+    }
+
+    /// ReLU.
+    pub fn relu(&self) -> TracedVar {
+        self.unary(OpKind::Relu, self.shape.clone())
+    }
+
+    /// Tanh.
+    pub fn tanh(&self) -> TracedVar {
+        self.unary(OpKind::Tanh, self.shape.clone())
+    }
+
+    /// Sigmoid.
+    pub fn sigmoid(&self) -> TracedVar {
+        self.unary(OpKind::Sigmoid, self.shape.clone())
+    }
+
+    /// Exponential.
+    pub fn exp(&self) -> TracedVar {
+        self.unary(OpKind::Exp, self.shape.clone())
+    }
+
+    /// Natural log.
+    pub fn ln(&self) -> TracedVar {
+        self.unary(OpKind::Ln, self.shape.clone())
+    }
+
+    /// Square.
+    pub fn square(&self) -> TracedVar {
+        self.unary(OpKind::Square, self.shape.clone())
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> TracedVar {
+        self.unary(OpKind::Neg, self.shape.clone())
+    }
+
+    /// Clamp into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> TracedVar {
+        self.unary(OpKind::Clamp { lo, hi }, self.shape.clone())
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax(&self) -> TracedVar {
+        self.unary(OpKind::Softmax, self.shape.clone())
+    }
+
+    /// Row-wise log-softmax.
+    pub fn log_softmax(&self) -> TracedVar {
+        self.unary(OpKind::LogSoftmax, self.shape.clone())
+    }
+
+    /// Sum of all elements (scalar).
+    pub fn sum_all(&self) -> TracedVar {
+        self.unary(OpKind::SumAll, vec![])
+    }
+
+    /// Mean of all elements (scalar).
+    pub fn mean_all(&self) -> TracedVar {
+        self.unary(OpKind::MeanAll, vec![])
+    }
+
+    /// Sum along an axis.
+    pub fn sum_axis(&self, axis: usize) -> TracedVar {
+        let mut shape = self.shape.clone();
+        if axis < shape.len() {
+            shape.remove(axis);
+        }
+        self.unary(OpKind::SumAxis { axis }, shape)
+    }
+
+    /// Concatenate with others along `axis`.
+    pub fn concat(&self, others: &[&TracedVar], axis: usize) -> TracedVar {
+        let mut shape = self.shape.clone();
+        if axis < shape.len() {
+            shape[axis] += others.iter().map(|o| o.shape.get(axis).copied().unwrap_or(0)).sum::<usize>();
+        }
+        let mut inputs = vec![self.id];
+        inputs.extend(others.iter().map(|o| o.id));
+        self.ctx.push(OpKind::Concat { axis }, inputs, shape)
+    }
+
+    /// Reshape to fixed dims.
+    pub fn reshape(&self, dims: &[usize]) -> TracedVar {
+        self.unary(OpKind::Reshape { dims: dims.to_vec() }, dims.to_vec())
+    }
+
+    /// A pure data copy of this value — the node form annotations should
+    /// mark, so the producing op stays interior to its fragment.
+    pub fn boundary(&self) -> TracedVar {
+        self.unary(OpKind::Identity, self.shape.clone())
+    }
+}
+
+/// Traces an MLP forward pass (the policy network of the paper's
+/// evaluation) over `layers` pairs of `[in, out]` widths; returns the
+/// output variable. Parameters are declared as `"{prefix}.w{i}"` /
+/// `"{prefix}.b{i}"`.
+pub fn trace_mlp(ctx: &TraceCtx, prefix: &str, x: &TracedVar, widths: &[usize]) -> TracedVar {
+    let mut h = x.clone();
+    for (i, w) in widths.windows(2).enumerate() {
+        let wt = ctx.param(&format!("{prefix}.w{i}"), &[w[0], w[1]]);
+        let b = ctx.param(&format!("{prefix}.b{i}"), &[w[1]]);
+        h = h.matmul(&wt).add(&b);
+        if i + 2 < widths.len() {
+            h = h.tanh();
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracing_records_nodes_in_topological_order() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[8, 4]);
+        let w = ctx.param("w", &[4, 2]);
+        let y = x.matmul(&w).tanh();
+        let g = ctx.finish();
+        assert_eq!(g.len(), 4);
+        assert!(g.validate().is_ok());
+        assert_eq!(y.shape(), &[8, 2]);
+    }
+
+    #[test]
+    fn component_scoping_labels_nodes() {
+        let ctx = TraceCtx::new();
+        let saved = ctx.enter_component("actor");
+        let x = ctx.input("x", &[4]);
+        ctx.exit_component(saved);
+        let saved = ctx.enter_component("learner");
+        let _y = x.square();
+        ctx.exit_component(saved);
+        let g = ctx.finish();
+        assert_eq!(g.nodes[0].component, "actor");
+        assert_eq!(g.nodes[1].component, "learner");
+    }
+
+    #[test]
+    fn annotations_capture_ids() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[4]);
+        let y = x.relu();
+        ctx.annotate(FragmentKind::Action, Collective::AllGather, &[&y]);
+        let g = ctx.finish();
+        assert_eq!(g.annotations.len(), 1);
+        assert_eq!(g.annotations[0].data, vec![y.id()]);
+        assert_eq!(g.common_nodes(), vec![1]);
+    }
+
+    #[test]
+    fn env_step_produces_obs_and_rewards() {
+        let ctx = TraceCtx::new();
+        let a = ctx.input("actions", &[32, 6]);
+        let (obs, rew) = ctx.env_step(&a, 32, 17);
+        assert_eq!(obs.shape(), &[32, 17]);
+        assert_eq!(rew.shape(), &[32]);
+        let g = ctx.finish();
+        assert!(g.validate().is_ok());
+        assert!(g.nodes[obs.id()].kind.is_macro());
+    }
+
+    #[test]
+    fn trace_mlp_declares_params_per_layer() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("obs", &[32, 17]);
+        let out = trace_mlp(&ctx, "pi", &x, &[17, 64, 64, 6]);
+        assert_eq!(out.shape(), &[32, 6]);
+        let g = ctx.finish();
+        let params = g
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, OpKind::Param { .. }))
+            .count();
+        assert_eq!(params, 6, "3 layers × (w, b)");
+        // Hidden activations but no output activation.
+        let tanhs = g.nodes.iter().filter(|n| n.kind == OpKind::Tanh).count();
+        assert_eq!(tanhs, 2);
+    }
+
+    #[test]
+    fn shapes_propagate_through_reductions() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[8, 3]);
+        assert_eq!(x.sum_axis(1).shape(), &[8]);
+        assert_eq!(x.sum_all().shape(), &[] as &[usize]);
+        assert_eq!(x.reshape(&[24]).shape(), &[24]);
+        let y = ctx.input("y", &[8, 5]);
+        assert_eq!(x.concat(&[&y], 1).shape(), &[8, 8]);
+    }
+}

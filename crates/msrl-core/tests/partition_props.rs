@@ -1,0 +1,216 @@
+//! Property-based tests for Algorithm 2 (FDG generation) and fragment
+//! fusion over randomly generated traced graphs.
+//!
+//! The invariants tested here are the correctness conditions §4.3 states
+//! informally: every interior node lands in exactly one fragment; common
+//! nodes are duplicated across all adjacent fragments; each common node
+//! has exactly one producing (exit) side; and fusion preserves execution
+//! semantics on random inputs.
+
+use std::collections::HashMap;
+
+use msrl_core::annotate::{Collective, FragmentKind};
+use msrl_core::fusion::{fuse_graph, fusible};
+use msrl_core::interp::Interpreter;
+use msrl_core::partition::build_fdg;
+use msrl_core::trace::{trace_mlp, TraceCtx};
+use msrl_tensor::{ops, Tensor};
+use proptest::prelude::*;
+
+/// Builds a random chain graph of unary ops with annotations at random
+/// cut points; returns the traced graph.
+fn random_chain(ops_choice: &[u8], cuts: &[bool]) -> msrl_core::DataflowGraph {
+    let ctx = TraceCtx::new();
+    let saved = ctx.enter_component("chain");
+    let mut v = ctx.input("x", &[4, 4]);
+    for (i, (&op, &cut)) in ops_choice.iter().zip(cuts).enumerate() {
+        v = match op % 5 {
+            0 => v.relu(),
+            1 => v.tanh(),
+            2 => v.sigmoid(),
+            3 => v.square(),
+            _ => v.neg(),
+        };
+        if cut {
+            ctx.annotate(
+                FragmentKind::Custom(format!("cut{i}")),
+                Collective::AllGather,
+                &[&v],
+            );
+        }
+    }
+    ctx.exit_component(saved);
+    ctx.finish()
+}
+
+proptest! {
+    /// Partition invariants hold for arbitrary chains and cut placements.
+    #[test]
+    fn partition_invariants_hold(
+        ops_choice in proptest::collection::vec(0u8..5, 1..12),
+        cut_bits in proptest::collection::vec(any::<bool>(), 1..12),
+    ) {
+        let n = ops_choice.len().min(cut_bits.len());
+        let graph = random_chain(&ops_choice[..n], &cut_bits[..n]);
+        let fdg = build_fdg(graph).unwrap();
+        prop_assert!(fdg.check_invariants().is_ok());
+    }
+
+    /// The fragment count equals the number of maximal runs of
+    /// non-common nodes in the chain (adjacent cuts do not create empty
+    /// fragments — the subgraph between consecutive common nodes can be
+    /// empty, per §4.3).
+    #[test]
+    fn chain_cuts_create_fragments(cut_positions in proptest::collection::btree_set(1usize..9, 0..4)) {
+        // A 10-op chain (node ids 0..=10; cutting position p marks node
+        // p+1 as common).
+        let ops_choice = vec![0u8; 10];
+        let mut cuts = vec![false; 10];
+        for &p in &cut_positions {
+            cuts[p] = true;
+        }
+        let graph = random_chain(&ops_choice, &cuts);
+        // Expected regions: maximal runs of non-common node ids in 0..=10.
+        let is_common = |id: usize| id >= 1 && cut_positions.contains(&(id - 1));
+        let mut expected = 0;
+        let mut in_run = false;
+        for id in 0..=10 {
+            match (is_common(id), in_run) {
+                (false, false) => {
+                    expected += 1;
+                    in_run = true;
+                }
+                (true, _) => in_run = false,
+                _ => {}
+            }
+        }
+        let fdg = build_fdg(graph).unwrap();
+        prop_assert_eq!(fdg.fragments.len(), expected);
+    }
+
+    /// Every common node has exactly one exit side (its producer) across
+    /// the whole FDG.
+    #[test]
+    fn each_common_node_has_one_producer(
+        cut_positions in proptest::collection::btree_set(1usize..9, 1..4)
+    ) {
+        let ops_choice = vec![1u8; 10];
+        let mut cuts = vec![false; 10];
+        for &p in &cut_positions {
+            cuts[p] = true;
+        }
+        let graph = random_chain(&ops_choice, &cuts);
+        let fdg = build_fdg(graph).unwrap();
+        for c in fdg.graph.common_nodes() {
+            let exits: usize = fdg
+                .fragments
+                .iter()
+                .map(|f| f.exits.iter().filter(|i| i.node == c).count())
+                .sum();
+            prop_assert_eq!(exits, 1, "common node {} has {} exits", c, exits);
+        }
+    }
+
+    /// Interpreting all fragments with entry-value handoff reproduces the
+    /// unpartitioned execution (the FDG abstraction does not change
+    /// results, only placement).
+    #[test]
+    fn fragmented_execution_matches_monolithic(
+        ops_choice in proptest::collection::vec(0u8..5, 2..8),
+        cut in 1usize..6,
+        xs in proptest::collection::vec(-2.0f32..2.0, 16),
+    ) {
+        let n = ops_choice.len();
+        let cut = cut.min(n - 1);
+        let mut cuts = vec![false; n];
+        cuts[cut] = true;
+        let graph = random_chain(&ops_choice, &cuts);
+        let x = Tensor::from_vec(xs, &[4, 4]).unwrap();
+
+        // Monolithic execution.
+        let mut interp = Interpreter::new();
+        interp.bind_input("x", x.clone());
+        let mono = interp.eval(&graph).unwrap();
+        let last = mono.last().unwrap().clone();
+
+        // Fragmented execution: evaluate fragments in id order, feeding
+        // exit values into entries.
+        let fdg = build_fdg(graph).unwrap();
+        let mut boundary_values: HashMap<usize, Tensor> = HashMap::new();
+        let mut final_value = None;
+        for f in &fdg.fragments {
+            let mut interp = Interpreter::new();
+            interp.bind_input("x", x.clone());
+            let preset: HashMap<usize, Tensor> = f
+                .entries
+                .iter()
+                .filter_map(|i| boundary_values.get(&i.node).map(|t| (i.node, t.clone())))
+                .collect();
+            let values = interp.eval_fragment(&fdg.graph, f, preset).unwrap();
+            for e in &f.exits {
+                boundary_values.insert(e.node, values[&e.node].clone());
+            }
+            let max_node = f.all_nodes().last().copied().unwrap();
+            if max_node == fdg.graph.len() - 1 {
+                final_value = Some(values[&max_node].clone());
+            }
+        }
+        let final_value = final_value.expect("some fragment holds the last node");
+        for (a, b) in final_value.data().iter().zip(last.data()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    /// Fused execution equals per-replica execution for random MLP
+    /// shapes and inputs.
+    #[test]
+    fn fusion_preserves_semantics(
+        hidden in 1usize..6,
+        replicas in 1usize..5,
+        seed_vals in proptest::collection::vec(-1.0f32..1.0, 6),
+    ) {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[2, 3]);
+        let out = trace_mlp(&ctx, "m", &x, &[3, hidden, 2]);
+        let g = ctx.finish();
+        prop_assert!(fusible(&g));
+        let fused = fuse_graph(&g, replicas).unwrap();
+
+        let w0: Vec<f32> = (0..3 * hidden).map(|i| seed_vals[i % 6] * 0.3).collect();
+        let w1: Vec<f32> = (0..hidden * 2).map(|i| seed_vals[(i + 2) % 6] * 0.2).collect();
+        let params = vec![
+            ("m.w0", Tensor::from_vec(w0, &[3, hidden]).unwrap()),
+            ("m.b0", Tensor::full(&[hidden], 0.1)),
+            ("m.w1", Tensor::from_vec(w1, &[hidden, 2]).unwrap()),
+            ("m.b1", Tensor::zeros(&[2])),
+        ];
+        let inputs: Vec<Tensor> = (0..replicas)
+            .map(|r| Tensor::full(&[2, 3], seed_vals[r % 6]))
+            .collect();
+
+        let mut separate = Vec::new();
+        for x in &inputs {
+            let mut interp = Interpreter::new();
+            for (k, v) in &params {
+                interp.bind_param(k, v.clone());
+            }
+            interp.bind_input("x", x.clone());
+            separate.push(interp.eval(&g).unwrap()[out.id()].clone());
+        }
+        let refs: Vec<&Tensor> = separate.iter().collect();
+        let stacked = ops::concat(&refs, 0).unwrap();
+
+        let in_refs: Vec<&Tensor> = inputs.iter().collect();
+        let mut interp = Interpreter::new();
+        for (k, v) in &params {
+            interp.bind_param(k, v.clone());
+        }
+        interp.bind_input("x", ops::concat(&in_refs, 0).unwrap());
+        let fused_out = interp.eval(&fused).unwrap()[out.id()].clone();
+
+        prop_assert_eq!(fused_out.shape(), stacked.shape());
+        for (a, b) in fused_out.data().iter().zip(stacked.data()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Action/observation specifications and step results.
+
+use msrl_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// What kind of actions an environment accepts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ActionSpec {
+    /// One of `n` discrete choices.
+    Discrete {
+        /// Number of choices.
+        n: usize,
+    },
+    /// A `dim`-dimensional continuous vector, clamped per-dimension to
+    /// `[low, high]`.
+    Continuous {
+        /// Action dimensionality.
+        dim: usize,
+        /// Lower bound applied to every dimension.
+        low: f32,
+        /// Upper bound applied to every dimension.
+        high: f32,
+    },
+}
+
+impl ActionSpec {
+    /// The width of the policy head needed for this spec: `n` logits for
+    /// discrete actions, `dim` means for continuous ones.
+    pub fn policy_width(&self) -> usize {
+        match self {
+            ActionSpec::Discrete { n } => *n,
+            ActionSpec::Continuous { dim, .. } => *dim,
+        }
+    }
+
+    /// Whether the spec is discrete.
+    pub fn is_discrete(&self) -> bool {
+        matches!(self, ActionSpec::Discrete { .. })
+    }
+}
+
+/// A concrete action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Index of a discrete choice.
+    Discrete(usize),
+    /// A continuous action vector (`[dim]`).
+    Continuous(Tensor),
+}
+
+impl Action {
+    /// The discrete index, if this is a discrete action.
+    pub fn as_discrete(&self) -> Option<usize> {
+        match self {
+            Action::Discrete(i) => Some(*i),
+            Action::Continuous(_) => None,
+        }
+    }
+
+    /// The continuous vector, if this is a continuous action.
+    pub fn as_continuous(&self) -> Option<&Tensor> {
+        match self {
+            Action::Discrete(_) => None,
+            Action::Continuous(t) => Some(t),
+        }
+    }
+}
+
+/// Result of a single-agent step.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// Next observation, `[obs_dim]`.
+    pub obs: Tensor,
+    /// Scalar reward.
+    pub reward: f32,
+    /// Whether the episode terminated with this step.
+    pub done: bool,
+}
+
+/// Result of a multi-agent step.
+#[derive(Debug, Clone)]
+pub struct MultiStep {
+    /// Next observation per agent.
+    pub obs: Vec<Tensor>,
+    /// Reward per agent.
+    pub rewards: Vec<f32>,
+    /// Whether the (shared) episode terminated.
+    pub done: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_width() {
+        assert_eq!(ActionSpec::Discrete { n: 5 }.policy_width(), 5);
+        assert_eq!(
+            ActionSpec::Continuous { dim: 6, low: -1.0, high: 1.0 }.policy_width(),
+            6
+        );
+    }
+
+    #[test]
+    fn action_accessors() {
+        let d = Action::Discrete(3);
+        assert_eq!(d.as_discrete(), Some(3));
+        assert!(d.as_continuous().is_none());
+        let c = Action::Continuous(Tensor::zeros(&[2]));
+        assert!(c.as_discrete().is_none());
+        assert_eq!(c.as_continuous().unwrap().shape(), &[2]);
+    }
+}

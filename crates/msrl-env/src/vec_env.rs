@@ -1,0 +1,183 @@
+//! Vectorised execution of many environment instances.
+//!
+//! The paper's actors each interact with a *set* of environments ("each
+//! actor interacts with 32 environments", §3). [`VecEnv`] is that set: it
+//! steps every instance with a batch of actions, auto-resets finished
+//! episodes, and returns batched tensors ready for fused policy inference.
+
+use msrl_tensor::{ops, Tensor};
+
+use crate::spec::{Action, ActionSpec};
+use crate::Environment;
+
+/// A batch of environments stepped in lockstep.
+pub struct VecEnv {
+    envs: Vec<Box<dyn Environment>>,
+    obs_dim: usize,
+    spec: ActionSpec,
+    /// Episode return accumulated per instance (diagnostics).
+    returns: Vec<f32>,
+    /// Returns of episodes completed since the last query.
+    finished_returns: Vec<f32>,
+}
+
+/// Result of stepping a [`VecEnv`].
+#[derive(Debug, Clone)]
+pub struct VecStep {
+    /// Batched next observations, `[n, obs_dim]` (auto-reset on done).
+    pub obs: Tensor,
+    /// Rewards, `[n]`.
+    pub rewards: Tensor,
+    /// Per-instance terminal flags for this step.
+    pub dones: Vec<bool>,
+}
+
+impl VecEnv {
+    /// Wraps a non-empty set of homogeneous environments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `envs` is empty or instances disagree on observation or
+    /// action specs — a construction-time configuration error.
+    pub fn new(envs: Vec<Box<dyn Environment>>) -> Self {
+        assert!(!envs.is_empty(), "VecEnv needs at least one environment");
+        let obs_dim = envs[0].obs_dim();
+        let spec = envs[0].action_spec();
+        for e in &envs {
+            assert_eq!(e.obs_dim(), obs_dim, "heterogeneous obs dims");
+            assert_eq!(e.action_spec(), spec, "heterogeneous action specs");
+        }
+        let n = envs.len();
+        VecEnv { envs, obs_dim, spec, returns: vec![0.0; n], finished_returns: Vec::new() }
+    }
+
+    /// Builds `n` instances from a constructor taking the instance index
+    /// (typically used to derive per-instance seeds).
+    pub fn from_fn<E, F>(n: usize, f: F) -> Self
+    where
+        E: Environment + 'static,
+        F: Fn(usize) -> E,
+    {
+        VecEnv::new((0..n).map(|i| Box::new(f(i)) as Box<dyn Environment>).collect())
+    }
+
+    /// Number of environment instances.
+    pub fn len(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// Whether the batch is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.envs.is_empty()
+    }
+
+    /// Per-instance observation width.
+    pub fn obs_dim(&self) -> usize {
+        self.obs_dim
+    }
+
+    /// The shared action spec.
+    pub fn action_spec(&self) -> ActionSpec {
+        self.spec
+    }
+
+    /// Total virtual CPU cost of one batched step (sum over instances).
+    pub fn step_cost(&self) -> f64 {
+        self.envs.iter().map(|e| e.step_cost()).sum()
+    }
+
+    /// Resets every instance; returns `[n, obs_dim]`.
+    pub fn reset(&mut self) -> Tensor {
+        let obs: Vec<Tensor> = self.envs.iter_mut().map(|e| e.reset()).collect();
+        for r in &mut self.returns {
+            *r = 0.0;
+        }
+        let refs: Vec<&Tensor> = obs.iter().collect();
+        ops::stack(&refs).expect("homogeneous obs dims")
+    }
+
+    /// Steps every instance with its action; finished instances are
+    /// reset, and their observation in the result is the fresh reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions.len() != self.len()` — a caller bug, since the
+    /// batch size is fixed at construction.
+    pub fn step(&mut self, actions: &[Action]) -> VecStep {
+        assert_eq!(actions.len(), self.envs.len(), "one action per instance");
+        let mut obs = Vec::with_capacity(self.envs.len());
+        let mut rewards = Vec::with_capacity(self.envs.len());
+        let mut dones = Vec::with_capacity(self.envs.len());
+        for (i, (env, action)) in self.envs.iter_mut().zip(actions).enumerate() {
+            let step = env.step(action);
+            self.returns[i] += step.reward;
+            rewards.push(step.reward);
+            dones.push(step.done);
+            if step.done {
+                self.finished_returns.push(self.returns[i]);
+                self.returns[i] = 0.0;
+                obs.push(env.reset());
+            } else {
+                obs.push(step.obs);
+            }
+        }
+        let refs: Vec<&Tensor> = obs.iter().collect();
+        VecStep {
+            obs: ops::stack(&refs).expect("homogeneous obs dims"),
+            rewards: Tensor::from_vec(rewards, &[self.envs.len()]).expect("length matches"),
+            dones,
+        }
+    }
+
+    /// Drains the returns of episodes that finished since the last call.
+    pub fn take_finished_returns(&mut self) -> Vec<f32> {
+        std::mem::take(&mut self.finished_returns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cartpole::CartPole;
+
+    #[test]
+    fn reset_shapes() {
+        let mut v = VecEnv::from_fn(3, |i| CartPole::new(i as u64));
+        let obs = v.reset();
+        assert_eq!(obs.shape(), &[3, 4]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.obs_dim(), 4);
+    }
+
+    #[test]
+    fn step_returns_batched_results() {
+        let mut v = VecEnv::from_fn(2, |i| CartPole::new(i as u64));
+        v.reset();
+        let s = v.step(&[Action::Discrete(0), Action::Discrete(1)]);
+        assert_eq!(s.obs.shape(), &[2, 4]);
+        assert_eq!(s.rewards.shape(), &[2]);
+        assert_eq!(s.dones.len(), 2);
+    }
+
+    #[test]
+    fn auto_reset_and_finished_returns() {
+        let mut v = VecEnv::from_fn(1, |_| CartPole::new(0).with_horizon(3));
+        v.reset();
+        // Survive via alternation until the 3-step horizon truncates.
+        for i in 0..3 {
+            v.step(&[Action::Discrete(i % 2)]);
+        }
+        let finished = v.take_finished_returns();
+        assert_eq!(finished.len(), 1);
+        assert_eq!(finished[0], 3.0, "3 survival rewards");
+        assert!(v.take_finished_returns().is_empty(), "drained");
+    }
+
+    #[test]
+    #[should_panic(expected = "one action per instance")]
+    fn wrong_action_count_panics() {
+        let mut v = VecEnv::from_fn(2, |i| CartPole::new(i as u64));
+        v.reset();
+        v.step(&[Action::Discrete(0)]);
+    }
+}

@@ -1,0 +1,233 @@
+//! The coordinator (§5.1): FDG generation and fragment dispatch.
+//!
+//! `Coordinator::deploy_ppo` performs the full front half of Fig. 6: it
+//! traces the algorithm into a dataflow graph, runs Algorithm 2 to obtain
+//! the FDG, and applies the deployment configuration's distribution
+//! policy to produce the fragment placement that the execution engine
+//! (`crate::exec`) realises with worker threads.
+
+use msrl_core::config::{AlgorithmConfig, DeploymentConfig};
+use msrl_core::partition::{build_fdg, Fdg};
+use msrl_core::FdgError;
+
+use crate::policy::{place, Placement, PlacementError};
+use crate::trace_algos::trace_ppo;
+
+/// Errors from deployment.
+#[derive(Debug)]
+pub enum DeployError {
+    /// FDG construction failed.
+    Fdg(FdgError),
+    /// The distribution policy could not be applied.
+    Placement(PlacementError),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::Fdg(e) => write!(f, "FDG generation failed: {e}"),
+            DeployError::Placement(e) => write!(f, "placement failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// A deployed algorithm: the FDG plus its placement.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The fragmented dataflow graph.
+    pub fdg: Fdg,
+    /// The fragment-to-device placement.
+    pub placement: Placement,
+    /// The algorithm configuration it was built from.
+    pub algo: AlgorithmConfig,
+    /// The deployment configuration it was built from.
+    pub deploy: DeploymentConfig,
+}
+
+impl Deployment {
+    /// Validates the placement against the FDG's device requirements:
+    /// every fragment role that hosts CPU-only graph fragments (native
+    /// environment code) must have at least one CPU-capable instance.
+    ///
+    /// DP-D is the exception the paper calls out: it is "only applicable
+    /// if the environment has a GPU implementation", so a GPU-only
+    /// placement of env-hosting roles is reported for the caller to
+    /// check against the environment's capabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first conflict.
+    pub fn validate(&self) -> Result<(), String> {
+        use crate::policy::Role;
+        use msrl_core::DeviceReq;
+        let has_cpu_only_env =
+            self.fdg.fragments.iter().any(|f| f.device_req == DeviceReq::CpuOnly);
+        if !has_cpu_only_env {
+            return Ok(());
+        }
+        // Roles that host environment execution under each policy
+        // (fused actor+learner fragments drive their own environments).
+        let env_roles = [Role::ActorEnv, Role::ActorLearner, Role::Env, Role::FusedLoop];
+        let hosted: Vec<&crate::policy::PlacedFragment> = self
+            .placement
+            .fragments
+            .iter()
+            .filter(|f| env_roles.contains(&f.role))
+            .collect();
+        if hosted.is_empty() {
+            return Err("no fragment role hosts the environment".to_string());
+        }
+        let any_cpu = hosted
+            .iter()
+            .any(|f| f.device.kind == msrl_comm::DeviceKind::Cpu);
+        // An ActorEnv fragment on a GPU still runs its environment
+        // processes on the node's co-located CPU cores (DP-A).
+        let colocated_cores = hosted.iter().any(|f| {
+            matches!(f.role, Role::ActorEnv | Role::ActorLearner)
+                && self.deploy.cpus_per_worker > 0
+        });
+        let all_fused_gpu = hosted.iter().all(|f| f.role == Role::FusedLoop);
+        if any_cpu || colocated_cores || all_fused_gpu {
+            // CPU-capable (directly or via co-located cores), or
+            // explicitly the GPU-only policy (DP-D), which requires a
+            // batched device environment — the caller's responsibility
+            // per §6.
+            Ok(())
+        } else {
+            Err(format!(
+                "environment fragments are CPU-only but {:?} instances have no CPU capacity",
+                hosted[0].role
+            ))
+        }
+    }
+
+    /// A human-readable summary table (one line per placed fragment).
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "policy={} fragments={} graph_nodes={} sync={:?}\n",
+            self.placement.policy.code(),
+            self.placement.fragments.len(),
+            self.fdg.graph.len(),
+            self.placement.sync,
+        );
+        for f in &self.placement.fragments {
+            out.push_str(&format!("  {:?}[{}] @ {}\n", f.role, f.replica, f.device));
+        }
+        out
+    }
+}
+
+/// The coordinator.
+pub struct Coordinator;
+
+impl Coordinator {
+    /// Traces, partitions and places a PPO-family algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the trace fails validation or the policy is
+    /// inapplicable to the deployment's devices.
+    pub fn deploy_ppo(
+        algo: &AlgorithmConfig,
+        deploy: &DeploymentConfig,
+        obs_dim: usize,
+        act_dim: usize,
+        hidden: usize,
+    ) -> Result<Deployment, DeployError> {
+        let graph = trace_ppo(algo, obs_dim, act_dim, hidden);
+        let fdg = build_fdg(graph).map_err(DeployError::Fdg)?;
+        let placement = place(algo, deploy).map_err(DeployError::Placement)?;
+        Ok(Deployment { fdg, placement, algo: algo.clone(), deploy: deploy.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Role;
+    use msrl_core::config::PolicyName;
+
+    #[test]
+    fn deploy_ppo_under_every_builtin_policy() {
+        let algo = AlgorithmConfig::ppo(4, 8);
+        for policy in [
+            PolicyName::SingleLearnerCoarse,
+            PolicyName::SingleLearnerFine,
+            PolicyName::MultipleLearners,
+            PolicyName::GpuOnly,
+            PolicyName::Environments,
+            PolicyName::Central,
+        ] {
+            let deploy = DeploymentConfig::workers(4, 2, policy.clone());
+            let d = Coordinator::deploy_ppo(&algo, &deploy, 17, 6, 64)
+                .unwrap_or_else(|e| panic!("{}: {e}", policy.code()));
+            d.fdg.check_invariants().unwrap();
+            assert!(!d.placement.fragments.is_empty());
+        }
+    }
+
+    #[test]
+    fn switching_policy_does_not_change_the_fdg() {
+        // The paper's core claim: the algorithm (and hence its FDG) is
+        // independent of the distribution policy.
+        let algo = AlgorithmConfig::ppo(4, 8);
+        let a = Coordinator::deploy_ppo(
+            &algo,
+            &DeploymentConfig::workers(4, 2, PolicyName::SingleLearnerCoarse),
+            17,
+            6,
+            64,
+        )
+        .unwrap();
+        let c = Coordinator::deploy_ppo(
+            &algo,
+            &DeploymentConfig::workers(4, 2, PolicyName::MultipleLearners),
+            17,
+            6,
+            64,
+        )
+        .unwrap();
+        assert_eq!(a.fdg, c.fdg, "same algorithm ⇒ same FDG");
+        assert_ne!(a.placement, c.placement, "different policy ⇒ different placement");
+    }
+
+    #[test]
+    fn validate_accepts_builtin_policies() {
+        let algo = AlgorithmConfig::ppo(2, 4);
+        for policy in [
+            PolicyName::SingleLearnerCoarse,
+            PolicyName::SingleLearnerFine,
+            PolicyName::MultipleLearners,
+            PolicyName::GpuOnly, // DP-D defers env capability to the caller
+            PolicyName::Environments,
+            PolicyName::Central,
+        ] {
+            let deploy = DeploymentConfig::workers(4, 2, policy.clone());
+            let d = Coordinator::deploy_ppo(&algo, &deploy, 4, 2, 16).unwrap();
+            d.validate().unwrap_or_else(|e| panic!("{}: {e}", policy.code()));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_env_starved_placement() {
+        let algo = AlgorithmConfig::ppo(2, 4);
+        let deploy = DeploymentConfig::workers(2, 1, PolicyName::SingleLearnerCoarse);
+        let mut d = Coordinator::deploy_ppo(&algo, &deploy, 4, 2, 16).unwrap();
+        // Corrupt the placement: drop every env-hosting fragment.
+        d.placement.fragments.retain(|f| f.role == crate::policy::Role::Learner);
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn describe_lists_fragments() {
+        let algo = AlgorithmConfig::ppo(2, 4);
+        let deploy = DeploymentConfig::workers(2, 1, PolicyName::SingleLearnerCoarse);
+        let d = Coordinator::deploy_ppo(&algo, &deploy, 4, 2, 16).unwrap();
+        let s = d.describe();
+        assert!(s.contains("DP-A"));
+        assert!(s.contains("Learner"));
+        assert_eq!(d.placement.count(Role::ActorEnv), 2);
+    }
+}

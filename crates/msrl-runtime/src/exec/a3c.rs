@@ -1,0 +1,172 @@
+//! The asynchronous A3C driver (Figs. 7b and 9b's workload).
+//!
+//! Each worker fragment owns exactly one environment and a policy
+//! replica; after every n-step rollout it computes gradients locally and
+//! ships them to the learner fragment *asynchronously* — it does not
+//! wait for its peers, only for the learner's weight reply to its own
+//! push. The learner applies gradients in arrival order (Hogwild-style,
+//! serialised by its mailbox), which is exactly the asynchrony that
+//! makes A3C's per-actor work independent of the actor count.
+
+use msrl_algos::a3c::{A3cConfig, A3cLearner, A3cWorker};
+use msrl_algos::ppo::PpoPolicy;
+use msrl_algos::rollout::collect;
+use msrl_comm::Fabric;
+use msrl_core::api::{Actor, Learner};
+use msrl_core::{FdgError, Result};
+use msrl_env::{Environment, VecEnv};
+
+use super::{mean_or_prev, TrainingReport};
+
+/// Configuration for the asynchronous A3C driver.
+#[derive(Debug, Clone)]
+pub struct A3cDistConfig {
+    /// Worker (actor) fragments, each with one environment.
+    pub workers: usize,
+    /// Steps per local rollout before a gradient push.
+    pub rollout_steps: usize,
+    /// Gradient pushes per worker.
+    pub pushes_per_worker: usize,
+    /// Hidden widths of the shared network.
+    pub hidden: Vec<usize>,
+    /// A3C hyper-parameters.
+    pub a3c: A3cConfig,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for A3cDistConfig {
+    fn default() -> Self {
+        A3cDistConfig {
+            workers: 3,
+            rollout_steps: 32,
+            pushes_per_worker: 20,
+            hidden: vec![32],
+            a3c: A3cConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Runs A3C with asynchronous gradient pushes.
+///
+/// # Errors
+///
+/// Propagates algorithm/communication failures from any fragment.
+pub fn run_a3c<E, F>(make_env: F, dist: &A3cDistConfig) -> Result<TrainingReport>
+where
+    E: Environment + 'static,
+    F: Fn(usize) -> E + Send + Sync,
+{
+    let p = dist.workers.max(1);
+    // Ranks 0..p are workers; rank p is the learner.
+    let mut endpoints = Fabric::new(p + 1);
+    let learner_ep = endpoints.pop().expect("fabric yields p+1 endpoints");
+
+    let probe = make_env(0);
+    let (obs_dim, spec) = (probe.obs_dim(), probe.action_spec());
+    drop(probe);
+    let policy = PpoPolicy::discrete(obs_dim, spec.policy_width(), &dist.hidden, dist.seed);
+    let comm_err = |e: msrl_comm::CommError| FdgError::MissingKernel { op: format!("comm: {e}") };
+
+    std::thread::scope(|scope| -> Result<TrainingReport> {
+        let mut handles = Vec::new();
+        for (rank, ep) in endpoints.into_iter().enumerate() {
+            let policy = policy.clone();
+            let make_env = &make_env;
+            let cfg = dist.a3c.clone();
+            handles.push(scope.spawn(move || -> Result<()> {
+                // One environment per A3C actor (the defining property).
+                let mut worker = A3cWorker::new(policy, cfg, dist.seed + 1 + rank as u64);
+                let mut envs = VecEnv::new(vec![
+                    Box::new(make_env(rank)) as Box<dyn Environment>
+                ]);
+                for _ in 0..dist.pushes_per_worker {
+                    let batch = collect(&mut worker, &mut envs, dist.rollout_steps)?;
+                    let grads = worker.local_grads(&batch)?;
+                    // Asynchronous push: no coordination with peers.
+                    ep.send(p, grads).map_err(comm_err)?;
+                    ep.send(p, envs.take_finished_returns()).map_err(comm_err)?;
+                    let weights = ep.recv(p).map_err(comm_err)?;
+                    worker.set_policy_params(&weights)?;
+                }
+                Ok(())
+            }));
+        }
+
+        // The learner applies gradients in whatever order they arrive,
+        // polling each worker's queue without blocking on stragglers.
+        let mut learner = A3cLearner::new(policy, &dist.a3c);
+        let mut report = TrainingReport::default();
+        let mut prev_reward = 0.0;
+        let mut remaining: Vec<usize> = vec![dist.pushes_per_worker; p];
+        while remaining.iter().any(|&r| r > 0) {
+            let mut progressed = false;
+            for rank in 0..p {
+                if remaining[rank] == 0 {
+                    continue;
+                }
+                // Non-blocking poll: arrival order decides application
+                // order across workers.
+                if let Some(grads) = learner_ep.try_recv(rank).map_err(comm_err)? {
+                    let finished = learner_ep.recv(rank).map_err(comm_err)?;
+                    learner.apply_grads(&grads)?;
+                    learner_ep.send(rank, learner.policy_params()).map_err(comm_err)?;
+                    remaining[rank] -= 1;
+                    progressed = true;
+                    prev_reward = mean_or_prev(&finished, prev_reward);
+                    report.iteration_rewards.push(prev_reward);
+                }
+            }
+            if !progressed {
+                std::thread::yield_now();
+            }
+        }
+        for h in handles {
+            h.join().expect("worker thread must not panic")?;
+        }
+        report.final_params = learner.policy_params();
+        Ok(report)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrl_env::cartpole::CartPole;
+
+    #[test]
+    fn async_a3c_trains_cartpole() {
+        let dist = A3cDistConfig {
+            workers: 3,
+            rollout_steps: 32,
+            pushes_per_worker: 40,
+            hidden: vec![32],
+            a3c: A3cConfig { lr: 2e-3, ..A3cConfig::default() },
+            seed: 17,
+        };
+        let report = run_a3c(|w| CartPole::new(w as u64), &dist).unwrap();
+        assert_eq!(report.iteration_rewards.len(), 3 * 40);
+        assert!(
+            report.recent_reward(20) > report.early_reward(20),
+            "async A3C must improve: {} → {}",
+            report.early_reward(20),
+            report.recent_reward(20)
+        );
+    }
+
+    #[test]
+    fn async_updates_apply_every_push() {
+        let dist = A3cDistConfig {
+            workers: 2,
+            rollout_steps: 8,
+            pushes_per_worker: 3,
+            hidden: vec![8],
+            seed: 18,
+            ..A3cDistConfig::default()
+        };
+        let report = run_a3c(|w| CartPole::new(10 + w as u64), &dist).unwrap();
+        assert_eq!(report.iteration_rewards.len(), 6, "one entry per applied push");
+        assert!(!report.final_params.is_empty());
+    }
+}

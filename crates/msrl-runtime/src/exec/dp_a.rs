@@ -1,0 +1,144 @@
+//! DP-A (single learner, coarse synchronisation).
+//!
+//! Actor+environment fragments are replicated — one thread each, with a
+//! local policy replica and a vectorised environment set. Once per
+//! iteration every actor ships its whole trajectory to the single
+//! learner fragment and blocks until the learner broadcasts fresh
+//! weights: the per-episode batched synchronisation of Tab. 2.
+
+use msrl_algos::ppo::{PpoActor, PpoLearner, PpoPolicy};
+use msrl_algos::rollout::collect;
+use msrl_comm::Fabric;
+use msrl_core::api::{Actor, Learner, SampleBatch};
+use msrl_core::{FdgError, Result};
+use msrl_env::{Environment, VecEnv};
+
+use crate::wire::{decode_batch, encode_batch};
+
+use super::{mean_or_prev, DistPpoConfig, TrainingReport};
+
+/// Runs PPO under DP-A. `make_env(actor, instance)` constructs one
+/// environment.
+///
+/// # Errors
+///
+/// Propagates algorithm/communication failures from any fragment.
+pub fn run_dp_a<E, F>(make_env: F, dist: &DistPpoConfig) -> Result<TrainingReport>
+where
+    E: Environment + 'static,
+    F: Fn(usize, usize) -> E + Send + Sync,
+{
+    let p = dist.actors.max(1);
+    // Ranks 0..p are actors; rank p is the learner.
+    let mut endpoints = Fabric::new(p + 1);
+    let learner_ep = endpoints.pop().expect("fabric yields p+1 endpoints");
+
+    // Probe env specs and build the shared starting policy.
+    let probe = make_env(0, 0);
+    let (obs_dim, spec) = (probe.obs_dim(), probe.action_spec());
+    drop(probe);
+    let policy = if spec.is_discrete() {
+        PpoPolicy::discrete(obs_dim, spec.policy_width(), &dist.hidden, dist.seed)
+    } else {
+        PpoPolicy::continuous(obs_dim, spec.policy_width(), &dist.hidden, dist.seed)
+    };
+
+    let comm_err = |e: msrl_comm::CommError| FdgError::MissingKernel { op: format!("comm: {e}") };
+
+    std::thread::scope(|scope| -> Result<TrainingReport> {
+        let mut handles = Vec::new();
+        for (rank, ep) in endpoints.into_iter().enumerate() {
+            let policy = policy.clone();
+            let make_env = &make_env;
+            handles.push(scope.spawn(move || -> Result<()> {
+                let mut actor = PpoActor::new(policy, dist.seed + 1 + rank as u64);
+                let mut envs = VecEnv::new(
+                    (0..dist.envs_per_actor.max(1))
+                        .map(|i| Box::new(make_env(rank, i)) as Box<dyn Environment>)
+                        .collect(),
+                );
+                for _ in 0..dist.iterations {
+                    // Actor fragment body: rollout, then coarse sync.
+                    let batch = collect(&mut actor, &mut envs, dist.steps_per_iter)?;
+                    ep.send(p, encode_batch(&batch)).map_err(comm_err)?;
+                    ep.send(p, envs.take_finished_returns()).map_err(comm_err)?;
+                    let weights = ep.recv(p).map_err(comm_err)?;
+                    actor.set_policy_params(&weights)?;
+                }
+                Ok(())
+            }));
+        }
+
+        // Learner fragment body (runs on the calling thread).
+        let mut learner = PpoLearner::new(policy, dist.ppo.clone());
+        let mut report = TrainingReport::default();
+        let mut prev_reward = 0.0;
+        for _ in 0..dist.iterations {
+            let mut batches = Vec::with_capacity(p);
+            let mut finished = Vec::new();
+            for rank in 0..p {
+                batches.push(decode_batch(&learner_ep.recv(rank).map_err(comm_err)?)?);
+                finished.extend(learner_ep.recv(rank).map_err(comm_err)?);
+            }
+            let batch = SampleBatch::concat(&batches)?;
+            let loss = learner.learn(&batch)?;
+            let weights = learner.policy_params();
+            for rank in 0..p {
+                learner_ep.send(rank, weights.clone()).map_err(comm_err)?;
+            }
+            prev_reward = mean_or_prev(&finished, prev_reward);
+            report.iteration_rewards.push(prev_reward);
+            report.losses.push(loss);
+        }
+        for h in handles {
+            h.join().expect("actor thread must not panic")?;
+        }
+        report.final_params = learner.policy_params();
+        Ok(report)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrl_env::cartpole::CartPole;
+
+    #[test]
+    fn dp_a_trains_cartpole_distributed() {
+        let dist = DistPpoConfig {
+            actors: 3,
+            envs_per_actor: 2,
+            steps_per_iter: 48,
+            iterations: 25,
+            hidden: vec![32],
+            seed: 1,
+            ..DistPpoConfig::default()
+        };
+        let report =
+            run_dp_a(|a, i| CartPole::new((a * 100 + i) as u64), &dist).unwrap();
+        assert_eq!(report.iteration_rewards.len(), 25);
+        assert_eq!(report.losses.len(), 25);
+        assert!(!report.final_params.is_empty());
+        assert!(
+            report.recent_reward(5) > report.early_reward(5),
+            "distributed PPO must improve: {:?} → {:?}",
+            report.early_reward(5),
+            report.recent_reward(5)
+        );
+    }
+
+    #[test]
+    fn dp_a_single_actor_matches_shape() {
+        let dist = DistPpoConfig {
+            actors: 1,
+            envs_per_actor: 2,
+            steps_per_iter: 16,
+            iterations: 3,
+            hidden: vec![8],
+            seed: 2,
+            ..DistPpoConfig::default()
+        };
+        let report = run_dp_a(|a, i| CartPole::new((a + i) as u64), &dist).unwrap();
+        assert_eq!(report.iteration_rewards.len(), 3);
+    }
+}

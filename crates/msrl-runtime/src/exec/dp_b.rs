@@ -1,0 +1,196 @@
+//! DP-B (single learner, fine synchronisation).
+//!
+//! Actor fragments fuse with their environments on CPU devices and hold
+//! **no policy copy**: every step, an actor ships observations to the
+//! learner, which performs the (batched) inference, records the
+//! behaviour statistics, and returns actions — SEED-RL-style central
+//! inference. Training data therefore never needs a separate exchange,
+//! and no weights are ever broadcast; the price is a synchronisation per
+//! step (Tab. 2's "fine" granularity).
+
+use msrl_algos::buffer::{step_batch, TrajectoryBuffer};
+use msrl_algos::ppo::{PpoLearner, PpoPolicy};
+use msrl_algos::rollout::decode_actions;
+use msrl_comm::Fabric;
+use msrl_core::api::{Learner, SampleBatch};
+use msrl_core::{FdgError, Result};
+use msrl_env::{Environment, VecEnv};
+use msrl_tensor::{ops, Tensor};
+
+use super::{mean_or_prev, DistPpoConfig, TrainingReport};
+
+/// Runs PPO under DP-B.
+///
+/// # Errors
+///
+/// Propagates algorithm/communication failures from any fragment.
+pub fn run_dp_b<E, F>(make_env: F, dist: &DistPpoConfig) -> Result<TrainingReport>
+where
+    E: Environment + 'static,
+    F: Fn(usize, usize) -> E + Send + Sync,
+{
+    let p = dist.actors.max(1);
+    let mut endpoints = Fabric::new(p + 1);
+    let learner_ep = endpoints.pop().expect("fabric yields p+1 endpoints");
+
+    let probe = make_env(0, 0);
+    let (obs_dim, spec) = (probe.obs_dim(), probe.action_spec());
+    drop(probe);
+    let policy = if spec.is_discrete() {
+        PpoPolicy::discrete(obs_dim, spec.policy_width(), &dist.hidden, dist.seed)
+    } else {
+        PpoPolicy::continuous(obs_dim, spec.policy_width(), &dist.hidden, dist.seed)
+    };
+    let envs_i = dist.envs_per_actor.max(1);
+
+    let comm_err = |e: msrl_comm::CommError| FdgError::MissingKernel { op: format!("comm: {e}") };
+
+    std::thread::scope(|scope| -> Result<TrainingReport> {
+        let mut handles = Vec::new();
+        for (rank, ep) in endpoints.into_iter().enumerate() {
+            let make_env = &make_env;
+            handles.push(scope.spawn(move || -> Result<()> {
+                // The actor+env fragment: no policy, just the loop.
+                let mut envs = VecEnv::new(
+                    (0..envs_i)
+                        .map(|i| Box::new(make_env(rank, i)) as Box<dyn Environment>)
+                        .collect(),
+                );
+                for _ in 0..dist.iterations {
+                    let mut obs = envs.reset();
+                    for _ in 0..dist.steps_per_iter {
+                        // Fine-grained exchange: obs up, actions down.
+                        ep.send(p, obs.data().to_vec()).map_err(comm_err)?;
+                        let wire_actions = ep.recv(p).map_err(comm_err)?;
+                        let actions_t = if spec.is_discrete() {
+                            Tensor::from_vec(wire_actions, &[envs_i])
+                        } else {
+                            Tensor::from_vec(wire_actions, &[envs_i, spec.policy_width()])
+                        }
+                        .map_err(FdgError::Tensor)?;
+                        let actions = decode_actions(&actions_t, spec);
+                        let step = envs.step(&actions);
+                        // Feedback for the learner-side buffer:
+                        // rewards ++ dones ++ next_obs.
+                        let mut fb = step.rewards.data().to_vec();
+                        fb.extend(step.dones.iter().map(|&d| if d { 1.0 } else { 0.0 }));
+                        fb.extend_from_slice(step.obs.data());
+                        ep.send(p, fb).map_err(comm_err)?;
+                        obs = step.obs;
+                    }
+                    ep.send(p, envs.take_finished_returns()).map_err(comm_err)?;
+                }
+                Ok(())
+            }));
+        }
+
+        let mut learner = PpoLearner::new(policy, dist.ppo.clone());
+        let mut rng = msrl_tensor::init::rng(dist.seed + 17);
+        let mut report = TrainingReport::default();
+        let mut prev_reward = 0.0;
+        for _ in 0..dist.iterations {
+            let mut buffers: Vec<TrajectoryBuffer> =
+                (0..p).map(|_| TrajectoryBuffer::new()).collect();
+            for _ in 0..dist.steps_per_iter {
+                // Gather observations from every actor, infer centrally.
+                let mut per_actor_obs = Vec::with_capacity(p);
+                for rank in 0..p {
+                    let wire = learner_ep.recv(rank).map_err(comm_err)?;
+                    per_actor_obs.push(
+                        Tensor::from_vec(wire, &[envs_i, obs_dim]).map_err(FdgError::Tensor)?,
+                    );
+                }
+                let refs: Vec<&Tensor> = per_actor_obs.iter().collect();
+                let stacked = ops::concat(&refs, 0).map_err(FdgError::Tensor)?;
+                let out = learner.policy.act(&stacked, &mut rng)?;
+                let values = out.values.clone().expect("PPO policy has a critic");
+                // Scatter actions, then collect the env feedback.
+                let act_w = if spec.is_discrete() { 1 } else { spec.policy_width() };
+                for rank in 0..p {
+                    let lo = rank * envs_i * act_w;
+                    let hi = lo + envs_i * act_w;
+                    learner_ep
+                        .send(rank, out.actions.data()[lo..hi].to_vec())
+                        .map_err(comm_err)?;
+                }
+                for (rank, buffer) in buffers.iter_mut().enumerate() {
+                    let fb = learner_ep.recv(rank).map_err(comm_err)?;
+                    let rewards =
+                        Tensor::from_vec(fb[..envs_i].to_vec(), &[envs_i])
+                            .map_err(FdgError::Tensor)?;
+                    let dones: Vec<bool> =
+                        fb[envs_i..2 * envs_i].iter().map(|&d| d > 0.5).collect();
+                    let next_obs = Tensor::from_vec(
+                        fb[2 * envs_i..].to_vec(),
+                        &[envs_i, obs_dim],
+                    )
+                    .map_err(FdgError::Tensor)?;
+                    let row = |t: &Tensor| {
+                        let lo = rank * envs_i;
+                        let w = t.len() / (p * envs_i);
+                        Tensor::from_vec(
+                            t.data()[lo * w..(lo + envs_i) * w].to_vec(),
+                            &if w == 1 { vec![envs_i] } else { vec![envs_i, w] },
+                        )
+                        .expect("slice preserves width")
+                    };
+                    buffer.insert(step_batch(
+                        row(&stacked),
+                        row(&out.actions),
+                        rewards,
+                        next_obs,
+                        dones,
+                        row(&out.log_probs),
+                        row(&values),
+                    ));
+                }
+            }
+            // Train on the union of the per-actor trajectories.
+            let mut batches = Vec::with_capacity(p);
+            for buffer in &mut buffers {
+                batches.push(buffer.drain_env_major()?);
+            }
+            let batch = SampleBatch::concat(&batches)?;
+            let loss = learner.learn(&batch)?;
+            let mut finished = Vec::new();
+            for rank in 0..p {
+                finished.extend(learner_ep.recv(rank).map_err(comm_err)?);
+            }
+            prev_reward = mean_or_prev(&finished, prev_reward);
+            report.iteration_rewards.push(prev_reward);
+            report.losses.push(loss);
+        }
+        for h in handles {
+            h.join().expect("actor thread must not panic")?;
+        }
+        report.final_params = learner.policy_params();
+        Ok(report)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrl_env::cartpole::CartPole;
+
+    #[test]
+    fn dp_b_trains_cartpole_with_central_inference() {
+        let dist = DistPpoConfig {
+            actors: 2,
+            envs_per_actor: 2,
+            steps_per_iter: 48,
+            iterations: 25,
+            hidden: vec![32],
+            seed: 3,
+            ..DistPpoConfig::default()
+        };
+        let report = run_dp_b(|a, i| CartPole::new((a * 7 + i) as u64), &dist).unwrap();
+        assert_eq!(report.iteration_rewards.len(), 25);
+        assert!(
+            report.recent_reward(5) > report.early_reward(5),
+            "DP-B must improve: {} → {}",
+            report.early_reward(5),
+            report.recent_reward(5)
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! DP-F (central parameter server / policy pool).
+//!
+//! A dedicated fragment holds the authoritative policy and its optimiser
+//! state; worker fragments collect experience, compute local gradients,
+//! *push* them to the server and *pull* fresh weights — the
+//! parameter-server pattern of Li et al. (OSDI '14) that Tab. 2 cites for
+//! CTDE-based MARL. Updates apply in arrival order (asynchronous
+//! semantics: a worker never waits for its peers, only for the server's
+//! reply to its own push).
+
+use msrl_algos::ppo::{PpoActor, PpoLearner, PpoPolicy};
+use msrl_algos::rollout::collect;
+use msrl_comm::Fabric;
+use msrl_core::api::{Actor, Learner};
+use msrl_core::{FdgError, Result};
+use msrl_env::{Environment, VecEnv};
+
+use super::{mean_or_prev, DistPpoConfig, TrainingReport};
+
+/// Runs PPO under DP-F.
+///
+/// # Errors
+///
+/// Propagates algorithm/communication failures from any fragment.
+pub fn run_dp_f<E, F>(make_env: F, dist: &DistPpoConfig) -> Result<TrainingReport>
+where
+    E: Environment + 'static,
+    F: Fn(usize, usize) -> E + Send + Sync,
+{
+    let p = dist.actors.max(1);
+    // Ranks 0..p are workers; rank p is the parameter server.
+    let mut endpoints = Fabric::new(p + 1);
+    let server_ep = endpoints.pop().expect("fabric yields p+1 endpoints");
+
+    let probe = make_env(0, 0);
+    let (obs_dim, spec) = (probe.obs_dim(), probe.action_spec());
+    drop(probe);
+    let policy = if spec.is_discrete() {
+        PpoPolicy::discrete(obs_dim, spec.policy_width(), &dist.hidden, dist.seed)
+    } else {
+        PpoPolicy::continuous(obs_dim, spec.policy_width(), &dist.hidden, dist.seed)
+    };
+    let comm_err = |e: msrl_comm::CommError| FdgError::MissingKernel { op: format!("comm: {e}") };
+
+    std::thread::scope(|scope| -> Result<TrainingReport> {
+        let mut handles = Vec::new();
+        for (rank, ep) in endpoints.into_iter().enumerate() {
+            let policy = policy.clone();
+            let make_env = &make_env;
+            let ppo = dist.ppo.clone();
+            handles.push(scope.spawn(move || -> Result<()> {
+                // A worker: local actor + gradient computation; weights
+                // live at the server.
+                let mut actor = PpoActor::new(policy.clone(), dist.seed + 1 + rank as u64);
+                let mut grad_engine = PpoLearner::new(policy, ppo);
+                let mut envs = VecEnv::new(
+                    (0..dist.envs_per_actor.max(1))
+                        .map(|i| Box::new(make_env(rank, i)) as Box<dyn Environment>)
+                        .collect(),
+                );
+                for _ in 0..dist.iterations {
+                    let batch = collect(&mut actor, &mut envs, dist.steps_per_iter)?;
+                    let grads = grad_engine.grads(&batch)?;
+                    // Push gradients, pull fresh weights.
+                    ep.send(p, grads).map_err(comm_err)?;
+                    ep.send(p, envs.take_finished_returns()).map_err(comm_err)?;
+                    let weights = ep.recv(p).map_err(comm_err)?;
+                    actor.set_policy_params(&weights)?;
+                    grad_engine.set_policy_params(&weights)?;
+                }
+                Ok(())
+            }));
+        }
+
+        // The parameter-server fragment.
+        let mut server = PpoLearner::new(policy, dist.ppo.clone());
+        let mut report = TrainingReport::default();
+        let mut prev_reward = 0.0;
+        for _ in 0..dist.iterations {
+            let mut finished = Vec::new();
+            for rank in 0..p {
+                let grads = server_ep.recv(rank).map_err(comm_err)?;
+                finished.extend(server_ep.recv(rank).map_err(comm_err)?);
+                // Apply in arrival order (asynchronous updates).
+                server.apply_grads(&grads)?;
+                server_ep.send(rank, server.policy_params()).map_err(comm_err)?;
+            }
+            prev_reward = mean_or_prev(&finished, prev_reward);
+            report.iteration_rewards.push(prev_reward);
+        }
+        for h in handles {
+            h.join().expect("worker thread must not panic")?;
+        }
+        report.final_params = server.policy_params();
+        Ok(report)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrl_env::cartpole::CartPole;
+
+    #[test]
+    fn dp_f_trains_cartpole_through_parameter_server() {
+        let dist = DistPpoConfig {
+            actors: 3,
+            envs_per_actor: 2,
+            steps_per_iter: 48,
+            iterations: 25,
+            hidden: vec![32],
+            seed: 10,
+            ..DistPpoConfig::default()
+        };
+        let report = run_dp_f(|a, i| CartPole::new((a * 13 + i) as u64), &dist).unwrap();
+        assert_eq!(report.iteration_rewards.len(), 25);
+        assert!(
+            report.recent_reward(5) > report.early_reward(5),
+            "DP-F must improve: {} → {}",
+            report.early_reward(5),
+            report.recent_reward(5)
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Real multi-threaded fragment execution (§5.2).
+//!
+//! Each placed fragment runs on its own OS thread ("device"); fragments
+//! synchronise through `msrl-comm` endpoints exactly as their interfaces
+//! prescribe: per-episode trajectory gathers and weight broadcasts under
+//! DP-A, per-step exchanges under DP-B, gradient AllReduce under DP-C,
+//! weight AllReduce between fused loops under DP-D, environment-worker
+//! messaging under DP-E, and parameter-server push/pull under DP-F.
+//!
+//! Every driver consumes the *same* algorithm components from
+//! `msrl-algos`; only the orchestration differs — the executable form of
+//! the paper's claim that distribution policies require no algorithm
+//! changes.
+
+mod a3c;
+mod dp_a;
+mod dp_b;
+mod dp_c;
+mod dp_d;
+mod dp_e;
+mod dp_f;
+
+pub use a3c::{run_a3c, A3cDistConfig};
+pub use dp_a::run_dp_a;
+pub use dp_b::run_dp_b;
+pub use dp_c::run_dp_c;
+pub use dp_d::{run_dp_d, DpDConfig};
+pub use dp_e::{run_dp_e, DpEConfig};
+pub use dp_f::run_dp_f;
+
+use msrl_algos::ppo::PpoConfig;
+
+/// Configuration shared by the PPO distribution drivers.
+#[derive(Debug, Clone)]
+pub struct DistPpoConfig {
+    /// Actor (or fused actor+learner) replicas.
+    pub actors: usize,
+    /// Environments per actor.
+    pub envs_per_actor: usize,
+    /// Vectorised steps collected per training iteration.
+    pub steps_per_iter: usize,
+    /// Training iterations to run.
+    pub iterations: usize,
+    /// Hidden layer widths of the policy.
+    pub hidden: Vec<usize>,
+    /// PPO hyper-parameters.
+    pub ppo: PpoConfig,
+    /// Base RNG seed (replicas derive their own deterministically).
+    pub seed: u64,
+}
+
+impl Default for DistPpoConfig {
+    fn default() -> Self {
+        DistPpoConfig {
+            actors: 2,
+            envs_per_actor: 4,
+            steps_per_iter: 64,
+            iterations: 10,
+            hidden: vec![32, 32],
+            ppo: PpoConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// The outcome of a distributed training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingReport {
+    /// Mean return of episodes finished in each iteration (NaN-free; an
+    /// iteration with no finished episode repeats the previous value).
+    pub iteration_rewards: Vec<f32>,
+    /// Learner loss per iteration (empty for gradient-only policies).
+    pub losses: Vec<f32>,
+    /// Final policy weights (flat), for evaluation by the caller.
+    pub final_params: Vec<f32>,
+}
+
+impl TrainingReport {
+    /// Mean reward over the last `n` iterations.
+    pub fn recent_reward(&self, n: usize) -> f32 {
+        let tail: Vec<f32> =
+            self.iteration_rewards.iter().rev().take(n).copied().collect();
+        if tail.is_empty() {
+            return 0.0;
+        }
+        tail.iter().sum::<f32>() / tail.len() as f32
+    }
+
+    /// Mean reward over the first `n` iterations.
+    pub fn early_reward(&self, n: usize) -> f32 {
+        let head: Vec<f32> = self.iteration_rewards.iter().take(n).copied().collect();
+        if head.is_empty() {
+            return 0.0;
+        }
+        head.iter().sum::<f32>() / head.len() as f32
+    }
+}
+
+/// Summarises finished-episode returns into one scalar, carrying the
+/// previous iteration's value forward when nothing finished.
+pub(crate) fn mean_or_prev(finished: &[f32], prev: f32) -> f32 {
+    if finished.is_empty() {
+        prev
+    } else {
+        finished.iter().sum::<f32>() / finished.len() as f32
+    }
+}

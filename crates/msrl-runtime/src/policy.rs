@@ -1,0 +1,429 @@
+//! Distribution policies (§6, Tab. 2): mapping FDG fragments to devices.
+//!
+//! A distribution policy takes the deployment configuration and produces
+//! a [`Placement`]: which fragment role runs on which device, how many
+//! replicas exist, and how/when they synchronise. The six default
+//! policies subsume the hard-coded strategies of existing systems (Acme,
+//! SEED RL, Sebulba, WarpDrive/Anakin, parameter servers).
+
+use msrl_comm::{DeviceId, DeviceKind};
+use msrl_core::config::{AlgorithmConfig, DeploymentConfig, PolicyName};
+use serde::{Deserialize, Serialize};
+
+/// What a placed fragment does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Policy inference plus environment interaction (an actor fragment
+    /// with co-located environments).
+    ActorEnv,
+    /// A pure actor fragment (environments elsewhere).
+    Actor,
+    /// Environment execution only.
+    Env,
+    /// Policy training only.
+    Learner,
+    /// A fused actor+learner fragment (DP-C).
+    ActorLearner,
+    /// The entire training loop fused on one device (DP-D).
+    FusedLoop,
+    /// A central parameter-server / policy-pool fragment (DP-F).
+    ParamServer,
+}
+
+/// How often replicated fragments synchronise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncGranularity {
+    /// Once per episode (batched trajectories/weights — DP-A, DP-D).
+    PerEpisode,
+    /// Every environment step (DP-B).
+    PerStep,
+    /// Once per training epoch (gradient AllReduce — DP-C).
+    PerEpoch,
+}
+
+/// One placed fragment instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacedFragment {
+    /// The fragment's role.
+    pub role: Role,
+    /// The device executing it.
+    pub device: DeviceId,
+    /// Replica index within its role.
+    pub replica: usize,
+}
+
+/// A complete placement: the output of applying a distribution policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The policy that produced this placement.
+    pub policy: PolicyName,
+    /// All placed fragment instances.
+    pub fragments: Vec<PlacedFragment>,
+    /// Synchronisation granularity between replicas.
+    pub sync: SyncGranularity,
+}
+
+impl Placement {
+    /// All placed instances of a role.
+    pub fn with_role(&self, role: Role) -> Vec<&PlacedFragment> {
+        self.fragments.iter().filter(|f| f.role == role).collect()
+    }
+
+    /// Replica count for a role.
+    pub fn count(&self, role: Role) -> usize {
+        self.with_role(role).len()
+    }
+
+    /// Whether any fragment with this role sits on a GPU.
+    pub fn role_on_gpu(&self, role: Role) -> bool {
+        self.with_role(role).iter().any(|f| f.device.kind == DeviceKind::Gpu)
+    }
+}
+
+/// Errors from placement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementError {
+    /// The deployment has no devices of a kind the policy requires.
+    InsufficientDevices {
+        /// What was missing.
+        need: &'static str,
+    },
+    /// The policy name is not one of the built-in six.
+    UnknownPolicy(String),
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::InsufficientDevices { need } => {
+                write!(f, "deployment lacks required devices: {need}")
+            }
+            PlacementError::UnknownPolicy(p) => write!(f, "unknown distribution policy {p}"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+fn gpus(d: &DeploymentConfig) -> Vec<DeviceId> {
+    (0..d.workers.len())
+        .flat_map(|w| (0..d.gpus_per_worker).map(move |g| DeviceId::gpu(w, g)))
+        .collect()
+}
+
+fn cpus(d: &DeploymentConfig) -> Vec<DeviceId> {
+    (0..d.workers.len())
+        .flat_map(|w| (0..d.cpus_per_worker).map(move |c| DeviceId::cpu(w, c)))
+        .collect()
+}
+
+/// Applies a distribution policy, producing the fragment placement.
+///
+/// # Errors
+///
+/// Returns an error when the deployment lacks the devices the policy
+/// requires (e.g. DP-D with no GPUs).
+pub fn place(
+    algo: &AlgorithmConfig,
+    deploy: &DeploymentConfig,
+) -> Result<Placement, PlacementError> {
+    let gpu_list = gpus(deploy);
+    let cpu_list = cpus(deploy);
+    let actors = (algo.agents * algo.actors).max(1);
+    let learners = (algo.agents * algo.learners).max(1);
+    let policy = deploy.distribution_policy.clone();
+    let mut fragments = Vec::new();
+
+    let sync = match &policy {
+        PolicyName::SingleLearnerCoarse => {
+            // DP-A: actor+env replicas (GPU-backed when available), one
+            // learner on the first GPU; per-episode batched sync.
+            let devices = if gpu_list.is_empty() { &cpu_list } else { &gpu_list };
+            if devices.is_empty() {
+                return Err(PlacementError::InsufficientDevices { need: "any device" });
+            }
+            for i in 0..actors {
+                fragments.push(PlacedFragment {
+                    role: Role::ActorEnv,
+                    device: devices[i % devices.len()],
+                    replica: i,
+                });
+            }
+            fragments.push(PlacedFragment { role: Role::Learner, device: devices[0], replica: 0 });
+            SyncGranularity::PerEpisode
+        }
+        PolicyName::SingleLearnerFine => {
+            // DP-B: actor fused with env on CPU fragments; learner (and
+            // inference) on a GPU; per-step exchange.
+            let gpu = *gpu_list.first().ok_or(PlacementError::InsufficientDevices {
+                need: "a GPU for the DP-B learner",
+            })?;
+            if cpu_list.is_empty() {
+                return Err(PlacementError::InsufficientDevices { need: "CPU workers" });
+            }
+            for i in 0..actors {
+                fragments.push(PlacedFragment {
+                    role: Role::ActorEnv,
+                    device: cpu_list[i % cpu_list.len()],
+                    replica: i,
+                });
+            }
+            fragments.push(PlacedFragment { role: Role::Learner, device: gpu, replica: 0 });
+            SyncGranularity::PerStep
+        }
+        PolicyName::MultipleLearners => {
+            // DP-C: fused actor+learner replicas, one per device;
+            // gradient AllReduce per epoch.
+            let devices = if gpu_list.is_empty() { &cpu_list } else { &gpu_list };
+            if devices.is_empty() {
+                return Err(PlacementError::InsufficientDevices { need: "any device" });
+            }
+            for i in 0..learners.max(actors) {
+                fragments.push(PlacedFragment {
+                    role: Role::ActorLearner,
+                    device: devices[i % devices.len()],
+                    replica: i,
+                });
+            }
+            SyncGranularity::PerEpoch
+        }
+        PolicyName::GpuOnly => {
+            // DP-D: the whole loop fused per GPU.
+            if gpu_list.is_empty() {
+                return Err(PlacementError::InsufficientDevices {
+                    need: "GPUs for the fused training loop",
+                });
+            }
+            for (i, &g) in gpu_list.iter().enumerate() {
+                fragments.push(PlacedFragment { role: Role::FusedLoop, device: g, replica: i });
+            }
+            SyncGranularity::PerEpisode
+        }
+        PolicyName::Environments => {
+            // DP-E: the last worker is dedicated to environments; agents
+            // (actor+learner pairs) occupy GPUs of the remaining workers.
+            if deploy.workers.len() < 2 {
+                return Err(PlacementError::InsufficientDevices {
+                    need: "a dedicated environment worker",
+                });
+            }
+            let env_worker = deploy.workers.len() - 1;
+            for c in 0..deploy.cpus_per_worker {
+                fragments.push(PlacedFragment {
+                    role: Role::Env,
+                    device: DeviceId::cpu(env_worker, c),
+                    replica: c,
+                });
+            }
+            let agent_gpus: Vec<DeviceId> =
+                gpu_list.into_iter().filter(|g| g.node != env_worker).collect();
+            if agent_gpus.is_empty() {
+                return Err(PlacementError::InsufficientDevices { need: "agent GPUs" });
+            }
+            for i in 0..actors {
+                fragments.push(PlacedFragment {
+                    role: Role::ActorLearner,
+                    device: agent_gpus[i % agent_gpus.len()],
+                    replica: i,
+                });
+            }
+            SyncGranularity::PerEpisode
+        }
+        PolicyName::Central => {
+            // DP-F: a parameter-server fragment on worker 0 plus fused
+            // worker fragments pushing updates / pulling policies.
+            let devices = if gpu_list.is_empty() { &cpu_list } else { &gpu_list };
+            if devices.is_empty() {
+                return Err(PlacementError::InsufficientDevices { need: "any device" });
+            }
+            fragments.push(PlacedFragment {
+                role: Role::ParamServer,
+                device: DeviceId::cpu(0, 0),
+                replica: 0,
+            });
+            for i in 0..actors {
+                fragments.push(PlacedFragment {
+                    role: Role::ActorLearner,
+                    device: devices[i % devices.len()],
+                    replica: i,
+                });
+            }
+            SyncGranularity::PerEpisode
+        }
+        PolicyName::Custom(name) => return Err(PlacementError::UnknownPolicy(name.clone())),
+    };
+
+    Ok(Placement { policy, fragments, sync })
+}
+
+/// A user-defined distribution policy: a function from configurations to
+/// a placement (§6: "further policies can be defined easily by expert
+/// users").
+pub type CustomPolicy =
+    Box<dyn Fn(&AlgorithmConfig, &DeploymentConfig) -> Result<Placement, PlacementError> + Send + Sync>;
+
+/// A registry resolving both the six built-in policies and user-defined
+/// ones by name.
+#[derive(Default)]
+pub struct PolicyRegistry {
+    custom: std::collections::HashMap<String, CustomPolicy>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry (built-ins are always available).
+    pub fn new() -> Self {
+        PolicyRegistry::default()
+    }
+
+    /// Registers a custom policy under a name; later registrations
+    /// replace earlier ones.
+    pub fn register(&mut self, name: impl Into<String>, policy: CustomPolicy) {
+        self.custom.insert(name.into(), policy);
+    }
+
+    /// Resolves and applies the deployment's policy: built-ins first,
+    /// then custom registrations for `PolicyName::Custom` names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::UnknownPolicy`] for unregistered custom
+    /// names, or device errors from the resolved policy.
+    pub fn place(
+        &self,
+        algo: &AlgorithmConfig,
+        deploy: &DeploymentConfig,
+    ) -> Result<Placement, PlacementError> {
+        match &deploy.distribution_policy {
+            PolicyName::Custom(name) => match self.custom.get(name) {
+                Some(f) => f(algo, deploy),
+                None => Err(PlacementError::UnknownPolicy(name.clone())),
+            },
+            _ => place(algo, deploy),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ppo_cfg(actors: usize) -> AlgorithmConfig {
+        AlgorithmConfig::ppo(actors, 4)
+    }
+
+    fn deploy(workers: usize, gpus: usize, policy: PolicyName) -> DeploymentConfig {
+        DeploymentConfig::workers(workers, gpus, policy)
+    }
+
+    #[test]
+    fn dp_a_has_single_learner_and_replicated_actors() {
+        let p = place(&ppo_cfg(8), &deploy(4, 2, PolicyName::SingleLearnerCoarse)).unwrap();
+        assert_eq!(p.count(Role::ActorEnv), 8);
+        assert_eq!(p.count(Role::Learner), 1);
+        assert_eq!(p.sync, SyncGranularity::PerEpisode);
+        assert!(p.role_on_gpu(Role::ActorEnv), "actors use GPUs for inference");
+    }
+
+    #[test]
+    fn dp_b_actors_on_cpu_learner_on_gpu() {
+        let p = place(&ppo_cfg(6), &deploy(2, 1, PolicyName::SingleLearnerFine)).unwrap();
+        assert_eq!(p.sync, SyncGranularity::PerStep);
+        assert!(!p.role_on_gpu(Role::ActorEnv), "DP-B fuses actor+env on CPUs");
+        assert!(p.role_on_gpu(Role::Learner));
+        // No GPUs at all → DP-B is inapplicable.
+        assert!(place(&ppo_cfg(2), &deploy(2, 0, PolicyName::SingleLearnerFine)).is_err());
+    }
+
+    #[test]
+    fn dp_c_fuses_actor_and_learner() {
+        let p = place(&ppo_cfg(4), &deploy(2, 2, PolicyName::MultipleLearners)).unwrap();
+        assert_eq!(p.count(Role::ActorLearner), 4);
+        assert_eq!(p.count(Role::Learner), 0, "no separate learner");
+        assert_eq!(p.sync, SyncGranularity::PerEpoch);
+    }
+
+    #[test]
+    fn dp_d_covers_every_gpu_and_requires_gpus() {
+        let p = place(&ppo_cfg(1), &deploy(4, 4, PolicyName::GpuOnly)).unwrap();
+        assert_eq!(p.count(Role::FusedLoop), 16);
+        assert!(p.role_on_gpu(Role::FusedLoop));
+        assert!(place(&ppo_cfg(1), &deploy(4, 0, PolicyName::GpuOnly)).is_err());
+    }
+
+    #[test]
+    fn dp_e_dedicates_a_worker_to_environments() {
+        let mut cfg = ppo_cfg(6);
+        cfg.agents = 6;
+        cfg.actors = 1;
+        let p = place(&cfg, &deploy(4, 2, PolicyName::Environments)).unwrap();
+        let env_nodes: Vec<usize> =
+            p.with_role(Role::Env).iter().map(|f| f.device.node).collect();
+        assert!(env_nodes.iter().all(|&n| n == 3), "all envs on the last worker");
+        let agent_nodes: Vec<usize> =
+            p.with_role(Role::ActorLearner).iter().map(|f| f.device.node).collect();
+        assert!(agent_nodes.iter().all(|&n| n != 3), "agents avoid the env worker");
+        assert!(place(&cfg, &deploy(1, 2, PolicyName::Environments)).is_err());
+    }
+
+    #[test]
+    fn dp_f_adds_a_parameter_server() {
+        let p = place(&ppo_cfg(4), &deploy(2, 1, PolicyName::Central)).unwrap();
+        assert_eq!(p.count(Role::ParamServer), 1);
+        assert_eq!(p.count(Role::ActorLearner), 4);
+    }
+
+    #[test]
+    fn custom_policy_is_rejected_without_registration() {
+        let d = deploy(1, 1, PolicyName::Custom("mine".into()));
+        assert!(matches!(place(&ppo_cfg(1), &d), Err(PlacementError::UnknownPolicy(_))));
+    }
+
+    #[test]
+    fn registry_resolves_custom_policies() {
+        // An expert-defined policy: task-parallel A3C-style per-env actor
+        // sharding — one ActorEnv fragment per environment instance.
+        let mut reg = PolicyRegistry::new();
+        reg.register(
+            "env-sharded",
+            Box::new(|algo, deploy| {
+                let cpus: Vec<DeviceId> = (0..deploy.workers.len())
+                    .flat_map(|w| (0..deploy.cpus_per_worker).map(move |c| DeviceId::cpu(w, c)))
+                    .collect();
+                let fragments = (0..algo.total_envs())
+                    .map(|i| PlacedFragment {
+                        role: Role::ActorEnv,
+                        device: cpus[i % cpus.len()],
+                        replica: i,
+                    })
+                    .collect();
+                Ok(Placement {
+                    policy: PolicyName::Custom("env-sharded".into()),
+                    fragments,
+                    sync: SyncGranularity::PerEpisode,
+                })
+            }),
+        );
+        let algo = ppo_cfg(2); // 2 actors × 4 envs = 8 fragments
+        let d = deploy(2, 0, PolicyName::Custom("env-sharded".into()));
+        let p = reg.place(&algo, &d).unwrap();
+        assert_eq!(p.count(Role::ActorEnv), 8);
+        // Built-ins still resolve through the registry.
+        let d2 = deploy(2, 1, PolicyName::SingleLearnerCoarse);
+        assert_eq!(reg.place(&algo, &d2).unwrap().count(Role::Learner), 1);
+        // Unregistered custom names still fail.
+        let d3 = deploy(2, 1, PolicyName::Custom("nope".into()));
+        assert!(reg.place(&algo, &d3).is_err());
+    }
+
+    #[test]
+    fn actors_spread_across_devices_round_robin() {
+        let p = place(&ppo_cfg(4), &deploy(2, 2, PolicyName::SingleLearnerCoarse)).unwrap();
+        let devices: Vec<DeviceId> =
+            p.with_role(Role::ActorEnv).iter().map(|f| f.device).collect();
+        // 4 actors over 4 GPUs: all distinct.
+        let mut unique = devices.clone();
+        unique.sort_by_key(|d| (d.node, d.index));
+        unique.dedup();
+        assert_eq!(unique.len(), 4);
+    }
+}

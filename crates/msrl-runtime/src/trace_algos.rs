@@ -1,0 +1,145 @@
+//! Traced FDGs for the built-in algorithms.
+//!
+//! This module performs the step the original system does with static
+//! Python analysis: it records each algorithm's training-loop body as an
+//! annotated dataflow graph, placing the partition annotations exactly
+//! where the paper's Alg. 1 places its `#@MSRL.fragment(...)` comments.
+
+use msrl_core::annotate::{Collective, FragmentKind};
+use msrl_core::config::AlgorithmConfig;
+use msrl_core::trace::{trace_mlp, TraceCtx};
+use msrl_core::DataflowGraph;
+
+/// Traces the PPO/MAPPO training-loop body following Alg. 1 of the
+/// paper: actor inference → action annotation → env step → step
+/// annotation → buffer insert/sample → buffer annotation → learn →
+/// learner (weight-sync) annotation.
+pub fn trace_ppo(cfg: &AlgorithmConfig, obs_dim: usize, act_dim: usize, hidden: usize) -> DataflowGraph {
+    let ctx = TraceCtx::new();
+    let envs = cfg.envs_per_actor.max(1);
+    let widths = [obs_dim, hidden, hidden, hidden, hidden, hidden, act_dim];
+
+    // Annotations mark *data* nodes at boundaries ([`TracedVar::boundary`]),
+    // so the producing ops stay interior to their fragments — the op/data
+    // node separation of the paper's Fig. 5.
+
+    // Trainer: reset the environment (Alg. 1 line 26–27).
+    let saved = ctx.enter_component("trainer");
+    let state = ctx.env_reset(envs, obs_dim).boundary();
+    ctx.annotate(FragmentKind::Reset, Collective::AllGather, &[&state]);
+    ctx.exit_component(saved);
+
+    // Actor: policy inference and action generation (lines 6–12).
+    let saved = ctx.enter_component("actor");
+    let policy_out = trace_mlp(&ctx, "actor_net", &state, &widths);
+    let action = ctx.sample_action(&policy_out, envs, act_dim).boundary();
+    ctx.annotate(FragmentKind::Action, Collective::AllGather, &[&action]);
+    ctx.exit_component(saved);
+
+    // Environment execution (line 10).
+    let saved = ctx.enter_component("env");
+    let (new_state, reward) = ctx.env_step(&action, envs, obs_dim);
+    let (new_state, reward) = (new_state.boundary(), reward.boundary());
+    ctx.annotate(FragmentKind::Step, Collective::AllGather, &[&reward, &new_state]);
+    ctx.exit_component(saved);
+
+    // Trainer: buffer exchange (lines 30–32).
+    let saved = ctx.enter_component("trainer");
+    let insert = ctx.replay_insert(&[&reward, &new_state]);
+    let sample = ctx
+        .replay_sample(&insert, envs * cfg.duration, obs_dim + act_dim + 3)
+        .boundary();
+    ctx.annotate(FragmentKind::Buffer, Collective::AllGather, &[&sample]);
+    ctx.exit_component(saved);
+
+    // Learner: training and weight sync (lines 13–22, 33–34).
+    let saved = ctx.enter_component("learner");
+    let loss = ctx.learn(&sample);
+    let n_params: usize = widths.windows(2).map(|w| w[0] * w[1] + w[1]).sum();
+    let params = ctx.read_params(&loss, n_params).boundary();
+    ctx.annotate(FragmentKind::Learner, Collective::AllGather, &[&params]);
+    ctx.exit_component(saved);
+
+    ctx.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msrl_core::partition::build_fdg;
+    use msrl_core::{DeviceReq, OpKind};
+
+    fn ppo_graph() -> DataflowGraph {
+        trace_ppo(&AlgorithmConfig::ppo(1, 32), 17, 6, 64)
+    }
+
+    #[test]
+    fn trace_has_all_five_annotations() {
+        let g = ppo_graph();
+        assert_eq!(g.annotations.len(), 5);
+        let kinds: Vec<_> = g.annotations.iter().map(|a| a.kind.clone()).collect();
+        assert!(kinds.contains(&FragmentKind::Reset));
+        assert!(kinds.contains(&FragmentKind::Action));
+        assert!(kinds.contains(&FragmentKind::Step));
+        assert!(kinds.contains(&FragmentKind::Buffer));
+        assert!(kinds.contains(&FragmentKind::Learner));
+    }
+
+    #[test]
+    fn fdg_partitions_cleanly() {
+        let fdg = build_fdg(ppo_graph()).unwrap();
+        fdg.check_invariants().unwrap();
+        assert!(fdg.fragments.len() >= 3, "actor/env/learner at minimum");
+    }
+
+    #[test]
+    fn env_fragment_is_cpu_bound() {
+        let fdg = build_fdg(ppo_graph()).unwrap();
+        let env_frag = fdg
+            .fragments
+            .iter()
+            .find(|f| {
+                f.interior
+                    .iter()
+                    .any(|&i| fdg.graph.nodes[i].kind == OpKind::EnvStep)
+            })
+            .expect("an env fragment exists");
+        assert_eq!(env_frag.device_req, DeviceReq::CpuOnly);
+    }
+
+    #[test]
+    fn actor_fragment_holds_the_seven_layer_network() {
+        let fdg = build_fdg(ppo_graph()).unwrap();
+        let actor_frag = fdg
+            .fragments
+            .iter()
+            .find(|f| {
+                f.interior.iter().any(|&i| {
+                    matches!(&fdg.graph.nodes[i].kind, OpKind::Param { name } if name.starts_with("actor_net"))
+                })
+            })
+            .expect("an actor fragment exists");
+        let matmuls = actor_frag
+            .interior
+            .iter()
+            .filter(|&&i| fdg.graph.nodes[i].kind == OpKind::MatMul)
+            .count();
+        assert_eq!(matmuls, 6, "seven-layer policy = six matmuls");
+        assert_eq!(actor_frag.device_req, DeviceReq::Any, "operators can run on GPU");
+    }
+
+    #[test]
+    fn weight_sync_exit_carries_all_params() {
+        let fdg = build_fdg(ppo_graph()).unwrap();
+        let params_node = fdg
+            .graph
+            .nodes
+            .iter()
+            .find(|n| n.kind == OpKind::ReadParams)
+            .unwrap();
+        // 17·64+64 + 4·(64·64+64) + 64·6+6 scalar parameters.
+        let expect = 17 * 64 + 64 + 4 * (64 * 64 + 64) + 64 * 6 + 6;
+        assert_eq!(params_node.shape, vec![expect]);
+        assert_eq!(fdg.graph.bytes_of(&[params_node.id]), 4 * expect as u64);
+    }
+}

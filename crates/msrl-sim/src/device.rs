@@ -1,0 +1,95 @@
+//! Device throughput models.
+//!
+//! A device model prices a unit of graph work: `kernels` launches plus
+//! `flops` of arithmetic. Sustained throughputs are set well below peak
+//! (real RL workloads with small tensors reach a fraction of peak), and
+//! kernel-launch overhead is the CUDA-stream cost §5.2 describes — it is
+//! what fragment fusion eliminates.
+
+use serde::{Deserialize, Serialize};
+
+/// A compute device's cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    /// Sustained f32 throughput, flops/second.
+    pub flops_per_sec: f64,
+    /// Fixed overhead per kernel launch, seconds.
+    pub kernel_launch_s: f64,
+    /// Host↔device copy cost, seconds per byte (0 for CPUs).
+    pub copy_s_per_byte: f64,
+}
+
+impl DeviceModel {
+    /// A P100-class GPU (the paper's cloud cluster): ~9.3 TFLOPS peak,
+    /// modelled at ~2 TFLOPS sustained on RL-sized tensors.
+    pub fn p100() -> Self {
+        DeviceModel { flops_per_sec: 2.0e12, kernel_launch_s: 6e-6, copy_s_per_byte: 1.0 / 12.8e9 }
+    }
+
+    /// A V100-class GPU (the paper's local cluster): ~15.7 TFLOPS peak,
+    /// modelled at ~4 TFLOPS sustained, faster launches, NVLink copies.
+    pub fn v100() -> Self {
+        DeviceModel { flops_per_sec: 4.0e12, kernel_launch_s: 4e-6, copy_s_per_byte: 1.0 / 150e9 }
+    }
+
+    /// One Xeon-class CPU core: ~25 GFLOPS sustained with SIMD; no
+    /// launch overhead and no copies (host memory).
+    pub fn cpu_core() -> Self {
+        DeviceModel { flops_per_sec: 2.5e10, kernel_launch_s: 0.0, copy_s_per_byte: 0.0 }
+    }
+
+    /// Time to run `flops` of work in `kernels` launches.
+    pub fn compute_time(&self, flops: u64, kernels: u64) -> f64 {
+        kernels as f64 * self.kernel_launch_s + flops as f64 / self.flops_per_sec
+    }
+
+    /// Time to copy `bytes` between host and this device.
+    pub fn copy_time(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.copy_s_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_beats_cpu_on_large_work() {
+        let flops = 10_000_000_000; // 10 GFLOP
+        let gpu = DeviceModel::p100().compute_time(flops, 10);
+        let cpu = DeviceModel::cpu_core().compute_time(flops, 10);
+        assert!(gpu < cpu / 10.0, "gpu {gpu} vs cpu {cpu}");
+    }
+
+    #[test]
+    fn cpu_beats_gpu_on_tiny_kernels() {
+        // 1000 launches of 1k flops each: launch overhead dominates the
+        // GPU; the CPU just computes.
+        let gpu = DeviceModel::p100().compute_time(1_000_000, 1000);
+        let cpu = DeviceModel::cpu_core().compute_time(1_000_000, 1000);
+        assert!(cpu < gpu, "cpu {cpu} vs gpu {gpu}");
+    }
+
+    #[test]
+    fn fusion_payoff_is_visible_in_the_model() {
+        // N replicas unfused: N× the launches. Fused: same flops, 1× the
+        // launches. The fused run must be strictly faster.
+        let d = DeviceModel::v100();
+        let per_replica_flops = 2_000_000;
+        let kernels = 12;
+        let n = 32;
+        let unfused = d.compute_time(per_replica_flops * n, kernels * n);
+        let fused = d.compute_time(per_replica_flops * n, kernels);
+        assert!(fused < unfused);
+        assert!(unfused - fused >= (n - 1) as f64 * kernels as f64 * d.kernel_launch_s * 0.99);
+    }
+
+    #[test]
+    fn v100_faster_than_p100() {
+        let flops = 1_000_000_000;
+        assert!(
+            DeviceModel::v100().compute_time(flops, 5) < DeviceModel::p100().compute_time(flops, 5)
+        );
+        assert!(DeviceModel::v100().copy_time(1 << 20) < DeviceModel::p100().copy_time(1 << 20));
+    }
+}

@@ -1,0 +1,215 @@
+//! The virtual-clock task-graph scheduler.
+//!
+//! A simulated execution is a DAG of [`SimTask`]s. Each task occupies one
+//! [`Resource`] (a device, a network link, or none for pure delays) for
+//! its duration and starts once (i) all dependencies completed and
+//! (ii) its resource is free. The engine walks tasks in dependency order,
+//! maintaining per-resource free times on a virtual clock — a
+//! deterministic list-scheduling discrete-event simulation.
+//!
+//! Tasks must be supplied in topological order (dependencies before
+//! dependents), which the scenario builders guarantee by construction.
+
+use std::collections::HashMap;
+
+use msrl_comm::DeviceId;
+
+/// What a task occupies while running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// A compute device (serialises its tasks).
+    Device(DeviceId),
+    /// The duplex link between two nodes (serialises transfers between
+    /// that pair; node order is normalised).
+    Link(usize, usize),
+    /// No resource: a pure delay (e.g. pipelined latency).
+    None,
+}
+
+impl Resource {
+    /// A link resource with normalised node order.
+    pub fn link(a: usize, b: usize) -> Resource {
+        Resource::Link(a.min(b), a.max(b))
+    }
+}
+
+/// One unit of simulated work.
+#[derive(Debug, Clone)]
+pub struct SimTask {
+    /// Stable label for reporting (e.g. `"env[3]"`, `"train"`).
+    pub label: String,
+    /// Resource occupied while running.
+    pub resource: Resource,
+    /// Busy time in seconds.
+    pub duration: f64,
+    /// Indices of prerequisite tasks.
+    pub deps: Vec<usize>,
+}
+
+/// A task graph under construction.
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraph {
+    tasks: Vec<SimTask>,
+}
+
+impl TaskGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        TaskGraph::default()
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Adds a task; returns its index. Dependencies must already exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a dependency index is out of range (a scenario-builder
+    /// bug, not a runtime input).
+    pub fn add(&mut self, label: impl Into<String>, resource: Resource, duration: f64, deps: &[usize]) -> usize {
+        let id = self.tasks.len();
+        for &d in deps {
+            assert!(d < id, "dependency {d} of task {id} not yet defined");
+        }
+        self.tasks.push(SimTask {
+            label: label.into(),
+            resource,
+            duration: duration.max(0.0),
+            deps: deps.to_vec(),
+        });
+        id
+    }
+
+    /// Runs the simulation.
+    pub fn simulate(&self) -> Schedule {
+        let mut completion = vec![0.0f64; self.tasks.len()];
+        let mut free: HashMap<Resource, f64> = HashMap::new();
+        for (i, t) in self.tasks.iter().enumerate() {
+            let ready = t.deps.iter().map(|&d| completion[d]).fold(0.0, f64::max);
+            let start = match t.resource {
+                Resource::None => ready,
+                r => {
+                    let f = free.get(&r).copied().unwrap_or(0.0);
+                    ready.max(f)
+                }
+            };
+            let end = start + t.duration;
+            if t.resource != Resource::None {
+                free.insert(t.resource, end);
+            }
+            completion[i] = end;
+        }
+        let makespan = completion.iter().copied().fold(0.0, f64::max);
+        Schedule { completion, makespan }
+    }
+}
+
+/// The result of simulating a task graph.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Completion time of each task, by index.
+    pub completion: Vec<f64>,
+    /// Time at which the last task finishes.
+    pub makespan: f64,
+}
+
+impl Schedule {
+    /// Busy time charged to one resource across a task graph (for
+    /// utilisation/bottleneck reports).
+    pub fn busy_time(graph: &TaskGraph, resource: Resource) -> f64 {
+        graph
+            .tasks
+            .iter()
+            .filter(|t| t.resource == resource)
+            .map(|t| t.duration)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(i: usize) -> Resource {
+        Resource::Device(DeviceId::gpu(i, 0))
+    }
+
+    #[test]
+    fn independent_tasks_on_different_devices_run_in_parallel() {
+        let mut g = TaskGraph::new();
+        g.add("a", dev(0), 1.0, &[]);
+        g.add("b", dev(1), 1.0, &[]);
+        assert_eq!(g.simulate().makespan, 1.0);
+    }
+
+    #[test]
+    fn same_device_serialises() {
+        let mut g = TaskGraph::new();
+        g.add("a", dev(0), 1.0, &[]);
+        g.add("b", dev(0), 1.0, &[]);
+        assert_eq!(g.simulate().makespan, 2.0);
+    }
+
+    #[test]
+    fn dependencies_chain() {
+        let mut g = TaskGraph::new();
+        let a = g.add("a", dev(0), 1.0, &[]);
+        let b = g.add("b", dev(1), 2.0, &[a]);
+        let s = g.simulate();
+        assert_eq!(s.completion[b], 3.0);
+        assert_eq!(s.makespan, 3.0);
+    }
+
+    #[test]
+    fn fan_in_waits_for_slowest() {
+        let mut g = TaskGraph::new();
+        let a = g.add("a", dev(0), 1.0, &[]);
+        let b = g.add("b", dev(1), 5.0, &[]);
+        let c = g.add("c", dev(2), 1.0, &[a, b]);
+        let s = g.simulate();
+        assert_eq!(s.completion[c], 6.0);
+    }
+
+    #[test]
+    fn pure_delays_do_not_serialise() {
+        let mut g = TaskGraph::new();
+        g.add("d1", Resource::None, 3.0, &[]);
+        g.add("d2", Resource::None, 3.0, &[]);
+        assert_eq!(g.simulate().makespan, 3.0);
+    }
+
+    #[test]
+    fn links_serialise_transfers() {
+        let mut g = TaskGraph::new();
+        g.add("t1", Resource::link(0, 1), 1.0, &[]);
+        g.add("t2", Resource::link(1, 0), 1.0, &[]); // same normalised link
+        g.add("t3", Resource::link(0, 2), 1.0, &[]); // different link
+        let s = g.simulate();
+        assert_eq!(s.makespan, 2.0);
+    }
+
+    #[test]
+    fn busy_time_accumulates_per_resource() {
+        let mut g = TaskGraph::new();
+        g.add("a", dev(0), 1.5, &[]);
+        g.add("b", dev(0), 0.5, &[]);
+        g.add("c", dev(1), 9.0, &[]);
+        assert_eq!(Schedule::busy_time(&g, dev(0)), 2.0);
+        assert_eq!(Schedule::busy_time(&g, dev(1)), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet defined")]
+    fn forward_dependency_panics() {
+        let mut g = TaskGraph::new();
+        g.add("a", dev(0), 1.0, &[3]);
+    }
+}

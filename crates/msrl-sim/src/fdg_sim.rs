@@ -1,0 +1,273 @@
+//! Simulating a *real* FDG under an explicit device assignment.
+//!
+//! The scenario models in [`crate::scenarios`] price the paper's
+//! experiments from workload parameters. This module closes the loop the
+//! other way: it takes an actual fragmented dataflow graph (as produced
+//! by Algorithm 2 in `msrl-core`), an explicit fragment→device
+//! assignment, and prices **one iteration of that FDG** on a modelled
+//! cluster — fragment compute from the graph's own operator flop counts,
+//! interface traffic from the graph's own payload byte counts, kernel
+//! launches from the graph's own node counts.
+//!
+//! This is what lets a user ask "what would *my* partitioning cost on
+//! the cloud cluster?" before running anything.
+
+use std::collections::HashMap;
+
+use msrl_comm::topology::{DeviceId, DeviceKind};
+use msrl_core::cost::subgraph_flops;
+use msrl_core::{DeviceReq, Fdg, FragmentId, OpKind};
+
+use crate::device::DeviceModel;
+use crate::engine::{Resource, TaskGraph};
+use crate::scenarios::Cluster;
+
+/// Errors from FDG simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FdgSimError {
+    /// A fragment has no device assignment.
+    Unassigned(FragmentId),
+    /// A CPU-only fragment (e.g. native environment code) was assigned
+    /// to a GPU, or vice versa.
+    DeviceMismatch {
+        /// The offending fragment.
+        fragment: FragmentId,
+        /// Its requirement.
+        requires: DeviceReq,
+        /// The assigned device.
+        device: DeviceId,
+    },
+}
+
+impl std::fmt::Display for FdgSimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FdgSimError::Unassigned(id) => write!(f, "fragment {id:?} has no device"),
+            FdgSimError::DeviceMismatch { fragment, requires, device } => {
+                write!(f, "fragment {fragment:?} requires {requires:?} but is on {device}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FdgSimError {}
+
+/// Per-step cost hints the graph cannot know: the CPU seconds one
+/// `EnvStep`/`EnvReset` kernel costs (environment implementations report
+/// this via `Environment::step_cost`), and seconds per `Learn` node.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelCosts {
+    /// Seconds per environment macro node.
+    pub env_step_s: f64,
+    /// Seconds per learner macro node.
+    pub learn_s: f64,
+}
+
+impl Default for KernelCosts {
+    fn default() -> Self {
+        KernelCosts { env_step_s: 1e-4, learn_s: 1e-2 }
+    }
+}
+
+/// Validates an assignment against the fragments' device requirements.
+///
+/// # Errors
+///
+/// Returns the first unassigned or mis-assigned fragment.
+pub fn validate_assignment(
+    fdg: &Fdg,
+    assignment: &HashMap<FragmentId, DeviceId>,
+) -> Result<(), FdgSimError> {
+    for frag in &fdg.fragments {
+        let device = assignment.get(&frag.id).ok_or(FdgSimError::Unassigned(frag.id))?;
+        let ok = match frag.device_req {
+            DeviceReq::Any => true,
+            DeviceReq::CpuOnly => device.kind == DeviceKind::Cpu,
+            DeviceReq::GpuOnly => device.kind == DeviceKind::Gpu,
+        };
+        if !ok {
+            return Err(FdgSimError::DeviceMismatch {
+                fragment: frag.id,
+                requires: frag.device_req,
+                device: *device,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Prices one iteration of the FDG under the assignment: every fragment
+/// becomes a task on its device (compute from its operator flops plus
+/// kernel-cost hints), and every producer→consumer interface becomes a
+/// transfer priced by the cluster's links. Returns the virtual makespan
+/// in seconds.
+///
+/// # Errors
+///
+/// Returns an error for invalid assignments.
+pub fn iteration_time(
+    fdg: &Fdg,
+    assignment: &HashMap<FragmentId, DeviceId>,
+    cluster: &Cluster,
+    kernels: KernelCosts,
+) -> Result<f64, FdgSimError> {
+    validate_assignment(fdg, assignment)?;
+    let mut g = TaskGraph::new();
+    // Fragments in id order; tracing makes producer fragments precede
+    // consumers, so interface dependencies point backwards.
+    let mut frag_task: HashMap<FragmentId, usize> = HashMap::new();
+    let mut exit_owner: HashMap<usize, FragmentId> = HashMap::new();
+    for f in &fdg.fragments {
+        for e in &f.exits {
+            exit_owner.insert(e.node, f.id);
+        }
+    }
+    for f in &fdg.fragments {
+        let device = assignment[&f.id];
+        let nodes = f.all_nodes();
+        let flops = subgraph_flops(&fdg.graph, &nodes);
+        let (model, launches_cost) = match device.kind {
+            DeviceKind::Gpu => {
+                let launches = nodes
+                    .iter()
+                    .filter(|&&i| {
+                        !matches!(
+                            fdg.graph.nodes[i].kind,
+                            OpKind::Input { .. } | OpKind::Param { .. } | OpKind::Const
+                        )
+                    })
+                    .count() as u64;
+                (cluster.gpu, launches)
+            }
+            DeviceKind::Cpu => (DeviceModel::cpu_core(), 0),
+        };
+        let mut duration = model.compute_time(flops, launches_cost);
+        for &i in &nodes {
+            match fdg.graph.nodes[i].kind {
+                OpKind::EnvStep | OpKind::EnvReset => duration += kernels.env_step_s,
+                OpKind::Learn => duration += kernels.learn_s,
+                _ => {}
+            }
+        }
+        // Dependencies: one transfer task per entry interface whose
+        // producer fragment is already placed.
+        let mut deps = Vec::new();
+        for entry in &f.entries {
+            if let Some(&producer) = exit_owner.get(&entry.node) {
+                if let Some(&ptask) = frag_task.get(&producer) {
+                    let bytes = fdg.graph.bytes_of(&[entry.node]);
+                    let from = assignment[&producer];
+                    let t = cluster.net.p2p_time(from, device, bytes);
+                    let resource = if from.co_located(&device) {
+                        Resource::None // intra-node copies do not contend
+                    } else {
+                        Resource::link(from.node, device.node)
+                    };
+                    let tid =
+                        g.add(format!("xfer->{}", entry.node), resource, t, &[ptask]);
+                    deps.push(tid);
+                }
+            }
+        }
+        let tid = g.add(
+            format!("frag{}", f.id.0),
+            Resource::Device(device),
+            duration,
+            &deps,
+        );
+        frag_task.insert(f.id, tid);
+    }
+    Ok(g.simulate().makespan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{cloud, local};
+    use msrl_core::annotate::{Collective, FragmentKind};
+    use msrl_core::partition::build_fdg;
+    use msrl_core::trace::{trace_mlp, TraceCtx};
+
+    /// A two-fragment FDG: a CPU-bound env fragment feeding a GPU-able
+    /// policy fragment.
+    fn env_policy_fdg() -> Fdg {
+        let ctx = TraceCtx::new();
+        let saved = ctx.enter_component("env");
+        let obs = ctx.env_reset(64, 17).boundary();
+        ctx.annotate(FragmentKind::Reset, Collective::SendRecv, &[&obs]);
+        ctx.exit_component(saved);
+        let saved = ctx.enter_component("policy");
+        let _out = trace_mlp(&ctx, "pi", &obs, &[17, 64, 64, 6]);
+        ctx.exit_component(saved);
+        build_fdg(ctx.finish()).unwrap()
+    }
+
+    fn assign(fdg: &Fdg, devices: &[DeviceId]) -> HashMap<FragmentId, DeviceId> {
+        fdg.fragments
+            .iter()
+            .zip(devices)
+            .map(|(f, &d)| (f.id, d))
+            .collect()
+    }
+
+    #[test]
+    fn cpu_only_fragment_rejects_gpu_assignment() {
+        let fdg = env_policy_fdg();
+        let bad = assign(&fdg, &[DeviceId::gpu(0, 0), DeviceId::gpu(0, 1)]);
+        let err = validate_assignment(&fdg, &bad).unwrap_err();
+        assert!(matches!(err, FdgSimError::DeviceMismatch { .. }));
+        let good = assign(&fdg, &[DeviceId::cpu(0, 0), DeviceId::gpu(0, 0)]);
+        validate_assignment(&fdg, &good).unwrap();
+    }
+
+    #[test]
+    fn missing_assignment_is_reported() {
+        let fdg = env_policy_fdg();
+        let partial: HashMap<_, _> =
+            [(fdg.fragments[0].id, DeviceId::cpu(0, 0))].into_iter().collect();
+        assert!(matches!(
+            iteration_time(&fdg, &partial, &cloud(), KernelCosts::default()),
+            Err(FdgSimError::Unassigned(_))
+        ));
+    }
+
+    #[test]
+    fn colocated_assignment_beats_remote() {
+        let fdg = env_policy_fdg();
+        let c = cloud();
+        let k = KernelCosts::default();
+        let colocated = assign(&fdg, &[DeviceId::cpu(0, 0), DeviceId::gpu(0, 0)]);
+        let remote = assign(&fdg, &[DeviceId::cpu(0, 0), DeviceId::gpu(5, 0)]);
+        let t_co = iteration_time(&fdg, &colocated, &c, k).unwrap();
+        let t_rem = iteration_time(&fdg, &remote, &c, k).unwrap();
+        assert!(t_co < t_rem, "co-location avoids the 10GbE hop: {t_co} vs {t_rem}");
+    }
+
+    #[test]
+    fn faster_cluster_runs_the_same_fdg_faster() {
+        let fdg = env_policy_fdg();
+        let k = KernelCosts::default();
+        let devices = [DeviceId::cpu(0, 0), DeviceId::gpu(1, 0)];
+        let a = assign(&fdg, &devices);
+        let t_cloud = iteration_time(&fdg, &a, &cloud(), k).unwrap();
+        let t_local = iteration_time(&fdg, &a, &local(), k).unwrap();
+        assert!(t_local < t_cloud, "{t_local} vs {t_cloud}");
+    }
+
+    #[test]
+    fn learn_cost_hint_is_charged() {
+        let ctx = TraceCtx::new();
+        let saved = ctx.enter_component("learner");
+        let sample = ctx.input("sample", &[128, 8]);
+        let _loss = ctx.learn(&sample);
+        ctx.exit_component(saved);
+        let fdg = build_fdg(ctx.finish()).unwrap();
+        let a = assign(&fdg, &[DeviceId::gpu(0, 0)]);
+        let cheap = iteration_time(&fdg, &a, &cloud(), KernelCosts { env_step_s: 0.0, learn_s: 0.0 })
+            .unwrap();
+        let costly =
+            iteration_time(&fdg, &a, &cloud(), KernelCosts { env_step_s: 0.0, learn_s: 0.5 })
+                .unwrap();
+        assert!((costly - cheap - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,818 @@
+//! Workload models for the paper's experiments.
+//!
+//! Each function assembles the per-episode task structure of a training
+//! configuration — which fragments run where under a given distribution
+//! policy — and prices it on a modelled cluster. The cost inputs are the
+//! ones the rest of the reproduction uses for real: FDG operator flops
+//! (`msrl_core::cost`), α–β collective formulas (`msrl_comm::model`) and
+//! device models ([`crate::device`]).
+//!
+//! Calibration constants (sustained small-tensor training throughput,
+//! environment step cost, per-step actor overhead) are set once in
+//! [`PpoWorkload::halfcheetah`] and shared by *all* figures, so a change
+//! that fixes one figure's shape is forced to stay consistent with the
+//! others.
+
+use msrl_comm::model::NetworkModel;
+use msrl_comm::topology::{cloud_cluster, local_cluster, ClusterSpec, DeviceId};
+
+use crate::device::DeviceModel;
+use crate::engine::{Resource, TaskGraph};
+use crate::stats;
+
+/// A modelled cluster: topology, fabric and GPU class.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Node/device inventory (Tab. 3).
+    pub spec: ClusterSpec,
+    /// Link models.
+    pub net: NetworkModel,
+    /// GPU device model.
+    pub gpu: DeviceModel,
+    /// Sustained throughput for the RL-sized (64-wide) training matmuls,
+    /// flops/s. Far below peak, as is realistic for tiny tensors.
+    pub train_flops_per_sec: f64,
+}
+
+/// The paper's cloud cluster: 16×4 P100 on PCIe + 10 GbE.
+pub fn cloud() -> Cluster {
+    Cluster {
+        spec: cloud_cluster(),
+        net: NetworkModel::cloud(),
+        gpu: DeviceModel::p100(),
+        train_flops_per_sec: 5.0e10,
+    }
+}
+
+/// The paper's local cluster: 4×8 V100 on NVLink + 100 Gb InfiniBand.
+pub fn local() -> Cluster {
+    Cluster {
+        spec: local_cluster(),
+        net: NetworkModel::local(),
+        gpu: DeviceModel::v100(),
+        train_flops_per_sec: 3.0e11,
+    }
+}
+
+impl Cluster {
+    /// CPU cores available to each actor fragment (cores shared between
+    /// the co-located GPUs of a node).
+    pub fn cores_per_actor(&self) -> usize {
+        (self.spec.node.cpu_cores / self.spec.node.gpus).max(1)
+    }
+
+    /// The node hosting the `i`-th GPU (node-major placement).
+    pub fn gpu_node(&self, i: usize) -> usize {
+        (i / self.spec.node.gpus).min(self.spec.nodes - 1)
+    }
+
+    /// Device ids for the first `p` GPUs (wrapping when `p` exceeds the
+    /// cluster, modelling device sharing).
+    pub fn gpus(&self, p: usize) -> Vec<DeviceId> {
+        (0..p)
+            .map(|i| {
+                let i = i % self.spec.total_gpus().max(1);
+                DeviceId::gpu(self.gpu_node(i), i % self.spec.node.gpus)
+            })
+            .collect()
+    }
+}
+
+/// The PPO training workload of §7 (MuJoCo HalfCheetah, seven-layer DNN).
+#[derive(Debug, Clone)]
+pub struct PpoWorkload {
+    /// Total environments across all actors.
+    pub n_envs: usize,
+    /// Steps per episode.
+    pub episode_len: usize,
+    /// Observation width.
+    pub obs_dim: usize,
+    /// Action width.
+    pub act_dim: usize,
+    /// Hidden width of the seven-layer policy.
+    pub hidden: usize,
+    /// CPU-seconds per environment step on one core.
+    pub env_step_cost: f64,
+    /// Fixed per-step actor overhead (process sync, host↔device copies),
+    /// seconds.
+    pub step_overhead: f64,
+    /// PPO epochs per episode batch.
+    pub train_epochs: usize,
+}
+
+impl PpoWorkload {
+    /// The Fig. 7/8 configuration: HalfCheetah-class environments
+    /// (≈0.8 ms/step), 1000-step episodes, seven-layer 64-wide policy.
+    pub fn halfcheetah(n_envs: usize) -> Self {
+        PpoWorkload {
+            n_envs,
+            episode_len: 1000,
+            obs_dim: 17,
+            act_dim: 6,
+            hidden: 64,
+            env_step_cost: 8e-4,
+            step_overhead: 1e-3,
+            train_epochs: 4,
+        }
+    }
+
+    /// Scalar parameters of the seven-layer policy (6 linear layers).
+    pub fn policy_params(&self) -> usize {
+        let h = self.hidden;
+        self.obs_dim * h + h + 4 * (h * h + h) + h * self.act_dim + self.act_dim
+    }
+
+    /// Inference flops for a batch (`2·params` per sample).
+    pub fn infer_flops(&self, batch: usize) -> u64 {
+        (2 * self.policy_params() * batch) as u64
+    }
+
+    /// Training flops (`6·params` per sample: forward + backward).
+    pub fn train_flops(&self, samples: usize) -> u64 {
+        (6 * self.policy_params() * samples) as u64
+    }
+
+    /// Kernel launches per fused inference step (matmul+add+activation
+    /// per layer).
+    pub fn infer_kernels(&self) -> u64 {
+        18
+    }
+
+    /// Trajectory bytes one actor ships per episode: per step and env,
+    /// obs + action + reward + log-prob and value heads.
+    pub fn traj_bytes(&self, envs: usize) -> u64 {
+        (self.episode_len * envs * (self.obs_dim + self.act_dim + 3) * 4) as u64
+    }
+
+    /// Policy weight payload in bytes.
+    pub fn weight_bytes(&self) -> u64 {
+        (self.policy_params() * 4) as u64
+    }
+
+    /// Environment-execution seconds per episode for one actor running
+    /// `envs` instances over `cores` CPU cores (parallel processes).
+    fn env_seconds(&self, envs: usize, cores: usize) -> f64 {
+        let waves = envs.div_ceil(cores.max(1));
+        self.episode_len as f64 * self.env_step_cost * waves as f64
+    }
+
+    /// Per-actor episode seconds (environment + fused inference + fixed
+    /// step overheads) with `envs` instances on `cores` cores.
+    fn actor_seconds(&self, cluster: &Cluster, envs: usize, cores: usize) -> f64 {
+        let env = self.env_seconds(envs, cores);
+        let infer = self.episode_len as f64
+            * cluster.gpu.compute_time(self.infer_flops(envs), self.infer_kernels());
+        let overhead = self.episode_len as f64 * self.step_overhead;
+        env + infer + overhead
+    }
+
+    /// Learner training seconds for a batch of `samples` transitions.
+    fn train_seconds(&self, cluster: &Cluster, samples: usize) -> f64 {
+        self.train_flops(samples * self.train_epochs) as f64 / cluster.train_flops_per_sec
+    }
+
+    /// Samples produced per episode.
+    pub fn samples_per_episode(&self) -> usize {
+        self.n_envs * self.episode_len
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PPO under the distribution policies (Figs. 7 & 8)
+// ---------------------------------------------------------------------------
+
+/// Per-sender stream setup/processing cost when trajectories from many
+/// actors converge on one learner over a TCP/Ethernet fabric.
+const PER_SENDER_GATHER_S: f64 = 1e-2;
+
+/// DP-A (single learner, coarse sync): `p` actor fragments each drive
+/// `n_envs/p` environments and a replicated policy; trajectories are
+/// gathered to one learner per episode, weights broadcast back.
+pub fn dp_a_episode(w: &PpoWorkload, c: &Cluster, p: usize, include_train: bool) -> f64 {
+    let p = p.max(1);
+    let envs_i = (w.n_envs / p).max(1);
+    let gpus = c.gpus(p);
+    let mut g = TaskGraph::new();
+    let actor_tasks: Vec<usize> = gpus
+        .iter()
+        .map(|&d| {
+            g.add(
+                "actor",
+                Resource::Device(d),
+                w.actor_seconds(c, envs_i, c.cores_per_actor()),
+                &[],
+            )
+        })
+        .collect();
+    let mut participants = gpus.clone();
+    participants.push(DeviceId::gpu(0, 0));
+    // On Ethernet-class fabrics, many senders converging on one learner
+    // suffer TCP incast: each trajectory stream pays a fixed
+    // setup/processing cost at the learner's ingress on top of the α–β
+    // transfer time.
+    let incast = if c.net.inter_node.latency_s > 1e-4 {
+        p as f64 * PER_SENDER_GATHER_S
+    } else {
+        0.0
+    };
+    let gather = g.add(
+        "gather-trajectories",
+        Resource::None,
+        c.net.gather_time(&participants, w.traj_bytes(envs_i)) + incast,
+        &actor_tasks,
+    );
+    let train = if include_train {
+        g.add(
+            "train",
+            Resource::Device(DeviceId::gpu(0, 0)),
+            w.train_seconds(c, w.samples_per_episode()),
+            &[gather],
+        )
+    } else {
+        gather
+    };
+    g.add(
+        "broadcast-weights",
+        Resource::None,
+        c.net.broadcast_time(&participants, w.weight_bytes()),
+        &[train],
+    );
+    g.simulate().makespan
+}
+
+/// DP-B (single learner, fine sync): actor+environment fused on CPU
+/// fragments; the learner holds the only policy copy and serves inference,
+/// so every step pays a network round trip plus per-message processing at
+/// the learner's ingress (the incast cost that makes DP-B demand "high
+/// bandwidth connectivity").
+pub fn dp_b_episode(w: &PpoWorkload, c: &Cluster, p: usize, include_train: bool) -> f64 {
+    /// Learner-side per-message processing (deserialisation + queueing).
+    const PER_MSG_S: f64 = 5e-5;
+    let p = p.max(1);
+    let envs_i = (w.n_envs / p).max(1);
+    let env = w.env_seconds(envs_i, c.cores_per_actor());
+    let overhead = w.episode_len as f64 * w.step_overhead;
+    let state_bytes_i = (envs_i * w.obs_dim * 4) as u64;
+    let per_step = 2.0 * c.net.inter_node.latency_s
+        + p as f64 * (PER_MSG_S + state_bytes_i as f64 / c.net.inter_node.bandwidth_bps)
+        + c.gpu.compute_time(w.infer_flops(w.n_envs), w.infer_kernels());
+    let comm = w.episode_len as f64 * per_step;
+    let train = if include_train { w.train_seconds(c, w.samples_per_episode()) } else { 0.0 };
+    env + overhead + comm + train
+}
+
+/// DP-C (multiple learners): `p` fused actor+learner fragments train
+/// `1/p` of the batch each and AllReduce gradients hierarchically
+/// (intra-node reduce, then a ring over the participating nodes) once per
+/// epoch.
+pub fn dp_c_episode(w: &PpoWorkload, c: &Cluster, p: usize, include_train: bool) -> f64 {
+    /// Fixed per-episode coordination cost of the data-parallel engine
+    /// (gradient bucketing, barrier entry, optimiser-state broadcast).
+    const DP_C_SYNC_S: f64 = 0.15;
+    let p = p.max(1);
+    let envs_i = (w.n_envs / p).max(1);
+    let actor = w.actor_seconds(c, envs_i, c.cores_per_actor()) + DP_C_SYNC_S;
+    let train = if include_train {
+        w.train_seconds(c, w.samples_per_episode() / p)
+    } else {
+        0.0
+    };
+    let nodes_used = p.div_ceil(c.spec.node.gpus).min(c.spec.nodes).max(1);
+    let grad_bytes = w.weight_bytes();
+    let ring_steps = 2 * (nodes_used - 1);
+    let link = if nodes_used > 1 { c.net.inter_node } else { c.net.intra_node };
+    let per_epoch = ring_steps as f64
+        * (link.latency_s + (grad_bytes as f64 / nodes_used.max(1) as f64) / link.bandwidth_bps);
+    actor + train + w.train_epochs as f64 * per_epoch
+}
+
+/// Episode time under a policy code (`"DP-A"`, `"DP-B"`, `"DP-C"`,
+/// `"DP-A'"`, `"DP-B'"` — primes exclude policy-training time, as in
+/// Fig. 8b/8d).
+pub fn ppo_episode(policy: &str, w: &PpoWorkload, c: &Cluster, p: usize) -> f64 {
+    match policy {
+        "DP-A" => dp_a_episode(w, c, p, true),
+        "DP-A'" => dp_a_episode(w, c, p, false),
+        "DP-B" => dp_b_episode(w, c, p, true),
+        "DP-B'" => dp_b_episode(w, c, p, false),
+        "DP-C" => dp_c_episode(w, c, p, true),
+        other => panic!("unknown policy {other}"),
+    }
+}
+
+/// Wall-clock training time to the target reward: episode time × modelled
+/// episodes-to-reward (reference batch: 320 environments).
+pub fn ppo_training_time(policy: &str, w: &PpoWorkload, c: &Cluster, p: usize) -> f64 {
+    let episodes = match policy {
+        "DP-C" => {
+            let per_learner = w.samples_per_episode() / p.max(1);
+            stats::episodes_multi_learner(w.n_envs, 320, per_learner)
+        }
+        _ => stats::episodes_single_learner(w.n_envs, 320),
+    };
+    ppo_episode(policy, w, c, p) * episodes
+}
+
+// ---------------------------------------------------------------------------
+// A3C (Figs. 7b, 9b)
+// ---------------------------------------------------------------------------
+
+/// A3C under DP-A-style distribution: each actor owns exactly one
+/// environment and computes gradients locally, sending them to the single
+/// learner asynchronously. Per-actor work is independent of the actor
+/// count, so episode time is flat (Fig. 7b).
+pub fn a3c_episode(w: &PpoWorkload, c: &Cluster, _p: usize) -> f64 {
+    let env = w.episode_len as f64 * w.env_step_cost;
+    let infer = w.episode_len as f64 * c.gpu.compute_time(w.infer_flops(1), w.infer_kernels());
+    let local_grad = w.train_seconds(c, w.episode_len);
+    let send = c.net.inter_node.transfer_time(w.weight_bytes());
+    let overhead = w.episode_len as f64 * w.step_overhead;
+    env + infer + local_grad + send + overhead
+}
+
+// ---------------------------------------------------------------------------
+// Ray-like baseline (Fig. 9)
+// ---------------------------------------------------------------------------
+
+/// Per-sample Python-side inference cost in the Ray-like baseline (actor
+/// loops on the CPU; no batched fused inference).
+const RAY_CPU_INFER_S: f64 = 1e-4;
+/// Host↔device staging cost per step for Ray's asynchronous CPU-mediated
+/// communication path (Fig. 9b's mechanism).
+const RAY_COPY_S: f64 = 2.2e-3;
+/// Environment processes MSRL launches per actor fragment (Fig. 9a:
+/// "executes environment steps in parallel by launching multiple
+/// processes").
+const MSRL_ENV_PROCS: usize = 4;
+
+/// Ray-like PPO: the actor on the CPU steps all of its environments
+/// *sequentially* and runs per-env inference in Python.
+pub fn raylike_ppo_episode(w: &PpoWorkload, _c: &Cluster, p: usize) -> f64 {
+    let envs_i = (w.n_envs / p.max(1)).max(1);
+    w.episode_len as f64 * envs_i as f64 * (w.env_step_cost + RAY_CPU_INFER_S)
+}
+
+/// MSRL PPO for the same comparison: parallel env processes per actor
+/// plus fused GPU inference (DP-A placement on the local cluster).
+pub fn msrl_ppo_episode(w: &PpoWorkload, c: &Cluster, p: usize) -> f64 {
+    let envs_i = (w.n_envs / p.max(1)).max(1);
+    let env = w.episode_len as f64
+        * w.env_step_cost
+        * envs_i.div_ceil(MSRL_ENV_PROCS) as f64;
+    let infer =
+        w.episode_len as f64 * c.gpu.compute_time(w.infer_flops(envs_i), w.infer_kernels());
+    let overhead = w.episode_len as f64 * w.step_overhead;
+    env + infer + overhead
+}
+
+/// Ray-like A3C: as [`a3c_episode`], plus the CPU staging copy Ray pays on
+/// its asynchronous send path each step.
+pub fn raylike_a3c_episode(w: &PpoWorkload, c: &Cluster, p: usize) -> f64 {
+    a3c_episode(w, c, p) + w.episode_len as f64 * RAY_COPY_S
+}
+
+// ---------------------------------------------------------------------------
+// DP-D / WarpDrive (Fig. 10)
+// ---------------------------------------------------------------------------
+
+/// The GPU-only workload of Fig. 10: MPE `simple_tag` with the whole
+/// training loop fused on the device.
+#[derive(Debug, Clone)]
+pub struct GpuLoopWorkload {
+    /// Total parallel agents.
+    pub agents: usize,
+    /// Steps per episode (MPE horizon).
+    pub episode_len: usize,
+    /// Environment-physics flops per agent per step.
+    pub env_flops_per_agent: u64,
+    /// Policy inference+training flops per agent per step.
+    pub policy_flops_per_agent: u64,
+}
+
+impl GpuLoopWorkload {
+    /// The Fig. 10 configuration (policy flops cover forward + backward
+    /// of the shared tag network per agent-step; calibrated so one
+    /// 80k-agent episode lands near the paper's 138 ms).
+    pub fn simple_tag(agents: usize) -> Self {
+        GpuLoopWorkload {
+            agents,
+            episode_len: 25,
+            env_flops_per_agent: 60,
+            policy_flops_per_agent: 275_000,
+        }
+    }
+
+    fn flops_per_step(&self) -> u64 {
+        self.agents as u64 * (self.env_flops_per_agent + self.policy_flops_per_agent)
+    }
+}
+
+/// Kernel launches per fused MSRL step (graph-compiled: environment,
+/// inference and update fuse into few launches).
+const MSRL_LOOP_KERNELS: u64 = 12;
+/// Kernel launches per WarpDrive step (hand-written CUDA: one kernel per
+/// stage, no cross-stage fusion) plus its per-step host sync cost.
+const WARPDRIVE_LOOP_KERNELS: u64 = 40;
+const WARPDRIVE_HOST_SYNC_S: f64 = 3e-5;
+
+/// GPU utilisation at `agents` parallel agents: `a / (a + a₀)`. A
+/// graph-compiled pipeline (operator scheduling, fusion) saturates the
+/// device at small batches (`a₀ = 5k`); WarpDrive's hand-sized thread
+/// blocks need far larger batches (`a₀ = 60k`) — this is Fig. 10a's gap,
+/// which shrinks as agent counts grow.
+fn gpu_utilisation(agents: usize, a0: f64) -> f64 {
+    let a = agents as f64;
+    a / (a + a0)
+}
+
+/// MSRL DP-D on `n_gpus` GPUs (agents split evenly; per-episode weight
+/// AllReduce across the replicas).
+pub fn dp_d_episode(w: &GpuLoopWorkload, c: &Cluster, n_gpus: usize) -> f64 {
+    let n_gpus = n_gpus.max(1);
+    let per_gpu = GpuLoopWorkload { agents: w.agents / n_gpus, ..w.clone() };
+    let eff = gpu_utilisation(per_gpu.agents, 5_000.0);
+    let step = c.gpu.compute_time(per_gpu.flops_per_step(), MSRL_LOOP_KERNELS) / eff;
+    let sync = if n_gpus > 1 {
+        let gpus = c.gpus(n_gpus);
+        // Weights for the shared tag policy: small; synced per episode.
+        c.net.allreduce_time(&gpus, 64 * 1024)
+    } else {
+        0.0
+    };
+    w.episode_len as f64 * step + sync
+}
+
+/// WarpDrive on a single GPU: same arithmetic, more launches, a host
+/// sync per step, lower utilisation at small batches, and no multi-GPU
+/// support (the paper's Fig. 10a).
+pub fn warpdrive_episode(w: &GpuLoopWorkload, c: &Cluster) -> f64 {
+    let eff = gpu_utilisation(w.agents, 60_000.0);
+    let step = c.gpu.compute_time(w.flops_per_step(), WARPDRIVE_LOOP_KERNELS) / eff
+        + WARPDRIVE_HOST_SYNC_S;
+    w.episode_len as f64 * step
+}
+
+// ---------------------------------------------------------------------------
+// MAPPO / DP-E (Fig. 11)
+// ---------------------------------------------------------------------------
+
+/// The MAPPO scalability workload of §7.4: `n` agents on MPE
+/// `simple_spread` with global observations (`O(n²)` per agent, `O(n³)`
+/// joint), batched over many environment instances per agent.
+#[derive(Debug, Clone)]
+pub struct MappoWorkload {
+    /// Number of agents (= GPUs under DP-E).
+    pub n_agents: usize,
+    /// Steps per episode.
+    pub episode_len: usize,
+    /// Parallel environment instances batched per agent.
+    pub env_batch: usize,
+}
+
+/// Per-agent training seconds that do not depend on the agent count
+/// (actor network and per-agent heads over the large env batch) —
+/// calibrated so the Fig. 11b throughput ratio between 64 and 2 agents
+/// lands near the paper's 7600×.
+const MAPPO_TRAIN_BASE: f64 = 300.0;
+
+/// Per-agent training seconds per `n³` joint-observation unit on the
+/// reference P100 — calibrated so a 64-agent episode takes the paper's
+/// 23.8 minutes (Fig. 11a).
+const MAPPO_TRAIN_K: f64 = 4.3e-3;
+
+/// Per-agent GPU memory per `n³` joint-observation unit (activations of
+/// the central critic over the batched joint observation), bytes —
+/// calibrated so 64 sequential agents exceed 16 GB (the paper's OOM)
+/// while 32 do not.
+const MAPPO_MEM_K: f64 = 13_700.0;
+
+/// Fixed per-episode overhead (kernel launches, env stepping, scheduler
+/// sync) that dominates at small agent counts — this is what makes the
+/// Fig. 11b throughput ratio grow so steeply (7600× from 2 to 64 agents).
+const MAPPO_FIXED_S: f64 = 0.3;
+
+/// GPU memory capacity assumed for the OOM check (16 GB cards).
+pub const GPU_MEM_BYTES: u64 = 16 << 30;
+
+impl MappoWorkload {
+    /// The Fig. 11 configuration.
+    pub fn spread(n_agents: usize) -> Self {
+        MappoWorkload { n_agents, episode_len: 25, env_batch: 512 }
+    }
+
+    /// Per-agent observation width: local state plus the global
+    /// agent×landmark distance table (`n²`).
+    pub fn obs_dim(&self) -> usize {
+        let n = self.n_agents;
+        4 + 2 * n + 2 * n.saturating_sub(1) + n * n
+    }
+
+    /// Bytes of the *global-observation table* (the O(n²) critic input)
+    /// each agent trains per episode across its env instances — the
+    /// data volume Fig. 11b's throughput metric counts.
+    pub fn obs_bytes_per_agent(&self) -> u64 {
+        let n = self.n_agents;
+        (self.episode_len * self.env_batch * n * n * 4) as u64
+    }
+
+    /// Joint (all-agent) observation bytes per episode — the quantity
+    /// whose `O(n³)` growth drives Fig. 11.
+    pub fn joint_bytes(&self) -> u64 {
+        self.obs_bytes_per_agent() * self.n_agents as u64
+    }
+
+    /// Per-agent training seconds per episode on a cluster: the central
+    /// critic consumes the joint observation (`n³` values), so per-agent
+    /// cost grows cubically with the agent count.
+    fn train_seconds_per_agent(&self, c: &Cluster) -> f64 {
+        let n = self.n_agents as f64;
+        (MAPPO_TRAIN_BASE + MAPPO_TRAIN_K * n * n * n) * (5.0e10 / c.train_flops_per_sec)
+    }
+
+    /// GPU memory to train one agent, bytes.
+    fn mem_per_agent(&self) -> f64 {
+        let n = self.n_agents as f64;
+        MAPPO_MEM_K * n * n * n
+    }
+}
+
+/// MSRL DP-E: one GPU trains each agent; a dedicated worker node runs all
+/// environment instances; agents exchange the joint observations each
+/// episode.
+pub fn dp_e_episode(w: &MappoWorkload, c: &Cluster) -> f64 {
+    let n = w.n_agents;
+    let gpus = c.gpus(n);
+    // Environment worker: O(n²) physics per instance across its cores.
+    let env_flops =
+        (w.episode_len * w.env_batch * n * n * 20) as u64;
+    let env = env_flops as f64
+        / (DeviceModel::cpu_core().flops_per_sec * c.spec.node.cpu_cores as f64);
+    // Joint-observation exchange per episode.
+    let comm = c.net.allgather_time(&gpus, w.obs_bytes_per_agent());
+    // All agents train in parallel.
+    let train = w.train_seconds_per_agent(c);
+    MAPPO_FIXED_S + env + comm + train
+}
+
+/// The sequential baseline: one GPU trains all `n` agents in turn.
+/// Returns `None` when the joint working set exceeds GPU memory (the
+/// paper's baseline runs out of memory at 64 agents); a memory-pressure
+/// slowdown (spilling/recomputation) applies beyond half capacity.
+pub fn sequential_mappo_episode(w: &MappoWorkload, c: &Cluster) -> Option<f64> {
+    let mem = w.mem_per_agent() * w.n_agents as f64;
+    if mem > GPU_MEM_BYTES as f64 {
+        return None;
+    }
+    let env_flops = (w.episode_len * w.env_batch * w.n_agents * w.n_agents * 20) as u64;
+    let env = env_flops as f64 / DeviceModel::cpu_core().flops_per_sec;
+    let train = w.n_agents as f64 * w.train_seconds_per_agent(c);
+    let pressure = mem / (GPU_MEM_BYTES / 2) as f64;
+    let slowdown = pressure.max(1.0);
+    Some(MAPPO_FIXED_S + env + train * slowdown)
+}
+
+/// Training throughput (bytes of observation data trained per second)
+/// under DP-E — Fig. 11b's metric.
+pub fn mappo_throughput(w: &MappoWorkload, c: &Cluster) -> f64 {
+    w.joint_bytes() as f64 / dp_e_episode(w, c)
+}
+
+// ---------------------------------------------------------------------------
+// §2.2 bottleneck profile
+// ---------------------------------------------------------------------------
+
+/// Fraction of single-worker episode time spent in environment execution
+/// vs. policy inference+training, for a PPO-class workload (the paper
+/// measures up to 98% in the environment) and a MuZero-class MARL
+/// workload with a large model (97% in inference+training).
+pub fn bottleneck_profile(env_cost: f64, policy_params: usize, batch: usize) -> (f64, f64) {
+    let episode_len = 1000.0;
+    let env = episode_len * env_cost * batch as f64;
+    let gpu = DeviceModel::p100();
+    let infer = episode_len * gpu.compute_time((2 * policy_params * batch) as u64, 18);
+    let train = (6 * policy_params * batch * 1000 * 4) as u64 as f64 / 5.0e10;
+    let total = env + infer + train;
+    (env / total, (infer + train) / total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w320() -> PpoWorkload {
+        PpoWorkload::halfcheetah(320)
+    }
+
+    #[test]
+    fn policy_params_match_seven_layer_arithmetic() {
+        let w = w320();
+        // 17·64+64 + 4·(64·64+64) + 64·6+6
+        assert_eq!(w.policy_params(), 17 * 64 + 64 + 4 * (64 * 64 + 64) + 64 * 6 + 6);
+    }
+
+    #[test]
+    fn dp_a_episode_time_decreases_with_gpus() {
+        let w = w320();
+        let c = cloud();
+        let t1 = dp_a_episode(&w, &c, 1, true);
+        let t16 = dp_a_episode(&w, &c, 16, true);
+        let t64 = dp_a_episode(&w, &c, 64, true);
+        assert!(t16 < t1);
+        assert!(t64 < t16);
+    }
+
+    #[test]
+    fn fig8a_cloud_dp_a_speedup_band() {
+        // Paper: DP-A reaches ~5.3× training-time speedup at 64 GPUs on
+        // the cloud cluster. Accept a 3×–10× band.
+        let w = w320();
+        let c = cloud();
+        let s = ppo_training_time("DP-A", &w, &c, 1) / ppo_training_time("DP-A", &w, &c, 64);
+        assert!((3.0..10.0).contains(&s), "speedup {s}");
+    }
+
+    #[test]
+    fn fig8a_cloud_dp_c_wins_at_16_loses_at_64() {
+        let w = w320();
+        let c = cloud();
+        assert!(
+            ppo_training_time("DP-C", &w, &c, 16) < ppo_training_time("DP-A", &w, &c, 16),
+            "DP-C should win at 16 GPUs on the cloud cluster"
+        );
+        assert!(
+            ppo_training_time("DP-C", &w, &c, 64) > ppo_training_time("DP-A", &w, &c, 64),
+            "DP-A should win at 64 GPUs on the cloud cluster"
+        );
+    }
+
+    #[test]
+    fn fig8c_local_dp_a_always_beats_dp_c() {
+        let w = w320();
+        let c = local();
+        for p in [2, 4, 8, 16, 32] {
+            assert!(
+                ppo_training_time("DP-A", &w, &c, p) < ppo_training_time("DP-C", &w, &c, p),
+                "DP-A must beat DP-C at {p} GPUs on the local cluster"
+            );
+        }
+    }
+
+    #[test]
+    fn fig8b_dp_c_trains_each_episode_faster_than_dp_a() {
+        let w = w320();
+        let c = cloud();
+        for p in [8, 16, 32] {
+            assert!(dp_c_episode(&w, &c, p, true) < dp_a_episode(&w, &c, p, true));
+        }
+    }
+
+    #[test]
+    fn dp_a_prime_keeps_scaling_past_32() {
+        // Fig. 8b: excluding training time, 32→64 GPUs still improves by
+        // ~25%.
+        let w = w320();
+        let c = cloud();
+        let t32 = dp_a_episode(&w, &c, 32, false);
+        let t64 = dp_a_episode(&w, &c, 64, false);
+        let gain = (t32 - t64) / t32;
+        assert!((0.1..0.5).contains(&gain), "gain {gain}");
+    }
+
+    #[test]
+    fn fig7b_a3c_is_flat_ppo_is_not() {
+        let w = PpoWorkload::halfcheetah(200);
+        let c = cloud();
+        let a3c_2 = a3c_episode(&w, &c, 2);
+        let a3c_24 = a3c_episode(&w, &c, 24);
+        assert!((a3c_2 - a3c_24).abs() < 1e-9, "A3C episode time is actor-independent");
+        let ppo_2 = dp_a_episode(&w, &c, 2, true);
+        let ppo_24 = dp_a_episode(&w, &c, 24, true);
+        assert!(ppo_24 < ppo_2 / 2.0, "PPO must scale with actors");
+    }
+
+    #[test]
+    fn fig7c_envs_crossover_exists() {
+        // 50 actors; DP-A better at 100 envs, DP-C better at 600.
+        let c = cloud();
+        let t = |policy: &str, envs: usize| {
+            ppo_training_time(policy, &PpoWorkload::halfcheetah(envs), &c, 50)
+        };
+        assert!(t("DP-A", 100) < t("DP-C", 100), "DP-A wins at 100 envs");
+        assert!(t("DP-C", 600) < t("DP-A", 600), "DP-C wins at 600 envs");
+    }
+
+    #[test]
+    fn fig7d_latency_crossover_exists() {
+        // 400 envs, 50 actors: DP-C wins at 0.2 ms, loses by 6 ms, and is
+        // the more latency-sensitive policy.
+        let w = PpoWorkload::halfcheetah(400);
+        let t = |policy: &str, added: f64| {
+            let mut c = cloud();
+            c.net = c.net.with_added_latency(added);
+            ppo_training_time(policy, &w, &c, 50)
+        };
+        assert!(t("DP-C", 0.0) < t("DP-A", 0.0), "DP-C wins at base latency");
+        assert!(t("DP-C", 6e-3) > t("DP-A", 6e-3), "DP-A wins at +6 ms");
+        let c_growth = t("DP-C", 6e-3) / t("DP-C", 0.0);
+        let a_growth = t("DP-A", 6e-3) / t("DP-A", 0.0);
+        assert!(c_growth > 1.15, "DP-C sensitive: {c_growth}");
+        assert!(a_growth < 1.05, "DP-A stable: {a_growth}");
+        assert!(c_growth > 3.0 * a_growth - 2.0, "DP-C markedly more sensitive");
+    }
+
+    #[test]
+    fn fig9a_msrl_beats_raylike_ppo() {
+        let w = w320();
+        let c = local();
+        for p in [1, 8, 24] {
+            let ray = raylike_ppo_episode(&w, &c, p);
+            let msrl = msrl_ppo_episode(&w, &c, p);
+            let ratio = ray / msrl;
+            assert!((1.5..8.0).contains(&ratio), "p={p}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn fig9b_a3c_flat_and_msrl_faster() {
+        let w = w320();
+        let c = local();
+        let msrl = a3c_episode(&w, &c, 8);
+        let ray = raylike_a3c_episode(&w, &c, 8);
+        let ratio = ray / msrl;
+        assert!((1.5..4.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn fig10a_msrl_gap_shrinks_with_agents() {
+        let c = local();
+        let ratio = |agents: usize| {
+            let w = GpuLoopWorkload::simple_tag(agents);
+            warpdrive_episode(&w, &c) / dp_d_episode(&w, &c, 1)
+        };
+        let r20k = ratio(20_000);
+        let r100k = ratio(100_000);
+        assert!(r20k > r100k, "launch overhead dominates at small scale");
+        assert!((1.05..4.0).contains(&r100k), "r100k {r100k}");
+        assert!((1.2..4.0).contains(&r20k), "r20k {r20k}");
+    }
+
+    #[test]
+    fn fig10b_multi_gpu_time_grows_then_stabilises() {
+        let c = local();
+        let t = |gpus: usize| {
+            dp_d_episode(&GpuLoopWorkload::simple_tag(80_000 * gpus), &c, gpus)
+        };
+        let t2 = t(2);
+        let t12 = t(12);
+        assert!(t12 > t2, "sync overhead grows");
+        assert!(t12 < t2 * 1.5, "but stays bounded: {t2} → {t12}");
+    }
+
+    #[test]
+    fn fig11a_dp_e_beats_sequential_superlinearly() {
+        let c = cloud();
+        let w = MappoWorkload::spread(32);
+        let seq = sequential_mappo_episode(&w, &c).expect("32 agents fit");
+        let par = dp_e_episode(&w, &c);
+        let speedup = seq / par;
+        assert!(speedup > 32.0, "memory pressure makes speedup superlinear: {speedup}");
+        assert!(speedup < 200.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn fig11a_sequential_baseline_ooms_at_64() {
+        let c = cloud();
+        assert!(sequential_mappo_episode(&MappoWorkload::spread(64), &c).is_none());
+        assert!(sequential_mappo_episode(&MappoWorkload::spread(32), &c).is_some());
+    }
+
+    #[test]
+    fn fig11b_throughput_grows_steeply_with_agents() {
+        let c = cloud();
+        let t2 = mappo_throughput(&MappoWorkload::spread(2), &c);
+        let t64 = mappoth_or(&c, 64);
+        assert!(t64 / t2 > 100.0, "throughput ratio {}", t64 / t2);
+    }
+
+    fn mappoth_or(c: &Cluster, n: usize) -> f64 {
+        mappo_throughput(&MappoWorkload::spread(n), c)
+    }
+
+    #[test]
+    fn sec22_ppo_is_env_bound_muzero_like_is_not() {
+        // PPO / expensive env, small policy.
+        let (env_frac, _) = bottleneck_profile(8e-4, 18_000, 320);
+        assert!(env_frac > 0.9, "PPO env fraction {env_frac}");
+        // MARL-class: cheap vectorised env, very large policy.
+        let (env_frac2, nn_frac) = bottleneck_profile(1e-6, 20_000_000, 320);
+        assert!(nn_frac > 0.9, "MuZero-like NN fraction {nn_frac}");
+        assert!(env_frac2 < 0.1);
+    }
+
+    #[test]
+    fn obs_volume_is_cubic_in_agents() {
+        let v = |n: usize| MappoWorkload::spread(n).joint_bytes() as f64;
+        let ratio = v(32) / v(16);
+        assert!(ratio > 6.0 && ratio < 10.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor operations.
+///
+/// Every fallible operation in this crate reports failures through this
+/// type instead of panicking, so that the MSRL runtime can surface
+/// mis-configured fragments (e.g. a fusion pass that produced an
+/// inconsistent batch dimension) as recoverable errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two shapes that were required to match (exactly or after
+    /// broadcasting) did not.
+    ShapeMismatch {
+        /// Operation that failed, e.g. `"matmul"`.
+        op: &'static str,
+        /// Left-hand shape.
+        lhs: Vec<usize>,
+        /// Right-hand shape.
+        rhs: Vec<usize>,
+    },
+    /// The data length did not match the product of the shape dimensions.
+    LengthMismatch {
+        /// Expected number of elements (product of shape).
+        expected: usize,
+        /// Actual data length.
+        actual: usize,
+    },
+    /// An axis argument was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// An index was out of range along some axis.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The axis length.
+        len: usize,
+    },
+    /// The operation requires a different rank than the tensor has.
+    RankMismatch {
+        /// Operation that failed.
+        op: &'static str,
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// A reshape target had a different element count.
+    ReshapeMismatch {
+        /// Source shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+    /// An empty input where at least one element was required.
+    EmptyInput {
+        /// Operation that failed.
+        op: &'static str,
+    },
+    /// The autograd tape did not contain the requested variable, or the
+    /// variable belongs to a different tape.
+    UnknownVariable {
+        /// The variable id.
+        id: usize,
+    },
+    /// Backward was requested from a non-scalar output.
+    NonScalarLoss {
+        /// Shape of the output the caller tried to differentiate.
+        shape: Vec<usize>,
+    },
+    /// A numeric-domain failure (e.g. `ln` of a non-positive value when
+    /// `strict` checking is enabled).
+    NumericDomain {
+        /// Operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: shape mismatch between {lhs:?} and {rhs:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::IndexOutOfRange { index, len } => {
+                write!(f, "index {index} out of range for length {len}")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "{op}: expected rank {expected}, got {actual}")
+            }
+            TensorError::ReshapeMismatch { from, to } => {
+                write!(f, "cannot reshape {from:?} to {to:?}: element counts differ")
+            }
+            TensorError::EmptyInput { op } => write!(f, "{op}: empty input"),
+            TensorError::UnknownVariable { id } => {
+                write!(f, "unknown autograd variable id {id}")
+            }
+            TensorError::NonScalarLoss { shape } => {
+                write!(f, "backward requires a scalar loss, got shape {shape:?}")
+            }
+            TensorError::NumericDomain { op } => write!(f, "{op}: numeric domain error"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,637 @@
+//! Tensor math: broadcasting element-wise ops, matmul, reductions and
+//! shape-manipulating operators.
+//!
+//! These are the "DL-engine operators" of the reproduction: the MSRL
+//! fragment interpreter in `msrl-core` lowers traced dataflow nodes onto
+//! exactly these functions, the same way the original system lowers onto
+//! MindSpore operators.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use crate::Result;
+
+// ---------------------------------------------------------------------------
+// Element-wise with broadcasting
+// ---------------------------------------------------------------------------
+
+/// Applies `f` element-wise over the broadcast of `a` and `b`.
+pub fn zip_broadcast(
+    a: &Tensor,
+    b: &Tensor,
+    f: impl Fn(f32, f32) -> f32,
+) -> Result<Tensor> {
+    let out_shape = a.shape_obj().broadcast(b.shape_obj())?;
+    // Fast path: identical shapes need no coordinate arithmetic.
+    if a.shape() == b.shape() {
+        let data = a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)).collect();
+        return Tensor::from_vec(data, out_shape.dims());
+    }
+    let vol = out_shape.volume();
+    let mut data = Vec::with_capacity(vol);
+    for i in 0..vol {
+        let coords = out_shape.unravel(i);
+        let x = a.data()[a.shape_obj().ravel_broadcast(&coords)];
+        let y = b.data()[b.shape_obj().ravel_broadcast(&coords)];
+        data.push(f(x, y));
+    }
+    Tensor::from_vec(data, out_shape.dims())
+}
+
+/// Applies `f` element-wise to a single tensor.
+pub fn map(a: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+    let data = a.data().iter().map(|&x| f(x)).collect();
+    Tensor::from_vec(data, a.shape()).expect("map preserves shape")
+}
+
+macro_rules! binary_op {
+    ($(#[$doc:meta])* $name:ident, $f:expr) => {
+        $(#[$doc])*
+        pub fn $name(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+            zip_broadcast(a, b, $f)
+        }
+    };
+}
+
+binary_op!(
+    /// Element-wise addition with broadcasting.
+    add, |x, y| x + y
+);
+binary_op!(
+    /// Element-wise subtraction with broadcasting.
+    sub, |x, y| x - y
+);
+binary_op!(
+    /// Element-wise multiplication with broadcasting.
+    mul, |x, y| x * y
+);
+binary_op!(
+    /// Element-wise division with broadcasting.
+    div, |x, y| x / y
+);
+binary_op!(
+    /// Element-wise maximum with broadcasting.
+    maximum, |x, y| x.max(y)
+);
+binary_op!(
+    /// Element-wise minimum with broadcasting.
+    minimum, |x, y| x.min(y)
+);
+
+/// Adds a scalar to every element.
+pub fn add_scalar(a: &Tensor, s: f32) -> Tensor {
+    map(a, |x| x + s)
+}
+
+/// Multiplies every element by a scalar.
+pub fn mul_scalar(a: &Tensor, s: f32) -> Tensor {
+    map(a, |x| x * s)
+}
+
+/// Element-wise negation.
+pub fn neg(a: &Tensor) -> Tensor {
+    map(a, |x| -x)
+}
+
+/// Element-wise exponential.
+pub fn exp(a: &Tensor) -> Tensor {
+    map(a, f32::exp)
+}
+
+/// Element-wise natural logarithm.
+///
+/// Inputs are clamped to `f32::MIN_POSITIVE` to keep gradients finite, the
+/// standard DL-engine convention for `Log` operators.
+pub fn ln(a: &Tensor) -> Tensor {
+    map(a, |x| x.max(f32::MIN_POSITIVE).ln())
+}
+
+/// Element-wise square root (of the clamped-to-zero input).
+pub fn sqrt(a: &Tensor) -> Tensor {
+    map(a, |x| x.max(0.0).sqrt())
+}
+
+/// Element-wise ReLU.
+pub fn relu(a: &Tensor) -> Tensor {
+    map(a, |x| x.max(0.0))
+}
+
+/// Element-wise hyperbolic tangent.
+pub fn tanh(a: &Tensor) -> Tensor {
+    map(a, f32::tanh)
+}
+
+/// Element-wise logistic sigmoid.
+pub fn sigmoid(a: &Tensor) -> Tensor {
+    map(a, |x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Element-wise square.
+pub fn square(a: &Tensor) -> Tensor {
+    map(a, |x| x * x)
+}
+
+/// Clamps every element into `[lo, hi]`.
+pub fn clamp(a: &Tensor, lo: f32, hi: f32) -> Tensor {
+    map(a, |x| x.clamp(lo, hi))
+}
+
+// ---------------------------------------------------------------------------
+// Matrix multiplication
+// ---------------------------------------------------------------------------
+
+/// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrices and
+/// [`TensorError::ShapeMismatch`] when the inner dimensions differ.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: a.rank() });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: b.rank() });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    // i-k-j loop order keeps the inner loop contiguous over both `bd` and
+    // `out`, which is the cache-friendly order for row-major data.
+    for i in 0..m {
+        for kk in 0..k {
+            let av = ad[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += av * brow[j];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transpose of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-matrices.
+pub fn transpose(a: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "transpose", expected: 2, actual: a.rank() });
+    }
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a.data()[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, &[n, m])
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+/// Sum of all elements, as a scalar tensor.
+pub fn sum_all(a: &Tensor) -> Tensor {
+    Tensor::scalar(a.data().iter().sum())
+}
+
+/// Mean of all elements, as a scalar tensor. Empty tensors yield 0.
+pub fn mean_all(a: &Tensor) -> Tensor {
+    if a.is_empty() {
+        return Tensor::scalar(0.0);
+    }
+    Tensor::scalar(a.data().iter().sum::<f32>() / a.len() as f32)
+}
+
+/// Maximum of all elements, as a scalar tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::EmptyInput`] for empty tensors.
+pub fn max_all(a: &Tensor) -> Result<Tensor> {
+    if a.is_empty() {
+        return Err(TensorError::EmptyInput { op: "max_all" });
+    }
+    Ok(Tensor::scalar(a.data().iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))))
+}
+
+/// Reduces along `axis` with the accumulator `f`, removing that axis.
+fn reduce_axis(
+    a: &Tensor,
+    axis: usize,
+    init: f32,
+    f: impl Fn(f32, f32) -> f32,
+) -> Result<Tensor> {
+    if axis >= a.rank() {
+        return Err(TensorError::AxisOutOfRange { axis, rank: a.rank() });
+    }
+    let dims = a.shape();
+    let outer: usize = dims[..axis].iter().product();
+    let mid = dims[axis];
+    let inner: usize = dims[axis + 1..].iter().product();
+    let mut out = vec![init; outer * inner];
+    for o in 0..outer {
+        for m in 0..mid {
+            for i in 0..inner {
+                let v = a.data()[o * mid * inner + m * inner + i];
+                let slot = &mut out[o * inner + i];
+                *slot = f(*slot, v);
+            }
+        }
+    }
+    let mut out_dims: Vec<usize> = dims[..axis].to_vec();
+    out_dims.extend_from_slice(&dims[axis + 1..]);
+    Tensor::from_vec(out, &out_dims)
+}
+
+/// Sum along `axis`, removing that axis.
+pub fn sum_axis(a: &Tensor, axis: usize) -> Result<Tensor> {
+    reduce_axis(a, axis, 0.0, |acc, v| acc + v)
+}
+
+/// Mean along `axis`, removing that axis.
+pub fn mean_axis(a: &Tensor, axis: usize) -> Result<Tensor> {
+    let n = *a.shape().get(axis).ok_or(TensorError::AxisOutOfRange {
+        axis,
+        rank: a.rank(),
+    })? as f32;
+    Ok(mul_scalar(&sum_axis(a, axis)?, 1.0 / n))
+}
+
+/// Maximum along `axis`, removing that axis.
+pub fn max_axis(a: &Tensor, axis: usize) -> Result<Tensor> {
+    reduce_axis(a, axis, f32::NEG_INFINITY, |acc, v| acc.max(v))
+}
+
+/// Index of the maximum along the last axis of a rank-2 tensor.
+///
+/// Returns a 1-D tensor of row-wise argmax indices (as `f32` values, the
+/// convention used by the dataflow interpreter for index tensors).
+///
+/// # Errors
+///
+/// Returns an error for non-matrix input or zero columns.
+pub fn argmax_rows(a: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "argmax_rows", expected: 2, actual: a.rank() });
+    }
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    if n == 0 {
+        return Err(TensorError::EmptyInput { op: "argmax_rows" });
+    }
+    let mut out = Vec::with_capacity(m);
+    for i in 0..m {
+        let row = &a.data()[i * n..(i + 1) * n];
+        let mut best = 0usize;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        out.push(best as f32);
+    }
+    Tensor::from_vec(out, &[m])
+}
+
+// ---------------------------------------------------------------------------
+// Softmax family
+// ---------------------------------------------------------------------------
+
+/// Numerically-stable softmax along the last axis of a rank-2 tensor.
+pub fn softmax_rows(a: &Tensor) -> Result<Tensor> {
+    let lsm = log_softmax_rows(a)?;
+    Ok(exp(&lsm))
+}
+
+/// Numerically-stable log-softmax along the last axis of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns an error for non-matrix input.
+pub fn log_softmax_rows(a: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "log_softmax_rows",
+            expected: 2,
+            actual: a.rank(),
+        });
+    }
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let row = &a.data()[i * n..(i + 1) * n];
+        let max = row.iter().fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
+        let lse = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+        for j in 0..n {
+            out[i * n + j] = row[j] - lse;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+// ---------------------------------------------------------------------------
+// Shape manipulation
+// ---------------------------------------------------------------------------
+
+/// Concatenates tensors along `axis`.
+///
+/// # Errors
+///
+/// Returns an error if the list is empty, ranks differ, the axis is out of
+/// range, or non-concat axes disagree.
+pub fn concat(parts: &[&Tensor], axis: usize) -> Result<Tensor> {
+    let first = parts.first().ok_or(TensorError::EmptyInput { op: "concat" })?;
+    let rank = first.rank();
+    if axis >= rank {
+        return Err(TensorError::AxisOutOfRange { axis, rank });
+    }
+    let mut axis_total = 0;
+    for p in parts {
+        if p.rank() != rank {
+            return Err(TensorError::RankMismatch { op: "concat", expected: rank, actual: p.rank() });
+        }
+        for (d, (&a, &b)) in first.shape().iter().zip(p.shape()).enumerate() {
+            if d != axis && a != b {
+                return Err(TensorError::ShapeMismatch {
+                    op: "concat",
+                    lhs: first.shape().to_vec(),
+                    rhs: p.shape().to_vec(),
+                });
+            }
+        }
+        axis_total += p.shape()[axis];
+    }
+    let mut out_dims = first.shape().to_vec();
+    out_dims[axis] = axis_total;
+    let out_shape = Shape::new(&out_dims);
+    let outer: usize = out_dims[..axis].iter().product();
+    let inner: usize = out_dims[axis + 1..].iter().product();
+    let mut out = Vec::with_capacity(out_shape.volume());
+    for o in 0..outer {
+        for p in parts {
+            let mid = p.shape()[axis];
+            let start = o * mid * inner;
+            out.extend_from_slice(&p.data()[start..start + mid * inner]);
+        }
+    }
+    Tensor::from_vec(out, &out_dims)
+}
+
+/// Stacks equally-shaped tensors along a new leading axis.
+///
+/// This is the primitive behind MSRL's fragment *fusion* (§5.2 of the
+/// paper): N replica tensors of shape `S` become one `[N, ..S]` tensor so a
+/// single batched operator can process all replicas at once.
+///
+/// # Errors
+///
+/// Returns an error if the list is empty or shapes disagree.
+pub fn stack(parts: &[&Tensor]) -> Result<Tensor> {
+    let first = parts.first().ok_or(TensorError::EmptyInput { op: "stack" })?;
+    let mut out = Vec::with_capacity(first.len() * parts.len());
+    for p in parts {
+        if p.shape() != first.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "stack",
+                lhs: first.shape().to_vec(),
+                rhs: p.shape().to_vec(),
+            });
+        }
+        out.extend_from_slice(p.data());
+    }
+    let mut dims = vec![parts.len()];
+    dims.extend_from_slice(first.shape());
+    Tensor::from_vec(out, &dims)
+}
+
+/// Splits a tensor along its leading axis into `n` equal parts — the
+/// inverse of [`stack`] and the "unfuse" step of fragment fusion.
+///
+/// # Errors
+///
+/// Returns an error for scalars or when the leading axis is not divisible
+/// by `n`.
+pub fn unstack(a: &Tensor, n: usize) -> Result<Vec<Tensor>> {
+    if a.rank() == 0 || n == 0 {
+        return Err(TensorError::EmptyInput { op: "unstack" });
+    }
+    let lead = a.shape()[0];
+    if !lead.is_multiple_of(n) {
+        return Err(TensorError::ShapeMismatch {
+            op: "unstack",
+            lhs: a.shape().to_vec(),
+            rhs: vec![n],
+        });
+    }
+    let chunk_lead = lead / n;
+    let mut dims = a.shape().to_vec();
+    dims[0] = chunk_lead;
+    let chunk_len = a.len() / n;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(Tensor::from_vec(
+            a.data()[i * chunk_len..(i + 1) * chunk_len].to_vec(),
+            &dims,
+        )?);
+    }
+    Ok(out)
+}
+
+/// Gathers rows of a rank-2 tensor by index.
+///
+/// # Errors
+///
+/// Returns an error for non-matrix input or out-of-range indices.
+pub fn gather_rows(a: &Tensor, indices: &[usize]) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "gather_rows", expected: 2, actual: a.rank() });
+    }
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    let mut out = Vec::with_capacity(indices.len() * n);
+    for &i in indices {
+        if i >= m {
+            return Err(TensorError::IndexOutOfRange { index: i, len: m });
+        }
+        out.extend_from_slice(&a.data()[i * n..(i + 1) * n]);
+    }
+    Tensor::from_vec(out, &[indices.len(), n])
+}
+
+/// Selects one element per row of a rank-2 tensor: `out[i] = a[i, idx[i]]`.
+///
+/// Used to pick the log-probability of the taken action from a policy's
+/// per-action output.
+///
+/// # Errors
+///
+/// Returns an error for rank/length mismatches or out-of-range indices.
+pub fn select_per_row(a: &Tensor, idx: &[usize]) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "select_per_row",
+            expected: 2,
+            actual: a.rank(),
+        });
+    }
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    if idx.len() != m {
+        return Err(TensorError::LengthMismatch { expected: m, actual: idx.len() });
+    }
+    let mut out = Vec::with_capacity(m);
+    for (i, &j) in idx.iter().enumerate() {
+        if j >= n {
+            return Err(TensorError::IndexOutOfRange { index: j, len: n });
+        }
+        out.push(a.data()[i * n + j]);
+    }
+    Tensor::from_vec(out, &[m])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn add_broadcasts_row_vector() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[10.0, 20.0], &[2]);
+        assert_eq!(add(&a, &b).unwrap().data(), &[11.0, 22.0, 13.0, 24.0]);
+    }
+
+    #[test]
+    fn add_broadcasts_column_vector() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[10.0, 20.0], &[2, 1]);
+        assert_eq!(add(&a, &b).unwrap().data(), &[11.0, 12.0, 23.0, 24.0]);
+    }
+
+    #[test]
+    fn add_rejects_incompatible() {
+        let a = t(&[1.0, 2.0, 3.0], &[3]);
+        let b = t(&[1.0, 2.0], &[2]);
+        assert!(add(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        assert_eq!(matmul(&a, &b).unwrap().data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t(&[1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let b = t(&[2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[2, 4]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &[3, 4]);
+        assert_eq!(&c.data()[..4], &[2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(&c.data()[8..], &[8.0, 10.0, 12.0, 14.0]);
+    }
+
+    #[test]
+    fn matmul_checks_dims() {
+        let a = t(&[1.0, 2.0], &[1, 2]);
+        let b = t(&[1.0, 2.0, 3.0], &[3, 1]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul(&a, &Tensor::ones(&[2])).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let at = transpose(&a).unwrap();
+        assert_eq!(at.shape(), &[3, 2]);
+        assert_eq!(transpose(&at).unwrap(), a);
+    }
+
+    #[test]
+    fn reductions_match_hand_values() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(sum_all(&a).item().unwrap(), 21.0);
+        assert_eq!(mean_all(&a).item().unwrap(), 3.5);
+        assert_eq!(max_all(&a).unwrap().item().unwrap(), 6.0);
+        assert_eq!(sum_axis(&a, 0).unwrap().data(), &[5.0, 7.0, 9.0]);
+        assert_eq!(sum_axis(&a, 1).unwrap().data(), &[6.0, 15.0]);
+        assert_eq!(mean_axis(&a, 1).unwrap().data(), &[2.0, 5.0]);
+        assert_eq!(max_axis(&a, 0).unwrap().data(), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = t(&[1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3]);
+        let s = softmax_rows(&a).unwrap();
+        for i in 0..2 {
+            let row_sum: f32 = s.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-4, "row {i} sums to {row_sum}");
+        }
+        assert!(s.all_finite(), "softmax must be stable for large logits");
+    }
+
+    #[test]
+    fn argmax_rows_finds_max() {
+        let a = t(&[0.1, 0.9, 0.5, 0.2, 0.1, 0.05], &[2, 3]);
+        assert_eq!(argmax_rows(&a).unwrap().data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_axis0_and_axis1() {
+        let a = t(&[1.0, 2.0], &[1, 2]);
+        let b = t(&[3.0, 4.0], &[1, 2]);
+        let c0 = concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c0.shape(), &[2, 2]);
+        assert_eq!(c0.data(), &[1.0, 2.0, 3.0, 4.0]);
+        let c1 = concat(&[&a, &b], 1).unwrap();
+        assert_eq!(c1.shape(), &[1, 4]);
+        assert_eq!(c1.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn stack_unstack_roundtrip() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[3.0, 4.0], &[2]);
+        let s = stack(&[&a, &b]).unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        let parts = unstack(&s, 2).unwrap();
+        assert_eq!(parts[0].data(), a.data());
+        assert_eq!(parts[1].data(), b.data());
+    }
+
+    #[test]
+    fn gather_and_select() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let g = gather_rows(&a, &[2, 0]).unwrap();
+        assert_eq!(g.data(), &[5.0, 6.0, 1.0, 2.0]);
+        assert!(gather_rows(&a, &[3]).is_err());
+        let s = select_per_row(&a, &[1, 0, 1]).unwrap();
+        assert_eq!(s.data(), &[2.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn ln_is_safe_at_zero() {
+        let a = t(&[0.0, 1.0], &[2]);
+        let l = ln(&a);
+        assert!(l.all_finite());
+        assert_eq!(l.data()[1], 0.0);
+    }
+}

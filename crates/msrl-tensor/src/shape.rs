@@ -1,0 +1,181 @@
+//! Shape arithmetic: volumes, strides and NumPy-style broadcasting.
+
+use crate::error::TensorError;
+use crate::Result;
+
+/// A tensor shape: the extent of each axis, outermost first.
+///
+/// `Shape` is a thin wrapper over `Vec<usize>` that centralises the shape
+/// arithmetic (volume, row-major strides, broadcast resolution) used across
+/// the crate. A rank-0 shape (`[]`) denotes a scalar with volume 1.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of axis extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// The number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents; 1 for scalars).
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// The extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major (C-order) strides for this shape.
+    ///
+    /// The stride of axis `i` is the number of linear elements between
+    /// consecutive indices along that axis.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1;
+        for (i, &d) in self.0.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Resolves the broadcast shape of `self` and `other` under NumPy
+    /// rules: align from the trailing axis; extents must be equal or one of
+    /// them 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when any aligned pair of
+    /// extents is incompatible.
+    pub fn broadcast(&self, other: &Shape) -> Result<Shape> {
+        let rank = self.rank().max(other.rank());
+        let mut out = vec![0usize; rank];
+        for i in 0..rank {
+            let a = *self.0.get(self.rank().wrapping_sub(i + 1)).unwrap_or(&1);
+            let b = *other.0.get(other.rank().wrapping_sub(i + 1)).unwrap_or(&1);
+            out[rank - 1 - i] = if a == b {
+                a
+            } else if a == 1 {
+                b
+            } else if b == 1 {
+                a
+            } else {
+                return Err(TensorError::ShapeMismatch {
+                    op: "broadcast",
+                    lhs: self.0.clone(),
+                    rhs: other.0.clone(),
+                });
+            };
+        }
+        Ok(Shape(out))
+    }
+
+    /// Converts a linear index into per-axis coordinates for this shape.
+    pub fn unravel(&self, mut linear: usize) -> Vec<usize> {
+        let mut coords = vec![0; self.rank()];
+        for (i, s) in self.strides().iter().enumerate() {
+            coords[i] = linear / s;
+            linear %= s;
+        }
+        coords
+    }
+
+    /// Converts per-axis coordinates into a linear index, clamping each
+    /// coordinate to `0` along axes of extent 1 (the broadcast read rule).
+    pub fn ravel_broadcast(&self, coords: &[usize]) -> usize {
+        debug_assert!(coords.len() >= self.rank());
+        let offset = coords.len() - self.rank();
+        let strides = self.strides();
+        let mut linear = 0;
+        for i in 0..self.rank() {
+            let c = if self.0[i] == 1 { 0 } else { coords[offset + i] };
+            linear += c * strides[i];
+        }
+        linear
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_of_scalar_is_one() {
+        assert_eq!(Shape::new(&[]).volume(), 1);
+    }
+
+    #[test]
+    fn volume_is_product() {
+        assert_eq!(Shape::new(&[2, 3, 4]).volume(), 24);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::new(&[]).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_equal_shapes() {
+        let a = Shape::new(&[2, 3]);
+        assert_eq!(a.broadcast(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn broadcast_with_ones() {
+        let a = Shape::new(&[2, 1, 4]);
+        let b = Shape::new(&[3, 1]);
+        assert_eq!(a.broadcast(&b).unwrap(), Shape::new(&[2, 3, 4]));
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        let a = Shape::new(&[2, 2]);
+        let s = Shape::new(&[]);
+        assert_eq!(a.broadcast(&s).unwrap(), a);
+        assert_eq!(s.broadcast(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn broadcast_incompatible_fails() {
+        let a = Shape::new(&[2, 3]);
+        let b = Shape::new(&[4, 3]);
+        assert!(a.broadcast(&b).is_err());
+    }
+
+    #[test]
+    fn unravel_ravel_roundtrip() {
+        let s = Shape::new(&[2, 3, 4]);
+        for i in 0..24 {
+            let coords = s.unravel(i);
+            assert_eq!(s.ravel_broadcast(&coords), i);
+        }
+    }
+
+    #[test]
+    fn ravel_broadcast_clamps_unit_axes() {
+        let s = Shape::new(&[1, 3]);
+        // Coordinate (5, 2) in a broadcast target of [6, 3] reads (0, 2).
+        assert_eq!(s.ravel_broadcast(&[5, 2]), 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the tensor substrate.
+//!
+//! These check algebraic invariants that must hold for *any* input, which
+//! unit tests with hand-picked values cannot cover: gradient correctness
+//! against central differences, broadcast algebra, and the stack/unstack
+//! (fusion) round-trip that MSRL's fragment-fusion pass relies on.
+
+use msrl_tensor::autograd::Tape;
+use msrl_tensor::{ops, Tensor};
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-3.0f32..3.0, len)
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in small_vec(12), b in small_vec(12)) {
+        let ta = Tensor::from_vec(a, &[3, 4]).unwrap();
+        let tb = Tensor::from_vec(b, &[3, 4]).unwrap();
+        prop_assert_eq!(ops::add(&ta, &tb).unwrap(), ops::add(&tb, &ta).unwrap());
+    }
+
+    #[test]
+    fn mul_scalar_distributes_over_add(a in small_vec(6), b in small_vec(6), s in -2.0f32..2.0) {
+        let ta = Tensor::from_vec(a, &[6]).unwrap();
+        let tb = Tensor::from_vec(b, &[6]).unwrap();
+        let lhs = ops::mul_scalar(&ops::add(&ta, &tb).unwrap(), s);
+        let rhs = ops::add(&ops::mul_scalar(&ta, s), &ops::mul_scalar(&tb, s)).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn broadcast_add_matches_manual_tile(row in small_vec(4), m in small_vec(12)) {
+        let trow = Tensor::from_vec(row.clone(), &[4]).unwrap();
+        let tm = Tensor::from_vec(m.clone(), &[3, 4]).unwrap();
+        let out = ops::add(&tm, &trow).unwrap();
+        for i in 0..3 {
+            for j in 0..4 {
+                let expect = m[i * 4 + j] + row[j];
+                prop_assert!((out.at(&[i, j]).unwrap() - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn stack_unstack_roundtrip(a in small_vec(8), b in small_vec(8), c in small_vec(8)) {
+        let ts: Vec<Tensor> = [a, b, c]
+            .into_iter()
+            .map(|v| Tensor::from_vec(v, &[2, 4]).unwrap())
+            .collect();
+        let refs: Vec<&Tensor> = ts.iter().collect();
+        let stacked = ops::stack(&refs).unwrap();
+        prop_assert_eq!(stacked.shape(), &[3, 2, 4]);
+        let parts = ops::unstack(&stacked, 3).unwrap();
+        for (orig, got) in ts.iter().zip(&parts) {
+            // unstack keeps a leading axis of extent lead/n = 1
+            let flat = got.reshape(&[2, 4]).unwrap();
+            prop_assert_eq!(orig, &flat);
+        }
+    }
+
+    #[test]
+    fn matmul_is_linear_in_lhs(
+        a in small_vec(6), b in small_vec(6), w in small_vec(6), s in -2.0f32..2.0
+    ) {
+        let ta = Tensor::from_vec(a, &[2, 3]).unwrap();
+        let tb = Tensor::from_vec(b, &[2, 3]).unwrap();
+        let tw = Tensor::from_vec(w, &[3, 2]).unwrap();
+        // (a + s·b)·W == a·W + s·(b·W)
+        let lhs = ops::matmul(&ops::add(&ta, &ops::mul_scalar(&tb, s)).unwrap(), &tw).unwrap();
+        let rhs = ops::add(
+            &ops::matmul(&ta, &tw).unwrap(),
+            &ops::mul_scalar(&ops::matmul(&tb, &tw).unwrap(), s),
+        )
+        .unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(vals in small_vec(12)) {
+        let t = Tensor::from_vec(vals, &[3, 4]).unwrap();
+        let s = ops::softmax_rows(&t).unwrap();
+        for i in 0..3 {
+            let row = &s.data()[i * 4..(i + 1) * 4];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    /// Reverse-mode gradients of a composite expression agree with central
+    /// differences at random points.
+    #[test]
+    fn autograd_matches_numeric_gradient(point in small_vec(4)) {
+        let eval = |vals: &[f32]| -> f32 {
+            let tape = Tape::new();
+            let x = tape.var(Tensor::from_vec(vals.to_vec(), &[2, 2]).unwrap());
+            let w = tape.var(Tensor::from_vec(vec![0.3, -0.7, 0.9, 0.1], &[2, 2]).unwrap());
+            x.matmul(&w)
+                .unwrap()
+                .tanh()
+                .square()
+                .mean()
+                .value()
+                .item()
+                .unwrap()
+        };
+        let tape = Tape::new();
+        let x = tape.var(Tensor::from_vec(point.clone(), &[2, 2]).unwrap());
+        let w = tape.var(Tensor::from_vec(vec![0.3, -0.7, 0.9, 0.1], &[2, 2]).unwrap());
+        let loss = x.matmul(&w).unwrap().tanh().square().mean();
+        let grads = tape.backward(&loss).unwrap();
+        let analytic = grads.get(x.id()).unwrap().data().to_vec();
+        let eps = 1e-2;
+        for i in 0..4 {
+            let mut lo = point.clone();
+            let mut hi = point.clone();
+            lo[i] -= eps;
+            hi[i] += eps;
+            let numeric = (eval(&hi) - eval(&lo)) / (2.0 * eps);
+            prop_assert!(
+                (numeric - analytic[i]).abs() < 2e-2,
+                "axis {}: numeric {} vs analytic {}", i, numeric, analytic[i]
+            );
+        }
+    }
+
+    /// Gradient of a broadcast add sums over the broadcast axes — checked
+    /// against the mathematical identity d(Σ(x+b))/db_j = #rows.
+    #[test]
+    fn broadcast_gradient_sums(rows in 1usize..6, cols in 1usize..5) {
+        let tape = Tape::new();
+        let x = tape.var(Tensor::zeros(&[rows, cols]));
+        let b = tape.var(Tensor::zeros(&[cols]));
+        let loss = x.add(&b).unwrap().sum();
+        let g = tape.backward(&loss).unwrap();
+        let gb = g.get(b.id()).unwrap();
+        prop_assert_eq!(gb.shape(), &[cols]);
+        for &v in gb.data() {
+            prop_assert_eq!(v, rows as f32);
+        }
+    }
+
+    #[test]
+    fn concat_then_volume(n1 in 1usize..4, n2 in 1usize..4) {
+        let a = Tensor::ones(&[n1, 3]);
+        let b = Tensor::full(&[n2, 3], 2.0);
+        let c = ops::concat(&[&a, &b], 0).unwrap();
+        prop_assert_eq!(c.shape(), &[n1 + n2, 3]);
+        prop_assert_eq!(c.data()[..n1 * 3].iter().sum::<f32>(), (n1 * 3) as f32);
+        prop_assert_eq!(c.data()[n1 * 3..].iter().sum::<f32>(), (n2 * 6) as f32);
+    }
+}
