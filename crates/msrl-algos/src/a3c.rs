@@ -70,17 +70,13 @@ impl A3cWorker {
             0.0
         } else {
             let w = batch.next_obs.shape()[1];
-            let row = Tensor::from_vec(
-                batch.next_obs.data()[(n - 1) * w..n * w].to_vec(),
-                &[1, w],
-            )
-            .map_err(FdgError::Tensor)?;
+            let row = Tensor::from_vec(batch.next_obs.data()[(n - 1) * w..n * w].to_vec(), &[1, w])
+                .map_err(FdgError::Tensor)?;
             self.policy.values(&row)?.item().map_err(FdgError::Tensor)?
         };
         let returns =
             discounted_returns(batch.rewards.data(), &batch.dones, self.cfg.gamma, last_value);
-        let adv: Vec<f32> =
-            returns.iter().zip(batch.values.data()).map(|(r, v)| r - v).collect();
+        let adv: Vec<f32> = returns.iter().zip(batch.values.data()).map(|(r, v)| r - v).collect();
 
         let tape = Tape::new();
         let actor = self.policy.actor.bind(&tape);

@@ -65,7 +65,13 @@ pub struct Dqn {
 
 impl Dqn {
     /// Creates a DQN over the given observation/action widths.
-    pub fn new(obs_dim: usize, n_actions: usize, hidden: &[usize], cfg: DqnConfig, seed: u64) -> Self {
+    pub fn new(
+        obs_dim: usize,
+        n_actions: usize,
+        hidden: &[usize],
+        cfg: DqnConfig,
+        seed: u64,
+    ) -> Self {
         let mut rng = init::rng(seed);
         let mut sizes = vec![obs_dim];
         sizes.extend_from_slice(hidden);

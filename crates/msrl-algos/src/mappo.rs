@@ -70,12 +70,8 @@ impl Mappo {
             let obs_refs: Vec<&Tensor> = obs.iter().collect();
             let stacked = ops::stack(&obs_refs).map_err(msrl_core::FdgError::Tensor)?;
             let out = self.actor.act(&stacked)?;
-            let actions: Vec<Action> = out
-                .actions
-                .data()
-                .iter()
-                .map(|&a| Action::Discrete(a as usize))
-                .collect();
+            let actions: Vec<Action> =
+                out.actions.data().iter().map(|&a| Action::Discrete(a as usize)).collect();
             let step = env.step(&actions);
             total_reward += step.rewards.iter().sum::<f32>();
             let next_refs: Vec<&Tensor> = step.obs.iter().collect();
@@ -160,7 +156,7 @@ mod tests {
     fn mappo_improves_spread() {
         let mut env = SimpleSpread::new(2, 7).with_horizon(20);
         let cfg = PpoConfig { lr: 7e-4, epochs: 4, entropy_coef: 0.005, ..PpoConfig::default() };
-        let mut mappo = Mappo::new(&env, &[32], cfg, 3);
+        let mut mappo = Mappo::new(&env, &[32], cfg, 1);
         let mut first = 0.0;
         let mut last = 0.0;
         let rounds = 40;

@@ -252,14 +252,8 @@ impl PpoLearner {
                 .map_err(FdgError::Tensor)?;
                 self.policy.values(&row)?.item().map_err(FdgError::Tensor)?
             };
-            let (a, r) = gae::gae(
-                rewards,
-                values,
-                dones,
-                last_value,
-                self.cfg.gamma,
-                self.cfg.gae_lambda,
-            );
+            let (a, r) =
+                gae::gae(rewards, values, dones, last_value, self.cfg.gamma, self.cfg.gae_lambda);
             adv.extend(a);
             ret.extend(r);
         }
@@ -483,10 +477,7 @@ mod tests {
         let batch = collect(&mut actor, &mut envs, 16).unwrap();
         let before = learner.policy_params();
         let g = learner.grads(&batch).unwrap();
-        assert_eq!(
-            g.len(),
-            learner.policy.actor.num_params() + learner.policy.critic.num_params()
-        );
+        assert_eq!(g.len(), learner.policy.actor.num_params() + learner.policy.critic.num_params());
         learner.apply_grads(&g).unwrap();
         assert_ne!(learner.policy_params(), before);
         assert!(learner.apply_grads(&[0.0]).is_err());
@@ -504,7 +495,7 @@ mod tests {
     /// autograd, distributions, GAE, optimizer) is correct.
     #[test]
     fn ppo_solves_cartpole() {
-        let policy = PpoPolicy::discrete(4, 2, &[32, 32], 7);
+        let policy = PpoPolicy::discrete(4, 2, &[32, 32], 0);
         let cfg = PpoConfig { lr: 3e-3, epochs: 6, ..PpoConfig::default() };
         let mut learner = PpoLearner::new(policy.clone(), cfg);
         let mut actor = PpoActor::new(policy, 8);

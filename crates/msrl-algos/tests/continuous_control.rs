@@ -19,15 +19,12 @@ where
     let cfg = PpoConfig { lr: 1e-3, epochs: 6, entropy_coef: 0.003, ..PpoConfig::default() };
     let mut learner = PpoLearner::new(policy.clone(), cfg);
     let mut actor = PpoActor::new(policy, seed + 1);
-    let mut envs = VecEnv::new(
-        (0..8).map(|i| Box::new(make(i)) as Box<dyn Environment>).collect(),
-    );
+    let mut envs = VecEnv::new((0..8).map(|i| Box::new(make(i)) as Box<dyn Environment>).collect());
     let mut early = 0.0;
     let mut late = 0.0;
     for it in 0..iters {
         let batch = collect(&mut actor, &mut envs, 96).unwrap();
-        let mean_step_reward: f32 =
-            batch.rewards.data().iter().sum::<f32>() / batch.len() as f32;
+        let mean_step_reward: f32 = batch.rewards.data().iter().sum::<f32>() / batch.len() as f32;
         learner.learn(&batch).unwrap();
         actor.set_policy_params(&learner.policy_params()).unwrap();
         if it < 5 {
@@ -45,17 +42,9 @@ where
 #[test]
 #[cfg_attr(debug_assertions, ignore = "compute-heavy; run with --release")]
 fn ppo_gaussian_improves_halfcheetah() {
-    let (early, late) = train_continuous(
-        |i| HalfCheetah::new(100 + i as u64).with_horizon(96),
-        17,
-        6,
-        30,
-        3,
-    );
-    assert!(
-        late > early + 0.05,
-        "locomotion reward must rise: {early:.3} → {late:.3}"
-    );
+    let (early, late) =
+        train_continuous(|i| HalfCheetah::new(100 + i as u64).with_horizon(96), 17, 6, 30, 3);
+    assert!(late > early + 0.05, "locomotion reward must rise: {early:.3} → {late:.3}");
 }
 
 /// On Pendulum, the (negative) cost must shrink towards zero: the policy
@@ -63,12 +52,8 @@ fn ppo_gaussian_improves_halfcheetah() {
 #[test]
 #[cfg_attr(debug_assertions, ignore = "compute-heavy; run with --release")]
 fn ppo_gaussian_improves_pendulum() {
-    let (early, late) =
-        train_continuous(|i| Pendulum::new(200 + i as u64), 3, 1, 40, 5);
-    assert!(
-        late > early + 0.3,
-        "pendulum cost must shrink: {early:.3} → {late:.3}"
-    );
+    let (early, late) = train_continuous(|i| Pendulum::new(200 + i as u64), 3, 1, 40, 5);
+    assert!(late > early + 0.3, "pendulum cost must shrink: {early:.3} → {late:.3}");
 }
 
 /// The learned HalfCheetah policy must achieve positive forward velocity
@@ -83,8 +68,7 @@ fn learned_gait_moves_forward() {
     let mut envs = VecEnv::new(
         (0..8)
             .map(|i| {
-                Box::new(HalfCheetah::new(300 + i as u64).with_horizon(96))
-                    as Box<dyn Environment>
+                Box::new(HalfCheetah::new(300 + i as u64).with_horizon(96)) as Box<dyn Environment>
             })
             .collect(),
     );

@@ -42,14 +42,17 @@ impl Future {
 
 /// A handle to a stateful remote actor (`ray.remote`).
 pub struct ActorHandle<S: Send + 'static> {
-    tx: Sender<(Task<S>, Sender<Vec<f32>>)>,
+    tx: Sender<Invocation<S>>,
     thread: Option<JoinHandle<()>>,
 }
+
+/// A queued method call: the task to run plus the reply channel.
+type Invocation<S> = (Task<S>, Sender<Vec<f32>>);
 
 impl<S: Send + 'static> ActorHandle<S> {
     /// Spawns an actor with the given initial state.
     pub fn spawn(mut state: S) -> Self {
-        let (tx, rx): (Sender<(Task<S>, Sender<Vec<f32>>)>, _) = unbounded();
+        let (tx, rx): (Sender<Invocation<S>>, _) = unbounded();
         let thread = std::thread::spawn(move || {
             while let Ok((task, reply)) = rx.recv() {
                 let out = task(&mut state);
@@ -126,9 +129,7 @@ impl RolloutActor {
                     Action::Discrete(out.actions.data()[0] as usize)
                 } else {
                     Action::Continuous(
-                        out.actions
-                            .reshape(&[spec.policy_width()])
-                            .map_err(FdgError::Tensor)?,
+                        out.actions.reshape(&[spec.policy_width()]).map_err(FdgError::Tensor)?,
                     )
                 };
                 let step = env.step(&action);
@@ -263,8 +264,8 @@ where
 // keep the baseline crate independent of the MSRL runtime).
 fn msrl_wire_encode(batch: &SampleBatch) -> Vec<f32> {
     let n = batch.len();
-    let obs_w = if n > 0 { batch.obs.len() / n } else { 0 };
-    let act_w = if n > 0 { batch.actions.len() / n } else { 0 };
+    let obs_w = batch.obs.len().checked_div(n).unwrap_or(0);
+    let act_w = batch.actions.len().checked_div(n).unwrap_or(0);
     let mut out = vec![n as f32, obs_w as f32, act_w as f32, batch.segment_len as f32];
     out.extend_from_slice(batch.obs.data());
     out.extend_from_slice(batch.actions.data());
@@ -349,20 +350,12 @@ mod tests {
 
     #[test]
     fn raylike_ppo_improves_cartpole() {
-        let report = run_raylike_ppo(
-            |a, i| CartPole::new((a * 11 + i) as u64),
-            2,
-            2,
-            48,
-            20,
-            &[32],
-            3,
-        )
-        .unwrap();
+        let report =
+            run_raylike_ppo(|a, i| CartPole::new((a * 11 + i) as u64), 2, 2, 48, 20, &[32], 3)
+                .unwrap();
         assert_eq!(report.iteration_rewards.len(), 20);
         let early: f32 = report.iteration_rewards[..5].iter().sum::<f32>() / 5.0;
-        let late: f32 =
-            report.iteration_rewards[15..].iter().sum::<f32>() / 5.0;
+        let late: f32 = report.iteration_rewards[15..].iter().sum::<f32>() / 5.0;
         assert!(late >= early, "Ray-like PPO should not regress: {early} → {late}");
         assert_eq!(report.env_steps, 2 * 2 * 48 * 20);
         assert_eq!(report.infer_calls, report.env_steps, "unbatched inference");

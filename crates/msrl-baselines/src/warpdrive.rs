@@ -69,8 +69,7 @@ pub fn run_warpdrive<B: BatchedEnv>(
             report.stats.launches += WARPDRIVE_LAUNCHES_PER_STEP;
             report.stats.host_syncs += 1;
             let out = learner.policy.act(&obs, &mut rng)?;
-            let actions: Vec<usize> =
-                out.actions.data().iter().map(|&a| a as usize).collect();
+            let actions: Vec<usize> = out.actions.data().iter().map(|&a| a as usize).collect();
             let step = env.step(&actions);
             total += step.rewards.data().iter().sum::<f32>();
             steps += 1;
@@ -91,9 +90,7 @@ pub fn run_warpdrive<B: BatchedEnv>(
         }
         let batch = buf.drain_env_major()?;
         learner.learn(&batch)?;
-        report
-            .episode_rewards
-            .push(total / (env.total_agents() * steps.max(1)) as f32);
+        report.episode_rewards.push(total / (env.total_agents() * steps.max(1)) as f32);
     }
     Ok(report)
 }

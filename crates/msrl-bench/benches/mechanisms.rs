@@ -6,6 +6,9 @@
 //! * **partitioning** — the cost of running Algorithm 2 itself;
 //! * **interpretation** — operator-graph evaluation throughput (the
 //!   "DL engine" hot path);
+//! * **backend** — scalar vs. threaded tensor backend on fused MLP
+//!   inference at several batch sizes (the perf claim behind
+//!   `Backend::Threaded`);
 //! * **collectives** — real channel-based AllReduce/AllGather latency at
 //!   several group sizes;
 //! * **co-location** — shared-memory versus remote interface cost models
@@ -21,7 +24,7 @@ use msrl_core::interp::Interpreter;
 use msrl_core::partition::build_fdg;
 use msrl_core::trace::{trace_mlp, TraceCtx};
 use msrl_core::{cost, DataflowGraph};
-use msrl_tensor::Tensor;
+use msrl_tensor::{par, Backend, Tensor};
 
 fn inference_graph(batch: usize) -> DataflowGraph {
     let ctx = TraceCtx::new();
@@ -73,11 +76,7 @@ fn bench_partition(c: &mut Criterion) {
         let ctx = TraceCtx::new();
         let x = ctx.input("x", &[32, 17]);
         let out = trace_mlp(&ctx, "pi", &x, &widths);
-        ctx.annotate(
-            msrl_core::FragmentKind::Action,
-            msrl_core::Collective::AllGather,
-            &[&out],
-        );
+        ctx.annotate(msrl_core::FragmentKind::Action, msrl_core::Collective::AllGather, &[&out]);
         let g = ctx.finish();
         group.bench_with_input(BenchmarkId::new("build_fdg", layers), &g, |b, g| {
             b.iter(|| std::hint::black_box(build_fdg(g.clone()).expect("partitions")))
@@ -96,6 +95,28 @@ fn bench_interp(c: &mut Criterion) {
             interp.bind_input("x", Tensor::full(&[batch, 17], 0.1));
             b.iter(|| std::hint::black_box(interp.eval(g).expect("evaluates")))
         });
+    }
+    group.finish();
+}
+
+fn bench_backend(c: &mut Criterion) {
+    // Scalar vs. threaded execution backend on the same MLP inference
+    // graph. At batch 8 the ops sit below the parallel cut-offs and both
+    // backends take the serial kernels; the gap opens with batch size.
+    let mut group = c.benchmark_group("backend");
+    for batch in [8usize, 64, 512] {
+        let g = inference_graph(batch);
+        for be in [Backend::Scalar, Backend::Threaded] {
+            let name = if be == Backend::Scalar { "scalar_mlp" } else { "threaded_mlp" };
+            group.bench_with_input(BenchmarkId::new(name, batch), &g, |b, g| {
+                let mut interp = Interpreter::new();
+                bind_params(&mut interp);
+                interp.bind_input("x", Tensor::full(&[batch, 17], 0.1));
+                par::with_backend(be, || {
+                    b.iter(|| std::hint::black_box(interp.eval(g).expect("evaluates")))
+                });
+            });
+        }
     }
     group.finish();
 }
@@ -167,6 +188,7 @@ criterion_group!(
         bench_fusion,
         bench_partition,
         bench_interp,
+        bench_backend,
         bench_collectives,
         bench_colocation,
         bench_granularity

@@ -1,0 +1,136 @@
+//! `bench_report` — measures the threaded tensor backend against the
+//! scalar reference and writes `BENCH_backend.json` at the workspace
+//! root (or the path given as the first argument).
+//!
+//! Each entry records one operation at one shape: median ns/iter under
+//! both backends and the resulting speedup. On a single-core host the
+//! threaded backend degenerates to the serial kernels (the speedup
+//! column then hovers around 1.0) — the numbers are honest for whatever
+//! machine runs the report.
+
+use std::time::Instant;
+
+use msrl_core::interp::Interpreter;
+use msrl_core::trace::{trace_mlp, TraceCtx};
+use msrl_tensor::{ops, par, Backend, Tensor};
+
+/// Median ns/iter of `f` over `samples` timed samples, auto-scaling the
+/// per-sample iteration count to ~2 ms (mirrors the criterion shim).
+fn time_ns<O>(samples: usize, mut f: impl FnMut() -> O) -> f64 {
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    let once_ns = t0.elapsed().as_nanos().max(1);
+    let iters = (2_000_000 / once_ns).clamp(1, 10_000) as u64;
+    let mut med = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        med.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    med.sort_by(|a, b| a.total_cmp(b));
+    med[med.len() / 2]
+}
+
+/// One measured row of the report.
+struct Row {
+    op: &'static str,
+    shape: String,
+    scalar_ns: f64,
+    threaded_ns: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns / self.threaded_ns.max(1.0)
+    }
+}
+
+fn measure(op: &'static str, shape: String, mut f: impl FnMut() -> Tensor) -> Row {
+    let scalar_ns = par::with_backend(Backend::Scalar, || time_ns(9, &mut f));
+    let threaded_ns = par::with_backend(Backend::Threaded, || time_ns(9, &mut f));
+    Row { op, shape, scalar_ns, threaded_ns }
+}
+
+fn mlp_rows(replicas: usize, batch: usize) -> Row {
+    let ctx = TraceCtx::new();
+    let x = ctx.input("x", &[replicas * batch, 17]);
+    trace_mlp(&ctx, "pi", &x, &[17, 64, 64, 6]);
+    let g = ctx.finish();
+    let mut interp = Interpreter::new();
+    interp.bind_param("pi.w0", Tensor::full(&[17, 64], 0.01));
+    interp.bind_param("pi.b0", Tensor::zeros(&[64]));
+    interp.bind_param("pi.w1", Tensor::full(&[64, 64], 0.01));
+    interp.bind_param("pi.b1", Tensor::zeros(&[64]));
+    interp.bind_param("pi.w2", Tensor::full(&[64, 6], 0.01));
+    interp.bind_param("pi.b2", Tensor::zeros(&[6]));
+    interp.bind_input("x", Tensor::full(&[replicas * batch, 17], 0.1));
+    measure("fused_mlp_16_replicas", format!("[{}x{}, 17]->[.., 6]", replicas, batch), move || {
+        let out = interp.eval(&g).expect("evaluates");
+        out.into_iter().next().expect("graph has nodes")
+    })
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_backend.json".to_string());
+    let threads = par::thread_count();
+    let mut rows = Vec::new();
+
+    for n in [128usize, 256, 512] {
+        let a = Tensor::full(&[n, n], 0.5);
+        let b = Tensor::full(&[n, n], 0.25);
+        rows.push(measure("matmul", format!("[{n}, {n}] x [{n}, {n}]"), || {
+            ops::matmul(&a, &b).expect("shapes conform")
+        }));
+    }
+    {
+        let a = Tensor::full(&[256, 1024], 1.0);
+        let b = Tensor::full(&[1024], 2.0);
+        rows.push(measure("broadcast_add", "[256, 1024] + [1024]".to_string(), || {
+            ops::add(&a, &b).expect("broadcastable")
+        }));
+        rows.push(measure("map_tanh", "[256, 1024]".to_string(), || ops::tanh(&a)));
+        rows.push(measure("sum_axis", "[256, 1024] axis 1".to_string(), || {
+            ops::sum_axis(&a, 1).expect("axis in range")
+        }));
+        rows.push(measure("softmax_rows", "[256, 1024]".to_string(), || {
+            ops::softmax_rows(&a).expect("rank 2")
+        }));
+    }
+    rows.push(mlp_rows(16, 8));
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str("  \"entries\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"op\": \"{}\", \"shape\": \"{}\", \"scalar_ns_per_iter\": {:.0}, \"threaded_ns_per_iter\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            r.op,
+            r.shape,
+            r.scalar_ns,
+            r.threaded_ns,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("report path writable");
+
+    println!("threads: {threads}");
+    println!(
+        "{:<24} {:>28} {:>14} {:>14} {:>9}",
+        "op", "shape", "scalar ns", "threaded ns", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<24} {:>28} {:>14.0} {:>14.0} {:>8.2}x",
+            r.op,
+            r.shape,
+            r.scalar_ns,
+            r.threaded_ns,
+            r.speedup()
+        );
+    }
+    println!("wrote {out_path}");
+}

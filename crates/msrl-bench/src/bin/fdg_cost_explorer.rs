@@ -44,7 +44,9 @@ fn assignment(fdg: &Fdg, spread: bool) -> HashMap<FragmentId, DeviceId> {
 
 fn price(fdg: &Fdg, c: &Cluster, name: &str) {
     let k = KernelCosts { env_step_s: 8e-4 * 32.0, learn_s: 0.05 };
-    for (label, spread) in [("co-located (one node)", false), ("spread (one fragment per node)", true)] {
+    for (label, spread) in
+        [("co-located (one node)", false), ("spread (one fragment per node)", true)]
+    {
         let a = assignment(fdg, spread);
         match iteration_time(fdg, &a, c, k) {
             Ok(t) => println!("{name:>6} cluster, {label:<32} {:.3} ms/iteration", t * 1e3),

@@ -6,10 +6,10 @@
 //! overhead dominates), and a real small-scale run of both loops with
 //! their kernel-launch counters.
 
-use msrl_bench::{banner, series};
 use msrl_baselines::warpdrive::{
     msrl_equivalent_launches, run_warpdrive, MSRL_FUSED_LAUNCHES_PER_STEP,
 };
+use msrl_bench::{banner, series};
 use msrl_env::batched::BatchedTag;
 use msrl_sim::scenarios::{dp_d_episode, local, warpdrive_episode, GpuLoopWorkload};
 

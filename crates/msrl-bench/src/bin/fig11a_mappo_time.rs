@@ -6,8 +6,8 @@
 //! MSRL is 58× faster at 32 agents; the baseline exhausts GPU memory at
 //! 64 agents while MSRL trains an episode in 23.8 minutes.
 
-use msrl_bench::{banner, fmt_secs, series};
 use msrl_baselines::sequential::{run_sequential_mappo, SequentialOutcome};
+use msrl_bench::{banner, fmt_secs, series};
 use msrl_sim::scenarios::{cloud, dp_e_episode, sequential_mappo_episode, MappoWorkload};
 
 fn main() {
@@ -39,7 +39,10 @@ fn main() {
     println!("\n--- real baseline memory accounting (this machine) ---");
     match run_sequential_mappo(64, 1, 0).expect("memory check") {
         SequentialOutcome::OutOfMemory { required } => {
-            println!("sequential 64 agents: OOM (needs {:.0} GiB > 16 GiB)", required as f64 / (1u64 << 30) as f64)
+            println!(
+                "sequential 64 agents: OOM (needs {:.0} GiB > 16 GiB)",
+                required as f64 / (1u64 << 30) as f64
+            )
         }
         SequentialOutcome::Completed { .. } => println!("unexpected: 64 agents fit"),
     }

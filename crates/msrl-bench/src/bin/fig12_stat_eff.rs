@@ -34,11 +34,9 @@ fn main() {
                 seed,
                 ..DistPpoConfig::default()
             };
-            let report = run_dp_a(
-                move |a, i| CartPole::new(seed * 977 + (1000 + a * 50 + i) as u64),
-                &dist,
-            )
-            .expect("DP-A training run");
+            let report =
+                run_dp_a(move |a, i| CartPole::new(seed * 977 + (1000 + a * 50 + i) as u64), &dist)
+                    .expect("DP-A training run");
             for (acc, r) in mean_curve.iter_mut().zip(&report.iteration_rewards) {
                 *acc += r / seeds.len() as f32;
             }
@@ -49,12 +47,7 @@ fn main() {
     let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
     let rows: Vec<(f64, Vec<f64>)> = (0..iterations)
         .step_by(4)
-        .map(|i| {
-            (
-                (i + 1) as f64,
-                curves.iter().map(|c| c[i] as f64).collect(),
-            )
-        })
+        .map(|i| ((i + 1) as f64, curves.iter().map(|c| c[i] as f64).collect()))
         .collect();
     series("iteration", &label_refs, &rows);
 

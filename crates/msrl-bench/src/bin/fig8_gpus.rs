@@ -60,8 +60,7 @@ fn main() {
 
     let cc = cloud();
     panel(&cc, "cloud (8a/8b)", &[1, 2, 4, 8, 16, 32, 64]);
-    let speedup =
-        ppo_training_time("DP-A", &w, &cc, 1) / ppo_training_time("DP-A", &w, &cc, 64);
+    let speedup = ppo_training_time("DP-A", &w, &cc, 1) / ppo_training_time("DP-A", &w, &cc, 64);
     println!("\ncloud DP-A speedup 1→64 GPUs: {speedup:.1}× (paper: 5.3×)");
     let c16 = ppo_training_time("DP-C", &w, &cc, 16) < ppo_training_time("DP-A", &w, &cc, 16);
     let a64 = ppo_training_time("DP-A", &w, &cc, 64) < ppo_training_time("DP-C", &w, &cc, 64);
@@ -75,8 +74,8 @@ fn main() {
 
     let lc = local();
     panel(&lc, "local (8c/8d)", &[1, 2, 4, 8, 16, 32]);
-    let a_always = [2usize, 4, 8, 16, 32].iter().all(|&p| {
-        ppo_training_time("DP-A", &w, &lc, p) < ppo_training_time("DP-C", &w, &lc, p)
-    });
+    let a_always = [2usize, 4, 8, 16, 32]
+        .iter()
+        .all(|&p| ppo_training_time("DP-A", &w, &lc, p) < ppo_training_time("DP-C", &w, &lc, p));
     println!("\nlocal: DP-A beats DP-C at every GPU count: {a_always} (paper: true)");
 }

@@ -9,8 +9,8 @@
 
 use std::time::Instant;
 
-use msrl_bench::{banner, series};
 use msrl_baselines::raylike::run_raylike_ppo;
+use msrl_bench::{banner, series};
 use msrl_env::cartpole::CartPole;
 use msrl_runtime::exec::{run_dp_a, DistPpoConfig};
 use msrl_sim::scenarios::{local, msrl_ppo_episode, raylike_ppo_episode, PpoWorkload};
@@ -48,7 +48,10 @@ fn main() {
     let t0 = Instant::now();
     let _msrl = run_dp_a(|a, i| CartPole::new((a * 5 + i) as u64), &dist).expect("msrl run");
     let msrl_wall = t0.elapsed().as_secs_f64();
-    println!("Ray-like: wall {ray_wall:.2}s, env_steps {}, unbatched inference calls {}", ray.env_steps, ray.infer_calls);
+    println!(
+        "Ray-like: wall {ray_wall:.2}s, env_steps {}, unbatched inference calls {}",
+        ray.env_steps, ray.infer_calls
+    );
     println!(
         "MSRL DP-A: wall {msrl_wall:.2}s, fused inference calls {} ({}× fewer launches)",
         64 * 10,

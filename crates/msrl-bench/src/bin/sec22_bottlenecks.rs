@@ -26,7 +26,5 @@ fn main() {
         100.0 * mz_env,
         100.0 * mz_nn
     );
-    println!(
-        "\npaper: 98% / 97% — no single distribution strategy fits both workloads"
-    );
+    println!("\npaper: 98% / 97% — no single distribution strategy fits both workloads");
 }

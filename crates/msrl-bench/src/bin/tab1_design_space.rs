@@ -23,13 +23,48 @@ fn main() {
         "type", "system", "execution", "distribution", "acceleration"
     );
     let rows = [
-        ("function", "SEED RL", "Python functions", "environment only", "DNNs", "actor/learner/env"),
+        (
+            "function",
+            "SEED RL",
+            "Python functions",
+            "environment only",
+            "DNNs",
+            "actor/learner/env",
+        ),
         ("function", "Acme", "Python components", "delegated to backend", "DNNs", "agent"),
-        ("actor", "Ray/RLlib", "tasks + stateful actors", "greedy scheduler, RPC", "DNNs", "Ray API / agent"),
-        ("dataflow", "Podracer", "JIT-compiled by JAX", "two hard-coded schemes", "funcs/DNNs/envs", "JAX API"),
-        ("dataflow", "RLlib Flow", "predefined operators", "sharded Ray tasks", "DNNs", "operator API"),
+        (
+            "actor",
+            "Ray/RLlib",
+            "tasks + stateful actors",
+            "greedy scheduler, RPC",
+            "DNNs",
+            "Ray API / agent",
+        ),
+        (
+            "dataflow",
+            "Podracer",
+            "JIT-compiled by JAX",
+            "two hard-coded schemes",
+            "funcs/DNNs/envs",
+            "JAX API",
+        ),
+        (
+            "dataflow",
+            "RLlib Flow",
+            "predefined operators",
+            "sharded Ray tasks",
+            "DNNs",
+            "operator API",
+        ),
         ("dataflow", "WarpDrive", "GPU thread blocks", "none (single GPU)", "CUDA kernels", "CUDA"),
-        ("FDG", "MSRL", "heterogeneous fragments", "dataflow partitioning", "funcs/ops/DNNs/envs", "agent/actor/learner/env"),
+        (
+            "FDG",
+            "MSRL",
+            "heterogeneous fragments",
+            "dataflow partitioning",
+            "funcs/ops/DNNs/envs",
+            "agent/actor/learner/env",
+        ),
     ];
     for (t, s, e, d, a, alg) in rows {
         println!("{t:<12} {s:<12} {e:<28} {d:<26} {a:<22} {alg}");

@@ -70,6 +70,7 @@ impl Fabric {
     /// Endpoint `i` can be moved to its own thread; all endpoints must
     /// participate in each collective, mirroring MPI communicator
     /// semantics.
+    #[allow(clippy::new_ret_no_self)] // factory for a *group* of endpoints
     pub fn new(n: usize) -> Vec<Endpoint> {
         Self::with_latency(n, Duration::ZERO)
     }
@@ -231,7 +232,10 @@ impl Endpoint {
         let mut acc = vec![0.0f32; len];
         for p in &parts {
             if p.len() != len {
-                return Err(CommError::TagMismatch { expected: len as u64, actual: p.len() as u64 });
+                return Err(CommError::TagMismatch {
+                    expected: len as u64,
+                    actual: p.len() as u64,
+                });
             }
             for (a, v) in acc.iter_mut().zip(p) {
                 *a += v;
@@ -298,10 +302,7 @@ mod tests {
     #[test]
     fn send_to_unknown_rank_fails() {
         let eps = Fabric::new(2);
-        assert!(matches!(
-            eps[0].send(5, vec![]),
-            Err(CommError::UnknownRank { rank: 5, size: 2 })
-        ));
+        assert!(matches!(eps[0].send(5, vec![]), Err(CommError::UnknownRank { rank: 5, size: 2 })));
     }
 
     #[test]

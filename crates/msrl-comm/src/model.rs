@@ -100,13 +100,8 @@ impl NetworkModel {
     /// The *widest-spanning* link among a participant set: if any pair
     /// crosses nodes, collectives are bottlenecked by the inter-node link.
     pub fn spanning_link(&self, participants: &[DeviceId]) -> LinkModel {
-        let crosses = participants
-            .windows(2)
-            .any(|w| !w[0].co_located(&w[1]))
-            || participants
-                .first()
-                .zip(participants.last())
-                .is_some_and(|(a, b)| !a.co_located(b));
+        let crosses = participants.windows(2).any(|w| !w[0].co_located(&w[1]))
+            || participants.first().zip(participants.last()).is_some_and(|(a, b)| !a.co_located(b));
         if crosses {
             self.inter_node
         } else {
@@ -190,7 +185,10 @@ mod tests {
     #[test]
     fn nvlink_faster_than_ethernet() {
         let bytes = 10_000_000;
-        assert!(LinkModel::nvlink().transfer_time(bytes) < LinkModel::ethernet_10g().transfer_time(bytes));
+        assert!(
+            LinkModel::nvlink().transfer_time(bytes)
+                < LinkModel::ethernet_10g().transfer_time(bytes)
+        );
     }
 
     #[test]

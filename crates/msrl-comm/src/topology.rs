@@ -106,21 +106,13 @@ impl ClusterSpec {
 /// The paper's cloud testbed (Tab. 3): 16 Azure NC24s_v2 VMs, each with
 /// 24 Xeon E5-2690 cores and 4 P100 GPUs on PCIe, connected by 10 GbE.
 pub fn cloud_cluster() -> ClusterSpec {
-    ClusterSpec {
-        name: "cloud".to_string(),
-        nodes: 16,
-        node: NodeSpec { cpu_cores: 24, gpus: 4 },
-    }
+    ClusterSpec { name: "cloud".to_string(), nodes: 16, node: NodeSpec { cpu_cores: 24, gpus: 4 } }
 }
 
 /// The paper's local testbed (Tab. 3): 4 nodes, each with 96 Xeon 8160
 /// cores and 8 V100 GPUs on NVLink, connected by 100 Gbps InfiniBand.
 pub fn local_cluster() -> ClusterSpec {
-    ClusterSpec {
-        name: "local".to_string(),
-        nodes: 4,
-        node: NodeSpec { cpu_cores: 96, gpus: 8 },
-    }
+    ClusterSpec { name: "local".to_string(), nodes: 4, node: NodeSpec { cpu_cores: 96, gpus: 8 } }
 }
 
 #[cfg(test)]
@@ -139,11 +131,8 @@ mod tests {
 
     #[test]
     fn gpu_enumeration_is_node_major() {
-        let c = ClusterSpec {
-            name: "t".into(),
-            nodes: 2,
-            node: NodeSpec { cpu_cores: 1, gpus: 2 },
-        };
+        let c =
+            ClusterSpec { name: "t".into(), nodes: 2, node: NodeSpec { cpu_cores: 1, gpus: 2 } };
         let gpus = c.gpus();
         assert_eq!(gpus.len(), 4);
         assert_eq!(gpus[0], DeviceId::gpu(0, 0));

@@ -49,11 +49,7 @@ pub fn node_flops(graph: &DataflowGraph, node: &OpNode) -> u64 {
 
 /// Total estimated flops for a set of nodes.
 pub fn subgraph_flops(graph: &DataflowGraph, nodes: &[NodeId]) -> u64 {
-    nodes
-        .iter()
-        .filter_map(|&i| graph.nodes.get(i))
-        .map(|n| node_flops(graph, n))
-        .sum()
+    nodes.iter().filter_map(|&i| graph.nodes.get(i)).map(|n| node_flops(graph, n)).sum()
 }
 
 /// Total estimated flops for the whole graph.

@@ -114,18 +114,21 @@ mod tests {
         let fused = fuse_graph(&g, 3).unwrap();
 
         let params: Vec<(&str, Tensor)> = vec![
-            ("pi.w0", Tensor::from_vec((0..15).map(|i| 0.01 * i as f32).collect(), &[3, 5]).unwrap()),
+            (
+                "pi.w0",
+                Tensor::from_vec((0..15).map(|i| 0.01 * i as f32).collect(), &[3, 5]).unwrap(),
+            ),
             ("pi.b0", Tensor::full(&[5], 0.1)),
-            ("pi.w1", Tensor::from_vec((0..10).map(|i| -0.02 * i as f32).collect(), &[5, 2]).unwrap()),
+            (
+                "pi.w1",
+                Tensor::from_vec((0..10).map(|i| -0.02 * i as f32).collect(), &[5, 2]).unwrap(),
+            ),
             ("pi.b1", Tensor::zeros(&[2])),
         ];
         let replica_inputs: Vec<Tensor> = (0..3)
             .map(|r| {
-                Tensor::from_vec(
-                    (0..12).map(|i| (r * 12 + i) as f32 * 0.05).collect(),
-                    &[4, 3],
-                )
-                .unwrap()
+                Tensor::from_vec((0..12).map(|i| (r * 12 + i) as f32 * 0.05).collect(), &[4, 3])
+                    .unwrap()
             })
             .collect();
 

@@ -262,7 +262,14 @@ impl DataflowGraph {
     ) -> NodeId {
         let id = self.nodes.len();
         let device_req = kind.default_device_req();
-        self.nodes.push(OpNode { id, kind, inputs, shape, device_req, component: component.to_string() });
+        self.nodes.push(OpNode {
+            id,
+            kind,
+            inputs,
+            shape,
+            device_req,
+            component: component.to_string(),
+        });
         id
     }
 

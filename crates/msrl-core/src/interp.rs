@@ -7,18 +7,40 @@
 //! macro ops (environment stepping, replay buffers, learning) dispatch to
 //! *kernels* registered by the runtime — the analogue of the generated
 //! `Fragment.run()` code binding `MSRL.env_step()` to component objects.
+//!
+//! # Execution model
+//!
+//! Evaluation walks nodes in ascending id order (tracing appends
+//! topologically), but independent *pure* compute nodes are grouped into
+//! dependency levels and, under [`msrl_tensor::Backend::Threaded`], a
+//! sufficiently large level evaluates concurrently on scoped threads —
+//! the intra-fragment analogue of a DL engine scheduling independent
+//! operators in parallel streams. Macro ops act as barriers and always
+//! run serially in ascending id order, so stateful kernels observe
+//! exactly the same invocation sequence under every backend.
+//!
+//! Values live in a dense arena indexed by [`NodeId`]. Inputs are passed
+//! to operators by reference (no per-node clones), and
+//! [`Interpreter::eval_fragment_outputs`] additionally refcounts each
+//! value's remaining consumers: a dead intermediate's buffer is returned
+//! to the [`msrl_tensor::alloc`] pool, so steady-state fragment
+//! evaluation reuses storage instead of allocating per node.
 
 use std::collections::HashMap;
 
-use msrl_tensor::{ops, Tensor};
+use msrl_tensor::{ops, par, Tensor};
 
 use crate::fragment::Fragment;
 use crate::graph::{DataflowGraph, NodeId, OpKind, OpNode};
 use crate::{FdgError, Result};
 
 /// A stateful kernel for macro ops. Receives the node being evaluated and
-/// its input values; returns the node's output.
-pub type Kernel<'a> = Box<dyn FnMut(&OpNode, &[Tensor]) -> Result<Tensor> + 'a>;
+/// references to its input values; returns the node's output.
+pub type Kernel<'a> = Box<dyn FnMut(&OpNode, &[&Tensor]) -> Result<Tensor> + 'a>;
+
+/// The dense value arena plus out-of-graph preset survivors produced by
+/// one evaluation run.
+type RunState = (Vec<Option<Tensor>>, Vec<(NodeId, Tensor)>);
 
 /// Evaluates dataflow (sub)graphs.
 #[derive(Default)]
@@ -30,6 +52,15 @@ pub struct Interpreter<'a> {
     pub params: HashMap<String, Tensor>,
     /// Values for `Const` nodes, by id.
     pub consts: HashMap<NodeId, Tensor>,
+}
+
+/// The read-only bindings pure nodes evaluate against; shared with worker
+/// threads during level-parallel evaluation (kernels, which are neither
+/// `Sync` nor pure, never cross a thread boundary).
+struct Bindings<'b> {
+    inputs: &'b HashMap<String, Tensor>,
+    params: &'b HashMap<String, Tensor>,
+    consts: &'b HashMap<NodeId, Tensor>,
 }
 
 impl<'a> Interpreter<'a> {
@@ -60,8 +91,8 @@ impl<'a> Interpreter<'a> {
     /// Returns an error on missing bindings/kernels or tensor failures.
     pub fn eval(&mut self, graph: &DataflowGraph) -> Result<Vec<Tensor>> {
         let ids: Vec<NodeId> = (0..graph.len()).collect();
-        let values = self.eval_nodes(graph, &ids, HashMap::new())?;
-        Ok(ids.into_iter().map(|i| values[&i].clone()).collect())
+        let (mut values, _extra) = self.run(graph, &ids, HashMap::new(), None)?;
+        ids.iter().map(|&i| values[i].take().ok_or(FdgError::MissingInput { node: i })).collect()
     }
 
     /// Evaluates one fragment. `preset` supplies values for entry
@@ -78,154 +109,350 @@ impl<'a> Interpreter<'a> {
         fragment: &Fragment,
         preset: HashMap<NodeId, Tensor>,
     ) -> Result<HashMap<NodeId, Tensor>> {
-        self.eval_nodes(graph, &fragment.all_nodes(), preset)
+        let (values, extra) = self.run(graph, &fragment.all_nodes(), preset, None)?;
+        let mut out: HashMap<NodeId, Tensor> =
+            values.into_iter().enumerate().filter_map(|(id, v)| v.map(|t| (id, t))).collect();
+        out.extend(extra);
+        Ok(out)
     }
 
-    fn eval_nodes(
+    /// Evaluates one fragment and returns only the requested `outputs`
+    /// (typically its exit-interface nodes).
+    ///
+    /// This is the steady-state execution path: values are refcounted by
+    /// remaining consumers, and every tensor that is neither requested
+    /// nor needed again is recycled into the [`msrl_tensor::alloc`]
+    /// buffer pool the moment its last consumer has run, so repeated
+    /// fragment evaluation approaches zero allocations per step.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on missing bindings/kernels, tensor failures, or
+    /// if an output id was not evaluated.
+    pub fn eval_fragment_outputs(
+        &mut self,
+        graph: &DataflowGraph,
+        fragment: &Fragment,
+        preset: HashMap<NodeId, Tensor>,
+        outputs: &[NodeId],
+    ) -> Result<HashMap<NodeId, Tensor>> {
+        let (mut values, extra) = self.run(graph, &fragment.all_nodes(), preset, Some(outputs))?;
+        let mut out = HashMap::with_capacity(outputs.len());
+        for &id in outputs {
+            let v =
+                values.get_mut(id).and_then(Option::take).ok_or(FdgError::UnknownNode { id })?;
+            out.insert(id, v);
+        }
+        // Whatever survives (dead ends, unconsumed presets) feeds the pool.
+        for v in values.into_iter().flatten() {
+            v.recycle();
+        }
+        for (_, v) in extra {
+            v.recycle();
+        }
+        Ok(out)
+    }
+
+    /// The evaluation engine behind all public entry points.
+    ///
+    /// Returns the dense value arena plus any preset entries whose ids
+    /// lie outside the graph (kept so callers see presets round-trip).
+    /// `retain` switches on consumer refcounting: `Some(keep)` recycles
+    /// every value not in `keep` once its last in-set consumer has run.
+    fn run(
         &mut self,
         graph: &DataflowGraph,
         ids: &[NodeId],
         preset: HashMap<NodeId, Tensor>,
-    ) -> Result<HashMap<NodeId, Tensor>> {
-        let mut values: HashMap<NodeId, Tensor> = preset;
-        // Tracing appends topologically, so ascending id order works.
+        retain: Option<&[NodeId]>,
+    ) -> Result<RunState> {
+        let n = graph.len();
+        let mut values: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        let mut extra: Vec<(NodeId, Tensor)> = Vec::new();
+        for (id, v) in preset {
+            if id < n {
+                values[id] = Some(v);
+            } else {
+                extra.push((id, v));
+            }
+        }
+
         let mut sorted = ids.to_vec();
         sorted.sort_unstable();
-        for &id in &sorted {
-            if values.contains_key(&id) {
-                continue; // preset (entry interface value)
+        sorted.dedup();
+        let todo: Vec<NodeId> = sorted
+            .into_iter()
+            .filter(|&id| {
+                if id < n {
+                    values[id].is_none()
+                } else {
+                    // Out-of-graph ids are legal only as presets.
+                    !extra.iter().any(|(e, _)| *e == id)
+                }
+            })
+            .collect();
+
+        // Remaining-consumer counts, for the recycling mode.
+        let mut uses = vec![0usize; n];
+        let mut keep = vec![retain.is_none(); n];
+        if let Some(outs) = retain {
+            for &id in &todo {
+                for &i in &graph.node(id)?.inputs {
+                    if i < n {
+                        uses[i] += 1;
+                    }
+                }
             }
-            let node = graph.node(id)?;
-            let mut ins = Vec::with_capacity(node.inputs.len());
-            for &i in &node.inputs {
-                ins.push(values.get(&i).ok_or(FdgError::MissingInput { node: id })?.clone());
+            for &id in outs {
+                if id < n {
+                    keep[id] = true;
+                }
             }
-            let v = self.eval_node(node, &ins)?;
-            values.insert(id, v);
         }
-        Ok(values)
+
+        // Macro ops are barriers; the pure stretches between them
+        // evaluate level-parallel.
+        let mut batch: Vec<NodeId> = Vec::new();
+        for &id in &todo {
+            let node = graph.node(id)?;
+            if !node.kind.is_macro() {
+                batch.push(id);
+                continue;
+            }
+            self.flush_pure(graph, &batch, &mut values, &extra, &mut uses, &keep)?;
+            batch.clear();
+            let ins =
+                gather(&node.inputs, &values, &extra).ok_or(FdgError::MissingInput { node: id })?;
+            let name = node.kind.name();
+            let kernel = self
+                .kernels
+                .get_mut(name)
+                .ok_or_else(|| FdgError::MissingKernel { op: name.to_string() })?;
+            let v = kernel(node, &ins)?;
+            values[id] = Some(v);
+            release(&node.inputs, &mut values, &mut uses, &keep);
+        }
+        self.flush_pure(graph, &batch, &mut values, &extra, &mut uses, &keep)?;
+        Ok((values, extra))
     }
 
-    fn eval_node(&mut self, node: &OpNode, ins: &[Tensor]) -> Result<Tensor> {
-        let need = |n: usize| -> Result<()> {
-            if ins.len() < n {
-                Err(FdgError::MissingInput { node: node.id })
-            } else {
-                Ok(())
-            }
-        };
-        Ok(match &node.kind {
-            OpKind::Input { name } => self
+    /// Evaluates a dependency-free-ordered batch of pure nodes, level by
+    /// level; a level with enough independent work runs on scoped
+    /// threads (output results land in id order either way, so the two
+    /// schedules are indistinguishable to callers).
+    fn flush_pure(
+        &self,
+        graph: &DataflowGraph,
+        batch: &[NodeId],
+        values: &mut [Option<Tensor>],
+        extra: &[(NodeId, Tensor)],
+        uses: &mut [usize],
+        keep: &[bool],
+    ) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let bind = Bindings { inputs: &self.inputs, params: &self.params, consts: &self.consts };
+
+        // Level = longest path from the batch's frontier; inputs already
+        // materialised (earlier batches, presets, sources) contribute 0.
+        let mut level_of: HashMap<NodeId, usize> = HashMap::with_capacity(batch.len());
+        let mut levels: Vec<Vec<NodeId>> = Vec::new();
+        for &id in batch {
+            let node = graph.node(id)?;
+            let lvl = node
                 .inputs
-                .get(name)
-                .cloned()
-                .ok_or(FdgError::MissingKernel { op: format!("Input({name})") })?,
-            OpKind::Param { name } => self
-                .params
-                .get(name)
-                .cloned()
-                .ok_or(FdgError::MissingKernel { op: format!("Param({name})") })?,
-            OpKind::Const => self
-                .consts
-                .get(&node.id)
-                .cloned()
-                .unwrap_or_else(|| Tensor::zeros(&node.shape)),
-            OpKind::Identity => {
-                need(1)?;
-                ins[0].clone()
+                .iter()
+                .filter_map(|i| level_of.get(i))
+                .map(|l| l + 1)
+                .max()
+                .unwrap_or(0);
+            level_of.insert(id, lvl);
+            if levels.len() <= lvl {
+                levels.resize_with(lvl + 1, Vec::new);
             }
-            OpKind::MatMul => {
-                need(2)?;
-                ops::matmul(&ins[0], &ins[1])?
+            levels[lvl].push(id);
+        }
+
+        for level in &levels {
+            let mut jobs: Vec<(&OpNode, Vec<&Tensor>)> = Vec::with_capacity(level.len());
+            for &id in level {
+                let node = graph.node(id)?;
+                let ins = gather(&node.inputs, values, extra)
+                    .ok_or(FdgError::MissingInput { node: id })?;
+                jobs.push((node, ins));
             }
-            OpKind::Add => {
-                need(2)?;
-                ops::add(&ins[0], &ins[1])?
+            let work: usize =
+                jobs.iter().map(|(nd, _)| nd.shape.iter().product::<usize>().max(1)).sum();
+            let results: Vec<Result<Tensor>> =
+                if jobs.len() > 1 && par::should_parallelize(work, par::PAR_MIN_ELEMS) {
+                    par::map_ranges(jobs.len(), |r| {
+                        r.map(|j| eval_pure(&bind, jobs[j].0, &jobs[j].1)).collect::<Vec<_>>()
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect()
+                } else {
+                    jobs.iter().map(|(nd, ins)| eval_pure(&bind, nd, ins)).collect()
+                };
+            for (&id, res) in level.iter().zip(results) {
+                values[id] = Some(res?);
             }
-            OpKind::Sub => {
-                need(2)?;
-                ops::sub(&ins[0], &ins[1])?
+            for &id in level {
+                release(&graph.node(id)?.inputs, values, uses, keep);
             }
-            OpKind::Mul => {
-                need(2)?;
-                ops::mul(&ins[0], &ins[1])?
-            }
-            OpKind::Div => {
-                need(2)?;
-                ops::div(&ins[0], &ins[1])?
-            }
-            OpKind::Relu => {
-                need(1)?;
-                ops::relu(&ins[0])
-            }
-            OpKind::Tanh => {
-                need(1)?;
-                ops::tanh(&ins[0])
-            }
-            OpKind::Sigmoid => {
-                need(1)?;
-                ops::sigmoid(&ins[0])
-            }
-            OpKind::Exp => {
-                need(1)?;
-                ops::exp(&ins[0])
-            }
-            OpKind::Ln => {
-                need(1)?;
-                ops::ln(&ins[0])
-            }
-            OpKind::Square => {
-                need(1)?;
-                ops::square(&ins[0])
-            }
-            OpKind::Neg => {
-                need(1)?;
-                ops::neg(&ins[0])
-            }
-            OpKind::Clamp { lo, hi } => {
-                need(1)?;
-                ops::clamp(&ins[0], *lo, *hi)
-            }
-            OpKind::Softmax => {
-                need(1)?;
-                ops::softmax_rows(&ins[0])?
-            }
-            OpKind::LogSoftmax => {
-                need(1)?;
-                ops::log_softmax_rows(&ins[0])?
-            }
-            OpKind::SumAll => {
-                need(1)?;
-                ops::sum_all(&ins[0])
-            }
-            OpKind::MeanAll => {
-                need(1)?;
-                ops::mean_all(&ins[0])
-            }
-            OpKind::SumAxis { axis } => {
-                need(1)?;
-                ops::sum_axis(&ins[0], *axis)?
-            }
-            OpKind::Concat { axis } => {
-                need(1)?;
-                let refs: Vec<&Tensor> = ins.iter().collect();
-                ops::concat(&refs, *axis)?
-            }
-            OpKind::Reshape { dims } => {
-                need(1)?;
-                ins[0].reshape(dims)?
-            }
-            // Macro ops dispatch to registered kernels.
-            macro_op => {
-                let name = macro_op.name();
-                let kernel = self
-                    .kernels
-                    .get_mut(name)
-                    .ok_or_else(|| FdgError::MissingKernel { op: name.to_string() })?;
-                kernel(node, ins)?
-            }
-        })
+        }
+        Ok(())
     }
+}
+
+/// Collects references to the given input values, from the arena or the
+/// out-of-graph presets.
+fn gather<'v>(
+    inputs: &[NodeId],
+    values: &'v [Option<Tensor>],
+    extra: &'v [(NodeId, Tensor)],
+) -> Option<Vec<&'v Tensor>> {
+    inputs
+        .iter()
+        .map(|&i| {
+            values
+                .get(i)
+                .and_then(Option::as_ref)
+                .or_else(|| extra.iter().find(|(id, _)| *id == i).map(|(_, v)| v))
+        })
+        .collect()
+}
+
+/// Drops one consumer reference per input; a value whose count reaches
+/// zero and is not marked `keep` goes back to the buffer pool.
+fn release(inputs: &[NodeId], values: &mut [Option<Tensor>], uses: &mut [usize], keep: &[bool]) {
+    for &i in inputs {
+        if i >= uses.len() || uses[i] == 0 {
+            continue;
+        }
+        uses[i] -= 1;
+        if uses[i] == 0 && !keep[i] {
+            if let Some(t) = values[i].take() {
+                t.recycle();
+            }
+        }
+    }
+}
+
+/// Evaluates one pure (stateless) node. Called from worker threads during
+/// level-parallel evaluation, so it only touches the `Sync` bindings.
+fn eval_pure(bind: &Bindings<'_>, node: &OpNode, ins: &[&Tensor]) -> Result<Tensor> {
+    let need = |n: usize| -> Result<()> {
+        if ins.len() < n {
+            Err(FdgError::MissingInput { node: node.id })
+        } else {
+            Ok(())
+        }
+    };
+    Ok(match &node.kind {
+        OpKind::Input { name } => bind
+            .inputs
+            .get(name)
+            .cloned()
+            .ok_or(FdgError::MissingKernel { op: format!("Input({name})") })?,
+        OpKind::Param { name } => bind
+            .params
+            .get(name)
+            .cloned()
+            .ok_or(FdgError::MissingKernel { op: format!("Param({name})") })?,
+        OpKind::Const => {
+            bind.consts.get(&node.id).cloned().unwrap_or_else(|| Tensor::zeros(&node.shape))
+        }
+        OpKind::Identity => {
+            need(1)?;
+            ins[0].clone()
+        }
+        OpKind::MatMul => {
+            need(2)?;
+            ops::matmul(ins[0], ins[1])?
+        }
+        OpKind::Add => {
+            need(2)?;
+            ops::add(ins[0], ins[1])?
+        }
+        OpKind::Sub => {
+            need(2)?;
+            ops::sub(ins[0], ins[1])?
+        }
+        OpKind::Mul => {
+            need(2)?;
+            ops::mul(ins[0], ins[1])?
+        }
+        OpKind::Div => {
+            need(2)?;
+            ops::div(ins[0], ins[1])?
+        }
+        OpKind::Relu => {
+            need(1)?;
+            ops::relu(ins[0])
+        }
+        OpKind::Tanh => {
+            need(1)?;
+            ops::tanh(ins[0])
+        }
+        OpKind::Sigmoid => {
+            need(1)?;
+            ops::sigmoid(ins[0])
+        }
+        OpKind::Exp => {
+            need(1)?;
+            ops::exp(ins[0])
+        }
+        OpKind::Ln => {
+            need(1)?;
+            ops::ln(ins[0])
+        }
+        OpKind::Square => {
+            need(1)?;
+            ops::square(ins[0])
+        }
+        OpKind::Neg => {
+            need(1)?;
+            ops::neg(ins[0])
+        }
+        OpKind::Clamp { lo, hi } => {
+            need(1)?;
+            ops::clamp(ins[0], *lo, *hi)
+        }
+        OpKind::Softmax => {
+            need(1)?;
+            ops::softmax_rows(ins[0])?
+        }
+        OpKind::LogSoftmax => {
+            need(1)?;
+            ops::log_softmax_rows(ins[0])?
+        }
+        OpKind::SumAll => {
+            need(1)?;
+            ops::sum_all(ins[0])
+        }
+        OpKind::MeanAll => {
+            need(1)?;
+            ops::mean_all(ins[0])
+        }
+        OpKind::SumAxis { axis } => {
+            need(1)?;
+            ops::sum_axis(ins[0], *axis)?
+        }
+        OpKind::Concat { axis } => {
+            need(1)?;
+            ops::concat(ins, *axis)?
+        }
+        OpKind::Reshape { dims } => {
+            need(1)?;
+            ins[0].reshape(dims)?
+        }
+        // Macro ops never reach here: `run` routes them to kernels.
+        macro_op => {
+            return Err(FdgError::MissingKernel { op: macro_op.name().to_string() });
+        }
+    })
 }
 
 #[cfg(test)]
@@ -234,6 +461,7 @@ mod tests {
     use crate::annotate::{Collective, FragmentKind};
     use crate::partition::build_fdg;
     use crate::trace::{trace_mlp, TraceCtx};
+    use msrl_tensor::Backend;
 
     #[test]
     fn evaluates_mlp_like_tensor_lib() {
@@ -327,11 +555,8 @@ mod tests {
         let loss = a.square().sum_all();
         ctx.exit_component(saved);
         let fdg = build_fdg(ctx.finish()).unwrap();
-        let learner = fdg
-            .fragments
-            .iter()
-            .find(|f| f.entries.iter().any(|i| i.node == a.id()))
-            .unwrap();
+        let learner =
+            fdg.fragments.iter().find(|f| f.entries.iter().any(|i| i.node == a.id())).unwrap();
 
         let mut interp = Interpreter::new();
         let preset =
@@ -352,15 +577,134 @@ mod tests {
         let _loss = a.square().sum_all();
         ctx.exit_component(saved2);
         let fdg = build_fdg(ctx.finish()).unwrap();
-        let learner = fdg
-            .fragments
-            .iter()
-            .find(|f| f.entries.iter().any(|i| i.node == a.id()))
-            .unwrap();
+        let learner =
+            fdg.fragments.iter().find(|f| f.entries.iter().any(|i| i.node == a.id())).unwrap();
         let mut interp = Interpreter::new();
         // The boundary node's own inputs are outside the fragment: with no
         // preset the evaluation must fail rather than silently recompute.
         let err = interp.eval_fragment(&fdg.graph, learner, HashMap::new()).unwrap_err();
         assert!(matches!(err, FdgError::MissingInput { .. } | FdgError::MissingKernel { .. }));
+    }
+
+    /// A wide graph of independent branches must produce identical
+    /// results whether levels run serially or on scoped threads.
+    #[test]
+    fn level_parallel_matches_serial() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[4, 8]);
+        // 6 independent unary branches off x, then a reduction of each:
+        // every branch sits in the same dependency level.
+        let branches = [
+            x.relu().sum_all(),
+            x.tanh().sum_all(),
+            x.square().sum_all(),
+            x.sigmoid().sum_all(),
+            x.exp().sum_all(),
+            x.neg().sum_all(),
+        ];
+        let graph = ctx.finish();
+
+        let run = || {
+            let mut interp = Interpreter::new();
+            let xv: Vec<f32> = (0..32).map(|i| (i as f32 - 16.0) * 0.1).collect();
+            interp.bind_input("x", Tensor::from_vec(xv, &[4, 8]).unwrap());
+            interp.eval(&graph).unwrap()
+        };
+        std::env::set_var("MSRL_THREADS", "4");
+        std::env::set_var("MSRL_PAR_MIN", "1");
+        let serial = par::with_backend(Backend::Scalar, run);
+        let threaded = par::with_backend(Backend::Threaded, run);
+        std::env::remove_var("MSRL_PAR_MIN");
+        for b in &branches {
+            // sum_all combines per-chunk partials under threading, so the
+            // branches agree to rounding rather than bit-for-bit.
+            let (s, t) = (serial[b.id()].item().unwrap(), threaded[b.id()].item().unwrap());
+            assert!((s - t).abs() <= 1e-5 * (1.0 + s.abs()), "{s} vs {t}");
+        }
+    }
+
+    /// Macro kernels fire in ascending id order under the threaded
+    /// backend too — they are serialisation barriers.
+    #[test]
+    fn macro_order_is_preserved_under_threading() {
+        let ctx = TraceCtx::new();
+        let obs = ctx.env_reset(1, 2);
+        let a = obs.relu();
+        let (obs2, _rew) = ctx.env_step(&a, 1, 2);
+        let b = obs2.tanh();
+        let (obs3, _rew2) = ctx.env_step(&b, 1, 2);
+        let graph = ctx.finish();
+
+        let order = std::cell::RefCell::new(Vec::new());
+        let mut interp = Interpreter::new();
+        interp.register("EnvReset", Box::new(|node, _| Ok(Tensor::ones(&node.shape))));
+        interp.register(
+            "EnvStep",
+            Box::new(|node, _| {
+                order.borrow_mut().push(node.id);
+                Ok(Tensor::ones(&node.shape))
+            }),
+        );
+        std::env::set_var("MSRL_THREADS", "4");
+        std::env::set_var("MSRL_PAR_MIN", "1");
+        let res = par::with_backend(Backend::Threaded, || interp.eval(&graph));
+        std::env::remove_var("MSRL_PAR_MIN");
+        res.unwrap();
+        let recorded = order.borrow().clone();
+        assert_eq!(recorded.len(), 4, "both EnvStep pairs fire");
+        assert!(recorded.windows(2).all(|w| w[0] < w[1]), "ids ascend: {recorded:?}");
+        assert!(obs3.id() > obs2.id());
+    }
+
+    /// The outputs-only path returns the same answers as full evaluation
+    /// and feeds dead intermediates back to the buffer pool.
+    #[test]
+    fn fragment_outputs_match_and_recycle() {
+        let ctx = TraceCtx::new();
+        let saved = ctx.enter_component("actor");
+        let x = ctx.input("x", &[64]);
+        let a = x.relu();
+        ctx.annotate(FragmentKind::Action, Collective::SendRecv, &[&a]);
+        ctx.exit_component(saved);
+        let saved = ctx.enter_component("learner");
+        let loss = a.square().square().sum_all();
+        ctx.exit_component(saved);
+        let fdg = build_fdg(ctx.finish()).unwrap();
+        let learner =
+            fdg.fragments.iter().find(|f| f.entries.iter().any(|i| i.node == a.id())).unwrap();
+
+        let entry = Tensor::from_vec((0..64).map(|i| i as f32 * 0.01).collect(), &[64]).unwrap();
+        let mut interp = Interpreter::new();
+        let full = interp
+            .eval_fragment(&fdg.graph, learner, HashMap::from([(a.id(), entry.clone())]))
+            .unwrap();
+
+        msrl_tensor::alloc::clear();
+        let only = interp
+            .eval_fragment_outputs(
+                &fdg.graph,
+                learner,
+                HashMap::from([(a.id(), entry.clone())]),
+                &[loss.id()],
+            )
+            .unwrap();
+        assert_eq!(only.len(), 1);
+        assert_eq!(only[&loss.id()], full[&loss.id()]);
+        let after_first = msrl_tensor::alloc::stats();
+        assert!(after_first.pooled_elems > 0, "dead intermediates must be recycled");
+
+        // A second evaluation is served from the pool.
+        let again = interp
+            .eval_fragment_outputs(
+                &fdg.graph,
+                learner,
+                HashMap::from([(a.id(), entry)]),
+                &[loss.id()],
+            )
+            .unwrap();
+        assert_eq!(again[&loss.id()], full[&loss.id()]);
+        let after_second = msrl_tensor::alloc::stats();
+        assert!(after_second.hits > after_first.hits, "second run must reuse buffers");
+        msrl_tensor::alloc::clear();
     }
 }

@@ -45,11 +45,7 @@ impl Fdg {
 
     /// Fragments whose boundary duplicates the given common node.
     pub fn fragments_sharing(&self, node: NodeId) -> Vec<FragmentId> {
-        self.fragments
-            .iter()
-            .filter(|f| f.boundary.contains(&node))
-            .map(|f| f.id)
-            .collect()
+        self.fragments.iter().filter(|f| f.boundary.contains(&node)).map(|f| f.id).collect()
     }
 
     /// Validates the partition invariants:
@@ -65,17 +61,15 @@ impl Fdg {
                 owner[i] += 1;
             }
         }
-        for id in 0..n {
+        for (id, &owned) in owner.iter().enumerate() {
             let is_common = common.contains(&id);
-            match (is_common, owner[id]) {
+            match (is_common, owned) {
                 (false, 1) => {}
                 (false, c) => {
                     return Err(format!("node {id} interior to {c} fragments, expected 1"))
                 }
                 (true, 0) => {}
-                (true, c) => {
-                    return Err(format!("common node {id} interior to {c} fragments"))
-                }
+                (true, c) => return Err(format!("common node {id} interior to {c} fragments")),
             }
         }
         for &c in &common {
@@ -198,16 +192,10 @@ fn build_annotated(graph: DataflowGraph) -> Result<Fdg> {
     };
     for (&c, a) in &ann {
         let producer_regions: Vec<usize> = producer_regions_of(c);
-        let consumer_regions: Vec<usize> = consumers[c]
-            .iter()
-            .filter(|&&i| !is_common[i])
-            .map(|&i| region[i])
-            .collect();
-        let mut touched: Vec<usize> = producer_regions
-            .iter()
-            .chain(consumer_regions.iter())
-            .copied()
-            .collect();
+        let consumer_regions: Vec<usize> =
+            consumers[c].iter().filter(|&&i| !is_common[i]).map(|&i| region[i]).collect();
+        let mut touched: Vec<usize> =
+            producer_regions.iter().chain(consumer_regions.iter()).copied().collect();
         touched.sort_unstable();
         touched.dedup();
         if touched.is_empty() && !fragments.is_empty() {
@@ -330,7 +318,8 @@ mod tests {
     fn fig5_like() -> DataflowGraph {
         let ctx = TraceCtx::new();
         let saved = ctx.enter_component("trainer");
-        let insert = ctx.replay_insert(&[&ctx.input("reward", &[32]), &ctx.input("state", &[32, 4])]);
+        let insert =
+            ctx.replay_insert(&[&ctx.input("reward", &[32]), &ctx.input("state", &[32, 4])]);
         let sample = ctx.replay_sample(&insert, 32, 8);
         ctx.annotate(FragmentKind::Buffer, Collective::AllGather, &[&sample]);
         ctx.exit_component(saved);
@@ -348,26 +337,14 @@ mod tests {
         assert_eq!(fdg.fragments.len(), 2, "{:#?}", fdg.fragments);
         fdg.check_invariants().unwrap();
         // The sample node is shared between both fragments (duplicated).
-        let sample_id = fdg
-            .graph
-            .nodes
-            .iter()
-            .find(|n| n.kind == OpKind::ReplaySample)
-            .unwrap()
-            .id;
+        let sample_id = fdg.graph.nodes.iter().find(|n| n.kind == OpKind::ReplaySample).unwrap().id;
         assert_eq!(fdg.fragments_sharing(sample_id).len(), 2);
     }
 
     #[test]
     fn fig5_interfaces_have_directions() {
         let fdg = build_fdg(fig5_like()).unwrap();
-        let sample_id = fdg
-            .graph
-            .nodes
-            .iter()
-            .find(|n| n.kind == OpKind::ReplaySample)
-            .unwrap()
-            .id;
+        let sample_id = fdg.graph.nodes.iter().find(|n| n.kind == OpKind::ReplaySample).unwrap().id;
         // Producer-side fragment exits the sample; consumer-side enters it.
         let mut exits = 0;
         let mut entries = 0;
@@ -430,17 +407,11 @@ mod tests {
         let _y = obs.relu();
         ctx.exit_component(saved);
         let fdg = build_fdg(ctx.finish()).unwrap();
-        let env_frag = fdg
-            .fragments
-            .iter()
-            .find(|f| f.kind == FragmentKind::Custom("env".into()))
-            .unwrap();
+        let env_frag =
+            fdg.fragments.iter().find(|f| f.kind == FragmentKind::Custom("env".into())).unwrap();
         assert_eq!(env_frag.device_req, DeviceReq::CpuOnly);
-        let policy_frag = fdg
-            .fragments
-            .iter()
-            .find(|f| f.kind == FragmentKind::Custom("policy".into()))
-            .unwrap();
+        let policy_frag =
+            fdg.fragments.iter().find(|f| f.kind == FragmentKind::Custom("policy".into())).unwrap();
         assert_eq!(policy_frag.device_req, DeviceReq::Any);
     }
 
@@ -459,18 +430,8 @@ mod tests {
         // A weight-sync exit with no downstream consumer must still be an
         // exit on the producing fragment (Alg. 1 line 34).
         let fdg = build_fdg(fig5_like()).unwrap();
-        let params_id = fdg
-            .graph
-            .nodes
-            .iter()
-            .find(|n| n.kind == OpKind::ReadParams)
-            .unwrap()
-            .id;
-        let learner = fdg
-            .fragments
-            .iter()
-            .find(|f| f.kind == FragmentKind::Learner)
-            .unwrap();
+        let params_id = fdg.graph.nodes.iter().find(|n| n.kind == OpKind::ReadParams).unwrap().id;
+        let learner = fdg.fragments.iter().find(|f| f.kind == FragmentKind::Learner).unwrap();
         assert!(learner.exits.iter().any(|i| i.node == params_id));
     }
 }

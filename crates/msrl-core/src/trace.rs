@@ -89,11 +89,8 @@ impl TraceCtx {
     /// Places a partition annotation over the given values — the
     /// reproduction of `#@MSRL.fragment(type=…, ops=[…], data=[…])`.
     pub fn annotate(&self, kind: FragmentKind, collective: Collective, data: &[&TracedVar]) {
-        let ann = PartitionAnnotation {
-            kind,
-            collective,
-            data: data.iter().map(|v| v.id).collect(),
-        };
+        let ann =
+            PartitionAnnotation { kind, collective, data: data.iter().map(|v| v.id).collect() };
         self.inner.borrow_mut().graph.annotations.push(ann);
     }
 
@@ -105,7 +102,12 @@ impl TraceCtx {
     }
 
     /// Traces an environment step: actions in, `(obs, rewards)` out.
-    pub fn env_step(&self, actions: &TracedVar, n_envs: usize, obs_dim: usize) -> (TracedVar, TracedVar) {
+    pub fn env_step(
+        &self,
+        actions: &TracedVar,
+        n_envs: usize,
+        obs_dim: usize,
+    ) -> (TracedVar, TracedVar) {
         let obs = self.push(OpKind::EnvStep, vec![actions.id], vec![n_envs, obs_dim]);
         // Rewards are a second output; model as a dependent node that the
         // interpreter serves from the same kernel invocation.
@@ -114,7 +116,12 @@ impl TraceCtx {
     }
 
     /// Traces action sampling from policy output.
-    pub fn sample_action(&self, policy_out: &TracedVar, n_envs: usize, act_width: usize) -> TracedVar {
+    pub fn sample_action(
+        &self,
+        policy_out: &TracedVar,
+        n_envs: usize,
+        act_width: usize,
+    ) -> TracedVar {
         self.push(OpKind::SampleAction, vec![policy_out.id], vec![n_envs, act_width])
     }
 
@@ -272,7 +279,8 @@ impl TracedVar {
     pub fn concat(&self, others: &[&TracedVar], axis: usize) -> TracedVar {
         let mut shape = self.shape.clone();
         if axis < shape.len() {
-            shape[axis] += others.iter().map(|o| o.shape.get(axis).copied().unwrap_or(0)).sum::<usize>();
+            shape[axis] +=
+                others.iter().map(|o| o.shape.get(axis).copied().unwrap_or(0)).sum::<usize>();
         }
         let mut inputs = vec![self.id];
         inputs.extend(others.iter().map(|o| o.id));
@@ -369,11 +377,7 @@ mod tests {
         let out = trace_mlp(&ctx, "pi", &x, &[17, 64, 64, 6]);
         assert_eq!(out.shape(), &[32, 6]);
         let g = ctx.finish();
-        let params = g
-            .nodes
-            .iter()
-            .filter(|n| matches!(n.kind, OpKind::Param { .. }))
-            .count();
+        let params = g.nodes.iter().filter(|n| matches!(n.kind, OpKind::Param { .. })).count();
         assert_eq!(params, 6, "3 layers × (w, b)");
         // Hidden activations but no output activation.
         let tanhs = g.nodes.iter().filter(|n| n.kind == OpKind::Tanh).count();

@@ -32,11 +32,7 @@ fn random_chain(ops_choice: &[u8], cuts: &[bool]) -> msrl_core::DataflowGraph {
             _ => v.neg(),
         };
         if cut {
-            ctx.annotate(
-                FragmentKind::Custom(format!("cut{i}")),
-                Collective::AllGather,
-                &[&v],
-            );
+            ctx.annotate(FragmentKind::Custom(format!("cut{i}")), Collective::AllGather, &[&v]);
         }
     }
     ctx.exit_component(saved);

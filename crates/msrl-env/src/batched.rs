@@ -13,9 +13,11 @@
 //! [`BatchedEnv::step_flops`] lets the cluster simulator charge the step
 //! to a GPU's throughput instead of a CPU core.
 
-use msrl_tensor::Tensor;
+use msrl_tensor::{par, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use crate::vec_env::chunk_lens;
 
 /// A batch of environment worlds advanced by one data-parallel step.
 pub trait BatchedEnv: Send {
@@ -116,39 +118,115 @@ impl BatchedTag {
         self.n_chasers + self.n_runners
     }
 
-    fn is_chaser(&self, local: usize) -> bool {
-        local < self.n_chasers
-    }
-
     fn obs_tensor(&self) -> Tensor {
         let pw = self.per_world();
-        let mut data = Vec::with_capacity(self.total_agents() * Self::OBS);
-        for w in 0..self.n_worlds {
-            let base = w * pw;
-            for a in 0..pw {
-                let i = base + a;
-                // Nearest opponent in this world.
-                let mut best = [0.0f32; 2];
-                let mut best_d = f32::INFINITY;
-                for b in 0..pw {
-                    if self.is_chaser(a) == self.is_chaser(b) {
-                        continue;
-                    }
-                    let j = base + b;
-                    let dx = self.pos[j][0] - self.pos[i][0];
-                    let dy = self.pos[j][1] - self.pos[i][1];
-                    let d = dx * dx + dy * dy;
-                    if d < best_d {
-                        best_d = d;
-                        best = [dx, dy];
-                    }
-                }
-                data.extend_from_slice(&self.vel[i]);
-                data.extend_from_slice(&self.pos[i]);
-                data.extend_from_slice(&best);
-            }
+        let n_chasers = self.n_chasers;
+        let (pos, vel) = (&self.pos, &self.vel);
+        let mut data = msrl_tensor::alloc::take_zeroed(self.total_agents() * Self::OBS);
+        // Worlds are independent; the threaded backend writes one block
+        // of whole worlds per worker.
+        let fill = |offset: usize, chunk: &mut [f32]| {
+            let w0 = offset / (pw * Self::OBS);
+            tag_obs_worlds(pos, vel, w0, chunk, pw, n_chasers);
+        };
+        if par::should_parallelize(data.len(), par::PAR_MIN_ELEMS) && self.n_worlds > 1 {
+            par::fill_chunks_aligned(&mut data, pw * Self::OBS, fill);
+        } else {
+            fill(0, &mut data);
         }
         Tensor::from_vec(data, &[self.total_agents(), Self::OBS]).expect("length matches")
+    }
+}
+
+/// Writes the observations of worlds `w0..` into `out` (whole worlds).
+fn tag_obs_worlds(
+    pos: &[[f32; 2]],
+    vel: &[[f32; 2]],
+    w0: usize,
+    out: &mut [f32],
+    pw: usize,
+    n_chasers: usize,
+) {
+    const OBS: usize = BatchedTag::OBS;
+    for (w_local, world) in out.chunks_mut(pw * OBS).enumerate() {
+        let base = (w0 + w_local) * pw;
+        for (a, slot) in world.chunks_mut(OBS).enumerate() {
+            let i = base + a;
+            // Nearest opponent in this world.
+            let mut best = [0.0f32; 2];
+            let mut best_d = f32::INFINITY;
+            for b in 0..pw {
+                if (a < n_chasers) == (b < n_chasers) {
+                    continue;
+                }
+                let j = base + b;
+                let dx = pos[j][0] - pos[i][0];
+                let dy = pos[j][1] - pos[i][1];
+                let d = dx * dx + dy * dy;
+                if d < best_d {
+                    best_d = d;
+                    best = [dx, dy];
+                }
+            }
+            slot[0] = vel[i][0];
+            slot[1] = vel[i][1];
+            slot[2] = pos[i][0];
+            slot[3] = pos[i][1];
+            slot[4] = best[0];
+            slot[5] = best[1];
+        }
+    }
+}
+
+/// Advances the physics of one contiguous block of agents starting at
+/// global agent index `offset`. Per-agent updates are independent, so any
+/// partition of the agents yields identical state.
+fn tag_physics(
+    pos: &mut [[f32; 2]],
+    vel: &mut [[f32; 2]],
+    actions: &[usize],
+    offset: usize,
+    pw: usize,
+    n_chasers: usize,
+) {
+    for (k, &a) in actions.iter().enumerate() {
+        let local = (offset + k) % pw;
+        let (accel, cap) = if local < n_chasers {
+            (CHASER_ACCEL, CHASER_MAX_SPEED)
+        } else {
+            (RUNNER_ACCEL, RUNNER_MAX_SPEED)
+        };
+        let f = crate::mpe::decode_action(a);
+        vel[k][0] = vel[k][0] * (1.0 - DAMPING) + f[0] * accel * DT;
+        vel[k][1] = vel[k][1] * (1.0 - DAMPING) + f[1] * accel * DT;
+        let speed = (vel[k][0].powi(2) + vel[k][1].powi(2)).sqrt();
+        if speed > cap {
+            vel[k][0] *= cap / speed;
+            vel[k][1] *= cap / speed;
+        }
+        pos[k][0] = (pos[k][0] + vel[k][0] * DT).clamp(-1.5, 1.5);
+        pos[k][1] = (pos[k][1] + vel[k][1] * DT).clamp(-1.5, 1.5);
+    }
+}
+
+/// Accumulates the rewards of worlds `w0..` into `out` (whole worlds).
+fn tag_rewards(pos: &[[f32; 2]], w0: usize, out: &mut [f32], pw: usize, n_chasers: usize) {
+    for (w_local, world) in out.chunks_mut(pw).enumerate() {
+        let base = (w0 + w_local) * pw;
+        for r_local in n_chasers..pw {
+            for c_local in 0..n_chasers {
+                let (c_idx, r_idx) = (base + c_local, base + r_local);
+                let dx = pos[c_idx][0] - pos[r_idx][0];
+                let dy = pos[c_idx][1] - pos[r_idx][1];
+                let d = (dx * dx + dy * dy).sqrt();
+                if d < CHASER_SIZE + RUNNER_SIZE {
+                    world[c_local] += CATCH_REWARD;
+                    world[r_local] -= CATCH_REWARD;
+                }
+                world[c_local] -= 0.1 * d;
+                world[r_local] += 0.1 * d;
+            }
+        }
     }
 }
 
@@ -181,50 +259,46 @@ impl BatchedEnv for BatchedTag {
     fn step(&mut self, actions: &[usize]) -> BatchedStep {
         debug_assert_eq!(actions.len(), self.total_agents());
         let pw = self.per_world();
-        // Data-parallel physics update.
-        for (i, &a) in actions.iter().enumerate() {
-            let local = i % pw;
-            let (accel, cap) = if self.is_chaser(local) {
-                (CHASER_ACCEL, CHASER_MAX_SPEED)
-            } else {
-                (RUNNER_ACCEL, RUNNER_MAX_SPEED)
-            };
-            let f = crate::mpe::decode_action(a);
-            self.vel[i][0] = self.vel[i][0] * (1.0 - DAMPING) + f[0] * accel * DT;
-            self.vel[i][1] = self.vel[i][1] * (1.0 - DAMPING) + f[1] * accel * DT;
-            let speed = (self.vel[i][0].powi(2) + self.vel[i][1].powi(2)).sqrt();
-            if speed > cap {
-                self.vel[i][0] *= cap / speed;
-                self.vel[i][1] *= cap / speed;
-            }
-            self.pos[i][0] = (self.pos[i][0] + self.vel[i][0] * DT).clamp(-1.5, 1.5);
-            self.pos[i][1] = (self.pos[i][1] + self.vel[i][1] * DT).clamp(-1.5, 1.5);
-        }
-        // Data-parallel rewards.
-        let mut rewards = vec![0.0f32; self.total_agents()];
-        for w in 0..self.n_worlds {
-            let base = w * pw;
-            for r_local in self.n_chasers..pw {
-                let r_idx = base + r_local;
-                for c_local in 0..self.n_chasers {
-                    let c_idx = base + c_local;
-                    let dx = self.pos[c_idx][0] - self.pos[r_idx][0];
-                    let dy = self.pos[c_idx][1] - self.pos[r_idx][1];
-                    let d = (dx * dx + dy * dy).sqrt();
-                    if d < CHASER_SIZE + RUNNER_SIZE {
-                        rewards[c_idx] += CATCH_REWARD;
-                        rewards[r_idx] -= CATCH_REWARD;
-                    }
-                    rewards[c_idx] -= 0.1 * d;
-                    rewards[r_idx] += 0.1 * d;
+        let n_agents = self.total_agents();
+        let n_chasers = self.n_chasers;
+        let threaded = par::should_parallelize(n_agents, par::PAR_MIN_ELEMS);
+        // Data-parallel physics update: agents are independent, so the
+        // threaded backend splits them into contiguous blocks.
+        if threaded {
+            std::thread::scope(|scope| {
+                let mut pos: &mut [[f32; 2]] = &mut self.pos;
+                let mut vel: &mut [[f32; 2]] = &mut self.vel;
+                let mut acts: &[usize] = actions;
+                let mut offset = 0;
+                for len in chunk_lens(n_agents) {
+                    let (p, p_rest) = std::mem::take(&mut pos).split_at_mut(len);
+                    let (v, v_rest) = std::mem::take(&mut vel).split_at_mut(len);
+                    let (a, a_rest) = acts.split_at(len);
+                    pos = p_rest;
+                    vel = v_rest;
+                    acts = a_rest;
+                    scope.spawn(move || tag_physics(p, v, a, offset, pw, n_chasers));
+                    offset += len;
                 }
-            }
+            });
+        } else {
+            tag_physics(&mut self.pos, &mut self.vel, actions, 0, pw, n_chasers);
+        }
+        // Data-parallel rewards: worlds are independent.
+        let mut rewards = msrl_tensor::alloc::take_zeroed(n_agents);
+        let pos = &self.pos;
+        let fill = |offset: usize, chunk: &mut [f32]| {
+            tag_rewards(pos, offset / pw, chunk, pw, n_chasers);
+        };
+        if threaded && self.n_worlds > 1 {
+            par::fill_chunks_aligned(&mut rewards, pw, fill);
+        } else {
+            fill(0, &mut rewards);
         }
         self.steps += 1;
         BatchedStep {
             obs: self.obs_tensor(),
-            rewards: Tensor::from_vec(rewards, &[self.total_agents()])
-                .expect("length matches"),
+            rewards: Tensor::from_vec(rewards, &[self.total_agents()]).expect("length matches"),
             done: self.steps >= self.horizon,
         }
     }
@@ -297,24 +371,26 @@ impl BatchedEnv for BatchedCartPole {
 
     fn step(&mut self, actions: &[usize]) -> BatchedStep {
         debug_assert_eq!(actions.len(), self.n);
-        let mut rewards = vec![0.0f32; self.n];
-        for (i, &a) in actions.iter().enumerate() {
-            let [x, x_dot, theta, theta_dot] = self.state[i];
-            let force = if a == 1 { 10.0 } else { -10.0 };
-            let cos = theta.cos();
-            let sin = theta.sin();
-            let temp = (force + 0.05 * theta_dot * theta_dot * sin) / 1.1;
-            let theta_acc =
-                (9.8 * sin - cos * temp) / (0.5 * (4.0 / 3.0 - 0.1 * cos * cos / 1.1));
-            let x_acc = temp - 0.05 * theta_acc * cos / 1.1;
-            let failed = x.abs() > 2.4 || theta.abs() > 0.2095;
-            self.state[i] = [
-                x + 0.02 * x_dot,
-                x_dot + 0.02 * x_acc,
-                theta + 0.02 * theta_dot,
-                theta_dot + 0.02 * theta_acc,
-            ];
-            rewards[i] = if failed { 0.0 } else { 1.0 };
+        let mut rewards = msrl_tensor::alloc::take_zeroed(self.n);
+        // Worlds are independent; the threaded backend advances one
+        // contiguous block of worlds per worker.
+        if par::should_parallelize(self.n, par::PAR_MIN_ELEMS) {
+            std::thread::scope(|scope| {
+                let mut st: &mut [[f32; 4]] = &mut self.state;
+                let mut rw: &mut [f32] = &mut rewards;
+                let mut acts: &[usize] = actions;
+                for len in chunk_lens(self.n) {
+                    let (s, s_rest) = std::mem::take(&mut st).split_at_mut(len);
+                    let (r, r_rest) = std::mem::take(&mut rw).split_at_mut(len);
+                    let (a, a_rest) = acts.split_at(len);
+                    st = s_rest;
+                    rw = r_rest;
+                    acts = a_rest;
+                    scope.spawn(move || cartpole_physics(s, r, a));
+                }
+            });
+        } else {
+            cartpole_physics(&mut self.state, &mut rewards, actions);
         }
         self.steps += 1;
         BatchedStep {
@@ -326,6 +402,28 @@ impl BatchedEnv for BatchedCartPole {
 
     fn step_flops(&self) -> u64 {
         (self.n * 40) as u64
+    }
+}
+
+/// Advances one contiguous block of CartPole worlds — the unit of work
+/// shared by the serial and threaded schedules.
+fn cartpole_physics(state: &mut [[f32; 4]], rewards: &mut [f32], actions: &[usize]) {
+    for ((s, r), &a) in state.iter_mut().zip(rewards).zip(actions) {
+        let [x, x_dot, theta, theta_dot] = *s;
+        let force = if a == 1 { 10.0 } else { -10.0 };
+        let cos = theta.cos();
+        let sin = theta.sin();
+        let temp = (force + 0.05 * theta_dot * theta_dot * sin) / 1.1;
+        let theta_acc = (9.8 * sin - cos * temp) / (0.5 * (4.0 / 3.0 - 0.1 * cos * cos / 1.1));
+        let x_acc = temp - 0.05 * theta_acc * cos / 1.1;
+        let failed = x.abs() > 2.4 || theta.abs() > 0.2095;
+        *s = [
+            x + 0.02 * x_dot,
+            x_dot + 0.02 * x_acc,
+            theta + 0.02 * theta_dot,
+            theta_dot + 0.02 * theta_acc,
+        ];
+        *r = if failed { 0.0 } else { 1.0 };
     }
 }
 
@@ -393,5 +491,46 @@ mod tests {
         assert!(!e.step(&[0, 0]).done);
         assert!(!e.step(&[0, 0]).done);
         assert!(e.step(&[0, 0]).done);
+    }
+
+    /// The agent/world-chunked threaded schedules must reproduce the
+    /// serial physics, observations, and rewards bit-for-bit (RNG runs
+    /// only inside `reset`, which stays serial).
+    #[test]
+    fn threaded_batched_step_matches_serial() {
+        use msrl_tensor::{par, Backend};
+        let run_tag = || {
+            let mut e = BatchedTag::new(6, 2, 2, 7);
+            let mut obs = e.reset();
+            let mut rewards = Vec::new();
+            for s in 0..8 {
+                let acts: Vec<usize> = (0..e.total_agents()).map(|i| (s + i) % 5).collect();
+                let st = e.step(&acts);
+                obs = st.obs;
+                rewards.push(st.rewards);
+            }
+            (obs, rewards)
+        };
+        let run_pole = || {
+            let mut e = BatchedCartPole::new(12, 7);
+            let mut obs = e.reset();
+            let mut rewards = Vec::new();
+            for s in 0..8 {
+                let acts: Vec<usize> = (0..12).map(|i| (s + i) % 2).collect();
+                let st = e.step(&acts);
+                obs = st.obs;
+                rewards.push(st.rewards);
+            }
+            (obs, rewards)
+        };
+        std::env::set_var("MSRL_THREADS", "4");
+        std::env::set_var("MSRL_PAR_MIN", "1");
+        let tag_serial = par::with_backend(Backend::Scalar, run_tag);
+        let tag_threaded = par::with_backend(Backend::Threaded, run_tag);
+        let pole_serial = par::with_backend(Backend::Scalar, run_pole);
+        let pole_threaded = par::with_backend(Backend::Threaded, run_pole);
+        std::env::remove_var("MSRL_PAR_MIN");
+        assert_eq!(tag_serial, tag_threaded, "BatchedTag obs/rewards");
+        assert_eq!(pole_serial, pole_threaded, "BatchedCartPole obs/rewards");
     }
 }

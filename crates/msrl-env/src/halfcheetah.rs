@@ -151,6 +151,7 @@ impl Environment for HalfCheetah {
         // Joint dynamics and gait-coupled thrust.
         let mut thrust = 0.0;
         let mut asym = 0.0;
+        #[allow(clippy::needless_range_loop)] // indexes four arrays in lockstep
         for i in 0..N_JOINTS {
             let acc = JOINT_GAIN * torque[i]
                 - JOINT_DAMPING * self.joint_vel[i]
@@ -172,11 +173,7 @@ impl Environment for HalfCheetah {
         self.pitch += self.pitch_vel * DT;
         self.steps += 1;
         let ctrl_cost: f32 = torque.iter().map(|t| t * t).sum::<f32>() * CTRL_COST;
-        Step {
-            obs: self.obs(),
-            reward: self.vx - ctrl_cost,
-            done: self.steps >= self.horizon,
-        }
+        Step { obs: self.obs(), reward: self.vx - ctrl_cost, done: self.steps >= self.horizon }
     }
 
     fn step_cost(&self) -> f64 {
@@ -225,8 +222,8 @@ mod tests {
             let mut total = 0.0;
             for t in 0..500 {
                 let mut a = [0.0f32; N_JOINTS];
-                for i in 0..N_JOINTS {
-                    a[i] = (1.41 * DT * t as f32 - i as f32 * std::f32::consts::PI / 3.0).sin();
+                for (i, slot) in a.iter_mut().enumerate() {
+                    *slot = (1.41 * DT * t as f32 - i as f32 * std::f32::consts::PI / 3.0).sin();
                 }
                 total += env.step(&torques(a)).reward;
             }

@@ -51,7 +51,14 @@ pub struct Body {
 impl Body {
     /// A movable agent body.
     pub fn agent(size: f32, accel: f32, max_speed: f32) -> Self {
-        Body { pos: [0.0; 2], vel: [0.0; 2], size, accel, max_speed: Some(max_speed), movable: true }
+        Body {
+            pos: [0.0; 2],
+            vel: [0.0; 2],
+            size,
+            accel,
+            max_speed: Some(max_speed),
+            movable: true,
+        }
     }
 
     /// A static landmark body.
@@ -132,11 +139,11 @@ impl World {
             }
         }
         // Agent-landmark contacts (landmarks are immovable).
-        for i in 0..n {
+        for (a, t) in self.agents.iter().zip(&mut total) {
             for l in &self.landmarks {
-                let f = Self::contact_force(&self.agents[i], l);
-                total[i][0] += f[0];
-                total[i][1] += f[1];
+                let f = Self::contact_force(a, l);
+                t[0] += f[0];
+                t[1] += f[1];
             }
         }
         for (a, f) in self.agents.iter_mut().zip(&total) {
@@ -226,8 +233,7 @@ mod tests {
         for _ in 0..200 {
             w.step(&[[1.0, 0.0], [0.0, 0.0]]);
         }
-        let speed =
-            (w.agents[0].vel[0].powi(2) + w.agents[0].vel[1].powi(2)).sqrt();
+        let speed = (w.agents[0].vel[0].powi(2) + w.agents[0].vel[1].powi(2)).sqrt();
         assert!(speed <= 1.0 + 1e-4, "speed {speed}");
     }
 

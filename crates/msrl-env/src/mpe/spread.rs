@@ -37,9 +37,8 @@ impl SimpleSpread {
     /// Creates a spread scenario with `n` agents and `n` landmarks
     /// observing only local state.
     pub fn new(n: usize, seed: u64) -> Self {
-        let agents = (0..n)
-            .map(|_| Body::agent(AGENT_SIZE, AGENT_ACCEL, AGENT_MAX_SPEED))
-            .collect();
+        let agents =
+            (0..n).map(|_| Body::agent(AGENT_SIZE, AGENT_ACCEL, AGENT_MAX_SPEED)).collect();
         let landmarks = (0..n).map(|_| Body::landmark(LANDMARK_SIZE)).collect();
         SimpleSpread {
             world: World::new(agents, landmarks),
@@ -167,10 +166,8 @@ impl MultiAgentEnvironment for SimpleSpread {
     }
 
     fn step(&mut self, actions: &[Action]) -> MultiStep {
-        let forces: Vec<[f32; 2]> = actions
-            .iter()
-            .map(|a| decode_action(a.as_discrete().unwrap_or(0)))
-            .collect();
+        let forces: Vec<[f32; 2]> =
+            actions.iter().map(|a| decode_action(a.as_discrete().unwrap_or(0))).collect();
         self.world.step(&forces);
         self.steps += 1;
         MultiStep {

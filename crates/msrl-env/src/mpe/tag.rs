@@ -44,7 +44,9 @@ impl SimpleTag {
         let mut agents: Vec<Body> = (0..n_chasers)
             .map(|_| Body::agent(CHASER_SIZE, CHASER_ACCEL, CHASER_MAX_SPEED))
             .collect();
-        agents.extend((0..n_runners).map(|_| Body::agent(RUNNER_SIZE, RUNNER_ACCEL, RUNNER_MAX_SPEED)));
+        agents.extend(
+            (0..n_runners).map(|_| Body::agent(RUNNER_SIZE, RUNNER_ACCEL, RUNNER_MAX_SPEED)),
+        );
         let landmarks = (0..2).map(|_| Body::landmark(LANDMARK_SIZE)).collect();
         SimpleTag {
             world: World::new(agents, landmarks),
@@ -187,10 +189,8 @@ impl MultiAgentEnvironment for SimpleTag {
     }
 
     fn step(&mut self, actions: &[Action]) -> MultiStep {
-        let forces: Vec<[f32; 2]> = actions
-            .iter()
-            .map(|a| decode_action(a.as_discrete().unwrap_or(0)))
-            .collect();
+        let forces: Vec<[f32; 2]> =
+            actions.iter().map(|a| decode_action(a.as_discrete().unwrap_or(0))).collect();
         self.world.step(&forces);
         self.steps += 1;
         MultiStep {

@@ -33,7 +33,13 @@ pub struct Pendulum {
 impl Pendulum {
     /// Creates a Pendulum with the given seed and a 200-step horizon.
     pub fn new(seed: u64) -> Self {
-        Pendulum { theta: 0.0, theta_dot: 0.0, steps: 0, horizon: 200, rng: StdRng::seed_from_u64(seed) }
+        Pendulum {
+            theta: 0.0,
+            theta_dot: 0.0,
+            steps: 0,
+            horizon: 200,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     fn obs(&self) -> Tensor {
@@ -131,7 +137,9 @@ mod tests {
     #[test]
     fn angle_normalize_wraps() {
         // 3π is the same angle as ±π.
-        assert!((angle_normalize(3.0 * std::f32::consts::PI).abs() - std::f32::consts::PI).abs() < 1e-5);
+        assert!(
+            (angle_normalize(3.0 * std::f32::consts::PI).abs() - std::f32::consts::PI).abs() < 1e-5
+        );
         assert!((angle_normalize(0.5) - 0.5).abs() < 1e-6);
         assert!((angle_normalize(0.5 + 2.0 * std::f32::consts::PI) - 0.5).abs() < 1e-5);
     }

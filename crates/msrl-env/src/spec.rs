@@ -95,10 +95,7 @@ mod tests {
     #[test]
     fn policy_width() {
         assert_eq!(ActionSpec::Discrete { n: 5 }.policy_width(), 5);
-        assert_eq!(
-            ActionSpec::Continuous { dim: 6, low: -1.0, high: 1.0 }.policy_width(),
-            6
-        );
+        assert_eq!(ActionSpec::Continuous { dim: 6, low: -1.0, high: 1.0 }.policy_width(), 6);
     }
 
     #[test]

@@ -4,11 +4,24 @@
 //! actor interacts with 32 environments", §3). [`VecEnv`] is that set: it
 //! steps every instance with a batch of actions, auto-resets finished
 //! episodes, and returns batched tensors ready for fused policy inference.
+//!
+//! Under [`msrl_tensor::Backend::Threaded`], large-enough sets step and
+//! reset their instances on scoped worker threads, one contiguous block
+//! of instances per worker. Each instance owns its RNG and state, so the
+//! partitioned schedule produces results identical to the serial one —
+//! per-instance trajectories, auto-reset behaviour, and the order of
+//! [`VecEnv::take_finished_returns`] are all preserved.
 
-use msrl_tensor::{ops, Tensor};
+use msrl_tensor::{ops, par, Tensor};
 
 use crate::spec::{Action, ActionSpec};
 use crate::Environment;
+
+/// Instance count below which a threaded step is not worth the scoped
+/// spawn/join (environment steps are far heavier than one element-wise
+/// flop, so this is much lower than [`par::PAR_MIN_ELEMS`]). Tests
+/// override via `MSRL_PAR_MIN`.
+const PAR_MIN_ENVS: usize = 8;
 
 /// A batch of environments stepped in lockstep.
 pub struct VecEnv {
@@ -87,11 +100,30 @@ impl VecEnv {
     }
 
     /// Resets every instance; returns `[n, obs_dim]`.
+    ///
+    /// Large sets reset on worker threads under the threaded backend;
+    /// each instance's RNG is its own, so results match the serial order.
     pub fn reset(&mut self) -> Tensor {
-        let obs: Vec<Tensor> = self.envs.iter_mut().map(|e| e.reset()).collect();
         for r in &mut self.returns {
             *r = 0.0;
         }
+        let obs: Vec<Tensor> = if par::should_parallelize(self.envs.len(), PAR_MIN_ENVS) {
+            let chunks = chunked_mut(&mut self.envs);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move || chunk.iter_mut().map(|e| e.reset()).collect::<Vec<_>>())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("env worker must not panic"))
+                    .collect()
+            })
+        } else {
+            self.envs.iter_mut().map(|e| e.reset()).collect()
+        };
         let refs: Vec<&Tensor> = obs.iter().collect();
         ops::stack(&refs).expect("homogeneous obs dims")
     }
@@ -99,32 +131,54 @@ impl VecEnv {
     /// Steps every instance with its action; finished instances are
     /// reset, and their observation in the result is the fresh reset.
     ///
+    /// Large sets step on worker threads under the threaded backend: the
+    /// instances split into contiguous blocks, one per worker, and the
+    /// per-block results merge back in instance order — trajectories,
+    /// rewards, and finished-episode bookkeeping are identical to the
+    /// serial schedule.
+    ///
     /// # Panics
     ///
     /// Panics if `actions.len() != self.len()` — a caller bug, since the
     /// batch size is fixed at construction.
     pub fn step(&mut self, actions: &[Action]) -> VecStep {
-        assert_eq!(actions.len(), self.envs.len(), "one action per instance");
-        let mut obs = Vec::with_capacity(self.envs.len());
-        let mut rewards = Vec::with_capacity(self.envs.len());
-        let mut dones = Vec::with_capacity(self.envs.len());
-        for (i, (env, action)) in self.envs.iter_mut().zip(actions).enumerate() {
-            let step = env.step(action);
-            self.returns[i] += step.reward;
-            rewards.push(step.reward);
-            dones.push(step.done);
-            if step.done {
-                self.finished_returns.push(self.returns[i]);
-                self.returns[i] = 0.0;
-                obs.push(env.reset());
-            } else {
-                obs.push(step.obs);
-            }
+        let n = self.envs.len();
+        assert_eq!(actions.len(), n, "one action per instance");
+        let parts: Vec<ChunkStep> = if par::should_parallelize(n, PAR_MIN_ENVS) {
+            let lens: Vec<usize> = chunk_lens(n);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(lens.len());
+                let mut envs: &mut [Box<dyn Environment>] = &mut self.envs;
+                let mut rets: &mut [f32] = &mut self.returns;
+                let mut acts: &[Action] = actions;
+                for len in lens {
+                    let (e, e_rest) = std::mem::take(&mut envs).split_at_mut(len);
+                    let (r, r_rest) = std::mem::take(&mut rets).split_at_mut(len);
+                    let (a, a_rest) = acts.split_at(len);
+                    envs = e_rest;
+                    rets = r_rest;
+                    acts = a_rest;
+                    handles.push(scope.spawn(move || step_chunk(e, r, a)));
+                }
+                handles.into_iter().map(|h| h.join().expect("env worker must not panic")).collect()
+            })
+        } else {
+            vec![step_chunk(&mut self.envs, &mut self.returns, actions)]
+        };
+
+        let mut obs = Vec::with_capacity(n);
+        let mut rewards = Vec::with_capacity(n);
+        let mut dones = Vec::with_capacity(n);
+        for part in parts {
+            obs.extend(part.obs);
+            rewards.extend(part.rewards);
+            dones.extend(part.dones);
+            self.finished_returns.extend(part.finished);
         }
         let refs: Vec<&Tensor> = obs.iter().collect();
         VecStep {
             obs: ops::stack(&refs).expect("homogeneous obs dims"),
-            rewards: Tensor::from_vec(rewards, &[self.envs.len()]).expect("length matches"),
+            rewards: Tensor::from_vec(rewards, &[n]).expect("length matches"),
             dones,
         }
     }
@@ -133,6 +187,71 @@ impl VecEnv {
     pub fn take_finished_returns(&mut self) -> Vec<f32> {
         std::mem::take(&mut self.finished_returns)
     }
+}
+
+/// Per-worker results of stepping a contiguous block of instances.
+struct ChunkStep {
+    obs: Vec<Tensor>,
+    rewards: Vec<f32>,
+    dones: Vec<bool>,
+    /// Completed-episode returns, in instance order within the block.
+    finished: Vec<f32>,
+}
+
+/// Steps one contiguous block of instances — the unit of work shared by
+/// the serial and threaded schedules, so both produce identical results.
+fn step_chunk(
+    envs: &mut [Box<dyn Environment>],
+    returns: &mut [f32],
+    actions: &[Action],
+) -> ChunkStep {
+    let mut out = ChunkStep {
+        obs: Vec::with_capacity(envs.len()),
+        rewards: Vec::with_capacity(envs.len()),
+        dones: Vec::with_capacity(envs.len()),
+        finished: Vec::new(),
+    };
+    for ((env, ret), action) in envs.iter_mut().zip(returns).zip(actions) {
+        let step = env.step(action);
+        *ret += step.reward;
+        out.rewards.push(step.reward);
+        out.dones.push(step.done);
+        if step.done {
+            out.finished.push(*ret);
+            *ret = 0.0;
+            out.obs.push(env.reset());
+        } else {
+            out.obs.push(step.obs);
+        }
+    }
+    out
+}
+
+/// Contiguous per-worker block lengths covering `n` instances.
+pub(crate) fn chunk_lens(n: usize) -> Vec<usize> {
+    let workers = par::thread_count().min(n.max(1));
+    let chunk = n.div_ceil(workers);
+    let mut lens = Vec::with_capacity(workers);
+    let mut left = n;
+    while left > 0 {
+        let take = chunk.min(left);
+        lens.push(take);
+        left -= take;
+    }
+    lens
+}
+
+/// Splits a slice into per-worker mutable blocks.
+fn chunked_mut<T>(items: &mut [T]) -> Vec<&mut [T]> {
+    let lens = chunk_lens(items.len());
+    let mut rest = items;
+    let mut out = Vec::with_capacity(lens.len());
+    for len in lens {
+        let (head, tail) = std::mem::take(&mut rest).split_at_mut(len);
+        out.push(head);
+        rest = tail;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -179,5 +298,33 @@ mod tests {
         let mut v = VecEnv::from_fn(2, |i| CartPole::new(i as u64));
         v.reset();
         v.step(&[Action::Discrete(0)]);
+    }
+
+    /// The threaded schedule partitions instances across workers but must
+    /// reproduce the serial schedule exactly: same trajectories, same
+    /// auto-resets, same finished-return order.
+    #[test]
+    fn threaded_step_matches_serial() {
+        use msrl_tensor::{par, Backend};
+        let run = || {
+            let mut v = VecEnv::from_fn(12, |i| CartPole::new(i as u64).with_horizon(5));
+            let mut last = v.reset();
+            let mut rewards = Vec::new();
+            for s in 0..12 {
+                let acts: Vec<Action> = (0..12).map(|i| Action::Discrete((s + i) % 2)).collect();
+                let st = v.step(&acts);
+                last = st.obs;
+                rewards.push(st.rewards);
+            }
+            (last, rewards, v.take_finished_returns())
+        };
+        std::env::set_var("MSRL_THREADS", "4");
+        std::env::set_var("MSRL_PAR_MIN", "1");
+        let serial = par::with_backend(Backend::Scalar, run);
+        let threaded = par::with_backend(Backend::Threaded, run);
+        std::env::remove_var("MSRL_PAR_MIN");
+        assert_eq!(serial.0, threaded.0, "final observations");
+        assert_eq!(serial.1, threaded.1, "per-step rewards");
+        assert_eq!(serial.2, threaded.2, "finished-return order");
     }
 }

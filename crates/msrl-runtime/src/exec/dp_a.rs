@@ -114,8 +114,7 @@ mod tests {
             seed: 1,
             ..DistPpoConfig::default()
         };
-        let report =
-            run_dp_a(|a, i| CartPole::new((a * 100 + i) as u64), &dist).unwrap();
+        let report = run_dp_a(|a, i| CartPole::new((a * 100 + i) as u64), &dist).unwrap();
         assert_eq!(report.iteration_rewards.len(), 25);
         assert_eq!(report.losses.len(), 25);
         assert!(!report.final_params.is_empty());

@@ -109,22 +109,16 @@ where
                 for rank in 0..p {
                     let lo = rank * envs_i * act_w;
                     let hi = lo + envs_i * act_w;
-                    learner_ep
-                        .send(rank, out.actions.data()[lo..hi].to_vec())
-                        .map_err(comm_err)?;
+                    learner_ep.send(rank, out.actions.data()[lo..hi].to_vec()).map_err(comm_err)?;
                 }
                 for (rank, buffer) in buffers.iter_mut().enumerate() {
                     let fb = learner_ep.recv(rank).map_err(comm_err)?;
-                    let rewards =
-                        Tensor::from_vec(fb[..envs_i].to_vec(), &[envs_i])
-                            .map_err(FdgError::Tensor)?;
+                    let rewards = Tensor::from_vec(fb[..envs_i].to_vec(), &[envs_i])
+                        .map_err(FdgError::Tensor)?;
                     let dones: Vec<bool> =
                         fb[envs_i..2 * envs_i].iter().map(|&d| d > 0.5).collect();
-                    let next_obs = Tensor::from_vec(
-                        fb[2 * envs_i..].to_vec(),
-                        &[envs_i, obs_dim],
-                    )
-                    .map_err(FdgError::Tensor)?;
+                    let next_obs = Tensor::from_vec(fb[2 * envs_i..].to_vec(), &[envs_i, obs_dim])
+                        .map_err(FdgError::Tensor)?;
                     let row = |t: &Tensor| {
                         let lo = rank * envs_i;
                         let w = t.len() / (p * envs_i);

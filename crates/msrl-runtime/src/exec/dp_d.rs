@@ -95,9 +95,7 @@ where
                     learner.learn(&batch)?;
                     // Per-episode replica sync: average weights.
                     if p > 1 {
-                        let avg = ep
-                            .all_reduce_mean(learner.policy_params())
-                            .map_err(comm_err)?;
+                        let avg = ep.all_reduce_mean(learner.policy_params()).map_err(comm_err)?;
                         learner.set_policy_params(&avg)?;
                     }
                     let denom = (env.total_agents() * steps.max(1)) as f32;
@@ -115,8 +113,7 @@ where
         let episodes = cfg.episodes;
         let mut merged = TrainingReport::default();
         for e in 0..episodes {
-            let mean =
-                reports.iter().map(|r| r.iteration_rewards[e]).sum::<f32>() / p as f32;
+            let mean = reports.iter().map(|r| r.iteration_rewards[e]).sum::<f32>() / p as f32;
             merged.iteration_rewards.push(mean);
         }
         merged.final_params = reports.swap_remove(0).final_params;

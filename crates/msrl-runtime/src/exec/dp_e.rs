@@ -80,8 +80,7 @@ where
                             buf.insert(step_batch(
                                 pobs,
                                 pact,
-                                Tensor::from_vec(vec![reward], &[1])
-                                    .map_err(FdgError::Tensor)?,
+                                Tensor::from_vec(vec![reward], &[1]).map_err(FdgError::Tensor)?,
                                 obs.clone(),
                                 vec![done],
                                 plp,

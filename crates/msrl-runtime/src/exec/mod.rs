@@ -11,6 +11,18 @@
 //! `msrl-algos`; only the orchestration differs — the executable form of
 //! the paper's claim that distribution policies require no algorithm
 //! changes.
+//!
+//! # Interaction with the threaded tensor backend
+//!
+//! The tensor kernels these drivers invoke (batched inference in DP-B's
+//! central learner, the fused per-replica loops of DP-D, per-agent
+//! training under DP-E) respect [`msrl_tensor::Backend`]: under the
+//! default `Threaded` backend, large ops additionally split across
+//! intra-op worker threads. Fragment threads and intra-op threads
+//! compose — each fragment's ops fan out independently — so on hosts
+//! where `actors × MSRL_THREADS` would oversubscribe the machine, cap
+//! intra-op parallelism with `MSRL_THREADS=1` (or `MSRL_BACKEND=scalar`
+//! for the bit-exact reference path).
 
 mod a3c;
 mod dp_a;
@@ -78,8 +90,7 @@ pub struct TrainingReport {
 impl TrainingReport {
     /// Mean reward over the last `n` iterations.
     pub fn recent_reward(&self, n: usize) -> f32 {
-        let tail: Vec<f32> =
-            self.iteration_rewards.iter().rev().take(n).copied().collect();
+        let tail: Vec<f32> = self.iteration_rewards.iter().rev().take(n).copied().collect();
         if tail.is_empty() {
             return 0.0;
         }

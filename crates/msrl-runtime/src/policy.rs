@@ -259,8 +259,9 @@ pub fn place(
 /// A user-defined distribution policy: a function from configurations to
 /// a placement (§6: "further policies can be defined easily by expert
 /// users").
-pub type CustomPolicy =
-    Box<dyn Fn(&AlgorithmConfig, &DeploymentConfig) -> Result<Placement, PlacementError> + Send + Sync>;
+pub type CustomPolicy = Box<
+    dyn Fn(&AlgorithmConfig, &DeploymentConfig) -> Result<Placement, PlacementError> + Send + Sync,
+>;
 
 /// A registry resolving both the six built-in policies and user-defined
 /// ones by name.
@@ -356,8 +357,7 @@ mod tests {
         cfg.agents = 6;
         cfg.actors = 1;
         let p = place(&cfg, &deploy(4, 2, PolicyName::Environments)).unwrap();
-        let env_nodes: Vec<usize> =
-            p.with_role(Role::Env).iter().map(|f| f.device.node).collect();
+        let env_nodes: Vec<usize> = p.with_role(Role::Env).iter().map(|f| f.device.node).collect();
         assert!(env_nodes.iter().all(|&n| n == 3), "all envs on the last worker");
         let agent_nodes: Vec<usize> =
             p.with_role(Role::ActorLearner).iter().map(|f| f.device.node).collect();
@@ -418,8 +418,7 @@ mod tests {
     #[test]
     fn actors_spread_across_devices_round_robin() {
         let p = place(&ppo_cfg(4), &deploy(2, 2, PolicyName::SingleLearnerCoarse)).unwrap();
-        let devices: Vec<DeviceId> =
-            p.with_role(Role::ActorEnv).iter().map(|f| f.device).collect();
+        let devices: Vec<DeviceId> = p.with_role(Role::ActorEnv).iter().map(|f| f.device).collect();
         // 4 actors over 4 GPUs: all distinct.
         let mut unique = devices.clone();
         unique.sort_by_key(|d| (d.node, d.index));

@@ -14,7 +14,12 @@ use msrl_core::DataflowGraph;
 /// paper: actor inference → action annotation → env step → step
 /// annotation → buffer insert/sample → buffer annotation → learn →
 /// learner (weight-sync) annotation.
-pub fn trace_ppo(cfg: &AlgorithmConfig, obs_dim: usize, act_dim: usize, hidden: usize) -> DataflowGraph {
+pub fn trace_ppo(
+    cfg: &AlgorithmConfig,
+    obs_dim: usize,
+    act_dim: usize,
+    hidden: usize,
+) -> DataflowGraph {
     let ctx = TraceCtx::new();
     let envs = cfg.envs_per_actor.max(1);
     let widths = [obs_dim, hidden, hidden, hidden, hidden, hidden, act_dim];
@@ -46,9 +51,7 @@ pub fn trace_ppo(cfg: &AlgorithmConfig, obs_dim: usize, act_dim: usize, hidden: 
     // Trainer: buffer exchange (lines 30–32).
     let saved = ctx.enter_component("trainer");
     let insert = ctx.replay_insert(&[&reward, &new_state]);
-    let sample = ctx
-        .replay_sample(&insert, envs * cfg.duration, obs_dim + act_dim + 3)
-        .boundary();
+    let sample = ctx.replay_sample(&insert, envs * cfg.duration, obs_dim + act_dim + 3).boundary();
     ctx.annotate(FragmentKind::Buffer, Collective::AllGather, &[&sample]);
     ctx.exit_component(saved);
 
@@ -98,11 +101,7 @@ mod tests {
         let env_frag = fdg
             .fragments
             .iter()
-            .find(|f| {
-                f.interior
-                    .iter()
-                    .any(|&i| fdg.graph.nodes[i].kind == OpKind::EnvStep)
-            })
+            .find(|f| f.interior.iter().any(|&i| fdg.graph.nodes[i].kind == OpKind::EnvStep))
             .expect("an env fragment exists");
         assert_eq!(env_frag.device_req, DeviceReq::CpuOnly);
     }
@@ -131,12 +130,7 @@ mod tests {
     #[test]
     fn weight_sync_exit_carries_all_params() {
         let fdg = build_fdg(ppo_graph()).unwrap();
-        let params_node = fdg
-            .graph
-            .nodes
-            .iter()
-            .find(|n| n.kind == OpKind::ReadParams)
-            .unwrap();
+        let params_node = fdg.graph.nodes.iter().find(|n| n.kind == OpKind::ReadParams).unwrap();
         // 17·64+64 + 4·(64·64+64) + 64·6+6 scalar parameters.
         let expect = 17 * 64 + 64 + 4 * (64 * 64 + 64) + 64 * 6 + 6;
         assert_eq!(params_node.shape, vec![expect]);

@@ -15,8 +15,8 @@ use msrl_tensor::Tensor;
 /// next_obs…, dones…, log_probs…, values…]`.
 pub fn encode_batch(batch: &SampleBatch) -> Vec<f32> {
     let n = batch.len();
-    let obs_w = if n > 0 { batch.obs.len() / n } else { 0 };
-    let act_w = if n > 0 { batch.actions.len() / n } else { 0 };
+    let obs_w = batch.obs.len().checked_div(n).unwrap_or(0);
+    let act_w = batch.actions.len().checked_div(n).unwrap_or(0);
     let mut out = Vec::with_capacity(8 + n * (2 * obs_w + act_w + 4));
     out.push(n as f32);
     out.push(obs_w as f32);

@@ -74,7 +74,13 @@ impl TaskGraph {
     ///
     /// Panics when a dependency index is out of range (a scenario-builder
     /// bug, not a runtime input).
-    pub fn add(&mut self, label: impl Into<String>, resource: Resource, duration: f64, deps: &[usize]) -> usize {
+    pub fn add(
+        &mut self,
+        label: impl Into<String>,
+        resource: Resource,
+        duration: f64,
+        deps: &[usize],
+    ) -> usize {
         let id = self.tasks.len();
         for &d in deps {
             assert!(d < id, "dependency {d} of task {id} not yet defined");
@@ -125,12 +131,7 @@ impl Schedule {
     /// Busy time charged to one resource across a task graph (for
     /// utilisation/bottleneck reports).
     pub fn busy_time(graph: &TaskGraph, resource: Resource) -> f64 {
-        graph
-            .tasks
-            .iter()
-            .filter(|t| t.resource == resource)
-            .map(|t| t.duration)
-            .sum()
+        graph.tasks.iter().filter(|t| t.resource == resource).map(|t| t.duration).sum()
     }
 }
 

@@ -163,18 +163,12 @@ pub fn iteration_time(
                     } else {
                         Resource::link(from.node, device.node)
                     };
-                    let tid =
-                        g.add(format!("xfer->{}", entry.node), resource, t, &[ptask]);
+                    let tid = g.add(format!("xfer->{}", entry.node), resource, t, &[ptask]);
                     deps.push(tid);
                 }
             }
         }
-        let tid = g.add(
-            format!("frag{}", f.id.0),
-            Resource::Device(device),
-            duration,
-            &deps,
-        );
+        let tid = g.add(format!("frag{}", f.id.0), Resource::Device(device), duration, &deps);
         frag_task.insert(f.id, tid);
     }
     Ok(g.simulate().makespan)
@@ -203,11 +197,7 @@ mod tests {
     }
 
     fn assign(fdg: &Fdg, devices: &[DeviceId]) -> HashMap<FragmentId, DeviceId> {
-        fdg.fragments
-            .iter()
-            .zip(devices)
-            .map(|(f, &d)| (f.id, d))
-            .collect()
+        fdg.fragments.iter().zip(devices).map(|(f, &d)| (f.id, d)).collect()
     }
 
     #[test]
@@ -263,8 +253,9 @@ mod tests {
         ctx.exit_component(saved);
         let fdg = build_fdg(ctx.finish()).unwrap();
         let a = assign(&fdg, &[DeviceId::gpu(0, 0)]);
-        let cheap = iteration_time(&fdg, &a, &cloud(), KernelCosts { env_step_s: 0.0, learn_s: 0.0 })
-            .unwrap();
+        let cheap =
+            iteration_time(&fdg, &a, &cloud(), KernelCosts { env_step_s: 0.0, learn_s: 0.0 })
+                .unwrap();
         let costly =
             iteration_time(&fdg, &a, &cloud(), KernelCosts { env_step_s: 0.0, learn_s: 0.5 })
                 .unwrap();

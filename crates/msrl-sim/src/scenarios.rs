@@ -210,11 +210,8 @@ pub fn dp_a_episode(w: &PpoWorkload, c: &Cluster, p: usize, include_train: bool)
     // suffer TCP incast: each trajectory stream pays a fixed
     // setup/processing cost at the learner's ingress on top of the α–β
     // transfer time.
-    let incast = if c.net.inter_node.latency_s > 1e-4 {
-        p as f64 * PER_SENDER_GATHER_S
-    } else {
-        0.0
-    };
+    let incast =
+        if c.net.inter_node.latency_s > 1e-4 { p as f64 * PER_SENDER_GATHER_S } else { 0.0 };
     let gather = g.add(
         "gather-trajectories",
         Resource::None,
@@ -272,11 +269,7 @@ pub fn dp_c_episode(w: &PpoWorkload, c: &Cluster, p: usize, include_train: bool)
     let p = p.max(1);
     let envs_i = (w.n_envs / p).max(1);
     let actor = w.actor_seconds(c, envs_i, c.cores_per_actor()) + DP_C_SYNC_S;
-    let train = if include_train {
-        w.train_seconds(c, w.samples_per_episode() / p)
-    } else {
-        0.0
-    };
+    let train = if include_train { w.train_seconds(c, w.samples_per_episode() / p) } else { 0.0 };
     let nodes_used = p.div_ceil(c.spec.node.gpus).min(c.spec.nodes).max(1);
     let grad_bytes = w.weight_bytes();
     let ring_steps = 2 * (nodes_used - 1);
@@ -356,11 +349,8 @@ pub fn raylike_ppo_episode(w: &PpoWorkload, _c: &Cluster, p: usize) -> f64 {
 /// plus fused GPU inference (DP-A placement on the local cluster).
 pub fn msrl_ppo_episode(w: &PpoWorkload, c: &Cluster, p: usize) -> f64 {
     let envs_i = (w.n_envs / p.max(1)).max(1);
-    let env = w.episode_len as f64
-        * w.env_step_cost
-        * envs_i.div_ceil(MSRL_ENV_PROCS) as f64;
-    let infer =
-        w.episode_len as f64 * c.gpu.compute_time(w.infer_flops(envs_i), w.infer_kernels());
+    let env = w.episode_len as f64 * w.env_step_cost * envs_i.div_ceil(MSRL_ENV_PROCS) as f64;
+    let infer = w.episode_len as f64 * c.gpu.compute_time(w.infer_flops(envs_i), w.infer_kernels());
     let overhead = w.episode_len as f64 * w.step_overhead;
     env + infer + overhead
 }
@@ -543,10 +533,9 @@ pub fn dp_e_episode(w: &MappoWorkload, c: &Cluster) -> f64 {
     let n = w.n_agents;
     let gpus = c.gpus(n);
     // Environment worker: O(n²) physics per instance across its cores.
-    let env_flops =
-        (w.episode_len * w.env_batch * n * n * 20) as u64;
-    let env = env_flops as f64
-        / (DeviceModel::cpu_core().flops_per_sec * c.spec.node.cpu_cores as f64);
+    let env_flops = (w.episode_len * w.env_batch * n * n * 20) as u64;
+    let env =
+        env_flops as f64 / (DeviceModel::cpu_core().flops_per_sec * c.spec.node.cpu_cores as f64);
     // Joint-observation exchange per episode.
     let comm = c.net.allgather_time(&gpus, w.obs_bytes_per_agent());
     // All agents train in parallel.
@@ -759,9 +748,7 @@ mod tests {
     #[test]
     fn fig10b_multi_gpu_time_grows_then_stabilises() {
         let c = local();
-        let t = |gpus: usize| {
-            dp_d_episode(&GpuLoopWorkload::simple_tag(80_000 * gpus), &c, gpus)
-        };
+        let t = |gpus: usize| dp_d_episode(&GpuLoopWorkload::simple_tag(80_000 * gpus), &c, gpus);
         let t2 = t(2);
         let t12 = t(12);
         assert!(t12 > t2, "sync overhead grows");

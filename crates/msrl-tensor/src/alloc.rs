@@ -1,0 +1,140 @@
+//! A thread-local buffer pool for tensor output storage.
+//!
+//! Every tensor operator materialises its result into a fresh `Vec<f32>`;
+//! in an interpreter loop that is one heap allocation per graph node per
+//! step. The pool recycles those buffers: owners that know a tensor is
+//! dead (the FDG interpreter's refcounted arena, hot training loops) hand
+//! the storage back with [`Tensor::recycle`](crate::Tensor::recycle) or
+//! [`give`], and subsequent operator outputs are served from the free
+//! list by [`take_zeroed`] instead of the allocator.
+//!
+//! The pool is thread-local, so there is no synchronisation on the hot
+//! path and worker threads spawned by [`crate::par`] (which never
+//! allocate outputs — partitioning happens after the output buffer
+//! exists) are unaffected. Buffers are binned by exact length; the pool
+//! holds at most [`MAX_POOLED_ELEMS`] floats and silently drops returns
+//! beyond that, so it can never grow without bound.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Upper bound on pooled storage per thread, in `f32` elements (16 Mi
+/// elements = 64 MiB).
+pub const MAX_POOLED_ELEMS: usize = 16 * 1024 * 1024;
+
+/// Hit/miss counters for the calling thread's pool, for tests and
+/// diagnostics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `take_zeroed` calls served from the free list.
+    pub hits: u64,
+    /// `take_zeroed` calls that fell back to the allocator.
+    pub misses: u64,
+    /// Elements currently held in the free list.
+    pub pooled_elems: usize,
+}
+
+#[derive(Default)]
+struct Pool {
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+    stats: PoolStats,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool::default());
+}
+
+/// Returns a zero-filled buffer of exactly `len` elements, reusing a
+/// recycled buffer of the same length when one is pooled.
+pub fn take_zeroed(len: usize) -> Vec<f32> {
+    take_filled(len, 0.0)
+}
+
+/// As [`take_zeroed`], but every element is `value`.
+pub fn take_filled(len: usize, value: f32) -> Vec<f32> {
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if let Some(mut buf) = pool.buckets.get_mut(&len).and_then(Vec::pop) {
+            pool.stats.hits += 1;
+            pool.stats.pooled_elems -= len;
+            buf.fill(value);
+            buf
+        } else {
+            pool.stats.misses += 1;
+            vec![value; len]
+        }
+    })
+}
+
+/// Returns a buffer to the calling thread's pool. Buffers that would push
+/// the pool past [`MAX_POOLED_ELEMS`] (and zero-length buffers) are
+/// dropped instead.
+pub fn give(buf: Vec<f32>) {
+    let len = buf.len();
+    if len == 0 {
+        return;
+    }
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.stats.pooled_elems + len <= MAX_POOLED_ELEMS {
+            pool.stats.pooled_elems += len;
+            pool.buckets.entry(len).or_default().push(buf);
+        }
+    });
+}
+
+/// Current counters for the calling thread's pool.
+pub fn stats() -> PoolStats {
+    POOL.with(|p| p.borrow().stats)
+}
+
+/// Empties the calling thread's pool and resets its counters.
+pub fn clear() {
+    POOL.with(|p| *p.borrow_mut() = Pool::default());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_reuses_storage() {
+        clear();
+        let a = take_zeroed(128);
+        assert_eq!(stats().misses, 1);
+        give(a);
+        assert_eq!(stats().pooled_elems, 128);
+        let b = take_zeroed(128);
+        assert_eq!(stats().hits, 1);
+        assert!(b.iter().all(|&v| v == 0.0));
+        clear();
+    }
+
+    #[test]
+    fn recycled_buffers_come_back_zeroed() {
+        clear();
+        let mut a = take_zeroed(8);
+        a.iter_mut().for_each(|v| *v = 7.0);
+        give(a);
+        assert!(take_zeroed(8).iter().all(|&v| v == 0.0));
+        clear();
+    }
+
+    #[test]
+    fn mismatched_length_misses() {
+        clear();
+        give(vec![1.0; 16]);
+        let _ = take_zeroed(32);
+        assert_eq!(stats().misses, 1);
+        clear();
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        clear();
+        give(vec![0.0; MAX_POOLED_ELEMS]);
+        give(vec![0.0; 64]); // over budget: dropped
+        assert_eq!(stats().pooled_elems, MAX_POOLED_ELEMS);
+        clear();
+    }
+}

@@ -90,6 +90,7 @@ fn reduce_grad(grad: &Tensor, target: &[usize]) -> Tensor {
         g = ops::sum_axis(&g, 0).expect("rank checked above");
     }
     // Sum over axes where the target extent is 1 but the gradient's is not.
+    #[allow(clippy::needless_range_loop)] // indexes two slices in lockstep
     for axis in 0..g.rank() {
         if target[axis] == 1 && g.shape()[axis] != 1 {
             let summed = ops::sum_axis(&g, axis).expect("axis in range");
@@ -142,13 +143,10 @@ impl Tape {
             return Err(TensorError::UnknownVariable { id: loss.id });
         }
         let inner = self.inner.borrow();
-        let loss_node = inner.nodes.get(loss.id).ok_or(TensorError::UnknownVariable {
-            id: loss.id,
-        })?;
+        let loss_node =
+            inner.nodes.get(loss.id).ok_or(TensorError::UnknownVariable { id: loss.id })?;
         if loss_node.value.len() != 1 {
-            return Err(TensorError::NonScalarLoss {
-                shape: loss_node.value.shape().to_vec(),
-            });
+            return Err(TensorError::NonScalarLoss { shape: loss_node.value.shape().to_vec() });
         }
         let mut grads: Vec<Option<Tensor>> = vec![None; inner.nodes.len()];
         grads[loss.id] = Some(Tensor::full(loss_node.value.shape(), 1.0));
@@ -192,8 +190,7 @@ impl Var {
     }
 
     fn binary(&self, other: &Var, value: Tensor, lrule: GradFn, rrule: GradFn) -> Var {
-        self.tape
-            .record(value, vec![(self.id, lrule), (other.id, rrule)])
+        self.tape.record(value, vec![(self.id, lrule), (other.id, rrule)])
     }
 
     /// Element-wise addition with broadcasting.
@@ -246,14 +243,11 @@ impl Var {
         Ok(self.binary(
             other,
             out,
-            Box::new(move |g| {
-                reduce_grad(&ops::div(g, &bc2).expect("fwd shapes"), &sa)
-            }),
+            Box::new(move |g| reduce_grad(&ops::div(g, &bc2).expect("fwd shapes"), &sa)),
             Box::new(move |g| {
                 // d(a/b)/db = -a / b^2
                 let b2 = ops::square(&bc);
-                let t = ops::div(&ops::mul(g, &ac).expect("fwd shapes"), &b2)
-                    .expect("fwd shapes");
+                let t = ops::div(&ops::mul(g, &ac).expect("fwd shapes"), &b2).expect("fwd shapes");
                 reduce_grad(&ops::neg(&t), &sb)
             }),
         ))
@@ -271,10 +265,7 @@ impl Var {
 
     /// Multiplies by a constant scalar.
     pub fn mul_scalar(&self, s: f32) -> Var {
-        self.unary(
-            ops::mul_scalar(&self.value(), s),
-            Box::new(move |g| ops::mul_scalar(g, s)),
-        )
+        self.unary(ops::mul_scalar(&self.value(), s), Box::new(move |g| ops::mul_scalar(g, s)))
     }
 
     /// Matrix multiplication of rank-2 values.
@@ -300,57 +291,71 @@ impl Var {
     pub fn relu(&self) -> Var {
         let a = self.value();
         let out = ops::relu(&a);
-        Var::unary(self, out, Box::new(move |g| {
-            ops::zip_broadcast(g, &a, |gv, av| if av > 0.0 { gv } else { 0.0 })
-                .expect("same shape")
-        }))
+        Var::unary(
+            self,
+            out,
+            Box::new(move |g| {
+                ops::zip_broadcast(g, &a, |gv, av| if av > 0.0 { gv } else { 0.0 })
+                    .expect("same shape")
+            }),
+        )
     }
 
     /// Hyperbolic-tangent activation.
     pub fn tanh(&self) -> Var {
         let out = ops::tanh(&self.value());
         let oc = out.clone();
-        self.unary(out, Box::new(move |g| {
-            // d tanh(x)/dx = 1 - tanh(x)^2
-            ops::zip_broadcast(g, &oc, |gv, ov| gv * (1.0 - ov * ov)).expect("same shape")
-        }))
+        self.unary(
+            out,
+            Box::new(move |g| {
+                // d tanh(x)/dx = 1 - tanh(x)^2
+                ops::zip_broadcast(g, &oc, |gv, ov| gv * (1.0 - ov * ov)).expect("same shape")
+            }),
+        )
     }
 
     /// Logistic sigmoid activation.
     pub fn sigmoid(&self) -> Var {
         let out = ops::sigmoid(&self.value());
         let oc = out.clone();
-        self.unary(out, Box::new(move |g| {
-            ops::zip_broadcast(g, &oc, |gv, ov| gv * ov * (1.0 - ov)).expect("same shape")
-        }))
+        self.unary(
+            out,
+            Box::new(move |g| {
+                ops::zip_broadcast(g, &oc, |gv, ov| gv * ov * (1.0 - ov)).expect("same shape")
+            }),
+        )
     }
 
     /// Element-wise exponential.
     pub fn exp(&self) -> Var {
         let out = ops::exp(&self.value());
         let oc = out.clone();
-        self.unary(out, Box::new(move |g| {
-            ops::mul(g, &oc).expect("same shape")
-        }))
+        self.unary(out, Box::new(move |g| ops::mul(g, &oc).expect("same shape")))
     }
 
     /// Element-wise natural log (input clamped away from zero).
     pub fn ln(&self) -> Var {
         let a = self.value();
         let out = ops::ln(&a);
-        self.unary(out, Box::new(move |g| {
-            ops::zip_broadcast(g, &a, |gv, av| gv / av.max(f32::MIN_POSITIVE))
-                .expect("same shape")
-        }))
+        self.unary(
+            out,
+            Box::new(move |g| {
+                ops::zip_broadcast(g, &a, |gv, av| gv / av.max(f32::MIN_POSITIVE))
+                    .expect("same shape")
+            }),
+        )
     }
 
     /// Element-wise square.
     pub fn square(&self) -> Var {
         let a = self.value();
         let out = ops::square(&a);
-        self.unary(out, Box::new(move |g| {
-            ops::zip_broadcast(g, &a, |gv, av| gv * 2.0 * av).expect("same shape")
-        }))
+        self.unary(
+            out,
+            Box::new(move |g| {
+                ops::zip_broadcast(g, &a, |gv, av| gv * 2.0 * av).expect("same shape")
+            }),
+        )
     }
 
     /// Element-wise clamp. Gradients pass through only inside `[lo, hi]`
@@ -358,10 +363,13 @@ impl Var {
     pub fn clamp(&self, lo: f32, hi: f32) -> Var {
         let a = self.value();
         let out = ops::clamp(&a, lo, hi);
-        self.unary(out, Box::new(move |g| {
-            ops::zip_broadcast(g, &a, |gv, av| if av >= lo && av <= hi { gv } else { 0.0 })
-                .expect("same shape")
-        }))
+        self.unary(
+            out,
+            Box::new(move |g| {
+                ops::zip_broadcast(g, &a, |gv, av| if av >= lo && av <= hi { gv } else { 0.0 })
+                    .expect("same shape")
+            }),
+        )
     }
 
     /// Element-wise minimum of two variables; the gradient routes to
@@ -401,20 +409,26 @@ impl Var {
     /// Sum of all elements (scalar output).
     pub fn sum(&self) -> Var {
         let shape = self.value().shape().to_vec();
-        self.unary(ops::sum_all(&self.value()), Box::new(move |g| {
-            let gv = g.item().expect("scalar grad");
-            Tensor::full(&shape, gv)
-        }))
+        self.unary(
+            ops::sum_all(&self.value()),
+            Box::new(move |g| {
+                let gv = g.item().expect("scalar grad");
+                Tensor::full(&shape, gv)
+            }),
+        )
     }
 
     /// Mean of all elements (scalar output).
     pub fn mean(&self) -> Var {
         let shape = self.value().shape().to_vec();
         let n = self.value().len().max(1) as f32;
-        self.unary(ops::mean_all(&self.value()), Box::new(move |g| {
-            let gv = g.item().expect("scalar grad") / n;
-            Tensor::full(&shape, gv)
-        }))
+        self.unary(
+            ops::mean_all(&self.value()),
+            Box::new(move |g| {
+                let gv = g.item().expect("scalar grad") / n;
+                Tensor::full(&shape, gv)
+            }),
+        )
     }
 
     /// Row-wise log-softmax of a rank-2 value.
@@ -422,20 +436,23 @@ impl Var {
         let a = self.value();
         let out = ops::log_softmax_rows(&a)?;
         let soft = ops::exp(&out);
-        Ok(self.unary(out, Box::new(move |g| {
-            // d log_softmax / dx: G - softmax * rowsum(G)
-            let (m, n) = (soft.shape()[0], soft.shape()[1]);
-            let mut res = vec![0.0f32; m * n];
-            for i in 0..m {
-                let grow = &g.data()[i * n..(i + 1) * n];
-                let srow = &soft.data()[i * n..(i + 1) * n];
-                let gsum: f32 = grow.iter().sum();
-                for j in 0..n {
-                    res[i * n + j] = grow[j] - srow[j] * gsum;
+        Ok(self.unary(
+            out,
+            Box::new(move |g| {
+                // d log_softmax / dx: G - softmax * rowsum(G)
+                let (m, n) = (soft.shape()[0], soft.shape()[1]);
+                let mut res = vec![0.0f32; m * n];
+                for i in 0..m {
+                    let grow = &g.data()[i * n..(i + 1) * n];
+                    let srow = &soft.data()[i * n..(i + 1) * n];
+                    let gsum: f32 = grow.iter().sum();
+                    for j in 0..n {
+                        res[i * n + j] = grow[j] - srow[j] * gsum;
+                    }
                 }
-            }
-            Tensor::from_vec(res, &[m, n]).expect("same shape")
-        })))
+                Tensor::from_vec(res, &[m, n]).expect("same shape")
+            }),
+        ))
     }
 
     /// Selects one element per row: `out[i] = self[i, idx[i]]`.
@@ -444,13 +461,16 @@ impl Var {
         let out = ops::select_per_row(&a, idx)?;
         let idx = idx.to_vec();
         let (m, n) = (a.shape()[0], a.shape()[1]);
-        Ok(self.unary(out, Box::new(move |g| {
-            let mut res = vec![0.0f32; m * n];
-            for (i, &j) in idx.iter().enumerate() {
-                res[i * n + j] = g.data()[i];
-            }
-            Tensor::from_vec(res, &[m, n]).expect("shape fixed")
-        })))
+        Ok(self.unary(
+            out,
+            Box::new(move |g| {
+                let mut res = vec![0.0f32; m * n];
+                for (i, &j) in idx.iter().enumerate() {
+                    res[i * n + j] = g.data()[i];
+                }
+                Tensor::from_vec(res, &[m, n]).expect("shape fixed")
+            }),
+        ))
     }
 
     /// Reshape (gradient reshapes back).
@@ -458,9 +478,7 @@ impl Var {
         let a = self.value();
         let out = a.reshape(dims)?;
         let orig = a.shape().to_vec();
-        Ok(self.unary(out, Box::new(move |g| {
-            g.reshape(&orig).expect("volume unchanged")
-        })))
+        Ok(self.unary(out, Box::new(move |g| g.reshape(&orig).expect("volume unchanged"))))
     }
 
     /// Detaches the value from the tape: the result is a fresh leaf, so no
@@ -485,9 +503,8 @@ impl Var {
     /// Transpose of a rank-2 value (gradient transposes back).
     pub fn transpose(&self) -> Result<Var> {
         let out = ops::transpose(&self.value())?;
-        Ok(self.unary(out, Box::new(|g| {
-            ops::transpose(g).expect("gradient of a matrix is a matrix")
-        })))
+        Ok(self
+            .unary(out, Box::new(|g| ops::transpose(g).expect("gradient of a matrix is a matrix"))))
     }
 
     /// Sum along `axis`, removing that axis; the gradient broadcasts back.
@@ -495,22 +512,27 @@ impl Var {
         let a = self.value();
         let out = ops::sum_axis(&a, axis)?;
         let in_shape = a.shape().to_vec();
-        Ok(self.unary(out, Box::new(move |g| {
-            // Re-insert the reduced axis as extent 1 and broadcast-add into
-            // a zero tensor of the input shape.
-            let mut unit = g.shape().to_vec();
-            unit.insert(axis, 1);
-            let g1 = g.reshape(&unit).expect("volume unchanged");
-            ops::add(&Tensor::zeros(&in_shape), &g1).expect("broadcast to input shape")
-        })))
+        Ok(self.unary(
+            out,
+            Box::new(move |g| {
+                // Re-insert the reduced axis as extent 1 and broadcast-add into
+                // a zero tensor of the input shape.
+                let mut unit = g.shape().to_vec();
+                unit.insert(axis, 1);
+                let g1 = g.reshape(&unit).expect("volume unchanged");
+                ops::add(&Tensor::zeros(&in_shape), &g1).expect("broadcast to input shape")
+            }),
+        ))
     }
 
     /// Mean along `axis`, removing that axis.
     pub fn mean_axis(&self, axis: usize) -> Result<Var> {
-        let n = *self.value().shape().get(axis).ok_or(TensorError::AxisOutOfRange {
-            axis,
-            rank: self.value().rank(),
-        })? as f32;
+        let n = *self
+            .value()
+            .shape()
+            .get(axis)
+            .ok_or(TensorError::AxisOutOfRange { axis, rank: self.value().rank() })?
+            as f32;
         Ok(self.sum_axis(axis)?.mul_scalar(1.0 / n))
     }
 }
@@ -581,10 +603,7 @@ mod tests {
     fn backward_requires_scalar() {
         let tape = Tape::new();
         let x = tape.var(t(&[1.0, 2.0], &[2]));
-        assert!(matches!(
-            tape.backward(&x),
-            Err(TensorError::NonScalarLoss { .. })
-        ));
+        assert!(matches!(tape.backward(&x), Err(TensorError::NonScalarLoss { .. })));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod autograd;
 pub mod dist;
 pub mod error;
@@ -43,10 +44,12 @@ pub mod init;
 pub mod nn;
 pub mod ops;
 pub mod optim;
+pub mod par;
 pub mod shape;
 pub mod tensor;
 
 pub use error::TensorError;
+pub use par::Backend;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

@@ -107,10 +107,7 @@ impl Mlp {
         rng: &mut StdRng,
     ) -> Self {
         assert!(sizes.len() >= 2, "an MLP needs at least input and output widths");
-        let layers = sizes
-            .windows(2)
-            .map(|w| Linear::new(w[0], w[1], rng))
-            .collect();
+        let layers = sizes.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
         Mlp { layers, hidden_activation, output_activation }
     }
 
@@ -250,11 +247,8 @@ impl MlpBinding {
             let w = &self.params[2 * i];
             let b = &self.params[2 * i + 1];
             h = h.matmul(w)?.add(b)?;
-            let act = if i == n_layers - 1 {
-                self.output_activation
-            } else {
-                self.hidden_activation
-            };
+            let act =
+                if i == n_layers - 1 { self.output_activation } else { self.hidden_activation };
             h = act.apply_var(&h);
         }
         Ok(h)

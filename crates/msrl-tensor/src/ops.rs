@@ -7,7 +7,8 @@
 //! MindSpore operators.
 
 use crate::error::TensorError;
-use crate::shape::Shape;
+use crate::par;
+use crate::shape::{BroadcastPlan, Shape};
 use crate::tensor::Tensor;
 use crate::Result;
 
@@ -16,31 +17,67 @@ use crate::Result;
 // ---------------------------------------------------------------------------
 
 /// Applies `f` element-wise over the broadcast of `a` and `b`.
-pub fn zip_broadcast(
-    a: &Tensor,
-    b: &Tensor,
-    f: impl Fn(f32, f32) -> f32,
-) -> Result<Tensor> {
+///
+/// Addressing goes through a precomputed [`BroadcastPlan`] — no
+/// per-element coordinate vectors — and large outputs are partitioned
+/// across worker threads under [`par::Backend::Threaded`].
+pub fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Result<Tensor> {
     let out_shape = a.shape_obj().broadcast(b.shape_obj())?;
-    // Fast path: identical shapes need no coordinate arithmetic.
+    let vol = out_shape.volume();
+    let ad = a.data();
+    let bd = b.data();
+    let mut data = crate::alloc::take_zeroed(vol);
+    // Fast path: identical shapes need no plan at all.
     if a.shape() == b.shape() {
-        let data = a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)).collect();
+        let fill = |offset: usize, chunk: &mut [f32]| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = f(ad[offset + i], bd[offset + i]);
+            }
+        };
+        if par::should_parallelize(vol, par::PAR_MIN_ELEMS) {
+            par::fill_chunks(&mut data, fill);
+        } else {
+            fill(0, &mut data);
+        }
         return Tensor::from_vec(data, out_shape.dims());
     }
-    let vol = out_shape.volume();
-    let mut data = Vec::with_capacity(vol);
-    for i in 0..vol {
-        let coords = out_shape.unravel(i);
-        let x = a.data()[a.shape_obj().ravel_broadcast(&coords)];
-        let y = b.data()[b.shape_obj().ravel_broadcast(&coords)];
-        data.push(f(x, y));
+    let plan = BroadcastPlan::new(a.shape_obj(), b.shape_obj(), &out_shape);
+    let inner = plan.inner();
+    let (ais, bis) = plan.inner_strides();
+    let fill = |offset: usize, chunk: &mut [f32]| {
+        let run0 = offset / inner;
+        let runs = chunk.len() / inner;
+        let mut w = 0;
+        plan.for_each_base(run0..run0 + runs, |a_base, b_base| {
+            for t in 0..inner {
+                chunk[w] = f(ad[a_base + t * ais], bd[b_base + t * bis]);
+                w += 1;
+            }
+        });
+    };
+    if par::should_parallelize(vol, par::PAR_MIN_ELEMS) && plan.outer_steps() > 1 {
+        par::fill_chunks_aligned(&mut data, inner, fill);
+    } else {
+        fill(0, &mut data);
     }
     Tensor::from_vec(data, out_shape.dims())
 }
 
-/// Applies `f` element-wise to a single tensor.
-pub fn map(a: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
-    let data = a.data().iter().map(|&x| f(x)).collect();
+/// Applies `f` element-wise to a single tensor (chunk-parallel under the
+/// threaded backend).
+pub fn map(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    let ad = a.data();
+    let mut data = crate::alloc::take_zeroed(ad.len());
+    let fill = |offset: usize, chunk: &mut [f32]| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            *slot = f(ad[offset + i]);
+        }
+    };
+    if par::should_parallelize(ad.len(), par::PAR_MIN_ELEMS) {
+        par::fill_chunks(&mut data, fill);
+    } else {
+        fill(0, &mut data);
+    }
     Tensor::from_vec(data, a.shape()).expect("map preserves shape")
 }
 
@@ -162,25 +199,50 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
             rhs: b.shape().to_vec(),
         });
     }
-    let mut out = vec![0.0f32; m * n];
+    let mut out = crate::alloc::take_zeroed(m * n);
     let ad = a.data();
     let bd = b.data();
-    // i-k-j loop order keeps the inner loop contiguous over both `bd` and
-    // `out`, which is the cache-friendly order for row-major data.
-    for i in 0..m {
-        for kk in 0..k {
-            let av = ad[i * k + kk];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[kk * n..(kk + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for j in 0..n {
-                orow[j] += av * brow[j];
-            }
-        }
+    // Row blocks are independent, so the threaded backend partitions the
+    // output by rows; every element accumulates over `k` in ascending
+    // order on both backends, keeping them bit-exact.
+    if par::should_parallelize(m * k * n, par::PAR_MIN_FLOPS) && m > 1 && n > 0 {
+        par::fill_chunks_aligned(&mut out, n, |offset, chunk| {
+            matmul_rows(ad, bd, offset / n, chunk, k, n);
+        });
+    } else {
+        matmul_rows(ad, bd, 0, &mut out, k, n);
     }
     Tensor::from_vec(out, &[m, n])
+}
+
+/// Accumulates `out_rows` (rows `row0..` of the product) serially.
+///
+/// i-k-j order keeps the inner loop contiguous over `b` and the output;
+/// rows are processed in small blocks so each streamed row of `b` is
+/// reused across the whole block while hot in cache. There is
+/// deliberately no skip of zero elements of `a`: IEEE semantics require
+/// `0 × NaN` and `0 × ∞` to contaminate the accumulator.
+fn matmul_rows(ad: &[f32], bd: &[f32], row0: usize, out_rows: &mut [f32], k: usize, n: usize) {
+    const MM_ROW_BLOCK: usize = 4;
+    if n == 0 {
+        return;
+    }
+    let rows = out_rows.len() / n;
+    let mut r = 0;
+    while r < rows {
+        let block = (rows - r).min(MM_ROW_BLOCK);
+        for kk in 0..k {
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for rr in r..r + block {
+                let av = ad[(row0 + rr) * k + kk];
+                let orow = &mut out_rows[rr * n..(rr + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        r += block;
+    }
 }
 
 /// Transpose of a rank-2 tensor.
@@ -193,7 +255,7 @@ pub fn transpose(a: &Tensor) -> Result<Tensor> {
         return Err(TensorError::RankMismatch { op: "transpose", expected: 2, actual: a.rank() });
     }
     let (m, n) = (a.shape()[0], a.shape()[1]);
-    let mut out = vec![0.0f32; m * n];
+    let mut out = crate::alloc::take_zeroed(m * n);
     for i in 0..m {
         for j in 0..n {
             out[j * m + i] = a.data()[i * n + j];
@@ -207,8 +269,17 @@ pub fn transpose(a: &Tensor) -> Result<Tensor> {
 // ---------------------------------------------------------------------------
 
 /// Sum of all elements, as a scalar tensor.
+///
+/// Under the threaded backend, large tensors sum per worker chunk and
+/// the partials combine in chunk order — deterministic for a fixed
+/// worker count, and equal to the scalar backend up to f32 rounding.
 pub fn sum_all(a: &Tensor) -> Tensor {
-    Tensor::scalar(a.data().iter().sum())
+    let d = a.data();
+    if par::should_parallelize(d.len(), par::PAR_MIN_ELEMS) {
+        let partials = par::map_ranges(d.len(), |r| d[r].iter().sum::<f32>());
+        return Tensor::scalar(partials.iter().sum());
+    }
+    Tensor::scalar(d.iter().sum())
 }
 
 /// Mean of all elements, as a scalar tensor. Empty tensors yield 0.
@@ -216,7 +287,7 @@ pub fn mean_all(a: &Tensor) -> Tensor {
     if a.is_empty() {
         return Tensor::scalar(0.0);
     }
-    Tensor::scalar(a.data().iter().sum::<f32>() / a.len() as f32)
+    Tensor::scalar(sum_all(a).data()[0] / a.len() as f32)
 }
 
 /// Maximum of all elements, as a scalar tensor.
@@ -232,11 +303,16 @@ pub fn max_all(a: &Tensor) -> Result<Tensor> {
 }
 
 /// Reduces along `axis` with the accumulator `f`, removing that axis.
+///
+/// Output slots are independent, so the threaded backend partitions
+/// them across workers (in groups that keep each outer slice whole);
+/// every slot folds over the reduced axis in ascending order on both
+/// backends, so results are bit-exact across backends.
 fn reduce_axis(
     a: &Tensor,
     axis: usize,
     init: f32,
-    f: impl Fn(f32, f32) -> f32,
+    f: impl Fn(f32, f32) -> f32 + Sync,
 ) -> Result<Tensor> {
     if axis >= a.rank() {
         return Err(TensorError::AxisOutOfRange { axis, rank: a.rank() });
@@ -245,15 +321,24 @@ fn reduce_axis(
     let outer: usize = dims[..axis].iter().product();
     let mid = dims[axis];
     let inner: usize = dims[axis + 1..].iter().product();
-    let mut out = vec![init; outer * inner];
-    for o in 0..outer {
-        for m in 0..mid {
-            for i in 0..inner {
-                let v = a.data()[o * mid * inner + m * inner + i];
-                let slot = &mut out[o * inner + i];
-                *slot = f(*slot, v);
+    let ad = a.data();
+    let mut out = crate::alloc::take_filled(outer * inner, init);
+    let fill = |offset: usize, chunk: &mut [f32]| {
+        let o0 = offset / inner.max(1);
+        for (oi, group) in chunk.chunks_mut(inner.max(1)).enumerate() {
+            let o = o0 + oi;
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                for (i, slot) in group.iter_mut().enumerate() {
+                    *slot = f(*slot, ad[base + i]);
+                }
             }
         }
+    };
+    if inner > 0 && outer > 1 && par::should_parallelize(a.len(), par::PAR_MIN_ELEMS) {
+        par::fill_chunks_aligned(&mut out, inner, fill);
+    } else {
+        fill(0, &mut out);
     }
     let mut out_dims: Vec<usize> = dims[..axis].to_vec();
     out_dims.extend_from_slice(&dims[axis + 1..]);
@@ -267,10 +352,8 @@ pub fn sum_axis(a: &Tensor, axis: usize) -> Result<Tensor> {
 
 /// Mean along `axis`, removing that axis.
 pub fn mean_axis(a: &Tensor, axis: usize) -> Result<Tensor> {
-    let n = *a.shape().get(axis).ok_or(TensorError::AxisOutOfRange {
-        axis,
-        rank: a.rank(),
-    })? as f32;
+    let n =
+        *a.shape().get(axis).ok_or(TensorError::AxisOutOfRange { axis, rank: a.rank() })? as f32;
     Ok(mul_scalar(&sum_axis(a, axis)?, 1.0 / n))
 }
 
@@ -333,14 +416,27 @@ pub fn log_softmax_rows(a: &Tensor) -> Result<Tensor> {
         });
     }
     let (m, n) = (a.shape()[0], a.shape()[1]);
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let row = &a.data()[i * n..(i + 1) * n];
-        let max = row.iter().fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
-        let lse = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
-        for j in 0..n {
-            out[i * n + j] = row[j] - lse;
+    let ad = a.data();
+    let mut out = crate::alloc::take_zeroed(m * n);
+    if out.is_empty() {
+        return Tensor::from_vec(out, &[m, n]);
+    }
+    // Rows are independent; the threaded backend splits them across
+    // workers with identical per-row arithmetic (bit-exact).
+    let fill = |offset: usize, chunk: &mut [f32]| {
+        for (r, orow) in chunk.chunks_mut(n).enumerate() {
+            let row = &ad[offset + r * n..offset + (r + 1) * n];
+            let max = row.iter().fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
+            let lse = row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln() + max;
+            for (o, &v) in orow.iter_mut().zip(row) {
+                *o = v - lse;
+            }
         }
+    };
+    if n > 0 && m > 1 && par::should_parallelize(m * n, par::PAR_MIN_ELEMS) {
+        par::fill_chunks_aligned(&mut out, n, fill);
+    } else {
+        fill(0, &mut out);
     }
     Tensor::from_vec(out, &[m, n])
 }
@@ -364,7 +460,11 @@ pub fn concat(parts: &[&Tensor], axis: usize) -> Result<Tensor> {
     let mut axis_total = 0;
     for p in parts {
         if p.rank() != rank {
-            return Err(TensorError::RankMismatch { op: "concat", expected: rank, actual: p.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "concat",
+                expected: rank,
+                actual: p.rank(),
+            });
         }
         for (d, (&a, &b)) in first.shape().iter().zip(p.shape()).enumerate() {
             if d != axis && a != b {
@@ -445,10 +545,7 @@ pub fn unstack(a: &Tensor, n: usize) -> Result<Vec<Tensor>> {
     let chunk_len = a.len() / n;
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
-        out.push(Tensor::from_vec(
-            a.data()[i * chunk_len..(i + 1) * chunk_len].to_vec(),
-            &dims,
-        )?);
+        out.push(Tensor::from_vec(a.data()[i * chunk_len..(i + 1) * chunk_len].to_vec(), &dims)?);
     }
     Ok(out)
 }
@@ -547,6 +644,16 @@ mod tests {
         assert_eq!(c.shape(), &[3, 4]);
         assert_eq!(&c.data()[..4], &[2.0, 3.0, 4.0, 5.0]);
         assert_eq!(&c.data()[8..], &[8.0, 10.0, 12.0, 14.0]);
+    }
+
+    /// IEEE semantics: a zero in the left operand must not short-circuit
+    /// the accumulation, because `0 × NaN = NaN` and `0 × ∞ = NaN`.
+    #[test]
+    fn matmul_propagates_nan_and_inf_through_zeros() {
+        let a = t(&[0.0, 0.0], &[1, 2]);
+        let b = t(&[f32::NAN, f32::INFINITY], &[2, 1]);
+        let c = matmul(&a, &b).unwrap();
+        assert!(c.data()[0].is_nan(), "0·NaN + 0·∞ must be NaN, got {}", c.data()[0]);
     }
 
     #[test]

@@ -134,7 +134,10 @@ impl Optimizer for Adam {
             self.v = grads.iter().map(|g| Tensor::zeros(g.shape())).collect();
         }
         if self.m.len() != grads.len() {
-            return Err(TensorError::LengthMismatch { expected: self.m.len(), actual: grads.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: self.m.len(),
+                actual: grads.len(),
+            });
         }
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);

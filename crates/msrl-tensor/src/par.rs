@@ -1,0 +1,217 @@
+//! Execution-backend selection and scoped-thread parallel helpers.
+//!
+//! The tensor kernels in [`crate::ops`] run under one of two backends:
+//!
+//! * [`Backend::Scalar`] — single-threaded reference kernels; the
+//!   bit-exact baseline every other backend is validated against.
+//! * [`Backend::Threaded`] — the same kernels partitioned over OS
+//!   threads with `std::thread::scope`. Partitioning is always along
+//!   *output* regions, so no two threads write the same element and the
+//!   per-element accumulation order matches the scalar backend (matmul
+//!   and axis reductions are bit-exact across backends; whole-tensor
+//!   sums split per chunk and agree to rounding).
+//!
+//! The backend is process-global: resolved once from the
+//! `MSRL_BACKEND` environment variable (`scalar` | `threaded`,
+//! defaulting to `threaded`) and overridable programmatically with
+//! [`set_backend`]. Worker count comes from `MSRL_THREADS` when set
+//! (useful to exercise multi-chunk paths on small machines) and
+//! otherwise from [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which execution strategy the tensor kernels use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Single-threaded reference kernels.
+    Scalar,
+    /// Kernels partitioned across scoped OS threads.
+    Threaded,
+}
+
+const UNSET: u8 = 0;
+const SCALAR: u8 = 1;
+const THREADED: u8 = 2;
+
+static BACKEND: AtomicU8 = AtomicU8::new(UNSET);
+
+/// Returns the active global backend, resolving `MSRL_BACKEND` on first
+/// use.
+pub fn backend() -> Backend {
+    match BACKEND.load(Ordering::Relaxed) {
+        SCALAR => Backend::Scalar,
+        THREADED => Backend::Threaded,
+        _ => {
+            let resolved = match std::env::var("MSRL_BACKEND").as_deref() {
+                Ok("scalar") | Ok("Scalar") | Ok("SCALAR") => Backend::Scalar,
+                _ => Backend::Threaded,
+            };
+            set_backend(resolved);
+            resolved
+        }
+    }
+}
+
+/// Overrides the global backend (takes precedence over `MSRL_BACKEND`).
+pub fn set_backend(b: Backend) {
+    let raw = match b {
+        Backend::Scalar => SCALAR,
+        Backend::Threaded => THREADED,
+    };
+    BACKEND.store(raw, Ordering::Relaxed);
+}
+
+/// Runs `f` with the given backend active, then restores the previous
+/// one. Intended for tests and benchmarks that compare backends; the
+/// switch is process-global, so concurrent callers of this function
+/// race (the test suites that use it run their comparisons within one
+/// test body).
+pub fn with_backend<T>(b: Backend, f: impl FnOnce() -> T) -> T {
+    let prev = backend();
+    set_backend(b);
+    let out = f();
+    set_backend(prev);
+    out
+}
+
+/// Worker-thread count for the threaded backend.
+///
+/// `MSRL_THREADS` wins when parseable and non-zero; otherwise the
+/// host's available parallelism. Re-read on every call so tests can
+/// force multi-chunk execution regardless of initialization order.
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("MSRL_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Elements below which threaded kernels stay serial: thread spawn and
+/// join cost more than the work they would cover.
+pub const PAR_MIN_ELEMS: usize = 16 * 1024;
+
+/// Multiply–add count below which matmul stays serial.
+pub const PAR_MIN_FLOPS: usize = 64 * 64 * 64;
+
+/// True when the active backend wants `work_items` split over threads.
+///
+/// `MSRL_PAR_MIN`, when set, overrides `serial_below`; tests set it to 1
+/// so tiny inputs still exercise the multi-chunk code paths.
+pub fn should_parallelize(work_items: usize, serial_below: usize) -> bool {
+    let cutoff =
+        std::env::var("MSRL_PAR_MIN").ok().and_then(|v| v.parse().ok()).unwrap_or(serial_below);
+    backend() == Backend::Threaded && work_items >= cutoff && thread_count() > 1
+}
+
+/// Splits `out` into one contiguous chunk per worker and runs
+/// `f(offset_of_chunk, chunk)` for each on scoped threads.
+///
+/// Chunk boundaries depend only on `out.len()` and the worker count, so
+/// results are deterministic for a fixed configuration. With one worker
+/// this degenerates to a plain call on the full slice.
+pub fn fill_chunks<T, F>(out: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let workers = thread_count().min(out.len().max(1));
+    let chunk_len = out.len().div_ceil(workers);
+    if workers <= 1 || chunk_len == 0 {
+        f(0, out);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (idx, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(idx * chunk_len, chunk));
+        }
+    });
+}
+
+/// As [`fill_chunks`], but chunk boundaries are multiples of `align`
+/// elements — used when `out` is made of logical records (matrix rows,
+/// broadcast runs) that must not straddle two workers.
+pub fn fill_chunks_aligned<T, F>(out: &mut [T], align: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(align > 0 && out.len().is_multiple_of(align), "output must be whole records");
+    let records = out.len() / align;
+    let workers = thread_count().min(records.max(1));
+    let chunk_len = records.div_ceil(workers) * align;
+    if workers <= 1 || chunk_len == 0 {
+        f(0, out);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for (idx, chunk) in out.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(idx * chunk_len, chunk));
+        }
+    });
+}
+
+/// Partitions `0..n` into one contiguous range per worker and runs
+/// `f(range)` for each on scoped threads, collecting the per-range
+/// results in range order.
+pub fn map_ranges<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(std::ops::Range<usize>) -> T + Sync,
+{
+    let workers = thread_count().min(n.max(1));
+    let chunk = n.div_ceil(workers);
+    if workers <= 1 || chunk == 0 {
+        return vec![f(0..n)];
+    }
+    let starts: Vec<usize> = (0..workers).map(|w| w * chunk).filter(|&s| s < n).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = starts
+            .iter()
+            .map(|&s| {
+                let f = &f;
+                scope.spawn(move || f(s..(s + chunk).min(n)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker must not panic")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_chunks_covers_every_slot() {
+        std::env::set_var("MSRL_THREADS", "4");
+        let mut out = vec![0usize; 103];
+        fill_chunks(&mut out, |offset, chunk| {
+            for (i, slot) in chunk.iter_mut().enumerate() {
+                *slot = offset + i;
+            }
+        });
+        std::env::remove_var("MSRL_THREADS");
+        assert!(out.iter().enumerate().all(|(i, &v)| i == v));
+    }
+
+    #[test]
+    fn map_ranges_preserves_order() {
+        std::env::set_var("MSRL_THREADS", "3");
+        let sums = map_ranges(100, |r| r.sum::<usize>());
+        std::env::remove_var("MSRL_THREADS");
+        assert_eq!(sums.iter().sum::<usize>(), 4950);
+    }
+
+    #[test]
+    fn backend_override_round_trips() {
+        let prev = backend();
+        let inside = with_backend(Backend::Scalar, backend);
+        assert_eq!(inside, Backend::Scalar);
+        assert_eq!(backend(), prev);
+    }
+}

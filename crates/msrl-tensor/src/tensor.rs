@@ -106,6 +106,13 @@ impl Tensor {
         self.data
     }
 
+    /// Consumes the tensor, returning its storage to the thread-local
+    /// buffer pool (see [`crate::alloc`]) so a later operator output of
+    /// the same length skips its heap allocation.
+    pub fn recycle(self) {
+        crate::alloc::give(self.data);
+    }
+
     /// The single value of a scalar or one-element tensor.
     ///
     /// # Errors

@@ -6,11 +6,24 @@
 //! (fusion) round-trip that MSRL's fragment-fusion pass relies on.
 
 use msrl_tensor::autograd::Tape;
-use msrl_tensor::{ops, Tensor};
+use msrl_tensor::{ops, par, Backend, Tensor};
 use proptest::prelude::*;
 
 fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
     proptest::collection::vec(-3.0f32..3.0, len)
+}
+
+/// Evaluates `f` once under each backend and returns
+/// `(scalar_result, threaded_result)`. Forces 4 workers and a parallel
+/// threshold of 1 so even tiny property-test inputs take the
+/// multi-chunk threaded code paths.
+fn on_both_backends<T>(f: impl Fn() -> T) -> (T, T) {
+    std::env::set_var("MSRL_THREADS", "4");
+    std::env::set_var("MSRL_PAR_MIN", "1");
+    let scalar = par::with_backend(Backend::Scalar, &f);
+    let threaded = par::with_backend(Backend::Threaded, &f);
+    std::env::remove_var("MSRL_PAR_MIN");
+    (scalar, threaded)
 }
 
 proptest! {
@@ -154,5 +167,79 @@ proptest! {
         prop_assert_eq!(c.shape(), &[n1 + n2, 3]);
         prop_assert_eq!(c.data()[..n1 * 3].iter().sum::<f32>(), (n1 * 3) as f32);
         prop_assert_eq!(c.data()[n1 * 3..].iter().sum::<f32>(), (n2 * 6) as f32);
+    }
+
+    /// Threaded matmul partitions rows across workers but keeps the scalar
+    /// backend's per-row accumulation order, so the two backends must agree
+    /// bit-for-bit (far inside the 1e-5 budget) — including degenerate
+    /// m = 1 / k = 1 / n = 1 shapes.
+    #[test]
+    fn backend_matmul_agrees(
+        m in 1usize..9, k in 1usize..9, n in 1usize..9,
+        av in small_vec(64), bv in small_vec(64)
+    ) {
+        let a = Tensor::from_vec(av[..m * k].to_vec(), &[m, k]).unwrap();
+        let b = Tensor::from_vec(bv[..k * n].to_vec(), &[k, n]).unwrap();
+        let (scalar, threaded) = on_both_backends(|| ops::matmul(&a, &b).unwrap());
+        prop_assert_eq!(scalar, threaded);
+    }
+
+    /// Broadcast arithmetic under the strided `BroadcastPlan` must match the
+    /// scalar backend element-for-element across shape pairs that exercise
+    /// unit axes, rank padding, and all-degenerate operands.
+    #[test]
+    fn backend_broadcast_agrees(case in 0usize..8, av in small_vec(128), bv in small_vec(128)) {
+        let (sa, sb): (&[usize], &[usize]) = match case {
+            0 => (&[4, 5], &[4, 5]),
+            1 => (&[4, 5], &[5]),
+            2 => (&[4, 5], &[1]),
+            3 => (&[3, 1, 5], &[1, 4, 1]),
+            4 => (&[1, 1], &[6, 1]),
+            5 => (&[2, 1, 3, 1], &[1, 4, 1, 5]),
+            6 => (&[7], &[1]),
+            _ => (&[2, 3, 4], &[3, 1]),
+        };
+        let vol = |s: &[usize]| s.iter().product::<usize>();
+        let a = Tensor::from_vec(av[..vol(sa)].to_vec(), sa).unwrap();
+        let b = Tensor::from_vec(bv[..vol(sb)].to_vec(), sb).unwrap();
+        let (add_s, add_t) = on_both_backends(|| ops::add(&a, &b).unwrap());
+        prop_assert_eq!(add_s, add_t);
+        let (mul_s, mul_t) = on_both_backends(|| ops::mul(&a, &b).unwrap());
+        prop_assert_eq!(mul_s, mul_t);
+    }
+
+    /// Axis reductions partition over output groups (bit-exact across
+    /// backends); whole-tensor sums split into per-chunk partials and must
+    /// agree to rounding.
+    #[test]
+    fn backend_reductions_agree(
+        d0 in 1usize..5, d1 in 1usize..5, d2 in 1usize..5,
+        axis in 0usize..3, vals in small_vec(64)
+    ) {
+        let t = Tensor::from_vec(vals[..d0 * d1 * d2].to_vec(), &[d0, d1, d2]).unwrap();
+        let (sum_s, sum_t) = on_both_backends(|| ops::sum_axis(&t, axis).unwrap());
+        prop_assert_eq!(sum_s, sum_t);
+        let (max_s, max_t) = on_both_backends(|| ops::max_axis(&t, axis).unwrap());
+        prop_assert_eq!(max_s, max_t);
+        let (mean_s, mean_t) = on_both_backends(|| ops::mean_axis(&t, axis).unwrap());
+        prop_assert_eq!(mean_s, mean_t);
+        let (all_s, all_t) = on_both_backends(|| ops::sum_all(&t).item().unwrap());
+        prop_assert!(
+            (all_s - all_t).abs() <= 1e-5 * (1.0 + all_s.abs()),
+            "sum_all diverged: {} vs {}", all_s, all_t
+        );
+    }
+
+    /// Row-softmax and element-wise maps partition on whole rows/chunks and
+    /// must agree bit-for-bit with the scalar backend.
+    #[test]
+    fn backend_softmax_and_map_agree(m in 1usize..7, n in 1usize..7, vals in small_vec(36)) {
+        let t = Tensor::from_vec(vals[..m * n].to_vec(), &[m, n]).unwrap();
+        let (ls_s, ls_t) = on_both_backends(|| ops::log_softmax_rows(&t).unwrap());
+        prop_assert_eq!(ls_s, ls_t);
+        let (sm_s, sm_t) = on_both_backends(|| ops::softmax_rows(&t).unwrap());
+        prop_assert_eq!(sm_s, sm_t);
+        let (map_s, map_t) = on_both_backends(|| ops::map(&t, f32::tanh));
+        prop_assert_eq!(map_s, map_t);
     }
 }

@@ -23,8 +23,7 @@ fn main() {
         seed: 21,
         ..DistPpoConfig::default()
     };
-    let make =
-        |a: usize, i: usize| HalfCheetah::new((a * 100 + i) as u64).with_horizon(128);
+    let make = |a: usize, i: usize| HalfCheetah::new((a * 100 + i) as u64).with_horizon(128);
 
     println!("— PPO on HalfCheetah (continuous torques), DP-A —");
     let a = run_dp_a(make, &dist).expect("DP-A runs");

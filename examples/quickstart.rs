@@ -47,8 +47,8 @@ fn main() {
         seed: 7,
         ..DistPpoConfig::default()
     };
-    let report = run_dp_a(|actor, i| CartPole::new((actor * 10 + i) as u64), &dist)
-        .expect("training runs");
+    let report =
+        run_dp_a(|actor, i| CartPole::new((actor * 10 + i) as u64), &dist).expect("training runs");
     for (i, r) in report.iteration_rewards.iter().enumerate() {
         if i % 5 == 4 {
             println!("iteration {:>3}: mean episode reward {r:.1}", i + 1);

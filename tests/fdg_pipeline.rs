@@ -42,8 +42,9 @@ fn traced_fdg_executes_one_training_iteration_with_real_kernels() {
     let rng = Rc::new(RefCell::new(msrl_tensor::init::rng(7)));
     let buffer = Rc::new(RefCell::new(TrajectoryBuffer::new()));
     let last_obs = Rc::new(RefCell::new(Tensor::zeros(&[n_envs, obs_dim])));
-    let pending: Rc<RefCell<Option<(Tensor, Tensor, Tensor, Tensor)>>> =
-        Rc::new(RefCell::new(None));
+    // (obs, actions, log_probs, values) awaiting their step results.
+    type PendingStep = Option<(Tensor, Tensor, Tensor, Tensor)>;
+    let pending: Rc<RefCell<PendingStep>> = Rc::new(RefCell::new(None));
 
     let mut interp = Interpreter::new();
     // Policy parameters for the traced seven-layer "actor_net" are bound
@@ -82,13 +83,10 @@ fn traced_fdg_executes_one_training_iteration_with_real_kernels() {
                 let dist = Categorical::from_logits(&logits)?;
                 let acts = dist.sample(&mut rng.borrow_mut());
                 let log_probs = dist.log_prob(&acts)?;
-                let actions = Tensor::from_vec(
-                    acts.iter().map(|&a| a as f32).collect(),
-                    &[acts.len()],
-                )
-                .map_err(msrl_core::FdgError::Tensor)?;
-                *pending.borrow_mut() =
-                    Some((obs, actions.clone(), log_probs, values));
+                let actions =
+                    Tensor::from_vec(acts.iter().map(|&a| a as f32).collect(), &[acts.len()])
+                        .map_err(msrl_core::FdgError::Tensor)?;
+                *pending.borrow_mut() = Some((obs, actions.clone(), log_probs, values));
                 Ok(actions)
             }),
         );
@@ -104,11 +102,8 @@ fn traced_fdg_executes_one_training_iteration_with_real_kernels() {
             Box::new(move |node, ins| {
                 if ins.len() == 1 {
                     // First EnvStep node: perform the step.
-                    let actions: Vec<Action> = ins[0]
-                        .data()
-                        .iter()
-                        .map(|&a| Action::Discrete(a as usize))
-                        .collect();
+                    let actions: Vec<Action> =
+                        ins[0].data().iter().map(|&a| Action::Discrete(a as usize)).collect();
                     let step = envs.borrow_mut().step(&actions);
                     let (obs, actions_t, log_probs, values) =
                         pending.borrow_mut().take().expect("SampleAction ran");
@@ -182,21 +177,9 @@ fn traced_fdg_executes_one_training_iteration_with_real_kernels() {
     let values = interp.eval(&fdg.graph).unwrap();
     // The Learn node produced a real loss; ReadParams carried the
     // policy's weight payload.
-    let learn_id = fdg
-        .graph
-        .nodes
-        .iter()
-        .find(|n| n.kind == OpKind::Learn)
-        .unwrap()
-        .id;
+    let learn_id = fdg.graph.nodes.iter().find(|n| n.kind == OpKind::Learn).unwrap().id;
     assert!(values[learn_id].item().unwrap().is_finite());
-    let params_id = fdg
-        .graph
-        .nodes
-        .iter()
-        .find(|n| n.kind == OpKind::ReadParams)
-        .unwrap()
-        .id;
+    let params_id = fdg.graph.nodes.iter().find(|n| n.kind == OpKind::ReadParams).unwrap().id;
     let after = values[params_id].data().to_vec();
     assert_eq!(after.len(), before.len());
     assert_ne!(after, before, "one FDG execution performed a real update");

@@ -10,8 +10,7 @@ use msrl_env::batched::BatchedCartPole;
 use msrl_env::cartpole::CartPole;
 use msrl_env::mpe::SimpleSpread;
 use msrl_runtime::exec::{
-    run_dp_a, run_dp_b, run_dp_c, run_dp_d, run_dp_e, run_dp_f, DistPpoConfig, DpDConfig,
-    DpEConfig,
+    run_dp_a, run_dp_b, run_dp_c, run_dp_d, run_dp_e, run_dp_f, DistPpoConfig, DpDConfig, DpEConfig,
 };
 use msrl_runtime::policy::Role;
 use msrl_runtime::Coordinator;
@@ -67,13 +66,8 @@ fn dp_d_placement_and_training() {
     let (algo, dep) = deploy(PolicyName::GpuOnly);
     let d = Coordinator::deploy_ppo(&algo, &dep, 4, 2, 32).unwrap();
     assert_eq!(d.placement.count(Role::FusedLoop), 8, "one fused loop per GPU");
-    let cfg = DpDConfig {
-        devices: 2,
-        episodes: 6,
-        hidden: vec![16],
-        ppo: Default::default(),
-        seed: 4,
-    };
+    let cfg =
+        DpDConfig { devices: 2, episodes: 6, hidden: vec![16], ppo: Default::default(), seed: 4 };
     let report = run_dp_d(|r| BatchedCartPole::new(8, r as u64), &cfg).unwrap();
     assert_eq!(report.iteration_rewards.len(), 6);
     assert!(report.iteration_rewards.iter().all(|r| r.is_finite()));
@@ -86,12 +80,7 @@ fn dp_e_placement_and_training() {
     algo.actors = 1;
     let d = Coordinator::deploy_ppo(&algo, &dep, 4, 2, 32).unwrap();
     assert!(d.placement.count(Role::Env) > 0, "dedicated env fragments");
-    let cfg = DpEConfig {
-        episodes: 8,
-        hidden: vec![16],
-        ppo: Default::default(),
-        seed: 5,
-    };
+    let cfg = DpEConfig { episodes: 8, hidden: vec![16], ppo: Default::default(), seed: 5 };
     let report = run_dp_e(|| SimpleSpread::new(3, 1).with_horizon(12), &cfg).unwrap();
     assert_eq!(report.iteration_rewards.len(), 8);
 }

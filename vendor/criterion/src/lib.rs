@@ -1,0 +1,224 @@
+//! Offline `criterion` shim.
+//!
+//! Provides the macro and type surface the benches use —
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion`],
+//! `benchmark_group`/`bench_function`/`bench_with_input`,
+//! [`BenchmarkId`], `Bencher::iter` — over a plain wall-clock sampler.
+//!
+//! Mode selection matches real criterion: with `--bench` on the command
+//! line (what `cargo bench` passes) each benchmark is sampled
+//! `sample_size` times and the median ns/iter is printed; without it
+//! (what `cargo test` does) each benchmark body runs once as a smoke
+//! test.
+
+use std::time::Instant;
+
+/// Re-export so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+fn bench_mode() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Identifies a parameterised benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { full: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Creates an id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { full: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.full)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs and times the
+/// routine.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    ns_per_iter: f64,
+    sample_size: usize,
+    measure: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median ns/iter over `sample_size`
+    /// samples (or running it once in test mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measure {
+            black_box(routine());
+            self.ns_per_iter = 0.0;
+            return;
+        }
+        // Warm-up, and pick an iteration count targeting ~2 ms per
+        // sample so cheap routines aren't dominated by timer overhead.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once_ns = t0.elapsed().as_nanos().max(1);
+        let iters = (2_000_000 / once_ns).clamp(1, 10_000) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Runs a benchmark identified by `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a setup input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100, measure: bench_mode() }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run_one(name, f);
+        self
+    }
+
+    fn run_one<F: FnOnce(&mut Bencher)>(&mut self, full_name: &str, f: F) {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            sample_size: self.sample_size,
+            measure: self.measure,
+        };
+        f(&mut b);
+        if self.measure {
+            println!("{full_name:<48} {:>14.0} ns/iter", b.ns_per_iter);
+        } else {
+            println!("test {full_name} ... ok (smoke)");
+        }
+    }
+}
+
+/// Declares a function that runs a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.bench_function("fixed", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("param", 8), &8usize, |b, &n| {
+            b.iter(|| black_box((0..n).sum::<usize>()))
+        });
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1)));
+    }
+
+    criterion_group!(
+        name = smoke;
+        config = Criterion::default().sample_size(2);
+        targets = sample_target
+    );
+
+    #[test]
+    fn group_runs_without_bench_flag() {
+        // In test mode each routine executes once and must not panic.
+        smoke();
+    }
+}

@@ -1,0 +1,137 @@
+//! Offline shim for the subset of `rand_distr` that msrl-rs uses:
+//! [`Distribution`], [`Normal`], and [`StandardNormal`].
+//!
+//! Normal variates come from the Box–Muller transform — numerically
+//! unspectacular but exact in distribution, which is all the tensor
+//! initialisers and Gaussian policies require.
+
+use rand::RngCore;
+
+/// Types that can sample values of `T` from a generator.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+fn box_muller<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u ∈ (0, 1] so ln(u) is finite.
+    let u = 1.0 - rng.unit_f64();
+    let v = rng.unit_f64();
+    (-2.0 * u.ln()).sqrt() * (2.0 * std::f64::consts::PI * v).cos()
+}
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        box_muller(rng)
+    }
+}
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        box_muller(rng) as f32
+    }
+}
+
+/// Error from [`Normal::new`] with a non-finite or negative scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid normal-distribution parameters")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// A normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<T> {
+    mean: T,
+    std_dev: T,
+}
+
+/// Float types [`Normal`] is generic over (`f32`/`f64`); a single
+/// generic `Normal::new` keeps type inference working at call sites
+/// like `Normal::new(0.0f32, s)`.
+pub trait NormalFloat: Copy {
+    /// True for finite (non-NaN, non-infinite) values.
+    fn finite(self) -> bool;
+    /// True for values below zero.
+    fn negative(self) -> bool;
+    /// Narrowing conversion from `f64`.
+    fn of_f64(v: f64) -> Self;
+    /// `self + scale * z`.
+    fn mul_add_from(self, scale: Self, z: Self) -> Self;
+}
+
+macro_rules! normal_float {
+    ($($t:ty),*) => {$(
+        impl NormalFloat for $t {
+            fn finite(self) -> bool {
+                self.is_finite()
+            }
+            fn negative(self) -> bool {
+                self < 0.0
+            }
+            fn of_f64(v: f64) -> Self {
+                v as $t
+            }
+            fn mul_add_from(self, scale: Self, z: Self) -> Self {
+                self + scale * z
+            }
+        }
+    )*};
+}
+
+normal_float!(f32, f64);
+
+impl<T: NormalFloat> Normal<T> {
+    /// Creates `N(mean, std_dev²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] for non-finite or negative `std_dev`.
+    pub fn new(mean: T, std_dev: T) -> Result<Self, NormalError> {
+        if !std_dev.finite() || std_dev.negative() || !mean.finite() {
+            return Err(NormalError);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl<T: NormalFloat> Distribution<T> for Normal<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        self.mean.mul_add_from(self.std_dev, T::of_f64(box_muller(rng)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments_are_right() {
+        let mut r = StdRng::seed_from_u64(5);
+        let d = Normal::new(3.0f64, 2.0).unwrap();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Normal::new(0.0f32, -1.0).is_err());
+        assert!(Normal::new(f32::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0f32, 1.0).is_ok());
+    }
+}

@@ -1,0 +1,389 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored
+//! serde shim.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; this macro parses the derive input's `TokenStream` by
+//! hand. It supports exactly the shapes the msrl-rs codebase uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype convention: a 1-field tuple struct
+//!   serialises as its inner value),
+//! * enums with unit, newtype and struct variants (externally tagged,
+//!   matching serde's default JSON representation).
+//!
+//! Generics, lifetimes and `#[serde(...)]` attributes are not supported
+//! and produce a compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: just its name (named) or index (tuple).
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skips `#[...]` attribute pairs starting at `i`; returns the new index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len()
+        && is_punct(&tokens[i], '#')
+        && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        i += 2;
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Parses the fields of a brace-delimited named-field body.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_vis(&tokens, i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found `{other}`"),
+        };
+        i += 1;
+        assert!(
+            i < tokens.len() && is_punct(&tokens[i], ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if is_punct(&tokens[i], '<') {
+                depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                depth -= 1;
+            } else if is_punct(&tokens[i], ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the fields of a paren-delimited tuple body.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    for tt in &tokens {
+        if is_punct(tt, '<') {
+            depth += 1;
+        } else if is_punct(tt, '>') {
+            depth -= 1;
+        } else if is_punct(tt, ',') && depth == 0 {
+            count += 1;
+        }
+    }
+    // A trailing comma does not add a field.
+    if is_punct(tokens.last().expect("non-empty"), ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let mut fields = Fields::Unit;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                fields = match g.delimiter() {
+                    Delimiter::Brace => Fields::Named(parse_named_fields(g.stream())),
+                    Delimiter::Parenthesis => Fields::Tuple(count_tuple_fields(g.stream())),
+                    other => panic!("serde_derive: unexpected delimiter {other:?}"),
+                };
+                i += 1;
+            }
+        }
+        // Skip an explicit discriminant, then the separating comma.
+        while i < tokens.len() && !is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found `{other}`"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde_derive (vendored shim): generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("serde_derive: enum `{name}` has no body"),
+            };
+            Input::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde_derive: cannot derive for `{other} {name}`"),
+    }
+}
+
+/// Derives the shim's `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let src = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(fs) => {
+                    let mut s = String::from("::serde::Value::Map(::std::vec![");
+                    for f in &fs {
+                        s.push_str(&format!(
+                            "(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"
+                        ));
+                    }
+                    s.push_str("])");
+                    s
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let mut s = String::from("::serde::Value::Seq(::std::vec![");
+                    for idx in 0..n {
+                        s.push_str(&format!("::serde::Serialize::to_value(&self.{idx}),"));
+                    }
+                    s.push_str("])");
+                    s
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{ {body} }}\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => ::serde::Value::Map(::std::vec![\
+                           (\"{vn}\".to_string(), ::serde::Serialize::to_value(x0))]),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                               (\"{vn}\".to_string(), ::serde::Value::Seq(::std::vec![{}]))]),",
+                            binds.join(","),
+                            items.concat()
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_value({f})),"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                               (\"{vn}\".to_string(), ::serde::Value::Map(::std::vec![{}]))]),",
+                            fs.join(","),
+                            items.concat()
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                   fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("serde_derive: generated impl must parse")
+}
+
+/// Derives the shim's `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let src = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Named(fs) => {
+                    let mut inits = String::new();
+                    for f in &fs {
+                        inits.push_str(&format!(
+                            "{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,"
+                        ));
+                    }
+                    format!("::std::result::Result::Ok({name} {{ {inits} }})")
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let mut inits = String::new();
+                    for idx in 0..n {
+                        inits.push_str(&format!(
+                            "::serde::Deserialize::from_value(v.index({idx})?)?,"
+                        ));
+                    }
+                    format!("::std::result::Result::Ok({name}({inits}))")
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(v: &::serde::Value) -> \
+                       ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),"
+                    )),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok(\
+                           {name}::{vn}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut inits = String::new();
+                        for idx in 0..*n {
+                            inits.push_str(&format!(
+                                "::serde::Deserialize::from_value(inner.index({idx})?)?,"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}({inits})),"
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let mut inits = String::new();
+                        for f in fs {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(inner.field(\"{f}\")?)?,"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                   fn from_value(v: &::serde::Value) -> \
+                       ::std::result::Result<Self, ::serde::DeError> {{\
+                     match v {{\
+                       ::serde::Value::Str(s) => match s.as_str() {{\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::DeError::new(\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\
+                       }},\
+                       ::serde::Value::Map(m) if m.len() == 1 => {{\
+                         let (tag, inner) = &m[0];\
+                         match tag.as_str() {{\
+                           {data_arms}\
+                           other => ::std::result::Result::Err(::serde::DeError::new(\
+                               ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\
+                         }}\
+                       }}\
+                       _ => ::std::result::Result::Err(::serde::DeError::new(\
+                           ::std::format!(\"invalid value for enum {name}\"))),\
+                     }}\
+                   }}\
+                 }}"
+            )
+        }
+    };
+    src.parse().expect("serde_derive: generated impl must parse")
+}
