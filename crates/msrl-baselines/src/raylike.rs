@@ -11,11 +11,14 @@
 //! its environments **sequentially** and performs per-environment
 //! (unbatched) policy inference on the CPU; async messaging always
 //! stages payloads through host memory. Step counters expose those costs
-//! to the benchmarks.
+//! to the benchmarks through [`msrl_telemetry`] scoped counters: each
+//! actor keeps its private count (asserted in tests) while the same
+//! increments feed the process-wide `baseline.env_steps` /
+//! `baseline.infer_calls` totals that profiling reports read.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 use std::thread::JoinHandle;
+
+use msrl_telemetry::Counter;
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use msrl_algos::buffer::step_batch;
@@ -92,10 +95,12 @@ pub struct RolloutActor {
     policy: PpoPolicy,
     envs: Vec<Box<dyn Environment>>,
     rng: rand::rngs::StdRng,
-    /// Sequential environment steps executed (instrumentation).
-    pub env_steps: Arc<AtomicU64>,
-    /// Per-environment (unbatched) inference calls executed.
-    pub infer_calls: Arc<AtomicU64>,
+    /// Sequential environment steps executed (scoped to this actor, also
+    /// feeding the global `baseline.env_steps` total).
+    pub env_steps: Counter,
+    /// Per-environment (unbatched) inference calls executed (scoped,
+    /// also feeding `baseline.infer_calls`).
+    pub infer_calls: Counter,
 }
 
 impl RolloutActor {
@@ -105,8 +110,8 @@ impl RolloutActor {
             policy,
             envs,
             rng: msrl_tensor::init::rng(seed),
-            env_steps: Arc::new(AtomicU64::new(0)),
-            infer_calls: Arc::new(AtomicU64::new(0)),
+            env_steps: Counter::scoped("baseline.env_steps"),
+            infer_calls: Counter::scoped("baseline.infer_calls"),
         }
     }
 
@@ -124,7 +129,7 @@ impl RolloutActor {
                 let row = obs.reshape(&[1, obs_dim]).map_err(FdgError::Tensor)?;
                 // Unbatched inference on the CPU.
                 let out = self.policy.act(&row, &mut self.rng)?;
-                self.infer_calls.fetch_add(1, Ordering::Relaxed);
+                self.infer_calls.add(1);
                 let action = if spec.is_discrete() {
                     Action::Discrete(out.actions.data()[0] as usize)
                 } else {
@@ -133,7 +138,7 @@ impl RolloutActor {
                     )
                 };
                 let step = env.step(&action);
-                self.env_steps.fetch_add(1, Ordering::Relaxed);
+                self.env_steps.add(1);
                 let next = if step.done { env.reset() } else { step.obs.clone() };
                 rows.push(step_batch(
                     row,
@@ -205,7 +210,7 @@ where
             .map(|i| Box::new(make_env(a, i)) as Box<dyn Environment>)
             .collect();
         let state = RolloutActor::new(policy.clone(), envs, seed + 1 + a as u64);
-        counters.push((Arc::clone(&state.env_steps), Arc::clone(&state.infer_calls)));
+        counters.push((state.env_steps.clone(), state.infer_calls.clone()));
         handles.push(ActorHandle::spawn(state));
     }
 
@@ -255,8 +260,8 @@ where
         let total_steps = (actors * envs_per_actor * steps_per_iter).max(1);
         report.iteration_rewards.push(reward_sum / total_steps as f32);
     }
-    report.env_steps = counters.iter().map(|(e, _)| e.load(Ordering::Relaxed)).sum();
-    report.infer_calls = counters.iter().map(|(_, i)| i.load(Ordering::Relaxed)).sum();
+    report.env_steps = counters.iter().map(|(e, _)| e.get()).sum();
+    report.infer_calls = counters.iter().map(|(_, i)| i.get()).sum();
     Ok(report)
 }
 
@@ -343,8 +348,8 @@ mod tests {
         assert_eq!(batch.len(), 30);
         // Sequential structure: 30 env steps AND 30 separate inference
         // calls (MSRL would do 10 fused calls).
-        assert_eq!(actor.env_steps.load(Ordering::Relaxed), 30);
-        assert_eq!(actor.infer_calls.load(Ordering::Relaxed), 30);
+        assert_eq!(actor.env_steps.get(), 30);
+        assert_eq!(actor.infer_calls.get(), 30);
         assert_eq!(msrl_equivalent_infer_calls(10, 1), 10);
     }
 

@@ -14,6 +14,7 @@ use msrl_algos::ppo::{PpoConfig, PpoLearner, PpoPolicy};
 use msrl_core::api::Learner;
 use msrl_core::Result;
 use msrl_env::batched::BatchedEnv;
+use msrl_telemetry::Counter;
 
 /// Instrumentation counters for the monolithic loop.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,6 +60,10 @@ pub fn run_warpdrive<B: BatchedEnv>(
     let mut learner = PpoLearner::new(policy, PpoConfig { epochs: 1, ..PpoConfig::default() });
     let mut rng = msrl_tensor::init::rng(seed + 1);
     let mut report = WarpDriveReport::default();
+    // Scoped counters: private to this run (reported in `stats`), also
+    // feeding the process-wide `baseline.*` telemetry totals.
+    let launches = Counter::scoped("baseline.kernel_launches");
+    let host_syncs = Counter::scoped("baseline.host_syncs");
     for _ in 0..episodes {
         let mut buf = TrajectoryBuffer::new();
         let mut obs = env.reset();
@@ -66,8 +71,8 @@ pub fn run_warpdrive<B: BatchedEnv>(
         let mut steps = 0usize;
         loop {
             // One "kernel" per stage; a host sync per step.
-            report.stats.launches += WARPDRIVE_LAUNCHES_PER_STEP;
-            report.stats.host_syncs += 1;
+            launches.add(WARPDRIVE_LAUNCHES_PER_STEP);
+            host_syncs.add(1);
             let out = learner.policy.act(&obs, &mut rng)?;
             let actions: Vec<usize> = out.actions.data().iter().map(|&a| a as usize).collect();
             let step = env.step(&actions);
@@ -92,6 +97,7 @@ pub fn run_warpdrive<B: BatchedEnv>(
         learner.learn(&batch)?;
         report.episode_rewards.push(total / (env.total_agents() * steps.max(1)) as f32);
     }
+    report.stats = KernelStats { launches: launches.get(), host_syncs: host_syncs.get() };
     Ok(report)
 }
 

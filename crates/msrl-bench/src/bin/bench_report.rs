@@ -7,6 +7,15 @@
 //! threaded backend degenerates to the serial kernels (the speedup
 //! column then hovers around 1.0) — the numbers are honest for whatever
 //! machine runs the report.
+//!
+//! The report also records the cost of the telemetry layer: the
+//! per-probe price of a disabled span and an always-on counter, and the
+//! end-to-end fused-MLP evaluation with tracing off vs. on. Because the
+//! instrumentation is always compiled in, "disabled overhead" is
+//! measured directly at the probe: `disabled_probe_share_pct` is the
+//! per-probe disabled cost times the probes one evaluation executes, as
+//! a share of that evaluation — the number the <5% acceptance bound
+//! applies to.
 
 use std::time::Instant;
 
@@ -72,6 +81,78 @@ fn mlp_rows(replicas: usize, batch: usize) -> Row {
     })
 }
 
+/// Measured cost of the telemetry layer on this host.
+struct TelemetryCost {
+    /// One span open/close with tracing off (the disabled path).
+    span_disabled_ns: f64,
+    /// One span open/close with tracing recording.
+    span_enabled_ns: f64,
+    /// One always-on counter increment.
+    counter_add_ns: f64,
+    /// Fused-MLP evaluation, tracing off / on.
+    mlp_off_ns: f64,
+    mlp_on_ns: f64,
+    /// Instrumentation probes one evaluation executes.
+    probes_per_eval: u64,
+    /// Upper-bound share of the disabled probes in one evaluation.
+    disabled_probe_share_pct: f64,
+    /// End-to-end overhead of recording vs. not recording.
+    traced_on_overhead_pct: f64,
+}
+
+fn telemetry_cost() -> TelemetryCost {
+    use msrl_telemetry as tel;
+    tel::set_enabled(false);
+    let span_disabled_ns = time_ns(9, || {
+        let _s = tel::span!("bench.probe");
+    });
+    let counter_add_ns = time_ns(9, || tel::static_counter!("bench.counter").add(1));
+    tel::set_enabled(true);
+    let span_enabled_ns = time_ns(9, || {
+        let _s = tel::span!("bench.probe");
+    });
+    tel::clear_events();
+    tel::set_enabled(false);
+
+    // The same fused-MLP workload as `mlp_rows`, timed with tracing off
+    // and on under the default (threaded) backend.
+    let ctx = TraceCtx::new();
+    let x = ctx.input("x", &[16 * 8, 17]);
+    trace_mlp(&ctx, "pi", &x, &[17, 64, 64, 6]);
+    let g = ctx.finish();
+    let mut interp = Interpreter::new();
+    interp.bind_param("pi.w0", Tensor::full(&[17, 64], 0.01));
+    interp.bind_param("pi.b0", Tensor::zeros(&[64]));
+    interp.bind_param("pi.w1", Tensor::full(&[64, 64], 0.01));
+    interp.bind_param("pi.b1", Tensor::zeros(&[64]));
+    interp.bind_param("pi.w2", Tensor::full(&[64, 6], 0.01));
+    interp.bind_param("pi.b2", Tensor::zeros(&[6]));
+    interp.bind_input("x", Tensor::full(&[16 * 8, 17], 0.1));
+
+    let before = tel::counter_total("interp.ops");
+    interp.eval(&g).expect("evaluates");
+    let probes_per_eval = tel::counter_total("interp.ops") - before;
+
+    let mlp_off_ns = time_ns(9, || interp.eval(&g).expect("evaluates"));
+    tel::set_enabled(true);
+    let mlp_on_ns = time_ns(9, || interp.eval(&g).expect("evaluates"));
+    tel::clear_events();
+    tel::set_enabled(false);
+
+    TelemetryCost {
+        span_disabled_ns,
+        span_enabled_ns,
+        counter_add_ns,
+        mlp_off_ns,
+        mlp_on_ns,
+        probes_per_eval,
+        disabled_probe_share_pct: probes_per_eval as f64 * (span_disabled_ns + counter_add_ns)
+            / mlp_off_ns.max(1.0)
+            * 100.0,
+        traced_on_overhead_pct: (mlp_on_ns - mlp_off_ns) / mlp_off_ns.max(1.0) * 100.0,
+    }
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_backend.json".to_string());
     let threads = par::thread_count();
@@ -99,9 +180,24 @@ fn main() {
         }));
     }
     rows.push(mlp_rows(16, 8));
+    let tel = telemetry_cost();
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"telemetry\": {{\"span_disabled_ns\": {:.2}, \"span_enabled_ns\": {:.2}, \
+         \"counter_add_ns\": {:.2}, \"mlp_eval_traced_off_ns\": {:.0}, \
+         \"mlp_eval_traced_on_ns\": {:.0}, \"probes_per_eval\": {}, \
+         \"disabled_probe_share_pct\": {:.3}, \"traced_on_overhead_pct\": {:.2}}},\n",
+        tel.span_disabled_ns,
+        tel.span_enabled_ns,
+        tel.counter_add_ns,
+        tel.mlp_off_ns,
+        tel.mlp_on_ns,
+        tel.probes_per_eval,
+        tel.disabled_probe_share_pct,
+        tel.traced_on_overhead_pct,
+    ));
     json.push_str("  \"entries\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -132,5 +228,18 @@ fn main() {
             r.speedup()
         );
     }
+    println!(
+        "telemetry: span off {:.2} ns / on {:.2} ns, counter {:.2} ns; \
+         mlp eval off {:.0} ns / on {:.0} ns ({} probes, disabled share {:.3}%, \
+         tracing overhead {:.2}%)",
+        tel.span_disabled_ns,
+        tel.span_enabled_ns,
+        tel.counter_add_ns,
+        tel.mlp_off_ns,
+        tel.mlp_on_ns,
+        tel.probes_per_eval,
+        tel.disabled_probe_share_pct,
+        tel.traced_on_overhead_pct,
+    );
     println!("wrote {out_path}");
 }

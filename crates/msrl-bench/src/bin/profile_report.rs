@@ -1,0 +1,170 @@
+//! `profile_report` — runs PPO CartPole under two distribution policies
+//! (DP-A and DP-C) with telemetry enabled and emits, per policy:
+//!
+//! * `results/trace_<policy>.json` — Chrome trace-event JSON (open in
+//!   Perfetto or `chrome://tracing`), validated before it is written;
+//! * `results/profile_<policy>.json` — the aggregated
+//!   [`msrl_telemetry::TelemetryReport`] (per-span p50/p99, counter and
+//!   gauge snapshots).
+//!
+//! plus a combined `results/profile_report.json` and a side-by-side
+//! per-fragment / per-phase / per-comm-op table on stdout. Exits with a
+//! non-zero status when any emitted trace fails schema validation, so CI
+//! can gate on it.
+//!
+//! The workloads are intentionally small (seconds, not minutes): the
+//! point is the telemetry pipeline and the *relative* phase breakdown of
+//! the two policies, not wall-clock throughput numbers.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use msrl_env::cartpole::CartPole;
+use msrl_runtime::exec::{run_dp_a, run_dp_c, DistPpoConfig};
+use msrl_telemetry::TelemetryReport;
+
+/// One profiled policy: its name and aggregated report.
+struct PolicyProfile {
+    name: &'static str,
+    report: TelemetryReport,
+}
+
+/// A named, boxed training run to profile.
+type Run = (&'static str, Box<dyn FnOnce() -> msrl_core::Result<()>>);
+
+/// Runs `f` with tracing enabled against a clean slate and returns the
+/// aggregated report, after validating and writing the Chrome trace.
+fn profile(
+    name: &'static str,
+    out_dir: &Path,
+    f: impl FnOnce() -> msrl_core::Result<()>,
+) -> Result<PolicyProfile, String> {
+    msrl_telemetry::clear_events();
+    msrl_telemetry::reset_counters();
+    msrl_telemetry::reset_gauges();
+    msrl_telemetry::set_enabled(true);
+    f().map_err(|e| format!("{name}: run failed: {e}"))?;
+    let events = msrl_telemetry::drain();
+    let trace = msrl_telemetry::chrome_trace(&events);
+    let check = msrl_telemetry::validate_chrome_trace(&trace)
+        .map_err(|e| format!("{name}: trace validation failed: {e}"))?;
+    if check.fragment_spans == 0 {
+        return Err(format!("{name}: trace has no fragment spans"));
+    }
+    let trace_path = out_dir.join(format!("trace_{name}.json"));
+    std::fs::write(&trace_path, &trace).map_err(|e| format!("{name}: write trace: {e}"))?;
+    let report = TelemetryReport::from_events(&events).with_registry();
+    let profile_path = out_dir.join(format!("profile_{name}.json"));
+    std::fs::write(&profile_path, report.to_json())
+        .map_err(|e| format!("{name}: write profile: {e}"))?;
+    println!(
+        "{name}: {} events, {} span pairs, {} fragment lanes -> {}",
+        check.events,
+        check.span_pairs,
+        check.fragment_spans,
+        trace_path.display()
+    );
+    Ok(PolicyProfile { name, report })
+}
+
+/// Prints a side-by-side table of span totals/percentiles for every span
+/// name in the given prefix group, across all profiled policies.
+fn side_by_side(profiles: &[PolicyProfile], heading: &str, prefixes: &[&str]) {
+    let names: BTreeSet<&str> = profiles
+        .iter()
+        .flat_map(|p| p.report.spans.iter().map(|s| s.name.as_str()))
+        .filter(|n| prefixes.iter().any(|p| n.starts_with(p)))
+        .collect();
+    if names.is_empty() {
+        return;
+    }
+    println!("\n{heading}");
+    print!("{:<26}", "span");
+    for p in profiles {
+        print!(" {:>12} {:>10} {:>10}", format!("{}_total_ms", p.name), "p50_us", "p99_us");
+    }
+    println!();
+    for name in names {
+        print!("{name:<26}");
+        for p in profiles {
+            match p.report.span(name) {
+                Some(s) => print!(
+                    " {:>12.2} {:>10.1} {:>10.1}",
+                    s.total_ns as f64 / 1e6,
+                    s.p50_ns as f64 / 1e3,
+                    s.p99_ns as f64 / 1e3
+                ),
+                None => print!(" {:>12} {:>10} {:>10}", "-", "-", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+/// Prints comm counter totals side by side.
+fn comm_counters(profiles: &[PolicyProfile]) {
+    println!("\ncommunication volume");
+    for key in ["comm.bytes_sent", "comm.bytes_recv", "comm.msgs_sent", "interp.ops", "env.steps"] {
+        print!("{key:<26}");
+        for p in profiles {
+            print!(" {:>16}", p.report.counter(key).unwrap_or(0));
+        }
+        println!();
+    }
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "results".to_string());
+    let out_dir = Path::new(&out_dir);
+    std::fs::create_dir_all(out_dir).expect("results directory is creatable");
+
+    let dist = DistPpoConfig {
+        actors: 2,
+        envs_per_actor: 2,
+        steps_per_iter: 64,
+        iterations: 8,
+        hidden: vec![32],
+        seed: 7,
+        ..DistPpoConfig::default()
+    };
+
+    let mut profiles = Vec::new();
+    let runs: Vec<Run> = vec![
+        ("dp_a", {
+            let dist = dist.clone();
+            Box::new(move || run_dp_a(|a, i| CartPole::new((a * 13 + i) as u64), &dist).map(|_| ()))
+        }),
+        ("dp_c", {
+            let dist = dist.clone();
+            Box::new(move || run_dp_c(|a, i| CartPole::new((a * 13 + i) as u64), &dist).map(|_| ()))
+        }),
+    ];
+    for (name, f) in runs {
+        match profile(name, out_dir, f) {
+            Ok(p) => profiles.push(p),
+            Err(e) => {
+                eprintln!("profile_report: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    side_by_side(&profiles, "fragment breakdown", &["fragment."]);
+    side_by_side(&profiles, "phase breakdown", &["phase."]);
+    side_by_side(&profiles, "comm ops", &["comm."]);
+    comm_counters(&profiles);
+
+    // Combined artefact: one JSON object keyed by policy name.
+    let mut combined = String::from("{\n");
+    for (i, p) in profiles.iter().enumerate() {
+        let body: String =
+            p.report.to_json().lines().map(|l| format!("  {l}\n")).collect::<String>();
+        combined.push_str(&format!("  \"{}\": {}", p.name, body.trim_start()));
+        combined.pop(); // trailing newline from the indented body
+        combined.push_str(if i + 1 == profiles.len() { "\n" } else { ",\n" });
+    }
+    combined.push_str("}\n");
+    let combined_path = out_dir.join("profile_report.json");
+    std::fs::write(&combined_path, combined).expect("combined report is writable");
+    println!("\nwrote {}", combined_path.display());
+}

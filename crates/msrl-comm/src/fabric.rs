@@ -10,6 +10,12 @@
 //!
 //! An optional injected latency per message reproduces the `tc`-based
 //! latency experiments of the paper (Fig. 7d) in real mode.
+//!
+//! Every operation feeds the [`msrl_telemetry`] pipeline: blocking calls
+//! record `comm.*` spans when `MSRL_TRACE` is on, and the always-on
+//! counters `comm.bytes_sent` / `comm.bytes_recv` / `comm.msgs_sent`
+//! total traffic while `comm.sim_latency_ns` attributes time spent in
+//! the injected-latency sleep.
 
 use std::fmt;
 use std::time::Duration;
@@ -152,9 +158,15 @@ impl Endpoint {
     }
 
     fn send_tagged(&self, to: usize, tag: u64, payload: Vec<f32>) -> Result<(), CommError> {
+        let _span = msrl_telemetry::span!("comm.send");
         if !self.latency.is_zero() {
             std::thread::sleep(self.latency);
+            msrl_telemetry::static_counter!("comm.sim_latency_ns")
+                .add(self.latency.as_nanos() as u64);
         }
+        msrl_telemetry::static_counter!("comm.msgs_sent").add(1);
+        msrl_telemetry::static_counter!("comm.bytes_sent")
+            .add(payload.len() as u64 * std::mem::size_of::<f32>() as u64);
         let tx = self.txs.get(to).ok_or(CommError::UnknownRank { rank: to, size: self.size })?;
         tx.send(Message { tag, payload }).map_err(|_| CommError::Disconnected)
     }
@@ -169,9 +181,12 @@ impl Endpoint {
     }
 
     fn recv_tagged(&self, from: usize) -> Result<(u64, Vec<f32>), CommError> {
+        let _span = msrl_telemetry::span!("comm.recv");
         let rx =
             self.rxs.get(from).ok_or(CommError::UnknownRank { rank: from, size: self.size })?;
         let msg = rx.recv().map_err(|_| CommError::Disconnected)?;
+        msrl_telemetry::static_counter!("comm.bytes_recv")
+            .add(msg.payload.len() as u64 * std::mem::size_of::<f32>() as u64);
         Ok((msg.tag, msg.payload))
     }
 
@@ -185,7 +200,11 @@ impl Endpoint {
         let rx =
             self.rxs.get(from).ok_or(CommError::UnknownRank { rank: from, size: self.size })?;
         match rx.try_recv() {
-            Ok(msg) => Ok(Some(msg.payload)),
+            Ok(msg) => {
+                msrl_telemetry::static_counter!("comm.bytes_recv")
+                    .add(msg.payload.len() as u64 * std::mem::size_of::<f32>() as u64);
+                Ok(Some(msg.payload))
+            }
             Err(crossbeam_channel::TryRecvError::Empty) => Ok(None),
             Err(crossbeam_channel::TryRecvError::Disconnected) => Err(CommError::Disconnected),
         }
@@ -198,6 +217,7 @@ impl Endpoint {
     ///
     /// Returns an error on disconnection or collective mismatch.
     pub fn all_gather(&mut self, payload: Vec<f32>) -> Result<Vec<Vec<f32>>, CommError> {
+        let _span = msrl_telemetry::span!("comm.all_gather");
         let tag = self.advance_tag();
         for to in 0..self.size {
             if to != self.rank {
@@ -227,6 +247,7 @@ impl Endpoint {
     /// Returns an error on disconnection, mismatched collectives, or
     /// ragged payload lengths.
     pub fn all_reduce_mean(&mut self, payload: Vec<f32>) -> Result<Vec<f32>, CommError> {
+        let _span = msrl_telemetry::span!("comm.all_reduce");
         let len = payload.len();
         let parts = self.all_gather(payload)?;
         let mut acc = vec![0.0f32; len];
@@ -255,6 +276,7 @@ impl Endpoint {
     ///
     /// Returns an error on disconnection or collective mismatch.
     pub fn broadcast(&mut self, root: usize, payload: Vec<f32>) -> Result<Vec<f32>, CommError> {
+        let _span = msrl_telemetry::span!("comm.broadcast");
         if root >= self.size {
             return Err(CommError::UnknownRank { rank: root, size: self.size });
         }
@@ -281,6 +303,7 @@ impl Endpoint {
     ///
     /// Returns an error on disconnection.
     pub fn barrier(&mut self) -> Result<(), CommError> {
+        let _span = msrl_telemetry::span!("comm.barrier");
         self.all_gather(Vec::new()).map(|_| ())
     }
 }

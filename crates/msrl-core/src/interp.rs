@@ -25,6 +25,15 @@
 //! value's remaining consumers: a dead intermediate's buffer is returned
 //! to the [`msrl_tensor::alloc`] pool, so steady-state fragment
 //! evaluation reuses storage instead of allocating per node.
+//!
+//! # Telemetry
+//!
+//! Fragment evaluations record `fragment.eval` spans labelled with the
+//! fragment id, macro-op kernel invocations record `interp.macro` spans,
+//! and the pure-batch flush a macro op must wait for records an
+//! `interp.barrier_wait` span (all no-ops unless `MSRL_TRACE` is set).
+//! The always-on `interp.ops` counter totals evaluated nodes; with
+//! tracing enabled, per-op-class totals land under `interp.op.<Name>`.
 
 use std::collections::HashMap;
 
@@ -109,6 +118,7 @@ impl<'a> Interpreter<'a> {
         fragment: &Fragment,
         preset: HashMap<NodeId, Tensor>,
     ) -> Result<HashMap<NodeId, Tensor>> {
+        let _span = msrl_telemetry::span!("fragment.eval", fragment.id.0);
         let (values, extra) = self.run(graph, &fragment.all_nodes(), preset, None)?;
         let mut out: HashMap<NodeId, Tensor> =
             values.into_iter().enumerate().filter_map(|(id, v)| v.map(|t| (id, t))).collect();
@@ -136,6 +146,7 @@ impl<'a> Interpreter<'a> {
         preset: HashMap<NodeId, Tensor>,
         outputs: &[NodeId],
     ) -> Result<HashMap<NodeId, Tensor>> {
+        let _span = msrl_telemetry::span!("fragment.eval", fragment.id.0);
         let (mut values, extra) = self.run(graph, &fragment.all_nodes(), preset, Some(outputs))?;
         let mut out = HashMap::with_capacity(outputs.len());
         for &id in outputs {
@@ -219,7 +230,11 @@ impl<'a> Interpreter<'a> {
                 batch.push(id);
                 continue;
             }
-            self.flush_pure(graph, &batch, &mut values, &extra, &mut uses, &keep)?;
+            {
+                let _wait =
+                    (!batch.is_empty()).then(|| msrl_telemetry::span!("interp.barrier_wait"));
+                self.flush_pure(graph, &batch, &mut values, &extra, &mut uses, &keep)?;
+            }
             batch.clear();
             let ins =
                 gather(&node.inputs, &values, &extra).ok_or(FdgError::MissingInput { node: id })?;
@@ -228,7 +243,14 @@ impl<'a> Interpreter<'a> {
                 .kernels
                 .get_mut(name)
                 .ok_or_else(|| FdgError::MissingKernel { op: name.to_string() })?;
-            let v = kernel(node, &ins)?;
+            msrl_telemetry::static_counter!("interp.ops").add(1);
+            if msrl_telemetry::enabled() {
+                msrl_telemetry::counter(&format!("interp.op.{name}"), 1);
+            }
+            let v = {
+                let _macro = msrl_telemetry::span!("interp.macro");
+                kernel(node, &ins)?
+            };
             values[id] = Some(v);
             release(&node.inputs, &mut values, &mut uses, &keep);
         }
@@ -251,6 +273,18 @@ impl<'a> Interpreter<'a> {
     ) -> Result<()> {
         if batch.is_empty() {
             return Ok(());
+        }
+        msrl_telemetry::static_counter!("interp.ops").add(batch.len() as u64);
+        if msrl_telemetry::enabled() {
+            // Per-op-class attribution costs a map walk and a by-name
+            // registry add per class, so it only runs under MSRL_TRACE.
+            let mut by_class: HashMap<&'static str, u64> = HashMap::new();
+            for &id in batch {
+                *by_class.entry(graph.node(id)?.kind.name()).or_default() += 1;
+            }
+            for (name, n) in by_class {
+                msrl_telemetry::counter(&format!("interp.op.{name}"), n);
+            }
         }
         let bind = Bindings { inputs: &self.inputs, params: &self.params, consts: &self.consts };
 

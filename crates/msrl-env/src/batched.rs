@@ -257,7 +257,9 @@ impl BatchedEnv for BatchedTag {
     }
 
     fn step(&mut self, actions: &[usize]) -> BatchedStep {
+        let _span = msrl_telemetry::span!("env.batched_step");
         debug_assert_eq!(actions.len(), self.total_agents());
+        msrl_telemetry::static_counter!("env.steps").add(self.n_worlds as u64);
         let pw = self.per_world();
         let n_agents = self.total_agents();
         let n_chasers = self.n_chasers;
@@ -370,7 +372,9 @@ impl BatchedEnv for BatchedCartPole {
     }
 
     fn step(&mut self, actions: &[usize]) -> BatchedStep {
+        let _span = msrl_telemetry::span!("env.batched_step");
         debug_assert_eq!(actions.len(), self.n);
+        msrl_telemetry::static_counter!("env.steps").add(self.n as u64);
         let mut rewards = msrl_tensor::alloc::take_zeroed(self.n);
         // Worlds are independent; the threaded backend advances one
         // contiguous block of worlds per worker.

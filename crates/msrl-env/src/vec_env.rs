@@ -104,6 +104,7 @@ impl VecEnv {
     /// Large sets reset on worker threads under the threaded backend;
     /// each instance's RNG is its own, so results match the serial order.
     pub fn reset(&mut self) -> Tensor {
+        let _span = msrl_telemetry::span!("env.vec_reset");
         for r in &mut self.returns {
             *r = 0.0;
         }
@@ -142,8 +143,10 @@ impl VecEnv {
     /// Panics if `actions.len() != self.len()` — a caller bug, since the
     /// batch size is fixed at construction.
     pub fn step(&mut self, actions: &[Action]) -> VecStep {
+        let _span = msrl_telemetry::span!("env.vec_step");
         let n = self.envs.len();
         assert_eq!(actions.len(), n, "one action per instance");
+        msrl_telemetry::static_counter!("env.steps").add(n as u64);
         let parts: Vec<ChunkStep> = if par::should_parallelize(n, PAR_MIN_ENVS) {
             let lens: Vec<usize> = chunk_lens(n);
             std::thread::scope(|scope| {

@@ -129,6 +129,7 @@ impl Coordinator {
         act_dim: usize,
         hidden: usize,
     ) -> Result<Deployment, DeployError> {
+        let _span = msrl_telemetry::span!("coordinator.deploy");
         let graph = trace_ppo(algo, obs_dim, act_dim, hidden);
         let fdg = build_fdg(graph).map_err(DeployError::Fdg)?;
         let placement = place(algo, deploy).map_err(DeployError::Placement)?;

@@ -51,6 +51,7 @@ where
             let policy = policy.clone();
             let make_env = &make_env;
             handles.push(scope.spawn(move || -> Result<()> {
+                let _frag = msrl_telemetry::span!("fragment.actor", rank);
                 let mut actor = PpoActor::new(policy, dist.seed + 1 + rank as u64);
                 let mut envs = VecEnv::new(
                     (0..dist.envs_per_actor.max(1))
@@ -59,7 +60,11 @@ where
                 );
                 for _ in 0..dist.iterations {
                     // Actor fragment body: rollout, then coarse sync.
-                    let batch = collect(&mut actor, &mut envs, dist.steps_per_iter)?;
+                    let batch = {
+                        let _s = msrl_telemetry::span!("phase.rollout");
+                        collect(&mut actor, &mut envs, dist.steps_per_iter)?
+                    };
+                    let _s = msrl_telemetry::span!("phase.weight_sync");
                     ep.send(p, encode_batch(&batch)).map_err(comm_err)?;
                     ep.send(p, envs.take_finished_returns()).map_err(comm_err)?;
                     let weights = ep.recv(p).map_err(comm_err)?;
@@ -70,6 +75,7 @@ where
         }
 
         // Learner fragment body (runs on the calling thread).
+        let frag = msrl_telemetry::span!("fragment.learner", 0usize);
         let mut learner = PpoLearner::new(policy, dist.ppo.clone());
         let mut report = TrainingReport::default();
         let mut prev_reward = 0.0;
@@ -81,15 +87,22 @@ where
                 finished.extend(learner_ep.recv(rank).map_err(comm_err)?);
             }
             let batch = SampleBatch::concat(&batches)?;
-            let loss = learner.learn(&batch)?;
+            let loss = {
+                let _s = msrl_telemetry::span!("phase.learn");
+                learner.learn(&batch)?
+            };
             let weights = learner.policy_params();
-            for rank in 0..p {
-                learner_ep.send(rank, weights.clone()).map_err(comm_err)?;
+            {
+                let _s = msrl_telemetry::span!("phase.weight_sync");
+                for rank in 0..p {
+                    learner_ep.send(rank, weights.clone()).map_err(comm_err)?;
+                }
             }
             prev_reward = mean_or_prev(&finished, prev_reward);
             report.iteration_rewards.push(prev_reward);
             report.losses.push(loss);
         }
+        drop(frag);
         for h in handles {
             h.join().expect("actor thread must not panic")?;
         }

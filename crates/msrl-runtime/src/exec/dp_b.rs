@@ -51,12 +51,14 @@ where
             let make_env = &make_env;
             handles.push(scope.spawn(move || -> Result<()> {
                 // The actor+env fragment: no policy, just the loop.
+                let _frag = msrl_telemetry::span!("fragment.actor", rank);
                 let mut envs = VecEnv::new(
                     (0..envs_i)
                         .map(|i| Box::new(make_env(rank, i)) as Box<dyn Environment>)
                         .collect(),
                 );
                 for _ in 0..dist.iterations {
+                    let _iter = msrl_telemetry::span!("phase.rollout");
                     let mut obs = envs.reset();
                     for _ in 0..dist.steps_per_iter {
                         // Fine-grained exchange: obs up, actions down.
@@ -84,6 +86,7 @@ where
             }));
         }
 
+        let frag = msrl_telemetry::span!("fragment.learner", 0usize);
         let mut learner = PpoLearner::new(policy, dist.ppo.clone());
         let mut rng = msrl_tensor::init::rng(dist.seed + 17);
         let mut report = TrainingReport::default();
@@ -91,6 +94,7 @@ where
         for _ in 0..dist.iterations {
             let mut buffers: Vec<TrajectoryBuffer> =
                 (0..p).map(|_| TrajectoryBuffer::new()).collect();
+            let rollout = msrl_telemetry::span!("phase.rollout");
             for _ in 0..dist.steps_per_iter {
                 // Gather observations from every actor, infer centrally.
                 let mut per_actor_obs = Vec::with_capacity(p);
@@ -139,13 +143,17 @@ where
                     ));
                 }
             }
+            drop(rollout);
             // Train on the union of the per-actor trajectories.
             let mut batches = Vec::with_capacity(p);
             for buffer in &mut buffers {
                 batches.push(buffer.drain_env_major()?);
             }
             let batch = SampleBatch::concat(&batches)?;
-            let loss = learner.learn(&batch)?;
+            let loss = {
+                let _s = msrl_telemetry::span!("phase.learn");
+                learner.learn(&batch)?
+            };
             let mut finished = Vec::new();
             for rank in 0..p {
                 finished.extend(learner_ep.recv(rank).map_err(comm_err)?);
@@ -154,6 +162,7 @@ where
             report.iteration_rewards.push(prev_reward);
             report.losses.push(loss);
         }
+        drop(frag);
         for h in handles {
             h.join().expect("actor thread must not panic")?;
         }

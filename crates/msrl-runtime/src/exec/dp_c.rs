@@ -49,6 +49,7 @@ where
             let ppo = dist.ppo.clone();
             handles.push(scope.spawn(move || -> Result<TrainingReport> {
                 // The fused actor+learner fragment.
+                let _frag = msrl_telemetry::span!("fragment.actor_learner", rank);
                 let mut actor = PpoActor::new(policy.clone(), dist.seed + 1 + rank as u64);
                 let mut learner = PpoLearner::new(policy, ppo.clone());
                 let mut envs = VecEnv::new(
@@ -59,14 +60,21 @@ where
                 let mut report = TrainingReport::default();
                 let mut prev_reward = 0.0;
                 for _ in 0..dist.iterations {
-                    let batch = collect(&mut actor, &mut envs, dist.steps_per_iter)?;
+                    let batch = {
+                        let _s = msrl_telemetry::span!("phase.rollout");
+                        collect(&mut actor, &mut envs, dist.steps_per_iter)?
+                    };
                     // Data-parallel training: per-epoch local gradients,
                     // averaged across replicas before application.
-                    for _ in 0..ppo.epochs {
-                        let local = learner.grads(&batch)?;
-                        let averaged = ep.all_reduce_mean(local).map_err(comm_err)?;
-                        learner.apply_grads(&averaged)?;
+                    {
+                        let _s = msrl_telemetry::span!("phase.learn");
+                        for _ in 0..ppo.epochs {
+                            let local = learner.grads(&batch)?;
+                            let averaged = ep.all_reduce_mean(local).map_err(comm_err)?;
+                            learner.apply_grads(&averaged)?;
+                        }
                     }
+                    let _s = msrl_telemetry::span!("phase.weight_sync");
                     actor.set_policy_params(&learner.policy_params())?;
                     // Share episode returns for reporting.
                     let finished: Vec<f32> = ep

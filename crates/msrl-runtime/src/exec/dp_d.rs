@@ -59,6 +59,7 @@ where
             let make_env = &make_env;
             let ppo = cfg.ppo.clone();
             handles.push(scope.spawn(move || -> Result<TrainingReport> {
+                let _frag = msrl_telemetry::span!("fragment.fused_loop", rank);
                 let mut env = make_env(rank);
                 let mut learner = PpoLearner::new(policy, ppo);
                 let mut rng = msrl_tensor::init::rng(cfg.seed + 100 + rank as u64);
@@ -66,6 +67,7 @@ where
                 for _ in 0..cfg.episodes {
                     // Fused loop: everything below is "on device".
                     let mut buf = TrajectoryBuffer::new();
+                    let rollout = msrl_telemetry::span!("phase.rollout");
                     let mut obs = env.reset();
                     let mut total_reward = 0.0;
                     let mut steps = 0usize;
@@ -91,10 +93,15 @@ where
                             break;
                         }
                     }
+                    drop(rollout);
                     let batch = buf.drain_env_major()?;
-                    learner.learn(&batch)?;
+                    {
+                        let _s = msrl_telemetry::span!("phase.learn");
+                        learner.learn(&batch)?;
+                    }
                     // Per-episode replica sync: average weights.
                     if p > 1 {
+                        let _s = msrl_telemetry::span!("phase.weight_sync");
                         let avg = ep.all_reduce_mean(learner.policy_params()).map_err(comm_err)?;
                         learner.set_policy_params(&avg)?;
                     }

@@ -64,11 +64,13 @@ where
                 // Agent fragment: act per step, learn per episode, share
                 // parameters with peers (ranks 0..n are agents; the env
                 // worker does not join the weight AllReduce).
+                let _frag = msrl_telemetry::span!("fragment.agent", rank);
                 let mut actor = PpoActor::new(policy.clone(), cfg.seed + 1 + rank as u64);
                 let mut learner = PpoLearner::new(policy, ppo);
                 for _ in 0..cfg.episodes {
                     let mut buf = TrajectoryBuffer::new();
                     let mut prev: Option<(Tensor, Tensor, Tensor, Tensor)> = None;
+                    let rollout = msrl_telemetry::span!("phase.rollout");
                     loop {
                         // [done_flag, obs...] from the env worker.
                         let msg = ep.recv(n).map_err(comm_err)?;
@@ -99,11 +101,14 @@ where
                             out.values.expect("PPO policy has a critic"),
                         ));
                     }
+                    drop(rollout);
                     let batch = buf.drain_env_major()?;
                     if !batch.is_empty() {
+                        let _s = msrl_telemetry::span!("phase.learn");
                         learner.learn(&batch)?;
                     }
                     // MAPPO parameter sharing across agent fragments.
+                    let _sync = msrl_telemetry::span!("phase.weight_sync");
                     let avg = {
                         let mine = learner.policy_params();
                         let parts = ep.all_gather(mine).map_err(comm_err)?;
@@ -128,6 +133,7 @@ where
         }
 
         // Environment-worker fragment.
+        let frag = msrl_telemetry::span!("fragment.env_worker", n);
         let mut env = env;
         let mut env_ep = env_ep;
         let mut report = TrainingReport::default();
@@ -172,6 +178,7 @@ where
             env_ep.all_gather(Vec::new()).map_err(comm_err)?;
             report.iteration_rewards.push(total / (n * steps.max(1)) as f32);
         }
+        drop(frag);
         for h in handles {
             h.join().expect("agent thread must not panic")?;
         }

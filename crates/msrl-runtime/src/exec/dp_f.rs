@@ -51,6 +51,7 @@ where
             handles.push(scope.spawn(move || -> Result<()> {
                 // A worker: local actor + gradient computation; weights
                 // live at the server.
+                let _frag = msrl_telemetry::span!("fragment.worker", rank);
                 let mut actor = PpoActor::new(policy.clone(), dist.seed + 1 + rank as u64);
                 let mut grad_engine = PpoLearner::new(policy, ppo);
                 let mut envs = VecEnv::new(
@@ -59,9 +60,16 @@ where
                         .collect(),
                 );
                 for _ in 0..dist.iterations {
-                    let batch = collect(&mut actor, &mut envs, dist.steps_per_iter)?;
-                    let grads = grad_engine.grads(&batch)?;
+                    let batch = {
+                        let _s = msrl_telemetry::span!("phase.rollout");
+                        collect(&mut actor, &mut envs, dist.steps_per_iter)?
+                    };
+                    let grads = {
+                        let _s = msrl_telemetry::span!("phase.learn");
+                        grad_engine.grads(&batch)?
+                    };
                     // Push gradients, pull fresh weights.
+                    let _s = msrl_telemetry::span!("phase.weight_sync");
                     ep.send(p, grads).map_err(comm_err)?;
                     ep.send(p, envs.take_finished_returns()).map_err(comm_err)?;
                     let weights = ep.recv(p).map_err(comm_err)?;
@@ -73,6 +81,7 @@ where
         }
 
         // The parameter-server fragment.
+        let frag = msrl_telemetry::span!("fragment.param_server", p);
         let mut server = PpoLearner::new(policy, dist.ppo.clone());
         let mut report = TrainingReport::default();
         let mut prev_reward = 0.0;
@@ -82,12 +91,16 @@ where
                 let grads = server_ep.recv(rank).map_err(comm_err)?;
                 finished.extend(server_ep.recv(rank).map_err(comm_err)?);
                 // Apply in arrival order (asynchronous updates).
-                server.apply_grads(&grads)?;
+                {
+                    let _s = msrl_telemetry::span!("phase.learn");
+                    server.apply_grads(&grads)?;
+                }
                 server_ep.send(rank, server.policy_params()).map_err(comm_err)?;
             }
             prev_reward = mean_or_prev(&finished, prev_reward);
             report.iteration_rewards.push(prev_reward);
         }
+        drop(frag);
         for h in handles {
             h.join().expect("worker thread must not panic")?;
         }

@@ -1,0 +1,193 @@
+//! The always-on counter and gauge registry.
+//!
+//! Counters and gauges are named process-wide atomics: incrementing one
+//! is a relaxed `fetch_add`, reading a snapshot locks the registry map
+//! briefly. They are deliberately *not* gated by the `MSRL_TRACE` flag —
+//! baseline reports and byte totals must work in ordinary runs — so hot
+//! call sites should cache a handle ([`Counter::handle`] /
+//! [`static_counter!`](crate::static_counter)) rather than paying the
+//! by-name lookup per increment.
+//!
+//! [`Counter::scoped`] supports the pattern the baselines need: a private
+//! count (per actor, per run) whose increments *also* feed the global
+//! named total, so one metric pipeline serves both per-component
+//! assertions and whole-process reports.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+type Cells = Mutex<BTreeMap<String, Arc<AtomicU64>>>;
+
+fn counters() -> &'static Cells {
+    static CELLS: OnceLock<Cells> = OnceLock::new();
+    CELLS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn gauges() -> &'static Cells {
+    static CELLS: OnceLock<Cells> = OnceLock::new();
+    CELLS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn intern(map: &'static Cells, name: &str) -> Arc<AtomicU64> {
+    let mut m = map.lock().expect("telemetry registry poisoned");
+    if let Some(cell) = m.get(name) {
+        return Arc::clone(cell);
+    }
+    let cell = Arc::new(AtomicU64::new(0));
+    m.insert(name.to_string(), Arc::clone(&cell));
+    cell
+}
+
+/// A handle on a named monotonic counter.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    /// Private count when created with [`Counter::scoped`].
+    scoped: Option<Arc<AtomicU64>>,
+    /// The registry's named total.
+    global: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A plain handle: increments go to (and [`get`](Counter::get) reads)
+    /// the global named total.
+    pub fn handle(name: &str) -> Counter {
+        Counter { scoped: None, global: intern(counters(), name) }
+    }
+
+    /// A scoped handle: increments feed both a private count and the
+    /// global named total; [`get`](Counter::get) reads the private count.
+    pub fn scoped(name: &str) -> Counter {
+        Counter { scoped: Some(Arc::new(AtomicU64::new(0))), global: intern(counters(), name) }
+    }
+
+    /// Adds `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.global.fetch_add(delta, Ordering::Relaxed);
+        if let Some(s) = &self.scoped {
+            s.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// The scoped count for scoped handles, the global total otherwise.
+    pub fn get(&self) -> u64 {
+        self.scoped.as_deref().unwrap_or(&self.global).load(Ordering::Relaxed)
+    }
+}
+
+/// Adds `delta` to the named counter (registry lookup per call — fine
+/// for cold paths; hot sites cache a [`Counter`]).
+pub fn counter(name: &str, delta: u64) {
+    intern(counters(), name).fetch_add(delta, Ordering::Relaxed);
+}
+
+/// The named counter's global total (0 if never touched).
+pub fn counter_total(name: &str) -> u64 {
+    let m = counters().lock().expect("telemetry registry poisoned");
+    m.get(name).map_or(0, |c| c.load(Ordering::Relaxed))
+}
+
+/// All counters, name-sorted.
+pub fn counters_snapshot() -> Vec<(String, u64)> {
+    let m = counters().lock().expect("telemetry registry poisoned");
+    m.iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect()
+}
+
+/// Zeroes every global counter (scoped handles keep their private
+/// counts). Used between profiled runs so totals attribute cleanly.
+pub fn reset_counters() {
+    let m = counters().lock().expect("telemetry registry poisoned");
+    for v in m.values() {
+        v.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A handle on a named gauge (an `f64` reading stored as bits).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A handle on the named gauge.
+    pub fn handle(name: &str) -> Gauge {
+        Gauge { cell: intern(gauges(), name) }
+    }
+
+    /// Stores a reading.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.cell.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `value` if it exceeds the current reading —
+    /// the high-water-mark update.
+    pub fn maximum(&self, value: f64) {
+        let mut cur = self.cell.load(Ordering::Relaxed);
+        while value > f64::from_bits(cur) {
+            match self.cell.compare_exchange_weak(
+                cur,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The current reading.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Stores a reading on the named gauge (cold-path convenience).
+pub fn gauge_set(name: &str, value: f64) {
+    Gauge { cell: intern(gauges(), name) }.set(value);
+}
+
+/// High-water update on the named gauge (cold-path convenience).
+pub fn gauge_max(name: &str, value: f64) {
+    Gauge { cell: intern(gauges(), name) }.maximum(value);
+}
+
+/// All gauges, name-sorted.
+pub fn gauges_snapshot() -> Vec<(String, f64)> {
+    let m = gauges().lock().expect("telemetry registry poisoned");
+    m.iter().map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed)))).collect()
+}
+
+/// Zeroes every gauge.
+pub fn reset_gauges() {
+    let m = gauges().lock().expect("telemetry registry poisoned");
+    for v in m.values() {
+        v.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_snapshots() {
+        counter("registry.test.a", 2);
+        counter("registry.test.a", 3);
+        assert_eq!(counter_total("registry.test.a"), 5);
+        assert!(counters_snapshot().iter().any(|(k, v)| k == "registry.test.a" && *v == 5));
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        gauge_set("registry.test.g", 2.5);
+        gauge_max("registry.test.g", 1.0);
+        assert_eq!(
+            gauges_snapshot().iter().find(|(k, _)| k == "registry.test.g").unwrap().1,
+            2.5,
+            "maximum() never lowers a gauge"
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Aggregated summaries: per-span latency percentiles plus counter and
+//! gauge snapshots, renderable as aligned text or JSON.
+
+use std::collections::HashMap;
+
+use crate::recorder::{Event, Phase};
+use crate::registry;
+
+/// Nearest-rank percentile of an ascending-sorted duration list.
+/// `percentile_ns(&d, 50.0)` is the median, `percentile_ns(&d, 99.0)`
+/// the p99; an empty list yields 0.
+pub fn percentile_ns(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Aggregated durations of one span name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Span name.
+    pub name: String,
+    /// Completed (matched Begin/End) occurrences.
+    pub count: u64,
+    /// Sum of durations, ns.
+    pub total_ns: u64,
+    /// Median duration, ns.
+    pub p50_ns: u64,
+    /// 99th-percentile duration, ns.
+    pub p99_ns: u64,
+    /// Longest duration, ns.
+    pub max_ns: u64,
+}
+
+/// A full telemetry summary.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    /// Per-span aggregates, sorted by total time descending.
+    pub spans: Vec<SpanStats>,
+    /// Counter totals at summary time, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge readings at summary time, name-sorted.
+    pub gauges: Vec<(String, f64)>,
+}
+
+impl TelemetryReport {
+    /// Aggregates a drained event stream (events must be per-thread
+    /// ordered, which [`crate::drain`] guarantees). Unmatched boundaries
+    /// are skipped.
+    pub fn from_events(events: &[Event]) -> TelemetryReport {
+        // Open-span stacks per thread; durations per span name.
+        let mut stacks: HashMap<u64, Vec<(&'static str, u64)>> = HashMap::new();
+        let mut durations: HashMap<&'static str, Vec<u64>> = HashMap::new();
+        for e in events {
+            let stack = stacks.entry(e.tid).or_default();
+            match e.phase {
+                Phase::Begin => stack.push((e.name, e.ts_ns)),
+                Phase::End => {
+                    if let Some(&(name, begin)) = stack.last() {
+                        if name == e.name {
+                            stack.pop();
+                            durations.entry(name).or_default().push(e.ts_ns.saturating_sub(begin));
+                        }
+                    }
+                }
+            }
+        }
+        let mut spans: Vec<SpanStats> = durations
+            .into_iter()
+            .map(|(name, mut d)| {
+                d.sort_unstable();
+                SpanStats {
+                    name: name.to_string(),
+                    count: d.len() as u64,
+                    total_ns: d.iter().sum(),
+                    p50_ns: percentile_ns(&d, 50.0),
+                    p99_ns: percentile_ns(&d, 99.0),
+                    max_ns: *d.last().unwrap_or(&0),
+                }
+            })
+            .collect();
+        spans.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+        TelemetryReport { spans, counters: Vec::new(), gauges: Vec::new() }
+    }
+
+    /// Attaches the current counter and gauge registry snapshots.
+    #[must_use]
+    pub fn with_registry(mut self) -> Self {
+        self.counters = registry::counters_snapshot();
+        self.gauges = registry::gauges_snapshot();
+        self
+    }
+
+    /// Looks up one span's aggregate by name.
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Looks up one counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Renders an aligned text table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>9} {:>13} {:>12} {:>12} {:>12}\n",
+            "span", "count", "total ms", "p50 us", "p99 us", "max us"
+        ));
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{:<28} {:>9} {:>13.3} {:>12.1} {:>12.1} {:>12.1}\n",
+                s.name,
+                s.count,
+                s.total_ns as f64 / 1e6,
+                s.p50_ns as f64 / 1e3,
+                s.p99_ns as f64 / 1e3,
+                s.max_ns as f64 / 1e3,
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push_str(&format!("{:<40} {:>16}\n", "counter", "total"));
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name:<40} {v:>16}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str(&format!("{:<40} {:>16}\n", "gauge", "value"));
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("{name:<40} {v:>16.1}\n"));
+            }
+        }
+        out
+    }
+
+    /// Serialises the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"spans\": [\n");
+        for (i, s) in self.spans.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"count\": {}, \"total_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}{}\n",
+                s.name,
+                s.count,
+                s.total_ns,
+                s.p50_ns,
+                s.p99_ns,
+                s.max_ns,
+                if i + 1 == self.spans.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    \"{name}\": {v}{}",
+                if i + 1 == self.counters.len() { "\n  " } else { "," }
+            ));
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    \"{name}\": {v:.3}{}",
+                if i + 1 == self.gauges.len() { "\n  " } else { "," }
+            ));
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_sequence() {
+        // 1..=100 ns: median 50, p99 99, p100 100.
+        let d: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&d, 50.0), 50);
+        assert_eq!(percentile_ns(&d, 99.0), 99);
+        assert_eq!(percentile_ns(&d, 100.0), 100);
+        assert_eq!(percentile_ns(&d, 0.0), 1);
+        assert_eq!(percentile_ns(&[], 50.0), 0);
+        assert_eq!(percentile_ns(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn aggregates_known_event_sequence() {
+        // Three "work" spans of 10, 20 and 90 ns plus one nested "inner".
+        let mk = |name: &'static str, phase, ts_ns| Event { name, phase, ts_ns, tid: 1, id: None };
+        let events = vec![
+            mk("work", Phase::Begin, 0),
+            mk("work", Phase::End, 10),
+            mk("work", Phase::Begin, 100),
+            mk("inner", Phase::Begin, 105),
+            mk("inner", Phase::End, 108),
+            mk("work", Phase::End, 120),
+            mk("work", Phase::Begin, 200),
+            mk("work", Phase::End, 290),
+        ];
+        let report = TelemetryReport::from_events(&events);
+        let work = report.span("work").unwrap();
+        assert_eq!(work.count, 3);
+        assert_eq!(work.total_ns, 10 + 20 + 90);
+        assert_eq!(work.p50_ns, 20);
+        assert_eq!(work.p99_ns, 90);
+        assert_eq!(work.max_ns, 90);
+        assert_eq!(report.span("inner").unwrap().total_ns, 3);
+        // Spans sort by total time descending.
+        assert_eq!(report.spans[0].name, "work");
+        let text = report.render_text();
+        assert!(text.contains("work") && text.contains("inner"));
+    }
+
+    #[test]
+    fn json_is_parseable() {
+        let events = vec![
+            Event { name: "a", phase: Phase::Begin, ts_ns: 0, tid: 1, id: None },
+            Event { name: "a", phase: Phase::End, ts_ns: 5, tid: 1, id: None },
+        ];
+        let json = TelemetryReport::from_events(&events).with_registry().to_json();
+        serde_json::value_from_str(&json).expect("report JSON parses");
+    }
+}

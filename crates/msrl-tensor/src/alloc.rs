@@ -12,15 +12,28 @@
 //! path and worker threads spawned by [`crate::par`] (which never
 //! allocate outputs — partitioning happens after the output buffer
 //! exists) are unaffected. Buffers are binned by exact length; the pool
-//! holds at most [`MAX_POOLED_ELEMS`] floats and silently drops returns
-//! beyond that, so it can never grow without bound.
+//! holds at most [`MAX_POOLED_ELEMS`] floats and at most
+//! [`MAX_BUFFERS_PER_BUCKET`] buffers of any one length per thread,
+//! silently dropping returns beyond either cap, so long runs can never
+//! grow it without bound (the element cap alone would still admit
+//! millions of tiny buffers whose `Vec` headers dominate).
+//!
+//! Hits, misses and the pooled-storage high-water mark also feed the
+//! [`msrl_telemetry`] registry (`pool.hit`, `pool.miss`,
+//! `pool.pooled_elems_hw`), so profiling reports see recycling behaviour
+//! across every thread without poking at thread-locals.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 
+use msrl_telemetry::{Counter, Gauge};
+
 /// Upper bound on pooled storage per thread, in `f32` elements (16 Mi
 /// elements = 64 MiB).
 pub const MAX_POOLED_ELEMS: usize = 16 * 1024 * 1024;
+
+/// Upper bound on retained buffers of any single length per thread.
+pub const MAX_BUFFERS_PER_BUCKET: usize = 64;
 
 /// Hit/miss counters for the calling thread's pool, for tests and
 /// diagnostics.
@@ -32,12 +45,29 @@ pub struct PoolStats {
     pub misses: u64,
     /// Elements currently held in the free list.
     pub pooled_elems: usize,
+    /// Most elements the free list has ever held on this thread.
+    pub high_water_elems: usize,
 }
 
-#[derive(Default)]
 struct Pool {
     buckets: HashMap<usize, Vec<Vec<f32>>>,
     stats: PoolStats,
+    /// Shared-pipeline mirrors of the thread-local stats.
+    hit_counter: Counter,
+    miss_counter: Counter,
+    high_water: Gauge,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool {
+            buckets: HashMap::new(),
+            stats: PoolStats::default(),
+            hit_counter: Counter::handle("pool.hit"),
+            miss_counter: Counter::handle("pool.miss"),
+            high_water: Gauge::handle("pool.pooled_elems_hw"),
+        }
+    }
 }
 
 thread_local! {
@@ -57,18 +87,20 @@ pub fn take_filled(len: usize, value: f32) -> Vec<f32> {
         if let Some(mut buf) = pool.buckets.get_mut(&len).and_then(Vec::pop) {
             pool.stats.hits += 1;
             pool.stats.pooled_elems -= len;
+            pool.hit_counter.add(1);
             buf.fill(value);
             buf
         } else {
             pool.stats.misses += 1;
+            pool.miss_counter.add(1);
             vec![value; len]
         }
     })
 }
 
 /// Returns a buffer to the calling thread's pool. Buffers that would push
-/// the pool past [`MAX_POOLED_ELEMS`] (and zero-length buffers) are
-/// dropped instead.
+/// the pool past [`MAX_POOLED_ELEMS`], overfill their length bucket past
+/// [`MAX_BUFFERS_PER_BUCKET`], or are zero-length are dropped instead.
 pub fn give(buf: Vec<f32>) {
     let len = buf.len();
     if len == 0 {
@@ -76,9 +108,18 @@ pub fn give(buf: Vec<f32>) {
     }
     POOL.with(|p| {
         let mut pool = p.borrow_mut();
-        if pool.stats.pooled_elems + len <= MAX_POOLED_ELEMS {
-            pool.stats.pooled_elems += len;
-            pool.buckets.entry(len).or_default().push(buf);
+        if pool.stats.pooled_elems + len > MAX_POOLED_ELEMS {
+            return;
+        }
+        let bucket = pool.buckets.entry(len).or_default();
+        if bucket.len() >= MAX_BUFFERS_PER_BUCKET {
+            return;
+        }
+        bucket.push(buf);
+        pool.stats.pooled_elems += len;
+        if pool.stats.pooled_elems > pool.stats.high_water_elems {
+            pool.stats.high_water_elems = pool.stats.pooled_elems;
+            pool.high_water.maximum(pool.stats.high_water_elems as f64);
         }
     });
 }
@@ -135,6 +176,41 @@ mod tests {
         give(vec![0.0; MAX_POOLED_ELEMS]);
         give(vec![0.0; 64]); // over budget: dropped
         assert_eq!(stats().pooled_elems, MAX_POOLED_ELEMS);
+        clear();
+    }
+
+    #[test]
+    fn buckets_are_bounded() {
+        clear();
+        for _ in 0..MAX_BUFFERS_PER_BUCKET + 10 {
+            give(vec![0.0; 4]);
+        }
+        assert_eq!(stats().pooled_elems, MAX_BUFFERS_PER_BUCKET * 4);
+        clear();
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        clear();
+        give(vec![0.0; 256]);
+        give(vec![0.0; 256]);
+        let _ = take_zeroed(256);
+        let s = stats();
+        assert_eq!(s.pooled_elems, 256);
+        assert_eq!(s.high_water_elems, 512);
+        clear();
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_stats() {
+        clear();
+        let before_hits = msrl_telemetry::counter_total("pool.hit");
+        let before_misses = msrl_telemetry::counter_total("pool.miss");
+        give(vec![0.0; 48]);
+        let _ = take_zeroed(48); // hit
+        let _ = take_zeroed(48); // miss
+        assert!(msrl_telemetry::counter_total("pool.hit") > before_hits);
+        assert!(msrl_telemetry::counter_total("pool.miss") > before_misses);
         clear();
     }
 }

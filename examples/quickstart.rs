@@ -59,4 +59,10 @@ fn main() {
         report.early_reward(5),
         report.recent_reward(5)
     );
+
+    // With MSRL_TRACE=1 MSRL_TRACE_FILE=trace.json set, dump the Chrome
+    // trace of the run (open it in Perfetto or chrome://tracing).
+    if let Some(path) = msrl_telemetry::write_trace_to_env_file().expect("trace file writable") {
+        println!("wrote Chrome trace to {path}");
+    }
 }

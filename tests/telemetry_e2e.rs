@@ -1,0 +1,87 @@
+//! End-to-end telemetry contract: tracing must be an observer, never a
+//! participant.
+//!
+//! Everything runs in one test body because the enable flag, the event
+//! sink and the counter registry are process-global and `cargo test`
+//! runs sibling tests on parallel threads.
+
+use msrl_core::interp::Interpreter;
+use msrl_core::trace::{trace_mlp, TraceCtx};
+use msrl_env::cartpole::CartPole;
+use msrl_runtime::exec::{run_dp_a, DistPpoConfig};
+use msrl_tensor::Tensor;
+
+/// Evaluates a small traced MLP and returns the raw output bits.
+fn mlp_output_bits() -> Vec<u32> {
+    let ctx = TraceCtx::new();
+    let x = ctx.input("x", &[8, 17]);
+    trace_mlp(&ctx, "pi", &x, &[17, 16, 6]);
+    let g = ctx.finish();
+    let mut interp = Interpreter::new();
+    interp.bind_param("pi.w0", Tensor::full(&[17, 16], 0.01));
+    interp.bind_param("pi.b0", Tensor::zeros(&[16]));
+    interp.bind_param("pi.w1", Tensor::full(&[16, 6], 0.01));
+    interp.bind_param("pi.b1", Tensor::zeros(&[6]));
+    interp.bind_input("x", Tensor::full(&[8, 17], 0.1));
+    let outs = interp.eval(&g).expect("graph evaluates");
+    outs.iter().flat_map(|t| t.data().iter().map(|v| v.to_bits())).collect()
+}
+
+#[test]
+fn telemetry_observes_without_perturbing() {
+    // 1. Disabled tracing: the instrumented interpreter records no
+    //    events and produces bit-identical results to an enabled run.
+    msrl_telemetry::set_enabled(false);
+    msrl_telemetry::clear_events();
+    let quiet = mlp_output_bits();
+    assert!(
+        msrl_telemetry::drain().is_empty(),
+        "disabled tracing must record nothing from instrumented code"
+    );
+
+    msrl_telemetry::set_enabled(true);
+    msrl_telemetry::clear_events();
+    let ops_before = msrl_telemetry::counter_total("interp.ops");
+    let traced = mlp_output_bits();
+    assert_eq!(quiet, traced, "tracing must not change computed values");
+    assert!(
+        msrl_telemetry::counter_total("interp.ops") > ops_before,
+        "the interpreter counts the ops it evaluates"
+    );
+
+    // 2. A real distributed run under tracing yields a valid Chrome
+    //    trace with fragment lanes, phase spans and comm volume.
+    msrl_telemetry::clear_events();
+    msrl_telemetry::reset_counters();
+    let dist = DistPpoConfig {
+        actors: 2,
+        envs_per_actor: 2,
+        steps_per_iter: 32,
+        iterations: 3,
+        hidden: vec![16],
+        seed: 3,
+        ..DistPpoConfig::default()
+    };
+    run_dp_a(|a, i| CartPole::new((a * 3 + i) as u64), &dist).expect("dp_a runs");
+    let events = msrl_telemetry::drain();
+    let trace = msrl_telemetry::chrome_trace(&events);
+    let check = msrl_telemetry::validate_chrome_trace(&trace).expect("trace validates");
+    assert!(
+        check.fragment_spans > dist.actors,
+        "one fragment lane per actor plus the learner, got {}",
+        check.fragment_spans
+    );
+
+    let report = msrl_telemetry::TelemetryReport::from_events(&events).with_registry();
+    for phase in ["phase.rollout", "phase.learn", "phase.weight_sync"] {
+        let s = report.span(phase).unwrap_or_else(|| panic!("{phase} must appear"));
+        assert!(s.count > 0 && s.p50_ns <= s.p99_ns && s.p99_ns <= s.max_ns);
+    }
+    assert!(report.counter("comm.bytes_sent").unwrap_or(0) > 0, "comm volume is counted");
+    assert!(report.counter("env.steps").unwrap_or(0) > 0, "env steps are counted");
+
+    // 3. The report's JSON form parses with the vendored reader.
+    let json = report.to_json();
+    serde_json::value_from_str(&json).expect("report JSON parses");
+    msrl_telemetry::set_enabled(false);
+}
