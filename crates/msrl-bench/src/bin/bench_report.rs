@@ -17,10 +17,13 @@
 //! a share of that evaluation — the number the <5% acceptance bound
 //! applies to.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use msrl_algos::ppo::PpoConfig;
 use msrl_core::interp::Interpreter;
 use msrl_core::trace::{trace_mlp, TraceCtx};
+use msrl_env::cartpole::CartPole;
+use msrl_runtime::exec::{run_dp_a, run_dp_c, DistPpoConfig};
 use msrl_tensor::{ops, par, Backend, Tensor};
 
 /// Median ns/iter of `f` over `samples` timed samples, auto-scaling the
@@ -153,6 +156,65 @@ fn telemetry_cost() -> TelemetryCost {
     }
 }
 
+/// Iterations/sec of one distribution policy with overlap off vs on.
+struct OverlapRow {
+    policy: &'static str,
+    off_iters_per_sec: f64,
+    on_iters_per_sec: f64,
+}
+
+impl OverlapRow {
+    fn speedup(&self) -> f64 {
+        self.on_iters_per_sec / self.off_iters_per_sec.max(1e-9)
+    }
+}
+
+/// End-to-end PPO CartPole throughput under DP-A and DP-C, overlap off
+/// vs on — the macro counterpart of `profile_report`'s span analysis,
+/// tracked release over release like the backend numbers. The workload
+/// matches `profile_report`: a simulated 10 ms wire latency and a
+/// rollout/learn balance that is communication-bound, so the overlap
+/// machinery has real transfer time to hide. Telemetry stays disabled:
+/// these are wall-clock numbers.
+fn comm_overlap_rows() -> Vec<OverlapRow> {
+    let base = DistPpoConfig {
+        actors: 2,
+        envs_per_actor: 1,
+        steps_per_iter: 128,
+        iterations: 8,
+        hidden: vec![32],
+        seed: 7,
+        staleness: 1,
+        link_latency: Duration::from_millis(10),
+        ppo: PpoConfig { epochs: 1, ..PpoConfig::default() },
+        ..DistPpoConfig::default()
+    };
+    let iters_per_sec = |run: &dyn Fn(&DistPpoConfig), overlap: bool| {
+        let dist = DistPpoConfig { overlap, ..base.clone() };
+        let t0 = Instant::now();
+        run(&dist);
+        base.iterations as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    };
+    let dp_a = |dist: &DistPpoConfig| {
+        run_dp_a(|a, i| CartPole::new((a * 13 + i) as u64), dist).expect("dp_a runs");
+    };
+    let dp_c = |dist: &DistPpoConfig| {
+        run_dp_c(|a, i| CartPole::new((a * 13 + i) as u64), dist).expect("dp_c runs");
+    };
+    vec![
+        OverlapRow {
+            policy: "dp_a",
+            off_iters_per_sec: iters_per_sec(&dp_a, false),
+            on_iters_per_sec: iters_per_sec(&dp_a, true),
+        },
+        OverlapRow {
+            policy: "dp_c",
+            off_iters_per_sec: iters_per_sec(&dp_c, false),
+            on_iters_per_sec: iters_per_sec(&dp_c, true),
+        },
+    ]
+}
+
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_backend.json".to_string());
     let threads = par::thread_count();
@@ -181,6 +243,7 @@ fn main() {
     }
     rows.push(mlp_rows(16, 8));
     let tel = telemetry_cost();
+    let overlap = comm_overlap_rows();
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
@@ -198,6 +261,18 @@ fn main() {
         tel.disabled_probe_share_pct,
         tel.traced_on_overhead_pct,
     ));
+    json.push_str("  \"comm_overlap\": [\n");
+    for (i, r) in overlap.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"off_iters_per_sec\": {:.2}, \"on_iters_per_sec\": {:.2}, \"speedup\": {:.2}}}{}\n",
+            r.policy,
+            r.off_iters_per_sec,
+            r.on_iters_per_sec,
+            r.speedup(),
+            if i + 1 == overlap.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"entries\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
@@ -241,5 +316,14 @@ fn main() {
         tel.disabled_probe_share_pct,
         tel.traced_on_overhead_pct,
     );
+    for r in &overlap {
+        println!(
+            "comm_overlap {:<6} off {:>6.2} it/s, on {:>6.2} it/s ({:.2}x)",
+            r.policy,
+            r.off_iters_per_sec,
+            r.on_iters_per_sec,
+            r.speedup()
+        );
+    }
     println!("wrote {out_path}");
 }

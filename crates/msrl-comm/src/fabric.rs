@@ -1,4 +1,5 @@
-//! A real in-process transport with MPI/NCCL-style collectives.
+//! A real in-process transport with MPI/NCCL-style collectives and
+//! non-blocking, overlap-friendly primitives.
 //!
 //! When MSRL executes a fragmented dataflow graph for real, each fragment
 //! replica runs on its own thread ("device") and synchronises with the
@@ -6,19 +7,43 @@
 //! a fully-connected group of [`Endpoint`]s over FIFO channels; each
 //! endpoint then offers `send`/`recv`, `all_gather`, `all_reduce_mean`,
 //! `broadcast` and `barrier` with the same blocking semantics as the MPI
-//! operations they stand in for.
+//! operations they stand in for — plus the asynchronous surface the
+//! distribution policies use to *overlap* communication with computation:
+//!
+//! * [`Endpoint::isend`] / [`Endpoint::irecv`] — handle-based
+//!   non-blocking point-to-point ops. An [`PendingRecv`] is polled
+//!   ([`PendingRecv::poll`]) or waited ([`PendingRecv::wait`]); the wait
+//!   parks on the channel's condvar, so a blocked fragment costs no CPU.
+//! * [`Endpoint::all_reduce_mean_concat`] — a fused collective: extra
+//!   payload segments (e.g. episode returns) ride the gradient
+//!   all-reduce in a single barrier instead of paying a second one.
+//! * [`Endpoint::all_reduce_mean_chunked`] — splits large payloads so
+//!   reduction of chunk *k* overlaps the transfer of chunk *k+1*.
+//! * [`Endpoint::recv_any`] — completion-order receive across several
+//!   peers, for arrival-order learners (A3C, parameter servers) that
+//!   previously spin-polled.
 //!
 //! An optional injected latency per message reproduces the `tc`-based
-//! latency experiments of the paper (Fig. 7d) in real mode.
+//! latency experiments of the paper (Fig. 7d) in real mode. The latency
+//! is modelled at the *receiver*: `send` stamps a delivery deadline and
+//! returns immediately (messages are "in flight"), and the receiving
+//! side sleeps out whatever remains of the deadline when it claims the
+//! message. The sender therefore never blocks for the simulated wire
+//! time — the property the overlap machinery depends on — and nobody
+//! holds a lock across the latency simulation.
 //!
 //! Every operation feeds the [`msrl_telemetry`] pipeline: blocking calls
-//! record `comm.*` spans when `MSRL_TRACE` is on, and the always-on
-//! counters `comm.bytes_sent` / `comm.bytes_recv` / `comm.msgs_sent`
-//! total traffic while `comm.sim_latency_ns` attributes time spent in
-//! the injected-latency sleep.
+//! record `comm.*` spans when `MSRL_TRACE` is on (a [`PendingRecv::wait`]
+//! records only the *residual* blocked time, which is how reclaimed
+//! overlap shows up in profiles), and the always-on counters
+//! `comm.bytes_sent` / `comm.bytes_recv` / `comm.msgs_sent` total traffic
+//! while `comm.sim_latency_ns` attributes time spent waiting out the
+//! injected latency.
 
+use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 
@@ -60,11 +85,36 @@ impl fmt::Display for CommError {
 
 impl std::error::Error for CommError {}
 
-/// A message: an opaque `f32` payload plus a collective tag.
+/// A message: an opaque `f32` payload, a collective tag, and the instant
+/// the simulated wire delivers it (None ⇒ immediately).
 #[derive(Debug, Clone)]
 struct Message {
     tag: u64,
+    deliver_at: Option<Instant>,
     payload: Vec<f32>,
+}
+
+/// True once the simulated wire has delivered `msg`.
+fn delivered(msg: &Message) -> bool {
+    msg.deliver_at.is_none_or(|at| at <= Instant::now())
+}
+
+/// Sleeps out whatever remains of `msg`'s delivery deadline, attributing
+/// the waited time to `comm.sim_latency_ns`. The caller holds no locks
+/// here — the message has already been dequeued.
+fn wait_delivered(msg: &Message) {
+    let Some(at) = msg.deliver_at else { return };
+    let now = Instant::now();
+    if at > now {
+        let remaining = at - now;
+        std::thread::sleep(remaining);
+        msrl_telemetry::static_counter!("comm.sim_latency_ns").add(remaining.as_nanos() as u64);
+    }
+}
+
+fn count_recv(payload: &[f32]) {
+    msrl_telemetry::static_counter!("comm.bytes_recv")
+        .add(payload.len() as u64 * std::mem::size_of::<f32>() as u64);
 }
 
 /// A communication group factory.
@@ -81,8 +131,9 @@ impl Fabric {
         Self::with_latency(n, Duration::ZERO)
     }
 
-    /// Like [`Fabric::new`], but every `send` sleeps for `latency` first,
-    /// emulating a slow network in real executions.
+    /// Like [`Fabric::new`], but every message takes `latency` to arrive,
+    /// emulating a slow network in real executions. The latency is paid
+    /// by the *receiver* when it claims the message; senders never block.
     pub fn with_latency(n: usize, latency: Duration) -> Vec<Endpoint> {
         let mut senders: Vec<Vec<Sender<Message>>> = vec![Vec::with_capacity(n); n];
         let mut receivers: Vec<Vec<Receiver<Message>>> = (0..n).map(|_| Vec::new()).collect();
@@ -107,6 +158,7 @@ impl Fabric {
                 size: n,
                 txs,
                 rxs: std::mem::take(&mut receivers[j]),
+                stash: RefCell::new((0..n).map(|_| VecDeque::new()).collect()),
                 latency,
                 next_tag: 1,
             });
@@ -127,6 +179,9 @@ pub struct Endpoint {
     txs: Vec<Sender<Message>>,
     /// `rxs[j]` receives from rank `j`.
     rxs: Vec<Receiver<Message>>,
+    /// Messages pulled off a channel by `try_recv`/`recv_any` before
+    /// their simulated delivery deadline, kept FIFO per peer.
+    stash: RefCell<Vec<VecDeque<Message>>>,
     latency: Duration,
     next_tag: u64,
 }
@@ -148,7 +203,15 @@ impl Endpoint {
         t
     }
 
-    /// Sends a payload to `to` (non-blocking; channels are unbounded).
+    fn check_rank(&self, rank: usize) -> Result<(), CommError> {
+        if rank >= self.size {
+            return Err(CommError::UnknownRank { rank, size: self.size });
+        }
+        Ok(())
+    }
+
+    /// Sends a payload to `to`. Never blocks: channels are unbounded and
+    /// simulated latency is paid by the receiver.
     ///
     /// # Errors
     ///
@@ -157,18 +220,68 @@ impl Endpoint {
         self.send_tagged(to, 0, payload)
     }
 
+    /// Non-blocking send returning a handle, mirroring MPI `Isend`. The
+    /// in-process transport completes sends eagerly, so the returned
+    /// [`PendingOp`] is already complete; the handle exists so call sites
+    /// read as the overlapped pattern they implement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ranks or if the peer is gone.
+    pub fn isend(&self, to: usize, payload: Vec<f32>) -> Result<PendingOp, CommError> {
+        self.send(to, payload)?;
+        Ok(PendingOp { _private: () })
+    }
+
     fn send_tagged(&self, to: usize, tag: u64, payload: Vec<f32>) -> Result<(), CommError> {
         let _span = msrl_telemetry::span!("comm.send");
-        if !self.latency.is_zero() {
-            std::thread::sleep(self.latency);
-            msrl_telemetry::static_counter!("comm.sim_latency_ns")
-                .add(self.latency.as_nanos() as u64);
-        }
         msrl_telemetry::static_counter!("comm.msgs_sent").add(1);
         msrl_telemetry::static_counter!("comm.bytes_sent")
             .add(payload.len() as u64 * std::mem::size_of::<f32>() as u64);
+        let deliver_at = (!self.latency.is_zero()).then(|| Instant::now() + self.latency);
         let tx = self.txs.get(to).ok_or(CommError::UnknownRank { rank: to, size: self.size })?;
-        tx.send(Message { tag, payload }).map_err(|_| CommError::Disconnected)
+        tx.send(Message { tag, deliver_at, payload }).map_err(|_| CommError::Disconnected)
+    }
+
+    /// Claims the next message from `from`: the stash first (FIFO), then
+    /// the channel (parking until one arrives), then sleeps out any
+    /// residual simulated latency — after the dequeue, holding no locks.
+    fn next_message(&self, from: usize) -> Result<Message, CommError> {
+        self.check_rank(from)?;
+        let stashed = self.stash.borrow_mut()[from].pop_front();
+        let msg = match stashed {
+            Some(m) => m,
+            None => self.rxs[from].recv().map_err(|_| CommError::Disconnected)?,
+        };
+        wait_delivered(&msg);
+        Ok(msg)
+    }
+
+    /// Non-blocking claim: `Ok(None)` when nothing is queued or the head
+    /// message is still in simulated flight (it is stashed, preserving
+    /// FIFO order).
+    fn try_next_message(&self, from: usize) -> Result<Option<Message>, CommError> {
+        self.check_rank(from)?;
+        let mut stash = self.stash.borrow_mut();
+        if let Some(front) = stash[from].front() {
+            if delivered(front) {
+                return Ok(Some(stash[from].pop_front().expect("front exists")));
+            }
+            return Ok(None);
+        }
+        drop(stash);
+        match self.rxs[from].try_recv() {
+            Ok(msg) => {
+                if delivered(&msg) {
+                    Ok(Some(msg))
+                } else {
+                    self.stash.borrow_mut()[from].push_back(msg);
+                    Ok(None)
+                }
+            }
+            Err(crossbeam_channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam_channel::TryRecvError::Disconnected) => Err(CommError::Disconnected),
+        }
     }
 
     /// Blocks until a payload arrives from `from`.
@@ -182,42 +295,80 @@ impl Endpoint {
 
     fn recv_tagged(&self, from: usize) -> Result<(u64, Vec<f32>), CommError> {
         let _span = msrl_telemetry::span!("comm.recv");
-        let rx =
-            self.rxs.get(from).ok_or(CommError::UnknownRank { rank: from, size: self.size })?;
-        let msg = rx.recv().map_err(|_| CommError::Disconnected)?;
-        msrl_telemetry::static_counter!("comm.bytes_recv")
-            .add(msg.payload.len() as u64 * std::mem::size_of::<f32>() as u64);
+        let msg = self.next_message(from)?;
+        count_recv(&msg.payload);
         Ok((msg.tag, msg.payload))
     }
 
     /// Non-blocking receive from `from`; `Ok(None)` when no message is
-    /// queued. The asynchronous path A3C-style policies use.
+    /// queued (or the head message is still in simulated flight). The
+    /// asynchronous path A3C-style policies use.
     ///
     /// # Errors
     ///
     /// Returns an error for unknown ranks or if the peer is gone.
     pub fn try_recv(&self, from: usize) -> Result<Option<Vec<f32>>, CommError> {
-        let rx =
-            self.rxs.get(from).ok_or(CommError::UnknownRank { rank: from, size: self.size })?;
-        match rx.try_recv() {
-            Ok(msg) => {
-                msrl_telemetry::static_counter!("comm.bytes_recv")
-                    .add(msg.payload.len() as u64 * std::mem::size_of::<f32>() as u64);
+        match self.try_next_message(from)? {
+            Some(msg) => {
+                count_recv(&msg.payload);
                 Ok(Some(msg.payload))
             }
-            Err(crossbeam_channel::TryRecvError::Empty) => Ok(None),
-            Err(crossbeam_channel::TryRecvError::Disconnected) => Err(CommError::Disconnected),
+            None => Ok(None),
         }
     }
 
-    /// AllGather: every rank contributes a payload and receives all
-    /// payloads, indexed by rank. Blocks until the whole group arrives.
+    /// Posts a non-blocking receive from `from`, mirroring MPI `Irecv`.
+    ///
+    /// The returned handle claims messages lazily: the next message
+    /// dequeued from `from` through the handle, whether by
+    /// [`PendingRecv::poll`] or [`PendingRecv::wait`]. Posting several
+    /// receives from the same peer is supported as long as the handles
+    /// are waited in posting order (the drivers' usage); interleaving
+    /// `recv` calls with an outstanding handle on the same peer makes
+    /// message attribution depend on dequeue order.
     ///
     /// # Errors
     ///
-    /// Returns an error on disconnection or collective mismatch.
-    pub fn all_gather(&mut self, payload: Vec<f32>) -> Result<Vec<Vec<f32>>, CommError> {
-        let _span = msrl_telemetry::span!("comm.all_gather");
+    /// Returns an error for unknown ranks.
+    pub fn irecv(&self, from: usize) -> Result<PendingRecv, CommError> {
+        self.check_rank(from)?;
+        let prefetched = self.stash.borrow_mut()[from].pop_front();
+        Ok(PendingRecv { from, rx: self.rxs[from].clone(), prefetched })
+    }
+
+    /// Blocks until a message arrives from *any* of the given peers and
+    /// returns `(rank, payload)` in completion order — the arrival-order
+    /// receive that A3C learners and parameter servers want. Parks with
+    /// bounded backoff between polls instead of spinning, so a blocked
+    /// learner does not burn the CPU its workers need.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown ranks or when any polled peer is
+    /// gone.
+    pub fn recv_any(&self, from: &[usize]) -> Result<(usize, Vec<f32>), CommError> {
+        let _span = msrl_telemetry::span!("comm.recv");
+        for &f in from {
+            self.check_rank(f)?;
+        }
+        let mut backoff = Duration::from_micros(20);
+        loop {
+            for &f in from {
+                if let Some(msg) = self.try_next_message(f)? {
+                    count_recv(&msg.payload);
+                    return Ok((f, msg.payload));
+                }
+            }
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_millis(1));
+        }
+    }
+
+    /// One tagged exchange round: every rank ships `payload` to every
+    /// peer and collects all contributions indexed by rank — the shared
+    /// body of the collectives, kept span-free so each collective shows
+    /// up in traces under exactly one name.
+    fn exchange_tagged(&mut self, payload: Vec<f32>) -> Result<Vec<Vec<f32>>, CommError> {
         let tag = self.advance_tag();
         for to in 0..self.size {
             if to != self.rank {
@@ -239,6 +390,17 @@ impl Endpoint {
         Ok(out)
     }
 
+    /// AllGather: every rank contributes a payload and receives all
+    /// payloads, indexed by rank. Blocks until the whole group arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection or collective mismatch.
+    pub fn all_gather(&mut self, payload: Vec<f32>) -> Result<Vec<Vec<f32>>, CommError> {
+        let _span = msrl_telemetry::span!("comm.all_gather");
+        self.exchange_tagged(payload)
+    }
+
     /// AllReduce with mean: element-wise average of every rank's payload.
     /// All payloads must have equal length.
     ///
@@ -249,24 +411,110 @@ impl Endpoint {
     pub fn all_reduce_mean(&mut self, payload: Vec<f32>) -> Result<Vec<f32>, CommError> {
         let _span = msrl_telemetry::span!("comm.all_reduce");
         let len = payload.len();
-        let parts = self.all_gather(payload)?;
+        let parts = self.exchange_tagged(payload)?;
+        reduce_mean_parts(&parts, len, self.size)
+    }
+
+    /// Fused AllReduce+AllGather in one barrier: the `reduce` segment is
+    /// element-wise averaged (equal length on every rank, like
+    /// [`Endpoint::all_reduce_mean`]) while the `extra` segment — any
+    /// length per rank — rides the same messages and is returned gathered
+    /// by rank. Distribution policies use it to ship episode returns on
+    /// the gradient all-reduce instead of paying a second barrier.
+    ///
+    /// Wire layout per message: `[reduce_len, reduce…, extra…]`; the
+    /// header is an exact `f32` for any payload under 2²⁴ elements.
+    ///
+    /// The averaged segment is bit-identical to the unfused
+    /// `all_reduce_mean` (same rank-order accumulation), and the gathered
+    /// segments match `all_gather`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection, mismatched collectives, or
+    /// ragged `reduce` lengths.
+    pub fn all_reduce_mean_concat(
+        &mut self,
+        reduce: Vec<f32>,
+        extra: Vec<f32>,
+    ) -> Result<(Vec<f32>, Vec<Vec<f32>>), CommError> {
+        let _span = msrl_telemetry::span!("comm.all_reduce_fused");
+        let len = reduce.len();
+        let mut framed = Vec::with_capacity(1 + len + extra.len());
+        framed.push(len as f32);
+        framed.extend_from_slice(&reduce);
+        framed.extend_from_slice(&extra);
+        let parts = self.exchange_tagged(framed)?;
         let mut acc = vec![0.0f32; len];
+        let mut extras = Vec::with_capacity(self.size);
         for p in &parts {
-            if p.len() != len {
+            let rlen = p.first().copied().unwrap_or(-1.0);
+            if rlen != len as f32 || p.len() < 1 + len {
                 return Err(CommError::TagMismatch {
                     expected: len as u64,
-                    actual: p.len() as u64,
+                    actual: rlen.max(0.0) as u64,
                 });
             }
-            for (a, v) in acc.iter_mut().zip(p) {
+            for (a, v) in acc.iter_mut().zip(&p[1..1 + len]) {
                 *a += v;
             }
+            extras.push(p[1 + len..].to_vec());
         }
         let n = self.size as f32;
         for a in &mut acc {
             *a /= n;
         }
-        Ok(acc)
+        Ok((acc, extras))
+    }
+
+    /// Chunked AllReduce-mean: the payload is split into `chunk_elems`
+    /// pieces, every piece is shipped up front (sends never block), and
+    /// reduction of chunk *k* proceeds while chunk *k+1* is still in
+    /// flight — the transfer/reduce pipelining of bucketed collectives.
+    /// Results are bit-identical to [`Endpoint::all_reduce_mean`] for any
+    /// chunk size (per-element accumulation order is unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on disconnection, mismatched collectives, or
+    /// ragged payload lengths.
+    pub fn all_reduce_mean_chunked(
+        &mut self,
+        payload: Vec<f32>,
+        chunk_elems: usize,
+    ) -> Result<Vec<f32>, CommError> {
+        let chunk = chunk_elems.max(1);
+        if payload.len() <= chunk {
+            return self.all_reduce_mean(payload);
+        }
+        let _span = msrl_telemetry::span!("comm.all_reduce");
+        let n_chunks = payload.len().div_ceil(chunk);
+        let tags: Vec<u64> = (0..n_chunks).map(|_| self.advance_tag()).collect();
+        for (k, piece) in payload.chunks(chunk).enumerate() {
+            for to in 0..self.size {
+                if to != self.rank {
+                    self.send_tagged(to, tags[k], piece.to_vec())?;
+                }
+            }
+        }
+        msrl_telemetry::static_counter!("comm.chunks").add(n_chunks as u64);
+        let mut out = Vec::with_capacity(payload.len());
+        for (k, piece) in payload.chunks(chunk).enumerate() {
+            let mut parts: Vec<Vec<f32>> = vec![Vec::new(); self.size];
+            for (from, slot) in parts.iter_mut().enumerate() {
+                if from == self.rank {
+                    *slot = piece.to_vec();
+                } else {
+                    let (t, p) = self.recv_tagged(from)?;
+                    if t != tags[k] {
+                        return Err(CommError::TagMismatch { expected: tags[k], actual: t });
+                    }
+                    *slot = p;
+                }
+            }
+            out.extend(reduce_mean_parts(&parts, piece.len(), self.size)?);
+        }
+        Ok(out)
     }
 
     /// Broadcast from `root`: the root's payload is returned on every
@@ -277,9 +525,7 @@ impl Endpoint {
     /// Returns an error on disconnection or collective mismatch.
     pub fn broadcast(&mut self, root: usize, payload: Vec<f32>) -> Result<Vec<f32>, CommError> {
         let _span = msrl_telemetry::span!("comm.broadcast");
-        if root >= self.size {
-            return Err(CommError::UnknownRank { rank: root, size: self.size });
-        }
+        self.check_rank(root)?;
         let tag = self.advance_tag();
         if self.rank == root {
             for to in 0..self.size {
@@ -304,8 +550,109 @@ impl Endpoint {
     /// Returns an error on disconnection.
     pub fn barrier(&mut self) -> Result<(), CommError> {
         let _span = msrl_telemetry::span!("comm.barrier");
-        self.all_gather(Vec::new()).map(|_| ())
+        self.exchange_tagged(Vec::new()).map(|_| ())
     }
+}
+
+/// Sums `parts` element-wise in rank order and divides by `size`,
+/// rejecting ragged contributions — the single reduction kernel behind
+/// every AllReduce variant, so fused/chunked/unfused results agree
+/// bit-for-bit.
+fn reduce_mean_parts(parts: &[Vec<f32>], len: usize, size: usize) -> Result<Vec<f32>, CommError> {
+    let mut acc = vec![0.0f32; len];
+    for p in parts {
+        if p.len() != len {
+            return Err(CommError::TagMismatch { expected: len as u64, actual: p.len() as u64 });
+        }
+        for (a, v) in acc.iter_mut().zip(p) {
+            *a += v;
+        }
+    }
+    let n = size as f32;
+    for a in &mut acc {
+        *a /= n;
+    }
+    Ok(acc)
+}
+
+/// Handle for a posted non-blocking receive (see [`Endpoint::irecv`]).
+///
+/// Owns its own channel handle, so it stays valid while the endpoint
+/// keeps communicating; drop it to abandon the receive (the message, if
+/// any, is left for the endpoint to claim).
+#[must_use = "a posted receive must be polled or waited"]
+pub struct PendingRecv {
+    from: usize,
+    rx: Receiver<Message>,
+    prefetched: Option<Message>,
+}
+
+impl PendingRecv {
+    /// The rank this receive was posted against.
+    pub fn from_rank(&self) -> usize {
+        self.from
+    }
+
+    /// Non-blocking completion check: true once a message has arrived
+    /// *and* cleared its simulated delivery deadline — a subsequent
+    /// [`PendingRecv::wait`] returns without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the peer is gone before sending.
+    pub fn poll(&mut self) -> Result<bool, CommError> {
+        if self.prefetched.is_none() {
+            match self.rx.try_recv() {
+                Ok(msg) => self.prefetched = Some(msg),
+                Err(crossbeam_channel::TryRecvError::Empty) => return Ok(false),
+                Err(crossbeam_channel::TryRecvError::Disconnected) => {
+                    return Err(CommError::Disconnected)
+                }
+            }
+        }
+        Ok(delivered(self.prefetched.as_ref().expect("just prefetched")))
+    }
+
+    /// Completes the receive, parking (condvar inside the channel) until
+    /// the message arrives — never spinning — and sleeping out any
+    /// residual simulated latency. Records only this *residual* blocked
+    /// time as a `comm.recv` span: compute overlapped with the transfer
+    /// does not show up as communication time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the peer disconnected before sending.
+    pub fn wait(mut self) -> Result<Vec<f32>, CommError> {
+        let _span = msrl_telemetry::span!("comm.recv");
+        let msg = match self.prefetched.take() {
+            Some(m) => m,
+            None => self.rx.recv().map_err(|_| CommError::Disconnected)?,
+        };
+        wait_delivered(&msg);
+        count_recv(&msg.payload);
+        Ok(msg.payload)
+    }
+}
+
+/// Handle for a posted non-blocking send (see [`Endpoint::isend`]).
+///
+/// The in-process transport buffers eagerly, so the operation is
+/// complete by the time the handle exists; `wait` is a no-op kept for
+/// MPI-shaped symmetry.
+#[must_use = "an isend handle documents a pending operation"]
+pub struct PendingOp {
+    _private: (),
+}
+
+impl PendingOp {
+    /// True once the transfer has been handed to the transport (always,
+    /// for the in-process fabric).
+    pub fn is_complete(&self) -> bool {
+        true
+    }
+
+    /// Completes the operation (immediately, for the in-process fabric).
+    pub fn wait(self) {}
 }
 
 #[cfg(test)]
@@ -337,6 +684,69 @@ mod tests {
         a.send(1, vec![7.0]).unwrap();
         // Delivery through an in-process channel is immediate.
         assert_eq!(b.try_recv(0).unwrap(), Some(vec![7.0]));
+    }
+
+    #[test]
+    fn irecv_poll_and_wait() {
+        let mut eps = Fabric::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let mut pending = b.irecv(0).unwrap();
+        assert!(!pending.poll().unwrap(), "nothing sent yet");
+        a.send(1, vec![3.0, 4.0]).unwrap();
+        assert!(pending.poll().unwrap(), "message arrived");
+        assert_eq!(pending.wait().unwrap(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn irecv_wait_parks_until_send() {
+        let mut eps = Fabric::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let pending = b.irecv(0).unwrap();
+        let h = thread::spawn(move || pending.wait().unwrap());
+        thread::sleep(Duration::from_millis(20));
+        a.send(1, vec![9.0]).unwrap();
+        assert_eq!(h.join().unwrap(), vec![9.0]);
+    }
+
+    #[test]
+    fn irecv_handles_complete_in_posting_order() {
+        let mut eps = Fabric::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let first = b.irecv(0).unwrap();
+        let second = b.irecv(0).unwrap();
+        a.send(1, vec![1.0]).unwrap();
+        a.send(1, vec![2.0]).unwrap();
+        assert_eq!(first.wait().unwrap(), vec![1.0]);
+        assert_eq!(second.wait().unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn isend_completes_eagerly() {
+        let mut eps = Fabric::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let op = a.isend(1, vec![5.0]).unwrap();
+        assert!(op.is_complete());
+        op.wait();
+        assert_eq!(b.recv(0).unwrap(), vec![5.0]);
+    }
+
+    #[test]
+    fn recv_any_returns_in_completion_order() {
+        let mut eps = Fabric::new(3);
+        let c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        b.send(2, vec![1.0]).unwrap();
+        let (rank1, p1) = c.recv_any(&[0, 1]).unwrap();
+        assert_eq!((rank1, p1), (1, vec![1.0]));
+        let h = thread::spawn(move || c.recv_any(&[0, 1]).unwrap());
+        thread::sleep(Duration::from_millis(10));
+        a.send(2, vec![2.0]).unwrap();
+        assert_eq!(h.join().unwrap(), (0, vec![2.0]));
     }
 
     #[test]
@@ -372,6 +782,51 @@ mod tests {
         for h in handles {
             let avg = h.join().unwrap();
             assert_eq!(avg, vec![3.0, 1.0]); // mean of 0,3,6 and of 1,1,1
+        }
+    }
+
+    #[test]
+    fn fused_collective_reduces_and_gathers_in_one_round() {
+        let eps = Fabric::new(3);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|mut ep| {
+                thread::spawn(move || {
+                    let reduce = vec![ep.rank() as f32 * 3.0, 1.0];
+                    let extra = vec![10.0 + ep.rank() as f32; ep.rank()]; // ragged
+                    ep.all_reduce_mean_concat(reduce, extra).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            let (avg, extras) = h.join().unwrap();
+            assert_eq!(avg, vec![3.0, 1.0]);
+            assert_eq!(extras, vec![vec![], vec![11.0], vec![12.0, 12.0]]);
+        }
+    }
+
+    #[test]
+    fn chunked_all_reduce_matches_unchunked() {
+        let payload_of = |rank: usize| (0..10).map(|i| (rank * 10 + i) as f32).collect::<Vec<_>>();
+        let run = |chunk: Option<usize>| {
+            let eps = Fabric::new(3);
+            let handles: Vec<_> = eps
+                .into_iter()
+                .map(|mut ep| {
+                    thread::spawn(move || {
+                        let mine = payload_of(ep.rank());
+                        match chunk {
+                            Some(c) => ep.all_reduce_mean_chunked(mine, c).unwrap(),
+                            None => ep.all_reduce_mean(mine).unwrap(),
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        };
+        let reference = run(None);
+        for chunk in [1, 3, 4, 10, 64] {
+            assert_eq!(run(Some(chunk)), reference, "chunk size {chunk}");
         }
     }
 
@@ -451,13 +906,46 @@ mod tests {
     }
 
     #[test]
-    fn injected_latency_delays_send() {
+    fn injected_latency_is_paid_by_the_receiver() {
         let mut eps = Fabric::with_latency(2, Duration::from_millis(30));
         let b = eps.pop().unwrap();
         let a = eps.pop().unwrap();
         let t0 = std::time::Instant::now();
         a.send(1, vec![1.0]).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_millis(25),
+            "send must not block for the simulated wire time"
+        );
         b.recv(0).unwrap();
-        assert!(t0.elapsed() >= Duration::from_millis(25));
+        assert!(t0.elapsed() >= Duration::from_millis(25), "receiver waits out the latency");
+    }
+
+    #[test]
+    fn try_recv_respects_in_flight_latency() {
+        let mut eps = Fabric::with_latency(2, Duration::from_millis(40));
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, vec![6.0]).unwrap();
+        assert_eq!(b.try_recv(0).unwrap(), None, "message still in simulated flight");
+        thread::sleep(Duration::from_millis(50));
+        assert_eq!(b.try_recv(0).unwrap(), Some(vec![6.0]));
+    }
+
+    #[test]
+    fn overlapped_compute_hides_latency() {
+        // An irecv posted before compute hides the simulated wire time:
+        // the residual wait is latency minus the overlapped work.
+        let mut eps = Fabric::with_latency(2, Duration::from_millis(40));
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, vec![8.0]).unwrap();
+        let pending = b.irecv(0).unwrap();
+        thread::sleep(Duration::from_millis(30)); // "compute"
+        let t0 = std::time::Instant::now();
+        assert_eq!(pending.wait().unwrap(), vec![8.0]);
+        assert!(
+            t0.elapsed() < Duration::from_millis(25),
+            "most of the latency was hidden behind compute"
+        );
     }
 }

@@ -86,6 +86,110 @@ proptest! {
         }
     }
 
+    /// The fused collective is bit-identical to the unfused pair: for
+    /// any payload length, rank count, and ragged extras, one
+    /// `all_reduce_mean_concat` returns exactly what separate
+    /// `all_reduce_mean` + `all_gather` calls return.
+    #[test]
+    fn fused_collective_matches_separate_calls(
+        p in 2usize..5,
+        reduce_len in 0usize..12,
+        seed in 0u64..1000,
+        extra_sizes in proptest::collection::vec(0usize..6, 4),
+    ) {
+        // Deterministic pseudo-random payloads per rank (proptest drives
+        // the seed); extras are ragged across ranks.
+        let payload = |rank: usize| -> Vec<f32> {
+            (0..reduce_len)
+                .map(|i| {
+                    let x = seed
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add((rank * 31 + i) as u64);
+                    (x % 2000) as f32 / 100.0 - 10.0
+                })
+                .collect()
+        };
+        let extra = |rank: usize| vec![rank as f32 + 0.5; extra_sizes[rank % 4]];
+
+        let run = |fused: bool| -> Vec<(Vec<f32>, Vec<Vec<f32>>)> {
+            let eps = Fabric::new(p);
+            let handles: Vec<_> = eps
+                .into_iter()
+                .enumerate()
+                .map(|(rank, mut ep)| {
+                    let (r, e) = (payload(rank), extra(rank));
+                    thread::spawn(move || {
+                        if fused {
+                            ep.all_reduce_mean_concat(r, e).unwrap()
+                        } else {
+                            let avg = ep.all_reduce_mean(r).unwrap();
+                            (avg, ep.all_gather(e).unwrap())
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        };
+
+        let fused = run(true);
+        let unfused = run(false);
+        for ((fa, fe), (ua, ue)) in fused.iter().zip(&unfused) {
+            // Bit-identical, not approximately equal: both paths reduce
+            // in rank order via the same kernel.
+            prop_assert_eq!(
+                fa.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                ua.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+            prop_assert_eq!(fe, ue);
+        }
+    }
+
+    /// Chunked all-reduce is bit-identical to the single-shot reduction
+    /// for any payload length and chunk size (including chunk sizes that
+    /// don't divide the payload, and chunks larger than the payload).
+    #[test]
+    fn chunked_all_reduce_matches_unchunked(
+        p in 2usize..5,
+        len in 0usize..40,
+        chunk in 1usize..16,
+        seed in 0u64..1000,
+    ) {
+        let payload = |rank: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| {
+                    let x = seed
+                        .wrapping_mul(2862933555777941757)
+                        .wrapping_add((rank * 17 + i) as u64);
+                    (x % 2000) as f32 / 100.0 - 10.0
+                })
+                .collect()
+        };
+        let run = |chunked: bool| -> Vec<Vec<f32>> {
+            let eps = Fabric::new(p);
+            let handles: Vec<_> = eps
+                .into_iter()
+                .enumerate()
+                .map(|(rank, mut ep)| {
+                    let mine = payload(rank);
+                    thread::spawn(move || {
+                        if chunked {
+                            ep.all_reduce_mean_chunked(mine, chunk).unwrap()
+                        } else {
+                            ep.all_reduce_mean(mine).unwrap()
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        };
+        for (c, u) in run(true).iter().zip(&run(false)) {
+            prop_assert_eq!(
+                c.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                u.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+    }
+
     /// Point-to-point messages arrive in FIFO order per sender.
     #[test]
     fn p2p_is_fifo(values in proptest::collection::vec(-5.0f32..5.0, 1..20)) {

@@ -100,33 +100,27 @@ where
             }));
         }
 
-        // The learner applies gradients in whatever order they arrive,
-        // polling each worker's queue without blocking on stragglers.
+        // The learner applies gradients in whatever order they arrive.
+        // `recv_any` blocks (with bounded backoff, never a hot spin)
+        // until *some* worker's push lands, so stragglers are never
+        // waited on and an idle learner does not burn the CPU its
+        // workers need.
         let mut learner = A3cLearner::new(policy, &dist.a3c);
         let mut report = TrainingReport::default();
         let mut prev_reward = 0.0;
         let mut remaining: Vec<usize> = vec![dist.pushes_per_worker; p];
         while remaining.iter().any(|&r| r > 0) {
-            let mut progressed = false;
-            for (rank, left) in remaining.iter_mut().enumerate() {
-                if *left == 0 {
-                    continue;
-                }
-                // Non-blocking poll: arrival order decides application
-                // order across workers.
-                if let Some(grads) = learner_ep.try_recv(rank).map_err(comm_err)? {
-                    let finished = learner_ep.recv(rank).map_err(comm_err)?;
-                    learner.apply_grads(&grads)?;
-                    learner_ep.send(rank, learner.policy_params()).map_err(comm_err)?;
-                    *left -= 1;
-                    progressed = true;
-                    prev_reward = mean_or_prev(&finished, prev_reward);
-                    report.iteration_rewards.push(prev_reward);
-                }
-            }
-            if !progressed {
-                std::thread::yield_now();
-            }
+            // Only poll workers with pushes outstanding: a finished
+            // worker's endpoint may already be gone.
+            let active: Vec<usize> =
+                remaining.iter().enumerate().filter(|(_, &r)| r > 0).map(|(r, _)| r).collect();
+            let (rank, grads) = learner_ep.recv_any(&active).map_err(comm_err)?;
+            let finished = learner_ep.recv(rank).map_err(comm_err)?;
+            learner.apply_grads(&grads)?;
+            learner_ep.send(rank, learner.policy_params()).map_err(comm_err)?;
+            remaining[rank] -= 1;
+            prev_reward = mean_or_prev(&finished, prev_reward);
+            report.iteration_rewards.push(prev_reward);
         }
         for h in handles {
             h.join().expect("worker thread must not panic")?;

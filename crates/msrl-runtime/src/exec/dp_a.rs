@@ -3,12 +3,23 @@
 //! Actor+environment fragments are replicated — one thread each, with a
 //! local policy replica and a vectorised environment set. Once per
 //! iteration every actor ships its whole trajectory to the single
-//! learner fragment and blocks until the learner broadcasts fresh
-//! weights: the per-episode batched synchronisation of Tab. 2.
+//! learner fragment: the per-episode batched synchronisation of Tab. 2.
+//!
+//! Weight parameters are *double-buffered*: instead of blocking on the
+//! learner's broadcast each iteration, every actor posts an `irecv` for
+//! the next weight message and immediately rolls out on its current
+//! weights, swapping buffers when the receive completes. A bounded
+//! staleness window (`DistPpoConfig::staleness`, default 1 iteration)
+//! keeps learning on-policy enough to converge: each weight message is
+//! version-stamped, and an actor blocks only when rolling out would
+//! exceed the bound. Overlap off degenerates to staleness 0 — the fully
+//! synchronous original — through the same code path.
+
+use std::collections::VecDeque;
 
 use msrl_algos::ppo::{PpoActor, PpoLearner, PpoPolicy};
 use msrl_algos::rollout::collect;
-use msrl_comm::Fabric;
+use msrl_comm::{Fabric, PendingRecv};
 use msrl_core::api::{Actor, Learner, SampleBatch};
 use msrl_core::{FdgError, Result};
 use msrl_env::{Environment, VecEnv};
@@ -30,7 +41,7 @@ where
 {
     let p = dist.actors.max(1);
     // Ranks 0..p are actors; rank p is the learner.
-    let mut endpoints = Fabric::new(p + 1);
+    let mut endpoints = Fabric::with_latency(p + 1, dist.link_latency);
     let learner_ep = endpoints.pop().expect("fabric yields p+1 endpoints");
 
     // Probe env specs and build the shared starting policy.
@@ -50,6 +61,7 @@ where
         for (rank, ep) in endpoints.into_iter().enumerate() {
             let policy = policy.clone();
             let make_env = &make_env;
+            let stale_bound = dist.stale_bound();
             handles.push(scope.spawn(move || -> Result<()> {
                 let _frag = msrl_telemetry::span!("fragment.actor", rank);
                 let mut actor = PpoActor::new(policy, dist.seed + 1 + rank as u64);
@@ -58,17 +70,70 @@ where
                         .map(|i| Box::new(make_env(rank, i)) as Box<dyn Environment>)
                         .collect(),
                 );
-                for _ in 0..dist.iterations {
-                    // Actor fragment body: rollout, then coarse sync.
+                // Double-buffered weights: `pending` holds posted irecvs
+                // for broadcasts still in flight; `version` is the
+                // iteration whose learn step produced the weights the
+                // actor currently runs on (0 = initial weights).
+                let mut pending: VecDeque<PendingRecv> = VecDeque::new();
+                let mut version = 0usize;
+                let swap = |w: Vec<f32>, version: &mut usize, actor: &mut PpoActor| -> Result<()> {
+                    *version = w[0] as usize;
+                    actor.set_policy_params(&w[1..])
+                };
+                for iter in 0..dist.iterations {
+                    {
+                        let _s = msrl_telemetry::span!("phase.weight_sync");
+                        // Swap in any broadcast that has already landed
+                        // (cost-free catch-up), oldest first.
+                        while let Some(front) = pending.front_mut() {
+                            if front.poll().map_err(comm_err)? {
+                                let w = pending
+                                    .pop_front()
+                                    .expect("front exists")
+                                    .wait()
+                                    .map_err(comm_err)?;
+                                swap(w, &mut version, &mut actor)?;
+                            } else {
+                                break;
+                            }
+                        }
+                        // Block only when rolling out now would exceed
+                        // the staleness bound.
+                        while iter - version > stale_bound {
+                            let w = pending
+                                .pop_front()
+                                .expect("a broadcast is outstanding whenever version lags")
+                                .wait()
+                                .map_err(comm_err)?;
+                            swap(w, &mut version, &mut actor)?;
+                        }
+                    }
+                    assert!(
+                        iter - version <= stale_bound,
+                        "staleness bound violated: iter {iter} on version {version} weights \
+                         (bound {stale_bound})"
+                    );
+                    let stale = version < iter;
+                    if stale {
+                        msrl_telemetry::static_counter!("comm.stale_iters").add(1);
+                    }
                     let batch = {
+                        // comm.overlap marks rollout executed while the
+                        // next weight broadcast is still in flight — the
+                        // communication time reclaimed by overlapping.
+                        let _ov = stale.then(|| msrl_telemetry::span!("comm.overlap"));
                         let _s = msrl_telemetry::span!("phase.rollout");
                         collect(&mut actor, &mut envs, dist.steps_per_iter)?
                     };
                     let _s = msrl_telemetry::span!("phase.weight_sync");
-                    ep.send(p, encode_batch(&batch)).map_err(comm_err)?;
-                    ep.send(p, envs.take_finished_returns()).map_err(comm_err)?;
-                    let weights = ep.recv(p).map_err(comm_err)?;
-                    actor.set_policy_params(&weights)?;
+                    ep.isend(p, encode_batch(&batch)).map_err(comm_err)?.wait();
+                    ep.isend(p, envs.take_finished_returns()).map_err(comm_err)?.wait();
+                    pending.push_back(ep.irecv(p).map_err(comm_err)?);
+                }
+                // Drain outstanding broadcasts so the learner's final
+                // sends are consumed before the channel drops.
+                for pr in pending {
+                    let _ = pr.wait();
                 }
                 Ok(())
             }));
@@ -79,7 +144,7 @@ where
         let mut learner = PpoLearner::new(policy, dist.ppo.clone());
         let mut report = TrainingReport::default();
         let mut prev_reward = 0.0;
-        for _ in 0..dist.iterations {
+        for iter in 0..dist.iterations {
             let mut batches = Vec::with_capacity(p);
             let mut finished = Vec::new();
             for rank in 0..p {
@@ -91,11 +156,15 @@ where
                 let _s = msrl_telemetry::span!("phase.learn");
                 learner.learn(&batch)?
             };
-            let weights = learner.policy_params();
+            // Version-stamped broadcast: learning from iteration `iter`'s
+            // batches produces the version `iter + 1` weights (exact as
+            // f32 for any realistic iteration count).
+            let mut weights = vec![(iter + 1) as f32];
+            weights.extend(learner.policy_params());
             {
                 let _s = msrl_telemetry::span!("phase.weight_sync");
                 for rank in 0..p {
-                    learner_ep.send(rank, weights.clone()).map_err(comm_err)?;
+                    learner_ep.isend(rank, weights.clone()).map_err(comm_err)?.wait();
                 }
             }
             prev_reward = mean_or_prev(&finished, prev_reward);
@@ -118,13 +187,18 @@ mod tests {
 
     #[test]
     fn dp_a_trains_cartpole_distributed() {
+        // lr raised from the 3e-4 default so the improvement margin is
+        // robust for both the synchronous and the overlapped
+        // (bounded-staleness) weight-sync paths this test covers via the
+        // MSRL_OVERLAP/MSRL_STALENESS defaults.
         let dist = DistPpoConfig {
             actors: 3,
             envs_per_actor: 2,
-            steps_per_iter: 48,
+            steps_per_iter: 64,
             iterations: 25,
             hidden: vec![32],
             seed: 1,
+            ppo: msrl_algos::ppo::PpoConfig { lr: 2e-3, ..msrl_algos::ppo::PpoConfig::default() },
             ..DistPpoConfig::default()
         };
         let report = run_dp_a(|a, i| CartPole::new((a * 100 + i) as u64), &dist).unwrap();

@@ -30,7 +30,7 @@ where
     F: Fn(usize, usize) -> E + Send + Sync,
 {
     let p = dist.actors.max(1);
-    let mut endpoints = Fabric::new(p + 1);
+    let mut endpoints = Fabric::with_latency(p + 1, dist.link_latency);
     let learner_ep = endpoints.pop().expect("fabric yields p+1 endpoints");
 
     let probe = make_env(0, 0);
@@ -62,8 +62,13 @@ where
                     let mut obs = envs.reset();
                     for _ in 0..dist.steps_per_iter {
                         // Fine-grained exchange: obs up, actions down.
-                        ep.send(p, obs.data().to_vec()).map_err(comm_err)?;
-                        let wire_actions = ep.recv(p).map_err(comm_err)?;
+                        // The reply receive is posted as soon as the obs
+                        // ship; the step itself is round-trip bound (the
+                        // env cannot advance without the actions), which
+                        // is exactly Tab. 2's "fine" granularity cost.
+                        ep.isend(p, obs.data().to_vec()).map_err(comm_err)?.wait();
+                        let pending = ep.irecv(p).map_err(comm_err)?;
+                        let wire_actions = pending.wait().map_err(comm_err)?;
                         let actions_t = if spec.is_discrete() {
                             Tensor::from_vec(wire_actions, &[envs_i])
                         } else {

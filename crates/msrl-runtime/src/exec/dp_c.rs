@@ -7,6 +7,14 @@
 //! averaged gradients, so the policy stays bit-synchronised without ever
 //! broadcasting weights — the communication-efficient behaviour Tab. 2
 //! describes.
+//!
+//! With overlap on (the default), each iteration pays exactly *one*
+//! collective barrier: the episode returns that used to travel in a
+//! standalone `all_gather` instead ride the final epoch's gradient
+//! all-reduce through the fused
+//! [`msrl_comm::Endpoint::all_reduce_mean_concat`]. The fused reduction
+//! is bit-identical to the unfused path, so overlap on/off produce the
+//! same weights.
 
 use msrl_algos::ppo::{PpoActor, PpoLearner, PpoPolicy};
 use msrl_algos::rollout::collect;
@@ -28,7 +36,7 @@ where
     F: Fn(usize, usize) -> E + Send + Sync,
 {
     let p = dist.actors.max(1);
-    let endpoints = Fabric::new(p);
+    let endpoints = Fabric::with_latency(p, dist.link_latency);
 
     let probe = make_env(0, 0);
     let (obs_dim, spec) = (probe.obs_dim(), probe.action_spec());
@@ -59,6 +67,10 @@ where
                 );
                 let mut report = TrainingReport::default();
                 let mut prev_reward = 0.0;
+                // Fused path: the final epoch's gradient all-reduce also
+                // gathers episode returns, so each iteration pays exactly
+                // one collective barrier (no standalone all_gather).
+                let fused = dist.overlap && ppo.epochs > 0;
                 for _ in 0..dist.iterations {
                     let batch = {
                         let _s = msrl_telemetry::span!("phase.rollout");
@@ -66,23 +78,35 @@ where
                     };
                     // Data-parallel training: per-epoch local gradients,
                     // averaged across replicas before application.
+                    let mut fused_returns: Option<Vec<f32>> = None;
                     {
                         let _s = msrl_telemetry::span!("phase.learn");
-                        for _ in 0..ppo.epochs {
+                        for epoch in 0..ppo.epochs {
                             let local = learner.grads(&batch)?;
-                            let averaged = ep.all_reduce_mean(local).map_err(comm_err)?;
+                            let averaged = if fused && epoch + 1 == ppo.epochs {
+                                let (averaged, extras) = ep
+                                    .all_reduce_mean_concat(local, envs.take_finished_returns())
+                                    .map_err(comm_err)?;
+                                fused_returns = Some(extras.into_iter().flatten().collect());
+                                averaged
+                            } else {
+                                ep.all_reduce_mean(local).map_err(comm_err)?
+                            };
                             learner.apply_grads(&averaged)?;
                         }
                     }
                     let _s = msrl_telemetry::span!("phase.weight_sync");
                     actor.set_policy_params(&learner.policy_params())?;
                     // Share episode returns for reporting.
-                    let finished: Vec<f32> = ep
-                        .all_gather(envs.take_finished_returns())
-                        .map_err(comm_err)?
-                        .into_iter()
-                        .flatten()
-                        .collect();
+                    let finished: Vec<f32> = match fused_returns {
+                        Some(f) => f,
+                        None => ep
+                            .all_gather(envs.take_finished_returns())
+                            .map_err(comm_err)?
+                            .into_iter()
+                            .flatten()
+                            .collect(),
+                    };
                     prev_reward = mean_or_prev(&finished, prev_reward);
                     report.iteration_rewards.push(prev_reward);
                 }

@@ -99,10 +99,19 @@ where
                         let _s = msrl_telemetry::span!("phase.learn");
                         learner.learn(&batch)?;
                     }
-                    // Per-episode replica sync: average weights.
+                    // Per-episode replica sync: average weights. With
+                    // overlap on, large payloads go through the chunked
+                    // all-reduce so reduction of chunk k overlaps the
+                    // transfer of chunk k+1 (bit-identical either way).
                     if p > 1 {
                         let _s = msrl_telemetry::span!("phase.weight_sync");
-                        let avg = ep.all_reduce_mean(learner.policy_params()).map_err(comm_err)?;
+                        let params = learner.policy_params();
+                        let avg = if msrl_comm::overlap_enabled() {
+                            ep.all_reduce_mean_chunked(params, msrl_comm::comm_chunk_elems())
+                        } else {
+                            ep.all_reduce_mean(params)
+                        }
+                        .map_err(comm_err)?;
                         learner.set_policy_params(&avg)?;
                     }
                     let denom = (env.total_agents() * steps.max(1)) as f32;

@@ -7,10 +7,18 @@
 //! CTDE-based MARL. Updates apply in arrival order (asynchronous
 //! semantics: a worker never waits for its peers, only for the server's
 //! reply to its own push).
+//!
+//! Weight pulls are overlapped: after pushing gradients a worker posts an
+//! `irecv` for the server's reply and starts its next rollout right away,
+//! swapping weights in when the pull lands. The number of outstanding
+//! pulls is bounded by `DistPpoConfig::staleness` (overlap off ⇒ zero,
+//! the fully blocking original).
+
+use std::collections::VecDeque;
 
 use msrl_algos::ppo::{PpoActor, PpoLearner, PpoPolicy};
 use msrl_algos::rollout::collect;
-use msrl_comm::Fabric;
+use msrl_comm::{Fabric, PendingRecv};
 use msrl_core::api::{Actor, Learner};
 use msrl_core::{FdgError, Result};
 use msrl_env::{Environment, VecEnv};
@@ -29,7 +37,7 @@ where
 {
     let p = dist.actors.max(1);
     // Ranks 0..p are workers; rank p is the parameter server.
-    let mut endpoints = Fabric::new(p + 1);
+    let mut endpoints = Fabric::with_latency(p + 1, dist.link_latency);
     let server_ep = endpoints.pop().expect("fabric yields p+1 endpoints");
 
     let probe = make_env(0, 0);
@@ -59,8 +67,35 @@ where
                         .map(|i| Box::new(make_env(rank, i)) as Box<dyn Environment>)
                         .collect(),
                 );
+                // Outstanding weight pulls, oldest first; their count is
+                // the worker's staleness (pulls not yet swapped in).
+                let stale_bound = dist.stale_bound();
+                let mut pending: VecDeque<PendingRecv> = VecDeque::new();
                 for _ in 0..dist.iterations {
+                    {
+                        let _s = msrl_telemetry::span!("phase.weight_sync");
+                        // Swap in any pull that already landed, then block
+                        // until within the outstanding-pull bound.
+                        while let Some(front) = pending.front_mut() {
+                            let landed = front.poll().map_err(comm_err)?;
+                            if !landed && pending.len() <= stale_bound {
+                                break;
+                            }
+                            let w = pending
+                                .pop_front()
+                                .expect("front exists")
+                                .wait()
+                                .map_err(comm_err)?;
+                            actor.set_policy_params(&w)?;
+                            grad_engine.set_policy_params(&w)?;
+                        }
+                    }
+                    let stale = !pending.is_empty();
+                    if stale {
+                        msrl_telemetry::static_counter!("comm.stale_iters").add(1);
+                    }
                     let batch = {
+                        let _ov = stale.then(|| msrl_telemetry::span!("comm.overlap"));
                         let _s = msrl_telemetry::span!("phase.rollout");
                         collect(&mut actor, &mut envs, dist.steps_per_iter)?
                     };
@@ -68,13 +103,18 @@ where
                         let _s = msrl_telemetry::span!("phase.learn");
                         grad_engine.grads(&batch)?
                     };
-                    // Push gradients, pull fresh weights.
+                    // Push gradients; the pull for the server's reply is
+                    // posted immediately and waited (at most) next
+                    // iteration.
                     let _s = msrl_telemetry::span!("phase.weight_sync");
-                    ep.send(p, grads).map_err(comm_err)?;
-                    ep.send(p, envs.take_finished_returns()).map_err(comm_err)?;
-                    let weights = ep.recv(p).map_err(comm_err)?;
-                    actor.set_policy_params(&weights)?;
-                    grad_engine.set_policy_params(&weights)?;
+                    ep.isend(p, grads).map_err(comm_err)?.wait();
+                    ep.isend(p, envs.take_finished_returns()).map_err(comm_err)?.wait();
+                    pending.push_back(ep.irecv(p).map_err(comm_err)?);
+                }
+                // Consume the remaining replies so the server's sends
+                // never hit a dropped channel.
+                for pr in pending {
+                    let _ = pr.wait();
                 }
                 Ok(())
             }));
@@ -85,12 +125,24 @@ where
         let mut server = PpoLearner::new(policy, dist.ppo.clone());
         let mut report = TrainingReport::default();
         let mut prev_reward = 0.0;
+        let mut outstanding: Vec<usize> = vec![dist.iterations; p];
         for _ in 0..dist.iterations {
             let mut finished = Vec::new();
-            for rank in 0..p {
-                let grads = server_ep.recv(rank).map_err(comm_err)?;
+            for _ in 0..p {
+                // Apply in true arrival order (asynchronous updates):
+                // with overlapped workers a fast rank's next push may
+                // beat a slow rank's first. Only ranks with pushes still
+                // owed are polled — a worker that already sent its last
+                // push may have exited and dropped its endpoint.
+                let active: Vec<usize> = outstanding
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &n)| n > 0)
+                    .map(|(r, _)| r)
+                    .collect();
+                let (rank, grads) = server_ep.recv_any(&active).map_err(comm_err)?;
+                outstanding[rank] -= 1;
                 finished.extend(server_ep.recv(rank).map_err(comm_err)?);
-                // Apply in arrival order (asynchronous updates).
                 {
                     let _s = msrl_telemetry::span!("phase.learn");
                     server.apply_grads(&grads)?;
@@ -116,6 +168,10 @@ mod tests {
 
     #[test]
     fn dp_f_trains_cartpole_through_parameter_server() {
+        // Overlapped pulls make the server's update order (and thus the
+        // reward curve) timing-dependent, so the workload must learn
+        // decisively: a higher learning rate keeps the improvement check
+        // robust across schedules.
         let dist = DistPpoConfig {
             actors: 3,
             envs_per_actor: 2,
@@ -123,6 +179,7 @@ mod tests {
             iterations: 25,
             hidden: vec![32],
             seed: 10,
+            ppo: msrl_algos::ppo::PpoConfig { lr: 2e-3, ..Default::default() },
             ..DistPpoConfig::default()
         };
         let report = run_dp_f(|a, i| CartPole::new((a * 13 + i) as u64), &dist).unwrap();

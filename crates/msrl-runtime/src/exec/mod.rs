@@ -59,6 +59,18 @@ pub struct DistPpoConfig {
     pub ppo: PpoConfig,
     /// Base RNG seed (replicas derive their own deterministically).
     pub seed: u64,
+    /// Overlap communication with computation (double-buffered weight
+    /// sync under DP-A/DP-F, fused collective under DP-C). Defaults from
+    /// `MSRL_OVERLAP`; off means every sync is fully blocking.
+    pub overlap: bool,
+    /// Bounded-staleness window for overlapped weight sync: actors may
+    /// roll out on weights at most this many iterations old. Defaults
+    /// from `MSRL_STALENESS`; ignored when `overlap` is off.
+    pub staleness: usize,
+    /// Simulated per-message wire latency on the comm fabric — the
+    /// in-process analogue of the paper's `tc`-injected network latency
+    /// (Fig. 7d). Zero (the default) means in-process channel speed.
+    pub link_latency: std::time::Duration,
 }
 
 impl Default for DistPpoConfig {
@@ -71,6 +83,21 @@ impl Default for DistPpoConfig {
             hidden: vec![32, 32],
             ppo: PpoConfig::default(),
             seed: 0,
+            overlap: msrl_comm::overlap_enabled(),
+            staleness: msrl_comm::staleness_bound(),
+            link_latency: std::time::Duration::ZERO,
+        }
+    }
+}
+
+impl DistPpoConfig {
+    /// The effective staleness bound: `staleness` when overlap is on,
+    /// zero (fully synchronous) otherwise — one code path for both.
+    pub(crate) fn stale_bound(&self) -> usize {
+        if self.overlap {
+            self.staleness
+        } else {
+            0
         }
     }
 }
