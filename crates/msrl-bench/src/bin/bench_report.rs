@@ -17,14 +17,18 @@
 //! a share of that evaluation — the number the <5% acceptance bound
 //! applies to.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use msrl_algos::ppo::PpoConfig;
 use msrl_core::interp::Interpreter;
+use msrl_core::partition::build_fdg;
 use msrl_core::trace::{trace_mlp, TraceCtx};
 use msrl_env::cartpole::CartPole;
 use msrl_runtime::exec::{run_dp_a, run_dp_c, DistPpoConfig};
-use msrl_tensor::{ops, par, Backend, Tensor};
+use msrl_tensor::autograd::Tape;
+use msrl_tensor::nn::Mlp;
+use msrl_tensor::{init, ops, par, Backend, Tensor};
 
 /// Median ns/iter of `f` over `samples` timed samples, auto-scaling the
 /// per-sample iteration count to ~2 ms (mirrors the criterion shim).
@@ -156,6 +160,82 @@ fn telemetry_cost() -> TelemetryCost {
     }
 }
 
+/// Measured effect of the graph compiler on this host.
+struct GraphCompile {
+    /// RL-scale MLP forward+backward, fused linear kernel off / on,
+    /// pinned to the scalar backend so the gain is pure fusion (one
+    /// memory pass instead of matmul→broadcast-add→activation), not
+    /// threading.
+    fwd_bwd_unfused_ns: f64,
+    fwd_bwd_fused_ns: f64,
+    /// Steady-state fragment evaluation: re-planning on every call (a
+    /// fresh graph stamp per evaluation forces compile + consumer
+    /// counting + levelling, the seed-path behavior) vs. replaying the
+    /// cached plan.
+    plan_per_call_ns: f64,
+    plan_cached_ns: f64,
+}
+
+impl GraphCompile {
+    fn fusion_speedup(&self) -> f64 {
+        self.fwd_bwd_unfused_ns / self.fwd_bwd_fused_ns.max(1.0)
+    }
+    fn plan_cache_speedup(&self) -> f64 {
+        self.plan_per_call_ns / self.plan_cached_ns.max(1.0)
+    }
+}
+
+fn graph_compile_cost() -> GraphCompile {
+    // The learn-phase workload of every driver: a PPO-sized MLP's
+    // forward and backward over one minibatch. Fusion routes each layer
+    // through `linear_act` (and its fused gradient) instead of three
+    // separate kernels; at this scale the extra memory passes dominate,
+    // which is exactly the regime RL training lives in.
+    let mut rng = init::rng(42);
+    let mlp = Mlp::seven_layer(17, 6, 32, &mut rng);
+    let x = Tensor::full(&[2, 17], 0.1);
+    let mut fwd_bwd = || {
+        let tape = Tape::new();
+        let net = mlp.bind(&tape);
+        let xv = tape.var(x.clone());
+        let loss = net.forward(&xv).expect("shapes conform").square().sum();
+        let grads = tape.backward(&loss).expect("loss is scalar");
+        net.grads(&grads)
+    };
+    let fwd_bwd_unfused_ns =
+        par::with_backend(Backend::Scalar, || par::with_fusion(false, || time_ns(9, &mut fwd_bwd)));
+    let fwd_bwd_fused_ns =
+        par::with_backend(Backend::Scalar, || par::with_fusion(true, || time_ns(9, &mut fwd_bwd)));
+
+    // Plan caching, measured on interpreted fragment evaluation (the
+    // FDG execution path). Cloning the graph resets its identity stamp,
+    // so every call compiles from scratch — the per-call planning the
+    // seed interpreter did on each evaluation.
+    let ctx = TraceCtx::new();
+    let xin = ctx.input("x", &[8, 17]);
+    let widths = [17usize, 64, 64, 64, 64, 64, 6];
+    let out = trace_mlp(&ctx, "pi", &xin, &widths);
+    let fdg = build_fdg(ctx.finish()).expect("unannotated graph builds");
+    let frag = &fdg.fragments[0];
+    let mut interp = Interpreter::new();
+    for (l, w) in widths.windows(2).enumerate() {
+        interp.bind_param(&format!("pi.w{l}"), Tensor::full(&[w[0], w[1]], 0.01));
+        interp.bind_param(&format!("pi.b{l}"), Tensor::zeros(&[w[1]]));
+    }
+    interp.bind_input("x", Tensor::full(&[8, 17], 0.1));
+    let plan_cached_ns = time_ns(9, || {
+        interp
+            .eval_fragment_outputs(&fdg.graph, frag, HashMap::new(), &[out.id()])
+            .expect("evaluates")
+    });
+    let plan_per_call_ns = time_ns(9, || {
+        let fresh = fdg.graph.clone();
+        interp.eval_fragment_outputs(&fresh, frag, HashMap::new(), &[out.id()]).expect("evaluates")
+    });
+
+    GraphCompile { fwd_bwd_unfused_ns, fwd_bwd_fused_ns, plan_per_call_ns, plan_cached_ns }
+}
+
 /// Iterations/sec of one distribution policy with overlap off vs on.
 struct OverlapRow {
     policy: &'static str,
@@ -243,6 +323,7 @@ fn main() {
     }
     rows.push(mlp_rows(16, 8));
     let tel = telemetry_cost();
+    let gc = graph_compile_cost();
     let overlap = comm_overlap_rows();
 
     let mut json = String::from("{\n");
@@ -260,6 +341,18 @@ fn main() {
         tel.probes_per_eval,
         tel.disabled_probe_share_pct,
         tel.traced_on_overhead_pct,
+    ));
+    json.push_str(&format!(
+        "  \"graph_compile\": {{\"mlp_fwd_bwd_unfused_ns\": {:.0}, \
+         \"mlp_fwd_bwd_fused_ns\": {:.0}, \"fusion_speedup\": {:.2}, \
+         \"plan_per_call_ns\": {:.0}, \"plan_cached_ns\": {:.0}, \
+         \"plan_cache_speedup\": {:.2}}},\n",
+        gc.fwd_bwd_unfused_ns,
+        gc.fwd_bwd_fused_ns,
+        gc.fusion_speedup(),
+        gc.plan_per_call_ns,
+        gc.plan_cached_ns,
+        gc.plan_cache_speedup(),
     ));
     json.push_str("  \"comm_overlap\": [\n");
     for (i, r) in overlap.iter().enumerate() {
@@ -315,6 +408,16 @@ fn main() {
         tel.probes_per_eval,
         tel.disabled_probe_share_pct,
         tel.traced_on_overhead_pct,
+    );
+    println!(
+        "graph_compile: mlp fwd+bwd unfused {:.0} ns / fused {:.0} ns ({:.2}x, scalar backend); \
+         plan per-call {:.0} ns / cached {:.0} ns ({:.2}x)",
+        gc.fwd_bwd_unfused_ns,
+        gc.fwd_bwd_fused_ns,
+        gc.fusion_speedup(),
+        gc.plan_per_call_ns,
+        gc.plan_cached_ns,
+        gc.plan_cache_speedup(),
     );
     for r in &overlap {
         println!(

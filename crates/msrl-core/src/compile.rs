@@ -1,0 +1,1104 @@
+//! Graph compiler: cached execution plans, operator fusion, and
+//! liveness-planned buffers.
+//!
+//! The original system compiles each fragment's operator graph once with
+//! the DL engine and then replays the compiled artefact every iteration
+//! (§5.2). This module is that compilation step for msrl-rs:
+//! [`compile`] turns one evaluation request — a graph, the node set to
+//! evaluate, the preset (entry) ids, and the requested outputs — into a
+//! [`CompiledPlan`] that the interpreter caches per
+//! [`DataflowGraph::stamp`] and replays with zero per-call planning.
+//!
+//! A plan holds the macro-op barrier schedule, the pure stretches
+//! pre-grouped into dependency levels, consumer refcounts for buffer
+//! recycling, and the results of the optimization passes:
+//!
+//! 1. **Common-subexpression elimination** — pure nodes with identical
+//!    `(kind, resolved inputs)` evaluate once; duplicates either
+//!    disappear or degrade to `Identity` when their value is retained.
+//! 2. **Linear fusion** — `MatMul → Add(bias) → activation` (and the
+//!    bare `MatMul → Add(bias)`) patterns lower to the fused
+//!    [`msrl_tensor::ops::linear_act`] kernel: one output buffer and one
+//!    memory pass instead of three. The fused kernel reuses the exact
+//!    matmul inner loops, so results are bit-identical.
+//! 3. **Elementwise-chain fusion** — straight-line runs of elementwise
+//!    ops (e.g. `Mul → Add → Tanh`) compile to a small register program
+//!    ([`EwProgram`]) executed in a single memory pass. Per-element
+//!    scalar arithmetic is copied verbatim from `msrl_tensor::ops`, so
+//!    fused chains are bit-identical too.
+//! 4. **Dead-node elimination** — nodes that cannot reach a requested
+//!    output or a stateful macro op are dropped (outputs mode only).
+//! 5. **Liveness-planned buffers** — in outputs mode the plan marks
+//!    chain ops whose first dying input can donate its buffer; the
+//!    interpreter then runs the chain in place, skipping the
+//!    [`msrl_tensor::alloc`] pool round-trip entirely.
+//!
+//! All passes are gated on the fusion flag
+//! ([`msrl_tensor::par::fusion_enabled`], env `MSRL_FUSION`): with
+//! fusion off the plan reproduces the uncompiled interpreter's schedule
+//! exactly, op for op. Because fusion may elide dead computation, a
+//! *dead* node's missing binding no longer errors under fusion — live
+//! behaviour is unchanged.
+//!
+//! Compile-time totals land on the always-on counters `compile.plans`,
+//! `compile.cse`, `compile.fused_linear`, `compile.fused_ew` and
+//! `compile.dce`.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use msrl_tensor::{ops, par, Tensor};
+
+use crate::graph::{DataflowGraph, NodeId, OpKind, OpNode};
+use crate::{FdgError, Result};
+
+/// Where one elementwise instruction reads an operand from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EwSrc {
+    /// The `k`-th external input of the fused chain.
+    Ext(usize),
+    /// The result of instruction `r` of the same program.
+    Reg(usize),
+}
+
+/// One instruction of a fused elementwise program. The scalar semantics
+/// of every variant are copied verbatim from `msrl_tensor::ops`, which
+/// is what makes fused chains bit-identical to the unfused ops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum EwInst {
+    /// `a + b`.
+    Add(EwSrc, EwSrc),
+    /// `a - b`.
+    Sub(EwSrc, EwSrc),
+    /// `a * b`.
+    Mul(EwSrc, EwSrc),
+    /// `a / b`.
+    Div(EwSrc, EwSrc),
+    /// `v.max(0.0)`.
+    Relu(EwSrc),
+    /// `v.tanh()`.
+    Tanh(EwSrc),
+    /// `1 / (1 + e^-v)`.
+    Sigmoid(EwSrc),
+    /// `v.exp()`.
+    Exp(EwSrc),
+    /// `v.max(MIN_POSITIVE).ln()`.
+    Ln(EwSrc),
+    /// `v * v`.
+    Square(EwSrc),
+    /// `-v`.
+    Neg(EwSrc),
+    /// `v.clamp(lo, hi)`.
+    Clamp(EwSrc, f32, f32),
+}
+
+/// A fused elementwise chain: a straight-line register program applied
+/// independently at every element of the output.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct EwProgram {
+    pub(crate) insts: Vec<EwInst>,
+}
+
+impl EwProgram {
+    /// Evaluates the program at linear index `idx`. `regs` is scratch of
+    /// `insts.len()` slots; `srcs`/`strides` describe the external
+    /// inputs (stride 0 = scalar broadcast).
+    #[inline]
+    fn eval_at(&self, srcs: &[&[f32]], strides: &[usize], idx: usize, regs: &mut [f32]) -> f32 {
+        for (r, inst) in self.insts.iter().enumerate() {
+            let ld = |s: EwSrc, regs: &[f32]| match s {
+                EwSrc::Ext(k) => srcs[k][idx * strides[k]],
+                EwSrc::Reg(p) => regs[p],
+            };
+            regs[r] = match *inst {
+                EwInst::Add(a, b) => ld(a, regs) + ld(b, regs),
+                EwInst::Sub(a, b) => ld(a, regs) - ld(b, regs),
+                EwInst::Mul(a, b) => ld(a, regs) * ld(b, regs),
+                EwInst::Div(a, b) => ld(a, regs) / ld(b, regs),
+                EwInst::Relu(a) => ld(a, regs).max(0.0),
+                EwInst::Tanh(a) => ld(a, regs).tanh(),
+                EwInst::Sigmoid(a) => 1.0 / (1.0 + (-ld(a, regs)).exp()),
+                EwInst::Exp(a) => ld(a, regs).exp(),
+                EwInst::Ln(a) => ld(a, regs).max(f32::MIN_POSITIVE).ln(),
+                EwInst::Square(a) => {
+                    let v = ld(a, regs);
+                    v * v
+                }
+                EwInst::Neg(a) => -ld(a, regs),
+                EwInst::Clamp(a, lo, hi) => ld(a, regs).clamp(lo, hi),
+            };
+        }
+        regs[self.insts.len() - 1]
+    }
+}
+
+/// What one planned pure op executes as.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum PlanOp {
+    /// An unfused node, evaluated exactly as the uncompiled interpreter
+    /// would.
+    Node(OpNode),
+    /// A fused `MatMul + bias + activation`; inputs are `[x, w, b]`.
+    LinearAct(ops::Act),
+    /// A fused elementwise chain.
+    EwChain(EwProgram),
+}
+
+impl PlanOp {
+    /// Telemetry class label for per-op-class counters.
+    pub(crate) fn class(&self) -> &'static str {
+        match self {
+            PlanOp::Node(node) => node.kind.name(),
+            PlanOp::LinearAct(_) => "FusedLinear",
+            PlanOp::EwChain(_) => "FusedEw",
+        }
+    }
+}
+
+/// One schedulable pure op of a compiled plan.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ExecOp {
+    /// The node id whose arena slot receives the result.
+    pub(crate) id: NodeId,
+    /// What to execute.
+    pub(crate) op: PlanOp,
+    /// Input node ids after rewriting by the passes.
+    pub(crate) inputs: Vec<NodeId>,
+    /// Static output shape.
+    pub(crate) shape: Vec<usize>,
+    /// Element count (min 1), for the parallelism heuristic.
+    pub(crate) workload: usize,
+    /// Input position whose buffer this op may steal (chain ops only):
+    /// proven by liveness to die here, with exactly matching shape.
+    pub(crate) inplace: Option<usize>,
+}
+
+/// One step of the barrier schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Step {
+    /// A stretch of pure ops, pre-grouped into dependency levels.
+    Pure {
+        /// Ops by level; every input of a level-`l` op was produced at a
+        /// level `< l` or before this step.
+        levels: Vec<Vec<ExecOp>>,
+        /// Whether a macro op follows (the uncompiled interpreter wraps
+        /// such flushes in an `interp.barrier_wait` span).
+        before_macro: bool,
+    },
+    /// A stateful macro op; always a serialisation barrier.
+    Macro {
+        /// The macro node.
+        id: NodeId,
+        /// Its inputs after rewriting.
+        inputs: Vec<NodeId>,
+    },
+}
+
+/// What the optimization passes did to one plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Duplicate pure nodes merged by common-subexpression elimination.
+    pub cse_merged: usize,
+    /// `MatMul(+Add)(+activation)` patterns lowered to the fused kernel.
+    pub fused_linear: usize,
+    /// Elementwise nodes absorbed into fused chains.
+    pub fused_ew: usize,
+    /// Nodes removed as dead (unable to reach an output or macro op).
+    pub dce_removed: usize,
+    /// Ops the plan executes per evaluation (macro + pure).
+    pub ops: usize,
+}
+
+/// A compiled, replayable execution plan for one evaluation request.
+///
+/// Built once by [`compile`] and cached by the interpreter keyed on
+/// [`DataflowGraph::stamp`] plus the request parameters; replaying it
+/// does no topology sorting, no consumer counting and no pass work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledPlan {
+    pub(crate) steps: Vec<Step>,
+    /// Per-node remaining-consumer counts (all zero in keep-all mode).
+    pub(crate) uses: Vec<usize>,
+    /// Per-node retain flags (true everywhere in keep-all mode).
+    pub(crate) keep: Vec<bool>,
+    /// What the passes did.
+    pub stats: PlanStats,
+}
+
+/// True for ops whose output element `i` depends only on element `i`
+/// (after broadcast) of each input — the fusable elementwise set.
+fn is_elementwise(kind: &OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::Add
+            | OpKind::Sub
+            | OpKind::Mul
+            | OpKind::Div
+            | OpKind::Relu
+            | OpKind::Tanh
+            | OpKind::Sigmoid
+            | OpKind::Exp
+            | OpKind::Ln
+            | OpKind::Square
+            | OpKind::Neg
+            | OpKind::Clamp { .. }
+    )
+}
+
+/// Required input count for a fusable elementwise op.
+fn ew_arity(kind: &OpKind) -> usize {
+    match kind {
+        OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Div => 2,
+        _ => 1,
+    }
+}
+
+/// The fused-activation equivalent of an activation node kind.
+fn act_of(kind: &OpKind) -> Option<ops::Act> {
+    match kind {
+        OpKind::Relu => Some(ops::Act::Relu),
+        OpKind::Tanh => Some(ops::Act::Tanh),
+        OpKind::Sigmoid => Some(ops::Act::Sigmoid),
+        _ => None,
+    }
+}
+
+/// Whether node `i` may feed a fused chain of shape `shape` as an
+/// external: either exactly that shape, or a one-element broadcast.
+fn ext_ok(graph: &DataflowGraph, i: NodeId, shape: &[usize]) -> bool {
+    match graph.node(i) {
+        Ok(nd) => {
+            nd.shape == shape
+                || (nd.shape.iter().product::<usize>() == 1 && nd.shape.len() <= shape.len())
+        }
+        Err(_) => false,
+    }
+}
+
+/// Upper bound on fused-chain length; beyond this the register program's
+/// scratch outgrows any realistic win.
+const MAX_CHAIN: usize = 16;
+
+/// Compiles one evaluation request into a replayable plan.
+///
+/// `ids` is the node set to evaluate, `preset_ids` the ids whose values
+/// the caller supplies (fragment entries), and `outputs` switches
+/// retain mode: `None` keeps every value (whole-graph / full-fragment
+/// evaluation), `Some(outs)` keeps only `outs` and plans consumer
+/// refcounts so everything else recycles. `fusion` gates every
+/// optimization pass; with it off the plan replays the unoptimized
+/// schedule exactly.
+///
+/// # Errors
+///
+/// Returns [`FdgError::UnknownNode`] when `ids` references a node that
+/// is neither in the graph nor preset.
+pub fn compile(
+    graph: &DataflowGraph,
+    ids: &[NodeId],
+    preset_ids: &[NodeId],
+    outputs: Option<&[NodeId]>,
+    fusion: bool,
+) -> Result<CompiledPlan> {
+    let n = graph.len();
+    let mut sorted = ids.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    // Out-of-graph ids are legal only as presets (mirrors the
+    // uncompiled interpreter, which fails the same way on first use).
+    if let Some(&id) = sorted.iter().find(|&&id| id >= n && !preset_ids.contains(&id)) {
+        return Err(FdgError::UnknownNode { id });
+    }
+    let todo: Vec<NodeId> =
+        sorted.into_iter().filter(|&id| id < n && !preset_ids.contains(&id)).collect();
+
+    let keep_all = outputs.is_none();
+    let mut keep = vec![keep_all; n];
+    if let Some(outs) = outputs {
+        for &id in outs {
+            if id < n {
+                keep[id] = true;
+            }
+        }
+    }
+
+    let mut in_set = vec![false; n];
+    let mut alive = vec![false; n];
+    let mut inputs_of: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut batch_of = vec![0usize; n];
+    let mut batch = 0usize;
+    for &id in &todo {
+        let node = graph.node(id)?;
+        in_set[id] = true;
+        alive[id] = true;
+        inputs_of[id] = node.inputs.clone();
+        if node.kind.is_macro() {
+            batch += 1;
+            batch_of[id] = batch;
+            batch += 1;
+        } else {
+            batch_of[id] = batch;
+        }
+    }
+
+    let mut lowered: Vec<Option<PlanOp>> = (0..n).map(|_| None).collect();
+    let mut stats = PlanStats::default();
+
+    if fusion {
+        cse_pass(graph, &todo, &mut inputs_of, &mut alive, &mut lowered, &keep, &mut stats)?;
+        linear_pass(
+            graph,
+            &todo,
+            &mut inputs_of,
+            &mut alive,
+            &mut lowered,
+            &keep,
+            &in_set,
+            &batch_of,
+            &mut stats,
+        )?;
+        ew_chain_pass(
+            graph,
+            &todo,
+            &mut inputs_of,
+            &mut alive,
+            &mut lowered,
+            &keep,
+            &in_set,
+            &batch_of,
+            &mut stats,
+        )?;
+        if !keep_all {
+            dce_pass(graph, &todo, &inputs_of, &mut alive, &keep, &mut stats)?;
+        }
+    }
+
+    // Consumer refcounts over the *final* edges; the uncompiled
+    // interpreter only counts (and therefore only recycles) in retain
+    // mode, and the plan matches that.
+    let mut uses = vec![0usize; n];
+    if !keep_all {
+        for &id in &todo {
+            if !alive[id] {
+                continue;
+            }
+            for &i in &inputs_of[id] {
+                if i < n {
+                    uses[i] += 1;
+                }
+            }
+        }
+    }
+
+    // Barrier schedule: pure stretches level-grouped, macros serial.
+    let mut steps: Vec<Step> = Vec::new();
+    let mut pure: Vec<NodeId> = Vec::new();
+    for &id in &todo {
+        if !alive[id] {
+            continue;
+        }
+        if graph.node(id)?.kind.is_macro() {
+            if !pure.is_empty() {
+                let levels = levelize(graph, &pure, &inputs_of, &mut lowered)?;
+                steps.push(Step::Pure { levels, before_macro: true });
+                pure.clear();
+            }
+            steps.push(Step::Macro { id, inputs: inputs_of[id].clone() });
+            stats.ops += 1;
+        } else {
+            pure.push(id);
+        }
+    }
+    if !pure.is_empty() {
+        let levels = levelize(graph, &pure, &inputs_of, &mut lowered)?;
+        steps.push(Step::Pure { levels, before_macro: false });
+    }
+    for step in &steps {
+        if let Step::Pure { levels, .. } = step {
+            stats.ops += levels.iter().map(Vec::len).sum::<usize>();
+        }
+    }
+
+    // Liveness-planned buffers: a chain op may steal the buffer of its
+    // first input that (a) dies at this op (sole remaining consumer,
+    // not retained) and (b) has exactly the output's shape. Only
+    // meaningful in retain mode — with uses all zero nothing matches.
+    if fusion {
+        for step in &mut steps {
+            let Step::Pure { levels, .. } = step else { continue };
+            for op in levels.iter_mut().flatten() {
+                if !matches!(op.op, PlanOp::EwChain(_)) {
+                    continue;
+                }
+                op.inplace = op.inputs.iter().position(|&i| {
+                    i < n
+                        && uses[i] == 1
+                        && !keep[i]
+                        && graph.node(i).map(|nd| nd.shape == op.shape).unwrap_or(false)
+                });
+            }
+        }
+    }
+
+    msrl_telemetry::static_counter!("compile.plans").add(1);
+    msrl_telemetry::static_counter!("compile.cse").add(stats.cse_merged as u64);
+    msrl_telemetry::static_counter!("compile.fused_linear").add(stats.fused_linear as u64);
+    msrl_telemetry::static_counter!("compile.fused_ew").add(stats.fused_ew as u64);
+    msrl_telemetry::static_counter!("compile.dce").add(stats.dce_removed as u64);
+
+    Ok(CompiledPlan { steps, uses, keep, stats })
+}
+
+/// Common-subexpression elimination. Inputs of *every* node (macros
+/// included) are resolved through the redirect map; duplicate pure
+/// nodes then either die or, when retained, degrade to `Identity`.
+fn cse_pass(
+    graph: &DataflowGraph,
+    todo: &[NodeId],
+    inputs_of: &mut [Vec<NodeId>],
+    alive: &mut [bool],
+    lowered: &mut [Option<PlanOp>],
+    keep: &[bool],
+    stats: &mut PlanStats,
+) -> Result<()> {
+    let mut redirect: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut seen: HashMap<(String, Vec<NodeId>), NodeId> = HashMap::new();
+    for &id in todo {
+        for i in inputs_of[id].iter_mut() {
+            if let Some(&r) = redirect.get(i) {
+                *i = r;
+            }
+        }
+        let node = graph.node(id)?;
+        // Macros are stateful (never mergeable); Const values live in a
+        // side table keyed by id, so two Const nodes are not equal.
+        if node.kind.is_macro() || matches!(node.kind, OpKind::Const) {
+            continue;
+        }
+        let key = (format!("{:?}", node.kind), inputs_of[id].clone());
+        match seen.entry(key) {
+            Entry::Occupied(e) => {
+                let rep = *e.get();
+                stats.cse_merged += 1;
+                redirect.insert(id, rep);
+                if keep[id] {
+                    // The caller wants this slot populated: alias it.
+                    lowered[id] = Some(PlanOp::Node(OpNode {
+                        id,
+                        kind: OpKind::Identity,
+                        inputs: vec![rep],
+                        shape: node.shape.clone(),
+                        device_req: node.device_req,
+                        component: node.component.clone(),
+                    }));
+                    inputs_of[id] = vec![rep];
+                } else {
+                    alive[id] = false;
+                    inputs_of[id].clear();
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(id);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rebuilds consumer lists over the current (post-pass) edges of alive
+/// nodes.
+fn build_cons(
+    todo: &[NodeId],
+    inputs_of: &[Vec<NodeId>],
+    alive: &[bool],
+    n: usize,
+) -> Vec<Vec<NodeId>> {
+    let mut cons: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for &id in todo {
+        if !alive[id] {
+            continue;
+        }
+        for &i in &inputs_of[id] {
+            if i < n {
+                cons[i].push(id);
+            }
+        }
+    }
+    cons
+}
+
+/// Lowers `MatMul → Add(bias) → activation` and bare `MatMul → Add(bias)`
+/// patterns to [`PlanOp::LinearAct`].
+#[allow(clippy::too_many_arguments)]
+fn linear_pass(
+    graph: &DataflowGraph,
+    todo: &[NodeId],
+    inputs_of: &mut [Vec<NodeId>],
+    alive: &mut [bool],
+    lowered: &mut [Option<PlanOp>],
+    keep: &[bool],
+    in_set: &[bool],
+    batch_of: &[usize],
+    stats: &mut PlanStats,
+) -> Result<()> {
+    let n = graph.len();
+    let mut cons = build_cons(todo, inputs_of, alive, n);
+
+    // A MatMul is absorbable into a consumer `user` when it is interior:
+    // same batch, not retained, and `user` its only consumer.
+    let mm_ok = |m: NodeId,
+                 user: NodeId,
+                 alive: &[bool],
+                 lowered: &[Option<PlanOp>],
+                 inputs_of: &[Vec<NodeId>],
+                 cons: &[Vec<NodeId>]|
+     -> bool {
+        m < n
+            && in_set[m]
+            && alive[m]
+            && lowered[m].is_none()
+            && !keep[m]
+            && cons[m].len() == 1
+            && cons[m][0] == user
+            && batch_of[m] == batch_of[user]
+            && graph
+                .node(m)
+                .map(|nd| nd.kind == OpKind::MatMul && nd.shape.len() == 2)
+                .unwrap_or(false)
+            && inputs_of[m].len() == 2
+    };
+    // The bias must be rank-1 of the matmul's column count, so the fused
+    // kernel's row epilogue matches the broadcast `Add` exactly.
+    let bias_ok = |b: NodeId, m: NodeId| -> bool {
+        match (graph.node(b), graph.node(m)) {
+            (Ok(bn), Ok(mn)) => {
+                bn.shape.len() == 1 && mn.shape.len() == 2 && bn.shape[0] == mn.shape[1]
+            }
+            _ => false,
+        }
+    };
+
+    // Pass A: activation-anchored (MatMul → Add → Relu/Tanh/Sigmoid).
+    for &act_id in todo {
+        if !alive[act_id] || lowered[act_id].is_some() {
+            continue;
+        }
+        let Some(act) = act_of(&graph.node(act_id)?.kind) else { continue };
+        if inputs_of[act_id].len() != 1 {
+            continue;
+        }
+        let d = inputs_of[act_id][0];
+        let add_ok = d < n
+            && in_set[d]
+            && alive[d]
+            && lowered[d].is_none()
+            && !keep[d]
+            && cons[d].len() == 1
+            && cons[d][0] == act_id
+            && batch_of[d] == batch_of[act_id]
+            && graph.node(d)?.kind == OpKind::Add
+            && inputs_of[d].len() == 2;
+        if !add_ok {
+            continue;
+        }
+        let (a0, a1) = (inputs_of[d][0], inputs_of[d][1]);
+        // Addition commutes bitwise, so Add(m, b) and Add(b, m) both fuse.
+        let pick = if mm_ok(a0, d, alive, lowered, inputs_of, &cons) && bias_ok(a1, a0) {
+            Some((a0, a1))
+        } else if mm_ok(a1, d, alive, lowered, inputs_of, &cons) && bias_ok(a0, a1) {
+            Some((a1, a0))
+        } else {
+            None
+        };
+        let Some((m, b)) = pick else { continue };
+        let (x, w) = (inputs_of[m][0], inputs_of[m][1]);
+        lowered[act_id] = Some(PlanOp::LinearAct(act));
+        inputs_of[act_id] = vec![x, w, b];
+        alive[d] = false;
+        alive[m] = false;
+        inputs_of[d].clear();
+        inputs_of[m].clear();
+        stats.fused_linear += 1;
+        // Keep `cons` exact so a later pattern never matches through a
+        // node this fusion already consumed.
+        for c in cons[x].iter_mut() {
+            if *c == m {
+                *c = act_id;
+            }
+        }
+        for c in cons[w].iter_mut() {
+            if *c == m {
+                *c = act_id;
+            }
+        }
+        for c in cons[b].iter_mut() {
+            if *c == d {
+                *c = act_id;
+            }
+        }
+        cons[m].clear();
+        cons[d].clear();
+    }
+
+    // Pass B: bare MatMul → Add(bias), fused with a linear epilogue.
+    for &add_id in todo {
+        if !alive[add_id] || lowered[add_id].is_some() {
+            continue;
+        }
+        if graph.node(add_id)?.kind != OpKind::Add || inputs_of[add_id].len() != 2 {
+            continue;
+        }
+        let (a0, a1) = (inputs_of[add_id][0], inputs_of[add_id][1]);
+        let pick = if mm_ok(a0, add_id, alive, lowered, inputs_of, &cons) && bias_ok(a1, a0) {
+            Some((a0, a1))
+        } else if mm_ok(a1, add_id, alive, lowered, inputs_of, &cons) && bias_ok(a0, a1) {
+            Some((a1, a0))
+        } else {
+            None
+        };
+        let Some((m, b)) = pick else { continue };
+        let (x, w) = (inputs_of[m][0], inputs_of[m][1]);
+        lowered[add_id] = Some(PlanOp::LinearAct(ops::Act::Linear));
+        inputs_of[add_id] = vec![x, w, b];
+        alive[m] = false;
+        inputs_of[m].clear();
+        stats.fused_linear += 1;
+        for c in cons[x].iter_mut() {
+            if *c == m {
+                *c = add_id;
+            }
+        }
+        for c in cons[w].iter_mut() {
+            if *c == m {
+                *c = add_id;
+            }
+        }
+        cons[m].clear();
+    }
+    Ok(())
+}
+
+/// Greedily fuses straight-line elementwise chains into
+/// [`PlanOp::EwChain`] register programs.
+#[allow(clippy::too_many_arguments)]
+fn ew_chain_pass(
+    graph: &DataflowGraph,
+    todo: &[NodeId],
+    inputs_of: &mut [Vec<NodeId>],
+    alive: &mut [bool],
+    lowered: &mut [Option<PlanOp>],
+    keep: &[bool],
+    in_set: &[bool],
+    batch_of: &[usize],
+    stats: &mut PlanStats,
+) -> Result<()> {
+    let n = graph.len();
+    let cons = build_cons(todo, inputs_of, alive, n);
+    let mut in_chain = vec![false; n];
+
+    for &start in todo {
+        if !alive[start] || lowered[start].is_some() || in_chain[start] {
+            continue;
+        }
+        let node = graph.node(start)?;
+        if !is_elementwise(&node.kind) || inputs_of[start].len() != ew_arity(&node.kind) {
+            continue;
+        }
+        let shape = &node.shape;
+        if !inputs_of[start].iter().all(|&i| ext_ok(graph, i, shape)) {
+            continue;
+        }
+        let mut chain = vec![start];
+        loop {
+            let last = *chain.last().unwrap();
+            if keep[last] || cons[last].len() != 1 || chain.len() >= MAX_CHAIN {
+                break;
+            }
+            let c = cons[last][0];
+            if c >= n
+                || !in_set[c]
+                || !alive[c]
+                || lowered[c].is_some()
+                || in_chain[c]
+                || batch_of[c] != batch_of[start]
+            {
+                break;
+            }
+            let cn = graph.node(c)?;
+            if !is_elementwise(&cn.kind)
+                || cn.shape != *shape
+                || inputs_of[c].len() != ew_arity(&cn.kind)
+                || !inputs_of[c].iter().all(|&i| i == last || ext_ok(graph, i, shape))
+            {
+                break;
+            }
+            chain.push(c);
+        }
+        if chain.len() < 2 {
+            continue;
+        }
+
+        let mut insts: Vec<EwInst> = Vec::with_capacity(chain.len());
+        let mut reg_of: HashMap<NodeId, usize> = HashMap::new();
+        let mut ext: Vec<NodeId> = Vec::new();
+        for &id in &chain {
+            let mut src = |i: NodeId| -> EwSrc {
+                if let Some(&r) = reg_of.get(&i) {
+                    return EwSrc::Reg(r);
+                }
+                match ext.iter().position(|&e| e == i) {
+                    Some(k) => EwSrc::Ext(k),
+                    None => {
+                        ext.push(i);
+                        EwSrc::Ext(ext.len() - 1)
+                    }
+                }
+            };
+            let ins = &inputs_of[id];
+            let inst = match &graph.node(id)?.kind {
+                OpKind::Add => EwInst::Add(src(ins[0]), src(ins[1])),
+                OpKind::Sub => EwInst::Sub(src(ins[0]), src(ins[1])),
+                OpKind::Mul => EwInst::Mul(src(ins[0]), src(ins[1])),
+                OpKind::Div => EwInst::Div(src(ins[0]), src(ins[1])),
+                OpKind::Relu => EwInst::Relu(src(ins[0])),
+                OpKind::Tanh => EwInst::Tanh(src(ins[0])),
+                OpKind::Sigmoid => EwInst::Sigmoid(src(ins[0])),
+                OpKind::Exp => EwInst::Exp(src(ins[0])),
+                OpKind::Ln => EwInst::Ln(src(ins[0])),
+                OpKind::Square => EwInst::Square(src(ins[0])),
+                OpKind::Neg => EwInst::Neg(src(ins[0])),
+                OpKind::Clamp { lo, hi } => EwInst::Clamp(src(ins[0]), *lo, *hi),
+                other => return Err(FdgError::MissingKernel { op: other.name().to_string() }),
+            };
+            reg_of.insert(id, insts.len());
+            insts.push(inst);
+        }
+        stats.fused_ew += chain.len();
+        let last = *chain.last().unwrap();
+        for &id in &chain[..chain.len() - 1] {
+            alive[id] = false;
+            in_chain[id] = true;
+            inputs_of[id].clear();
+        }
+        in_chain[last] = true;
+        lowered[last] = Some(PlanOp::EwChain(EwProgram { insts }));
+        inputs_of[last] = ext;
+    }
+    Ok(())
+}
+
+/// Removes alive nodes that cannot reach a retained output or a macro
+/// op (whose kernel side effects must always run).
+fn dce_pass(
+    graph: &DataflowGraph,
+    todo: &[NodeId],
+    inputs_of: &[Vec<NodeId>],
+    alive: &mut [bool],
+    keep: &[bool],
+    stats: &mut PlanStats,
+) -> Result<()> {
+    let n = graph.len();
+    let mut reach = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    for &id in todo {
+        if alive[id] && (keep[id] || graph.node(id)?.kind.is_macro()) {
+            reach[id] = true;
+            stack.push(id);
+        }
+    }
+    while let Some(id) = stack.pop() {
+        for &i in &inputs_of[id] {
+            if i < n && alive[i] && !reach[i] {
+                reach[i] = true;
+                stack.push(i);
+            }
+        }
+    }
+    for &id in todo {
+        if alive[id] && !reach[id] {
+            alive[id] = false;
+            stats.dce_removed += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Groups one pure batch into dependency levels, replicating the
+/// uncompiled interpreter's formula exactly: a node's level is one past
+/// the deepest of its in-batch inputs; everything already materialised
+/// contributes zero.
+fn levelize(
+    graph: &DataflowGraph,
+    batch: &[NodeId],
+    inputs_of: &[Vec<NodeId>],
+    lowered: &mut [Option<PlanOp>],
+) -> Result<Vec<Vec<ExecOp>>> {
+    let mut level_of: HashMap<NodeId, usize> = HashMap::with_capacity(batch.len());
+    let mut levels: Vec<Vec<ExecOp>> = Vec::new();
+    for &id in batch {
+        let node = graph.node(id)?;
+        let lvl =
+            inputs_of[id].iter().filter_map(|i| level_of.get(i)).map(|l| l + 1).max().unwrap_or(0);
+        level_of.insert(id, lvl);
+        if levels.len() <= lvl {
+            levels.resize_with(lvl + 1, Vec::new);
+        }
+        let op = lowered[id].take().unwrap_or_else(|| PlanOp::Node(node.clone()));
+        levels[lvl].push(ExecOp {
+            id,
+            op,
+            inputs: inputs_of[id].clone(),
+            shape: node.shape.clone(),
+            workload: node.shape.iter().product::<usize>().max(1),
+            inplace: None,
+        });
+    }
+    Ok(levels)
+}
+
+/// Per-input element strides for a fused chain evaluated at `vol`
+/// output elements: 1 for a full-size input, 0 for a one-element
+/// broadcast.
+fn ew_strides(ins: &[&Tensor], vol: usize, shape: &[usize]) -> Result<Vec<usize>> {
+    ins.iter()
+        .map(|t| {
+            if t.len() == vol {
+                Ok(1)
+            } else if t.len() == 1 {
+                Ok(0)
+            } else {
+                Err(FdgError::Tensor(msrl_tensor::TensorError::ShapeMismatch {
+                    op: "ew_chain",
+                    lhs: shape.to_vec(),
+                    rhs: t.shape().to_vec(),
+                }))
+            }
+        })
+        .collect()
+}
+
+/// Executes a fused elementwise chain into a fresh (pooled) buffer.
+pub(crate) fn run_ew(prog: &EwProgram, ins: &[&Tensor], shape: &[usize]) -> Result<Tensor> {
+    let vol: usize = shape.iter().product();
+    let strides = ew_strides(ins, vol, shape)?;
+    let srcs: Vec<&[f32]> = ins.iter().map(|t| t.data()).collect();
+    let mut data = msrl_tensor::alloc::take_zeroed(vol);
+    let fill = |offset: usize, chunk: &mut [f32]| {
+        let mut regs = vec![0.0f32; prog.insts.len()];
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            *slot = prog.eval_at(&srcs, &strides, offset + i, &mut regs);
+        }
+    };
+    if par::should_parallelize(vol, par::PAR_MIN_ELEMS) {
+        par::fill_chunks(&mut data, fill);
+    } else {
+        fill(0, &mut data);
+    }
+    Ok(Tensor::from_vec(data, shape)?)
+}
+
+/// Executes a fused elementwise chain in place, reusing `own`'s buffer
+/// as the output (the liveness plan proved it dies here). `others`
+/// holds the remaining inputs with `None` at `self_pos`. Bit-identical
+/// to [`run_ew`]: each element's old value is read before it is
+/// overwritten, and the op is strictly elementwise.
+pub(crate) fn run_ew_inplace(
+    prog: &EwProgram,
+    mut own: Tensor,
+    self_pos: usize,
+    others: &[Option<&Tensor>],
+) -> Result<Tensor> {
+    let vol = own.len();
+    let mut strides = vec![1usize; others.len()];
+    let mut srcs: Vec<&[f32]> = vec![&[]; others.len()];
+    for (k, o) in others.iter().enumerate() {
+        if k == self_pos {
+            continue;
+        }
+        let t = o.ok_or(FdgError::MissingInput { node: 0 })?;
+        strides[k] = if t.len() == vol {
+            1
+        } else if t.len() == 1 {
+            0
+        } else {
+            return Err(FdgError::Tensor(msrl_tensor::TensorError::ShapeMismatch {
+                op: "ew_chain",
+                lhs: own.shape().to_vec(),
+                rhs: t.shape().to_vec(),
+            }));
+        };
+        srcs[k] = t.data();
+    }
+    let mut regs = vec![0.0f32; prog.insts.len()];
+    let data = own.data_mut();
+    for idx in 0..vol {
+        let selfv = data[idx];
+        for (r, inst) in prog.insts.iter().enumerate() {
+            let ld = |s: EwSrc, regs: &[f32]| match s {
+                EwSrc::Ext(k) if k == self_pos => selfv,
+                EwSrc::Ext(k) => srcs[k][idx * strides[k]],
+                EwSrc::Reg(p) => regs[p],
+            };
+            regs[r] = match *inst {
+                EwInst::Add(a, b) => ld(a, &regs) + ld(b, &regs),
+                EwInst::Sub(a, b) => ld(a, &regs) - ld(b, &regs),
+                EwInst::Mul(a, b) => ld(a, &regs) * ld(b, &regs),
+                EwInst::Div(a, b) => ld(a, &regs) / ld(b, &regs),
+                EwInst::Relu(a) => ld(a, &regs).max(0.0),
+                EwInst::Tanh(a) => ld(a, &regs).tanh(),
+                EwInst::Sigmoid(a) => 1.0 / (1.0 + (-ld(a, &regs)).exp()),
+                EwInst::Exp(a) => ld(a, &regs).exp(),
+                EwInst::Ln(a) => ld(a, &regs).max(f32::MIN_POSITIVE).ln(),
+                EwInst::Square(a) => {
+                    let v = ld(a, &regs);
+                    v * v
+                }
+                EwInst::Neg(a) => -ld(a, &regs),
+                EwInst::Clamp(a, lo, hi) => ld(a, &regs).clamp(lo, hi),
+            };
+        }
+        data[idx] = regs[prog.insts.len() - 1];
+    }
+    Ok(own)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{trace_mlp, TraceCtx};
+
+    fn pure_ops(plan: &CompiledPlan) -> Vec<&ExecOp> {
+        plan.steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Pure { levels, .. } => Some(levels.iter().flatten()),
+                Step::Macro { .. } => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    #[test]
+    fn mlp_lowers_to_fused_linears() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[4, 3]);
+        let out = trace_mlp(&ctx, "net", &x, &[3, 8, 2]);
+        let graph = ctx.finish();
+        let ids: Vec<NodeId> = (0..graph.len()).collect();
+        let plan = compile(&graph, &ids, &[], Some(&[out.id()]), true).unwrap();
+        // Layer 0 (matmul+add+tanh) fuses via the activation pattern,
+        // layer 1 (matmul+add) via the bare-add pattern.
+        assert_eq!(plan.stats.fused_linear, 2, "{:?}", plan.stats);
+        let fused: Vec<_> = pure_ops(&plan)
+            .into_iter()
+            .filter(|op| matches!(op.op, PlanOp::LinearAct(_)))
+            .collect();
+        assert_eq!(fused.len(), 2);
+        for op in fused {
+            assert_eq!(op.inputs.len(), 3, "fused linear takes [x, w, b]");
+        }
+    }
+
+    #[test]
+    fn elementwise_chain_fuses_to_one_pass() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[8]);
+        let y = ctx.input("y", &[8]);
+        let out = x.mul(&y).add(&x).tanh();
+        let graph = ctx.finish();
+        let ids: Vec<NodeId> = (0..graph.len()).collect();
+        let plan = compile(&graph, &ids, &[], Some(&[out.id()]), true).unwrap();
+        assert_eq!(plan.stats.fused_ew, 3, "{:?}", plan.stats);
+        let ops = pure_ops(&plan);
+        let chains: Vec<_> = ops.iter().filter(|op| matches!(op.op, PlanOp::EwChain(_))).collect();
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].id, out.id());
+        // Externals dedup: x is read by two instructions but listed once.
+        assert_eq!(chains[0].inputs, vec![x.id(), y.id()]);
+    }
+
+    #[test]
+    fn cse_merges_duplicate_subexpressions() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[4]);
+        let a = x.square();
+        let b = x.square();
+        let c = a.add(&b);
+        let graph = ctx.finish();
+        let ids: Vec<NodeId> = (0..graph.len()).collect();
+        let plan = compile(&graph, &ids, &[], Some(&[c.id()]), true).unwrap();
+        assert_eq!(plan.stats.cse_merged, 1, "{:?}", plan.stats);
+        // The surviving square feeds add(dup, dup) — two consumer slots,
+        // so it cannot chain — and the plan runs x, square, add only.
+        assert_eq!(plan.stats.ops, 3, "{:?}", plan.stats);
+        let add = pure_ops(&plan).into_iter().find(|op| op.id == c.id()).unwrap();
+        assert_eq!(add.inputs, vec![a.id(), a.id()], "both edges point at the survivor");
+    }
+
+    #[test]
+    fn dead_branches_are_eliminated() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[4]);
+        let live = x.relu();
+        let _dead = x.exp().square().sum_all();
+        let graph = ctx.finish();
+        let ids: Vec<NodeId> = (0..graph.len()).collect();
+        let plan = compile(&graph, &ids, &[], Some(&[live.id()]), true).unwrap();
+        // exp→square fused first (2 ops → 1 chain), then the chain and
+        // sum_all die: only x and the live relu execute.
+        assert_eq!(plan.stats.dce_removed, 2, "{:?}", plan.stats);
+        assert_eq!(plan.stats.ops, 2, "{:?}", plan.stats);
+        assert!(pure_ops(&plan).iter().all(|op| op.id <= live.id()));
+    }
+
+    #[test]
+    fn fusion_off_replays_the_unoptimized_schedule() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[4, 3]);
+        let out = trace_mlp(&ctx, "net", &x, &[3, 8, 2]);
+        let graph = ctx.finish();
+        let ids: Vec<NodeId> = (0..graph.len()).collect();
+        let plan = compile(&graph, &ids, &[], Some(&[out.id()]), false).unwrap();
+        assert_eq!(plan.stats, PlanStats { ops: graph.len(), ..PlanStats::default() });
+        assert!(pure_ops(&plan).iter().all(|op| matches!(op.op, PlanOp::Node(_))));
+    }
+
+    #[test]
+    fn run_ew_matches_separate_ops_bitwise() {
+        // (x * y + x).tanh() with a scalar broadcast thrown in.
+        let x =
+            Tensor::from_vec((0..24).map(|i| (i as f32 * 0.37).sin()).collect(), &[4, 6]).unwrap();
+        let y =
+            Tensor::from_vec((0..24).map(|i| (i as f32 * 0.11).cos()).collect(), &[4, 6]).unwrap();
+        let s = Tensor::scalar(0.25);
+        let prog = EwProgram {
+            insts: vec![
+                EwInst::Mul(EwSrc::Ext(0), EwSrc::Ext(1)),
+                EwInst::Add(EwSrc::Reg(0), EwSrc::Ext(0)),
+                EwInst::Div(EwSrc::Reg(1), EwSrc::Ext(2)),
+                EwInst::Tanh(EwSrc::Reg(2)),
+            ],
+        };
+        let fused = run_ew(&prog, &[&x, &y, &s], &[4, 6]).unwrap();
+        let expect =
+            ops::tanh(&ops::div(&ops::add(&ops::mul(&x, &y).unwrap(), &x).unwrap(), &s).unwrap());
+        assert_eq!(fused.shape(), expect.shape());
+        assert_eq!(fused.data(), expect.data(), "fused chain must be bit-identical");
+
+        // The in-place variant (stealing x's buffer) agrees too.
+        let inplace = run_ew_inplace(&prog, x.clone(), 0, &[None, Some(&y), Some(&s)]).unwrap();
+        assert_eq!(inplace.data(), expect.data());
+    }
+
+    #[test]
+    fn out_of_graph_ids_require_presets() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[4]);
+        let _y = x.relu();
+        let graph = ctx.finish();
+        let bogus = graph.len() + 5;
+        let err = compile(&graph, &[0, 1, bogus], &[], None, true).unwrap_err();
+        assert!(matches!(err, FdgError::UnknownNode { id } if id == bogus));
+        assert!(compile(&graph, &[0, 1, bogus], &[bogus], None, true).is_ok());
+    }
+}

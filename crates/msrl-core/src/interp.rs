@@ -36,9 +36,11 @@
 //! tracing enabled, per-op-class totals land under `interp.op.<Name>`.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use msrl_tensor::{ops, par, Tensor};
 
+use crate::compile::{self, CompiledPlan, ExecOp, PlanOp, Step};
 use crate::fragment::Fragment;
 use crate::graph::{DataflowGraph, NodeId, OpKind, OpNode};
 use crate::{FdgError, Result};
@@ -51,6 +53,19 @@ pub type Kernel<'a> = Box<dyn FnMut(&OpNode, &[&Tensor]) -> Result<Tensor> + 'a>
 /// one evaluation run.
 type RunState = (Vec<Option<Tensor>>, Vec<(NodeId, Tensor)>);
 
+/// Identity of one evaluation request, used as the compiled-plan cache
+/// key. The graph contributes its process-unique
+/// [`DataflowGraph::stamp`], so no node contents are hashed; the rest
+/// pins everything [`compile::compile`] depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    stamp: u64,
+    ids: Vec<NodeId>,
+    presets: Vec<NodeId>,
+    outputs: Option<Vec<NodeId>>,
+    fusion: bool,
+}
+
 /// Evaluates dataflow (sub)graphs.
 #[derive(Default)]
 pub struct Interpreter<'a> {
@@ -61,6 +76,10 @@ pub struct Interpreter<'a> {
     pub params: HashMap<String, Tensor>,
     /// Values for `Const` nodes, by id.
     pub consts: HashMap<NodeId, Tensor>,
+    /// Compiled plans by request identity. Bounded by the number of
+    /// distinct (graph, fragment, outputs) requests this interpreter
+    /// serves — a handful per worker in practice.
+    plans: HashMap<PlanKey, Rc<CompiledPlan>>,
 }
 
 /// The read-only bindings pure nodes evaluate against; shared with worker
@@ -164,7 +183,12 @@ impl<'a> Interpreter<'a> {
         Ok(out)
     }
 
-    /// The evaluation engine behind all public entry points.
+    /// The evaluation engine behind all public entry points: looks up
+    /// (or compiles and caches) the [`CompiledPlan`] for this request,
+    /// then replays it. Steady-state evaluation therefore does zero
+    /// per-call planning — no topology sort, no consumer counting —
+    /// which the always-on `interp.plan_cache.hit` / `.miss` counters
+    /// make observable.
     ///
     /// Returns the dense value arena plus any preset entries whose ids
     /// lie outside the graph (kept so callers see presets round-trip).
@@ -178,6 +202,33 @@ impl<'a> Interpreter<'a> {
         retain: Option<&[NodeId]>,
     ) -> Result<RunState> {
         let n = graph.len();
+        let mut presets: Vec<NodeId> = preset.keys().copied().collect();
+        presets.sort_unstable();
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let key = PlanKey {
+            stamp: graph.stamp(),
+            ids: sorted,
+            presets,
+            outputs: retain.map(|outs| {
+                let mut v = outs.to_vec();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }),
+            fusion: par::fusion_enabled(),
+        };
+        let plan = if let Some(p) = self.plans.get(&key) {
+            msrl_telemetry::static_counter!("interp.plan_cache.hit").add(1);
+            Rc::clone(p)
+        } else {
+            msrl_telemetry::static_counter!("interp.plan_cache.miss").add(1);
+            let p = Rc::new(compile::compile(graph, &key.ids, &key.presets, retain, key.fusion)?);
+            self.plans.insert(key, Rc::clone(&p));
+            p
+        };
+
         let mut values: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
         let mut extra: Vec<(NodeId, Tensor)> = Vec::new();
         for (id, v) in preset {
@@ -187,100 +238,72 @@ impl<'a> Interpreter<'a> {
                 extra.push((id, v));
             }
         }
-
-        let mut sorted = ids.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
-        let todo: Vec<NodeId> = sorted
-            .into_iter()
-            .filter(|&id| {
-                if id < n {
-                    values[id].is_none()
-                } else {
-                    // Out-of-graph ids are legal only as presets.
-                    !extra.iter().any(|(e, _)| *e == id)
-                }
-            })
-            .collect();
-
-        // Remaining-consumer counts, for the recycling mode.
-        let mut uses = vec![0usize; n];
-        let mut keep = vec![retain.is_none(); n];
-        if let Some(outs) = retain {
-            for &id in &todo {
-                for &i in &graph.node(id)?.inputs {
-                    if i < n {
-                        uses[i] += 1;
-                    }
-                }
-            }
-            for &id in outs {
-                if id < n {
-                    keep[id] = true;
-                }
-            }
-        }
-
-        // Macro ops are barriers; the pure stretches between them
-        // evaluate level-parallel.
-        let mut batch: Vec<NodeId> = Vec::new();
-        for &id in &todo {
-            let node = graph.node(id)?;
-            if !node.kind.is_macro() {
-                batch.push(id);
-                continue;
-            }
-            {
-                let _wait =
-                    (!batch.is_empty()).then(|| msrl_telemetry::span!("interp.barrier_wait"));
-                self.flush_pure(graph, &batch, &mut values, &extra, &mut uses, &keep)?;
-            }
-            batch.clear();
-            let ins =
-                gather(&node.inputs, &values, &extra).ok_or(FdgError::MissingInput { node: id })?;
-            let name = node.kind.name();
-            let kernel = self
-                .kernels
-                .get_mut(name)
-                .ok_or_else(|| FdgError::MissingKernel { op: name.to_string() })?;
-            msrl_telemetry::static_counter!("interp.ops").add(1);
-            if msrl_telemetry::enabled() {
-                msrl_telemetry::counter(&format!("interp.op.{name}"), 1);
-            }
-            let v = {
-                let _macro = msrl_telemetry::span!("interp.macro");
-                kernel(node, &ins)?
-            };
-            values[id] = Some(v);
-            release(&node.inputs, &mut values, &mut uses, &keep);
-        }
-        self.flush_pure(graph, &batch, &mut values, &extra, &mut uses, &keep)?;
+        self.run_plan(graph, &plan, &mut values, &extra)?;
         Ok((values, extra))
     }
 
-    /// Evaluates a dependency-free-ordered batch of pure nodes, level by
-    /// level; a level with enough independent work runs on scoped
-    /// threads (output results land in id order either way, so the two
-    /// schedules are indistinguishable to callers).
-    fn flush_pure(
-        &self,
+    /// Replays a compiled plan: macro steps run serially on registered
+    /// kernels, pure steps level-parallel through [`Self::exec_pure`].
+    fn run_plan(
+        &mut self,
         graph: &DataflowGraph,
-        batch: &[NodeId],
+        plan: &CompiledPlan,
+        values: &mut [Option<Tensor>],
+        extra: &[(NodeId, Tensor)],
+    ) -> Result<()> {
+        let mut uses = plan.uses.clone();
+        for step in &plan.steps {
+            match step {
+                Step::Pure { levels, before_macro } => {
+                    let _wait = before_macro.then(|| msrl_telemetry::span!("interp.barrier_wait"));
+                    self.exec_pure(levels, values, extra, &mut uses, &plan.keep)?;
+                }
+                Step::Macro { id, inputs } => {
+                    let node = graph.node(*id)?;
+                    let ins = gather(inputs, values, extra)
+                        .ok_or(FdgError::MissingInput { node: *id })?;
+                    let name = node.kind.name();
+                    let kernel = self
+                        .kernels
+                        .get_mut(name)
+                        .ok_or_else(|| FdgError::MissingKernel { op: name.to_string() })?;
+                    msrl_telemetry::static_counter!("interp.ops").add(1);
+                    if msrl_telemetry::enabled() {
+                        msrl_telemetry::counter(&format!("interp.op.{name}"), 1);
+                    }
+                    let v = {
+                        let _macro = msrl_telemetry::span!("interp.macro");
+                        kernel(node, &ins)?
+                    };
+                    values[*id] = Some(v);
+                    release(inputs, values, &mut uses, &plan.keep);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one pure step's pre-computed levels; a level with enough
+    /// independent work runs on scoped threads (results land in id order
+    /// either way, so the two schedules are indistinguishable). Serial
+    /// levels honour each op's in-place hint, running fused chains
+    /// directly in a dying input's buffer.
+    fn exec_pure(
+        &self,
+        levels: &[Vec<ExecOp>],
         values: &mut [Option<Tensor>],
         extra: &[(NodeId, Tensor)],
         uses: &mut [usize],
         keep: &[bool],
     ) -> Result<()> {
-        if batch.is_empty() {
-            return Ok(());
-        }
-        msrl_telemetry::static_counter!("interp.ops").add(batch.len() as u64);
+        let count: usize = levels.iter().map(Vec::len).sum();
+        msrl_telemetry::static_counter!("interp.ops").add(count as u64);
         if msrl_telemetry::enabled() {
             // Per-op-class attribution costs a map walk and a by-name
             // registry add per class, so it only runs under MSRL_TRACE.
             let mut by_class: HashMap<&'static str, u64> = HashMap::new();
-            for &id in batch {
-                *by_class.entry(graph.node(id)?.kind.name()).or_default() += 1;
+            for op in levels.iter().flatten() {
+                *by_class.entry(op.op.class()).or_default() += 1;
             }
             for (name, n) in by_class {
                 msrl_telemetry::counter(&format!("interp.op.{name}"), n);
@@ -288,55 +311,88 @@ impl<'a> Interpreter<'a> {
         }
         let bind = Bindings { inputs: &self.inputs, params: &self.params, consts: &self.consts };
 
-        // Level = longest path from the batch's frontier; inputs already
-        // materialised (earlier batches, presets, sources) contribute 0.
-        let mut level_of: HashMap<NodeId, usize> = HashMap::with_capacity(batch.len());
-        let mut levels: Vec<Vec<NodeId>> = Vec::new();
-        for &id in batch {
-            let node = graph.node(id)?;
-            let lvl = node
-                .inputs
-                .iter()
-                .filter_map(|i| level_of.get(i))
-                .map(|l| l + 1)
-                .max()
-                .unwrap_or(0);
-            level_of.insert(id, lvl);
-            if levels.len() <= lvl {
-                levels.resize_with(lvl + 1, Vec::new);
+        for level in levels {
+            let work: usize = level.iter().map(|op| op.workload).sum();
+            if level.len() > 1 && par::should_parallelize(work, par::PAR_MIN_ELEMS) {
+                let mut jobs: Vec<(&ExecOp, Vec<&Tensor>)> = Vec::with_capacity(level.len());
+                for op in level {
+                    let ins = gather(&op.inputs, values, extra)
+                        .ok_or(FdgError::MissingInput { node: op.id })?;
+                    jobs.push((op, ins));
+                }
+                let results: Vec<Result<Tensor>> = par::map_ranges(jobs.len(), |r| {
+                    r.map(|j| exec_op(&bind, jobs[j].0, &jobs[j].1)).collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+                for (op, res) in level.iter().zip(results) {
+                    values[op.id] = Some(res?);
+                }
+            } else {
+                for op in level {
+                    let v = self.exec_serial(&bind, op, values, extra)?;
+                    values[op.id] = Some(v);
+                }
             }
-            levels[lvl].push(id);
-        }
-
-        for level in &levels {
-            let mut jobs: Vec<(&OpNode, Vec<&Tensor>)> = Vec::with_capacity(level.len());
-            for &id in level {
-                let node = graph.node(id)?;
-                let ins = gather(&node.inputs, values, extra)
-                    .ok_or(FdgError::MissingInput { node: id })?;
-                jobs.push((node, ins));
-            }
-            let work: usize =
-                jobs.iter().map(|(nd, _)| nd.shape.iter().product::<usize>().max(1)).sum();
-            let results: Vec<Result<Tensor>> =
-                if jobs.len() > 1 && par::should_parallelize(work, par::PAR_MIN_ELEMS) {
-                    par::map_ranges(jobs.len(), |r| {
-                        r.map(|j| eval_pure(&bind, jobs[j].0, &jobs[j].1)).collect::<Vec<_>>()
-                    })
-                    .into_iter()
-                    .flatten()
-                    .collect()
-                } else {
-                    jobs.iter().map(|(nd, ins)| eval_pure(&bind, nd, ins)).collect()
-                };
-            for (&id, res) in level.iter().zip(results) {
-                values[id] = Some(res?);
-            }
-            for &id in level {
-                release(&graph.node(id)?.inputs, values, uses, keep);
+            for op in level {
+                release(&op.inputs, values, uses, keep);
             }
         }
         Ok(())
+    }
+
+    /// Serial execution of one op, taking the in-place route when the
+    /// liveness plan donated an input buffer and it actually matches at
+    /// runtime (presets may have unexpected shapes; then we fall back).
+    fn exec_serial(
+        &self,
+        bind: &Bindings<'_>,
+        op: &ExecOp,
+        values: &mut [Option<Tensor>],
+        extra: &[(NodeId, Tensor)],
+    ) -> Result<Tensor> {
+        if let (PlanOp::EwChain(prog), Some(p)) = (&op.op, op.inplace) {
+            let donor = op.inputs[p];
+            let fits =
+                values.get(donor).and_then(Option::as_ref).is_some_and(|t| t.shape() == op.shape);
+            if fits && gather(&op.inputs, values, extra).is_some() {
+                let own = values[donor].take().expect("donor presence checked above");
+                let others: Vec<Option<&Tensor>> = op
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &i)| {
+                        if k == p {
+                            None
+                        } else {
+                            values
+                                .get(i)
+                                .and_then(Option::as_ref)
+                                .or_else(|| extra.iter().find(|(e, _)| *e == i).map(|(_, v)| v))
+                        }
+                    })
+                    .collect();
+                return compile::run_ew_inplace(prog, own, p, &others);
+            }
+        }
+        let ins =
+            gather(&op.inputs, values, extra).ok_or(FdgError::MissingInput { node: op.id })?;
+        exec_op(bind, op, &ins)
+    }
+}
+
+/// Executes one planned pure op.
+fn exec_op(bind: &Bindings<'_>, op: &ExecOp, ins: &[&Tensor]) -> Result<Tensor> {
+    match &op.op {
+        PlanOp::Node(node) => eval_pure(bind, node, ins),
+        PlanOp::LinearAct(act) => {
+            if ins.len() < 3 {
+                return Err(FdgError::MissingInput { node: op.id });
+            }
+            Ok(ops::linear_act(ins[0], ins[1], ins[2], *act)?)
+        }
+        PlanOp::EwChain(prog) => compile::run_ew(prog, ins, &op.shape),
     }
 }
 
@@ -713,32 +769,64 @@ mod tests {
             .eval_fragment(&fdg.graph, learner, HashMap::from([(a.id(), entry.clone())]))
             .unwrap();
 
-        msrl_tensor::alloc::clear();
-        let only = interp
-            .eval_fragment_outputs(
-                &fdg.graph,
-                learner,
-                HashMap::from([(a.id(), entry.clone())]),
-                &[loss.id()],
-            )
-            .unwrap();
-        assert_eq!(only.len(), 1);
-        assert_eq!(only[&loss.id()], full[&loss.id()]);
-        let after_first = msrl_tensor::alloc::stats();
-        assert!(after_first.pooled_elems > 0, "dead intermediates must be recycled");
+        // Unfused path: intermediates are materialised, so the recycler
+        // must feed them back to the pool and the second run must hit it.
+        par::with_fusion(false, || {
+            msrl_tensor::alloc::clear();
+            let only = interp
+                .eval_fragment_outputs(
+                    &fdg.graph,
+                    learner,
+                    HashMap::from([(a.id(), entry.clone())]),
+                    &[loss.id()],
+                )
+                .unwrap();
+            assert_eq!(only.len(), 1);
+            assert_eq!(only[&loss.id()], full[&loss.id()]);
+            let after_first = msrl_tensor::alloc::stats();
+            assert!(after_first.pooled_elems > 0, "dead intermediates must be recycled");
 
-        // A second evaluation is served from the pool.
-        let again = interp
-            .eval_fragment_outputs(
-                &fdg.graph,
-                learner,
-                HashMap::from([(a.id(), entry)]),
-                &[loss.id()],
-            )
-            .unwrap();
-        assert_eq!(again[&loss.id()], full[&loss.id()]);
-        let after_second = msrl_tensor::alloc::stats();
-        assert!(after_second.hits > after_first.hits, "second run must reuse buffers");
+            // A second evaluation is served from the pool.
+            let again = interp
+                .eval_fragment_outputs(
+                    &fdg.graph,
+                    learner,
+                    HashMap::from([(a.id(), entry.clone())]),
+                    &[loss.id()],
+                )
+                .unwrap();
+            assert_eq!(again[&loss.id()], full[&loss.id()]);
+            let after_second = msrl_tensor::alloc::stats();
+            assert!(after_second.hits > after_first.hits, "second run must reuse buffers");
+        });
+
+        // Fused path: the square→square chain runs in place in the entry
+        // buffer, so steady-state evaluation allocates nothing new — the
+        // pool's miss count stays flat across repeats.
+        par::with_fusion(true, || {
+            msrl_tensor::alloc::clear();
+            let first = interp
+                .eval_fragment_outputs(
+                    &fdg.graph,
+                    learner,
+                    HashMap::from([(a.id(), entry.clone())]),
+                    &[loss.id()],
+                )
+                .unwrap();
+            assert_eq!(first[&loss.id()], full[&loss.id()]);
+            let baseline = msrl_tensor::alloc::stats();
+            let again = interp
+                .eval_fragment_outputs(
+                    &fdg.graph,
+                    learner,
+                    HashMap::from([(a.id(), entry)]),
+                    &[loss.id()],
+                )
+                .unwrap();
+            assert_eq!(again[&loss.id()], full[&loss.id()]);
+            let after = msrl_tensor::alloc::stats();
+            assert_eq!(after.misses, baseline.misses, "in-place chains must not allocate");
+        });
         msrl_tensor::alloc::clear();
     }
 }

@@ -39,6 +39,7 @@
 
 pub mod annotate;
 pub mod api;
+pub mod compile;
 pub mod config;
 pub mod cost;
 pub mod fragment;
@@ -49,6 +50,7 @@ pub mod partition;
 pub mod trace;
 
 pub use annotate::{Collective, FragmentKind, PartitionAnnotation};
+pub use compile::{CompiledPlan, PlanStats};
 pub use fragment::{Fragment, FragmentId, Interface};
 pub use graph::{DataflowGraph, DeviceReq, NodeId, OpKind, OpNode};
 pub use partition::{build_fdg, Fdg};

@@ -1,0 +1,184 @@
+//! Property-based tests for the graph compiler (§5's execution layer):
+//! the fused, liveness-planned execution of a compiled plan must be
+//! **bit-identical** to the unfused reference schedule on arbitrary
+//! graphs, under both tensor backends, and repeat evaluations must be
+//! served from the plan cache without changing results.
+//!
+//! Bitwise comparison (`f32::to_bits`) is deliberate: the fusion passes
+//! promise the *same* floating-point operation sequence per element, so
+//! even NaN payloads and signed zeros must agree.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use msrl_core::interp::Interpreter;
+use msrl_core::partition::build_fdg;
+use msrl_core::trace::{TraceCtx, TracedVar};
+use msrl_core::{DataflowGraph, NodeId};
+use msrl_tensor::{par, Backend, Tensor};
+use proptest::prelude::*;
+
+/// The process-global fusion/backend gates are flipped inside these
+/// tests; serialise the test bodies so concurrent cases cannot observe
+/// each other's overrides.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Builds a random DAG over `[4, 4]` tensors. Every op draws operands
+/// (by modulo-index into the pool of previously produced values), so
+/// duplicate subexpressions (CSE fodder), shared intermediates, fusable
+/// `MatMul+Add(bias)+act` stretches, elementwise chains, and dead
+/// branches (anything not reachable from the last value) all arise
+/// naturally. Returns the graph and the id of the designated output.
+fn random_dag(codes: &[u8], operands: &[usize]) -> (DataflowGraph, NodeId) {
+    let ctx = TraceCtx::new();
+    let saved = ctx.enter_component("net");
+    let x = ctx.input("x", &[4, 4]);
+    let w = ctx.param("w", &[4, 4]);
+    let b = ctx.param("b", &[4]);
+    let mut pool: Vec<TracedVar> = vec![x];
+    for (i, &code) in codes.iter().enumerate() {
+        let pick = |slot: usize| operands[(2 * i + slot) % operands.len()] % pool.len();
+        let v = {
+            let a = &pool[pick(0)];
+            let c = &pool[pick(1)];
+            match code % 13 {
+                0 => a.relu(),
+                1 => a.tanh(),
+                2 => a.sigmoid(),
+                3 => a.square(),
+                4 => a.neg(),
+                5 => a.clamp(-1.5, 1.5),
+                6 => a.ln(),
+                7 => a.exp(),
+                8 => a.add(c),
+                9 => a.sub(c),
+                10 => a.mul(c),
+                11 => a.matmul(&w),
+                _ => a.matmul(&w).add(&b).tanh(),
+            }
+        };
+        pool.push(v);
+    }
+    let out = pool.last().expect("pool starts non-empty").id();
+    ctx.exit_component(saved);
+    (ctx.finish(), out)
+}
+
+fn bind_all(interp: &mut Interpreter<'_>, xs: &[f32], ws: &[f32], bs: &[f32]) {
+    interp.bind_input("x", Tensor::from_vec(xs.to_vec(), &[4, 4]).unwrap());
+    interp.bind_param("w", Tensor::from_vec(ws.to_vec(), &[4, 4]).unwrap());
+    interp.bind_param("b", Tensor::from_vec(bs.to_vec(), &[4]).unwrap());
+}
+
+/// Evaluates the single-fragment FDG in outputs mode (the path the
+/// fusion passes transform) and returns the output's raw bits.
+fn run_outputs(
+    graph: &DataflowGraph,
+    out: NodeId,
+    xs: &[f32],
+    ws: &[f32],
+    bs: &[f32],
+    fusion: bool,
+) -> Vec<u32> {
+    par::with_fusion(fusion, || {
+        let fdg = build_fdg(graph.clone()).unwrap();
+        assert_eq!(fdg.fragments.len(), 1, "unannotated graph is one fragment");
+        let mut interp = Interpreter::new();
+        bind_all(&mut interp, xs, ws, bs);
+        let vals =
+            interp.eval_fragment_outputs(&fdg.graph, &fdg.fragments[0], HashMap::new(), &[out]);
+        vals.unwrap()[&out].data().iter().map(|v| v.to_bits()).collect()
+    })
+}
+
+proptest! {
+    /// Fused execution (CSE + linear fusion + elementwise chains + DCE +
+    /// in-place buffers) is bit-identical to the unfused reference
+    /// schedule on random graphs, under both backends.
+    #[test]
+    fn fused_matches_unfused_bitwise(
+        codes in proptest::collection::vec(0u8..13, 1..16),
+        operands in proptest::collection::vec(0usize..64, 32),
+        xs in proptest::collection::vec(-2.0f32..2.0, 16),
+        ws in proptest::collection::vec(-1.0f32..1.0, 16),
+        bs in proptest::collection::vec(-1.0f32..1.0, 4),
+    ) {
+        let _g = lock();
+        let (graph, out) = random_dag(&codes, &operands);
+        for backend in [Backend::Scalar, Backend::Threaded] {
+            par::with_backend(backend, || -> Result<(), TestCaseError> {
+                let fused = run_outputs(&graph, out, &xs, &ws, &bs, true);
+                let plain = run_outputs(&graph, out, &xs, &ws, &bs, false);
+                prop_assert_eq!(&fused, &plain, "backend {:?}", backend);
+                Ok(())
+            })?;
+        }
+    }
+
+    /// Keep-all evaluation (`eval`) is untouched by the fusion flag:
+    /// every node's value is bitwise identical either way.
+    #[test]
+    fn keep_all_eval_ignores_fusion_flag(
+        codes in proptest::collection::vec(0u8..13, 1..12),
+        operands in proptest::collection::vec(0usize..64, 32),
+        xs in proptest::collection::vec(-2.0f32..2.0, 16),
+        ws in proptest::collection::vec(-1.0f32..1.0, 16),
+        bs in proptest::collection::vec(-1.0f32..1.0, 4),
+    ) {
+        let _g = lock();
+        let (graph, _) = random_dag(&codes, &operands);
+        let run = |fusion: bool| {
+            par::with_fusion(fusion, || {
+                let mut interp = Interpreter::new();
+                bind_all(&mut interp, &xs, &ws, &bs);
+                interp.eval(&graph).unwrap()
+            })
+        };
+        let on = run(true);
+        let off = run(false);
+        prop_assert_eq!(on.len(), off.len());
+        for (a, b) in on.iter().zip(&off) {
+            prop_assert_eq!(a.shape(), b.shape());
+            for (va, vb) in a.data().iter().zip(b.data()) {
+                prop_assert_eq!(va.to_bits(), vb.to_bits());
+            }
+        }
+    }
+
+    /// A persistent interpreter compiles once per request shape: repeat
+    /// evaluations are plan-cache hits and return identical bits.
+    #[test]
+    fn plan_cache_serves_repeat_evaluations(
+        codes in proptest::collection::vec(0u8..13, 1..10),
+        operands in proptest::collection::vec(0usize..64, 32),
+        xs in proptest::collection::vec(-2.0f32..2.0, 16),
+        ws in proptest::collection::vec(-1.0f32..1.0, 16),
+        bs in proptest::collection::vec(-1.0f32..1.0, 4),
+    ) {
+        let _g = lock();
+        let (graph, out) = random_dag(&codes, &operands);
+        let fdg = build_fdg(graph).unwrap();
+        let mut interp = Interpreter::new();
+        bind_all(&mut interp, &xs, &ws, &bs);
+        let eval = |interp: &mut Interpreter<'_>| {
+            let vals = interp
+                .eval_fragment_outputs(&fdg.graph, &fdg.fragments[0], HashMap::new(), &[out])
+                .unwrap();
+            vals[&out].data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        };
+        let first = eval(&mut interp);
+        let hits0 = msrl_telemetry::counter_total("interp.plan_cache.hit");
+        let misses0 = msrl_telemetry::counter_total("interp.plan_cache.miss");
+        for _ in 0..5 {
+            prop_assert_eq!(&eval(&mut interp), &first);
+        }
+        let hits = msrl_telemetry::counter_total("interp.plan_cache.hit") - hits0;
+        let misses = msrl_telemetry::counter_total("interp.plan_cache.miss") - misses0;
+        prop_assert_eq!(hits, 5, "every repeat evaluation is a cache hit");
+        prop_assert_eq!(misses, 0, "steady state does no per-call planning");
+    }
+}

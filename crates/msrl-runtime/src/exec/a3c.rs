@@ -33,6 +33,10 @@ pub struct A3cDistConfig {
     pub a3c: A3cConfig,
     /// Base seed.
     pub seed: u64,
+    /// Route linear layers through the fused `MatMul+bias+activation`
+    /// kernel (bit-identical to the unfused path). Defaults from
+    /// `MSRL_FUSION`.
+    pub fusion: bool,
 }
 
 impl Default for A3cDistConfig {
@@ -44,6 +48,7 @@ impl Default for A3cDistConfig {
             hidden: vec![32],
             a3c: A3cConfig::default(),
             seed: 0,
+            fusion: msrl_tensor::par::fusion_enabled(),
         }
     }
 }
@@ -58,6 +63,7 @@ where
     E: Environment + 'static,
     F: Fn(usize) -> E + Send + Sync,
 {
+    msrl_tensor::par::set_fusion(dist.fusion);
     let p = dist.workers.max(1);
     // Ranks 0..p are workers; rank p is the learner.
     let mut endpoints = Fabric::new(p + 1);
@@ -149,6 +155,7 @@ mod tests {
                 hidden: vec![32],
                 a3c: A3cConfig { lr: 2e-3, ..A3cConfig::default() },
                 seed,
+                ..A3cDistConfig::default()
             };
             let report = run_a3c(|w| CartPole::new(seed + w as u64), &dist).unwrap();
             assert_eq!(report.iteration_rewards.len(), 3 * 40);

@@ -39,6 +39,7 @@ where
     E: Environment + 'static,
     F: Fn(usize, usize) -> E + Send + Sync,
 {
+    dist.apply_fusion();
     let p = dist.actors.max(1);
     // Ranks 0..p are actors; rank p is the learner.
     let mut endpoints = Fabric::with_latency(p + 1, dist.link_latency);

@@ -29,6 +29,7 @@ where
     E: Environment + 'static,
     F: Fn(usize, usize) -> E + Send + Sync,
 {
+    dist.apply_fusion();
     let p = dist.actors.max(1);
     let mut endpoints = Fabric::with_latency(p + 1, dist.link_latency);
     let learner_ep = endpoints.pop().expect("fabric yields p+1 endpoints");

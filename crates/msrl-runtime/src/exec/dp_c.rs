@@ -35,6 +35,7 @@ where
     E: Environment + 'static,
     F: Fn(usize, usize) -> E + Send + Sync,
 {
+    dist.apply_fusion();
     let p = dist.actors.max(1);
     let endpoints = Fabric::with_latency(p, dist.link_latency);
 

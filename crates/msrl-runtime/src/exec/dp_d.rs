@@ -29,6 +29,10 @@ pub struct DpDConfig {
     pub ppo: PpoConfig,
     /// Base seed.
     pub seed: u64,
+    /// Route linear layers through the fused `MatMul+bias+activation`
+    /// kernel (bit-identical to the unfused path). Defaults from
+    /// `MSRL_FUSION`.
+    pub fusion: bool,
 }
 
 /// Runs the fused training loop on `devices` replicas, each owning the
@@ -44,6 +48,7 @@ where
     B: BatchedEnv + 'static,
     F: Fn(usize) -> B + Send + Sync,
 {
+    msrl_tensor::par::set_fusion(cfg.fusion);
     let p = cfg.devices.max(1);
     let endpoints = Fabric::new(p);
     let probe = make_env(0);
@@ -150,6 +155,7 @@ mod tests {
             hidden: vec![16],
             ppo: PpoConfig { lr: 1e-3, epochs: 2, ..PpoConfig::default() },
             seed: 7,
+            fusion: msrl_tensor::par::fusion_enabled(),
         };
         let report = run_dp_d(|r| BatchedCartPole::new(16, r as u64), &cfg).unwrap();
         assert_eq!(report.iteration_rewards.len(), 8);
@@ -164,6 +170,7 @@ mod tests {
             hidden: vec![16],
             ppo: PpoConfig { epochs: 1, ..PpoConfig::default() },
             seed: 8,
+            fusion: msrl_tensor::par::fusion_enabled(),
         };
         let report = run_dp_d(|r| BatchedTag::new(8, 3, 1, r as u64), &cfg).unwrap();
         assert_eq!(report.iteration_rewards.len(), 4);

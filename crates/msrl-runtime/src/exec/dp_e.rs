@@ -30,6 +30,10 @@ pub struct DpEConfig {
     pub ppo: PpoConfig,
     /// Base seed.
     pub seed: u64,
+    /// Route linear layers through the fused `MatMul+bias+activation`
+    /// kernel (bit-identical to the unfused path). Defaults from
+    /// `MSRL_FUSION`.
+    pub fusion: bool,
 }
 
 /// Runs MAPPO under DP-E on the environment produced by `make_env`.
@@ -44,6 +48,7 @@ where
     M: MultiAgentEnvironment + 'static,
     F: FnOnce() -> M + Send,
 {
+    msrl_tensor::par::set_fusion(cfg.fusion);
     let env = make_env();
     let n = env.n_agents();
     let obs_dim = env.obs_dim();
@@ -198,6 +203,7 @@ mod tests {
             hidden: vec![32],
             ppo: PpoConfig { lr: 7e-4, epochs: 4, entropy_coef: 0.005, ..PpoConfig::default() },
             seed: 9,
+            fusion: msrl_tensor::par::fusion_enabled(),
         };
         let report = run_dp_e(|| SimpleSpread::new(3, 5).with_horizon(20), &cfg).unwrap();
         assert_eq!(report.iteration_rewards.len(), 20);

@@ -35,6 +35,7 @@ where
     E: Environment + 'static,
     F: Fn(usize, usize) -> E + Send + Sync,
 {
+    dist.apply_fusion();
     let p = dist.actors.max(1);
     // Ranks 0..p are workers; rank p is the parameter server.
     let mut endpoints = Fabric::with_latency(p + 1, dist.link_latency);

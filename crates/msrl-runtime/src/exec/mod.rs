@@ -71,6 +71,11 @@ pub struct DistPpoConfig {
     /// in-process analogue of the paper's `tc`-injected network latency
     /// (Fig. 7d). Zero (the default) means in-process channel speed.
     pub link_latency: std::time::Duration,
+    /// Route linear layers through the fused `MatMul+bias+activation`
+    /// kernel and enable the graph compiler's fusion passes (both
+    /// bit-identical to the unfused path). Defaults from `MSRL_FUSION`
+    /// (on unless set to `0`/`off`/`false`/`no`).
+    pub fusion: bool,
 }
 
 impl Default for DistPpoConfig {
@@ -86,6 +91,7 @@ impl Default for DistPpoConfig {
             overlap: msrl_comm::overlap_enabled(),
             staleness: msrl_comm::staleness_bound(),
             link_latency: std::time::Duration::ZERO,
+            fusion: msrl_tensor::par::fusion_enabled(),
         }
     }
 }
@@ -99,6 +105,13 @@ impl DistPpoConfig {
         } else {
             0
         }
+    }
+
+    /// Applies the config's fusion choice to the process-global gate so
+    /// every thread a driver spawns sees it. Called once at each
+    /// driver's entry.
+    pub(crate) fn apply_fusion(&self) {
+        msrl_tensor::par::set_fusion(self.fusion);
     }
 }
 

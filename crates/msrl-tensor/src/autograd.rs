@@ -103,6 +103,24 @@ fn reduce_grad(grad: &Tensor, target: &[usize]) -> Tensor {
     g
 }
 
+/// Maps the output gradient of a fused linear node back through its
+/// activation, using the same element-wise closures as the standalone
+/// activation nodes (tanh/sigmoid differentiate via the *output*, and
+/// ReLU's output mask equals its input mask).
+fn fused_act_grad(act: ops::Act, g: &Tensor, out: &Tensor) -> Tensor {
+    match act {
+        ops::Act::Relu => ops::zip_broadcast(g, out, |gv, ov| if ov > 0.0 { gv } else { 0.0 })
+            .expect("same shape"),
+        ops::Act::Tanh => {
+            ops::zip_broadcast(g, out, |gv, ov| gv * (1.0 - ov * ov)).expect("same shape")
+        }
+        ops::Act::Sigmoid => {
+            ops::zip_broadcast(g, out, |gv, ov| gv * ov * (1.0 - ov)).expect("same shape")
+        }
+        ops::Act::Linear => g.clone(),
+    }
+}
+
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
@@ -154,6 +172,9 @@ impl Tape {
         // every node after all of its consumers.
         for id in (0..=loss.id).rev() {
             let Some(grad_out) = grads[id].clone() else { continue };
+            // Parent rules fire in recorded order, each with the same
+            // `grad_out` — the fused linear node's rules share work
+            // through this invariant.
             for (pid, rule) in &inner.nodes[id].parents {
                 let contribution = rule(&grad_out);
                 match &mut grads[*pid] {
@@ -284,6 +305,65 @@ impl Var {
                 // dL/dB = Aᵀ · G
                 ops::matmul(&ops::transpose(&ac).expect("matrix"), g).expect("fwd shapes")
             }),
+        ))
+    }
+
+    /// Fused linear layer `act(self · w + b)` recorded as one tape node.
+    ///
+    /// The forward pass runs the fused kernel ([`ops::linear_act`]) —
+    /// one traversal of the output instead of three, with no
+    /// intermediate tensors — and each backward rule composes exactly
+    /// the primitive gradient ops the separate matmul/add/activation
+    /// nodes would use, so values *and* gradients are bit-identical to
+    /// the unfused composition (ReLU's output mask `out > 0` agrees
+    /// with its input mask `pre > 0`, including NaN pre-activations,
+    /// which `max(NaN, 0) = 0` also masks out).
+    ///
+    /// # Errors
+    ///
+    /// Returns the shape errors of [`ops::linear_act`].
+    pub fn linear(&self, w: &Var, b: &Var, act: ops::Act) -> Result<Var> {
+        let (x, wv, bv) = (self.value(), w.value(), b.value());
+        let out = ops::linear_act(&x, &wv, &bv, act)?;
+        let b_shape = bv.shape().to_vec();
+        // One shared copy of the output for the three backward rules
+        // (tanh/sigmoid/relu differentiate through it), and one shared
+        // slot for the activation-mapped gradient `gp`. `backward`
+        // visits a node at most once per run and invokes its parent
+        // rules in recorded order with the same output gradient, so the
+        // x-rule computes `gp` and stores it, the w-rule borrows it,
+        // and the b-rule takes it — the separate activation node of the
+        // unfused composition computes it exactly once too.
+        let out_x = out.clone();
+        let cache: Rc<RefCell<Option<Tensor>>> = Rc::new(RefCell::new(None));
+        let cache_x = Rc::clone(&cache);
+        let cache_w = Rc::clone(&cache);
+        Ok(self.tape.record(
+            out,
+            vec![
+                (self.id, {
+                    Box::new(move |g| {
+                        let gp = fused_act_grad(act, g, &out_x);
+                        let gx = ops::matmul(&gp, &ops::transpose(&wv).expect("matrix"))
+                            .expect("fwd shapes");
+                        *cache_x.borrow_mut() = Some(gp);
+                        gx
+                    })
+                }),
+                (w.id, {
+                    Box::new(move |_g| {
+                        let cached = cache_w.borrow();
+                        let gp = cached.as_ref().expect("x-rule ran first and cached gp");
+                        ops::matmul(&ops::transpose(&x).expect("matrix"), gp).expect("fwd shapes")
+                    })
+                }),
+                (b.id, {
+                    Box::new(move |_g| {
+                        let gp = cache.borrow_mut().take().expect("w-rule left gp cached");
+                        reduce_grad(&gp, &b_shape)
+                    })
+                }),
+            ],
         ))
     }
 
@@ -652,6 +732,44 @@ mod tests {
         let loss = x.select_per_row(&[1, 0]).unwrap().sum();
         let g = tape.backward(&loss).unwrap();
         assert_eq!(g.get(x.id()).unwrap().data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn fused_linear_matches_unfused_bitwise() {
+        let xs: Vec<f32> = (0..6).map(|i| (i as f32 * 0.7).sin()).collect();
+        let ws: Vec<f32> = (0..4).map(|i| (i as f32 * 0.9).cos()).collect();
+        let bs = [0.1f32, -0.2];
+        for act in [ops::Act::Relu, ops::Act::Tanh, ops::Act::Sigmoid, ops::Act::Linear] {
+            let tape_f = Tape::new();
+            let x = tape_f.var(t(&xs, &[3, 2]));
+            let w = tape_f.var(t(&ws, &[2, 2]));
+            let b = tape_f.var(t(&bs, &[2]));
+            let fused = x.linear(&w, &b, act).unwrap();
+            let loss_f = fused.sum();
+            let gf = tape_f.backward(&loss_f).unwrap();
+
+            let tape_u = Tape::new();
+            let xu = tape_u.var(t(&xs, &[3, 2]));
+            let wu = tape_u.var(t(&ws, &[2, 2]));
+            let bu = tape_u.var(t(&bs, &[2]));
+            let pre = xu.matmul(&wu).unwrap().add(&bu).unwrap();
+            let unfused = match act {
+                ops::Act::Relu => pre.relu(),
+                ops::Act::Tanh => pre.tanh(),
+                ops::Act::Sigmoid => pre.sigmoid(),
+                ops::Act::Linear => pre,
+            };
+            assert_eq!(fused.value().data(), unfused.value().data(), "{act:?} forward");
+            let loss_u = unfused.sum();
+            let gu = tape_u.backward(&loss_u).unwrap();
+            for ((f, u), name) in [(&x, &xu), (&w, &wu), (&b, &bu)].iter().zip(["x", "w", "b"]) {
+                assert_eq!(
+                    gf.get(f.id()).unwrap().data(),
+                    gu.get(u.id()).unwrap().data(),
+                    "{act:?} grad {name} must be bit-identical"
+                );
+            }
+        }
     }
 
     /// Central-difference check for a composite expression.

@@ -49,6 +49,16 @@ impl Activation {
             Activation::Linear => x.clone(),
         }
     }
+
+    /// The fused-kernel selector applying the same scalar function.
+    fn fused(self) -> ops::Act {
+        match self {
+            Activation::Relu => ops::Act::Relu,
+            Activation::Tanh => ops::Act::Tanh,
+            Activation::Sigmoid => ops::Act::Sigmoid,
+            Activation::Linear => ops::Act::Linear,
+        }
+    }
 }
 
 /// A fully-connected layer `y = x·W + b` with `W: [in, out]`, `b: [out]`.
@@ -77,8 +87,15 @@ impl Linear {
     }
 
     /// Forward pass without gradients: `x: [batch, in] → [batch, out]`.
+    ///
+    /// With fusion on ([`crate::par::fusion_enabled`]) this runs the
+    /// one-pass fused kernel; the two paths are bit-identical.
     pub fn infer(&self, x: &Tensor) -> Result<Tensor> {
-        ops::add(&ops::matmul(x, &self.w)?, &self.b)
+        if crate::par::fusion_enabled() {
+            ops::linear_act(x, &self.w, &self.b, ops::Act::Linear)
+        } else {
+            ops::add(&ops::matmul(x, &self.w)?, &self.b)
+        }
     }
 }
 
@@ -144,9 +161,26 @@ impl Mlp {
     }
 
     /// Forward pass without gradients: `[batch, in] → [batch, out]`.
+    ///
+    /// With fusion on, each layer runs as one fused
+    /// matmul+bias+activation pass and the previous layer's
+    /// intermediate is recycled straight back to the buffer pool —
+    /// bit-identical to the unfused chain.
     pub fn infer(&self, x: &Tensor) -> Result<Tensor> {
-        let mut h = x.clone();
         let last = self.layers.len() - 1;
+        if crate::par::fusion_enabled() {
+            let mut h: Option<Tensor> = None;
+            for (i, layer) in self.layers.iter().enumerate() {
+                let act = if i == last { self.output_activation } else { self.hidden_activation };
+                let next =
+                    ops::linear_act(h.as_ref().unwrap_or(x), &layer.w, &layer.b, act.fused())?;
+                if let Some(dead) = h.replace(next) {
+                    dead.recycle();
+                }
+            }
+            return Ok(h.unwrap_or_else(|| x.clone()));
+        }
+        let mut h = x.clone();
         for (i, layer) in self.layers.iter().enumerate() {
             h = layer.infer(&h)?;
             let act = if i == last { self.output_activation } else { self.hidden_activation };
@@ -240,16 +274,25 @@ pub struct MlpBinding {
 
 impl MlpBinding {
     /// Differentiable forward pass.
+    ///
+    /// With fusion on, each layer records a single fused
+    /// [`Var::linear`] node (one output traversal, one tape node)
+    /// instead of the matmul → add → activation triple; values and
+    /// gradients are bit-identical either way.
     pub fn forward(&self, x: &Var) -> Result<Var> {
         let mut h = x.clone();
         let n_layers = self.params.len() / 2;
+        let fused = crate::par::fusion_enabled();
         for i in 0..n_layers {
             let w = &self.params[2 * i];
             let b = &self.params[2 * i + 1];
-            h = h.matmul(w)?.add(b)?;
             let act =
                 if i == n_layers - 1 { self.output_activation } else { self.hidden_activation };
-            h = act.apply_var(&h);
+            h = if fused {
+                h.linear(w, b, act.fused())?
+            } else {
+                act.apply_var(&h.matmul(w)?.add(b)?)
+            };
         }
         Ok(h)
     }
@@ -302,6 +345,32 @@ mod tests {
         let traced = binding.forward(&tape.var(x)).unwrap().value();
         for (a, b) in plain.data().iter().zip(traced.data()) {
             assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fusion_paths_are_bit_identical() {
+        let mut r = rng(7);
+        let mlp = Mlp::new(&[4, 8, 8, 2], Activation::Tanh, Activation::Linear, &mut r);
+        let x =
+            Tensor::from_vec((0..12).map(|i| (i as f32 * 0.3).sin()).collect(), &[3, 4]).unwrap();
+        let y_on = crate::par::with_fusion(true, || mlp.infer(&x).unwrap());
+        let y_off = crate::par::with_fusion(false, || mlp.infer(&x).unwrap());
+        assert_eq!(y_on.data(), y_off.data(), "fused infer must be bit-identical");
+        let run = |on: bool| {
+            crate::par::with_fusion(on, || {
+                let tape = Tape::new();
+                let binding = mlp.bind(&tape);
+                let loss = binding.forward(&tape.var(x.clone())).unwrap().square().sum();
+                let grads = tape.backward(&loss).unwrap();
+                (loss.value(), binding.grads(&grads))
+            })
+        };
+        let (loss_on, grads_on) = run(true);
+        let (loss_off, grads_off) = run(false);
+        assert_eq!(loss_on.data(), loss_off.data());
+        for (a, b) in grads_on.iter().zip(&grads_off) {
+            assert_eq!(a.data(), b.data(), "fused grads must be bit-identical");
         }
     }
 

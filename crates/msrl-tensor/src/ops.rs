@@ -63,6 +63,59 @@ pub fn zip_broadcast(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync)
     Tensor::from_vec(data, out_shape.dims())
 }
 
+/// Applies `f` element-wise in place, reusing `a`'s buffer — no pool
+/// round-trip, no allocation. Bit-identical to [`map`]; the graph
+/// compiler's liveness plan selects this variant when it proves the
+/// input's storage is dead after the op.
+pub fn map_inplace(mut a: Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    let data = a.data_mut();
+    let fill = |_offset: usize, chunk: &mut [f32]| {
+        for slot in chunk.iter_mut() {
+            *slot = f(*slot);
+        }
+    };
+    if par::should_parallelize(data.len(), par::PAR_MIN_ELEMS) {
+        par::fill_chunks(data, fill);
+    } else {
+        fill(0, data);
+    }
+    a
+}
+
+/// Applies `f(a[i], b[i])` element-wise into `a`'s buffer. Requires equal
+/// shapes — the compiler only plans in-place execution for the
+/// no-broadcast case, where it is bit-identical to [`zip_broadcast`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+pub fn zip_inplace(
+    mut a: Tensor,
+    b: &Tensor,
+    f: impl Fn(f32, f32) -> f32 + Sync,
+) -> Result<Tensor> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "zip_inplace",
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    let bd = b.data();
+    let data = a.data_mut();
+    let fill = |offset: usize, chunk: &mut [f32]| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            *slot = f(*slot, bd[offset + i]);
+        }
+    };
+    if par::should_parallelize(data.len(), par::PAR_MIN_ELEMS) {
+        par::fill_chunks(data, fill);
+    } else {
+        fill(0, data);
+    }
+    Ok(a)
+}
+
 /// Applies `f` element-wise to a single tensor (chunk-parallel under the
 /// threaded backend).
 pub fn map(a: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
@@ -245,6 +298,101 @@ fn matmul_rows(ad: &[f32], bd: &[f32], row0: usize, out_rows: &mut [f32], k: usi
     }
 }
 
+/// Activation selector for the fused linear kernel.
+///
+/// Each variant applies the *same scalar expression* as the matching
+/// element-wise op ([`relu`], [`tanh`], [`sigmoid`], identity), which is
+/// what keeps [`linear_act`] bit-identical to the unfused
+/// matmul → bias-add → activation chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Act {
+    /// `max(v, 0)` — same as [`relu`].
+    Relu,
+    /// `tanh(v)` — same as [`tanh`].
+    Tanh,
+    /// `1 / (1 + e^{-v})` — same as [`sigmoid`].
+    Sigmoid,
+    /// Identity (no activation).
+    Linear,
+}
+
+impl Act {
+    /// Applies the activation to a single element.
+    #[inline]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            Act::Relu => v.max(0.0),
+            Act::Tanh => v.tanh(),
+            Act::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+            Act::Linear => v,
+        }
+    }
+}
+
+/// Fused linear layer: `act(x·w + b)` for `x: [m, k]`, `w: [k, n]`,
+/// `b: [n]` in one pass over the output.
+///
+/// The unfused chain walks the `[m, n]` output three times (matmul
+/// accumulate, broadcast bias add, activation map) and round-trips two
+/// intermediate tensors through the allocator; here the bias+activation
+/// epilogue runs on each output chunk while it is still cache-hot.
+/// Accumulation reuses the exact matmul inner kernel and the epilogue
+/// applies `act(v + b[j])` per element — the same floating-point
+/// sequence as the separate operators, so results are bit-identical on
+/// both backends (partitioning is by output rows, as in [`matmul`]).
+///
+/// # Errors
+///
+/// Returns the same rank/shape errors as [`matmul`], plus
+/// [`TensorError::ShapeMismatch`] when `b` is not a length-`n` vector.
+pub fn linear_act(x: &Tensor, w: &Tensor, b: &Tensor, act: Act) -> Result<Tensor> {
+    if x.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "linear_act", expected: 2, actual: x.rank() });
+    }
+    if w.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "linear_act", expected: 2, actual: w.rank() });
+    }
+    let (m, k) = (x.shape()[0], x.shape()[1]);
+    let (k2, n) = (w.shape()[0], w.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "linear_act",
+            lhs: x.shape().to_vec(),
+            rhs: w.shape().to_vec(),
+        });
+    }
+    if b.rank() != 1 || b.shape()[0] != n {
+        return Err(TensorError::ShapeMismatch {
+            op: "linear_act",
+            lhs: vec![n],
+            rhs: b.shape().to_vec(),
+        });
+    }
+    msrl_telemetry::static_counter!("tensor.fused_linear").add(1);
+    let mut out = crate::alloc::take_zeroed(m * n);
+    let xd = x.data();
+    let wd = w.data();
+    let bd = b.data();
+    let fill = |offset: usize, chunk: &mut [f32]| {
+        matmul_rows(xd, wd, offset / n.max(1), chunk, k, n);
+        if n > 0 {
+            for row in chunk.chunks_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(bd) {
+                    *o = act.apply(*o + bv);
+                }
+            }
+        }
+    };
+    // Same parallel guard and row-aligned partitioning as matmul, so the
+    // fused and unfused paths agree chunk-for-chunk on both backends.
+    if par::should_parallelize(m * k * n, par::PAR_MIN_FLOPS) && m > 1 && n > 0 {
+        par::fill_chunks_aligned(&mut out, n, fill);
+    } else {
+        fill(0, &mut out);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
 /// Transpose of a rank-2 tensor.
 ///
 /// # Errors
@@ -397,9 +545,53 @@ pub fn argmax_rows(a: &Tensor) -> Result<Tensor> {
 // ---------------------------------------------------------------------------
 
 /// Numerically-stable softmax along the last axis of a rank-2 tensor.
+///
+/// One chunked traversal per row — max, exp-and-sum into the output,
+/// then scale by the reciprocal — instead of the former
+/// `exp(log_softmax)` pipeline's three full-tensor passes plus an
+/// intermediate allocation (the 0.97× threaded regression in the
+/// ROADMAP table). Rows are independent and split whole across workers,
+/// so both backends are bit-exact.
+///
+/// # Errors
+///
+/// Returns an error for non-matrix input.
 pub fn softmax_rows(a: &Tensor) -> Result<Tensor> {
-    let lsm = log_softmax_rows(a)?;
-    Ok(exp(&lsm))
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "softmax_rows",
+            expected: 2,
+            actual: a.rank(),
+        });
+    }
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    let ad = a.data();
+    let mut out = crate::alloc::take_zeroed(m * n);
+    if out.is_empty() {
+        return Tensor::from_vec(out, &[m, n]);
+    }
+    let fill = |offset: usize, chunk: &mut [f32]| {
+        for (r, orow) in chunk.chunks_mut(n).enumerate() {
+            let row = &ad[offset + r * n..offset + (r + 1) * n];
+            let max = row.iter().fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
+            let mut sum = 0.0f32;
+            for (o, &v) in orow.iter_mut().zip(row) {
+                let e = (v - max).exp();
+                sum += e;
+                *o = e;
+            }
+            let inv = 1.0 / sum;
+            for o in orow.iter_mut() {
+                *o *= inv;
+            }
+        }
+    };
+    if n > 0 && m > 1 && par::should_parallelize(m * n, par::PAR_MIN_ELEMS) {
+        par::fill_chunks_aligned(&mut out, n, fill);
+    } else {
+        fill(0, &mut out);
+    }
+    Tensor::from_vec(out, &[m, n])
 }
 
 /// Numerically-stable log-softmax along the last axis of a rank-2 tensor.
@@ -732,6 +924,56 @@ mod tests {
         assert!(gather_rows(&a, &[3]).is_err());
         let s = select_per_row(&a, &[1, 0, 1]).unwrap();
         assert_eq!(s.data(), &[2.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn linear_act_matches_unfused_bitwise() {
+        let (m, k, n) = (5, 4, 3);
+        let x = t(&(0..m * k).map(|i| (i as f32 * 0.37).sin()).collect::<Vec<_>>(), &[m, k]);
+        let w = t(&(0..k * n).map(|i| (i as f32 * 0.61).cos()).collect::<Vec<_>>(), &[k, n]);
+        let b = t(&(0..n).map(|i| i as f32 - 1.0).collect::<Vec<_>>(), &[n]);
+        for act in [Act::Relu, Act::Tanh, Act::Sigmoid, Act::Linear] {
+            let fused = linear_act(&x, &w, &b, act).unwrap();
+            let pre = add(&matmul(&x, &w).unwrap(), &b).unwrap();
+            let unfused = match act {
+                Act::Relu => relu(&pre),
+                Act::Tanh => tanh(&pre),
+                Act::Sigmoid => sigmoid(&pre),
+                Act::Linear => pre.clone(),
+            };
+            assert_eq!(fused.shape(), &[m, n]);
+            assert_eq!(fused.data(), unfused.data(), "fused {act:?} must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn linear_act_checks_shapes() {
+        let x = t(&[1.0, 2.0], &[1, 2]);
+        let w = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[1.0, 2.0], &[2]);
+        assert!(linear_act(&x, &w, &b, Act::Linear).is_ok());
+        assert!(linear_act(&x, &w, &t(&[1.0], &[1]), Act::Linear).is_err());
+        assert!(linear_act(&x, &w, &t(&[1.0, 2.0], &[1, 2]), Act::Linear).is_err());
+        assert!(linear_act(&x, &t(&[1.0], &[1, 1]), &b, Act::Linear).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_matches_log_softmax_exp_closely() {
+        let a = t(&(0..12).map(|i| (i as f32 * 0.83).sin() * 3.0).collect::<Vec<_>>(), &[3, 4]);
+        let fused = softmax_rows(&a).unwrap();
+        let via_log = exp(&log_softmax_rows(&a).unwrap());
+        for (f, l) in fused.data().iter().zip(via_log.data()) {
+            assert!((f - l).abs() < 1e-6, "fused {f} vs log-path {l}");
+        }
+    }
+
+    #[test]
+    fn inplace_variants_match_out_of_place() {
+        let a = t(&[1.0, -2.0, 3.0, -4.0], &[2, 2]);
+        let b = t(&[0.5, 0.5, 2.0, 2.0], &[2, 2]);
+        assert_eq!(map_inplace(a.clone(), |x| x * 2.0), map(&a, |x| x * 2.0));
+        assert_eq!(zip_inplace(a.clone(), &b, |x, y| x * y).unwrap(), mul(&a, &b).unwrap());
+        assert!(zip_inplace(a, &t(&[1.0], &[1]), |x, _| x).is_err());
     }
 
     #[test]

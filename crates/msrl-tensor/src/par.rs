@@ -74,6 +74,50 @@ pub fn with_backend<T>(b: Backend, f: impl FnOnce() -> T) -> T {
     out
 }
 
+const FUSION_OFF: u8 = 1;
+const FUSION_ON: u8 = 2;
+
+static FUSION: AtomicU8 = AtomicU8::new(UNSET);
+
+/// Whether fused kernels and graph-compiler optimization passes are
+/// active, resolving `MSRL_FUSION` on first use (default: on).
+///
+/// When on, `nn` routes linear layers through the fused
+/// `MatMul+bias+activation` kernel ([`crate::ops::linear_act`]) and the
+/// `msrl-core` graph compiler runs its operator-fusion passes. Both
+/// paths are bit-identical to the unfused reference; `MSRL_FUSION=0`
+/// restores the separate-operator execution exactly.
+pub fn fusion_enabled() -> bool {
+    match FUSION.load(Ordering::Relaxed) {
+        FUSION_ON => true,
+        FUSION_OFF => false,
+        _ => {
+            let resolved = !matches!(
+                std::env::var("MSRL_FUSION").as_deref(),
+                Ok("0") | Ok("off") | Ok("false") | Ok("no")
+            );
+            set_fusion(resolved);
+            resolved
+        }
+    }
+}
+
+/// Overrides the global fusion gate (takes precedence over `MSRL_FUSION`).
+pub fn set_fusion(on: bool) {
+    FUSION.store(if on { FUSION_ON } else { FUSION_OFF }, Ordering::Relaxed);
+}
+
+/// Runs `f` with the fusion gate forced to `on`, then restores the
+/// previous setting. As with [`with_backend`], the switch is
+/// process-global; comparison tests run both sides within one test body.
+pub fn with_fusion<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    let prev = fusion_enabled();
+    set_fusion(on);
+    let out = f();
+    set_fusion(prev);
+    out
+}
+
 /// Worker-thread count for the threaded backend.
 ///
 /// `MSRL_THREADS` wins when parseable and non-zero; otherwise the
@@ -213,5 +257,16 @@ mod tests {
         let inside = with_backend(Backend::Scalar, backend);
         assert_eq!(inside, Backend::Scalar);
         assert_eq!(backend(), prev);
+    }
+
+    #[test]
+    fn fusion_override_round_trips() {
+        let prev = fusion_enabled();
+        let inside = with_fusion(false, fusion_enabled);
+        assert!(!inside);
+        assert_eq!(fusion_enabled(), prev);
+        let inside = with_fusion(true, fusion_enabled);
+        assert!(inside);
+        assert_eq!(fusion_enabled(), prev);
     }
 }

@@ -66,8 +66,14 @@ fn dp_d_placement_and_training() {
     let (algo, dep) = deploy(PolicyName::GpuOnly);
     let d = Coordinator::deploy_ppo(&algo, &dep, 4, 2, 32).unwrap();
     assert_eq!(d.placement.count(Role::FusedLoop), 8, "one fused loop per GPU");
-    let cfg =
-        DpDConfig { devices: 2, episodes: 6, hidden: vec![16], ppo: Default::default(), seed: 4 };
+    let cfg = DpDConfig {
+        devices: 2,
+        episodes: 6,
+        hidden: vec![16],
+        ppo: Default::default(),
+        seed: 4,
+        fusion: msrl_tensor::par::fusion_enabled(),
+    };
     let report = run_dp_d(|r| BatchedCartPole::new(8, r as u64), &cfg).unwrap();
     assert_eq!(report.iteration_rewards.len(), 6);
     assert!(report.iteration_rewards.iter().all(|r| r.is_finite()));
@@ -80,7 +86,13 @@ fn dp_e_placement_and_training() {
     algo.actors = 1;
     let d = Coordinator::deploy_ppo(&algo, &dep, 4, 2, 32).unwrap();
     assert!(d.placement.count(Role::Env) > 0, "dedicated env fragments");
-    let cfg = DpEConfig { episodes: 8, hidden: vec![16], ppo: Default::default(), seed: 5 };
+    let cfg = DpEConfig {
+        episodes: 8,
+        hidden: vec![16],
+        ppo: Default::default(),
+        seed: 5,
+        fusion: msrl_tensor::par::fusion_enabled(),
+    };
     let report = run_dp_e(|| SimpleSpread::new(3, 1).with_horizon(12), &cfg).unwrap();
     assert_eq!(report.iteration_rewards.len(), 8);
 }

@@ -49,7 +49,43 @@ fn telemetry_observes_without_perturbing() {
         "the interpreter counts the ops it evaluates"
     );
 
-    // 2. A real distributed run under tracing yields a valid Chrome
+    // 2. Steady-state evaluation does zero per-call planning: a
+    //    persistent interpreter compiles each request shape once, and
+    //    every repeat is a plan-cache hit — observable through the
+    //    always-on `interp.plan_cache.*` counters (under either
+    //    `MSRL_FUSION` setting; plans are cached in both modes).
+    let ctx = TraceCtx::new();
+    let x = ctx.input("x", &[8, 17]);
+    trace_mlp(&ctx, "pi", &x, &[17, 16, 6]);
+    let g = ctx.finish();
+    let mut interp = Interpreter::new();
+    interp.bind_param("pi.w0", Tensor::full(&[17, 16], 0.01));
+    interp.bind_param("pi.b0", Tensor::zeros(&[16]));
+    interp.bind_param("pi.w1", Tensor::full(&[16, 6], 0.01));
+    interp.bind_param("pi.b1", Tensor::zeros(&[6]));
+    interp.bind_input("x", Tensor::full(&[8, 17], 0.1));
+    let first = interp.eval(&g).expect("graph evaluates");
+    let hits0 = msrl_telemetry::counter_total("interp.plan_cache.hit");
+    let misses0 = msrl_telemetry::counter_total("interp.plan_cache.miss");
+    for _ in 0..10 {
+        let again = interp.eval(&g).expect("steady-state eval");
+        assert_eq!(again.len(), first.len());
+        for (a, b) in again.iter().zip(&first) {
+            assert_eq!(a.data(), b.data(), "cached plans must not change results");
+        }
+    }
+    assert_eq!(
+        msrl_telemetry::counter_total("interp.plan_cache.hit") - hits0,
+        10,
+        "every steady-state evaluation is a plan-cache hit"
+    );
+    assert_eq!(
+        msrl_telemetry::counter_total("interp.plan_cache.miss") - misses0,
+        0,
+        "steady state does no per-call planning"
+    );
+
+    // 3. A real distributed run under tracing yields a valid Chrome
     //    trace with fragment lanes, phase spans and comm volume.
     msrl_telemetry::clear_events();
     msrl_telemetry::reset_counters();
@@ -80,7 +116,7 @@ fn telemetry_observes_without_perturbing() {
     assert!(report.counter("comm.bytes_sent").unwrap_or(0) > 0, "comm volume is counted");
     assert!(report.counter("env.steps").unwrap_or(0) > 0, "env steps are counted");
 
-    // 3. The report's JSON form parses with the vendored reader.
+    // 4. The report's JSON form parses with the vendored reader.
     let json = report.to_json();
     serde_json::value_from_str(&json).expect("report JSON parses");
     msrl_telemetry::set_enabled(false);
