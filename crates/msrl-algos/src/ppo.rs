@@ -211,13 +211,29 @@ pub struct PpoLearner {
     /// Hyper-parameters.
     pub cfg: PpoConfig,
     opt: Adam,
+    /// `(loss, mean entropy)` of the most recent optimisation pass —
+    /// the per-iteration training signal the metrics stream reports.
+    /// A `Cell` because gradient-only callers reach it through `&self`
+    /// paths ([`Learner::grads`]).
+    last_metrics: std::cell::Cell<Option<(f32, f32)>>,
 }
 
 impl PpoLearner {
     /// Creates a learner owning a policy.
     pub fn new(policy: PpoPolicy, cfg: PpoConfig) -> Self {
         let opt = Adam::new(cfg.lr);
-        PpoLearner { policy, cfg, opt }
+        PpoLearner { policy, cfg, opt, last_metrics: std::cell::Cell::new(None) }
+    }
+
+    /// Loss of the most recent optimisation pass (set by
+    /// [`Learner::learn`] and [`Learner::grads`] alike).
+    pub fn last_loss(&self) -> Option<f32> {
+        self.last_metrics.get().map(|(l, _)| l)
+    }
+
+    /// Mean policy entropy of the most recent optimisation pass.
+    pub fn last_entropy(&self) -> Option<f32> {
+        self.last_metrics.get().map(|(_, e)| e)
     }
 
     /// Computes GAE advantages and value targets over the batch's
@@ -298,9 +314,10 @@ impl PpoLearner {
         let values = critic.forward(&obs)?.reshape(&[n])?;
         let value_loss = values.sub(&ret_t)?.square().mean();
 
+        let entropy_mean = entropy.mean();
         let loss = policy_loss
             .add(&value_loss.mul_scalar(self.cfg.value_coef))?
-            .add(&entropy.mean().mul_scalar(-self.cfg.entropy_coef))?;
+            .add(&entropy_mean.mul_scalar(-self.cfg.entropy_coef))?;
 
         let grads = tape.backward(&loss)?;
         let mut gs = actor.grads(&grads);
@@ -309,7 +326,10 @@ impl PpoLearner {
             gs.push(grads.get_or_zeros(ls));
         }
         clip_grad_norm(&mut gs, self.cfg.max_grad_norm);
-        Ok((loss.value().item().map_err(FdgError::Tensor)?, gs))
+        let loss_v = loss.value().item().map_err(FdgError::Tensor)?;
+        let entropy_v = entropy_mean.value().item().map_err(FdgError::Tensor)?;
+        self.last_metrics.set(Some((loss_v, entropy_v)));
+        Ok((loss_v, gs))
     }
 
     fn apply(&mut self, grads: &[Tensor]) -> Result<()> {

@@ -9,13 +9,22 @@
 //! machine runs the report.
 //!
 //! The report also records the cost of the telemetry layer: the
-//! per-probe price of a disabled span and an always-on counter, and the
-//! end-to-end fused-MLP evaluation with tracing off vs. on. Because the
-//! instrumentation is always compiled in, "disabled overhead" is
-//! measured directly at the probe: `disabled_probe_share_pct` is the
-//! per-probe disabled cost times the probes one evaluation executes, as
-//! a share of that evaluation — the number the <5% acceptance bound
-//! applies to.
+//! per-probe price of a disabled span and an always-on counter (both of
+//! which now feed the flight recorder's ring), a histogram record, a
+//! `RunEvent` JSONL emit, and the end-to-end fused-MLP evaluation with
+//! tracing off vs. on. Because the instrumentation is always compiled
+//! in, "disabled overhead" is measured directly at the probe:
+//! `disabled_probe_share_pct` is the per-probe disabled cost times the
+//! probes one evaluation executes (plus the per-eval histogram record),
+//! as a share of that evaluation — the number the <5% acceptance bound
+//! applies to. The bound is enforced here: the binary exits non-zero
+//! when the share reaches 5%.
+//!
+//! When the output file already exists from a previous run, the binary
+//! first compares against it (`bench_trend`): per-entry deltas are
+//! printed, and host-independent gated ratios — fusion speedup, plan
+//! cache speedup, disabled-probe share — fail the run on a >25%
+//! regression. Host-dependent ns columns are reported but never gate.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -96,6 +105,10 @@ struct TelemetryCost {
     span_enabled_ns: f64,
     /// One always-on counter increment.
     counter_add_ns: f64,
+    /// One always-on histogram record (log₂ bucketing + fetch_add).
+    hist_record_ns: f64,
+    /// One `RunEvent` formatted and appended to the JSONL stream.
+    run_event_emit_ns: f64,
     /// Fused-MLP evaluation, tracing off / on.
     mlp_off_ns: f64,
     mlp_on_ns: f64,
@@ -114,6 +127,33 @@ fn telemetry_cost() -> TelemetryCost {
         let _s = tel::span!("bench.probe");
     });
     let counter_add_ns = time_ns(9, || tel::static_counter!("bench.counter").add(1));
+    let mut v = 0u64;
+    let hist_record_ns = time_ns(9, || {
+        v = v.wrapping_add(1097);
+        tel::static_histogram!("bench.hist").record(v & 0xFFFF)
+    });
+    // RunEvent emit cost, measured against a real (temp) JSONL file so
+    // the formatting *and* the append are both priced.
+    let metrics_path =
+        std::env::temp_dir().join(format!("msrl-bench-metrics-{}.jsonl", std::process::id()));
+    tel::set_metrics_file(metrics_path.to_str());
+    let mut iter = 0u64;
+    let run_event_emit_ns = time_ns(9, || {
+        iter += 1;
+        tel::emit_run_event(&tel::RunEvent {
+            policy: "bench",
+            iteration: iter,
+            reward: 1.5,
+            loss: Some(0.25),
+            entropy: Some(1.1),
+            iters_per_sec: 80.0,
+            comm_bytes: 4096,
+            staleness: 1,
+            plan_cache_hit_rate: Some(0.9),
+        })
+    });
+    tel::set_metrics_file(None);
+    let _ = std::fs::remove_file(&metrics_path);
     tel::set_enabled(true);
     let span_enabled_ns = time_ns(9, || {
         let _s = tel::span!("bench.probe");
@@ -150,14 +190,91 @@ fn telemetry_cost() -> TelemetryCost {
         span_disabled_ns,
         span_enabled_ns,
         counter_add_ns,
+        hist_record_ns,
+        run_event_emit_ns,
         mlp_off_ns,
         mlp_on_ns,
         probes_per_eval,
-        disabled_probe_share_pct: probes_per_eval as f64 * (span_disabled_ns + counter_add_ns)
+        // One fragment.eval histogram record per evaluation joins the
+        // per-probe span/counter costs (both include the flight
+        // recorder's ring push, which is on by default).
+        disabled_probe_share_pct: (probes_per_eval as f64 * (span_disabled_ns + counter_add_ns)
+            + hist_record_ns)
             / mlp_off_ns.max(1.0)
             * 100.0,
         traced_on_overhead_pct: (mlp_on_ns - mlp_off_ns) / mlp_off_ns.max(1.0) * 100.0,
     }
+}
+
+/// One gated, host-independent ratio compared release over release by
+/// the trend check.
+struct Gated {
+    name: &'static str,
+    /// Whether larger values are better (speedups) or worse (shares).
+    higher_is_better: bool,
+    /// Absolute noise floor: values this small never gate (a 0.1% →
+    /// 0.2% share move is measurement noise, not a regression).
+    floor: f64,
+    value: f64,
+}
+
+/// `bench_trend`: compares this run against the previous committed
+/// report. Prints per-entry deltas for everything recognisable and
+/// returns a description of every gated ratio that regressed >25%.
+fn bench_trend(prev: &str, gated: &[Gated], rows: &[Row]) -> Vec<String> {
+    fn num(v: &serde_json::Value) -> Option<f64> {
+        match v {
+            serde_json::Value::I64(n) => Some(*n as f64),
+            serde_json::Value::U64(n) => Some(*n as f64),
+            serde_json::Value::F64(n) => Some(*n),
+            _ => None,
+        }
+    }
+    let Ok(old) = serde_json::value_from_str(prev) else {
+        println!("bench_trend: previous report unparsable; starting a fresh trajectory");
+        return Vec::new();
+    };
+    println!("bench_trend: deltas vs previous report (host-dependent ns columns never gate)");
+    if let Ok(serde_json::Value::Seq(entries)) = old.field("entries") {
+        for entry in entries {
+            let (Ok(serde_json::Value::Str(op)), Ok(serde_json::Value::Str(shape)), Ok(prev_ns)) =
+                (entry.field("op"), entry.field("shape"), entry.field("threaded_ns_per_iter"))
+            else {
+                continue;
+            };
+            let Some(prev_ns) = num(prev_ns) else { continue };
+            if let Some(row) = rows.iter().find(|r| r.op == op.as_str() && r.shape == *shape) {
+                let delta = (row.threaded_ns - prev_ns) / prev_ns.max(1.0) * 100.0;
+                println!(
+                    "  {:<24} {:<28} threaded {:>10.0} ns -> {:>10.0} ns ({:+.1}%)",
+                    row.op, row.shape, prev_ns, row.threaded_ns, delta
+                );
+            }
+        }
+    }
+    let lookup = |section: &str, key: &str| -> Option<f64> {
+        old.field(section).ok()?.field(key).ok().and_then(num)
+    };
+    let mut regressions = Vec::new();
+    for g in gated {
+        let (section, key) = g.name.split_once('.').expect("gated names are section.key");
+        let Some(prev_v) = lookup(section, key) else {
+            println!("  {:<40} (new gated entry; no previous value)", g.name);
+            continue;
+        };
+        let delta = (g.value - prev_v) / prev_v.abs().max(1e-9) * 100.0;
+        println!("  {:<40} {:>8.3} -> {:>8.3} ({:+.1}%)", g.name, prev_v, g.value, delta);
+        let regressed = if g.higher_is_better {
+            g.value < prev_v * 0.75
+        } else {
+            g.value > prev_v * 1.25 && g.value > g.floor
+        };
+        if regressed {
+            regressions
+                .push(format!("{}: {:.3} regressed >25% from {:.3}", g.name, g.value, prev_v));
+        }
+    }
+    regressions
 }
 
 /// Measured effect of the graph compiler on this host.
@@ -330,12 +447,15 @@ fn main() {
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!(
         "  \"telemetry\": {{\"span_disabled_ns\": {:.2}, \"span_enabled_ns\": {:.2}, \
-         \"counter_add_ns\": {:.2}, \"mlp_eval_traced_off_ns\": {:.0}, \
+         \"counter_add_ns\": {:.2}, \"hist_record_ns\": {:.2}, \
+         \"run_event_emit_ns\": {:.0}, \"mlp_eval_traced_off_ns\": {:.0}, \
          \"mlp_eval_traced_on_ns\": {:.0}, \"probes_per_eval\": {}, \
          \"disabled_probe_share_pct\": {:.3}, \"traced_on_overhead_pct\": {:.2}}},\n",
         tel.span_disabled_ns,
         tel.span_enabled_ns,
         tel.counter_add_ns,
+        tel.hist_record_ns,
+        tel.run_event_emit_ns,
         tel.mlp_off_ns,
         tel.mlp_on_ns,
         tel.probes_per_eval,
@@ -379,6 +499,34 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
+
+    let gated = [
+        Gated {
+            name: "graph_compile.fusion_speedup",
+            higher_is_better: true,
+            floor: 0.0,
+            value: gc.fusion_speedup(),
+        },
+        Gated {
+            name: "graph_compile.plan_cache_speedup",
+            higher_is_better: true,
+            floor: 0.0,
+            value: gc.plan_cache_speedup(),
+        },
+        Gated {
+            name: "telemetry.disabled_probe_share_pct",
+            higher_is_better: false,
+            floor: 1.0,
+            value: tel.disabled_probe_share_pct,
+        },
+    ];
+    let regressions = match std::fs::read_to_string(&out_path) {
+        Ok(prev) => bench_trend(&prev, &gated, &rows),
+        Err(_) => {
+            println!("bench_trend: no previous {out_path}; starting the trajectory");
+            Vec::new()
+        }
+    };
     std::fs::write(&out_path, &json).expect("report path writable");
 
     println!("threads: {threads}");
@@ -397,12 +545,15 @@ fn main() {
         );
     }
     println!(
-        "telemetry: span off {:.2} ns / on {:.2} ns, counter {:.2} ns; \
+        "telemetry: span off {:.2} ns / on {:.2} ns, counter {:.2} ns, \
+         hist record {:.2} ns, run-event emit {:.0} ns; \
          mlp eval off {:.0} ns / on {:.0} ns ({} probes, disabled share {:.3}%, \
          tracing overhead {:.2}%)",
         tel.span_disabled_ns,
         tel.span_enabled_ns,
         tel.counter_add_ns,
+        tel.hist_record_ns,
+        tel.run_event_emit_ns,
         tel.mlp_off_ns,
         tel.mlp_on_ns,
         tel.probes_per_eval,
@@ -429,4 +580,21 @@ fn main() {
         );
     }
     println!("wrote {out_path}");
+
+    // The acceptance bound on always-on instrumentation, histogram
+    // record included: disabled probes must stay under 5% of one
+    // fused-MLP evaluation.
+    if tel.disabled_probe_share_pct >= 5.0 {
+        eprintln!(
+            "bench_report: disabled-probe share {:.3}% breaches the 5% bound",
+            tel.disabled_probe_share_pct
+        );
+        std::process::exit(1);
+    }
+    if !regressions.is_empty() {
+        for r in &regressions {
+            eprintln!("bench_trend: {r}");
+        }
+        std::process::exit(1);
+    }
 }

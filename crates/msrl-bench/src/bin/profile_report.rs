@@ -58,6 +58,7 @@ fn profile(
     msrl_telemetry::clear_events();
     msrl_telemetry::reset_counters();
     msrl_telemetry::reset_gauges();
+    msrl_telemetry::reset_histograms();
     msrl_telemetry::set_enabled(true);
     f().map_err(|e| format!("{name}: run failed: {e}"))?;
     let events = msrl_telemetry::drain();

@@ -38,7 +38,9 @@
 //! overlap shows up in profiles), and the always-on counters
 //! `comm.bytes_sent` / `comm.bytes_recv` / `comm.msgs_sent` total traffic
 //! while `comm.sim_latency_ns` attributes time spent waiting out the
-//! injected latency.
+//! injected latency. Each blocking site also records its latency into an
+//! always-on `comm.*` histogram, so reports carry per-collective and
+//! blocked-recv p50/p99 even without tracing.
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -295,6 +297,7 @@ impl Endpoint {
 
     fn recv_tagged(&self, from: usize) -> Result<(u64, Vec<f32>), CommError> {
         let _span = msrl_telemetry::span!("comm.recv");
+        let _hist = msrl_telemetry::static_histogram!("comm.recv").time();
         let msg = self.next_message(from)?;
         count_recv(&msg.payload);
         Ok((msg.tag, msg.payload))
@@ -348,6 +351,7 @@ impl Endpoint {
     /// gone.
     pub fn recv_any(&self, from: &[usize]) -> Result<(usize, Vec<f32>), CommError> {
         let _span = msrl_telemetry::span!("comm.recv");
+        let _hist = msrl_telemetry::static_histogram!("comm.recv").time();
         for &f in from {
             self.check_rank(f)?;
         }
@@ -398,6 +402,7 @@ impl Endpoint {
     /// Returns an error on disconnection or collective mismatch.
     pub fn all_gather(&mut self, payload: Vec<f32>) -> Result<Vec<Vec<f32>>, CommError> {
         let _span = msrl_telemetry::span!("comm.all_gather");
+        let _hist = msrl_telemetry::static_histogram!("comm.all_gather").time();
         self.exchange_tagged(payload)
     }
 
@@ -410,6 +415,7 @@ impl Endpoint {
     /// ragged payload lengths.
     pub fn all_reduce_mean(&mut self, payload: Vec<f32>) -> Result<Vec<f32>, CommError> {
         let _span = msrl_telemetry::span!("comm.all_reduce");
+        let _hist = msrl_telemetry::static_histogram!("comm.all_reduce").time();
         let len = payload.len();
         let parts = self.exchange_tagged(payload)?;
         reduce_mean_parts(&parts, len, self.size)
@@ -439,6 +445,7 @@ impl Endpoint {
         extra: Vec<f32>,
     ) -> Result<(Vec<f32>, Vec<Vec<f32>>), CommError> {
         let _span = msrl_telemetry::span!("comm.all_reduce_fused");
+        let _hist = msrl_telemetry::static_histogram!("comm.all_reduce_fused").time();
         let len = reduce.len();
         let mut framed = Vec::with_capacity(1 + len + extra.len());
         framed.push(len as f32);
@@ -489,6 +496,7 @@ impl Endpoint {
         }
         let _span = msrl_telemetry::span!("comm.all_reduce");
         let n_chunks = payload.len().div_ceil(chunk);
+        let _hist = msrl_telemetry::static_histogram!("comm.all_reduce").time();
         let tags: Vec<u64> = (0..n_chunks).map(|_| self.advance_tag()).collect();
         for (k, piece) in payload.chunks(chunk).enumerate() {
             for to in 0..self.size {
@@ -525,6 +533,7 @@ impl Endpoint {
     /// Returns an error on disconnection or collective mismatch.
     pub fn broadcast(&mut self, root: usize, payload: Vec<f32>) -> Result<Vec<f32>, CommError> {
         let _span = msrl_telemetry::span!("comm.broadcast");
+        let _hist = msrl_telemetry::static_histogram!("comm.broadcast").time();
         self.check_rank(root)?;
         let tag = self.advance_tag();
         if self.rank == root {
@@ -550,6 +559,7 @@ impl Endpoint {
     /// Returns an error on disconnection.
     pub fn barrier(&mut self) -> Result<(), CommError> {
         let _span = msrl_telemetry::span!("comm.barrier");
+        let _hist = msrl_telemetry::static_histogram!("comm.barrier").time();
         self.exchange_tagged(Vec::new()).map(|_| ())
     }
 }
@@ -624,6 +634,7 @@ impl PendingRecv {
     /// Returns an error if the peer disconnected before sending.
     pub fn wait(mut self) -> Result<Vec<f32>, CommError> {
         let _span = msrl_telemetry::span!("comm.recv");
+        let _hist = msrl_telemetry::static_histogram!("comm.recv").time();
         let msg = match self.prefetched.take() {
             Some(m) => m,
             None => self.rx.recv().map_err(|_| CommError::Disconnected)?,

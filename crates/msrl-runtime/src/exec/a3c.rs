@@ -16,7 +16,7 @@ use msrl_core::api::{Actor, Learner};
 use msrl_core::{FdgError, Result};
 use msrl_env::{Environment, VecEnv};
 
-use super::{mean_or_prev, TrainingReport};
+use super::{finish_run, mean_or_prev, RunObserver, TrainingReport};
 
 /// Configuration for the asynchronous A3C driver.
 #[derive(Debug, Clone)]
@@ -75,7 +75,7 @@ where
     let policy = PpoPolicy::discrete(obs_dim, spec.policy_width(), &dist.hidden, dist.seed);
     let comm_err = |e: msrl_comm::CommError| FdgError::MissingKernel { op: format!("comm: {e}") };
 
-    std::thread::scope(|scope| -> Result<TrainingReport> {
+    let result = std::thread::scope(|scope| -> Result<TrainingReport> {
         let mut handles = Vec::new();
         for (rank, ep) in endpoints.into_iter().enumerate() {
             let policy = policy.clone();
@@ -93,6 +93,7 @@ where
                     };
                     let grads = {
                         let _s = msrl_telemetry::span!("phase.learn");
+                        let _h = msrl_telemetry::static_histogram!("phase.learn").time();
                         worker.local_grads(&batch)?
                     };
                     // Asynchronous push: no coordination with peers.
@@ -114,6 +115,9 @@ where
         let mut learner = A3cLearner::new(policy, &dist.a3c);
         let mut report = TrainingReport::default();
         let mut prev_reward = 0.0;
+        // One metrics event per applied push — the natural "iteration"
+        // of an asynchronous learner.
+        let mut obs_stream = RunObserver::new("a3c", 0);
         let mut remaining: Vec<usize> = vec![dist.pushes_per_worker; p];
         while remaining.iter().any(|&r| r > 0) {
             // Only poll workers with pushes outstanding: a finished
@@ -127,13 +131,15 @@ where
             remaining[rank] -= 1;
             prev_reward = mean_or_prev(&finished, prev_reward);
             report.iteration_rewards.push(prev_reward);
+            obs_stream.observe(prev_reward, None, None);
         }
         for h in handles {
             h.join().expect("worker thread must not panic")?;
         }
         report.final_params = learner.policy_params();
         Ok(report)
-    })
+    });
+    finish_run("a3c", result)
 }
 
 #[cfg(test)]

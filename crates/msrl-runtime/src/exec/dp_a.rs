@@ -26,7 +26,7 @@ use msrl_env::{Environment, VecEnv};
 
 use crate::wire::{decode_batch, encode_batch};
 
-use super::{mean_or_prev, DistPpoConfig, TrainingReport};
+use super::{finish_run, mean_or_prev, DistPpoConfig, RunObserver, TrainingReport};
 
 /// Runs PPO under DP-A. `make_env(actor, instance)` constructs one
 /// environment.
@@ -57,7 +57,7 @@ where
 
     let comm_err = |e: msrl_comm::CommError| FdgError::MissingKernel { op: format!("comm: {e}") };
 
-    std::thread::scope(|scope| -> Result<TrainingReport> {
+    let result = std::thread::scope(|scope| -> Result<TrainingReport> {
         let mut handles = Vec::new();
         for (rank, ep) in endpoints.into_iter().enumerate() {
             let policy = policy.clone();
@@ -145,6 +145,7 @@ where
         let mut learner = PpoLearner::new(policy, dist.ppo.clone());
         let mut report = TrainingReport::default();
         let mut prev_reward = 0.0;
+        let mut obs = RunObserver::new("dp_a", dist.stale_bound());
         for iter in 0..dist.iterations {
             let mut batches = Vec::with_capacity(p);
             let mut finished = Vec::new();
@@ -155,6 +156,7 @@ where
             let batch = SampleBatch::concat(&batches)?;
             let loss = {
                 let _s = msrl_telemetry::span!("phase.learn");
+                let _h = msrl_telemetry::static_histogram!("phase.learn").time();
                 learner.learn(&batch)?
             };
             // Version-stamped broadcast: learning from iteration `iter`'s
@@ -171,6 +173,7 @@ where
             prev_reward = mean_or_prev(&finished, prev_reward);
             report.iteration_rewards.push(prev_reward);
             report.losses.push(loss);
+            obs.observe(prev_reward, Some(loss), learner.last_entropy());
         }
         drop(frag);
         for h in handles {
@@ -178,7 +181,8 @@ where
         }
         report.final_params = learner.policy_params();
         Ok(report)
-    })
+    });
+    finish_run("dp_a", result)
 }
 
 #[cfg(test)]

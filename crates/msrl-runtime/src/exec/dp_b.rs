@@ -17,7 +17,7 @@ use msrl_core::{FdgError, Result};
 use msrl_env::{Environment, VecEnv};
 use msrl_tensor::{ops, Tensor};
 
-use super::{mean_or_prev, DistPpoConfig, TrainingReport};
+use super::{finish_run, mean_or_prev, DistPpoConfig, RunObserver, TrainingReport};
 
 /// Runs PPO under DP-B.
 ///
@@ -46,7 +46,7 @@ where
 
     let comm_err = |e: msrl_comm::CommError| FdgError::MissingKernel { op: format!("comm: {e}") };
 
-    std::thread::scope(|scope| -> Result<TrainingReport> {
+    let result = std::thread::scope(|scope| -> Result<TrainingReport> {
         let mut handles = Vec::new();
         for (rank, ep) in endpoints.into_iter().enumerate() {
             let make_env = &make_env;
@@ -97,6 +97,7 @@ where
         let mut rng = msrl_tensor::init::rng(dist.seed + 17);
         let mut report = TrainingReport::default();
         let mut prev_reward = 0.0;
+        let mut obs_stream = RunObserver::new("dp_b", 0);
         for _ in 0..dist.iterations {
             let mut buffers: Vec<TrajectoryBuffer> =
                 (0..p).map(|_| TrajectoryBuffer::new()).collect();
@@ -158,6 +159,7 @@ where
             let batch = SampleBatch::concat(&batches)?;
             let loss = {
                 let _s = msrl_telemetry::span!("phase.learn");
+                let _h = msrl_telemetry::static_histogram!("phase.learn").time();
                 learner.learn(&batch)?
             };
             let mut finished = Vec::new();
@@ -167,6 +169,7 @@ where
             prev_reward = mean_or_prev(&finished, prev_reward);
             report.iteration_rewards.push(prev_reward);
             report.losses.push(loss);
+            obs_stream.observe(prev_reward, Some(loss), learner.last_entropy());
         }
         drop(frag);
         for h in handles {
@@ -174,7 +177,8 @@ where
         }
         report.final_params = learner.policy_params();
         Ok(report)
-    })
+    });
+    finish_run("dp_b", result)
 }
 
 #[cfg(test)]

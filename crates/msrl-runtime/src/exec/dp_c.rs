@@ -23,7 +23,7 @@ use msrl_core::api::{Actor, Learner};
 use msrl_core::{FdgError, Result};
 use msrl_env::{Environment, VecEnv};
 
-use super::{mean_or_prev, DistPpoConfig, TrainingReport};
+use super::{finish_run, mean_or_prev, DistPpoConfig, RunObserver, TrainingReport};
 
 /// Runs PPO under DP-C.
 ///
@@ -50,7 +50,7 @@ where
 
     let comm_err = |e: msrl_comm::CommError| FdgError::MissingKernel { op: format!("comm: {e}") };
 
-    std::thread::scope(|scope| -> Result<TrainingReport> {
+    let result = std::thread::scope(|scope| -> Result<TrainingReport> {
         let mut handles = Vec::new();
         for (rank, mut ep) in endpoints.into_iter().enumerate() {
             let policy = policy.clone();
@@ -68,6 +68,9 @@ where
                 );
                 let mut report = TrainingReport::default();
                 let mut prev_reward = 0.0;
+                // Rank 0 is the reporting replica: all replicas stay
+                // bit-synchronised, so one metrics stream suffices.
+                let mut obs_stream = (rank == 0).then(|| RunObserver::new("dp_c", 0));
                 // Fused path: the final epoch's gradient all-reduce also
                 // gathers episode returns, so each iteration pays exactly
                 // one collective barrier (no standalone all_gather).
@@ -82,6 +85,7 @@ where
                     let mut fused_returns: Option<Vec<f32>> = None;
                     {
                         let _s = msrl_telemetry::span!("phase.learn");
+                        let _h = msrl_telemetry::static_histogram!("phase.learn").time();
                         for epoch in 0..ppo.epochs {
                             let local = learner.grads(&batch)?;
                             let averaged = if fused && epoch + 1 == ppo.epochs {
@@ -110,6 +114,9 @@ where
                     };
                     prev_reward = mean_or_prev(&finished, prev_reward);
                     report.iteration_rewards.push(prev_reward);
+                    if let Some(o) = obs_stream.as_mut() {
+                        o.observe(prev_reward, learner.last_loss(), learner.last_entropy());
+                    }
                 }
                 report.final_params = learner.policy_params();
                 Ok(report)
@@ -129,7 +136,8 @@ where
             );
         }
         Ok(first)
-    })
+    });
+    finish_run("dp_c", result)
 }
 
 #[cfg(test)]

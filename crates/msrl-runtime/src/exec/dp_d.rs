@@ -14,7 +14,7 @@ use msrl_core::api::Learner;
 use msrl_core::{FdgError, Result};
 use msrl_env::batched::BatchedEnv;
 
-use super::TrainingReport;
+use super::{finish_run, RunObserver, TrainingReport};
 
 /// Configuration for the fused GPU-only loop.
 #[derive(Debug, Clone)]
@@ -57,7 +57,7 @@ where
     let policy = PpoPolicy::discrete(obs_dim, n_actions, &cfg.hidden, cfg.seed);
     let comm_err = |e: msrl_comm::CommError| FdgError::MissingKernel { op: format!("comm: {e}") };
 
-    std::thread::scope(|scope| -> Result<TrainingReport> {
+    let result = std::thread::scope(|scope| -> Result<TrainingReport> {
         let mut handles = Vec::new();
         for (rank, mut ep) in endpoints.into_iter().enumerate() {
             let policy = policy.clone();
@@ -69,6 +69,9 @@ where
                 let mut learner = PpoLearner::new(policy, ppo);
                 let mut rng = msrl_tensor::init::rng(cfg.seed + 100 + rank as u64);
                 let mut report = TrainingReport::default();
+                // Rank 0 streams the run's training metrics; replicas are
+                // weight-synchronised every episode so one stream suffices.
+                let mut obs_stream = (rank == 0).then(|| RunObserver::new("dp_d", 0));
                 for _ in 0..cfg.episodes {
                     // Fused loop: everything below is "on device".
                     let mut buf = TrajectoryBuffer::new();
@@ -100,10 +103,11 @@ where
                     }
                     drop(rollout);
                     let batch = buf.drain_env_major()?;
-                    {
+                    let loss = {
                         let _s = msrl_telemetry::span!("phase.learn");
-                        learner.learn(&batch)?;
-                    }
+                        let _h = msrl_telemetry::static_histogram!("phase.learn").time();
+                        learner.learn(&batch)?
+                    };
                     // Per-episode replica sync: average weights. With
                     // overlap on, large payloads go through the chunked
                     // all-reduce so reduction of chunk k overlaps the
@@ -121,6 +125,9 @@ where
                     }
                     let denom = (env.total_agents() * steps.max(1)) as f32;
                     report.iteration_rewards.push(total_reward / denom);
+                    if let Some(o) = obs_stream.as_mut() {
+                        o.observe(total_reward / denom, Some(loss), learner.last_entropy());
+                    }
                 }
                 report.final_params = learner.policy_params();
                 Ok(report)
@@ -139,7 +146,8 @@ where
         }
         merged.final_params = reports.swap_remove(0).final_params;
         Ok(merged)
-    })
+    });
+    finish_run("dp_d", result)
 }
 
 #[cfg(test)]

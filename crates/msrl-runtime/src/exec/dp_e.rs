@@ -17,7 +17,7 @@ use msrl_core::{FdgError, Result};
 use msrl_env::{Action, MultiAgentEnvironment};
 use msrl_tensor::Tensor;
 
-use super::TrainingReport;
+use super::{finish_run, RunObserver, TrainingReport};
 
 /// Configuration for the DP-E MARL driver.
 #[derive(Debug, Clone)]
@@ -60,7 +60,7 @@ where
     let policy = PpoPolicy::discrete(obs_dim, n_actions, &cfg.hidden, cfg.seed);
     let comm_err = |e: msrl_comm::CommError| FdgError::MissingKernel { op: format!("comm: {e}") };
 
-    std::thread::scope(|scope| -> Result<TrainingReport> {
+    let result = std::thread::scope(|scope| -> Result<TrainingReport> {
         let mut handles = Vec::new();
         for (rank, mut ep) in endpoints.into_iter().enumerate() {
             let policy = policy.clone();
@@ -110,6 +110,7 @@ where
                     let batch = buf.drain_env_major()?;
                     if !batch.is_empty() {
                         let _s = msrl_telemetry::span!("phase.learn");
+                        let _h = msrl_telemetry::static_histogram!("phase.learn").time();
                         learner.learn(&batch)?;
                     }
                     // MAPPO parameter sharing across agent fragments.
@@ -142,6 +143,9 @@ where
         let mut env = env;
         let mut env_ep = env_ep;
         let mut report = TrainingReport::default();
+        // The env worker sees every agent's reward, so it streams the
+        // run's metrics; per-agent losses stay local to agent fragments.
+        let mut obs_stream = RunObserver::new("dp_e", 0);
         for _ in 0..cfg.episodes {
             let mut obs = env.reset();
             let mut total = 0.0;
@@ -181,14 +185,17 @@ where
             // The env worker participates in the agents' AllGather as a
             // passive rank so group semantics hold.
             env_ep.all_gather(Vec::new()).map_err(comm_err)?;
-            report.iteration_rewards.push(total / (n * steps.max(1)) as f32);
+            let mean = total / (n * steps.max(1)) as f32;
+            report.iteration_rewards.push(mean);
+            obs_stream.observe(mean, None, None);
         }
         drop(frag);
         for h in handles {
             h.join().expect("agent thread must not panic")?;
         }
         Ok(report)
-    })
+    });
+    finish_run("dp_e", result)
 }
 
 #[cfg(test)]

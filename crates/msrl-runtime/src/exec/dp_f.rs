@@ -23,7 +23,7 @@ use msrl_core::api::{Actor, Learner};
 use msrl_core::{FdgError, Result};
 use msrl_env::{Environment, VecEnv};
 
-use super::{mean_or_prev, DistPpoConfig, TrainingReport};
+use super::{finish_run, mean_or_prev, DistPpoConfig, RunObserver, TrainingReport};
 
 /// Runs PPO under DP-F.
 ///
@@ -51,7 +51,7 @@ where
     };
     let comm_err = |e: msrl_comm::CommError| FdgError::MissingKernel { op: format!("comm: {e}") };
 
-    std::thread::scope(|scope| -> Result<TrainingReport> {
+    let result = std::thread::scope(|scope| -> Result<TrainingReport> {
         let mut handles = Vec::new();
         for (rank, ep) in endpoints.into_iter().enumerate() {
             let policy = policy.clone();
@@ -102,6 +102,7 @@ where
                     };
                     let grads = {
                         let _s = msrl_telemetry::span!("phase.learn");
+                        let _h = msrl_telemetry::static_histogram!("phase.learn").time();
                         grad_engine.grads(&batch)?
                     };
                     // Push gradients; the pull for the server's reply is
@@ -126,6 +127,9 @@ where
         let mut server = PpoLearner::new(policy, dist.ppo.clone());
         let mut report = TrainingReport::default();
         let mut prev_reward = 0.0;
+        // The server loses per-worker loss context (it only sees
+        // gradients), so the stream carries reward/throughput/staleness.
+        let mut obs_stream = RunObserver::new("dp_f", dist.stale_bound());
         let mut outstanding: Vec<usize> = vec![dist.iterations; p];
         for _ in 0..dist.iterations {
             let mut finished = Vec::new();
@@ -152,6 +156,7 @@ where
             }
             prev_reward = mean_or_prev(&finished, prev_reward);
             report.iteration_rewards.push(prev_reward);
+            obs_stream.observe(prev_reward, None, None);
         }
         drop(frag);
         for h in handles {
@@ -159,7 +164,8 @@ where
         }
         report.final_params = server.policy_params();
         Ok(report)
-    })
+    });
+    finish_run("dp_f", result)
 }
 
 #[cfg(test)]

@@ -41,6 +41,7 @@ pub use dp_e::{run_dp_e, DpEConfig};
 pub use dp_f::run_dp_f;
 
 use msrl_algos::ppo::PpoConfig;
+use msrl_core::Result;
 
 /// Configuration shared by the PPO distribution drivers.
 #[derive(Debug, Clone)]
@@ -155,4 +156,73 @@ pub(crate) fn mean_or_prev(finished: &[f32], prev: f32) -> f32 {
     } else {
         finished.iter().sum::<f32>() / finished.len() as f32
     }
+}
+
+/// Per-iteration observability for a driver's learner-side loop: emits
+/// one [`msrl_telemetry::RunEvent`] per iteration (reward, loss,
+/// entropy, it/s, comm-byte delta, staleness, plan-cache hit rate) and
+/// records the iteration period into the always-on `fragment.eval`
+/// histogram — one fragment-body execution per iteration, so DP runs
+/// carry latency quantiles even with `MSRL_TRACE` unset. (PPO's learn
+/// path trains through the tape, not the interpreter, so the
+/// interpreter's own `fragment.eval` samples only appear in
+/// interpreter-driven workloads.)
+pub(crate) struct RunObserver {
+    policy: &'static str,
+    staleness: u64,
+    last: std::time::Instant,
+    bytes_prev: u64,
+    iteration: u64,
+}
+
+impl RunObserver {
+    /// Starts observing a run. Also installs the flight recorder's
+    /// panic hook so a dying worker leaves post-mortem state on disk.
+    pub(crate) fn new(policy: &'static str, staleness: usize) -> RunObserver {
+        msrl_telemetry::install_panic_hook();
+        RunObserver {
+            policy,
+            staleness: staleness as u64,
+            last: std::time::Instant::now(),
+            bytes_prev: msrl_telemetry::counter_total("comm.bytes_sent"),
+            iteration: 0,
+        }
+    }
+
+    /// Closes one iteration: records its period and streams the
+    /// training-metrics event.
+    pub(crate) fn observe(&mut self, reward: f32, loss: Option<f32>, entropy: Option<f32>) {
+        let now = std::time::Instant::now();
+        let dt = now.duration_since(self.last);
+        self.last = now;
+        msrl_telemetry::static_histogram!("fragment.eval").record_duration(dt);
+        let bytes = msrl_telemetry::counter_total("comm.bytes_sent");
+        let hits = msrl_telemetry::counter_total("interp.plan_cache.hit");
+        let misses = msrl_telemetry::counter_total("interp.plan_cache.miss");
+        let plan_cache_hit_rate = (hits + misses > 0).then(|| hits as f64 / (hits + misses) as f64);
+        msrl_telemetry::emit_run_event(&msrl_telemetry::RunEvent {
+            policy: self.policy,
+            iteration: self.iteration,
+            reward: f64::from(reward),
+            loss: loss.map(f64::from),
+            entropy: entropy.map(f64::from),
+            iters_per_sec: if dt.as_secs_f64() > 0.0 { 1.0 / dt.as_secs_f64() } else { 0.0 },
+            comm_bytes: bytes.saturating_sub(self.bytes_prev),
+            staleness: self.staleness,
+            plan_cache_hit_rate,
+        });
+        self.bytes_prev = bytes;
+        self.iteration += 1;
+    }
+}
+
+/// Driver epilogue: flushes the metrics stream (and the
+/// `MSRL_METRICS_TEXT_FILE` exposition) and, on an error outcome,
+/// writes a flight-recorder dump so failed runs leave evidence.
+pub(crate) fn finish_run<T>(policy: &'static str, result: Result<T>) -> Result<T> {
+    let _ = msrl_telemetry::flush_metrics();
+    if let Err(e) = &result {
+        let _ = msrl_telemetry::flightrec::dump("driver_error", &format!("{policy}: {e:?}"));
+    }
+    result
 }

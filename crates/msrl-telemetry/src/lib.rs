@@ -20,6 +20,18 @@
 //!   [`Counter`] handle (or use [`static_counter!`]) to skip the registry
 //!   lookup.
 //! * **Gauges** — named last-value/high-water readings ([`Gauge`]).
+//! * **Histograms** — always-on lock-free log₂-bucket latency
+//!   distributions ([`Histogram`]): record = one relaxed `fetch_add`,
+//!   read back as estimated p50/p90/p99 — real quantiles without
+//!   enabling tracing.
+//!
+//! Live-run observability rides on top: the [`sink`] module streams one
+//! [`RunEvent`] per driver iteration as JSONL (`MSRL_METRICS_FILE`) and
+//! renders a Prometheus-style exposition ([`metrics_text`],
+//! `MSRL_METRICS_TEXT_FILE`); the [`flightrec`] module keeps a bounded
+//! per-thread ring of recent span/counter events (on even when tracing
+//! is off, `MSRL_FLIGHTREC=0` disables) and dumps it with registry
+//! snapshots on panic or driver error for post-mortem debugging.
 //!
 //! Two exporters turn a drained event stream into artefacts:
 //! [`chrome_trace`] emits Chrome trace-event JSON (open it in Perfetto or
@@ -50,17 +62,29 @@
 #![warn(missing_docs)]
 
 mod chrome;
+pub mod flightrec;
+mod histogram;
 mod recorder;
 mod registry;
 mod report;
+pub mod sink;
 
 pub use chrome::{chrome_trace, validate_chrome_trace, TraceCheck};
+pub use flightrec::{install_panic_hook, validate_flightrec};
+pub use histogram::{
+    bucket_estimate, bucket_index, bucket_lower_bound, histogram_record, histogram_stats,
+    histograms_snapshot, reset_histograms, HistTimer, Histogram, HistogramStats, HISTOGRAM_BUCKETS,
+};
 pub use recorder::{clear_events, drain, flush_thread, span, span_id, Event, Phase, SpanGuard};
 pub use registry::{
     counter, counter_total, counters_snapshot, gauge_max, gauge_set, gauges_snapshot,
     reset_counters, reset_gauges, Counter, Gauge,
 };
 pub use report::{percentile_ns, SpanStats, TelemetryReport};
+pub use sink::{
+    emit_run_event, flush_metrics, metrics_text, run_events_emitted, set_metrics_file,
+    validate_metrics, RunEvent,
+};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -125,6 +149,17 @@ macro_rules! static_counter {
     ($name:expr) => {{
         static CELL: std::sync::OnceLock<$crate::Counter> = std::sync::OnceLock::new();
         CELL.get_or_init(|| $crate::Counter::handle($name))
+    }};
+}
+
+/// Interns a [`Histogram`] handle once per call site and returns a
+/// `&'static Histogram` — like [`static_counter!`], for hot paths that
+/// record latency observations every call.
+#[macro_export]
+macro_rules! static_histogram {
+    ($name:expr) => {{
+        static CELL: std::sync::OnceLock<$crate::Histogram> = std::sync::OnceLock::new();
+        CELL.get_or_init(|| $crate::Histogram::handle($name))
     }};
 }
 

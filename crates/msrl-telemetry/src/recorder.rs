@@ -46,8 +46,13 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn now_ns() -> u64 {
+pub(crate) fn now_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
+}
+
+/// The calling thread's telemetry lane id (0 during TLS teardown).
+pub(crate) fn current_tid() -> u64 {
+    LOCAL.try_with(|l| l.borrow().tid).unwrap_or(0)
 }
 
 /// Events flushed from exited (or explicitly flushed) threads.
@@ -116,8 +121,11 @@ impl Drop for SpanGuard {
 }
 
 /// Opens an unlabelled span (see the [`span!`](crate::span!) macro).
+/// The flight recorder notes every span open (when on) even while
+/// tracing is disabled.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
+    crate::flightrec::note_span(name);
     if !crate::enabled() {
         return SpanGuard { name: None, id: None };
     }
@@ -128,6 +136,7 @@ pub fn span(name: &'static str) -> SpanGuard {
 /// Opens a span labelled with a fragment/replica id.
 #[inline]
 pub fn span_id(name: &'static str, id: u64) -> SpanGuard {
+    crate::flightrec::note_span(name);
     if !crate::enabled() {
         return SpanGuard { name: None, id: None };
     }

@@ -77,8 +77,11 @@ impl Counter {
 }
 
 /// Adds `delta` to the named counter (registry lookup per call — fine
-/// for cold paths; hot sites cache a [`Counter`]).
+/// for cold paths; hot sites cache a [`Counter`]). Cold-path bumps are
+/// also noted on the flight-recorder ring; cached handles are not —
+/// their totals appear in dumps via the registry snapshot.
 pub fn counter(name: &str, delta: u64) {
+    crate::flightrec::note_count(name, delta);
     intern(counters(), name).fetch_add(delta, Ordering::Relaxed);
 }
 
@@ -88,7 +91,9 @@ pub fn counter_total(name: &str) -> u64 {
     m.get(name).map_or(0, |c| c.load(Ordering::Relaxed))
 }
 
-/// All counters, name-sorted.
+/// All counters, name-sorted. The ordering is a guarantee (the
+/// registry is a `BTreeMap`), so report/JSON artefacts diff cleanly
+/// across runs.
 pub fn counters_snapshot() -> Vec<(String, u64)> {
     let m = counters().lock().expect("telemetry registry poisoned");
     m.iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect()
@@ -154,7 +159,8 @@ pub fn gauge_max(name: &str, value: f64) {
     Gauge { cell: intern(gauges(), name) }.maximum(value);
 }
 
-/// All gauges, name-sorted.
+/// All gauges, name-sorted (guaranteed, like
+/// [`counters_snapshot`]).
 pub fn gauges_snapshot() -> Vec<(String, f64)> {
     let m = gauges().lock().expect("telemetry registry poisoned");
     m.iter().map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed)))).collect()
@@ -178,6 +184,23 @@ mod tests {
         counter("registry.test.a", 3);
         assert_eq!(counter_total("registry.test.a"), 5);
         assert!(counters_snapshot().iter().any(|(k, v)| k == "registry.test.a" && *v == 5));
+    }
+
+    #[test]
+    fn snapshots_are_name_sorted() {
+        // Register out of order; snapshots must come back sorted.
+        counter("registry.sort.zz", 1);
+        counter("registry.sort.aa", 1);
+        gauge_set("registry.sort.z", 1.0);
+        gauge_set("registry.sort.a", 1.0);
+        let c: Vec<String> = counters_snapshot().into_iter().map(|(k, _)| k).collect();
+        let mut cs = c.clone();
+        cs.sort_unstable();
+        assert_eq!(c, cs, "counters_snapshot is name-sorted");
+        let g: Vec<String> = gauges_snapshot().into_iter().map(|(k, _)| k).collect();
+        let mut gs = g.clone();
+        gs.sort_unstable();
+        assert_eq!(g, gs, "gauges_snapshot is name-sorted");
     }
 
     #[test]

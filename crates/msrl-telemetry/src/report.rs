@@ -43,6 +43,10 @@ pub struct TelemetryReport {
     pub counters: Vec<(String, u64)>,
     /// Gauge readings at summary time, name-sorted.
     pub gauges: Vec<(String, f64)>,
+    /// Always-on histogram quantiles at summary time, name-sorted.
+    /// Present without tracing — these come from the registry, not the
+    /// span event stream.
+    pub histograms: Vec<(String, crate::HistogramStats)>,
 }
 
 impl TelemetryReport {
@@ -82,14 +86,19 @@ impl TelemetryReport {
             })
             .collect();
         spans.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
-        TelemetryReport { spans, counters: Vec::new(), gauges: Vec::new() }
+        TelemetryReport { spans, counters: Vec::new(), gauges: Vec::new(), histograms: Vec::new() }
     }
 
-    /// Attaches the current counter and gauge registry snapshots.
+    /// Attaches the current counter, gauge and histogram registry
+    /// snapshots (histograms with zero observations are dropped).
     #[must_use]
     pub fn with_registry(mut self) -> Self {
         self.counters = registry::counters_snapshot();
         self.gauges = registry::gauges_snapshot();
+        self.histograms = crate::histogram::histograms_snapshot()
+            .into_iter()
+            .filter(|(_, s)| s.count > 0)
+            .collect();
         self
     }
 
@@ -101,6 +110,11 @@ impl TelemetryReport {
     /// Looks up one counter total by name.
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up one histogram's quantiles by name.
+    pub fn histogram(&self, name: &str) -> Option<&crate::HistogramStats> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, s)| s)
     }
 
     /// Renders an aligned text table.
@@ -120,6 +134,23 @@ impl TelemetryReport {
                 s.p99_ns as f64 / 1e3,
                 s.max_ns as f64 / 1e3,
             ));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "{:<28} {:>9} {:>12} {:>12} {:>12} {:>12}\n",
+                "histogram", "count", "p50 us", "p90 us", "p99 us", "max us"
+            ));
+            for (name, s) in &self.histograms {
+                out.push_str(&format!(
+                    "{:<28} {:>9} {:>12.1} {:>12.1} {:>12.1} {:>12.1}\n",
+                    name,
+                    s.count,
+                    s.p50_ns as f64 / 1e3,
+                    s.p90_ns as f64 / 1e3,
+                    s.p99_ns as f64 / 1e3,
+                    s.max_ns as f64 / 1e3,
+                ));
+            }
         }
         if !self.counters.is_empty() {
             out.push_str(&format!("{:<40} {:>16}\n", "counter", "total"));
@@ -151,7 +182,19 @@ impl TelemetryReport {
                 if i + 1 == self.spans.len() { "" } else { "," }
             ));
         }
-        out.push_str("  ],\n  \"counters\": {");
+        out.push_str("  ],\n  \"histograms\": {");
+        for (i, (name, s)) in self.histograms.iter().enumerate() {
+            out.push_str(&format!(
+                "\n    \"{name}\": {{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}{}",
+                s.count,
+                s.p50_ns,
+                s.p90_ns,
+                s.p99_ns,
+                s.max_ns,
+                if i + 1 == self.histograms.len() { "\n  " } else { "," }
+            ));
+        }
+        out.push_str("},\n  \"counters\": {");
         for (i, (name, v)) in self.counters.iter().enumerate() {
             out.push_str(&format!(
                 "\n    \"{name}\": {v}{}",

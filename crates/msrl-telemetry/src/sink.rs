@@ -1,0 +1,314 @@
+//! The training-metrics stream: one [`RunEvent`] per driver iteration,
+//! written as JSONL to `MSRL_METRICS_FILE` and summarised as a
+//! Prometheus-style text exposition ([`metrics_text`], dumped to
+//! `MSRL_METRICS_TEXT_FILE` by [`flush_metrics`]).
+//!
+//! Every exec driver (`dp_a`–`dp_f`, `a3c`) emits the per-iteration
+//! training signal — episode return, loss, entropy, throughput, comm
+//! bytes, staleness, plan-cache hit-rate — the raw data behind the
+//! paper's throughput/convergence figures, streamed live instead of
+//! reconstructed post-hoc. Each JSONL line is written with a single
+//! `write` on a file opened in append mode, so concurrent processes
+//! (the e2e test binaries in CI share one metrics file) never interleave
+//! partial lines.
+//!
+//! [`validate_metrics`] structurally checks a metrics file line by line;
+//! the `validate_metrics` binary wraps it for CI.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::sync::{Mutex, OnceLock};
+
+/// Schema tag stamped on every metrics line.
+pub const RUN_EVENT_SCHEMA: &str = "msrl.run_event.v1";
+
+/// One per-iteration training-metrics record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunEvent {
+    /// Distribution policy (`"dp_a"` … `"dp_f"`, `"a3c"`).
+    pub policy: &'static str,
+    /// Zero-based iteration (for A3C: applied gradient push) index.
+    pub iteration: u64,
+    /// Mean episode return observed this iteration.
+    pub reward: f64,
+    /// Training loss, when the driver computes one centrally.
+    pub loss: Option<f64>,
+    /// Policy entropy (mean over the batch), when available.
+    pub entropy: Option<f64>,
+    /// Iterations per second over the last iteration.
+    pub iters_per_sec: f64,
+    /// Fabric bytes sent during the iteration (process-wide delta).
+    pub comm_bytes: u64,
+    /// Configured staleness bound the iteration ran under.
+    pub staleness: u64,
+    /// Plan-cache hit rate so far (`None` before any plan lookup).
+    pub plan_cache_hit_rate: Option<f64>,
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x}"),
+        _ => "null".to_string(),
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl RunEvent {
+    /// Renders the event as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema\": \"{}\", \"policy\": \"{}\", \"iteration\": {}, ",
+                "\"reward\": {}, \"loss\": {}, \"entropy\": {}, \"iters_per_sec\": {}, ",
+                "\"comm_bytes\": {}, \"staleness\": {}, \"plan_cache_hit_rate\": {}}}"
+            ),
+            RUN_EVENT_SCHEMA,
+            self.policy,
+            self.iteration,
+            fmt_f64(self.reward),
+            fmt_opt(self.loss),
+            fmt_opt(self.entropy),
+            fmt_f64(self.iters_per_sec),
+            self.comm_bytes,
+            self.staleness,
+            fmt_opt(self.plan_cache_hit_rate),
+        )
+    }
+}
+
+struct SinkState {
+    /// Append-mode metrics file, opened lazily from `MSRL_METRICS_FILE`
+    /// (or [`set_metrics_file`]).
+    file: Option<File>,
+    /// Whether the env var has been consulted yet.
+    resolved: bool,
+    /// Last event per policy, for the text exposition.
+    last: BTreeMap<&'static str, RunEvent>,
+    /// Total events emitted by this process.
+    emitted: u64,
+}
+
+fn sink() -> &'static Mutex<SinkState> {
+    static SINK: OnceLock<Mutex<SinkState>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        Mutex::new(SinkState { file: None, resolved: false, last: BTreeMap::new(), emitted: 0 })
+    })
+}
+
+fn open_append(path: &str) -> Option<File> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    OpenOptions::new().create(true).append(true).open(path).ok()
+}
+
+/// Points the metrics stream at `path` (append mode), or detaches it
+/// with `None`. Overrides `MSRL_METRICS_FILE`; tests use this to write
+/// into a temp dir.
+pub fn set_metrics_file(path: Option<&str>) {
+    let mut s = sink().lock().expect("metrics sink poisoned");
+    s.file = path.and_then(open_append);
+    s.resolved = true;
+}
+
+/// Emits one [`RunEvent`]: appends a JSONL line to the metrics file (if
+/// configured) and updates the in-memory last-event table behind
+/// [`metrics_text`]. Called once per driver iteration — file I/O cost,
+/// not hot-path cost.
+pub fn emit_run_event(ev: &RunEvent) {
+    let mut s = sink().lock().expect("metrics sink poisoned");
+    if !s.resolved {
+        s.file = std::env::var("MSRL_METRICS_FILE")
+            .ok()
+            .filter(|p| !p.is_empty())
+            .and_then(|p| open_append(&p));
+        s.resolved = true;
+    }
+    if let Some(f) = &mut s.file {
+        // One write per line: O_APPEND keeps concurrent writers from
+        // interleaving partial lines.
+        let _ = f.write_all(format!("{}\n", ev.to_json_line()).as_bytes());
+    }
+    s.emitted += 1;
+    s.last.insert(ev.policy, ev.clone());
+}
+
+/// Events emitted by this process so far.
+pub fn run_events_emitted() -> u64 {
+    sink().lock().expect("metrics sink poisoned").emitted
+}
+
+fn prom_name(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+}
+
+/// Renders a Prometheus-style text exposition of the whole registry:
+/// counters, gauges, histogram quantiles, and the latest [`RunEvent`]
+/// per policy. Deterministically ordered (all sources are name-sorted).
+pub fn metrics_text() -> String {
+    let mut out = String::new();
+    out.push_str("# msrl metrics exposition\n");
+    for (name, v) in crate::registry::counters_snapshot() {
+        out.push_str(&format!("msrl_counter_{} {}\n", prom_name(&name), v));
+    }
+    for (name, v) in crate::registry::gauges_snapshot() {
+        out.push_str(&format!("msrl_gauge_{} {}\n", prom_name(&name), fmt_f64(v)));
+    }
+    for (name, s) in crate::histogram::histograms_snapshot() {
+        let base = format!("msrl_hist_{}", prom_name(&name));
+        out.push_str(&format!("{base}_count {}\n", s.count));
+        for (q, v) in [("0.5", s.p50_ns), ("0.9", s.p90_ns), ("0.99", s.p99_ns)] {
+            out.push_str(&format!("{base}_ns{{quantile=\"{q}\"}} {v}\n"));
+        }
+    }
+    let s = sink().lock().expect("metrics sink poisoned");
+    for (policy, ev) in &s.last {
+        let l = format!("{{policy=\"{policy}\"}}");
+        out.push_str(&format!("msrl_run_iteration{l} {}\n", ev.iteration));
+        out.push_str(&format!("msrl_run_reward{l} {}\n", fmt_f64(ev.reward)));
+        if let Some(loss) = ev.loss {
+            out.push_str(&format!("msrl_run_loss{l} {}\n", fmt_f64(loss)));
+        }
+        if let Some(e) = ev.entropy {
+            out.push_str(&format!("msrl_run_entropy{l} {}\n", fmt_f64(e)));
+        }
+        out.push_str(&format!("msrl_run_iters_per_sec{l} {}\n", fmt_f64(ev.iters_per_sec)));
+        out.push_str(&format!("msrl_run_comm_bytes{l} {}\n", ev.comm_bytes));
+    }
+    out
+}
+
+/// Flushes the metrics stream and, if `MSRL_METRICS_TEXT_FILE` is set,
+/// writes the current [`metrics_text`] exposition there. Drivers call
+/// this at the end of a run; safe to call repeatedly (the text file is
+/// overwritten with the latest snapshot).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the flush or the text-file write.
+pub fn flush_metrics() -> std::io::Result<()> {
+    {
+        let mut s = sink().lock().expect("metrics sink poisoned");
+        if let Some(f) = &mut s.file {
+            f.flush()?;
+        }
+    }
+    if let Ok(path) = std::env::var("MSRL_METRICS_TEXT_FILE") {
+        if !path.is_empty() {
+            std::fs::write(&path, metrics_text())?;
+        }
+    }
+    Ok(())
+}
+
+/// Structurally validates a JSONL metrics stream: every non-empty line
+/// must be a [`RunEvent`] object with the right field types (optionals
+/// may be `null`). Returns the number of valid lines.
+///
+/// # Errors
+///
+/// A description of the first malformed line (1-based line number).
+pub fn validate_metrics(content: &str) -> Result<usize, String> {
+    use serde_json::Value;
+    let mut valid = 0usize;
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let n = lineno + 1;
+        let v = serde_json::value_from_str(line).map_err(|e| format!("line {n}: not JSON: {e}"))?;
+        match v.field("schema") {
+            Ok(Value::Str(s)) if s == RUN_EVENT_SCHEMA => {}
+            other => return Err(format!("line {n}: bad schema: {other:?}")),
+        }
+        match v.field("policy") {
+            Ok(Value::Str(p)) if !p.is_empty() => {}
+            other => return Err(format!("line {n}: bad policy: {other:?}")),
+        }
+        for key in ["iteration", "comm_bytes", "staleness"] {
+            if !matches!(v.field(key), Ok(Value::I64(_) | Value::U64(_))) {
+                return Err(format!("line {n}: missing integer field {key:?}"));
+            }
+        }
+        for key in ["reward", "iters_per_sec"] {
+            if !matches!(v.field(key), Ok(Value::I64(_) | Value::U64(_) | Value::F64(_))) {
+                return Err(format!("line {n}: missing numeric field {key:?}"));
+            }
+        }
+        for key in ["loss", "entropy", "plan_cache_hit_rate"] {
+            match v.field(key) {
+                Ok(Value::Null | Value::I64(_) | Value::U64(_) | Value::F64(_)) => {}
+                other => return Err(format!("line {n}: bad optional field {key:?}: {other:?}")),
+            }
+        }
+        if let Ok(Value::F64(r)) = v.field("plan_cache_hit_rate") {
+            if !(0.0..=1.0).contains(r) {
+                return Err(format!("line {n}: plan_cache_hit_rate out of [0,1]: {r}"));
+            }
+        }
+        valid += 1;
+    }
+    Ok(valid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(iteration: u64) -> RunEvent {
+        RunEvent {
+            policy: "dp_a",
+            iteration,
+            reward: 21.5,
+            loss: Some(0.42),
+            entropy: Some(0.69),
+            iters_per_sec: 88.0,
+            comm_bytes: 13400,
+            staleness: 1,
+            plan_cache_hit_rate: Some(0.97),
+        }
+    }
+
+    #[test]
+    fn json_lines_validate() {
+        let lines: Vec<String> = (0..3).map(|i| sample(i).to_json_line()).collect();
+        let content = lines.join("\n");
+        assert_eq!(validate_metrics(&content).expect("valid stream"), 3);
+        // Optionals may be null.
+        let mut ev = sample(9);
+        ev.loss = None;
+        ev.entropy = None;
+        ev.plan_cache_hit_rate = None;
+        assert_eq!(validate_metrics(&ev.to_json_line()).unwrap(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(validate_metrics("{\"schema\": \"nope\"}").is_err());
+        assert!(validate_metrics("not json at all").is_err());
+        let truncated = &sample(0).to_json_line()[..40];
+        assert!(validate_metrics(truncated).is_err());
+        let bad_rate = sample(0).to_json_line().replace("0.97", "1.97");
+        assert!(validate_metrics(&bad_rate).is_err());
+    }
+
+    #[test]
+    fn emit_updates_text_exposition() {
+        emit_run_event(&sample(5));
+        assert!(run_events_emitted() >= 1);
+        let text = metrics_text();
+        assert!(text.contains("msrl_run_iteration{policy=\"dp_a\"}"));
+        assert!(text.contains("msrl_run_reward{policy=\"dp_a\"} 21.5"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Integration test for the flight recorder's post-mortem path: a
+//! panicking worker thread must leave a structurally valid dump on
+//! disk, written by the panic hook before the unwind propagates.
+
+use msrl_telemetry as telemetry;
+
+#[test]
+fn worker_panic_writes_valid_dump() {
+    let dir = std::env::temp_dir().join(format!("msrl-flightrec-test-{}", std::process::id()));
+    let dir_s = dir.to_str().expect("utf-8 temp dir").to_string();
+    let _ = std::fs::remove_dir_all(&dir);
+    telemetry::flightrec::set_dump_dir(&dir_s);
+    telemetry::flightrec::set_flightrec_enabled(true);
+    telemetry::install_panic_hook();
+
+    // A worker doing instrumented work before dying mid-iteration.
+    let worker = std::thread::spawn(|| {
+        for i in 0..10 {
+            let _s = telemetry::span!("fragment.test_worker", 1);
+            telemetry::counter("test.worker.iters", 1);
+            if i == 7 {
+                panic!("injected worker failure at iteration {i}");
+            }
+        }
+    });
+    assert!(worker.join().is_err(), "worker must have panicked");
+
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .expect("dump dir exists")
+        .filter_map(Result::ok)
+        .filter(|e| {
+            e.file_name().to_string_lossy().starts_with("flightrec-")
+                && e.file_name().to_string_lossy().ends_with(".json")
+        })
+        .collect();
+    assert!(!dumps.is_empty(), "panic hook wrote a dump");
+
+    let content = std::fs::read_to_string(dumps[0].path()).expect("dump readable");
+    let n = telemetry::validate_flightrec(&content).expect("dump is structurally valid");
+    assert!(n >= 1, "ring captured the worker's recent events");
+    assert!(content.contains("injected worker failure"), "panic reason recorded");
+    assert!(content.contains("fragment.test_worker"), "worker's recent spans are in the ring");
+    assert!(content.contains("\"trigger\": \"panic\""));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,76 @@
+//! Property tests for the always-on histogram: the log₂-bucket
+//! quantile estimate must land within one bucket of the exact
+//! nearest-rank percentile on arbitrary distributions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use msrl_telemetry::{bucket_index, percentile_ns, Histogram};
+use proptest::prelude::*;
+
+/// Registry names are process-global; give every proptest case its own
+/// histogram.
+fn fresh_histogram() -> Histogram {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    Histogram::handle(&format!("hist.prop.{}", SEQ.fetch_add(1, Ordering::Relaxed)))
+}
+
+fn assert_within_one_bucket(est: u64, exact: u64, what: &str) -> Result<(), TestCaseError> {
+    let eb = bucket_index(est) as i64;
+    let xb = bucket_index(exact) as i64;
+    prop_assert!(
+        (eb - xb).abs() <= 1,
+        "{what}: estimate {est} (bucket {eb}) vs exact {exact} (bucket {xb})"
+    );
+    Ok(())
+}
+
+fn check_distribution(values: &[u64]) -> Result<(), TestCaseError> {
+    let h = fresh_histogram();
+    for &v in values {
+        h.record(v);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let s = h.snapshot();
+    prop_assert_eq!(s.count, values.len() as u64);
+    assert_within_one_bucket(s.p50_ns, percentile_ns(&sorted, 50.0), "p50")?;
+    assert_within_one_bucket(s.p90_ns, percentile_ns(&sorted, 90.0), "p90")?;
+    assert_within_one_bucket(s.p99_ns, percentile_ns(&sorted, 99.0), "p99")?;
+    assert_within_one_bucket(s.max_ns, *sorted.last().unwrap(), "max")?;
+    Ok(())
+}
+
+proptest! {
+    /// Small-range distributions (sub-microsecond latencies).
+    #[test]
+    fn quantiles_track_exact_small(values in proptest::collection::vec(0u64..4096, 1..200)) {
+        check_distribution(&values)?;
+    }
+
+    /// Wide-range distributions spanning many decades (ns to minutes),
+    /// exercised by exponentiating a uniform bit width.
+    #[test]
+    fn quantiles_track_exact_wide(
+        shifts in proptest::collection::vec(0u32..40, 1..200),
+        fills in proptest::collection::vec(0u64..1024, 200),
+    ) {
+        let values: Vec<u64> = shifts
+            .iter()
+            .zip(&fills)
+            .map(|(&s, &f)| (1u64 << s) + (f % (1u64 << s).max(1)))
+            .collect();
+        check_distribution(&values)?;
+    }
+
+    /// Bimodal mixes (the fast-path/slow-path shape blocked-recv
+    /// latencies actually have).
+    #[test]
+    fn quantiles_track_exact_bimodal(
+        fast in proptest::collection::vec(100u64..1000, 50..150),
+        slow in proptest::collection::vec(1_000_000u64..50_000_000, 1..20),
+    ) {
+        let mut values = fast;
+        values.extend(slow);
+        check_distribution(&values)?;
+    }
+}

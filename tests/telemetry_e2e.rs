@@ -120,4 +120,48 @@ fn telemetry_observes_without_perturbing() {
     let json = report.to_json();
     serde_json::value_from_str(&json).expect("report JSON parses");
     msrl_telemetry::set_enabled(false);
+
+    // 5. Always-on observability with tracing OFF: a DP-A run streams
+    //    one valid RunEvent per iteration to the metrics file, and the
+    //    registry-backed report carries real latency quantiles from the
+    //    always-on histograms — no MSRL_TRACE required.
+    msrl_telemetry::clear_events();
+    msrl_telemetry::reset_counters();
+    msrl_telemetry::reset_histograms();
+    let metrics_path =
+        std::env::temp_dir().join(format!("msrl-telemetry-e2e-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&metrics_path);
+    msrl_telemetry::set_metrics_file(metrics_path.to_str());
+    let emitted0 = msrl_telemetry::run_events_emitted();
+    run_dp_a(|a, i| CartPole::new((a * 7 + i) as u64), &dist).expect("dp_a runs untraced");
+    assert!(
+        msrl_telemetry::drain().is_empty(),
+        "the metrics stream must not depend on span recording"
+    );
+    assert_eq!(
+        msrl_telemetry::run_events_emitted() - emitted0,
+        dist.iterations as u64,
+        "one RunEvent per training iteration"
+    );
+    let stream = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    let lines = msrl_telemetry::validate_metrics(&stream).expect("every line is a valid RunEvent");
+    assert_eq!(lines, dist.iterations, "the file holds exactly this run's events");
+    assert!(stream.contains("\"policy\": \"dp_a\""));
+    msrl_telemetry::set_metrics_file(None);
+    let _ = std::fs::remove_file(&metrics_path);
+
+    let quiet_report = msrl_telemetry::TelemetryReport::from_events(&[]).with_registry();
+    let eval = quiet_report.histogram("fragment.eval").expect("fragment.eval histogram");
+    assert_eq!(eval.count, dist.iterations as u64);
+    assert!(
+        eval.p50_ns > 0 && eval.p50_ns <= eval.p99_ns && eval.p99_ns <= eval.max_ns,
+        "non-trivial quantiles: {eval:?}"
+    );
+    assert!(
+        quiet_report.histograms.iter().any(|(name, s)| name.starts_with("comm.") && s.count > 0),
+        "at least one comm.* histogram records blocked time: {:?}",
+        quiet_report.histograms
+    );
+    let quiet_json = quiet_report.to_json();
+    serde_json::value_from_str(&quiet_json).expect("registry-only report JSON parses");
 }
