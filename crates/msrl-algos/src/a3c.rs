@@ -93,9 +93,9 @@ impl A3cWorker {
         let loss = pg
             .add(&value_loss.mul_scalar(self.cfg.value_coef))?
             .add(&entropy.mean().mul_scalar(-self.cfg.entropy_coef))?;
-        let grads = tape.backward(&loss)?;
-        let mut gs = actor.grads(&grads);
-        gs.extend(critic.grads(&grads));
+        let mut grads = tape.backward(&loss)?;
+        let mut gs = actor.take_grads(&mut grads);
+        gs.extend(critic.take_grads(&mut grads));
         clip_grad_norm(&mut gs, self.cfg.max_grad_norm);
         Ok(gs.iter().flat_map(|g| g.data().iter().copied()).collect())
     }

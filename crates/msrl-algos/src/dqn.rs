@@ -165,8 +165,8 @@ impl Learner for Dqn {
         let taken = qv.select_per_row(&idx)?;
         let target_t = tape.var(Tensor::from_vec(targets, &[n]).map_err(FdgError::Tensor)?);
         let loss = taken.sub(&target_t)?.square().mean();
-        let grads = tape.backward(&loss)?;
-        let mut gs = qnet.grads(&grads);
+        let mut grads = tape.backward(&loss)?;
+        let mut gs = qnet.take_grads(&mut grads);
         clip_grad_norm(&mut gs, self.cfg.max_grad_norm);
         let mut params = self.q.params_mut();
         self.opt.step(&mut params, &gs).map_err(FdgError::Tensor)?;

@@ -319,11 +319,11 @@ impl PpoLearner {
             .add(&value_loss.mul_scalar(self.cfg.value_coef))?
             .add(&entropy_mean.mul_scalar(-self.cfg.entropy_coef))?;
 
-        let grads = tape.backward(&loss)?;
-        let mut gs = actor.grads(&grads);
-        gs.extend(critic.grads(&grads));
+        let mut grads = tape.backward(&loss)?;
+        let mut gs = actor.take_grads(&mut grads);
+        gs.extend(critic.take_grads(&mut grads));
         if let Some(ls) = &log_std_var {
-            gs.push(grads.get_or_zeros(ls));
+            gs.push(grads.take_or_zeros(ls));
         }
         clip_grad_norm(&mut gs, self.cfg.max_grad_norm);
         let loss_v = loss.value().item().map_err(FdgError::Tensor)?;

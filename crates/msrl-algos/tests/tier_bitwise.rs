@@ -1,0 +1,45 @@
+//! Tiered vs. naive PPO training must be **bit-identical**: the packed
+//! register-tiled matmul microkernels, SIMD row kernels, and gather-based
+//! transpose-free products all preserve the per-output-element
+//! k-ascending accumulation order of the naive loops, so whole learn
+//! steps — loss, gradients, Adam updates — produce the same weights bit
+//! for bit.
+//!
+//! This is the end-to-end guarantee behind defaulting `MSRL_TIER` on:
+//! flipping it can never change training results, only speed.
+
+use msrl_algos::ppo::{PpoActor, PpoConfig, PpoLearner, PpoPolicy};
+use msrl_algos::rollout::collect;
+use msrl_core::api::{Learner, SampleBatch};
+use msrl_env::cartpole::CartPole;
+use msrl_env::VecEnv;
+use msrl_tensor::{par, Backend};
+
+/// Trains a fresh learner on `batch` for a few epochs and returns the
+/// final weights as raw bits.
+fn train_bits(policy: &PpoPolicy, batch: &SampleBatch, tier: bool) -> Vec<u32> {
+    par::with_tier(tier, || {
+        let mut learner = PpoLearner::new(policy.clone(), PpoConfig::default());
+        for _ in 0..3 {
+            learner.learn(batch).unwrap();
+        }
+        learner.policy_params().iter().map(|v| v.to_bits()).collect()
+    })
+}
+
+#[test]
+fn ppo_weights_bit_identical_with_and_without_tier() {
+    let policy = PpoPolicy::discrete(4, 2, &[16, 16], 3);
+    let mut actor = PpoActor::new(policy.clone(), 4);
+    let mut envs = VecEnv::from_fn(4, |i| CartPole::new(i as u64));
+    let batch = collect(&mut actor, &mut envs, 32).unwrap();
+
+    for backend in [Backend::Scalar, Backend::Threaded] {
+        par::with_backend(backend, || {
+            let tiered = train_bits(&policy, &batch, true);
+            let plain = train_bits(&policy, &batch, false);
+            assert_eq!(tiered.len(), plain.len());
+            assert_eq!(tiered, plain, "kernel tier changed PPO weights under {backend:?}");
+        });
+    }
+}

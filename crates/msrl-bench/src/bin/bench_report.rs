@@ -316,8 +316,8 @@ fn graph_compile_cost() -> GraphCompile {
         let net = mlp.bind(&tape);
         let xv = tape.var(x.clone());
         let loss = net.forward(&xv).expect("shapes conform").square().sum();
-        let grads = tape.backward(&loss).expect("loss is scalar");
-        net.grads(&grads)
+        let mut grads = tape.backward(&loss).expect("loss is scalar");
+        net.take_grads(&mut grads)
     };
     let fwd_bwd_unfused_ns =
         par::with_backend(Backend::Scalar, || par::with_fusion(false, || time_ns(9, &mut fwd_bwd)));
@@ -351,6 +351,107 @@ fn graph_compile_cost() -> GraphCompile {
     });
 
     GraphCompile { fwd_bwd_unfused_ns, fwd_bwd_fused_ns, plan_per_call_ns, plan_cached_ns }
+}
+
+/// Measured effect of the kernel tier on this host.
+struct KernelTier {
+    /// 512×512×512 matmul, naive loops (`MSRL_TIER=0` path) vs the
+    /// packed register-tiled microkernels, both on the scalar backend
+    /// so the gain is pure kernel quality.
+    matmul512_naive_ns: f64,
+    matmul512_tiered_ns: f64,
+    /// The same MLP forward+backward as `graph_compile`, everything off
+    /// (seed path) vs everything on (fusion + tier): the end-to-end
+    /// learn-phase win of the compiled kernel stack.
+    mlp_fwd_bwd_base_ns: f64,
+    mlp_fwd_bwd_tiered_ns: f64,
+    /// 256×256×256 matmul on the scalar backend vs the threaded backend
+    /// clamped to one worker: `threads=1` must dispatch straight to the
+    /// serial kernels, so this ratio must not dip below ~1.
+    threads1_scalar_ns: f64,
+    threads1_threaded_ns: f64,
+}
+
+impl KernelTier {
+    fn matmul512_speedup(&self) -> f64 {
+        self.matmul512_naive_ns / self.matmul512_tiered_ns.max(1.0)
+    }
+    fn mlp_fwd_bwd_speedup(&self) -> f64 {
+        self.mlp_fwd_bwd_base_ns / self.mlp_fwd_bwd_tiered_ns.max(1.0)
+    }
+    fn threads1_speedup(&self) -> f64 {
+        self.threads1_scalar_ns / self.threads1_threaded_ns.max(1.0)
+    }
+    /// GFLOP/s of one 512³ matmul at the given ns/iter.
+    fn gflops512(ns: f64) -> f64 {
+        2.0 * 512.0 * 512.0 * 512.0 / ns.max(1.0)
+    }
+}
+
+fn kernel_tier_cost() -> KernelTier {
+    let a = Tensor::full(&[512, 512], 0.5);
+    let b = Tensor::full(&[512, 512], 0.25);
+    let mut mm = || ops::matmul(&a, &b).expect("shapes conform");
+    let matmul512_naive_ns =
+        par::with_backend(Backend::Scalar, || par::with_tier(false, || time_ns(9, &mut mm)));
+    let matmul512_tiered_ns =
+        par::with_backend(Backend::Scalar, || par::with_tier(true, || time_ns(9, &mut mm)));
+
+    // End-to-end learn phase: the `graph_compile` MLP forward+backward
+    // with the whole kernel stack off vs on. The tier's contribution
+    // here is the transpose-free packed backward (`matmul_at`/`_bt`).
+    let mut rng = init::rng(42);
+    let mlp = Mlp::seven_layer(17, 6, 32, &mut rng);
+    let x = Tensor::full(&[2, 17], 0.1);
+    let mut fwd_bwd = || {
+        let tape = Tape::new();
+        let net = mlp.bind(&tape);
+        let xv = tape.var(x.clone());
+        let loss = net.forward(&xv).expect("shapes conform").square().sum();
+        let mut grads = tape.backward(&loss).expect("loss is scalar");
+        net.take_grads(&mut grads)
+    };
+    // Interleaved minima, as for threads=1 below: both configurations
+    // sample under the same load profile.
+    let (mlp_fwd_bwd_base_ns, mlp_fwd_bwd_tiered_ns) = par::with_backend(Backend::Scalar, || {
+        let mut base = f64::INFINITY;
+        let mut tiered = f64::INFINITY;
+        for _ in 0..5 {
+            base = base.min(par::with_fusion(false, || {
+                par::with_tier(false, || time_ns(3, &mut fwd_bwd))
+            }));
+            tiered = tiered
+                .min(par::with_fusion(true, || par::with_tier(true, || time_ns(3, &mut fwd_bwd))));
+        }
+        (base, tiered)
+    });
+
+    // threads=1 sanity: the threaded backend with one worker must cost
+    // the same as the scalar backend (no pool, no chunking overhead —
+    // `should_parallelize` short-circuits and both run the serial
+    // kernel). The samples interleave backends and keep each side's
+    // minimum so a load spike on this box can't skew the ratio.
+    let a = Tensor::full(&[256, 256], 0.5);
+    let b = Tensor::full(&[256, 256], 0.25);
+    let mut mm = || ops::matmul(&a, &b).expect("shapes conform");
+    let (threads1_scalar_ns, threads1_threaded_ns) = par::with_threads(1, || {
+        let mut scalar = f64::INFINITY;
+        let mut threaded = f64::INFINITY;
+        for _ in 0..5 {
+            scalar = scalar.min(par::with_backend(Backend::Scalar, || time_ns(3, &mut mm)));
+            threaded = threaded.min(par::with_backend(Backend::Threaded, || time_ns(3, &mut mm)));
+        }
+        (scalar, threaded)
+    });
+
+    KernelTier {
+        matmul512_naive_ns,
+        matmul512_tiered_ns,
+        mlp_fwd_bwd_base_ns,
+        mlp_fwd_bwd_tiered_ns,
+        threads1_scalar_ns,
+        threads1_threaded_ns,
+    }
 }
 
 /// Iterations/sec of one distribution policy with overlap off vs on.
@@ -441,6 +542,7 @@ fn main() {
     rows.push(mlp_rows(16, 8));
     let tel = telemetry_cost();
     let gc = graph_compile_cost();
+    let kt = kernel_tier_cost();
     let overlap = comm_overlap_rows();
 
     let mut json = String::from("{\n");
@@ -473,6 +575,25 @@ fn main() {
         gc.plan_per_call_ns,
         gc.plan_cached_ns,
         gc.plan_cache_speedup(),
+    ));
+    json.push_str(&format!(
+        "  \"kernel_tier\": {{\"matmul512_naive_ns\": {:.0}, \
+         \"matmul512_tiered_ns\": {:.0}, \"matmul512_naive_gflops\": {:.2}, \
+         \"matmul512_tiered_gflops\": {:.2}, \"matmul512_speedup\": {:.2}, \
+         \"mlp_fwd_bwd_base_ns\": {:.0}, \"mlp_fwd_bwd_tiered_ns\": {:.0}, \
+         \"mlp_fwd_bwd_speedup\": {:.2}, \"threads1_scalar_ns\": {:.0}, \
+         \"threads1_threaded_ns\": {:.0}, \"threads1_speedup\": {:.2}}},\n",
+        kt.matmul512_naive_ns,
+        kt.matmul512_tiered_ns,
+        KernelTier::gflops512(kt.matmul512_naive_ns),
+        KernelTier::gflops512(kt.matmul512_tiered_ns),
+        kt.matmul512_speedup(),
+        kt.mlp_fwd_bwd_base_ns,
+        kt.mlp_fwd_bwd_tiered_ns,
+        kt.mlp_fwd_bwd_speedup(),
+        kt.threads1_scalar_ns,
+        kt.threads1_threaded_ns,
+        kt.threads1_speedup(),
     ));
     json.push_str("  \"comm_overlap\": [\n");
     for (i, r) in overlap.iter().enumerate() {
@@ -518,6 +639,24 @@ fn main() {
             higher_is_better: false,
             floor: 1.0,
             value: tel.disabled_probe_share_pct,
+        },
+        Gated {
+            name: "kernel_tier.matmul512_speedup",
+            higher_is_better: true,
+            floor: 0.0,
+            value: kt.matmul512_speedup(),
+        },
+        Gated {
+            name: "kernel_tier.mlp_fwd_bwd_speedup",
+            higher_is_better: true,
+            floor: 0.0,
+            value: kt.mlp_fwd_bwd_speedup(),
+        },
+        Gated {
+            name: "kernel_tier.threads1_speedup",
+            higher_is_better: true,
+            floor: 0.0,
+            value: kt.threads1_speedup(),
         },
     ];
     let regressions = match std::fs::read_to_string(&out_path) {
@@ -570,6 +709,22 @@ fn main() {
         gc.plan_cached_ns,
         gc.plan_cache_speedup(),
     );
+    println!(
+        "kernel_tier: matmul512 naive {:.0} ns ({:.2} GFLOP/s) / tiered {:.0} ns \
+         ({:.2} GFLOP/s, {:.2}x); mlp fwd+bwd base {:.0} ns / tiered {:.0} ns ({:.2}x); \
+         threads=1 scalar {:.0} ns / threaded {:.0} ns ({:.2}x)",
+        kt.matmul512_naive_ns,
+        KernelTier::gflops512(kt.matmul512_naive_ns),
+        kt.matmul512_tiered_ns,
+        KernelTier::gflops512(kt.matmul512_tiered_ns),
+        kt.matmul512_speedup(),
+        kt.mlp_fwd_bwd_base_ns,
+        kt.mlp_fwd_bwd_tiered_ns,
+        kt.mlp_fwd_bwd_speedup(),
+        kt.threads1_scalar_ns,
+        kt.threads1_threaded_ns,
+        kt.threads1_speedup(),
+    );
     for r in &overlap {
         println!(
             "comm_overlap {:<6} off {:>6.2} it/s, on {:>6.2} it/s ({:.2}x)",
@@ -589,6 +744,25 @@ fn main() {
             "bench_report: disabled-probe share {:.3}% breaches the 5% bound",
             tel.disabled_probe_share_pct
         );
+        std::process::exit(1);
+    }
+    // Kernel-tier acceptance bounds: the packed microkernels must beat
+    // the naive loops ≥2.5x on the 512³ matmul, the full kernel stack
+    // must hold ≥1.8x on the learn-phase MLP, and one threaded worker
+    // must not cost more than the scalar backend (≥0.99x).
+    let floors = [
+        ("kernel_tier.matmul512_speedup", kt.matmul512_speedup(), 2.5),
+        ("kernel_tier.mlp_fwd_bwd_speedup", kt.mlp_fwd_bwd_speedup(), 1.8),
+        ("kernel_tier.threads1_speedup", kt.threads1_speedup(), 0.99),
+    ];
+    let mut breached = false;
+    for (name, value, floor) in floors {
+        if value < floor {
+            eprintln!("bench_report: {name} {value:.2} breaches the {floor} floor");
+            breached = true;
+        }
+    }
+    if breached {
         std::process::exit(1);
     }
     if !regressions.is_empty() {

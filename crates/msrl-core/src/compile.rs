@@ -20,18 +20,23 @@
 //!    bare `MatMul → Add(bias)`) patterns lower to the fused
 //!    [`msrl_tensor::ops::linear_act`] kernel: one output buffer and one
 //!    memory pass instead of three. The fused kernel reuses the exact
-//!    matmul inner loops, so results are bit-identical.
+//!    matmul inner loops, so results are bit-identical. The policy
+//!    head's `MatMul → Add(bias) → Softmax` tail lowers the same way to
+//!    [`msrl_tensor::ops::linear_softmax`].
 //! 3. **Elementwise-chain fusion** — straight-line runs of elementwise
 //!    ops (e.g. `Mul → Add → Tanh`) compile to a small register program
-//!    ([`EwProgram`]) executed in a single memory pass. Per-element
-//!    scalar arithmetic is copied verbatim from `msrl_tensor::ops`, so
-//!    fused chains are bit-identical too.
+//!    ([`EwProgram`]) executed [`EW_LANE`] elements per instruction
+//!    dispatch. Per-element scalar arithmetic is copied verbatim from
+//!    `msrl_tensor::ops` and lanes are independent, so fused chains are
+//!    bit-identical too.
 //! 4. **Dead-node elimination** — nodes that cannot reach a requested
 //!    output or a stateful macro op are dropped (outputs mode only).
 //! 5. **Liveness-planned buffers** — in outputs mode the plan marks
 //!    chain ops whose first dying input can donate its buffer; the
 //!    interpreter then runs the chain in place, skipping the
-//!    [`msrl_tensor::alloc`] pool round-trip entirely.
+//!    [`msrl_tensor::alloc`] pool round-trip entirely. Chain ops with
+//!    no in-level donor may instead steal the buffer of a node that
+//!    died at an earlier level ([`CompiledPlan::donors`]).
 //!
 //! All passes are gated on the fusion flag
 //! ([`msrl_tensor::par::fusion_enabled`], env `MSRL_FUSION`): with
@@ -41,8 +46,8 @@
 //! behaviour is unchanged.
 //!
 //! Compile-time totals land on the always-on counters `compile.plans`,
-//! `compile.cse`, `compile.fused_linear`, `compile.fused_ew` and
-//! `compile.dce`.
+//! `compile.cse`, `compile.fused_linear`, `compile.fused_softmax`,
+//! `compile.fused_ew` and `compile.dce`.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -130,7 +135,72 @@ impl EwProgram {
         }
         regs[self.insts.len() - 1]
     }
+
+    /// Evaluates the program for [`EW_LANE`] consecutive elements
+    /// starting at `base`, leaving each instruction's lane of results in
+    /// `regs` (the output is the last instruction's lane).
+    ///
+    /// Instruction-outer / lane-inner order performs, for each element,
+    /// exactly the scalar sequence [`EwProgram::eval_at`] performs —
+    /// elements are independent, so interleaving them cannot change any
+    /// element's own operation order, and results stay bit-identical.
+    /// What it removes is the per-element instruction dispatch: each
+    /// instruction decodes once per lane, and the fixed-bound inner
+    /// loops unroll/vectorize. `self_ext` substitutes a pre-loaded lane
+    /// for one external slot (the in-place executor's own buffer, read
+    /// before overwrite).
+    #[inline]
+    fn eval_lane(
+        &self,
+        srcs: &[&[f32]],
+        strides: &[usize],
+        base: usize,
+        self_ext: Option<(usize, &[f32; EW_LANE])>,
+        regs: &mut [[f32; EW_LANE]],
+    ) {
+        for r in 0..self.insts.len() {
+            // Register programs are SSA: instruction `r` only reads
+            // registers `< r`, so the split borrows are disjoint.
+            let (done, rest) = regs.split_at_mut(r);
+            let dst = &mut rest[0];
+            let ld = |s: EwSrc, l: usize, done: &[[f32; EW_LANE]]| match s {
+                EwSrc::Ext(k) => match self_ext {
+                    Some((sp, lane)) if k == sp => lane[l],
+                    _ => srcs[k][(base + l) * strides[k]],
+                },
+                EwSrc::Reg(p) => done[p][l],
+            };
+            macro_rules! lanes {
+                ($l:ident => $e:expr) => {
+                    for $l in 0..EW_LANE {
+                        dst[$l] = $e;
+                    }
+                };
+            }
+            match self.insts[r] {
+                EwInst::Add(a, b) => lanes!(l => ld(a, l, done) + ld(b, l, done)),
+                EwInst::Sub(a, b) => lanes!(l => ld(a, l, done) - ld(b, l, done)),
+                EwInst::Mul(a, b) => lanes!(l => ld(a, l, done) * ld(b, l, done)),
+                EwInst::Div(a, b) => lanes!(l => ld(a, l, done) / ld(b, l, done)),
+                EwInst::Relu(a) => lanes!(l => ld(a, l, done).max(0.0)),
+                EwInst::Tanh(a) => lanes!(l => ld(a, l, done).tanh()),
+                EwInst::Sigmoid(a) => lanes!(l => 1.0 / (1.0 + (-ld(a, l, done)).exp())),
+                EwInst::Exp(a) => lanes!(l => ld(a, l, done).exp()),
+                EwInst::Ln(a) => lanes!(l => ld(a, l, done).max(f32::MIN_POSITIVE).ln()),
+                EwInst::Square(a) => lanes!(l => {
+                    let v = ld(a, l, done);
+                    v * v
+                }),
+                EwInst::Neg(a) => lanes!(l => -ld(a, l, done)),
+                EwInst::Clamp(a, lo, hi) => lanes!(l => ld(a, l, done).clamp(lo, hi)),
+            }
+        }
+    }
 }
+
+/// Lane width of the chunked elementwise executor: each instruction
+/// dispatch covers this many consecutive output elements.
+pub(crate) const EW_LANE: usize = 8;
 
 /// What one planned pure op executes as.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,6 +210,9 @@ pub(crate) enum PlanOp {
     Node(OpNode),
     /// A fused `MatMul + bias + activation`; inputs are `[x, w, b]`.
     LinearAct(ops::Act),
+    /// A fused policy head `softmax_rows(x·w + b)`; inputs are
+    /// `[x, w, b]`.
+    LinearSoftmax,
     /// A fused elementwise chain.
     EwChain(EwProgram),
 }
@@ -150,6 +223,7 @@ impl PlanOp {
         match self {
             PlanOp::Node(node) => node.kind.name(),
             PlanOp::LinearAct(_) => "FusedLinear",
+            PlanOp::LinearSoftmax => "FusedLinearSoftmax",
             PlanOp::EwChain(_) => "FusedEw",
         }
     }
@@ -201,6 +275,9 @@ pub struct PlanStats {
     pub cse_merged: usize,
     /// `MatMul(+Add)(+activation)` patterns lowered to the fused kernel.
     pub fused_linear: usize,
+    /// `MatMul → Add(bias) → Softmax` policy heads lowered to the fused
+    /// [`msrl_tensor::ops::linear_softmax`] kernel.
+    pub fused_softmax: usize,
     /// Elementwise nodes absorbed into fused chains.
     pub fused_ew: usize,
     /// Nodes removed as dead (unable to reach an output or macro op).
@@ -221,8 +298,31 @@ pub struct CompiledPlan {
     pub(crate) uses: Vec<usize>,
     /// Per-node retain flags (true everywhere in keep-all mode).
     pub(crate) keep: Vec<bool>,
+    /// Cross-level buffer steals: dying node → the EwChain op (by id)
+    /// that reuses its buffer as the output, skipping the pool
+    /// round-trip. Planned statically from the schedule; the serial
+    /// executor stashes the donor at release and the stealer claims it.
+    pub(crate) donors: HashMap<NodeId, NodeId>,
+    /// Kernel-tier data the interpreter attaches when it promotes a hot
+    /// plan: weights packed once for the register-tiled microkernels.
+    /// `None` until promotion; [`compile`] always produces `None`.
+    pub(crate) tier: Option<TierData>,
     /// What the passes did.
     pub stats: PlanStats,
+}
+
+/// Pre-packed operands for a tiered-up hot plan (see
+/// [`crate::interp::Interpreter`]): the packed right-hand sides of the
+/// plan's `MatMul` / fused-linear ops whose weight input is a `Param`,
+/// keyed by that input's node id.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct TierData {
+    /// Packed weight per weight-input node id.
+    pub(crate) packed: HashMap<NodeId, msrl_tensor::kernels::PackedB>,
+    /// The interpreter's params epoch at packing time; a later
+    /// `bind_param` bumps the epoch and forces a repack on next
+    /// promotion check.
+    pub(crate) epoch: u64,
 }
 
 /// True for ops whose output element `i` depends only on element `i`
@@ -440,13 +540,97 @@ pub fn compile(
         }
     }
 
+    // Cross-level buffer steals: an EwChain op with no in-level donor
+    // may instead reuse the buffer of a node that died at an *earlier*
+    // level (or before an earlier macro barrier) with exactly its
+    // volume. Times are level-granular, and only strictly-earlier
+    // deaths qualify, so the donor's buffer is provably free when the
+    // stealer runs — its own inputs (which die *at* the op) never
+    // match.
+    let mut donors: HashMap<NodeId, NodeId> = HashMap::new();
+    if fusion && !keep_all {
+        let mut death: HashMap<NodeId, usize> = HashMap::new();
+        let mut t = 0usize;
+        for step in &steps {
+            match step {
+                Step::Pure { levels, .. } => {
+                    for level in levels {
+                        t += 1;
+                        for op in level {
+                            for &i in &op.inputs {
+                                if i < n && !keep[i] && uses[i] > 0 {
+                                    let slot = death.entry(i).or_insert(t);
+                                    *slot = (*slot).max(t);
+                                }
+                            }
+                        }
+                    }
+                }
+                Step::Macro { inputs, .. } => {
+                    t += 1;
+                    for &i in inputs {
+                        if i < n && !keep[i] && uses[i] > 0 {
+                            let slot = death.entry(i).or_insert(t);
+                            *slot = (*slot).max(t);
+                        }
+                    }
+                }
+            }
+        }
+        // An input consumed by an in-place chain never reaches the
+        // release path — its buffer becomes the chain's output — so it
+        // must not be offered as a cross-level donor.
+        for step in &steps {
+            let Step::Pure { levels, .. } = step else { continue };
+            for op in levels.iter().flatten() {
+                if let Some(&i) = op.inplace.and_then(|p| op.inputs.get(p)) {
+                    death.remove(&i);
+                }
+            }
+        }
+        // Deterministic candidate order (HashMap iteration is not).
+        let mut dying: Vec<(NodeId, usize)> = death.into_iter().collect();
+        dying.sort_unstable();
+        let mut t = 0usize;
+        for step in &steps {
+            let Step::Pure { levels, .. } = step else {
+                t += 1;
+                continue;
+            };
+            for level in levels {
+                t += 1;
+                for op in level {
+                    if !matches!(op.op, PlanOp::EwChain(_)) || op.inplace.is_some() {
+                        continue;
+                    }
+                    let vol: usize = op.shape.iter().product();
+                    if vol == 0 {
+                        continue;
+                    }
+                    let donor = dying.iter().find(|&&(d, dt)| {
+                        dt < t
+                            && !donors.contains_key(&d)
+                            && graph
+                                .node(d)
+                                .map(|nd| nd.shape.iter().product::<usize>() == vol)
+                                .unwrap_or(false)
+                    });
+                    if let Some(&(d, _)) = donor {
+                        donors.insert(d, op.id);
+                    }
+                }
+            }
+        }
+    }
+
     msrl_telemetry::static_counter!("compile.plans").add(1);
     msrl_telemetry::static_counter!("compile.cse").add(stats.cse_merged as u64);
     msrl_telemetry::static_counter!("compile.fused_linear").add(stats.fused_linear as u64);
+    msrl_telemetry::static_counter!("compile.fused_softmax").add(stats.fused_softmax as u64);
     msrl_telemetry::static_counter!("compile.fused_ew").add(stats.fused_ew as u64);
     msrl_telemetry::static_counter!("compile.dce").add(stats.dce_removed as u64);
 
-    Ok(CompiledPlan { steps, uses, keep, stats })
+    Ok(CompiledPlan { steps, uses, keep, donors, tier: None, stats })
 }
 
 /// Common-subexpression elimination. Inputs of *every* node (macros
@@ -578,12 +762,19 @@ fn linear_pass(
         }
     };
 
-    // Pass A: activation-anchored (MatMul → Add → Relu/Tanh/Sigmoid).
+    // Pass A: tail-anchored — MatMul → Add → Relu/Tanh/Sigmoid lowers to
+    // the fused linear kernel, MatMul → Add → Softmax (the policy head)
+    // to the fused linear-softmax kernel.
     for &act_id in todo {
         if !alive[act_id] || lowered[act_id].is_some() {
             continue;
         }
-        let Some(act) = act_of(&graph.node(act_id)?.kind) else { continue };
+        let anchor_kind = graph.node(act_id)?.kind.clone();
+        let softmax = anchor_kind == OpKind::Softmax;
+        let act = act_of(&anchor_kind);
+        if act.is_none() && !softmax {
+            continue;
+        }
         if inputs_of[act_id].len() != 1 {
             continue;
         }
@@ -612,13 +803,18 @@ fn linear_pass(
         };
         let Some((m, b)) = pick else { continue };
         let (x, w) = (inputs_of[m][0], inputs_of[m][1]);
-        lowered[act_id] = Some(PlanOp::LinearAct(act));
+        if softmax {
+            lowered[act_id] = Some(PlanOp::LinearSoftmax);
+            stats.fused_softmax += 1;
+        } else {
+            lowered[act_id] = Some(PlanOp::LinearAct(act.expect("anchor is an activation")));
+            stats.fused_linear += 1;
+        }
         inputs_of[act_id] = vec![x, w, b];
         alive[d] = false;
         alive[m] = false;
         inputs_of[d].clear();
         inputs_of[m].clear();
-        stats.fused_linear += 1;
         // Keep `cons` exact so a later pattern never matches through a
         // node this fusion already consumed.
         for c in cons[x].iter_mut() {
@@ -877,6 +1073,30 @@ fn ew_strides(ins: &[&Tensor], vol: usize, shape: &[usize]) -> Result<Vec<usize>
         .collect()
 }
 
+/// Fills `chunk` (at absolute element offset `offset`) with the
+/// program's results: whole lanes through the chunked executor, the
+/// remainder through the scalar interpreter. Bit-identical either way.
+fn run_ew_fill(
+    prog: &EwProgram,
+    srcs: &[&[f32]],
+    strides: &[usize],
+    offset: usize,
+    chunk: &mut [f32],
+) {
+    let last = prog.insts.len() - 1;
+    let mut regs = vec![[0.0f32; EW_LANE]; prog.insts.len()];
+    let mut i = 0;
+    while i + EW_LANE <= chunk.len() {
+        prog.eval_lane(srcs, strides, offset + i, None, &mut regs);
+        chunk[i..i + EW_LANE].copy_from_slice(&regs[last]);
+        i += EW_LANE;
+    }
+    let mut sregs = vec![0.0f32; prog.insts.len()];
+    for (j, slot) in chunk.iter_mut().enumerate().skip(i) {
+        *slot = prog.eval_at(srcs, strides, offset + j, &mut sregs);
+    }
+}
+
 /// Executes a fused elementwise chain into a fresh (pooled) buffer.
 pub(crate) fn run_ew(prog: &EwProgram, ins: &[&Tensor], shape: &[usize]) -> Result<Tensor> {
     let vol: usize = shape.iter().product();
@@ -884,16 +1104,32 @@ pub(crate) fn run_ew(prog: &EwProgram, ins: &[&Tensor], shape: &[usize]) -> Resu
     let srcs: Vec<&[f32]> = ins.iter().map(|t| t.data()).collect();
     let mut data = msrl_tensor::alloc::take_zeroed(vol);
     let fill = |offset: usize, chunk: &mut [f32]| {
-        let mut regs = vec![0.0f32; prog.insts.len()];
-        for (i, slot) in chunk.iter_mut().enumerate() {
-            *slot = prog.eval_at(&srcs, &strides, offset + i, &mut regs);
-        }
+        run_ew_fill(prog, &srcs, &strides, offset, chunk);
     };
     if par::should_parallelize(vol, par::PAR_MIN_ELEMS) {
         par::fill_chunks(&mut data, fill);
     } else {
         fill(0, &mut data);
     }
+    Ok(Tensor::from_vec(data, shape)?)
+}
+
+/// Executes a fused elementwise chain into a buffer donated by a node
+/// that died at an earlier level (a cross-level steal): no pool take,
+/// no zeroing, no give-back. Every element of `data` is overwritten;
+/// its length must equal the output volume (the donor plan guarantees
+/// it, and the executor re-checks before claiming).
+pub(crate) fn run_ew_into(
+    prog: &EwProgram,
+    ins: &[&Tensor],
+    shape: &[usize],
+    mut data: Vec<f32>,
+) -> Result<Tensor> {
+    let vol: usize = shape.iter().product();
+    debug_assert_eq!(data.len(), vol, "donated buffer must match the output volume");
+    let strides = ew_strides(ins, vol, shape)?;
+    let srcs: Vec<&[f32]> = ins.iter().map(|t| t.data()).collect();
+    run_ew_fill(prog, &srcs, &strides, 0, &mut data);
     Ok(Tensor::from_vec(data, shape)?)
 }
 
@@ -929,9 +1165,23 @@ pub(crate) fn run_ew_inplace(
         };
         srcs[k] = t.data();
     }
-    let mut regs = vec![0.0f32; prog.insts.len()];
+    let last = prog.insts.len() - 1;
     let data = own.data_mut();
-    for idx in 0..vol {
+    // Whole lanes through the chunked executor: the op's own lane is
+    // copied out before the overwrite, exactly like the scalar path's
+    // read-before-write.
+    let mut lregs = vec![[0.0f32; EW_LANE]; prog.insts.len()];
+    let mut i = 0;
+    while i + EW_LANE <= vol {
+        let mut selfv = [0.0f32; EW_LANE];
+        selfv.copy_from_slice(&data[i..i + EW_LANE]);
+        prog.eval_lane(&srcs, &strides, i, Some((self_pos, &selfv)), &mut lregs);
+        data[i..i + EW_LANE].copy_from_slice(&lregs[last]);
+        i += EW_LANE;
+    }
+    // Scalar remainder.
+    let mut regs = vec![0.0f32; prog.insts.len()];
+    for idx in i..vol {
         let selfv = data[idx];
         for (r, inst) in prog.insts.iter().enumerate() {
             let ld = |s: EwSrc, regs: &[f32]| match s {
@@ -1088,6 +1338,47 @@ mod tests {
         // The in-place variant (stealing x's buffer) agrees too.
         let inplace = run_ew_inplace(&prog, x.clone(), 0, &[None, Some(&y), Some(&s)]).unwrap();
         assert_eq!(inplace.data(), expect.data());
+
+        // A volume that is not a multiple of the 8-wide lane exercises
+        // the executor's scalar tail.
+        let x2 =
+            Tensor::from_vec((0..21).map(|i| (i as f32 * 0.53).sin()).collect(), &[3, 7]).unwrap();
+        let y2 =
+            Tensor::from_vec((0..21).map(|i| (i as f32 * 0.29).cos()).collect(), &[3, 7]).unwrap();
+        let fused2 = run_ew(&prog, &[&x2, &y2, &s], &[3, 7]).unwrap();
+        let expect2 = ops::tanh(
+            &ops::div(&ops::add(&ops::mul(&x2, &y2).unwrap(), &x2).unwrap(), &s).unwrap(),
+        );
+        assert_eq!(fused2.data(), expect2.data(), "lane tail must be bit-identical");
+    }
+
+    #[test]
+    fn cross_level_steal_offers_released_donors_only() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[16, 16]);
+        let w = ctx.param("w", &[16, 16]);
+        let p = x.matmul(&w);
+        let a = p.square().tanh();
+        let b = a.sum_all();
+        let y0 = x.tanh();
+        let c = y0.mul(&b).tanh();
+        let graph = ctx.finish();
+        let ids: Vec<NodeId> = (0..graph.len()).collect();
+        // x, w, y0 kept: the only dying volume-256 buffers are p and a.
+        let plan =
+            compile(&graph, &ids, &[], Some(&[c.id(), y0.id(), x.id(), w.id()]), true).unwrap();
+        // The a-chain consumes p in place, so p's buffer never reaches
+        // release and must not be offered; a dies feeding sum_all one
+        // level before the final chain, so it is the donor.
+        let a_op = pure_ops(&plan).into_iter().find(|op| op.id == a.id()).unwrap();
+        assert!(a_op.inplace.is_some(), "premise: a-chain steals p in place");
+        let c_op = pure_ops(&plan).into_iter().find(|op| op.id == c.id()).unwrap();
+        assert!(c_op.inplace.is_none(), "premise: final chain has no in-level donor");
+        assert_eq!(plan.donors, HashMap::from([(a.id(), c.id())]));
+        // Fusion off: no chains, no steals.
+        let plain =
+            compile(&graph, &ids, &[], Some(&[c.id(), y0.id(), x.id(), w.id()]), false).unwrap();
+        assert!(plain.donors.is_empty());
     }
 
     #[test]

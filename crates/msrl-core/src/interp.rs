@@ -34,13 +34,32 @@
 //! `interp.barrier_wait` span (all no-ops unless `MSRL_TRACE` is set).
 //! The always-on `interp.ops` counter totals evaluated nodes; with
 //! tracing enabled, per-op-class totals land under `interp.op.<Name>`.
+//!
+//! # Kernel tier
+//!
+//! A cached plan that keeps getting replayed is *hot*: once its
+//! execution count reaches `MSRL_TIER_THRESHOLD` (default 3) and
+//! `MSRL_TIER` is not `0`, the interpreter promotes it — every `MatMul`
+//! or fused-linear op whose weight input is a [`OpKind::Param`] of at
+//! least 64×64 elements gets that weight packed once into the
+//! register-tiled layout of [`msrl_tensor::kernels`], and the packed
+//! buffers ride along inside the swapped-in plan. Steady-state hot-plan
+//! evaluation then performs **zero** packing and zero kernel selection
+//! per call (observable: the `tensor.pack_b` counter goes flat while
+//! `interp.plan_cache.hit` keeps climbing). Rebinding any parameter
+//! bumps the interpreter's params epoch, which invalidates packed
+//! weights and triggers a repack at the next promotion check. Packed
+//! kernels replay the naive per-element accumulation order, so tiered
+//! results are bit-identical to `MSRL_TIER=0` (property-tested in
+//! `msrl-tensor`).
 
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::OnceLock;
 
-use msrl_tensor::{ops, par, Tensor};
+use msrl_tensor::{kernels, ops, par, Tensor};
 
-use crate::compile::{self, CompiledPlan, ExecOp, PlanOp, Step};
+use crate::compile::{self, CompiledPlan, ExecOp, PlanOp, Step, TierData};
 use crate::fragment::Fragment;
 use crate::graph::{DataflowGraph, NodeId, OpKind, OpNode};
 use crate::{FdgError, Result};
@@ -66,6 +85,26 @@ struct PlanKey {
     fusion: bool,
 }
 
+/// One cached plan plus the execution count that drives kernel-tier
+/// promotion.
+struct PlanEntry {
+    plan: Rc<CompiledPlan>,
+    execs: u64,
+}
+
+/// Minimum weight element count (`k * n`) worth packing at promotion:
+/// below this the pack amortisation never pays for itself.
+const TIER_MIN_WEIGHT_ELEMS: usize = 64 * 64;
+
+/// Executions of a cached plan before it tiers up (`MSRL_TIER_THRESHOLD`,
+/// default 3), resolved once per process.
+fn tier_threshold() -> u64 {
+    static T: OnceLock<u64> = OnceLock::new();
+    *T.get_or_init(|| {
+        std::env::var("MSRL_TIER_THRESHOLD").ok().and_then(|s| s.parse().ok()).unwrap_or(3)
+    })
+}
+
 /// Evaluates dataflow (sub)graphs.
 #[derive(Default)]
 pub struct Interpreter<'a> {
@@ -79,7 +118,13 @@ pub struct Interpreter<'a> {
     /// Compiled plans by request identity. Bounded by the number of
     /// distinct (graph, fragment, outputs) requests this interpreter
     /// serves — a handful per worker in practice.
-    plans: HashMap<PlanKey, Rc<CompiledPlan>>,
+    plans: HashMap<PlanKey, PlanEntry>,
+    /// Bumped on every [`Self::bind_param`]; tiered plans remember the
+    /// epoch they packed at, so stale packed weights are never used.
+    /// (Pointer identity would be unsound here — the buffer pool
+    /// recycles storage, so a *new* param value can alias an old
+    /// allocation.)
+    params_epoch: u64,
 }
 
 /// The read-only bindings pure nodes evaluate against; shared with worker
@@ -107,8 +152,10 @@ impl<'a> Interpreter<'a> {
         self.inputs.insert(name.to_string(), value);
     }
 
-    /// Binds a parameter by name.
+    /// Binds a parameter by name. Rebinding invalidates any packed
+    /// kernel-tier weights; hot plans repack on their next execution.
     pub fn bind_param(&mut self, name: &str, value: Tensor) {
+        self.params_epoch += 1;
         self.params.insert(name.to_string(), value);
     }
 
@@ -221,15 +268,17 @@ impl<'a> Interpreter<'a> {
             }),
             fusion: par::fusion_enabled(),
         };
-        let plan = if let Some(p) = self.plans.get(&key) {
+        let plan = if let Some(entry) = self.plans.get_mut(&key) {
             msrl_telemetry::static_counter!("interp.plan_cache.hit").add(1);
-            Rc::clone(p)
+            entry.execs += 1;
+            Rc::clone(&entry.plan)
         } else {
             msrl_telemetry::static_counter!("interp.plan_cache.miss").add(1);
             let p = Rc::new(compile::compile(graph, &key.ids, &key.presets, retain, key.fusion)?);
-            self.plans.insert(key, Rc::clone(&p));
+            self.plans.insert(key.clone(), PlanEntry { plan: Rc::clone(&p), execs: 1 });
             p
         };
+        let plan = self.maybe_promote(graph, &key, plan);
 
         let mut values: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
         let mut extra: Vec<(NodeId, Tensor)> = Vec::new();
@@ -244,6 +293,62 @@ impl<'a> Interpreter<'a> {
         Ok((values, extra))
     }
 
+    /// Kernel-tier promotion check, run once per evaluation: when the
+    /// plan is hot (execution count at [`tier_threshold`]), the tier
+    /// gate is on, and the plan has no tier data packed at the current
+    /// params epoch, pack every qualifying weight once and swap a
+    /// tiered clone of the plan into the cache. Qualifying ops are
+    /// `MatMul` and fused-linear pure ops whose weight input is a
+    /// rank-2 [`OpKind::Param`] of at least [`TIER_MIN_WEIGHT_ELEMS`]
+    /// elements. Promotion happens at most once per (plan, epoch):
+    /// even a plan with no qualifying weights records empty tier data
+    /// so the walk never repeats.
+    fn maybe_promote(
+        &mut self,
+        graph: &DataflowGraph,
+        key: &PlanKey,
+        plan: Rc<CompiledPlan>,
+    ) -> Rc<CompiledPlan> {
+        if !par::tier_enabled() {
+            return plan;
+        }
+        let hot = self.plans.get(key).is_some_and(|e| e.execs >= tier_threshold());
+        if !hot || plan.tier.as_ref().is_some_and(|t| t.epoch == self.params_epoch) {
+            return plan;
+        }
+        let mut packed = HashMap::new();
+        for op in plan.steps.iter().flat_map(|s| match s {
+            Step::Pure { levels, .. } => levels.iter().flatten().collect::<Vec<_>>(),
+            Step::Macro { .. } => Vec::new(),
+        }) {
+            let tierable = match &op.op {
+                PlanOp::Node(node) => node.kind == OpKind::MatMul,
+                PlanOp::LinearAct(_) => true,
+                _ => false,
+            };
+            let Some(&wid) = op.inputs.get(1).filter(|_| tierable) else { continue };
+            if packed.contains_key(&wid) {
+                continue;
+            }
+            let Ok(wnode) = graph.node(wid) else { continue };
+            let OpKind::Param { name } = &wnode.kind else { continue };
+            let Some(w) = self.params.get(name) else { continue };
+            let [k, n] = *w.shape() else { continue };
+            if k * n >= TIER_MIN_WEIGHT_ELEMS {
+                packed.insert(wid, kernels::pack_b(w.data(), k, n));
+            }
+        }
+        let tiered = Rc::new(CompiledPlan {
+            tier: Some(TierData { packed, epoch: self.params_epoch }),
+            ..(*plan).clone()
+        });
+        if let Some(entry) = self.plans.get_mut(key) {
+            entry.plan = Rc::clone(&tiered);
+        }
+        msrl_telemetry::static_counter!("interp.tier.promoted").add(1);
+        tiered
+    }
+
     /// Replays a compiled plan: macro steps run serially on registered
     /// kernels, pure steps level-parallel through [`Self::exec_pure`].
     fn run_plan(
@@ -254,35 +359,57 @@ impl<'a> Interpreter<'a> {
         extra: &[(NodeId, Tensor)],
     ) -> Result<()> {
         let mut uses = plan.uses.clone();
-        for step in &plan.steps {
-            match step {
-                Step::Pure { levels, before_macro } => {
-                    let _wait = before_macro.then(|| msrl_telemetry::span!("interp.barrier_wait"));
-                    self.exec_pure(levels, values, extra, &mut uses, &plan.keep)?;
-                }
-                Step::Macro { id, inputs } => {
-                    let node = graph.node(*id)?;
-                    let ins = gather(inputs, values, extra)
-                        .ok_or(FdgError::MissingInput { node: *id })?;
-                    let name = node.kind.name();
-                    let kernel = self
-                        .kernels
-                        .get_mut(name)
-                        .ok_or_else(|| FdgError::MissingKernel { op: name.to_string() })?;
-                    msrl_telemetry::static_counter!("interp.ops").add(1);
-                    if msrl_telemetry::enabled() {
-                        msrl_telemetry::counter(&format!("interp.op.{name}"), 1);
+        // Resolve the tier gate once per replay; a stash holds buffers
+        // of dead donors until their planned cross-level stealer runs.
+        let tier = plan.tier.as_ref().filter(|_| par::tier_enabled());
+        let mut stash: HashMap<NodeId, Vec<f32>> = HashMap::new();
+        let result = (|| {
+            for step in &plan.steps {
+                match step {
+                    Step::Pure { levels, before_macro } => {
+                        let _wait =
+                            before_macro.then(|| msrl_telemetry::span!("interp.barrier_wait"));
+                        self.exec_pure(
+                            levels,
+                            values,
+                            extra,
+                            &mut uses,
+                            &plan.keep,
+                            &plan.donors,
+                            &mut stash,
+                            tier,
+                        )?;
                     }
-                    let v = {
-                        let _macro = msrl_telemetry::span!("interp.macro");
-                        kernel(node, &ins)?
-                    };
-                    values[*id] = Some(v);
-                    release(inputs, values, &mut uses, &plan.keep);
+                    Step::Macro { id, inputs } => {
+                        let node = graph.node(*id)?;
+                        let ins = gather(inputs, values, extra)
+                            .ok_or(FdgError::MissingInput { node: *id })?;
+                        let name = node.kind.name();
+                        let kernel = self
+                            .kernels
+                            .get_mut(name)
+                            .ok_or_else(|| FdgError::MissingKernel { op: name.to_string() })?;
+                        msrl_telemetry::static_counter!("interp.ops").add(1);
+                        if msrl_telemetry::enabled() {
+                            msrl_telemetry::counter(&format!("interp.op.{name}"), 1);
+                        }
+                        let v = {
+                            let _macro = msrl_telemetry::span!("interp.macro");
+                            kernel(node, &ins)?
+                        };
+                        values[*id] = Some(v);
+                        release(inputs, values, &mut uses, &plan.keep, &plan.donors, &mut stash);
+                    }
                 }
             }
+            Ok(())
+        })();
+        // Stealers skipped at runtime (parallel level, shape fallback,
+        // early error) leave their donation unclaimed: feed the pool.
+        for (_, buf) in stash.drain() {
+            msrl_tensor::alloc::give(buf);
         }
-        Ok(())
+        result
     }
 
     /// Executes one pure step's pre-computed levels; a level with enough
@@ -290,6 +417,7 @@ impl<'a> Interpreter<'a> {
     /// either way, so the two schedules are indistinguishable). Serial
     /// levels honour each op's in-place hint, running fused chains
     /// directly in a dying input's buffer.
+    #[allow(clippy::too_many_arguments)]
     fn exec_pure(
         &self,
         levels: &[Vec<ExecOp>],
@@ -297,6 +425,9 @@ impl<'a> Interpreter<'a> {
         extra: &[(NodeId, Tensor)],
         uses: &mut [usize],
         keep: &[bool],
+        donors: &HashMap<NodeId, NodeId>,
+        stash: &mut HashMap<NodeId, Vec<f32>>,
+        tier: Option<&TierData>,
     ) -> Result<()> {
         let count: usize = levels.iter().map(Vec::len).sum();
         msrl_telemetry::static_counter!("interp.ops").add(count as u64);
@@ -323,7 +454,7 @@ impl<'a> Interpreter<'a> {
                     jobs.push((op, ins));
                 }
                 let results: Vec<Result<Tensor>> = par::map_ranges(jobs.len(), |r| {
-                    r.map(|j| exec_op(&bind, jobs[j].0, &jobs[j].1)).collect::<Vec<_>>()
+                    r.map(|j| exec_op(&bind, jobs[j].0, &jobs[j].1, tier)).collect::<Vec<_>>()
                 })
                 .into_iter()
                 .flatten()
@@ -333,12 +464,12 @@ impl<'a> Interpreter<'a> {
                 }
             } else {
                 for op in level {
-                    let v = self.exec_serial(&bind, op, values, extra)?;
+                    let v = self.exec_serial(&bind, op, values, extra, stash, tier)?;
                     values[op.id] = Some(v);
                 }
             }
             for op in level {
-                release(&op.inputs, values, uses, keep);
+                release(&op.inputs, values, uses, keep, donors, stash);
             }
         }
         Ok(())
@@ -347,12 +478,16 @@ impl<'a> Interpreter<'a> {
     /// Serial execution of one op, taking the in-place route when the
     /// liveness plan donated an input buffer and it actually matches at
     /// runtime (presets may have unexpected shapes; then we fall back).
+    /// Chain ops with no same-level donor may instead claim a stashed
+    /// cross-level donation, writing their output straight into it.
     fn exec_serial(
         &self,
         bind: &Bindings<'_>,
         op: &ExecOp,
         values: &mut [Option<Tensor>],
         extra: &[(NodeId, Tensor)],
+        stash: &mut HashMap<NodeId, Vec<f32>>,
+        tier: Option<&TierData>,
     ) -> Result<Tensor> {
         if let (PlanOp::EwChain(prog), Some(p)) = (&op.op, op.inplace) {
             let donor = op.inputs[p];
@@ -378,14 +513,41 @@ impl<'a> Interpreter<'a> {
                 return compile::run_ew_inplace(prog, own, p, &others);
             }
         }
+        if let PlanOp::EwChain(prog) = &op.op {
+            let vol: usize = op.shape.iter().product();
+            if stash.get(&op.id).is_some_and(|b| b.len() == vol) {
+                if let Some(ins) = gather(&op.inputs, values, extra) {
+                    let data = stash.remove(&op.id).expect("stash presence checked above");
+                    return compile::run_ew_into(prog, &ins, &op.shape, data);
+                }
+            }
+        }
         let ins =
             gather(&op.inputs, values, extra).ok_or(FdgError::MissingInput { node: op.id })?;
-        exec_op(bind, op, &ins)
+        exec_op(bind, op, &ins, tier)
     }
 }
 
-/// Executes one planned pure op.
-fn exec_op(bind: &Bindings<'_>, op: &ExecOp, ins: &[&Tensor]) -> Result<Tensor> {
+/// Executes one planned pure op. When tier data carries a packed weight
+/// for the op's second input, matmul-family ops dispatch straight to the
+/// pre-packed kernels — no packing, no layout decisions per call.
+fn exec_op(
+    bind: &Bindings<'_>,
+    op: &ExecOp,
+    ins: &[&Tensor],
+    tier: Option<&TierData>,
+) -> Result<Tensor> {
+    if let Some(bp) = tier.and_then(|t| op.inputs.get(1).and_then(|wid| t.packed.get(wid))) {
+        match &op.op {
+            PlanOp::Node(node) if node.kind == OpKind::MatMul && ins.len() >= 2 => {
+                return Ok(ops::matmul_prepacked(ins[0], bp)?);
+            }
+            PlanOp::LinearAct(act) if ins.len() >= 3 => {
+                return Ok(ops::linear_act_prepacked(ins[0], bp, ins[2], *act)?);
+            }
+            _ => {}
+        }
+    }
     match &op.op {
         PlanOp::Node(node) => eval_pure(bind, node, ins),
         PlanOp::LinearAct(act) => {
@@ -393,6 +555,12 @@ fn exec_op(bind: &Bindings<'_>, op: &ExecOp, ins: &[&Tensor]) -> Result<Tensor> 
                 return Err(FdgError::MissingInput { node: op.id });
             }
             Ok(ops::linear_act(ins[0], ins[1], ins[2], *act)?)
+        }
+        PlanOp::LinearSoftmax => {
+            if ins.len() < 3 {
+                return Err(FdgError::MissingInput { node: op.id });
+            }
+            Ok(ops::linear_softmax(ins[0], ins[1], ins[2])?)
         }
         PlanOp::EwChain(prog) => compile::run_ew(prog, ins, &op.shape),
     }
@@ -417,8 +585,17 @@ fn gather<'v>(
 }
 
 /// Drops one consumer reference per input; a value whose count reaches
-/// zero and is not marked `keep` goes back to the buffer pool.
-fn release(inputs: &[NodeId], values: &mut [Option<Tensor>], uses: &mut [usize], keep: &[bool]) {
+/// zero and is not marked `keep` goes back to the buffer pool — unless
+/// the plan names it a cross-level donor, in which case its buffer is
+/// stashed for the stealer op instead of round-tripping the pool.
+fn release(
+    inputs: &[NodeId],
+    values: &mut [Option<Tensor>],
+    uses: &mut [usize],
+    keep: &[bool],
+    donors: &HashMap<NodeId, NodeId>,
+    stash: &mut HashMap<NodeId, Vec<f32>>,
+) {
     for &i in inputs {
         if i >= uses.len() || uses[i] == 0 {
             continue;
@@ -426,7 +603,11 @@ fn release(inputs: &[NodeId], values: &mut [Option<Tensor>], uses: &mut [usize],
         uses[i] -= 1;
         if uses[i] == 0 && !keep[i] {
             if let Some(t) = values[i].take() {
-                t.recycle();
+                if let Some(&stealer) = donors.get(&i) {
+                    stash.insert(stealer, t.into_vec());
+                } else {
+                    t.recycle();
+                }
             }
         }
     }
@@ -702,11 +883,11 @@ mod tests {
             interp.bind_input("x", Tensor::from_vec(xv, &[4, 8]).unwrap());
             interp.eval(&graph).unwrap()
         };
-        std::env::set_var("MSRL_THREADS", "4");
-        std::env::set_var("MSRL_PAR_MIN", "1");
-        let serial = par::with_backend(Backend::Scalar, run);
-        let threaded = par::with_backend(Backend::Threaded, run);
-        std::env::remove_var("MSRL_PAR_MIN");
+        let (serial, threaded) = par::with_threads(4, || {
+            par::with_par_min(1, || {
+                (par::with_backend(Backend::Scalar, run), par::with_backend(Backend::Threaded, run))
+            })
+        });
         for b in &branches {
             // sum_all combines per-chunk partials under threading, so the
             // branches agree to rounding rather than bit-for-bit.
@@ -737,10 +918,9 @@ mod tests {
                 Ok(Tensor::ones(&node.shape))
             }),
         );
-        std::env::set_var("MSRL_THREADS", "4");
-        std::env::set_var("MSRL_PAR_MIN", "1");
-        let res = par::with_backend(Backend::Threaded, || interp.eval(&graph));
-        std::env::remove_var("MSRL_PAR_MIN");
+        let res = par::with_threads(4, || {
+            par::with_par_min(1, || par::with_backend(Backend::Threaded, || interp.eval(&graph)))
+        });
         res.unwrap();
         let recorded = order.borrow().clone();
         assert_eq!(recorded.len(), 4, "both EnvStep pairs fire");
@@ -830,5 +1010,127 @@ mod tests {
             assert_eq!(after.misses, baseline.misses, "in-place chains must not allocate");
         });
         msrl_tensor::alloc::clear();
+    }
+
+    #[test]
+    fn cross_level_steal_keeps_dead_buffers_out_of_the_pool() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[16, 16]);
+        let w = ctx.param("w", &[16, 16]);
+        let p = x.matmul(&w);
+        let a = p.square().tanh();
+        let b = a.sum_all();
+        let y0 = x.tanh();
+        let c = y0.mul(&b).tanh();
+        let _ = (&p, &b);
+        let graph = ctx.finish();
+        let fdg = build_fdg(graph).unwrap();
+        let frag = &fdg.fragments[0];
+        let xv = Tensor::from_vec((0..256).map(|i| (i as f32 * 0.013).sin()).collect(), &[16, 16])
+            .unwrap();
+        let wv = Tensor::from_vec((0..256).map(|i| (i as f32 * 0.007).cos()).collect(), &[16, 16])
+            .unwrap();
+        let outputs = [c.id(), y0.id(), x.id(), w.id()];
+        let run = |fusion: bool| {
+            par::with_fusion(fusion, || {
+                let mut interp = Interpreter::new();
+                interp.bind_input("x", xv.clone());
+                interp.bind_param("w", wv.clone());
+                msrl_tensor::alloc::clear();
+                let out = interp
+                    .eval_fragment_outputs(&fdg.graph, frag, HashMap::new(), &outputs)
+                    .unwrap();
+                (out, msrl_tensor::alloc::stats().high_water_elems)
+            })
+        };
+        let (plain, plain_hw) = run(false);
+        let (fused, fused_hw) = run(true);
+        for id in outputs {
+            assert_eq!(fused[&id].data(), plain[&id].data(), "steals must not change values");
+        }
+        // Unfused, every dead 256-element intermediate cycles through
+        // the pool. Fused, the a-chain claims p in place and the final
+        // chain claims a's buffer across the level boundary, so only
+        // scalar scratch ever reaches the free list.
+        assert!(plain_hw >= 256, "unfused run must pool dead intermediates, got {plain_hw}");
+        assert!(fused_hw < 256, "steals must keep dead buffers out of the pool, got {fused_hw}");
+        msrl_tensor::alloc::clear();
+    }
+
+    #[test]
+    fn tier_promotes_hot_plans_once_and_repacks_on_rebind() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[4, 64]);
+        let w = ctx.param("w", &[64, 64]);
+        let y = x.matmul(&w);
+        let graph = ctx.finish();
+        let fdg = build_fdg(graph).unwrap();
+        let frag = &fdg.fragments[0];
+        let xv = Tensor::from_vec((0..256).map(|i| (i as f32 * 0.011).sin()).collect(), &[4, 64])
+            .unwrap();
+        let wv = Tensor::from_vec((0..4096).map(|i| (i as f32 * 0.003).cos()).collect(), &[64, 64])
+            .unwrap();
+        let reference = par::with_tier(false, || {
+            let mut plain = Interpreter::new();
+            plain.bind_input("x", xv.clone());
+            plain.bind_param("w", wv.clone());
+            plain.eval_fragment_outputs(&fdg.graph, frag, HashMap::new(), &[y.id()]).unwrap()
+        });
+
+        let mut interp = Interpreter::new();
+        interp.bind_input("x", xv.clone());
+        interp.bind_param("w", wv.clone());
+        let tier_state = |interp: &Interpreter| {
+            let entry = interp.plans.values().next().expect("one cached plan");
+            (entry.execs, entry.plan.tier.as_ref().map(|t| (t.packed.len(), t.epoch)))
+        };
+        par::with_tier(true, || {
+            for i in 1..=2 {
+                let out = interp
+                    .eval_fragment_outputs(&fdg.graph, frag, HashMap::new(), &[y.id()])
+                    .unwrap();
+                assert_eq!(out[&y.id()].data(), reference[&y.id()].data());
+                assert_eq!(tier_state(&interp), (i, None), "below the threshold: no packing");
+            }
+            // The third execution crosses the default threshold: the
+            // weight packs once and the tiered plan swaps into the cache.
+            let out =
+                interp.eval_fragment_outputs(&fdg.graph, frag, HashMap::new(), &[y.id()]).unwrap();
+            assert_eq!(out[&y.id()].data(), reference[&y.id()].data(), "tiered must be bitwise");
+            let (execs, tier) = tier_state(&interp);
+            assert_eq!(execs, 3);
+            let (packed, epoch) = tier.expect("hot plan promoted");
+            assert_eq!(packed, 1, "exactly the weight operand packs");
+            // Steady state: further hot evaluations never repack.
+            for _ in 0..5 {
+                let out = interp
+                    .eval_fragment_outputs(&fdg.graph, frag, HashMap::new(), &[y.id()])
+                    .unwrap();
+                assert_eq!(out[&y.id()].data(), reference[&y.id()].data());
+                assert_eq!(tier_state(&interp).1, Some((1, epoch)), "steady state repacked");
+            }
+            // Rebinding a parameter bumps the epoch: the next hot
+            // evaluation repacks exactly once against the new weights.
+            let wv2 = Tensor::full(&[64, 64], 0.02);
+            interp.bind_param("w", wv2.clone());
+            let reference2 = par::with_tier(false, || {
+                let mut plain = Interpreter::new();
+                plain.bind_input("x", xv.clone());
+                plain.bind_param("w", wv2.clone());
+                plain.eval_fragment_outputs(&fdg.graph, frag, HashMap::new(), &[y.id()]).unwrap()
+            });
+            let out =
+                interp.eval_fragment_outputs(&fdg.graph, frag, HashMap::new(), &[y.id()]).unwrap();
+            assert_eq!(out[&y.id()].data(), reference2[&y.id()].data(), "repack must be bitwise");
+            let (_, tier) = tier_state(&interp);
+            let (packed2, epoch2) = tier.expect("still promoted");
+            assert_eq!(packed2, 1);
+            assert_ne!(epoch2, epoch, "rebind must bump the pack epoch");
+            // Tier off: the packed data is ignored and results still match.
+            let off = par::with_tier(false, || {
+                interp.eval_fragment_outputs(&fdg.graph, frag, HashMap::new(), &[y.id()]).unwrap()
+            });
+            assert_eq!(off[&y.id()].data(), reference2[&y.id()].data());
+        });
     }
 }

@@ -529,13 +529,16 @@ mod tests {
             }
             (obs, rewards)
         };
-        std::env::set_var("MSRL_THREADS", "4");
-        std::env::set_var("MSRL_PAR_MIN", "1");
-        let tag_serial = par::with_backend(Backend::Scalar, run_tag);
-        let tag_threaded = par::with_backend(Backend::Threaded, run_tag);
-        let pole_serial = par::with_backend(Backend::Scalar, run_pole);
-        let pole_threaded = par::with_backend(Backend::Threaded, run_pole);
-        std::env::remove_var("MSRL_PAR_MIN");
+        let (tag_serial, tag_threaded, pole_serial, pole_threaded) = par::with_threads(4, || {
+            par::with_par_min(1, || {
+                (
+                    par::with_backend(Backend::Scalar, run_tag),
+                    par::with_backend(Backend::Threaded, run_tag),
+                    par::with_backend(Backend::Scalar, run_pole),
+                    par::with_backend(Backend::Threaded, run_pole),
+                )
+            })
+        });
         assert_eq!(tag_serial, tag_threaded, "BatchedTag obs/rewards");
         assert_eq!(pole_serial, pole_threaded, "BatchedCartPole obs/rewards");
     }

@@ -322,11 +322,11 @@ mod tests {
             }
             (last, rewards, v.take_finished_returns())
         };
-        std::env::set_var("MSRL_THREADS", "4");
-        std::env::set_var("MSRL_PAR_MIN", "1");
-        let serial = par::with_backend(Backend::Scalar, run);
-        let threaded = par::with_backend(Backend::Threaded, run);
-        std::env::remove_var("MSRL_PAR_MIN");
+        let (serial, threaded) = par::with_threads(4, || {
+            par::with_par_min(1, || {
+                (par::with_backend(Backend::Scalar, run), par::with_backend(Backend::Threaded, run))
+            })
+        });
         assert_eq!(serial.0, threaded.0, "final observations");
         assert_eq!(serial.1, threaded.1, "per-step rewards");
         assert_eq!(serial.2, threaded.2, "finished-return order");

@@ -73,6 +73,17 @@ impl Gradients {
             None => Tensor::zeros(var.value().shape()),
         }
     }
+
+    /// Moves the gradient for a variable out of the result, defaulting to
+    /// zeros when the variable did not influence the loss. Each node's
+    /// gradient can be taken once; use this when extracting final
+    /// per-parameter gradients to skip [`Gradients::get_or_zeros`]'s copy.
+    pub fn take_or_zeros(&mut self, var: &Var) -> Tensor {
+        match self.grads.get_mut(var.id).and_then(Option::take) {
+            Some(g) => g,
+            None => Tensor::zeros(var.value().shape()),
+        }
+    }
 }
 
 /// Sums a broadcast gradient back down to `target` shape.
@@ -118,6 +129,28 @@ fn fused_act_grad(act: ops::Act, g: &Tensor, out: &Tensor) -> Tensor {
             ops::zip_broadcast(g, out, |gv, ov| gv * ov * (1.0 - ov)).expect("same shape")
         }
         ops::Act::Linear => g.clone(),
+    }
+}
+
+/// `g · bᵀ` for backward rules: the transpose-free kernel
+/// ([`ops::matmul_bt`]) when the kernel tier is on, the materialised
+/// transpose otherwise. Both produce bit-identical results; the tiered
+/// route skips one allocation and strided copy per gradient.
+fn grad_matmul_bt(g: &Tensor, b: &Tensor) -> Tensor {
+    if crate::par::tier_enabled() {
+        ops::matmul_bt(g, b).expect("fwd shapes")
+    } else {
+        ops::matmul(g, &ops::transpose(b).expect("matrix")).expect("fwd shapes")
+    }
+}
+
+/// `aᵀ · g` for backward rules; the [`ops::matmul_at`] counterpart of
+/// [`grad_matmul_bt`].
+fn grad_matmul_at(a: &Tensor, g: &Tensor) -> Tensor {
+    if crate::par::tier_enabled() {
+        ops::matmul_at(a, g).expect("fwd shapes")
+    } else {
+        ops::matmul(&ops::transpose(a).expect("matrix"), g).expect("fwd shapes")
     }
 }
 
@@ -171,13 +204,18 @@ impl Tape {
         // Nodes are appended in topological order, so a reverse scan visits
         // every node after all of its consumers.
         for id in (0..=loss.id).rev() {
-            let Some(grad_out) = grads[id].clone() else { continue };
+            // Parents were recorded before their consumers, so `pid < id`
+            // always holds and the node's own gradient can be borrowed
+            // while parent slots are written — no clone of `grad_out`.
+            let (parent_grads, rest) = grads.split_at_mut(id);
+            let Some(grad_out) = rest[0].as_ref() else { continue };
             // Parent rules fire in recorded order, each with the same
             // `grad_out` — the fused linear node's rules share work
             // through this invariant.
             for (pid, rule) in &inner.nodes[id].parents {
-                let contribution = rule(&grad_out);
-                match &mut grads[*pid] {
+                debug_assert!(*pid < id, "parent recorded after consumer");
+                let contribution = rule(grad_out);
+                match &mut parent_grads[*pid] {
                     Some(acc) => {
                         *acc = ops::add(acc, &contribution)
                             .expect("gradient shapes match parent value shapes");
@@ -299,11 +337,11 @@ impl Var {
             out,
             Box::new(move |g| {
                 // dL/dA = G · Bᵀ
-                ops::matmul(g, &ops::transpose(&bc).expect("matrix")).expect("fwd shapes")
+                grad_matmul_bt(g, &bc)
             }),
             Box::new(move |g| {
                 // dL/dB = Aᵀ · G
-                ops::matmul(&ops::transpose(&ac).expect("matrix"), g).expect("fwd shapes")
+                grad_matmul_at(&ac, g)
             }),
         ))
     }
@@ -344,8 +382,7 @@ impl Var {
                 (self.id, {
                     Box::new(move |g| {
                         let gp = fused_act_grad(act, g, &out_x);
-                        let gx = ops::matmul(&gp, &ops::transpose(&wv).expect("matrix"))
-                            .expect("fwd shapes");
+                        let gx = grad_matmul_bt(&gp, &wv);
                         *cache_x.borrow_mut() = Some(gp);
                         gx
                     })
@@ -354,7 +391,7 @@ impl Var {
                     Box::new(move |_g| {
                         let cached = cache_w.borrow();
                         let gp = cached.as_ref().expect("x-rule ran first and cached gp");
-                        ops::matmul(&ops::transpose(&x).expect("matrix"), gp).expect("fwd shapes")
+                        grad_matmul_at(&x, gp)
                     })
                 }),
                 (b.id, {

@@ -1,0 +1,1003 @@
+//! Packed, register-tiled matmul microkernels — the hot-plan kernel
+//! tier.
+//!
+//! The naive matmul in [`crate::ops`] streams `b` row by row and
+//! accumulates directly into the output, which bounds it at one scalar
+//! multiply–add per element per pass. The kernels here restructure the
+//! *memory layout and instruction schedule only*: `b` is packed once
+//! into [`PackedB`] column panels ([`NR`][PackedB::nr] columns wide,
+//! k-major within each panel, zero-padded at the right edge), and the
+//! microkernel holds an `MR × NR` accumulator tile in registers while
+//! sweeping `k`.
+//!
+//! # Why the results are bit-identical to the naive kernel
+//!
+//! Every output element `out[i][j]` is produced by exactly the
+//! computation the naive kernel performs for it: one accumulator
+//! initialised to `0.0`, then `acc += a[i][kk] * b[kk][j]` for `kk`
+//! ascending — a separate multiply and add (never a fused
+//! multiply–add, which rounds once instead of twice), no reordering, no
+//! zero-skipping (IEEE requires `0 × NaN` and `0 × ∞` to contaminate
+//! the accumulator). Register tiling changes *which elements are in
+//! flight together*, not the per-element operation sequence, and
+//! packing changes where `b[kk][j]` is read from, not its value. The
+//! zero padding of a partial right-edge panel is never stored: edge
+//! columns take the scalar path below, so a padded lane can never leak
+//! a `0 × NaN` into real output.
+//!
+//! # Kernel families
+//!
+//! Selected once per process by runtime CPU-feature detection
+//! ([`select`]), no compile-time target flags required:
+//!
+//! * **AVX-512** — 8×32 tiles: 16 zmm accumulators plus 2 panel
+//!   registers, `_mm512_add_ps(_mm512_mul_ps(..))` (deliberately not
+//!   `_mm512_fmadd_ps`).
+//! * **AVX2** — 4×32 tiles on ymm registers, same mul-then-add
+//!   discipline.
+//! * **Portable** — 4×16 tiles in plain arrays; safe Rust that the
+//!   autovectorizer handles on any architecture.
+//!
+//! Row remainders (`m % MR`) and the partial right-edge panel run
+//! through a shared scalar edge loop with the same per-element
+//! accumulation order.
+//!
+//! # Unpacked row kernels
+//!
+//! Packing pays off when the panel is reused across many output rows.
+//! For the small matmuls RL training is full of (minibatch × hidden
+//! layers), [`matmul_simd_rows`] and [`matmul_at_rows`] instead
+//! vectorise the naive loop *across output columns* directly on the
+//! row-major operand: each output element still gets its own
+//! accumulator swept over `k` ascending with separate multiply and
+//! add, so the results stay bit-identical — lanes hold *different*
+//! output elements, never partial sums of one.
+
+use std::sync::OnceLock;
+
+/// Which microkernel family [`select`] chose for this host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatKernel {
+    /// 8×32 zmm register tiles (`avx512f`).
+    Avx512,
+    /// 4×32 ymm register tiles (`avx2`).
+    Avx2,
+    /// 4×16 array tiles, safe portable Rust.
+    Portable,
+}
+
+/// Returns the microkernel family for this host, detected once.
+pub fn select() -> MatKernel {
+    static KERNEL: OnceLock<MatKernel> = OnceLock::new();
+    *KERNEL.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return MatKernel::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return MatKernel::Avx2;
+            }
+        }
+        MatKernel::Portable
+    })
+}
+
+/// `b` repacked into column panels for the selected microkernel.
+///
+/// Panel `p` covers output columns `p*nr .. (p+1)*nr` and stores them
+/// k-major: element `(kk, c)` of the panel is `b[kk][p*nr + c]`. The
+/// final panel is zero-padded on the right; padded lanes are computed
+/// by the vector kernels but never stored (edge columns go through the
+/// scalar path), so padding cannot perturb results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedB {
+    data: Vec<f32>,
+    k: usize,
+    n: usize,
+    nr: usize,
+    kernel: MatKernel,
+}
+
+impl PackedB {
+    /// Rows of the packed matrix (`b.shape()[0]`).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Columns of the packed matrix (`b.shape()[1]`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Panel width in columns.
+    pub fn nr(&self) -> usize {
+        self.nr
+    }
+
+    /// Packed storage footprint in elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the packed matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Packs a row-major `[k, n]` matrix into [`PackedB`] panels for this
+/// host's microkernel. Cost is one copy of `b`; the tier pays it once
+/// per weight (or once per call for ad-hoc large matmuls) and the
+/// microkernel then reads panels sequentially.
+pub fn pack_b(bd: &[f32], k: usize, n: usize) -> PackedB {
+    msrl_telemetry::static_counter!("tensor.pack_b").add(1);
+    let kernel = select();
+    let nr = match kernel {
+        MatKernel::Avx512 | MatKernel::Avx2 => 32,
+        MatKernel::Portable => 16,
+    };
+    let panels = n.div_ceil(nr);
+    let mut data = vec![0.0f32; panels * k * nr];
+    for p in 0..panels {
+        let j0 = p * nr;
+        let w = nr.min(n - j0);
+        let base = p * k * nr;
+        for kk in 0..k {
+            data[base + kk * nr..base + kk * nr + w]
+                .copy_from_slice(&bd[kk * n + j0..kk * n + j0 + w]);
+        }
+    }
+    PackedB { data, k, n, nr, kernel }
+}
+
+/// Computes rows `row0..row0 + out_rows.len()/n` of `a × b` into
+/// `out_rows` from the packed representation of `b`, overwriting every
+/// element (the buffer need not be zeroed). Bit-identical to the naive
+/// kernel; the signature mirrors `matmul_rows` so callers partition
+/// output rows across threads the same way.
+///
+/// # Panics
+///
+/// Debug-asserts that `bp` was packed from a `[k, n]` matrix.
+pub fn matmul_packed_rows(
+    ad: &[f32],
+    row0: usize,
+    out_rows: &mut [f32],
+    k: usize,
+    n: usize,
+    bp: &PackedB,
+) {
+    debug_assert_eq!((bp.k, bp.n), (k, n), "packed operand shape mismatch");
+    if n == 0 || out_rows.is_empty() {
+        return;
+    }
+    let a = &ad[row0 * k..];
+    #[cfg(target_arch = "x86_64")]
+    {
+        match bp.kernel {
+            // SAFETY: `select()` only returns these variants after
+            // runtime detection of the corresponding CPU feature.
+            MatKernel::Avx512 => unsafe {
+                x86::tile_avx512(a, k, &bp.data, out_rows, n);
+                return;
+            },
+            MatKernel::Avx2 => unsafe {
+                x86::tile_avx2(a, k, &bp.data, out_rows, n);
+                return;
+            },
+            MatKernel::Portable => {}
+        }
+    }
+    tile_portable(a, k, &bp.data, out_rows, n, bp.nr);
+}
+
+/// Computes rows `row0..row0 + out_rows.len()/n` of `a × b` into
+/// `out_rows` straight from the row-major `[k, n]` operand `bd` — no
+/// packing. SIMD lanes run across output columns; per element the
+/// accumulation is the exact naive sequence, so results are
+/// bit-identical to [`crate::ops::matmul`]'s reference loop.
+pub fn matmul_simd_rows(
+    ad: &[f32],
+    row0: usize,
+    out_rows: &mut [f32],
+    k: usize,
+    n: usize,
+    bd: &[f32],
+) {
+    if n == 0 || out_rows.is_empty() {
+        return;
+    }
+    let a = &ad[row0 * k..];
+    #[cfg(target_arch = "x86_64")]
+    {
+        match select() {
+            // SAFETY: `select()` only returns these variants after
+            // runtime detection of the corresponding CPU feature.
+            MatKernel::Avx512 => unsafe {
+                x86::rows_avx512(a, k, bd, out_rows, n);
+                return;
+            },
+            MatKernel::Avx2 => unsafe {
+                x86::rows_avx2(a, k, bd, out_rows, n);
+                return;
+            },
+            MatKernel::Portable => {}
+        }
+    }
+    rows_portable(a, k, bd, out_rows, n);
+}
+
+/// Like [`matmul_simd_rows`], but for `aᵀ × b` without materialising
+/// the transpose: `ad` is the row-major `[p, m]` matrix whose *columns*
+/// are the left operand's rows. Output rows `row0..` land in
+/// `out_rows` (`[.., n]`). Per-element accumulation order matches the
+/// transpose-then-multiply composition exactly.
+pub fn matmul_at_rows(
+    ad: &[f32],
+    row0: usize,
+    out_rows: &mut [f32],
+    p: usize,
+    m: usize,
+    n: usize,
+    bd: &[f32],
+) {
+    if n == 0 || out_rows.is_empty() {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        match select() {
+            // SAFETY: as in `matmul_simd_rows`.
+            MatKernel::Avx512 => unsafe {
+                x86::at_rows_avx512(ad, row0, out_rows, p, m, n, bd);
+                return;
+            },
+            MatKernel::Avx2 => unsafe {
+                x86::at_rows_avx2(ad, row0, out_rows, p, m, n, bd);
+                return;
+            },
+            MatKernel::Portable => {}
+        }
+    }
+    at_rows_portable(ad, row0, out_rows, p, m, n, bd);
+}
+
+/// Like [`matmul_simd_rows`], but for `a × bᵀ` without materialising
+/// the transpose: `bd` is the row-major `[n, p]` matrix whose *rows*
+/// are the right operand's columns. The x86 kernels gather the strided
+/// column `bd[j·p + kk]` for a full lane block of consecutive `j` per
+/// `kk` step; per element the accumulation is the scalar dot's exact
+/// sequence (ascending `kk`, one accumulator, mul then add).
+pub fn matmul_bt_rows(
+    ad: &[f32],
+    row0: usize,
+    out_rows: &mut [f32],
+    p: usize,
+    n: usize,
+    bd: &[f32],
+) {
+    if n == 0 || out_rows.is_empty() {
+        return;
+    }
+    let a = &ad[row0 * p..];
+    #[cfg(target_arch = "x86_64")]
+    {
+        match select() {
+            // SAFETY: as in `matmul_simd_rows`.
+            MatKernel::Avx512 => unsafe {
+                x86::bt_rows_avx512(a, out_rows, p, n, bd);
+                return;
+            },
+            MatKernel::Avx2 => unsafe {
+                x86::bt_rows_avx2(a, out_rows, p, n, bd);
+                return;
+            },
+            MatKernel::Portable => {}
+        }
+    }
+    bt_rows_portable(a, out_rows, p, n, bd);
+}
+
+/// Portable `a × bᵀ` row kernel: plain scalar dots — rows of both
+/// operands are contiguous, so there is no strided access to hide and
+/// nothing for lanes to win without changing accumulation order.
+fn bt_rows_portable(a: &[f32], out: &mut [f32], p: usize, n: usize, bd: &[f32]) {
+    let rows = out.len() / n;
+    for r in 0..rows {
+        let arow = &a[r * p..(r + 1) * p];
+        for (j, o) in out[r * n..(r + 1) * n].iter_mut().enumerate() {
+            let brow = &bd[j * p..(j + 1) * p];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *o = acc;
+        }
+    }
+}
+
+/// Portable column-lane row kernel: 16-element array accumulators the
+/// autovectorizer maps onto whatever SIMD the target has.
+fn rows_portable(a: &[f32], k: usize, bd: &[f32], out: &mut [f32], n: usize) {
+    const L: usize = 16;
+    let rows = out.len() / n;
+    let blocks = n / L;
+    for r in 0..rows {
+        for jb in 0..blocks {
+            let j = jb * L;
+            let mut acc = [0.0f32; L];
+            for kk in 0..k {
+                let av = a[r * k + kk];
+                let b: &[f32; L] = bd[kk * n + j..kk * n + j + L].try_into().expect("L block");
+                for (slot, &bv) in acc.iter_mut().zip(b) {
+                    *slot += av * bv;
+                }
+            }
+            out[r * n + j..r * n + j + L].copy_from_slice(&acc);
+        }
+        for j in blocks * L..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a[r * k + kk] * bd[kk * n + j];
+            }
+            out[r * n + j] = acc;
+        }
+    }
+}
+
+/// Portable transpose-free `aᵀ × b` row kernel.
+fn at_rows_portable(
+    ad: &[f32],
+    row0: usize,
+    out: &mut [f32],
+    p: usize,
+    m: usize,
+    n: usize,
+    bd: &[f32],
+) {
+    const L: usize = 16;
+    let rows = out.len() / n;
+    let blocks = n / L;
+    for r in 0..rows {
+        let i = row0 + r;
+        for jb in 0..blocks {
+            let j = jb * L;
+            let mut acc = [0.0f32; L];
+            for kk in 0..p {
+                let av = ad[kk * m + i];
+                let b: &[f32; L] = bd[kk * n + j..kk * n + j + L].try_into().expect("L block");
+                for (slot, &bv) in acc.iter_mut().zip(b) {
+                    *slot += av * bv;
+                }
+            }
+            out[r * n + j..r * n + j + L].copy_from_slice(&acc);
+        }
+        for j in blocks * L..n {
+            let mut acc = 0.0f32;
+            for kk in 0..p {
+                acc += ad[kk * m + i] * bd[kk * n + j];
+            }
+            out[r * n + j] = acc;
+        }
+    }
+}
+
+/// Scalar edge kernel: remainder rows under the full panels plus the
+/// partial right-edge panel for every row. One accumulator per output
+/// element, ascending `k`, separate multiply and add — the exact naive
+/// sequence. Padded panel lanes (`c >= w`) are never read into an
+/// accumulator that gets stored.
+#[allow(clippy::too_many_arguments)]
+fn edge_scalar(
+    a: &[f32],
+    k: usize,
+    bp: &[f32],
+    out: &mut [f32],
+    n: usize,
+    nr: usize,
+    full_rows: usize,
+    full_panels: usize,
+) {
+    let rows = out.len() / n;
+    // Remainder rows across the full panels.
+    for r in full_rows..rows {
+        for p in 0..full_panels {
+            let panel = &bp[p * k * nr..(p + 1) * k * nr];
+            for c in 0..nr {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[r * k + kk] * panel[kk * nr + c];
+                }
+                out[r * n + p * nr + c] = acc;
+            }
+        }
+    }
+    // Partial right-edge panel, every row.
+    let j0 = full_panels * nr;
+    if j0 < n {
+        let w = n - j0;
+        let panel = &bp[full_panels * k * nr..];
+        for r in 0..rows {
+            for c in 0..w {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[r * k + kk] * panel[kk * nr + c];
+                }
+                out[r * n + j0 + c] = acc;
+            }
+        }
+    }
+}
+
+/// Portable 4×16 register-tile kernel: plain arrays the autovectorizer
+/// maps onto whatever SIMD the target has, with the same per-element
+/// mul-then-add accumulation as the naive kernel.
+fn tile_portable(a: &[f32], k: usize, bp: &[f32], out: &mut [f32], n: usize, nr: usize) {
+    const MR: usize = 4;
+    let rows = out.len() / n;
+    let full_rows = rows - rows % MR;
+    let full_panels = n / nr;
+    let mut i = 0;
+    while i < full_rows {
+        for p in 0..full_panels {
+            let panel = &bp[p * k * nr..(p + 1) * k * nr];
+            let mut acc = [[0.0f32; 16]; MR];
+            for kk in 0..k {
+                let b: &[f32; 16] = panel[kk * nr..kk * nr + 16].try_into().expect("nr == 16");
+                for (r, acc_r) in acc.iter_mut().enumerate() {
+                    let av = a[(i + r) * k + kk];
+                    for (slot, &bv) in acc_r.iter_mut().zip(b) {
+                        *slot += av * bv;
+                    }
+                }
+            }
+            for (r, acc_r) in acc.iter().enumerate() {
+                out[(i + r) * n + p * nr..(i + r) * n + p * nr + 16].copy_from_slice(acc_r);
+            }
+        }
+        i += MR;
+    }
+    edge_scalar(a, k, bp, out, n, nr, full_rows, full_panels);
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! Runtime-dispatched AVX2 / AVX-512 microkernels. Every accumulator
+    //! update is `add(acc, mul(av, b))` — two roundings, exactly like the
+    //! scalar `acc += av * bv` — never a fused multiply–add.
+
+    use std::arch::x86_64::{
+        __m256, __m512, _mm256_add_ps, _mm256_i32gather_ps, _mm256_loadu_ps, _mm256_mul_ps,
+        _mm256_mullo_epi32, _mm256_set1_epi32, _mm256_set1_ps, _mm256_setr_epi32,
+        _mm256_setzero_ps, _mm256_storeu_ps, _mm512_add_ps, _mm512_i32gather_ps, _mm512_loadu_ps,
+        _mm512_mul_ps, _mm512_mullo_epi32, _mm512_set1_epi32, _mm512_set1_ps, _mm512_setr_epi32,
+        _mm512_setzero_ps, _mm512_storeu_ps,
+    };
+
+    use super::edge_scalar;
+
+    /// 8×32 zmm register-tile kernel.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` (guaranteed by [`super::select`]).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn tile_avx512(a: &[f32], k: usize, bp: &[f32], out: &mut [f32], n: usize) {
+        const MR: usize = 8;
+        const NR: usize = 32;
+        let rows = out.len() / n;
+        let full_rows = rows - rows % MR;
+        let full_panels = n / NR;
+        let ap = a.as_ptr();
+        let pp = bp.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut i = 0;
+        while i < full_rows {
+            for p in 0..full_panels {
+                let panel = pp.add(p * k * NR);
+                let mut acc = [[_mm512_setzero_ps(); 2]; MR];
+                for kk in 0..k {
+                    let bb = panel.add(kk * NR);
+                    let b0: __m512 = _mm512_loadu_ps(bb);
+                    let b1: __m512 = _mm512_loadu_ps(bb.add(16));
+                    for (r, acc_r) in acc.iter_mut().enumerate() {
+                        let av = _mm512_set1_ps(*ap.add((i + r) * k + kk));
+                        acc_r[0] = _mm512_add_ps(acc_r[0], _mm512_mul_ps(av, b0));
+                        acc_r[1] = _mm512_add_ps(acc_r[1], _mm512_mul_ps(av, b1));
+                    }
+                }
+                for (r, acc_r) in acc.iter().enumerate() {
+                    let o = op.add((i + r) * n + p * NR);
+                    _mm512_storeu_ps(o, acc_r[0]);
+                    _mm512_storeu_ps(o.add(16), acc_r[1]);
+                }
+            }
+            i += MR;
+        }
+        edge_scalar(a, k, bp, out, n, NR, full_rows, full_panels);
+    }
+
+    /// Unpacked row kernel, zmm lanes across output columns.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` (guaranteed by [`super::select`]).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn rows_avx512(a: &[f32], k: usize, bd: &[f32], out: &mut [f32], n: usize) {
+        const L: usize = 16;
+        const RB: usize = 4;
+        let rows = out.len() / n;
+        let blocks = n / L;
+        let ap = a.as_ptr();
+        let bp = bd.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut r0 = 0;
+        while r0 < rows {
+            let rm = RB.min(rows - r0);
+            for jb in 0..blocks {
+                let j = jb * L;
+                let mut acc = [_mm512_setzero_ps(); RB];
+                for kk in 0..k {
+                    let bv = _mm512_loadu_ps(bp.add(kk * n + j));
+                    for (r, acc_r) in acc.iter_mut().take(rm).enumerate() {
+                        let av = _mm512_set1_ps(*ap.add((r0 + r) * k + kk));
+                        *acc_r = _mm512_add_ps(*acc_r, _mm512_mul_ps(av, bv));
+                    }
+                }
+                for (r, acc_r) in acc.iter().take(rm).enumerate() {
+                    _mm512_storeu_ps(op.add((r0 + r) * n + j), *acc_r);
+                }
+            }
+            for j in blocks * L..n {
+                for r in 0..rm {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += *ap.add((r0 + r) * k + kk) * *bp.add(kk * n + j);
+                    }
+                    *op.add((r0 + r) * n + j) = acc;
+                }
+            }
+            r0 += rm;
+        }
+    }
+
+    /// Unpacked row kernel, ymm lanes across output columns.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx2` (guaranteed by [`super::select`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn rows_avx2(a: &[f32], k: usize, bd: &[f32], out: &mut [f32], n: usize) {
+        const L: usize = 8;
+        const RB: usize = 4;
+        let rows = out.len() / n;
+        let blocks = n / L;
+        let ap = a.as_ptr();
+        let bp = bd.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut r0 = 0;
+        while r0 < rows {
+            let rm = RB.min(rows - r0);
+            for jb in 0..blocks {
+                let j = jb * L;
+                let mut acc = [_mm256_setzero_ps(); RB];
+                for kk in 0..k {
+                    let bv = _mm256_loadu_ps(bp.add(kk * n + j));
+                    for (r, acc_r) in acc.iter_mut().take(rm).enumerate() {
+                        let av = _mm256_set1_ps(*ap.add((r0 + r) * k + kk));
+                        *acc_r = _mm256_add_ps(*acc_r, _mm256_mul_ps(av, bv));
+                    }
+                }
+                for (r, acc_r) in acc.iter().take(rm).enumerate() {
+                    _mm256_storeu_ps(op.add((r0 + r) * n + j), *acc_r);
+                }
+            }
+            for j in blocks * L..n {
+                for r in 0..rm {
+                    let mut acc = 0.0f32;
+                    for kk in 0..k {
+                        acc += *ap.add((r0 + r) * k + kk) * *bp.add(kk * n + j);
+                    }
+                    *op.add((r0 + r) * n + j) = acc;
+                }
+            }
+            r0 += rm;
+        }
+    }
+
+    /// Transpose-free `aᵀ × b` row kernel, zmm lanes across columns.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` (guaranteed by [`super::select`]).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn at_rows_avx512(
+        ad: &[f32],
+        row0: usize,
+        out: &mut [f32],
+        p: usize,
+        m: usize,
+        n: usize,
+        bd: &[f32],
+    ) {
+        const L: usize = 16;
+        const RB: usize = 4;
+        let rows = out.len() / n;
+        let blocks = n / L;
+        let ap = ad.as_ptr();
+        let bp = bd.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut r0 = 0;
+        while r0 < rows {
+            let rm = RB.min(rows - r0);
+            for jb in 0..blocks {
+                let j = jb * L;
+                let mut acc = [_mm512_setzero_ps(); RB];
+                for kk in 0..p {
+                    let bv = _mm512_loadu_ps(bp.add(kk * n + j));
+                    for (r, acc_r) in acc.iter_mut().take(rm).enumerate() {
+                        let av = _mm512_set1_ps(*ap.add(kk * m + row0 + r0 + r));
+                        *acc_r = _mm512_add_ps(*acc_r, _mm512_mul_ps(av, bv));
+                    }
+                }
+                for (r, acc_r) in acc.iter().take(rm).enumerate() {
+                    _mm512_storeu_ps(op.add((r0 + r) * n + j), *acc_r);
+                }
+            }
+            for j in blocks * L..n {
+                for r in 0..rm {
+                    let i = row0 + r0 + r;
+                    let mut acc = 0.0f32;
+                    for kk in 0..p {
+                        acc += *ap.add(kk * m + i) * *bp.add(kk * n + j);
+                    }
+                    *op.add((r0 + r) * n + j) = acc;
+                }
+            }
+            r0 += rm;
+        }
+    }
+
+    /// Transpose-free `aᵀ × b` row kernel, ymm lanes across columns.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx2` (guaranteed by [`super::select`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn at_rows_avx2(
+        ad: &[f32],
+        row0: usize,
+        out: &mut [f32],
+        p: usize,
+        m: usize,
+        n: usize,
+        bd: &[f32],
+    ) {
+        const L: usize = 8;
+        const RB: usize = 4;
+        let rows = out.len() / n;
+        let blocks = n / L;
+        let ap = ad.as_ptr();
+        let bp = bd.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut r0 = 0;
+        while r0 < rows {
+            let rm = RB.min(rows - r0);
+            for jb in 0..blocks {
+                let j = jb * L;
+                let mut acc = [_mm256_setzero_ps(); RB];
+                for kk in 0..p {
+                    let bv = _mm256_loadu_ps(bp.add(kk * n + j));
+                    for (r, acc_r) in acc.iter_mut().take(rm).enumerate() {
+                        let av = _mm256_set1_ps(*ap.add(kk * m + row0 + r0 + r));
+                        *acc_r = _mm256_add_ps(*acc_r, _mm256_mul_ps(av, bv));
+                    }
+                }
+                for (r, acc_r) in acc.iter().take(rm).enumerate() {
+                    _mm256_storeu_ps(op.add((r0 + r) * n + j), *acc_r);
+                }
+            }
+            for j in blocks * L..n {
+                for r in 0..rm {
+                    let i = row0 + r0 + r;
+                    let mut acc = 0.0f32;
+                    for kk in 0..p {
+                        acc += *ap.add(kk * m + i) * *bp.add(kk * n + j);
+                    }
+                    *op.add((r0 + r) * n + j) = acc;
+                }
+            }
+            r0 += rm;
+        }
+    }
+
+    /// Transpose-free `a × bᵀ` row kernel, zmm lanes across columns.
+    ///
+    /// Lanes are rows of `bd`, read via a stride-`p` gather at each
+    /// `kk` step; one gather feeds every row in the block, and each
+    /// output element keeps the scalar dot's accumulation order.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` (guaranteed by [`super::select`]).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn bt_rows_avx512(a: &[f32], out: &mut [f32], p: usize, n: usize, bd: &[f32]) {
+        const L: usize = 16;
+        const RB: usize = 4;
+        let rows = out.len() / n;
+        let blocks = n / L;
+        let ap = a.as_ptr();
+        let bp = bd.as_ptr();
+        let op = out.as_mut_ptr();
+        let step = _mm512_mullo_epi32(
+            _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15),
+            _mm512_set1_epi32(p as i32),
+        );
+        let mut r0 = 0;
+        while r0 < rows {
+            let rm = RB.min(rows - r0);
+            for jb in 0..blocks {
+                let j = jb * L;
+                let base = bp.add(j * p);
+                let mut acc = [_mm512_setzero_ps(); RB];
+                for kk in 0..p {
+                    let bv = _mm512_i32gather_ps::<4>(step, base.add(kk));
+                    for (r, acc_r) in acc.iter_mut().take(rm).enumerate() {
+                        let av = _mm512_set1_ps(*ap.add((r0 + r) * p + kk));
+                        *acc_r = _mm512_add_ps(*acc_r, _mm512_mul_ps(av, bv));
+                    }
+                }
+                for (r, acc_r) in acc.iter().take(rm).enumerate() {
+                    _mm512_storeu_ps(op.add((r0 + r) * n + j), *acc_r);
+                }
+            }
+            for j in blocks * L..n {
+                for r in 0..rm {
+                    let mut acc = 0.0f32;
+                    for kk in 0..p {
+                        acc += *ap.add((r0 + r) * p + kk) * *bp.add(j * p + kk);
+                    }
+                    *op.add((r0 + r) * n + j) = acc;
+                }
+            }
+            r0 += rm;
+        }
+    }
+
+    /// Transpose-free `a × bᵀ` row kernel, ymm lanes across columns.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx2` (guaranteed by [`super::select`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn bt_rows_avx2(a: &[f32], out: &mut [f32], p: usize, n: usize, bd: &[f32]) {
+        const L: usize = 8;
+        const RB: usize = 4;
+        let rows = out.len() / n;
+        let blocks = n / L;
+        let ap = a.as_ptr();
+        let bp = bd.as_ptr();
+        let op = out.as_mut_ptr();
+        let step = _mm256_mullo_epi32(
+            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+            _mm256_set1_epi32(p as i32),
+        );
+        let mut r0 = 0;
+        while r0 < rows {
+            let rm = RB.min(rows - r0);
+            for jb in 0..blocks {
+                let j = jb * L;
+                let base = bp.add(j * p);
+                let mut acc = [_mm256_setzero_ps(); RB];
+                for kk in 0..p {
+                    let bv = _mm256_i32gather_ps::<4>(base.add(kk), step);
+                    for (r, acc_r) in acc.iter_mut().take(rm).enumerate() {
+                        let av = _mm256_set1_ps(*ap.add((r0 + r) * p + kk));
+                        *acc_r = _mm256_add_ps(*acc_r, _mm256_mul_ps(av, bv));
+                    }
+                }
+                for (r, acc_r) in acc.iter().take(rm).enumerate() {
+                    _mm256_storeu_ps(op.add((r0 + r) * n + j), *acc_r);
+                }
+            }
+            for j in blocks * L..n {
+                for r in 0..rm {
+                    let mut acc = 0.0f32;
+                    for kk in 0..p {
+                        acc += *ap.add((r0 + r) * p + kk) * *bp.add(j * p + kk);
+                    }
+                    *op.add((r0 + r) * n + j) = acc;
+                }
+            }
+            r0 += rm;
+        }
+    }
+
+    /// 4×32 ymm register-tile kernel.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx2` (guaranteed by [`super::select`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn tile_avx2(a: &[f32], k: usize, bp: &[f32], out: &mut [f32], n: usize) {
+        const MR: usize = 4;
+        const NR: usize = 32;
+        let rows = out.len() / n;
+        let full_rows = rows - rows % MR;
+        let full_panels = n / NR;
+        let ap = a.as_ptr();
+        let pp = bp.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut i = 0;
+        while i < full_rows {
+            for p in 0..full_panels {
+                let panel = pp.add(p * k * NR);
+                let mut acc = [[_mm256_setzero_ps(); 4]; MR];
+                for kk in 0..k {
+                    let bb = panel.add(kk * NR);
+                    let b: [__m256; 4] = [
+                        _mm256_loadu_ps(bb),
+                        _mm256_loadu_ps(bb.add(8)),
+                        _mm256_loadu_ps(bb.add(16)),
+                        _mm256_loadu_ps(bb.add(24)),
+                    ];
+                    for (r, acc_r) in acc.iter_mut().enumerate() {
+                        let av = _mm256_set1_ps(*ap.add((i + r) * k + kk));
+                        for (slot, &bv) in acc_r.iter_mut().zip(&b) {
+                            *slot = _mm256_add_ps(*slot, _mm256_mul_ps(av, bv));
+                        }
+                    }
+                }
+                for (r, acc_r) in acc.iter().enumerate() {
+                    let o = op.add((i + r) * n + p * NR);
+                    for (c, &v) in acc_r.iter().enumerate() {
+                        _mm256_storeu_ps(o.add(8 * c), v);
+                    }
+                }
+            }
+            i += MR;
+        }
+        edge_scalar(a, k, bp, out, n, NR, full_rows, full_panels);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference: the exact loop from `ops::matmul_rows`.
+    fn naive(ad: &[f32], bd: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let av = ad[i * k + kk];
+                for j in 0..n {
+                    out[i * n + j] += av * bd[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn vals(len: usize, seed: usize) -> Vec<f32> {
+        (0..len).map(|i| (((i * 2654435761 + seed) % 1000) as f32) / 500.0 - 1.0).collect()
+    }
+
+    #[test]
+    fn packed_matches_naive_bitwise_on_edge_shapes() {
+        for &(m, k, n) in
+            &[(1, 1, 1), (8, 8, 32), (9, 7, 33), (17, 5, 31), (3, 0, 4), (1, 6, 40), (64, 3, 2)]
+        {
+            let a = vals(m * k, 1);
+            let b = vals(k * n, 2);
+            let bp = pack_b(&b, k, n);
+            let mut out = vec![f32::NAN; m * n];
+            matmul_packed_rows(&a, 0, &mut out, k, n, &bp);
+            let expect = naive(&a, &b, m, k, n);
+            let same = out.iter().zip(&expect).all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "({m},{k},{n}) diverged from the naive kernel");
+        }
+    }
+
+    #[test]
+    fn padded_panel_lanes_never_leak_nan() {
+        // b's last column is NaN; with nr-padding the panel holds zeros
+        // past it. Only the NaN column may be NaN in the output.
+        let (m, k, n) = (4, 3, 17);
+        let a = vals(m * k, 3);
+        let mut b = vals(k * n, 4);
+        for kk in 0..k {
+            b[kk * n + (n - 1)] = f32::NAN;
+        }
+        let bp = pack_b(&b, k, n);
+        let mut out = vec![0.0f32; m * n];
+        matmul_packed_rows(&a, 0, &mut out, k, n, &bp);
+        for r in 0..m {
+            for c in 0..n - 1 {
+                assert!(!out[r * n + c].is_nan(), "NaN leaked into column {c}");
+            }
+            assert!(out[r * n + n - 1].is_nan(), "real NaN column must propagate");
+        }
+    }
+
+    #[test]
+    fn simd_rows_match_naive_bitwise() {
+        for &(m, k, n) in
+            &[(1, 1, 1), (2, 17, 32), (5, 3, 19), (1, 6, 40), (3, 0, 4), (7, 9, 16), (2, 32, 6)]
+        {
+            let a = vals(m * k, 7);
+            let b = vals(k * n, 8);
+            let mut out = vec![f32::NAN; m * n];
+            matmul_simd_rows(&a, 0, &mut out, k, n, &b);
+            let expect = naive(&a, &b, m, k, n);
+            let same = out.iter().zip(&expect).all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "({m},{k},{n}) diverged from the naive kernel");
+        }
+    }
+
+    #[test]
+    fn at_rows_match_transposed_naive_bitwise() {
+        // a is [p, m]; the reference transposes it and runs the naive loop.
+        for &(p, m, n) in &[(1, 1, 1), (2, 17, 32), (4, 5, 19), (6, 1, 40), (3, 7, 16)] {
+            let a = vals(p * m, 9);
+            let b = vals(p * n, 10);
+            let mut at = vec![0.0f32; m * p];
+            for kk in 0..p {
+                for i in 0..m {
+                    at[i * p + kk] = a[kk * m + i];
+                }
+            }
+            let mut out = vec![f32::NAN; m * n];
+            matmul_at_rows(&a, 0, &mut out, p, m, n, &b);
+            let expect = naive(&at, &b, m, p, n);
+            let same = out.iter().zip(&expect).all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "({p},{m},{n}) diverged from transpose + naive");
+        }
+    }
+
+    #[test]
+    fn bt_rows_match_transposed_naive_bitwise() {
+        // b is [n, p]; the reference transposes it and runs the naive loop.
+        // Shapes cover full gather blocks, column remainders, row-block
+        // remainders (m > 4), and degenerate k.
+        for &(m, p, n) in &[(1, 1, 1), (2, 32, 32), (5, 7, 19), (6, 3, 40), (9, 0, 16), (3, 2, 6)] {
+            let a = vals(m * p, 11);
+            let b = vals(n * p, 12);
+            let mut bt = vec![0.0f32; p * n];
+            for j in 0..n {
+                for kk in 0..p {
+                    bt[kk * n + j] = b[j * p + kk];
+                }
+            }
+            let mut out = vec![f32::NAN; m * n];
+            matmul_bt_rows(&a, 0, &mut out, p, n, &b);
+            let expect = naive(&a, &bt, m, p, n);
+            let same = out.iter().zip(&expect).all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "({m},{p},{n}) diverged from transpose + naive");
+        }
+        // Row offset slices the left operand like a threaded chunk would.
+        let (m, p, n) = (7, 5, 21);
+        let a = vals(m * p, 13);
+        let b = vals(n * p, 14);
+        let mut full = vec![0.0f32; m * n];
+        matmul_bt_rows(&a, 0, &mut full, p, n, &b);
+        let mut part = vec![0.0f32; (m - 3) * n];
+        matmul_bt_rows(&a, 3, &mut part, p, n, &b);
+        assert_eq!(&full[3 * n..], &part[..]);
+    }
+
+    #[test]
+    fn row_offset_matches_full_product() {
+        let (m, k, n) = (12, 9, 34);
+        let a = vals(m * k, 5);
+        let b = vals(k * n, 6);
+        let bp = pack_b(&b, k, n);
+        let mut full = vec![0.0f32; m * n];
+        matmul_packed_rows(&a, 0, &mut full, k, n, &bp);
+        // Compute rows 5.. separately, as a threaded chunk would.
+        let mut part = vec![0.0f32; (m - 5) * n];
+        matmul_packed_rows(&a, 5, &mut part, k, n, &bp);
+        assert_eq!(&full[5 * n..], &part[..]);
+    }
+}

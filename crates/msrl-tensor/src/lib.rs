@@ -41,6 +41,7 @@ pub mod autograd;
 pub mod dist;
 pub mod error;
 pub mod init;
+pub mod kernels;
 pub mod nn;
 pub mod ops;
 pub mod optim;

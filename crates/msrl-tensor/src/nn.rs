@@ -308,6 +308,13 @@ impl MlpBinding {
     pub fn grads(&self, grads: &Gradients) -> Vec<Tensor> {
         self.params.iter().map(|p| grads.get_or_zeros(p)).collect()
     }
+
+    /// Like [`Mlp::grads`], but moves the gradients out instead of
+    /// cloning them — each parameter's gradient is owned by exactly one
+    /// module, so learners extract without a copy.
+    pub fn take_grads(&self, grads: &mut Gradients) -> Vec<Tensor> {
+        self.params.iter().map(|p| grads.take_or_zeros(p)).collect()
+    }
 }
 
 #[cfg(test)]

@@ -258,12 +258,192 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     // Row blocks are independent, so the threaded backend partitions the
     // output by rows; every element accumulates over `k` in ascending
     // order on both backends, keeping them bit-exact.
-    if par::should_parallelize(m * k * n, par::PAR_MIN_FLOPS) && m > 1 && n > 0 {
+    let flops = m * k * n;
+    if par::tier_enabled() && flops >= TIER_MIN_FLOPS {
+        // Hot-size product: pack `b` on the fly and run the
+        // register-tiled microkernels (bit-identical to `matmul_rows`;
+        // see [`crate::kernels`]). Plans the interpreter has tiered up
+        // skip even this packing via [`matmul_prepacked`].
+        let bp = crate::kernels::pack_b(bd, k, n);
+        if par::should_parallelize(flops, par::PAR_MIN_FLOPS) && m > 1 && n > 0 {
+            par::fill_chunks_aligned(&mut out, n, |offset, chunk| {
+                crate::kernels::matmul_packed_rows(ad, offset / n, chunk, k, n, &bp);
+            });
+        } else {
+            crate::kernels::matmul_packed_rows(ad, 0, &mut out, k, n, &bp);
+        }
+    } else if par::tier_enabled() {
+        // Small product: SIMD lanes across output columns, straight off
+        // the row-major operand — no packing copy to amortise
+        // (bit-identical per element; see [`crate::kernels`]).
+        if par::should_parallelize(flops, par::PAR_MIN_FLOPS) && m > 1 && n > 0 {
+            par::fill_chunks_aligned(&mut out, n, |offset, chunk| {
+                crate::kernels::matmul_simd_rows(ad, offset / n, chunk, k, n, bd);
+            });
+        } else {
+            crate::kernels::matmul_simd_rows(ad, 0, &mut out, k, n, bd);
+        }
+    } else if par::should_parallelize(flops, par::PAR_MIN_FLOPS) && m > 1 && n > 0 {
         par::fill_chunks_aligned(&mut out, n, |offset, chunk| {
             matmul_rows(ad, bd, offset / n, chunk, k, n);
         });
     } else {
         matmul_rows(ad, bd, 0, &mut out, k, n);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Multiply–add count at or above which [`matmul`] packs `b` on the fly
+/// for the register-tiled microkernels; below it the packing copy costs
+/// more than the tiles save, so the naive kernel keeps the small-shape
+/// path (MLP-sized layers stay naive — their tier wins come from
+/// [`matmul_at`] / [`matmul_bt`] and the interpreter's pre-packed
+/// plans).
+pub const TIER_MIN_FLOPS: usize = 64 * 64 * 64;
+
+/// Matrix product against a pre-packed right operand:
+/// `[m, k] × packed[k, n] → [m, n]`.
+///
+/// The interpreter's kernel tier packs a hot plan's weights once and
+/// calls this on every subsequent evaluation, so steady state does zero
+/// packing work. Bit-identical to [`matmul`] (see [`crate::kernels`]).
+///
+/// # Errors
+///
+/// Same contract as [`matmul`], with the packed operand's recorded
+/// `[k, n]` standing in for `b.shape()`.
+pub fn matmul_prepacked(a: &Tensor, bp: &crate::kernels::PackedB) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: a.rank() });
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (bp.k(), bp.n());
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().to_vec(),
+            rhs: vec![k2, n],
+        });
+    }
+    let mut out = crate::alloc::take_zeroed(m * n);
+    let ad = a.data();
+    if par::should_parallelize(m * k * n, par::PAR_MIN_FLOPS) && m > 1 && n > 0 {
+        par::fill_chunks_aligned(&mut out, n, |offset, chunk| {
+            crate::kernels::matmul_packed_rows(ad, offset / n, chunk, k, n, bp);
+        });
+    } else {
+        crate::kernels::matmul_packed_rows(ad, 0, &mut out, k, n, bp);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transposed-LHS product without materialising the transpose:
+/// `aᵀ · b` for `a: [p, m]`, `b: [p, n]` → `[m, n]`.
+///
+/// Autograd's weight gradients are all `xᵀ · g` products; the naive
+/// route copies `x` through [`transpose`] (an allocation plus a strided
+/// walk) before every such matmul. Here each output element accumulates
+/// `a[kk][i] * b[kk][j]` for `kk` ascending — exactly the sequence
+/// `matmul(&transpose(a)?, b)` performs — so the result is
+/// bit-identical while skipping the intermediate entirely.
+///
+/// # Errors
+///
+/// Returns the same rank/shape errors as [`matmul`] (shared first axis
+/// `p` plays the inner-dimension role).
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "matmul_at", expected: 2, actual: a.rank() });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "matmul_at", expected: 2, actual: b.rank() });
+    }
+    let (p, m) = (a.shape()[0], a.shape()[1]);
+    let (p2, n) = (b.shape()[0], b.shape()[1]);
+    if p != p2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_at",
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    let mut out = crate::alloc::take_zeroed(m * n);
+    let ad = a.data();
+    let bd = b.data();
+    let fill = |offset: usize, chunk: &mut [f32]| {
+        if n == 0 {
+            return;
+        }
+        crate::kernels::matmul_at_rows(ad, offset / n, chunk, p, m, n, bd);
+    };
+    if par::should_parallelize(p * m * n, par::PAR_MIN_FLOPS) && m > 1 && n > 0 {
+        par::fill_chunks_aligned(&mut out, n, fill);
+    } else {
+        fill(0, &mut out);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Transposed-RHS product without materialising the transpose:
+/// `a · bᵀ` for `a: [m, p]`, `b: [n, p]` → `[m, n]`.
+///
+/// The counterpart of [`matmul_at`] for autograd's input gradients
+/// (`g · wᵀ`). Each output element is the dot product of row `i` of `a`
+/// and row `j` of `b`, accumulated over `kk` ascending — the sequence
+/// `matmul(a, &transpose(b)?)` performs — so results are bit-identical,
+/// and both operands stream contiguously.
+///
+/// # Errors
+///
+/// Returns the same rank/shape errors as [`matmul`] (shared second axis
+/// `p` plays the inner-dimension role).
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "matmul_bt", expected: 2, actual: a.rank() });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "matmul_bt", expected: 2, actual: b.rank() });
+    }
+    let (m, p) = (a.shape()[0], a.shape()[1]);
+    let (n, p2) = (b.shape()[0], b.shape()[1]);
+    if p != p2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_bt",
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    let mut out = crate::alloc::take_zeroed(m * n);
+    let ad = a.data();
+    let bd = b.data();
+    let tier = par::tier_enabled();
+    let fill = |offset: usize, chunk: &mut [f32]| {
+        if n == 0 {
+            return;
+        }
+        let row0 = offset / n;
+        if tier {
+            // Gather kernel: lanes across output columns (rows of b), no
+            // transpose materialised, scalar accumulation order per element.
+            crate::kernels::matmul_bt_rows(ad, row0, chunk, p, n, bd);
+            return;
+        }
+        for (r, orow) in chunk.chunks_mut(n).enumerate() {
+            let arow = &ad[(row0 + r) * p..(row0 + r + 1) * p];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &bd[j * p..(j + 1) * p];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                *o = acc;
+            }
+        }
+    };
+    if par::should_parallelize(m * p * n, par::PAR_MIN_FLOPS) && m > 1 && n > 0 {
+        par::fill_chunks_aligned(&mut out, n, fill);
+    } else {
+        fill(0, &mut out);
     }
     Tensor::from_vec(out, &[m, n])
 }
@@ -373,8 +553,13 @@ pub fn linear_act(x: &Tensor, w: &Tensor, b: &Tensor, act: Act) -> Result<Tensor
     let xd = x.data();
     let wd = w.data();
     let bd = b.data();
+    let tier = par::tier_enabled();
     let fill = |offset: usize, chunk: &mut [f32]| {
-        matmul_rows(xd, wd, offset / n.max(1), chunk, k, n);
+        if tier {
+            crate::kernels::matmul_simd_rows(xd, offset / n.max(1), chunk, k, n, wd);
+        } else {
+            matmul_rows(xd, wd, offset / n.max(1), chunk, k, n);
+        }
         if n > 0 {
             for row in chunk.chunks_mut(n) {
                 for (o, &bv) in row.iter_mut().zip(bd) {
@@ -385,6 +570,133 @@ pub fn linear_act(x: &Tensor, w: &Tensor, b: &Tensor, act: Act) -> Result<Tensor
     };
     // Same parallel guard and row-aligned partitioning as matmul, so the
     // fused and unfused paths agree chunk-for-chunk on both backends.
+    if par::should_parallelize(m * k * n, par::PAR_MIN_FLOPS) && m > 1 && n > 0 {
+        par::fill_chunks_aligned(&mut out, n, fill);
+    } else {
+        fill(0, &mut out);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// [`linear_act`] against a pre-packed weight operand, for plans the
+/// interpreter has tiered up. Bit-identical to the unpacked kernel.
+///
+/// # Errors
+///
+/// Same contract as [`linear_act`], with the packed operand's recorded
+/// `[k, n]` standing in for `w.shape()`.
+pub fn linear_act_prepacked(
+    x: &Tensor,
+    wp: &crate::kernels::PackedB,
+    b: &Tensor,
+    act: Act,
+) -> Result<Tensor> {
+    if x.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "linear_act", expected: 2, actual: x.rank() });
+    }
+    let (m, k) = (x.shape()[0], x.shape()[1]);
+    let (k2, n) = (wp.k(), wp.n());
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "linear_act",
+            lhs: x.shape().to_vec(),
+            rhs: vec![k2, n],
+        });
+    }
+    if b.rank() != 1 || b.shape()[0] != n {
+        return Err(TensorError::ShapeMismatch {
+            op: "linear_act",
+            lhs: vec![n],
+            rhs: b.shape().to_vec(),
+        });
+    }
+    msrl_telemetry::static_counter!("tensor.fused_linear").add(1);
+    let mut out = crate::alloc::take_zeroed(m * n);
+    let xd = x.data();
+    let bd = b.data();
+    let fill = |offset: usize, chunk: &mut [f32]| {
+        crate::kernels::matmul_packed_rows(xd, offset / n.max(1), chunk, k, n, wp);
+        if n > 0 {
+            for row in chunk.chunks_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(bd) {
+                    *o = act.apply(*o + bv);
+                }
+            }
+        }
+    };
+    if par::should_parallelize(m * k * n, par::PAR_MIN_FLOPS) && m > 1 && n > 0 {
+        par::fill_chunks_aligned(&mut out, n, fill);
+    } else {
+        fill(0, &mut out);
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Fused policy head: `softmax_rows(x·w + b)` in one pass over the
+/// output.
+///
+/// The linear part reuses the exact [`linear_act`] accumulation and
+/// bias epilogue (with identity activation); each finished row then
+/// runs the exact [`softmax_rows`] row arithmetic in place via the
+/// shared [`softmax_row_inplace`] helper, so the fusion is bit-identical
+/// to the separate `matmul → add → softmax_rows` chain on both
+/// backends.
+///
+/// # Errors
+///
+/// Same contract as [`linear_act`].
+pub fn linear_softmax(x: &Tensor, w: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if x.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "linear_softmax",
+            expected: 2,
+            actual: x.rank(),
+        });
+    }
+    if w.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            op: "linear_softmax",
+            expected: 2,
+            actual: w.rank(),
+        });
+    }
+    let (m, k) = (x.shape()[0], x.shape()[1]);
+    let (k2, n) = (w.shape()[0], w.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "linear_softmax",
+            lhs: x.shape().to_vec(),
+            rhs: w.shape().to_vec(),
+        });
+    }
+    if b.rank() != 1 || b.shape()[0] != n {
+        return Err(TensorError::ShapeMismatch {
+            op: "linear_softmax",
+            lhs: vec![n],
+            rhs: b.shape().to_vec(),
+        });
+    }
+    msrl_telemetry::static_counter!("tensor.fused_linear_softmax").add(1);
+    let mut out = crate::alloc::take_zeroed(m * n);
+    let xd = x.data();
+    let wd = w.data();
+    let bd = b.data();
+    let tier = par::tier_enabled();
+    let fill = |offset: usize, chunk: &mut [f32]| {
+        if tier {
+            crate::kernels::matmul_simd_rows(xd, offset / n.max(1), chunk, k, n, wd);
+        } else {
+            matmul_rows(xd, wd, offset / n.max(1), chunk, k, n);
+        }
+        if n > 0 {
+            for row in chunk.chunks_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(bd) {
+                    *o += bv;
+                }
+                softmax_row_inplace(row);
+            }
+        }
+    };
     if par::should_parallelize(m * k * n, par::PAR_MIN_FLOPS) && m > 1 && n > 0 {
         par::fill_chunks_aligned(&mut out, n, fill);
     } else {
@@ -572,18 +884,8 @@ pub fn softmax_rows(a: &Tensor) -> Result<Tensor> {
     }
     let fill = |offset: usize, chunk: &mut [f32]| {
         for (r, orow) in chunk.chunks_mut(n).enumerate() {
-            let row = &ad[offset + r * n..offset + (r + 1) * n];
-            let max = row.iter().fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
-            let mut sum = 0.0f32;
-            for (o, &v) in orow.iter_mut().zip(row) {
-                let e = (v - max).exp();
-                sum += e;
-                *o = e;
-            }
-            let inv = 1.0 / sum;
-            for o in orow.iter_mut() {
-                *o *= inv;
-            }
+            orow.copy_from_slice(&ad[offset + r * n..offset + (r + 1) * n]);
+            softmax_row_inplace(orow);
         }
     };
     if n > 0 && m > 1 && par::should_parallelize(m * n, par::PAR_MIN_ELEMS) {
@@ -592,6 +894,25 @@ pub fn softmax_rows(a: &Tensor) -> Result<Tensor> {
         fill(0, &mut out);
     }
     Tensor::from_vec(out, &[m, n])
+}
+
+/// The exact [`softmax_rows`] per-row arithmetic, applied in place: max
+/// fold, exponentiate-and-sum in ascending order, then scale by the
+/// reciprocal. Shared by [`softmax_rows`] and the fused
+/// [`linear_softmax`] epilogue so the two stay bit-identical by
+/// construction.
+pub fn softmax_row_inplace(row: &mut [f32]) {
+    let max = row.iter().fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
+    let mut sum = 0.0f32;
+    for o in row.iter_mut() {
+        let e = (*o - max).exp();
+        sum += e;
+        *o = e;
+    }
+    let inv = 1.0 / sum;
+    for o in row.iter_mut() {
+        *o *= inv;
+    }
 }
 
 /// Numerically-stable log-softmax along the last axis of a rank-2 tensor.

@@ -16,9 +16,16 @@
 //! defaulting to `threaded`) and overridable programmatically with
 //! [`set_backend`]. Worker count comes from `MSRL_THREADS` when set
 //! (useful to exercise multi-chunk paths on small machines) and
-//! otherwise from [`std::thread::available_parallelism`].
+//! otherwise from [`std::thread::available_parallelism`]; both are
+//! resolved once and cached, so the per-op dispatch check
+//! ([`should_parallelize`]) costs a couple of atomic loads — on a
+//! one-thread host the threaded backend therefore routes straight to
+//! the serial kernels with no per-call environment or syscall overhead.
+//! Tests override the cached values with [`with_threads`] /
+//! [`with_par_min`] instead of mutating the environment.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Which execution strategy the tensor kernels use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,20 +125,93 @@ pub fn with_fusion<T>(on: bool, f: impl FnOnce() -> T) -> T {
     out
 }
 
-/// Worker-thread count for the threaded backend.
+const TIER_OFF: u8 = 1;
+const TIER_ON: u8 = 2;
+
+static TIER: AtomicU8 = AtomicU8::new(UNSET);
+
+/// Whether the hot-plan kernel tier is active, resolving `MSRL_TIER` on
+/// first use (default: on).
 ///
-/// `MSRL_THREADS` wins when parseable and non-zero; otherwise the
-/// host's available parallelism. Re-read on every call so tests can
-/// force multi-chunk execution regardless of initialization order.
-pub fn thread_count() -> usize {
-    if let Ok(v) = std::env::var("MSRL_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+/// When on, large matmuls route through the packed register-tiled
+/// microkernels in [`crate::kernels`], autograd backward passes use the
+/// fused-transpose products ([`crate::ops::matmul_at`] /
+/// [`crate::ops::matmul_bt`]), and the `msrl-core` interpreter promotes
+/// hot cached plans to pre-packed tiered execution. Every tiered path
+/// preserves the naive kernels' per-element accumulation order, so
+/// results are bit-identical; `MSRL_TIER=0` restores the untiered
+/// execution exactly.
+pub fn tier_enabled() -> bool {
+    match TIER.load(Ordering::Relaxed) {
+        TIER_ON => true,
+        TIER_OFF => false,
+        _ => {
+            let resolved = !matches!(
+                std::env::var("MSRL_TIER").as_deref(),
+                Ok("0") | Ok("off") | Ok("false") | Ok("no")
+            );
+            set_tier(resolved);
+            resolved
         }
     }
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Overrides the global kernel-tier gate (takes precedence over
+/// `MSRL_TIER`).
+pub fn set_tier(on: bool) {
+    TIER.store(if on { TIER_ON } else { TIER_OFF }, Ordering::Relaxed);
+}
+
+/// Runs `f` with the kernel-tier gate forced to `on`, then restores the
+/// previous setting. Process-global, like [`with_backend`].
+pub fn with_tier<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    let prev = tier_enabled();
+    set_tier(on);
+    let out = f();
+    set_tier(prev);
+    out
+}
+
+/// Programmatic worker-count override; 0 means "no override".
+static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// The environment-resolved worker count, computed once.
+static THREADS_RESOLVED: OnceLock<usize> = OnceLock::new();
+
+/// Worker-thread count for the threaded backend.
+///
+/// A [`set_threads`] override wins; otherwise `MSRL_THREADS` (when
+/// parseable and non-zero) or the host's available parallelism,
+/// resolved once and cached — the per-call cost is one atomic load.
+pub fn thread_count() -> usize {
+    let ov = THREADS_OVERRIDE.load(Ordering::Relaxed);
+    if ov > 0 {
+        return ov;
+    }
+    *THREADS_RESOLVED.get_or_init(|| {
+        std::env::var("MSRL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
+    })
+}
+
+/// Overrides the worker count (`None` restores `MSRL_THREADS` / host
+/// parallelism). Takes the role the mutable `MSRL_THREADS` environment
+/// variable used to play in tests.
+pub fn set_threads(n: Option<usize>) {
+    THREADS_OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Runs `f` with the worker count forced to `n`, then restores the
+/// previous override. Process-global, like [`with_backend`].
+pub fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let prev = THREADS_OVERRIDE.swap(n, Ordering::Relaxed);
+    let out = f();
+    THREADS_OVERRIDE.store(prev, Ordering::Relaxed);
+    out
 }
 
 /// Elements below which threaded kernels stay serial: thread spawn and
@@ -141,14 +221,49 @@ pub const PAR_MIN_ELEMS: usize = 16 * 1024;
 /// Multiply–add count below which matmul stays serial.
 pub const PAR_MIN_FLOPS: usize = 64 * 64 * 64;
 
+/// Programmatic parallel-cutoff override; `usize::MAX` means "none".
+static PAR_MIN_OVERRIDE: AtomicUsize = AtomicUsize::new(usize::MAX);
+/// The environment-resolved cutoff (`None` when `MSRL_PAR_MIN` is
+/// unset), computed once.
+static PAR_MIN_RESOLVED: OnceLock<Option<usize>> = OnceLock::new();
+
+/// Overrides every kernel's serial-below cutoff (`None` restores the
+/// per-kernel defaults / `MSRL_PAR_MIN`). Tests set it to 1 so tiny
+/// inputs still exercise the multi-chunk code paths.
+pub fn set_par_min(n: Option<usize>) {
+    PAR_MIN_OVERRIDE.store(n.unwrap_or(usize::MAX), Ordering::Relaxed);
+}
+
+/// Runs `f` with the parallel cutoff forced to `n`, then restores the
+/// previous override. Process-global, like [`with_backend`].
+pub fn with_par_min<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    let prev = PAR_MIN_OVERRIDE.swap(n, Ordering::Relaxed);
+    let out = f();
+    PAR_MIN_OVERRIDE.store(prev, Ordering::Relaxed);
+    out
+}
+
 /// True when the active backend wants `work_items` split over threads.
 ///
-/// `MSRL_PAR_MIN`, when set, overrides `serial_below`; tests set it to 1
-/// so tiny inputs still exercise the multi-chunk code paths.
+/// Checks are ordered cheapest-exit-first: the backend and the cached
+/// worker count are single atomic loads, so on a scalar backend or a
+/// one-thread host this is effectively free — the threaded backend with
+/// one worker dispatches straight to the serial kernels. A
+/// [`set_par_min`] override (or `MSRL_PAR_MIN`, resolved once) replaces
+/// `serial_below`.
 pub fn should_parallelize(work_items: usize, serial_below: usize) -> bool {
-    let cutoff =
-        std::env::var("MSRL_PAR_MIN").ok().and_then(|v| v.parse().ok()).unwrap_or(serial_below);
-    backend() == Backend::Threaded && work_items >= cutoff && thread_count() > 1
+    if backend() != Backend::Threaded || thread_count() <= 1 {
+        return false;
+    }
+    let ov = PAR_MIN_OVERRIDE.load(Ordering::Relaxed);
+    let cutoff = if ov != usize::MAX {
+        ov
+    } else {
+        PAR_MIN_RESOLVED
+            .get_or_init(|| std::env::var("MSRL_PAR_MIN").ok().and_then(|v| v.parse().ok()))
+            .unwrap_or(serial_below)
+    };
+    work_items >= cutoff
 }
 
 /// Splits `out` into one contiguous chunk per worker and runs
@@ -232,23 +347,48 @@ mod tests {
 
     #[test]
     fn fill_chunks_covers_every_slot() {
-        std::env::set_var("MSRL_THREADS", "4");
         let mut out = vec![0usize; 103];
-        fill_chunks(&mut out, |offset, chunk| {
-            for (i, slot) in chunk.iter_mut().enumerate() {
-                *slot = offset + i;
-            }
+        with_threads(4, || {
+            fill_chunks(&mut out, |offset, chunk| {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = offset + i;
+                }
+            });
         });
-        std::env::remove_var("MSRL_THREADS");
         assert!(out.iter().enumerate().all(|(i, &v)| i == v));
     }
 
     #[test]
     fn map_ranges_preserves_order() {
-        std::env::set_var("MSRL_THREADS", "3");
-        let sums = map_ranges(100, |r| r.sum::<usize>());
-        std::env::remove_var("MSRL_THREADS");
+        let sums = with_threads(3, || map_ranges(100, |r| r.sum::<usize>()));
         assert_eq!(sums.iter().sum::<usize>(), 4950);
+    }
+
+    #[test]
+    fn thread_and_par_min_overrides_round_trip() {
+        with_threads(7, || assert_eq!(thread_count(), 7));
+        with_backend(Backend::Threaded, || {
+            with_threads(4, || {
+                with_par_min(1, || assert!(should_parallelize(2, PAR_MIN_ELEMS)));
+                with_par_min(1000, || assert!(!should_parallelize(2, 1)));
+            });
+            // One effective worker: straight to the serial kernels, no
+            // matter how small the cutoff.
+            with_threads(1, || {
+                with_par_min(1, || assert!(!should_parallelize(1 << 20, 1)));
+            });
+        });
+    }
+
+    #[test]
+    fn tier_override_round_trips() {
+        let prev = tier_enabled();
+        let inside = with_tier(false, tier_enabled);
+        assert!(!inside);
+        assert_eq!(tier_enabled(), prev);
+        let inside = with_tier(true, tier_enabled);
+        assert!(inside);
+        assert_eq!(tier_enabled(), prev);
     }
 
     #[test]

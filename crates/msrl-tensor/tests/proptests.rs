@@ -6,7 +6,7 @@
 //! (fusion) round-trip that MSRL's fragment-fusion pass relies on.
 
 use msrl_tensor::autograd::Tape;
-use msrl_tensor::{ops, par, Backend, Tensor};
+use msrl_tensor::{kernels, ops, par, Backend, Tensor};
 use proptest::prelude::*;
 
 fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -18,12 +18,13 @@ fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
 /// threshold of 1 so even tiny property-test inputs take the
 /// multi-chunk threaded code paths.
 fn on_both_backends<T>(f: impl Fn() -> T) -> (T, T) {
-    std::env::set_var("MSRL_THREADS", "4");
-    std::env::set_var("MSRL_PAR_MIN", "1");
-    let scalar = par::with_backend(Backend::Scalar, &f);
-    let threaded = par::with_backend(Backend::Threaded, &f);
-    std::env::remove_var("MSRL_PAR_MIN");
-    (scalar, threaded)
+    par::with_threads(4, || {
+        par::with_par_min(1, || {
+            let scalar = par::with_backend(Backend::Scalar, &f);
+            let threaded = par::with_backend(Backend::Threaded, &f);
+            (scalar, threaded)
+        })
+    })
 }
 
 proptest! {
@@ -182,6 +183,119 @@ proptest! {
         let b = Tensor::from_vec(bv[..k * n].to_vec(), &[k, n]).unwrap();
         let (scalar, threaded) = on_both_backends(|| ops::matmul(&a, &b).unwrap());
         prop_assert_eq!(scalar, threaded);
+    }
+
+    /// The packed register-tiled microkernels must agree with the naive
+    /// kernel bit-for-bit on any shape and on both backends — including
+    /// degenerate `k = 0` / `m = 1` products and NaN/∞ poison values,
+    /// which the no-zero-skip accumulation order must propagate
+    /// identically. (Compared via bit patterns: `NaN != NaN` under
+    /// `PartialEq`.)
+    #[test]
+    fn packed_matmul_matches_naive_bitwise(
+        m in 1usize..20, k in 0usize..12, n in 1usize..40,
+        av in small_vec(240), bv in small_vec(480), poison in 0usize..4
+    ) {
+        let mut a = av[..m * k].to_vec();
+        let mut b = bv[..k * n].to_vec();
+        if k > 0 {
+            match poison {
+                1 => a[0] = f32::NAN,
+                2 => b[k * n - 1] = f32::INFINITY,
+                3 => {
+                    a[(m - 1) * k] = f32::NEG_INFINITY;
+                    b[0] = f32::NAN;
+                }
+                _ => {}
+            }
+        }
+        let ta = Tensor::from_vec(a, &[m, k]).unwrap();
+        let tb = Tensor::from_vec(b, &[k, n]).unwrap();
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+        let naive = par::with_tier(false, || ops::matmul(&ta, &tb).unwrap());
+        // `matmul_prepacked` always takes the microkernels, regardless
+        // of the TIER_MIN_FLOPS on-the-fly cutoff.
+        let packed = ops::matmul_prepacked(&ta, &kernels::pack_b(tb.data(), k, n)).unwrap();
+        prop_assert_eq!(bits(&naive), bits(&packed));
+        let (s, t) = on_both_backends(|| {
+            ops::matmul_prepacked(&ta, &kernels::pack_b(tb.data(), k, n)).unwrap()
+        });
+        prop_assert_eq!(bits(&s), bits(&t));
+        prop_assert_eq!(bits(&s), bits(&naive));
+    }
+
+    /// Below the packing cutoff the tier dispatches the unpacked SIMD
+    /// row kernel; its output must match the naive loop bit-for-bit on
+    /// both backends, non-finite poison values included.
+    #[test]
+    fn tiered_small_matmul_matches_naive_bitwise(
+        m in 1usize..6, k in 0usize..9, n in 1usize..48,
+        av in small_vec(54), bv in small_vec(432), poison in 0usize..4
+    ) {
+        let mut a = av[..m * k].to_vec();
+        let mut b = bv[..k * n].to_vec();
+        if k > 0 {
+            match poison {
+                1 => a[m * k / 2] = f32::NAN,
+                2 => b[k * n / 2] = f32::INFINITY,
+                3 => {
+                    a[0] = f32::NEG_INFINITY;
+                    b[k * n - 1] = f32::NAN;
+                }
+                _ => {}
+            }
+        }
+        let ta = Tensor::from_vec(a, &[m, k]).unwrap();
+        let tb = Tensor::from_vec(b, &[k, n]).unwrap();
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+        let naive = par::with_tier(false, || ops::matmul(&ta, &tb).unwrap());
+        let (s, t) = on_both_backends(|| par::with_tier(true, || ops::matmul(&ta, &tb).unwrap()));
+        prop_assert_eq!(bits(&s), bits(&t));
+        prop_assert_eq!(bits(&s), bits(&naive));
+    }
+
+    /// The transpose-free gradient products must be bit-identical to
+    /// the materialised-transpose compositions on both backends.
+    #[test]
+    fn transpose_free_products_match_bitwise(
+        m in 1usize..8, p in 1usize..8, n in 1usize..8,
+        av in small_vec(64), bv in small_vec(64)
+    ) {
+        let a = Tensor::from_vec(av[..p * m].to_vec(), &[p, m]).unwrap();
+        let b = Tensor::from_vec(bv[..p * n].to_vec(), &[p, n]).unwrap();
+        let via_t = ops::matmul(&ops::transpose(&a).unwrap(), &b).unwrap();
+        let (s, t) = on_both_backends(|| ops::matmul_at(&a, &b).unwrap());
+        prop_assert_eq!(&s, &t);
+        prop_assert_eq!(&s, &via_t);
+
+        let a2 = Tensor::from_vec(av[..m * p].to_vec(), &[m, p]).unwrap();
+        let b2 = Tensor::from_vec(bv[..n * p].to_vec(), &[n, p]).unwrap();
+        let via_t2 = ops::matmul(&a2, &ops::transpose(&b2).unwrap()).unwrap();
+        let (s2, t2) = on_both_backends(|| ops::matmul_bt(&a2, &b2).unwrap());
+        prop_assert_eq!(&s2, &t2);
+        prop_assert_eq!(&s2, &via_t2);
+        // The gather kernel (tier on) and the scalar dots (tier off)
+        // must agree exactly.
+        let bt_scalar = par::with_tier(false, || ops::matmul_bt(&a2, &b2).unwrap());
+        prop_assert_eq!(&s2, &bt_scalar);
+    }
+
+    /// The fused policy head must match the separate
+    /// matmul → bias-add → softmax chain bit-for-bit on both backends.
+    #[test]
+    fn linear_softmax_matches_unfused_bitwise(
+        m in 1usize..7, k in 1usize..7, n in 1usize..7,
+        xv in small_vec(36), wv in small_vec(36), bv in small_vec(6)
+    ) {
+        let x = Tensor::from_vec(xv[..m * k].to_vec(), &[m, k]).unwrap();
+        let w = Tensor::from_vec(wv[..k * n].to_vec(), &[k, n]).unwrap();
+        let b = Tensor::from_vec(bv[..n].to_vec(), &[n]).unwrap();
+        let unfused = ops::softmax_rows(
+            &ops::add(&ops::matmul(&x, &w).unwrap(), &b).unwrap()
+        ).unwrap();
+        let (s, t) = on_both_backends(|| ops::linear_softmax(&x, &w, &b).unwrap());
+        prop_assert_eq!(&s, &t);
+        prop_assert_eq!(&s, &unfused);
     }
 
     /// Broadcast arithmetic under the strided `BroadcastPlan` must match the

@@ -85,6 +85,41 @@ fn telemetry_observes_without_perturbing() {
         "steady state does no per-call planning"
     );
 
+    // 2b. Kernel tier: a hot plan with a pack-eligible weight promotes
+    //     exactly once — the `tensor.pack_b` counter moves at the
+    //     promotion threshold and never again, so steady-state hot-plan
+    //     evaluation performs zero repacking. Pinned on so the contract
+    //     holds under either `MSRL_TIER` setting in the CI matrix.
+    msrl_tensor::par::with_tier(true, || {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[4, 64]);
+        let w = ctx.param("w", &[64, 64]);
+        let _y = x.matmul(&w);
+        let g = ctx.finish();
+        let mut interp = Interpreter::new();
+        interp.bind_input("x", Tensor::full(&[4, 64], 0.1));
+        interp.bind_param("w", Tensor::full(&[64, 64], 0.01));
+        let packs0 = msrl_telemetry::counter_total("tensor.pack_b");
+        let promos0 = msrl_telemetry::counter_total("interp.tier.promoted");
+        let first = interp.eval(&g).expect("tiered graph evaluates");
+        for _ in 0..9 {
+            let again = interp.eval(&g).expect("hot tiered eval");
+            for (a, b) in again.iter().zip(&first) {
+                assert_eq!(a.data(), b.data(), "tier promotion must not change results");
+            }
+        }
+        assert_eq!(
+            msrl_telemetry::counter_total("interp.tier.promoted") - promos0,
+            1,
+            "the hot plan promotes exactly once"
+        );
+        assert_eq!(
+            msrl_telemetry::counter_total("tensor.pack_b") - packs0,
+            1,
+            "steady-state hot-plan evaluation performs zero repacking"
+        );
+    });
+
     // 3. A real distributed run under tracing yields a valid Chrome
     //    trace with fragment lanes, phase spans and comm volume.
     msrl_telemetry::clear_events();
