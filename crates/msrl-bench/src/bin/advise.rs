@@ -11,22 +11,33 @@
 //! ```text
 //! cargo run -p msrl-bench --bin advise [results_dir]
 //!     [--actors N] [--latency-ms X] [--epochs E]
+//! cargo run -p msrl-bench --bin advise -- --live metrics.jsonl
+//!     [--latency-ms X] [--epochs E]
 //! ```
 //!
 //! Defaults: `results_dir = results`, actors and steps from the profile,
 //! latency 10 ms (the profiled workload's simulated wire latency),
 //! epochs 1. Exits non-zero when no parsable profile artifact exists.
+//!
+//! `--live` switches the input from post-hoc profile artifacts to the
+//! always-on attribution stream: the [`msrl_runtime::advisor::LiveAdvisor`]
+//! folds each `msrl.run_event.v2` line into the cost model and prints a
+//! re-partition recommendation whenever the bottleneck shift survives
+//! the hysteresis window. Recommendation only — nothing is re-planned.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use msrl_runtime::advisor::{parse_profile, rank_policies, render_table, CostModelInputs};
+use msrl_runtime::advisor::{
+    parse_profile, rank_policies, render_table, CostModelInputs, LiveAdvisor, LiveAdvisorConfig,
+};
 
 fn main() -> ExitCode {
     let mut dir = "results".to_string();
     let mut actors: Option<usize> = None;
     let mut latency = Duration::from_millis(10);
     let mut epochs = 1usize;
+    let mut live: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -36,6 +47,10 @@ fn main() -> ExitCode {
             args.get(*i).cloned()
         };
         match args[i].as_str() {
+            "--live" => match take(&mut i) {
+                Some(v) => live = Some(v),
+                None => return usage("--live needs a metrics.jsonl path"),
+            },
             "--actors" => match take(&mut i).and_then(|v| v.parse().ok()) {
                 Some(v) => actors = Some(v),
                 None => return usage("--actors needs an integer"),
@@ -52,6 +67,10 @@ fn main() -> ExitCode {
             path => dir = path.to_string(),
         }
         i += 1;
+    }
+
+    if let Some(stream) = live {
+        return advise_live(&stream, latency, epochs);
     }
 
     let mut profiles = Vec::new();
@@ -105,8 +124,66 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Live mode: folds a v2 attribution stream into the cost model and
+/// prints every recommendation the hysteresis lets through.
+fn advise_live(path: &str, latency: Duration, epochs: usize) -> ExitCode {
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("advise: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = LiveAdvisorConfig { latency, epochs, ..LiveAdvisorConfig::default() };
+    let mut adv = LiveAdvisor::new(cfg);
+    for line in content.lines().filter(|l| !l.trim().is_empty()) {
+        match adv.observe_line(line) {
+            Ok(Some(rec)) => match rec.previous {
+                None => println!(
+                    "event {:>4}: start on {} (modelled {:.3} ms/iter, bottleneck {})",
+                    rec.events,
+                    rec.policy,
+                    rec.period_ns / 1e6,
+                    rec.bottleneck,
+                ),
+                Some(prev) => println!(
+                    "event {:>4}: bottleneck shifted to {} — re-partition {} -> {} \
+                     (modelled {:.3} ms/iter)",
+                    rec.events,
+                    rec.bottleneck,
+                    prev,
+                    rec.policy,
+                    rec.period_ns / 1e6,
+                ),
+            },
+            Ok(None) => {}
+            Err(e) => eprintln!("advise: skipping line: {e}"),
+        }
+    }
+    if adv.events() == 0 {
+        eprintln!("advise: no msrl.run_event.v2 events in {path}");
+        return ExitCode::FAILURE;
+    }
+    let inputs = adv.inputs();
+    println!(
+        "\nfolded {} attribution event(s): rollout {:.3} ms, learn {:.3} ms, {} actor(s)",
+        adv.events(),
+        inputs.rollout_ns / 1e6,
+        inputs.learn_ns / 1e6,
+        inputs.actors,
+    );
+    match adv.current() {
+        Some(policy) => println!("recommendation: {policy}"),
+        None => println!("recommendation: (none — no candidate ranked)"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn usage(err: &str) -> ExitCode {
     eprintln!("advise: {err}");
-    eprintln!("usage: advise [results_dir] [--actors N] [--latency-ms X] [--epochs E]");
+    eprintln!(
+        "usage: advise [results_dir] [--actors N] [--latency-ms X] [--epochs E] \
+         | advise --live metrics.jsonl [--latency-ms X] [--epochs E]"
+    );
     ExitCode::FAILURE
 }

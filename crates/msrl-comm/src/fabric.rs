@@ -298,6 +298,7 @@ impl Endpoint {
     fn recv_tagged(&self, from: usize) -> Result<(u64, Vec<f32>), CommError> {
         let _span = msrl_telemetry::span!("comm.recv");
         let _hist = msrl_telemetry::static_histogram!("comm.recv").time();
+        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Comm);
         let msg = self.next_message(from)?;
         count_recv(&msg.payload);
         Ok((msg.tag, msg.payload))
@@ -352,6 +353,7 @@ impl Endpoint {
     pub fn recv_any(&self, from: &[usize]) -> Result<(usize, Vec<f32>), CommError> {
         let _span = msrl_telemetry::span!("comm.recv");
         let _hist = msrl_telemetry::static_histogram!("comm.recv").time();
+        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Comm);
         for &f in from {
             self.check_rank(f)?;
         }
@@ -403,6 +405,7 @@ impl Endpoint {
     pub fn all_gather(&mut self, payload: Vec<f32>) -> Result<Vec<Vec<f32>>, CommError> {
         let _span = msrl_telemetry::span!("comm.all_gather");
         let _hist = msrl_telemetry::static_histogram!("comm.all_gather").time();
+        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Comm);
         self.exchange_tagged(payload)
     }
 
@@ -416,6 +419,7 @@ impl Endpoint {
     pub fn all_reduce_mean(&mut self, payload: Vec<f32>) -> Result<Vec<f32>, CommError> {
         let _span = msrl_telemetry::span!("comm.all_reduce");
         let _hist = msrl_telemetry::static_histogram!("comm.all_reduce").time();
+        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Comm);
         let len = payload.len();
         let parts = self.exchange_tagged(payload)?;
         reduce_mean_parts(&parts, len, self.size)
@@ -446,6 +450,7 @@ impl Endpoint {
     ) -> Result<(Vec<f32>, Vec<Vec<f32>>), CommError> {
         let _span = msrl_telemetry::span!("comm.all_reduce_fused");
         let _hist = msrl_telemetry::static_histogram!("comm.all_reduce_fused").time();
+        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Comm);
         let len = reduce.len();
         let mut framed = Vec::with_capacity(1 + len + extra.len());
         framed.push(len as f32);
@@ -497,6 +502,7 @@ impl Endpoint {
         let _span = msrl_telemetry::span!("comm.all_reduce");
         let n_chunks = payload.len().div_ceil(chunk);
         let _hist = msrl_telemetry::static_histogram!("comm.all_reduce").time();
+        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Comm);
         let tags: Vec<u64> = (0..n_chunks).map(|_| self.advance_tag()).collect();
         for (k, piece) in payload.chunks(chunk).enumerate() {
             for to in 0..self.size {
@@ -534,6 +540,7 @@ impl Endpoint {
     pub fn broadcast(&mut self, root: usize, payload: Vec<f32>) -> Result<Vec<f32>, CommError> {
         let _span = msrl_telemetry::span!("comm.broadcast");
         let _hist = msrl_telemetry::static_histogram!("comm.broadcast").time();
+        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Comm);
         self.check_rank(root)?;
         let tag = self.advance_tag();
         if self.rank == root {
@@ -560,6 +567,7 @@ impl Endpoint {
     pub fn barrier(&mut self) -> Result<(), CommError> {
         let _span = msrl_telemetry::span!("comm.barrier");
         let _hist = msrl_telemetry::static_histogram!("comm.barrier").time();
+        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Comm);
         self.exchange_tagged(Vec::new()).map(|_| ())
     }
 }
@@ -635,6 +643,7 @@ impl PendingRecv {
     pub fn wait(mut self) -> Result<Vec<f32>, CommError> {
         let _span = msrl_telemetry::span!("comm.recv");
         let _hist = msrl_telemetry::static_histogram!("comm.recv").time();
+        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Comm);
         let msg = match self.prefetched.take() {
             Some(m) => m,
             None => self.rx.recv().map_err(|_| CommError::Disconnected)?,

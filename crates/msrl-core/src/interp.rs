@@ -186,6 +186,7 @@ impl<'a> Interpreter<'a> {
     ) -> Result<HashMap<NodeId, Tensor>> {
         let _span = msrl_telemetry::span!("fragment.eval", fragment.id.0);
         let _hist = msrl_telemetry::static_histogram!("fragment.eval").time();
+        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Eval);
         let (values, extra) = self.run(graph, &fragment.all_nodes(), preset, None)?;
         let mut out: HashMap<NodeId, Tensor> =
             values.into_iter().enumerate().filter_map(|(id, v)| v.map(|t| (id, t))).collect();
@@ -215,6 +216,7 @@ impl<'a> Interpreter<'a> {
     ) -> Result<HashMap<NodeId, Tensor>> {
         let _span = msrl_telemetry::span!("fragment.eval", fragment.id.0);
         let _hist = msrl_telemetry::static_histogram!("fragment.eval").time();
+        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Eval);
         let (mut values, extra) = self.run(graph, &fragment.all_nodes(), preset, Some(outputs))?;
         let mut out = HashMap::with_capacity(outputs.len());
         for &id in outputs {

@@ -29,6 +29,16 @@
 //! a ranking device, not a simulator — and the `advise` binary prints
 //! the measured per-iteration periods from the artifacts next to the
 //! modelled ones so disagreement is visible.
+//!
+//! ## Live mode
+//!
+//! [`LiveAdvisor`] feeds the same cost model from the always-on
+//! attribution stream instead of a post-hoc profile: it tails
+//! `msrl.run_event.v2` lines, EWMA-smooths the per-iteration rollout
+//! and learn terms, and re-ranks a candidate set on every event. A
+//! recommendation is printed only when the bottleneck shift persists
+//! through a hysteresis window (margin × consecutive confirmations),
+//! and it is advice only — the advisor never re-plans the run itself.
 
 use std::time::Duration;
 
@@ -258,6 +268,279 @@ pub fn rank_policies(inp: &CostModelInputs) -> Vec<PolicyEstimate> {
     rows
 }
 
+/// One attribution sample parsed from a `msrl.run_event.v2` JSONL line.
+///
+/// This is the live advisor's input: the per-iteration critical-path
+/// breakdown the attribution engine streams through the run-event sink.
+#[derive(Debug, Clone)]
+pub struct AttrSample {
+    /// Distribution policy that emitted the event (`dp_a`, ...).
+    pub policy: String,
+    /// Iteration number within the run.
+    pub iteration: u64,
+    /// Iteration wall time, ns.
+    pub wall_ns: u64,
+    /// Slowest fragment's rollout compute this iteration, ns — the
+    /// cost model's per-actor rollout term `r`.
+    pub rollout_ns: u64,
+    /// Total learn compute across fragments, ns — the cost model's
+    /// whole-batch learn term `l`.
+    pub learn_ns: u64,
+    /// Slowest fragment's comm-blocked time, ns.
+    pub comm_ns: u64,
+    /// Fragments that did rollout work (the replica count `p`).
+    pub actors: usize,
+    /// Dominant component this iteration (`rollout`/`learn`/`comm`/`idle`).
+    pub bottleneck: String,
+    /// `role/id` of fragments flagged as stragglers.
+    pub stragglers: Vec<String>,
+}
+
+/// Parses one metrics-stream line into an [`AttrSample`].
+///
+/// Returns `Ok(None)` for v1 lines (no `attr` payload) so callers can
+/// tail a mixed-schema stream without special-casing.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem in a v2 line.
+pub fn parse_run_event_v2(line: &str) -> Result<Option<AttrSample>, String> {
+    let root = serde_json::value_from_str(line).map_err(|e| e.to_string())?;
+    let Ok(attr) = root.field("attr") else { return Ok(None) };
+    let policy = match root.field("policy") {
+        Ok(Value::Str(s)) => s.clone(),
+        _ => return Err("run event lacks a `policy` string".to_string()),
+    };
+    let iteration = root
+        .field("iteration")
+        .ok()
+        .and_then(|v| u64::from_value(v).ok())
+        .ok_or("run event lacks an `iteration`")?;
+    let num = |v: &Value, name: &str| -> Result<u64, String> {
+        v.field(name)
+            .ok()
+            .and_then(|f| u64::from_value(f).ok())
+            .ok_or_else(|| format!("attr lacks `{name}`"))
+    };
+    let wall_ns = num(attr, "wall_ns")?;
+    let bottleneck = match attr.field("bottleneck") {
+        Ok(Value::Str(s)) => s.clone(),
+        _ => return Err("attr lacks a `bottleneck` string".to_string()),
+    };
+    let Ok(Value::Seq(frags)) = attr.field("fragments") else {
+        return Err("attr lacks a `fragments` array".to_string());
+    };
+    let (mut rollout_ns, mut learn_ns, mut comm_ns, mut actors) = (0u64, 0u64, 0u64, 0usize);
+    let mut stragglers = Vec::new();
+    for f in frags {
+        let fr = num(f, "rollout_ns")?;
+        rollout_ns = rollout_ns.max(fr);
+        learn_ns += num(f, "learn_ns")?;
+        comm_ns = comm_ns.max(num(f, "comm_ns")?);
+        if fr > 0 {
+            actors += 1;
+        }
+        if let (Ok(Value::Str(role)), Ok(Value::Bool(true))) =
+            (f.field("role"), f.field("straggler"))
+        {
+            let id = num(f, "id").unwrap_or(0);
+            stragglers.push(format!("{role}/{id}"));
+        }
+    }
+    Ok(Some(AttrSample {
+        policy,
+        iteration,
+        wall_ns,
+        rollout_ns,
+        learn_ns,
+        comm_ns,
+        actors,
+        bottleneck,
+        stragglers,
+    }))
+}
+
+/// Tuning for the live advisor's folding and hysteresis.
+#[derive(Debug, Clone)]
+pub struct LiveAdvisorConfig {
+    /// Policies the advisor is allowed to recommend. The default pair
+    /// `{dp_a, dp_c}` is the coarse-sync trade-off the cost model can
+    /// genuinely flip on (DP-D dominates DP-C analytically, so ranking
+    /// the full set would never recommend DP-C).
+    pub candidates: Vec<&'static str>,
+    /// One-way link latency `L` to plan for.
+    pub latency: Duration,
+    /// Sync rounds per iteration `E`.
+    pub epochs: usize,
+    /// EWMA weight of each new sample (0..=1; higher reacts faster).
+    pub alpha: f64,
+    /// A challenger must beat the incumbent's modelled period by this
+    /// relative margin to count towards a flip.
+    pub margin: f64,
+    /// Consecutive margin-beating events required before the
+    /// recommendation flips (hysteresis against transient noise).
+    pub confirm: usize,
+}
+
+impl Default for LiveAdvisorConfig {
+    fn default() -> Self {
+        LiveAdvisorConfig {
+            candidates: vec!["dp_a", "dp_c"],
+            latency: Duration::from_millis(10),
+            epochs: 1,
+            alpha: 0.3,
+            margin: 0.10,
+            confirm: 3,
+        }
+    }
+}
+
+/// A recommendation the live advisor emitted after a bottleneck shift
+/// (or on the first sample).
+#[derive(Debug, Clone)]
+pub struct LiveRecommendation {
+    /// The policy the advisor now recommends.
+    pub policy: &'static str,
+    /// The previous recommendation (`None` on the initial one).
+    pub previous: Option<&'static str>,
+    /// Modelled period of the recommended policy, ns.
+    pub period_ns: f64,
+    /// Bottleneck label of the sample that triggered the change.
+    pub bottleneck: String,
+    /// How many attribution events had been folded in at that point.
+    pub events: u64,
+}
+
+/// Folds the v2 attribution stream into the DP-A..DP-F cost model and
+/// recommends a re-partition when the bottleneck shifts.
+///
+/// Recommendation only: the advisor never restarts or re-plans the run
+/// itself. Workload terms (`r`, `l`) are EWMA-smoothed and a flip needs
+/// [`LiveAdvisorConfig::confirm`] consecutive events where the
+/// challenger beats the incumbent by [`LiveAdvisorConfig::margin`], so
+/// noise below the hysteresis threshold never flips the advice.
+#[derive(Debug)]
+pub struct LiveAdvisor {
+    cfg: LiveAdvisorConfig,
+    rollout_ewma: f64,
+    learn_ewma: f64,
+    actors: usize,
+    steps_per_iter: u64,
+    current: Option<&'static str>,
+    streak: usize,
+    events: u64,
+}
+
+impl LiveAdvisor {
+    /// Creates a live advisor with the given tuning.
+    pub fn new(cfg: LiveAdvisorConfig) -> LiveAdvisor {
+        LiveAdvisor {
+            cfg,
+            rollout_ewma: 0.0,
+            learn_ewma: 0.0,
+            actors: 1,
+            steps_per_iter: 1,
+            current: None,
+            streak: 0,
+            events: 0,
+        }
+    }
+
+    /// The current recommendation, if any sample has been folded in.
+    pub fn current(&self) -> Option<&'static str> {
+        self.current
+    }
+
+    /// Attribution events folded in so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The smoothed cost-model inputs the advisor currently ranks on.
+    pub fn inputs(&self) -> CostModelInputs {
+        CostModelInputs {
+            rollout_ns: self.rollout_ewma,
+            learn_ns: self.learn_ewma,
+            actors: self.actors,
+            epochs: self.cfg.epochs,
+            steps_per_iter: self.steps_per_iter,
+            latency: self.cfg.latency,
+        }
+    }
+
+    /// Folds one metrics-stream line in; v1 lines are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`parse_run_event_v2`] failures.
+    pub fn observe_line(&mut self, line: &str) -> Result<Option<LiveRecommendation>, String> {
+        Ok(parse_run_event_v2(line)?.and_then(|s| self.observe(&s)))
+    }
+
+    /// Folds one attribution sample in, returning a recommendation when
+    /// it is the first sample or the bottleneck shift has persisted
+    /// through the hysteresis window.
+    pub fn observe(&mut self, sample: &AttrSample) -> Option<LiveRecommendation> {
+        self.events += 1;
+        self.actors = self.actors.max(sample.actors.max(1));
+        let a = self.cfg.alpha.clamp(0.0, 1.0);
+        if self.events == 1 {
+            self.rollout_ewma = sample.rollout_ns as f64;
+            self.learn_ewma = sample.learn_ns as f64;
+        } else {
+            self.rollout_ewma = (1.0 - a) * self.rollout_ewma + a * sample.rollout_ns as f64;
+            self.learn_ewma = (1.0 - a) * self.learn_ewma + a * sample.learn_ns as f64;
+        }
+
+        let rows = rank_policies(&self.inputs());
+        let candidate = |name: &str| rows.iter().find(|r| r.policy == name).map(|r| r.period_ns);
+        let mut best: Option<(&'static str, f64)> = None;
+        for &name in &self.cfg.candidates {
+            if let Some(period) = candidate(name) {
+                if best.is_none_or(|(_, b)| period < b) {
+                    best = Some((name, period));
+                }
+            }
+        }
+        let (winner, winner_period) = best?;
+
+        let Some(incumbent) = self.current else {
+            // First sample: adopt the winner outright.
+            self.current = Some(winner);
+            return Some(LiveRecommendation {
+                policy: winner,
+                previous: None,
+                period_ns: winner_period,
+                bottleneck: sample.bottleneck.clone(),
+                events: self.events,
+            });
+        };
+        if winner == incumbent {
+            self.streak = 0;
+            return None;
+        }
+        let incumbent_period = candidate(incumbent).unwrap_or(f64::INFINITY);
+        if winner_period < incumbent_period * (1.0 - self.cfg.margin) {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+            return None;
+        }
+        if self.streak < self.cfg.confirm.max(1) {
+            return None;
+        }
+        self.streak = 0;
+        self.current = Some(winner);
+        Some(LiveRecommendation {
+            policy: winner,
+            previous: Some(incumbent),
+            period_ns: winner_period,
+            bottleneck: sample.bottleneck.clone(),
+            events: self.events,
+        })
+    }
+}
+
 /// Renders the ranking (and any measured periods) as an aligned table.
 pub fn render_table(rows: &[PolicyEstimate], measured: &[ProfileSummary]) -> String {
     let mut out = String::new();
@@ -347,5 +630,133 @@ mod tests {
         assert!(parse_profile("not json", "x").is_err());
         assert!(parse_profile("{\"spans\": []}", "x").is_err());
         assert!(parse_profile("{\"spans\": 3}", "x").is_err());
+    }
+
+    /// Builds a real v2 metrics line: 3 actor fragments rolling out for
+    /// `r_ns` and one learner learning for `l_ns`, attributed by the
+    /// engine and serialised through the run-event sink.
+    fn v2_line(iter: u64, r_ns: u64, l_ns: u64) -> String {
+        use msrl_telemetry as tel;
+        let mut stamps = Vec::new();
+        for id in 0..3u64 {
+            stamps.push(tel::StepStamp {
+                role: "actor",
+                fragment: id,
+                class: tel::StepClass::Rollout,
+                start_ns: 0,
+                end_ns: r_ns,
+            });
+        }
+        stamps.push(tel::StepStamp {
+            role: "learner",
+            fragment: 0,
+            class: tel::StepClass::Learn,
+            start_ns: 0,
+            end_ns: l_ns,
+        });
+        let wall = r_ns.max(l_ns) + 1;
+        let attr = tel::attribute(&stamps, 0, wall, 2.0);
+        tel::RunEvent {
+            policy: "dp_a",
+            iteration: iter,
+            reward: 1.0,
+            loss: None,
+            entropy: None,
+            iters_per_sec: 10.0,
+            comm_bytes: 0,
+            staleness: 0,
+            plan_cache_hit_rate: None,
+            attr: Some(attr),
+        }
+        .to_json_line()
+    }
+
+    #[test]
+    fn parse_run_event_v2_extracts_workload_terms() {
+        let line = v2_line(3, 20_000_000, 300_000);
+        let sample = parse_run_event_v2(&line).unwrap().expect("v2 line carries attr");
+        assert_eq!(sample.policy, "dp_a");
+        assert_eq!(sample.iteration, 3);
+        assert_eq!(sample.rollout_ns, 20_000_000, "slowest actor's rollout");
+        assert_eq!(sample.learn_ns, 300_000, "summed learn compute");
+        assert_eq!(sample.actors, 3);
+        assert_eq!(sample.bottleneck, "rollout");
+
+        // v1 lines (no attr) are passed over, not rejected.
+        let v1 = r#"{"schema": "msrl.run_event.v1", "policy": "dp_a", "iteration": 1}"#;
+        assert!(parse_run_event_v2(v1).unwrap().is_none());
+        assert!(parse_run_event_v2("not json").is_err());
+    }
+
+    #[test]
+    fn live_advisor_flips_dp_a_to_dp_c_when_bottleneck_shifts() {
+        let mut adv = LiveAdvisor::new(LiveAdvisorConfig::default());
+        let mut recs = Vec::new();
+        // Rollout-bound regime: 20 ms rollout, 0.3 ms learn. At 10 ms
+        // latency DP-A's single batched exchange wins.
+        for i in 0..6 {
+            if let Some(r) = adv.observe_line(&v2_line(i, 20_000_000, 300_000)).unwrap() {
+                recs.push(r);
+            }
+        }
+        assert_eq!(recs.len(), 1, "one initial recommendation: {recs:?}");
+        assert_eq!(recs[0].policy, "dp_a");
+        assert_eq!(recs[0].previous, None);
+        // The workload turns learn-bound mid-stream: 5 ms rollout, 90 ms
+        // learn. Data-parallel DP-C now wins decisively; the flip lands
+        // after the hysteresis window (3 confirming events), not on the
+        // first shifted sample.
+        for i in 6..12 {
+            if let Some(r) = adv.observe_line(&v2_line(i, 5_000_000, 90_000_000)).unwrap() {
+                recs.push(r);
+            }
+        }
+        assert_eq!(recs.len(), 2, "exactly one flip: {recs:?}");
+        assert_eq!(recs[1].policy, "dp_c");
+        assert_eq!(recs[1].previous, Some("dp_a"));
+        assert!(recs[1].events >= 6 + 3, "flip respects the confirmation window");
+        assert_eq!(adv.current(), Some("dp_c"));
+    }
+
+    #[test]
+    fn live_advisor_is_stable_under_noise_below_hysteresis() {
+        // Workload pinned near the DP-A/DP-C break-even point
+        // (l = 1.5e7 at 10 ms, p = 3: both periods are 3.5e7), with
+        // alpha = 1 so every sample's jitter hits the model unsmoothed.
+        // The ±4% learn jitter lets DP-C win some events, but never by
+        // the 10% margin — the recommendation must not flip.
+        let cfg = LiveAdvisorConfig { alpha: 1.0, ..LiveAdvisorConfig::default() };
+        let mut adv = LiveAdvisor::new(cfg);
+        let mut recs = Vec::new();
+        for i in 0..20u64 {
+            let l = if i % 2 == 0 { 14_500_000 } else { 15_500_000 };
+            if let Some(r) = adv.observe_line(&v2_line(i, 20_000_000, l)).unwrap() {
+                recs.push(r);
+            }
+        }
+        assert_eq!(recs.len(), 1, "only the initial recommendation: {recs:?}");
+        assert_eq!(adv.current(), Some("dp_a"), "noise below hysteresis never flips");
+    }
+
+    #[test]
+    fn live_advisor_agrees_with_committed_profile_ranking() {
+        // Folding the committed DP-A profile's workload terms into the
+        // live path must reproduce the offline ranking: DP-A beats DP-C
+        // on rollout-heavy CartPole at the profiled 10 ms latency.
+        let dp_a = load("profile_dp_a_overlap.json");
+        let sample = AttrSample {
+            policy: "dp_a".to_string(),
+            iteration: 0,
+            wall_ns: dp_a.rollout_p50_ns + dp_a.learn_p50_ns,
+            rollout_ns: dp_a.rollout_p50_ns,
+            learn_ns: dp_a.learn_p50_ns,
+            comm_ns: 0,
+            actors: dp_a.actors,
+            bottleneck: "rollout".to_string(),
+            stragglers: Vec::new(),
+        };
+        let mut adv = LiveAdvisor::new(LiveAdvisorConfig::default());
+        let rec = adv.observe(&sample).expect("first sample recommends");
+        assert_eq!(rec.policy, "dp_a");
     }
 }

@@ -84,16 +84,19 @@ where
             handles.push(scope.spawn(move || -> Result<()> {
                 // One environment per A3C actor (the defining property).
                 let _frag = msrl_telemetry::span!("fragment.worker", rank);
+                msrl_telemetry::set_fragment("worker", rank as u64);
                 let mut worker = A3cWorker::new(policy, cfg, dist.seed + 1 + rank as u64);
                 let mut envs = VecEnv::new(vec![Box::new(make_env(rank)) as Box<dyn Environment>]);
                 for _ in 0..dist.pushes_per_worker {
                     let batch = {
                         let _s = msrl_telemetry::span!("phase.rollout");
+                        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Rollout);
                         collect(&mut worker, &mut envs, dist.rollout_steps)?
                     };
                     let grads = {
                         let _s = msrl_telemetry::span!("phase.learn");
                         let _h = msrl_telemetry::static_histogram!("phase.learn").time();
+                        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Learn);
                         worker.local_grads(&batch)?
                     };
                     // Asynchronous push: no coordination with peers.
@@ -112,6 +115,7 @@ where
         // until *some* worker's push lands, so stragglers are never
         // waited on and an idle learner does not burn the CPU its
         // workers need.
+        msrl_telemetry::set_fragment("learner", p as u64);
         let mut learner = A3cLearner::new(policy, &dist.a3c);
         let mut report = TrainingReport::default();
         let mut prev_reward = 0.0;
@@ -126,7 +130,10 @@ where
                 remaining.iter().enumerate().filter(|(_, &r)| r > 0).map(|(r, _)| r).collect();
             let (rank, grads) = learner_ep.recv_any(&active).map_err(comm_err)?;
             let finished = learner_ep.recv(rank).map_err(comm_err)?;
-            learner.apply_grads(&grads)?;
+            {
+                let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Learn);
+                learner.apply_grads(&grads)?;
+            }
             learner_ep.send(rank, learner.policy_params()).map_err(comm_err)?;
             remaining[rank] -= 1;
             prev_reward = mean_or_prev(&finished, prev_reward);

@@ -65,6 +65,7 @@ where
             let stale_bound = dist.stale_bound();
             handles.push(scope.spawn(move || -> Result<()> {
                 let _frag = msrl_telemetry::span!("fragment.actor", rank);
+                msrl_telemetry::set_fragment("actor", rank as u64);
                 let mut actor = PpoActor::new(policy, dist.seed + 1 + rank as u64);
                 let mut envs = VecEnv::new(
                     (0..dist.envs_per_actor.max(1))
@@ -124,6 +125,7 @@ where
                         // communication time reclaimed by overlapping.
                         let _ov = stale.then(|| msrl_telemetry::span!("comm.overlap"));
                         let _s = msrl_telemetry::span!("phase.rollout");
+                        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Rollout);
                         collect(&mut actor, &mut envs, dist.steps_per_iter)?
                     };
                     let _s = msrl_telemetry::span!("phase.weight_sync");
@@ -142,6 +144,7 @@ where
 
         // Learner fragment body (runs on the calling thread).
         let frag = msrl_telemetry::span!("fragment.learner", 0usize);
+        msrl_telemetry::set_fragment("learner", 0);
         let mut learner = PpoLearner::new(policy, dist.ppo.clone());
         let mut report = TrainingReport::default();
         let mut prev_reward = 0.0;
@@ -157,6 +160,7 @@ where
             let loss = {
                 let _s = msrl_telemetry::span!("phase.learn");
                 let _h = msrl_telemetry::static_histogram!("phase.learn").time();
+                let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Learn);
                 learner.learn(&batch)?
             };
             // Version-stamped broadcast: learning from iteration `iter`'s

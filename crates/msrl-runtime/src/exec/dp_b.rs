@@ -53,6 +53,7 @@ where
             handles.push(scope.spawn(move || -> Result<()> {
                 // The actor+env fragment: no policy, just the loop.
                 let _frag = msrl_telemetry::span!("fragment.actor", rank);
+                msrl_telemetry::set_fragment("actor", rank as u64);
                 let mut envs = VecEnv::new(
                     (0..envs_i)
                         .map(|i| Box::new(make_env(rank, i)) as Box<dyn Environment>)
@@ -60,6 +61,7 @@ where
                 );
                 for _ in 0..dist.iterations {
                     let _iter = msrl_telemetry::span!("phase.rollout");
+                    let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Rollout);
                     let mut obs = envs.reset();
                     for _ in 0..dist.steps_per_iter {
                         // Fine-grained exchange: obs up, actions down.
@@ -93,6 +95,7 @@ where
         }
 
         let frag = msrl_telemetry::span!("fragment.learner", 0usize);
+        msrl_telemetry::set_fragment("learner", 0);
         let mut learner = PpoLearner::new(policy, dist.ppo.clone());
         let mut rng = msrl_tensor::init::rng(dist.seed + 17);
         let mut report = TrainingReport::default();
@@ -102,6 +105,7 @@ where
             let mut buffers: Vec<TrajectoryBuffer> =
                 (0..p).map(|_| TrajectoryBuffer::new()).collect();
             let rollout = msrl_telemetry::span!("phase.rollout");
+            let rollout_attr = msrl_telemetry::step(msrl_telemetry::StepClass::Rollout);
             for _ in 0..dist.steps_per_iter {
                 // Gather observations from every actor, infer centrally.
                 let mut per_actor_obs = Vec::with_capacity(p);
@@ -150,6 +154,7 @@ where
                     ));
                 }
             }
+            drop(rollout_attr);
             drop(rollout);
             // Train on the union of the per-actor trajectories.
             let mut batches = Vec::with_capacity(p);
@@ -160,6 +165,7 @@ where
             let loss = {
                 let _s = msrl_telemetry::span!("phase.learn");
                 let _h = msrl_telemetry::static_histogram!("phase.learn").time();
+                let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Learn);
                 learner.learn(&batch)?
             };
             let mut finished = Vec::new();

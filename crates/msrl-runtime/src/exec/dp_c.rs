@@ -59,6 +59,7 @@ where
             handles.push(scope.spawn(move || -> Result<TrainingReport> {
                 // The fused actor+learner fragment.
                 let _frag = msrl_telemetry::span!("fragment.actor_learner", rank);
+                msrl_telemetry::set_fragment("actor_learner", rank as u64);
                 let mut actor = PpoActor::new(policy.clone(), dist.seed + 1 + rank as u64);
                 let mut learner = PpoLearner::new(policy, ppo.clone());
                 let mut envs = VecEnv::new(
@@ -78,6 +79,7 @@ where
                 for _ in 0..dist.iterations {
                     let batch = {
                         let _s = msrl_telemetry::span!("phase.rollout");
+                        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Rollout);
                         collect(&mut actor, &mut envs, dist.steps_per_iter)?
                     };
                     // Data-parallel training: per-epoch local gradients,
@@ -86,6 +88,7 @@ where
                     {
                         let _s = msrl_telemetry::span!("phase.learn");
                         let _h = msrl_telemetry::static_histogram!("phase.learn").time();
+                        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Learn);
                         for epoch in 0..ppo.epochs {
                             let local = learner.grads(&batch)?;
                             let averaged = if fused && epoch + 1 == ppo.epochs {

@@ -65,6 +65,7 @@ where
             let ppo = cfg.ppo.clone();
             handles.push(scope.spawn(move || -> Result<TrainingReport> {
                 let _frag = msrl_telemetry::span!("fragment.fused_loop", rank);
+                msrl_telemetry::set_fragment("fused_loop", rank as u64);
                 let mut env = make_env(rank);
                 let mut learner = PpoLearner::new(policy, ppo);
                 let mut rng = msrl_tensor::init::rng(cfg.seed + 100 + rank as u64);
@@ -76,6 +77,7 @@ where
                     // Fused loop: everything below is "on device".
                     let mut buf = TrajectoryBuffer::new();
                     let rollout = msrl_telemetry::span!("phase.rollout");
+                    let rollout_attr = msrl_telemetry::step(msrl_telemetry::StepClass::Rollout);
                     let mut obs = env.reset();
                     let mut total_reward = 0.0;
                     let mut steps = 0usize;
@@ -101,11 +103,13 @@ where
                             break;
                         }
                     }
+                    drop(rollout_attr);
                     drop(rollout);
                     let batch = buf.drain_env_major()?;
                     let loss = {
                         let _s = msrl_telemetry::span!("phase.learn");
                         let _h = msrl_telemetry::static_histogram!("phase.learn").time();
+                        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Learn);
                         learner.learn(&batch)?
                     };
                     // Per-episode replica sync: average weights. With

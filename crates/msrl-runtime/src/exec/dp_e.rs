@@ -70,12 +70,14 @@ where
                 // parameters with peers (ranks 0..n are agents; the env
                 // worker does not join the weight AllReduce).
                 let _frag = msrl_telemetry::span!("fragment.agent", rank);
+                msrl_telemetry::set_fragment("agent", rank as u64);
                 let mut actor = PpoActor::new(policy.clone(), cfg.seed + 1 + rank as u64);
                 let mut learner = PpoLearner::new(policy, ppo);
                 for _ in 0..cfg.episodes {
                     let mut buf = TrajectoryBuffer::new();
                     let mut prev: Option<(Tensor, Tensor, Tensor, Tensor)> = None;
                     let rollout = msrl_telemetry::span!("phase.rollout");
+                    let rollout_attr = msrl_telemetry::step(msrl_telemetry::StepClass::Rollout);
                     loop {
                         // [done_flag, obs...] from the env worker.
                         let msg = ep.recv(n).map_err(comm_err)?;
@@ -106,11 +108,13 @@ where
                             out.values.expect("PPO policy has a critic"),
                         ));
                     }
+                    drop(rollout_attr);
                     drop(rollout);
                     let batch = buf.drain_env_major()?;
                     if !batch.is_empty() {
                         let _s = msrl_telemetry::span!("phase.learn");
                         let _h = msrl_telemetry::static_histogram!("phase.learn").time();
+                        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Learn);
                         learner.learn(&batch)?;
                     }
                     // MAPPO parameter sharing across agent fragments.
@@ -140,6 +144,7 @@ where
 
         // Environment-worker fragment.
         let frag = msrl_telemetry::span!("fragment.env_worker", n);
+        msrl_telemetry::set_fragment("env_worker", n as u64);
         let mut env = env;
         let mut env_ep = env_ep;
         let mut report = TrainingReport::default();

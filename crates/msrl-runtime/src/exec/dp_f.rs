@@ -61,6 +61,7 @@ where
                 // A worker: local actor + gradient computation; weights
                 // live at the server.
                 let _frag = msrl_telemetry::span!("fragment.worker", rank);
+                msrl_telemetry::set_fragment("worker", rank as u64);
                 let mut actor = PpoActor::new(policy.clone(), dist.seed + 1 + rank as u64);
                 let mut grad_engine = PpoLearner::new(policy, ppo);
                 let mut envs = VecEnv::new(
@@ -98,11 +99,13 @@ where
                     let batch = {
                         let _ov = stale.then(|| msrl_telemetry::span!("comm.overlap"));
                         let _s = msrl_telemetry::span!("phase.rollout");
+                        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Rollout);
                         collect(&mut actor, &mut envs, dist.steps_per_iter)?
                     };
                     let grads = {
                         let _s = msrl_telemetry::span!("phase.learn");
                         let _h = msrl_telemetry::static_histogram!("phase.learn").time();
+                        let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Learn);
                         grad_engine.grads(&batch)?
                     };
                     // Push gradients; the pull for the server's reply is
@@ -124,6 +127,7 @@ where
 
         // The parameter-server fragment.
         let frag = msrl_telemetry::span!("fragment.param_server", p);
+        msrl_telemetry::set_fragment("param_server", p as u64);
         let mut server = PpoLearner::new(policy, dist.ppo.clone());
         let mut report = TrainingReport::default();
         let mut prev_reward = 0.0;
@@ -150,6 +154,7 @@ where
                 finished.extend(server_ep.recv(rank).map_err(comm_err)?);
                 {
                     let _s = msrl_telemetry::span!("phase.learn");
+                    let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Learn);
                     server.apply_grads(&grads)?;
                 }
                 server_ep.send(rank, server.policy_params()).map_err(comm_err)?;

@@ -177,9 +177,12 @@ pub(crate) struct RunObserver {
 
 impl RunObserver {
     /// Starts observing a run. Also installs the flight recorder's
-    /// panic hook so a dying worker leaves post-mortem state on disk.
+    /// panic hook so a dying worker leaves post-mortem state on disk,
+    /// and opens the first attribution window so step stamps from
+    /// before the run don't leak into iteration 0.
     pub(crate) fn new(policy: &'static str, staleness: usize) -> RunObserver {
         msrl_telemetry::install_panic_hook();
+        msrl_telemetry::reset_window();
         RunObserver {
             policy,
             staleness: staleness as u64,
@@ -189,13 +192,23 @@ impl RunObserver {
         }
     }
 
-    /// Closes one iteration: records its period and streams the
-    /// training-metrics event.
+    /// Closes one iteration: records its period, computes the
+    /// critical-path attribution over the iteration window (draining
+    /// every fragment thread's step stamps), and streams the
+    /// training-metrics event — schema v2 when attribution is on.
     pub(crate) fn observe(&mut self, reward: f32, loss: Option<f32>, entropy: Option<f32>) {
         let now = std::time::Instant::now();
         let dt = now.duration_since(self.last);
         self.last = now;
         msrl_telemetry::static_histogram!("fragment.eval").record_duration(dt);
+        let attr = if msrl_telemetry::attr_enabled() {
+            let t = msrl_telemetry::static_histogram!("attr.finish_iteration").time();
+            let a = msrl_telemetry::finish_iteration();
+            drop(t);
+            Some(a)
+        } else {
+            None
+        };
         let bytes = msrl_telemetry::counter_total("comm.bytes_sent");
         let hits = msrl_telemetry::counter_total("interp.plan_cache.hit");
         let misses = msrl_telemetry::counter_total("interp.plan_cache.miss");
@@ -210,6 +223,7 @@ impl RunObserver {
             comm_bytes: bytes.saturating_sub(self.bytes_prev),
             staleness: self.staleness,
             plan_cache_hit_rate,
+            attr,
         });
         self.bytes_prev = bytes;
         self.iteration += 1;

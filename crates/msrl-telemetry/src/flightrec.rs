@@ -312,16 +312,28 @@ pub fn render_dump(trigger: &str, reason: &str) -> String {
         ));
     }
     out.push_str("},\n  \"histograms\": {");
-    let hists = crate::histogram::histograms_snapshot();
-    for (i, (name, s)) in hists.iter().enumerate() {
+    // Name-sorted quantile state plus the raw log₂ buckets (non-zero
+    // only) and exact sum, so a post-mortem carries the full
+    // distribution as recorded at crash time, not just estimates.
+    let hists = crate::histogram::histograms_raw_snapshot();
+    for (i, (name, buckets, sum)) in hists.iter().enumerate() {
+        let s = crate::HistogramStats::from_buckets(buckets);
+        let raw: Vec<String> = buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| format!("\"{b}\": {c}"))
+            .collect();
         out.push_str(&format!(
-            "\n    \"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}{}",
+            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}, \"buckets\": {{{}}}}}{}",
             esc(name),
             s.count,
+            sum,
             s.p50_ns,
             s.p90_ns,
             s.p99_ns,
             s.max_ns,
+            raw.join(", "),
             if i + 1 == hists.len() { "\n  " } else { "," }
         ));
     }
@@ -390,6 +402,18 @@ pub fn validate_flightrec(content: &str) -> Result<usize, String> {
             return Err(format!("missing object field {key:?}"));
         }
     }
+    if let Ok(Value::Map(hists)) = v.field("histograms") {
+        for (name, h) in hists {
+            for key in ["count", "sum"] {
+                if !matches!(h.field(key), Ok(Value::I64(_) | Value::U64(_))) {
+                    return Err(format!("histogram {name:?}: missing numeric field {key:?}"));
+                }
+            }
+            if !matches!(h.field("buckets"), Ok(Value::Map(_))) {
+                return Err(format!("histogram {name:?}: missing buckets object"));
+            }
+        }
+    }
     let Ok(Value::Seq(events)) = v.field("events") else {
         return Err("missing events array".to_string());
     };
@@ -430,9 +454,15 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.name == "flightrec.test.count" && e.kind == "count" && e.arg == 3));
+        crate::histogram_record("flightrec.test.hist", 12);
         let json = render_dump("test", "unit test");
         let n = validate_flightrec(&json).expect("dump validates");
         assert!(n >= 2);
+        assert!(
+            json.contains("\"flightrec.test.hist\": {\"count\": 1, \"sum\": 12,"),
+            "dump carries raw histogram state"
+        );
+        assert!(json.contains("\"buckets\": {\"4\": 1}"), "12 lands in bucket 4");
 
         for _ in 0..(RING_CAPACITY * 3) {
             note_span("flightrec.test.flood");

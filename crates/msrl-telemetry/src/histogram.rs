@@ -24,11 +24,13 @@ pub const HISTOGRAM_BUCKETS: usize = 64;
 
 struct HistCells {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Exact running sum of recorded values (Prometheus `_sum`).
+    sum: AtomicU64,
 }
 
 impl HistCells {
     fn new() -> HistCells {
-        HistCells { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+        HistCells { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum: AtomicU64::new(0) }
     }
 }
 
@@ -102,11 +104,13 @@ impl Histogram {
         Histogram { cells: intern(name) }
     }
 
-    /// Records one observation: one bucket computation plus one relaxed
-    /// `fetch_add`. Never gated — histograms are always live.
+    /// Records one observation: one bucket computation plus two relaxed
+    /// `fetch_add`s (bucket count and exact sum). Never gated —
+    /// histograms are always live.
     #[inline]
     pub fn record(&self, value: u64) {
         self.cells.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.cells.sum.fetch_add(value, Ordering::Relaxed);
     }
 
     /// Records a duration in nanoseconds.
@@ -125,6 +129,11 @@ impl Histogram {
     /// Raw per-bucket counts (index `i` per [`bucket_index`]).
     pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
         std::array::from_fn(|i| self.cells.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.cells.sum.load(Ordering::Relaxed)
     }
 
     /// Aggregated count / quantile estimates for this histogram.
@@ -196,7 +205,9 @@ impl HistogramStats {
 /// Records one observation on the named histogram (registry lookup per
 /// call — fine for cold paths; hot sites cache a [`Histogram`]).
 pub fn histogram_record(name: &str, value: u64) {
-    intern(name).buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    let cells = intern(name);
+    cells.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    cells.sum.fetch_add(value, Ordering::Relaxed);
 }
 
 /// The named histogram's stats (`None` if never touched).
@@ -223,6 +234,20 @@ pub fn histograms_snapshot() -> Vec<(String, HistogramStats)> {
         .collect()
 }
 
+/// All histograms' raw state, name-sorted: per-bucket counts plus the
+/// exact value sum — the inputs to the Prometheus `_bucket`/`_sum`
+/// series and the flight-recorder dump.
+pub fn histograms_raw_snapshot() -> Vec<(String, [u64; HISTOGRAM_BUCKETS], u64)> {
+    let m = histograms().lock().expect("telemetry histogram registry poisoned");
+    m.iter()
+        .map(|(k, cells)| {
+            let counts: [u64; HISTOGRAM_BUCKETS] =
+                std::array::from_fn(|i| cells.buckets[i].load(Ordering::Relaxed));
+            (k.clone(), counts, cells.sum.load(Ordering::Relaxed))
+        })
+        .collect()
+}
+
 /// Zeroes every histogram bucket. Used between profiled runs so
 /// quantiles attribute cleanly.
 pub fn reset_histograms() {
@@ -231,6 +256,7 @@ pub fn reset_histograms() {
         for b in &cells.buckets {
             b.store(0, Ordering::Relaxed);
         }
+        cells.sum.store(0, Ordering::Relaxed);
     }
 }
 
@@ -285,6 +311,20 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(names, sorted, "histograms_snapshot is name-sorted");
         assert!(histogram_stats("hist.test.za").unwrap().count >= 1);
+    }
+
+    #[test]
+    fn sum_tracks_recorded_values() {
+        let h = Histogram::handle("hist.test.sum");
+        h.record(10);
+        h.record(22);
+        h.record(0);
+        assert_eq!(h.sum(), 32);
+        let raw = histograms_raw_snapshot();
+        let (_, buckets, sum) =
+            raw.iter().find(|(n, _, _)| n == "hist.test.sum").expect("snapshot carries histogram");
+        assert_eq!(*sum, 32);
+        assert_eq!(buckets.iter().sum::<u64>(), 3);
     }
 
     #[test]

@@ -31,7 +31,11 @@
 //! `MSRL_METRICS_TEXT_FILE`); the [`flightrec`] module keeps a bounded
 //! per-thread ring of recent span/counter events (on even when tracing
 //! is off, `MSRL_FLIGHTREC=0` disables) and dumps it with registry
-//! snapshots on panic or driver error for post-mortem debugging.
+//! snapshots on panic or driver error for post-mortem debugging; the
+//! [`attribution`] module turns always-on phase/comm/eval step stamps
+//! into a per-iteration critical-path and time-attribution breakdown
+//! (rollout / learn / comm-blocked / idle / straggler slack per
+//! fragment) carried on `RunEvent` schema v2.
 //!
 //! Two exporters turn a drained event stream into artefacts:
 //! [`chrome_trace`] emits Chrome trace-event JSON (open it in Perfetto or
@@ -61,6 +65,7 @@
 
 #![warn(missing_docs)]
 
+pub mod attribution;
 mod chrome;
 pub mod flightrec;
 mod histogram;
@@ -69,11 +74,17 @@ mod registry;
 mod report;
 pub mod sink;
 
+pub use attribution::{
+    attr_enabled, attribute, finish_iteration, record_step, reset_window, set_attr_enabled,
+    set_fragment, step, steps_dropped, straggler_k, CriticalPath, DagNode, FragmentAttr,
+    IterAttribution, StepClass, StepDag, StepGuard, StepStamp,
+};
 pub use chrome::{chrome_trace, validate_chrome_trace, TraceCheck};
 pub use flightrec::{install_panic_hook, validate_flightrec};
 pub use histogram::{
     bucket_estimate, bucket_index, bucket_lower_bound, histogram_record, histogram_stats,
-    histograms_snapshot, reset_histograms, HistTimer, Histogram, HistogramStats, HISTOGRAM_BUCKETS,
+    histograms_raw_snapshot, histograms_snapshot, reset_histograms, HistTimer, Histogram,
+    HistogramStats, HISTOGRAM_BUCKETS,
 };
 pub use recorder::{clear_events, drain, flush_thread, span, span_id, Event, Phase, SpanGuard};
 pub use registry::{

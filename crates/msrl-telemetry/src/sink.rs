@@ -12,6 +12,12 @@
 //! (the e2e test binaries in CI share one metrics file) never interleave
 //! partial lines.
 //!
+//! Two schemas coexist on one stream: plain training lines are
+//! `msrl.run_event.v1`; lines carrying a critical-path attribution
+//! ([`RunEvent::attr`]) are `msrl.run_event.v2` and add an `attr`
+//! object whose per-fragment components sum exactly to the iteration
+//! wall time — the validator enforces the identity.
+//!
 //! [`validate_metrics`] structurally checks a metrics file line by line;
 //! the `validate_metrics` binary wraps it for CI.
 
@@ -20,8 +26,11 @@ use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::sync::{Mutex, OnceLock};
 
-/// Schema tag stamped on every metrics line.
+/// Schema tag of attribution-free metrics lines.
 pub const RUN_EVENT_SCHEMA: &str = "msrl.run_event.v1";
+
+/// Schema tag of metrics lines carrying a critical-path attribution.
+pub const RUN_EVENT_SCHEMA_V2: &str = "msrl.run_event.v2";
 
 /// One per-iteration training-metrics record.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +53,9 @@ pub struct RunEvent {
     pub staleness: u64,
     /// Plan-cache hit rate so far (`None` before any plan lookup).
     pub plan_cache_hit_rate: Option<f64>,
+    /// Critical-path attribution for the iteration; when present the
+    /// line is stamped schema v2 and carries the per-fragment breakdown.
+    pub attr: Option<crate::IterAttribution>,
 }
 
 fn fmt_opt(v: Option<f64>) -> String {
@@ -61,16 +73,76 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
+fn attr_json(a: &crate::IterAttribution) -> String {
+    let mut frags = String::from("[");
+    for (i, f) in a.fragments.iter().enumerate() {
+        if i > 0 {
+            frags.push_str(", ");
+        }
+        frags.push_str(&format!(
+            concat!(
+                "{{\"role\": \"{}\", \"id\": {}, \"rollout_ns\": {}, \"learn_ns\": {}, ",
+                "\"comm_ns\": {}, \"eval_ns\": {}, \"idle_ns\": {}, \"slack_ns\": {}, ",
+                "\"busy_ns\": {}, \"wall_ns\": {}, \"straggler\": {}, \"critical\": {}}}"
+            ),
+            f.role,
+            f.fragment,
+            f.rollout_ns,
+            f.learn_ns,
+            f.comm_ns,
+            f.eval_ns,
+            f.idle_ns,
+            f.slack_ns,
+            f.busy_ns,
+            f.wall_ns,
+            f.straggler,
+            f.critical,
+        ));
+    }
+    frags.push(']');
+    format!(
+        concat!(
+            "{{\"wall_ns\": {}, \"critical_path_ns\": {}, \"rollout_ns\": {}, ",
+            "\"learn_ns\": {}, \"comm_ns\": {}, \"eval_ns\": {}, \"idle_ns\": {}, ",
+            "\"slack_ns\": {}, \"bottleneck\": \"{}\", \"fragments\": {}}}"
+        ),
+        a.wall_ns,
+        a.critical_path_ns,
+        a.rollout_ns,
+        a.learn_ns,
+        a.comm_ns,
+        a.eval_ns,
+        a.idle_ns,
+        a.slack_ns,
+        a.bottleneck,
+        frags,
+    )
+}
+
 impl RunEvent {
+    /// The schema tag this event is stamped with: v2 when it carries an
+    /// attribution, v1 otherwise.
+    pub fn schema(&self) -> &'static str {
+        if self.attr.is_some() {
+            RUN_EVENT_SCHEMA_V2
+        } else {
+            RUN_EVENT_SCHEMA
+        }
+    }
+
     /// Renders the event as one JSON line (no trailing newline).
     pub fn to_json_line(&self) -> String {
+        let attr_field = match &self.attr {
+            Some(a) => format!(", \"attr\": {}", attr_json(a)),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"schema\": \"{}\", \"policy\": \"{}\", \"iteration\": {}, ",
                 "\"reward\": {}, \"loss\": {}, \"entropy\": {}, \"iters_per_sec\": {}, ",
-                "\"comm_bytes\": {}, \"staleness\": {}, \"plan_cache_hit_rate\": {}}}"
+                "\"comm_bytes\": {}, \"staleness\": {}, \"plan_cache_hit_rate\": {}{}}}"
             ),
-            RUN_EVENT_SCHEMA,
+            self.schema(),
             self.policy,
             self.iteration,
             fmt_f64(self.reward),
@@ -80,6 +152,7 @@ impl RunEvent {
             self.comm_bytes,
             self.staleness,
             fmt_opt(self.plan_cache_hit_rate),
+            attr_field,
         )
     }
 }
@@ -164,8 +237,27 @@ pub fn metrics_text() -> String {
     for (name, v) in crate::registry::gauges_snapshot() {
         out.push_str(&format!("msrl_gauge_{} {}\n", prom_name(&name), fmt_f64(v)));
     }
-    for (name, s) in crate::histogram::histograms_snapshot() {
+    // Real Prometheus histogram series. Bucket `i` of the log₂ layout
+    // holds values in `[2^(i-1), 2^i)`, so the inclusive `le` bound of
+    // its cumulative line is `2^i - 1` — counts are exact, not
+    // interpolated. Empty buckets are elided; cumulative semantics are
+    // unaffected by sparse `le` steps.
+    for (name, buckets, sum) in crate::histogram::histograms_raw_snapshot() {
         let base = format!("msrl_hist_{}", prom_name(&name));
+        out.push_str(&format!("# TYPE {base}_ns histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, &c) in buckets.iter().enumerate() {
+            cumulative += c;
+            if c > 0 && i < crate::HISTOGRAM_BUCKETS - 1 {
+                let le = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                out.push_str(&format!("{base}_ns_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+        }
+        out.push_str(&format!("{base}_ns_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{base}_ns_sum {sum}\n"));
+        out.push_str(&format!("{base}_ns_count {cumulative}\n"));
+        // Legacy quantile-gauge lines, kept for one deprecation cycle.
+        let s = crate::HistogramStats::from_buckets(&buckets);
         out.push_str(&format!("{base}_count {}\n", s.count));
         for (q, v) in [("0.5", s.p50_ns), ("0.9", s.p90_ns), ("0.99", s.p99_ns)] {
             out.push_str(&format!("{base}_ns{{quantile=\"{q}\"}} {v}\n"));
@@ -228,10 +320,11 @@ pub fn validate_metrics(content: &str) -> Result<usize, String> {
         }
         let n = lineno + 1;
         let v = serde_json::value_from_str(line).map_err(|e| format!("line {n}: not JSON: {e}"))?;
-        match v.field("schema") {
-            Ok(Value::Str(s)) if s == RUN_EVENT_SCHEMA => {}
+        let v2 = match v.field("schema") {
+            Ok(Value::Str(s)) if s == RUN_EVENT_SCHEMA => false,
+            Ok(Value::Str(s)) if s == RUN_EVENT_SCHEMA_V2 => true,
             other => return Err(format!("line {n}: bad schema: {other:?}")),
-        }
+        };
         match v.field("policy") {
             Ok(Value::Str(p)) if !p.is_empty() => {}
             other => return Err(format!("line {n}: bad policy: {other:?}")),
@@ -257,9 +350,75 @@ pub fn validate_metrics(content: &str) -> Result<usize, String> {
                 return Err(format!("line {n}: plan_cache_hit_rate out of [0,1]: {r}"));
             }
         }
+        if v2 {
+            validate_attr(&v, n)?;
+        } else if v.field("attr").is_ok() {
+            return Err(format!("line {n}: v1 line must not carry an attr object"));
+        }
         valid += 1;
     }
     Ok(valid)
+}
+
+/// Validates the `attr` object of a v2 line: required numeric fields, a
+/// known bottleneck label, and per-fragment components that sum exactly
+/// to the fragment's wall time (the attribution identity).
+fn validate_attr(v: &serde_json::Value, n: usize) -> Result<(), String> {
+    use serde_json::Value;
+    let Ok(attr) = v.field("attr") else {
+        return Err(format!("line {n}: v2 line missing attr object"));
+    };
+    let uint = |obj: &Value, key: &str| -> Result<u64, String> {
+        match obj.field(key) {
+            Ok(Value::U64(x)) => Ok(*x),
+            Ok(Value::I64(x)) if *x >= 0 => Ok(*x as u64),
+            other => Err(format!("line {n}: attr field {key:?} not a non-negative int: {other:?}")),
+        }
+    };
+    for key in [
+        "wall_ns",
+        "critical_path_ns",
+        "rollout_ns",
+        "learn_ns",
+        "comm_ns",
+        "eval_ns",
+        "idle_ns",
+        "slack_ns",
+    ] {
+        uint(attr, key)?;
+    }
+    match attr.field("bottleneck") {
+        Ok(Value::Str(b)) if matches!(b.as_str(), "rollout" | "learn" | "comm" | "idle") => {}
+        other => return Err(format!("line {n}: bad attr bottleneck: {other:?}")),
+    }
+    let Ok(Value::Seq(frags)) = attr.field("fragments") else {
+        return Err(format!("line {n}: attr missing fragments array"));
+    };
+    for (i, f) in frags.iter().enumerate() {
+        match f.field("role") {
+            Ok(Value::Str(r)) if !r.is_empty() => {}
+            other => return Err(format!("line {n}: fragment {i}: bad role: {other:?}")),
+        }
+        uint(f, "id")?;
+        for key in ["straggler", "critical"] {
+            if !matches!(f.field(key), Ok(Value::Bool(_))) {
+                return Err(format!("line {n}: fragment {i}: missing bool field {key:?}"));
+            }
+        }
+        let parts: Result<Vec<u64>, String> =
+            ["rollout_ns", "learn_ns", "comm_ns", "eval_ns", "idle_ns", "slack_ns"]
+                .iter()
+                .map(|k| uint(f, k))
+                .collect();
+        let sum: u64 = parts?.iter().sum();
+        let wall = uint(f, "wall_ns")?;
+        if sum != wall {
+            return Err(format!(
+                "line {n}: fragment {i}: components sum to {sum} but wall_ns is {wall}"
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -277,7 +436,28 @@ mod tests {
             comm_bytes: 13400,
             staleness: 1,
             plan_cache_hit_rate: Some(0.97),
+            attr: None,
         }
+    }
+
+    fn sample_v2(iteration: u64) -> RunEvent {
+        let stamps = vec![
+            crate::StepStamp {
+                role: "actor",
+                fragment: 0,
+                class: crate::StepClass::Rollout,
+                start_ns: 0,
+                end_ns: 95,
+            },
+            crate::StepStamp {
+                role: "learner",
+                fragment: 0,
+                class: crate::StepClass::Learn,
+                start_ns: 0,
+                end_ns: 90,
+            },
+        ];
+        RunEvent { attr: Some(crate::attribute(&stamps, 0, 100, 2.0)), ..sample(iteration) }
     }
 
     #[test]
@@ -291,6 +471,38 @@ mod tests {
         ev.entropy = None;
         ev.plan_cache_hit_rate = None;
         assert_eq!(validate_metrics(&ev.to_json_line()).unwrap(), 1);
+    }
+
+    #[test]
+    fn v2_lines_validate_and_mix_with_v1() {
+        let ev = sample_v2(3);
+        assert_eq!(ev.schema(), RUN_EVENT_SCHEMA_V2);
+        let line = ev.to_json_line();
+        assert!(line.contains("\"schema\": \"msrl.run_event.v2\""));
+        assert!(line.contains("\"bottleneck\": \"rollout\""));
+        assert!(line.contains("\"fragments\": ["));
+        let mixed = format!("{}\n{}", sample(2).to_json_line(), line);
+        assert_eq!(validate_metrics(&mixed).expect("v1 and v2 both accepted"), 2);
+        // A v2 line whose fragment components do not sum to the wall is
+        // rejected — the identity is part of the schema.
+        let broken = line.replacen("\"rollout_ns\": 95", "\"rollout_ns\": 96", 1);
+        assert!(validate_metrics(&broken).is_err());
+    }
+
+    #[test]
+    fn prometheus_histogram_series_are_exact() {
+        crate::histogram_record("sink.test.promhist", 5); // bucket 3, le 7
+        crate::histogram_record("sink.test.promhist", 6);
+        crate::histogram_record("sink.test.promhist", 900); // bucket 10, le 1023
+        let text = metrics_text();
+        assert!(text.contains("# TYPE msrl_hist_sink_test_promhist_ns histogram"));
+        assert!(text.contains("msrl_hist_sink_test_promhist_ns_bucket{le=\"7\"} 2"));
+        assert!(text.contains("msrl_hist_sink_test_promhist_ns_bucket{le=\"1023\"} 3"));
+        assert!(text.contains("msrl_hist_sink_test_promhist_ns_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("msrl_hist_sink_test_promhist_ns_sum 911"));
+        assert!(text.contains("msrl_hist_sink_test_promhist_ns_count 3"));
+        // Legacy quantile lines survive the deprecation cycle.
+        assert!(text.contains("msrl_hist_sink_test_promhist_ns{quantile=\"0.5\"}"));
     }
 
     #[test]
