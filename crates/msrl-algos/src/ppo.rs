@@ -13,7 +13,7 @@ use msrl_core::api::{ActOutput, Actor, Learner, SampleBatch};
 use msrl_core::{FdgError, Result};
 use msrl_tensor::autograd::Tape;
 use msrl_tensor::dist::{categorical_stats, gaussian_stats, Categorical, DiagGaussian};
-use msrl_tensor::nn::{Activation, Mlp};
+use msrl_tensor::nn::{Activation, Mlp, PackedMlp};
 use msrl_tensor::optim::{clip_grad_norm, Adam, Optimizer};
 use msrl_tensor::{init, ops, Tensor};
 use rand::rngs::StdRng;
@@ -146,8 +146,22 @@ impl PpoPolicy {
     ///
     /// Returns an error on malformed observations.
     pub fn act(&self, obs: &Tensor, rng: &mut StdRng) -> Result<ActOutput> {
-        let out = self.actor.infer(obs)?;
-        let values = self.critic.infer(obs)?;
+        self.act_with(obs, rng, None)
+    }
+
+    /// [`PpoPolicy::act`], optionally over a pre-packed weight snapshot
+    /// (the batched-rollout fast path). The packed forward replays the
+    /// same fused per-layer arithmetic, so both paths are bit-identical.
+    fn act_with(
+        &self,
+        obs: &Tensor,
+        rng: &mut StdRng,
+        packed: Option<&PackedPpo>,
+    ) -> Result<ActOutput> {
+        let (out, values) = match packed {
+            Some(p) => (p.actor.infer(obs)?, p.critic.infer(obs)?),
+            None => (self.actor.infer(obs)?, self.critic.infer(obs)?),
+        };
         let batch = obs.shape()[0];
         let values = values.reshape(&[batch])?;
         if self.discrete {
@@ -176,23 +190,62 @@ impl PpoPolicy {
     }
 }
 
+/// A policy's weights packed into the kernel tier's panel layout —
+/// one `pack_b` per layer per weight version, amortized over every
+/// rollout forward until the next weight sync.
+struct PackedPpo {
+    actor: PackedMlp,
+    critic: PackedMlp,
+}
+
+impl PackedPpo {
+    fn pack(p: &PpoPolicy) -> Self {
+        PackedPpo { actor: p.actor.pack(), critic: p.critic.pack() }
+    }
+}
+
 /// The data-collection half of PPO (`Actor.act()` in the paper's API).
+///
+/// When the kernel tier and fusion are enabled, the actor lazily packs
+/// its policy weights once per weight version and runs every rollout
+/// forward of the iteration as a single panel sweep over the shared
+/// packed panels — the per-step observation batch (`[envs, obs]` rows
+/// collected by the rollout) stops paying per-forward dispatch and
+/// packing. [`Actor::set_policy_params`] invalidates the snapshot, so a
+/// weight sync triggers exactly one repack. Outputs are bit-identical
+/// to the unpacked path (`MSRL_TIER=0`).
 pub struct PpoActor {
     /// The (replicated) policy.
     pub policy: PpoPolicy,
     rng: StdRng,
+    packed: Option<PackedPpo>,
 }
 
 impl PpoActor {
     /// Creates an actor over a policy replica.
     pub fn new(policy: PpoPolicy, seed: u64) -> Self {
-        PpoActor { policy, rng: StdRng::seed_from_u64(seed) }
+        PpoActor { policy, rng: StdRng::seed_from_u64(seed), packed: None }
+    }
+
+    /// Whether the batched-rollout packed snapshot is currently built
+    /// (test hook for the tier accounting).
+    pub fn has_packed_weights(&self) -> bool {
+        self.packed.is_some()
     }
 }
 
 impl Actor for PpoActor {
     fn act(&mut self, obs: &Tensor) -> Result<ActOutput> {
-        self.policy.act(obs, &mut self.rng)
+        if msrl_tensor::par::tier_enabled() && msrl_tensor::par::fusion_enabled() {
+            if self.packed.is_none() {
+                self.packed = Some(PackedPpo::pack(&self.policy));
+            }
+        } else {
+            // Gates can flip between scoped test sections; never serve
+            // a packed forward the current mode wouldn't have built.
+            self.packed = None;
+        }
+        self.policy.act_with(obs, &mut self.rng, self.packed.as_ref())
     }
 
     fn policy_params(&self) -> Vec<f32> {
@@ -200,6 +253,7 @@ impl Actor for PpoActor {
     }
 
     fn set_policy_params(&mut self, flat: &[f32]) -> Result<()> {
+        self.packed = None;
         self.policy.unflatten(flat)
     }
 }
@@ -468,6 +522,39 @@ mod tests {
         let out = c.act(&obs, &mut rng).unwrap();
         assert_eq!(out.actions.shape(), &[5, 2]);
         assert_eq!(out.values.unwrap().shape(), &[5]);
+    }
+
+    #[test]
+    fn batched_rollout_forward_is_bit_identical_and_repacks_on_sync() {
+        let policy = PpoPolicy::discrete(4, 3, &[32, 32], 5);
+        let obs =
+            Tensor::from_vec((0..24).map(|i| (i as f32 * 0.21).sin()).collect(), &[6, 4]).unwrap();
+        // Same seed → same sampling stream; tiered vs untiered actions,
+        // log-probs and values must agree bitwise.
+        let run = |tier: bool| {
+            msrl_tensor::par::with_tier(tier, || {
+                let mut actor = PpoActor::new(policy.clone(), 9);
+                let out = actor.act(&obs).unwrap();
+                assert_eq!(actor.has_packed_weights(), tier, "pack cache gate");
+                out
+            })
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.actions.data(), off.actions.data());
+        assert_eq!(on.log_probs.data(), off.log_probs.data());
+        assert_eq!(on.values.unwrap().data(), off.values.unwrap().data());
+        // A weight sync invalidates the snapshot; the next act repacks.
+        msrl_tensor::par::with_tier(true, || {
+            let mut actor = PpoActor::new(policy.clone(), 9);
+            actor.act(&obs).unwrap();
+            assert!(actor.has_packed_weights());
+            let flat = actor.policy_params();
+            actor.set_policy_params(&flat).unwrap();
+            assert!(!actor.has_packed_weights(), "sync must drop the snapshot");
+            actor.act(&obs).unwrap();
+            assert!(actor.has_packed_weights(), "next act must repack");
+        });
     }
 
     #[test]

@@ -23,6 +23,15 @@
 //! always-on `attr.finish_iteration` histogram over the macro runs) is
 //! held to the same 5% bound as a share of a DP-A iteration period.
 //!
+//! The `kernel_reductions` section prices the reduction microkernels
+//! (sum_axis and softmax_rows, naive fold vs gathered row kernels, with
+//! GFLOP/s at both tiers) and the batched rollout forward (one
+//! `PackedMlp::infer` over all actors' observation rows vs the
+//! per-actor `Mlp::infer` loop), all as interleaved minima. Hard
+//! floors: sum_axis ≥2x, batched rollout ≥1.5x, softmax ≥1.3x (the
+//! exp+sum pass has no bit-exact vector form and stays scalar, so only
+//! the max fold and the scale pass vectorize).
+//!
 //! When the output file already exists from a previous run, the binary
 //! first compares against it (`bench_trend`): per-entry deltas are
 //! printed, and host-independent gated ratios — fusion speedup, plan
@@ -39,7 +48,7 @@ use msrl_core::trace::{trace_mlp, TraceCtx};
 use msrl_env::cartpole::CartPole;
 use msrl_runtime::exec::{run_dp_a, run_dp_c, DistPpoConfig};
 use msrl_tensor::autograd::Tape;
-use msrl_tensor::nn::Mlp;
+use msrl_tensor::nn::{Activation, Mlp};
 use msrl_tensor::{init, ops, par, Backend, Tensor};
 
 /// Median ns/iter of `f` over `samples` timed samples, auto-scaling the
@@ -484,6 +493,119 @@ fn kernel_tier_cost() -> KernelTier {
     }
 }
 
+/// Measured effect of the reduction microkernels and the batched
+/// rollout forward on this host.
+struct KernelReductions {
+    /// `sum_axis` over the last axis of [512, 1024]: naive scalar fold
+    /// (`MSRL_TIER=0`) vs the gathered row kernels that run lanes
+    /// across independent output rows.
+    sum_axis_naive_ns: f64,
+    sum_axis_tiered_ns: f64,
+    /// `softmax_rows` on [512, 64]. The tiered path vectorizes the max
+    /// fold and the scale pass across rows; the exp+sum stays scalar
+    /// per row (no bit-exact vector exp), so the gain is bounded by the
+    /// exp share of the pass.
+    softmax_naive_ns: f64,
+    softmax_tiered_ns: f64,
+    /// One rollout step's forwards for 128 actors × 1 observation row
+    /// (the batch a real `PpoActor::act` sees per step at the e2e
+    /// configs' `envs_per_actor: 1`, on a `hidden: 32` ReLU net so the
+    /// ratio prices dispatch, not libm tanh — which is scalar and
+    /// identical on both sides): the per-actor loop — 128 small
+    /// `Mlp::infer` calls, each paying its own per-layer dispatch and
+    /// output allocation — vs one batched `PackedMlp::infer` over the
+    /// shared pre-packed weights, the `PpoActor` pack-cache path.
+    rollout_per_actor_ns: f64,
+    rollout_batched_ns: f64,
+}
+
+impl KernelReductions {
+    fn sum_axis_speedup(&self) -> f64 {
+        self.sum_axis_naive_ns / self.sum_axis_tiered_ns.max(1.0)
+    }
+    fn softmax_speedup(&self) -> f64 {
+        self.softmax_naive_ns / self.softmax_tiered_ns.max(1.0)
+    }
+    fn rollout_batch_speedup(&self) -> f64 {
+        self.rollout_per_actor_ns / self.rollout_batched_ns.max(1.0)
+    }
+    /// GFLOP/s at `flops` floating-point ops per iteration.
+    fn gflops(flops: f64, ns: f64) -> f64 {
+        flops / ns.max(1.0)
+    }
+}
+
+fn kernel_reductions_cost() -> KernelReductions {
+    // Row reductions on the scalar backend, tier off vs on, interleaved
+    // minima so a load spike on this box can't skew either side.
+    let a = Tensor::from_vec(
+        (0..512 * 1024).map(|i| (i as f32 * 0.00137).sin()).collect(),
+        &[512, 1024],
+    )
+    .expect("shape matches");
+    let mut sum = || ops::sum_axis(&a, 1).expect("axis in range");
+    let s =
+        Tensor::from_vec((0..512 * 64).map(|i| (i as f32 * 0.0213).cos()).collect(), &[512, 64])
+            .expect("shape matches");
+    let mut soft = || ops::softmax_rows(&s).expect("rank 2");
+    let (sum_axis_naive_ns, sum_axis_tiered_ns, softmax_naive_ns, softmax_tiered_ns) =
+        par::with_backend(Backend::Scalar, || {
+            let mut v = [f64::INFINITY; 4];
+            for _ in 0..5 {
+                v[0] = v[0].min(par::with_tier(false, || time_ns(3, &mut sum)));
+                v[1] = v[1].min(par::with_tier(true, || time_ns(3, &mut sum)));
+                v[2] = v[2].min(par::with_tier(false, || time_ns(3, &mut soft)));
+                v[3] = v[3].min(par::with_tier(true, || time_ns(3, &mut soft)));
+            }
+            (v[0], v[1], v[2], v[3])
+        });
+
+    // Batched rollout forward: 128 actors' observation rows (one per
+    // actor, the batch a real rollout step sees) as one matrix over
+    // shared pre-packed weights vs the per-actor loop those rollouts
+    // paid before this optimization.
+    let mut rng = init::rng(42);
+    let mlp = Mlp::new(&[17, 32, 32, 6], Activation::Relu, Activation::Linear, &mut rng);
+    let packed = mlp.pack();
+    let big =
+        Tensor::from_vec((0..128 * 17).map(|i| (i as f32 * 0.011).sin()).collect(), &[128, 17])
+            .expect("shape matches");
+    let small: Vec<Tensor> = (0..128)
+        .map(|k| {
+            Tensor::from_vec(big.data()[k * 17..(k + 1) * 17].to_vec(), &[1, 17])
+                .expect("shape matches")
+        })
+        .collect();
+    let (rollout_per_actor_ns, rollout_batched_ns) = par::with_backend(Backend::Scalar, || {
+        par::with_fusion(true, || {
+            par::with_tier(true, || {
+                let mut per = f64::INFINITY;
+                let mut bat = f64::INFINITY;
+                for _ in 0..5 {
+                    per = per.min(time_ns(3, || {
+                        let mut outs = Vec::with_capacity(small.len());
+                        for x in &small {
+                            outs.push(mlp.infer(x).expect("shapes conform"));
+                        }
+                        outs
+                    }));
+                    bat = bat.min(time_ns(3, || packed.infer(&big).expect("shapes conform")));
+                }
+                (per, bat)
+            })
+        })
+    });
+
+    KernelReductions {
+        sum_axis_naive_ns,
+        sum_axis_tiered_ns,
+        softmax_naive_ns,
+        softmax_tiered_ns,
+        rollout_per_actor_ns,
+        rollout_batched_ns,
+    }
+}
+
 /// Iterations/sec of one distribution policy with overlap off vs on.
 struct OverlapRow {
     policy: &'static str,
@@ -573,6 +695,7 @@ fn main() {
     let tel = telemetry_cost();
     let gc = graph_compile_cost();
     let kt = kernel_tier_cost();
+    let kr = kernel_reductions_cost();
     let overlap = comm_overlap_rows();
 
     // Per-iteration attribution cost, measured on the macro runs above:
@@ -649,6 +772,33 @@ fn main() {
         kt.threads1_threaded_ns,
         kt.threads1_speedup(),
     ));
+    // Reduction FLOP counts: one add per reduced element for sum_axis;
+    // softmax priced at 4 ops/element (max cmp, sub+exp, sum, scale) —
+    // approximate, but stable release over release.
+    let sum_flops = 512.0 * 1023.0;
+    let softmax_flops = 4.0 * 512.0 * 64.0;
+    json.push_str(&format!(
+        "  \"kernel_reductions\": {{\"sum_axis_naive_ns\": {:.0}, \
+         \"sum_axis_tiered_ns\": {:.0}, \"sum_axis_naive_gflops\": {:.2}, \
+         \"sum_axis_tiered_gflops\": {:.2}, \"sum_axis_speedup\": {:.2}, \
+         \"softmax_naive_ns\": {:.0}, \"softmax_tiered_ns\": {:.0}, \
+         \"softmax_naive_gflops\": {:.2}, \"softmax_tiered_gflops\": {:.2}, \
+         \"softmax_speedup\": {:.2}, \"rollout_per_actor_ns\": {:.0}, \
+         \"rollout_batched_ns\": {:.0}, \"rollout_batch_speedup\": {:.2}}},\n",
+        kr.sum_axis_naive_ns,
+        kr.sum_axis_tiered_ns,
+        KernelReductions::gflops(sum_flops, kr.sum_axis_naive_ns),
+        KernelReductions::gflops(sum_flops, kr.sum_axis_tiered_ns),
+        kr.sum_axis_speedup(),
+        kr.softmax_naive_ns,
+        kr.softmax_tiered_ns,
+        KernelReductions::gflops(softmax_flops, kr.softmax_naive_ns),
+        KernelReductions::gflops(softmax_flops, kr.softmax_tiered_ns),
+        kr.softmax_speedup(),
+        kr.rollout_per_actor_ns,
+        kr.rollout_batched_ns,
+        kr.rollout_batch_speedup(),
+    ));
     json.push_str("  \"comm_overlap\": [\n");
     for (i, r) in overlap.iter().enumerate() {
         json.push_str(&format!(
@@ -717,6 +867,24 @@ fn main() {
             higher_is_better: true,
             floor: 0.0,
             value: kt.threads1_speedup(),
+        },
+        Gated {
+            name: "kernel_reductions.sum_axis_speedup",
+            higher_is_better: true,
+            floor: 0.0,
+            value: kr.sum_axis_speedup(),
+        },
+        Gated {
+            name: "kernel_reductions.softmax_speedup",
+            higher_is_better: true,
+            floor: 0.0,
+            value: kr.softmax_speedup(),
+        },
+        Gated {
+            name: "kernel_reductions.rollout_batch_speedup",
+            higher_is_better: true,
+            floor: 0.0,
+            value: kr.rollout_batch_speedup(),
         },
     ];
     let regressions = match std::fs::read_to_string(&out_path) {
@@ -794,6 +962,20 @@ fn main() {
         kt.threads1_threaded_ns,
         kt.threads1_speedup(),
     );
+    println!(
+        "kernel_reductions: sum_axis[512,1024] naive {:.0} ns / tiered {:.0} ns ({:.2}x); \
+         softmax_rows[512,64] naive {:.0} ns / tiered {:.0} ns ({:.2}x, exp stays scalar); \
+         rollout fwd per-actor {:.0} ns / batched {:.0} ns ({:.2}x)",
+        kr.sum_axis_naive_ns,
+        kr.sum_axis_tiered_ns,
+        kr.sum_axis_speedup(),
+        kr.softmax_naive_ns,
+        kr.softmax_tiered_ns,
+        kr.softmax_speedup(),
+        kr.rollout_per_actor_ns,
+        kr.rollout_batched_ns,
+        kr.rollout_batch_speedup(),
+    );
     for r in &overlap {
         println!(
             "comm_overlap {:<6} off {:>6.2} it/s, on {:>6.2} it/s ({:.2}x)",
@@ -826,10 +1008,19 @@ fn main() {
     // the naive loops ≥2.5x on the 512³ matmul, the full kernel stack
     // must hold ≥1.8x on the learn-phase MLP, and one threaded worker
     // must not cost more than the scalar backend (≥0.99x).
+    // Reduction-kernel acceptance bounds: the gathered row kernels must
+    // beat the scalar folds ≥2x on sum_axis, the batched rollout
+    // forward must beat the per-actor loop ≥1.5x, and softmax_rows must
+    // hold its measured gain — the exp+sum pass has no bit-exact vector
+    // form and stays scalar, so the bound reflects the vectorizable
+    // (max fold + scale) share only.
     let floors = [
         ("kernel_tier.matmul512_speedup", kt.matmul512_speedup(), 2.5),
         ("kernel_tier.mlp_fwd_bwd_speedup", kt.mlp_fwd_bwd_speedup(), 1.8),
         ("kernel_tier.threads1_speedup", kt.threads1_speedup(), 0.99),
+        ("kernel_reductions.sum_axis_speedup", kr.sum_axis_speedup(), 2.0),
+        ("kernel_reductions.softmax_speedup", kr.softmax_speedup(), 1.3),
+        ("kernel_reductions.rollout_batch_speedup", kr.rollout_batch_speedup(), 1.5),
     ];
     let mut breached = false;
     for (name, value, floor) in floors {

@@ -36,7 +36,10 @@
 //!    interpreter then runs the chain in place, skipping the
 //!    [`msrl_tensor::alloc`] pool round-trip entirely. Chain ops with
 //!    no in-level donor may instead steal the buffer of a node that
-//!    died at an earlier level ([`CompiledPlan::donors`]).
+//!    died at an earlier level ([`CompiledPlan::donors`]); because a
+//!    stealer's output is itself an ordinary dying node, donations
+//!    chain — one physical buffer flows a→b→c through successive
+//!    stealers, most-recent death offered first.
 //!
 //! All passes are gated on the fusion flag
 //! ([`msrl_tensor::par::fusion_enabled`], env `MSRL_FUSION`): with
@@ -546,7 +549,13 @@ pub fn compile(
     // volume. Times are level-granular, and only strictly-earlier
     // deaths qualify, so the donor's buffer is provably free when the
     // stealer runs — its own inputs (which die *at* the op) never
-    // match.
+    // match. The proof extends to chains by induction: a stealer's
+    // output lives in its donor's buffer, and because that output is
+    // an ordinary dying node it re-enters the death map and may be
+    // donated onward once it dies — again strictly before its own
+    // stealer's level. One physical buffer thus flows a→b→c through
+    // successive stealers, each hop justified by the same
+    // strictly-earlier-death argument, with no hop limit.
     let mut donors: HashMap<NodeId, NodeId> = HashMap::new();
     if fusion && !keep_all {
         let mut death: HashMap<NodeId, usize> = HashMap::new();
@@ -588,9 +597,14 @@ pub fn compile(
                 }
             }
         }
-        // Deterministic candidate order (HashMap iteration is not).
+        // Deterministic candidate order (HashMap iteration is not):
+        // most recent death first, node id breaking ties. A stealer
+        // then prefers the buffer that just went cold — usually the
+        // previous stealer's output, so chains keep riding one
+        // cache-warm buffer instead of resurrecting one that died (and
+        // was evicted) many levels ago.
         let mut dying: Vec<(NodeId, usize)> = death.into_iter().collect();
-        dying.sort_unstable();
+        dying.sort_unstable_by_key(|&(d, dt)| (std::cmp::Reverse(dt), d));
         let mut t = 0usize;
         for step in &steps {
             let Step::Pure { levels, .. } = step else {
@@ -1378,6 +1392,42 @@ mod tests {
         // Fusion off: no chains, no steals.
         let plain =
             compile(&graph, &ids, &[], Some(&[c.id(), y0.id(), x.id(), w.id()]), false).unwrap();
+        assert!(plain.donors.is_empty());
+    }
+
+    #[test]
+    fn cross_level_steals_chain_through_successive_stealers() {
+        // One physical buffer should flow p -> a (in place) -> c
+        // (cross-level) -> e (cross-level): each stealer's output dies
+        // strictly before the next stealer's level, so it re-enters the
+        // donor pool and the chain keeps extending instead of stopping
+        // after the first hop.
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[16, 16]);
+        let w = ctx.param("w", &[16, 16]);
+        let p = x.matmul(&w);
+        let a = p.square().tanh();
+        let b = a.sum_all();
+        let y0 = x.tanh();
+        let c = y0.mul(&b).tanh();
+        let d = c.sum_all();
+        let y1 = x.relu();
+        let e = y1.mul(&d).tanh();
+        let graph = ctx.finish();
+        let ids: Vec<NodeId> = (0..graph.len()).collect();
+        let outs = [e.id(), y0.id(), y1.id(), x.id(), w.id()];
+        let plan = compile(&graph, &ids, &[], Some(&outs), true).unwrap();
+        let a_op = pure_ops(&plan).into_iter().find(|op| op.id == a.id()).unwrap();
+        assert!(a_op.inplace.is_some(), "premise: a-chain steals p in place");
+        for id in [c.id(), e.id()] {
+            let op = pure_ops(&plan).into_iter().find(|op| op.id == id).unwrap();
+            assert!(op.inplace.is_none(), "premise: later chains have no in-level donor");
+        }
+        // a dies feeding the first sum_all, c dies feeding the second:
+        // both re-donate, forming the chain {a -> c, c -> e}.
+        assert_eq!(plan.donors, HashMap::from([(a.id(), c.id()), (c.id(), e.id())]));
+        // Fusion off: no chains, no steals.
+        let plain = compile(&graph, &ids, &[], Some(&outs), false).unwrap();
         assert!(plain.donors.is_empty());
     }
 

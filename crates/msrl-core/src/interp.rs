@@ -55,6 +55,7 @@
 
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use msrl_tensor::{kernels, ops, par, Tensor};
@@ -85,11 +86,17 @@ struct PlanKey {
     fusion: bool,
 }
 
-/// One cached plan plus the execution count that drives kernel-tier
-/// promotion.
+/// One cached plan plus the execution count and accumulated evaluation
+/// time that drive kernel-tier promotion.
 struct PlanEntry {
     plan: Rc<CompiledPlan>,
     execs: u64,
+    /// Wall time this plan has spent in [`Interpreter::run_plan`], in
+    /// nanoseconds — the per-plan share of the always-on `fragment.eval`
+    /// histogram's measurements. Accumulated only while a time floor is
+    /// configured ([`tier_min_ns`] > 0) and the tier gate is on; zero
+    /// otherwise.
+    eval_ns: u64,
 }
 
 /// Minimum weight element count (`k * n`) worth packing at promotion:
@@ -103,6 +110,38 @@ fn tier_threshold() -> u64 {
     *T.get_or_init(|| {
         std::env::var("MSRL_TIER_THRESHOLD").ok().and_then(|s| s.parse().ok()).unwrap_or(3)
     })
+}
+
+/// Scoped override for [`tier_min_ns`]; `u64::MAX` means "no override,
+/// use the environment".
+static TIER_MIN_NS_OVERRIDE: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Accumulated per-plan evaluation time (ns) a count-hot plan must also
+/// reach before it pays packing (`MSRL_TIER_MIN_NS`, default 0 =
+/// promote on execution count alone, the pre-existing behaviour).
+///
+/// This is the time-aware half of tier-up: plans that are *frequent but
+/// cheap* — their share of the always-on `fragment.eval` histogram is
+/// negligible — stay tier-0 instead of paying pack cost they can never
+/// amortize, accounted by `interp.tier.skipped_cold`.
+fn tier_min_ns() -> u64 {
+    let o = TIER_MIN_NS_OVERRIDE.load(Ordering::Relaxed);
+    if o != u64::MAX {
+        return o;
+    }
+    static T: OnceLock<u64> = OnceLock::new();
+    *T.get_or_init(|| {
+        std::env::var("MSRL_TIER_MIN_NS").ok().and_then(|s| s.parse().ok()).unwrap_or(0)
+    })
+}
+
+/// Runs `f` with the tier-up time floor forced to `ns` (test/bench
+/// hook; the environment value is restored afterwards).
+pub fn with_tier_min_ns<R>(ns: u64, f: impl FnOnce() -> R) -> R {
+    let prev = TIER_MIN_NS_OVERRIDE.swap(ns, Ordering::SeqCst);
+    let out = f();
+    TIER_MIN_NS_OVERRIDE.store(prev, Ordering::SeqCst);
+    out
 }
 
 /// Evaluates dataflow (sub)graphs.
@@ -277,7 +316,7 @@ impl<'a> Interpreter<'a> {
         } else {
             msrl_telemetry::static_counter!("interp.plan_cache.miss").add(1);
             let p = Rc::new(compile::compile(graph, &key.ids, &key.presets, retain, key.fusion)?);
-            self.plans.insert(key.clone(), PlanEntry { plan: Rc::clone(&p), execs: 1 });
+            self.plans.insert(key.clone(), PlanEntry { plan: Rc::clone(&p), execs: 1, eval_ns: 0 });
             p
         };
         let plan = self.maybe_promote(graph, &key, plan);
@@ -291,7 +330,19 @@ impl<'a> Interpreter<'a> {
                 extra.push((id, v));
             }
         }
+        // Per-plan eval-time accounting for the time-aware tier-up:
+        // only measured while a time floor is configured and this plan
+        // could still promote — steady-state hot plans pay nothing.
+        let t0 = (par::tier_enabled()
+            && tier_min_ns() > 0
+            && plan.tier.as_ref().is_none_or(|t| t.epoch != self.params_epoch))
+        .then(std::time::Instant::now);
         self.run_plan(graph, &plan, &mut values, &extra)?;
+        if let Some(t0) = t0 {
+            if let Some(entry) = self.plans.get_mut(&key) {
+                entry.eval_ns = entry.eval_ns.saturating_add(t0.elapsed().as_nanos() as u64);
+            }
+        }
         Ok((values, extra))
     }
 
@@ -314,8 +365,17 @@ impl<'a> Interpreter<'a> {
         if !par::tier_enabled() {
             return plan;
         }
-        let hot = self.plans.get(key).is_some_and(|e| e.execs >= tier_threshold());
+        let stats = self.plans.get(key).map(|e| (e.execs, e.eval_ns));
+        let hot = stats.is_some_and(|(execs, _)| execs >= tier_threshold());
         if !hot || plan.tier.as_ref().is_some_and(|t| t.epoch == self.params_epoch) {
+            return plan;
+        }
+        // Time-aware gate: a count-hot plan must also be hot *in time*
+        // (its accumulated run_plan share, the per-plan slice of the
+        // always-on `fragment.eval` histogram) before packing pays.
+        let min_ns = tier_min_ns();
+        if min_ns > 0 && stats.is_some_and(|(_, ns)| ns < min_ns) {
+            msrl_telemetry::static_counter!("interp.tier.skipped_cold").add(1);
             return plan;
         }
         let mut packed = HashMap::new();
@@ -1060,6 +1120,61 @@ mod tests {
     }
 
     #[test]
+    fn donor_chains_carry_one_buffer_through_successive_stealers() {
+        // p -> a (in place) -> c (cross-level) -> e (cross-level): the
+        // same physical buffer serves three chain outputs, so the pool
+        // never sees a single 256-element intermediate even though the
+        // unfused schedule cycles three of them through it.
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[16, 16]);
+        let w = ctx.param("w", &[16, 16]);
+        let p = x.matmul(&w);
+        let a = p.square().tanh();
+        let b = a.sum_all();
+        let y0 = x.tanh();
+        let c = y0.mul(&b).tanh();
+        let d = c.sum_all();
+        let y1 = x.relu();
+        let e = y1.mul(&d).tanh();
+        let _ = (&p, &b, &d);
+        let graph = ctx.finish();
+        let fdg = build_fdg(graph).unwrap();
+        let frag = &fdg.fragments[0];
+        let xv = Tensor::from_vec((0..256).map(|i| (i as f32 * 0.013).sin()).collect(), &[16, 16])
+            .unwrap();
+        let wv = Tensor::from_vec((0..256).map(|i| (i as f32 * 0.007).cos()).collect(), &[16, 16])
+            .unwrap();
+        let outputs = [e.id(), y0.id(), y1.id(), x.id(), w.id()];
+        let run = |fusion: bool| {
+            par::with_fusion(fusion, || {
+                let mut interp = Interpreter::new();
+                interp.bind_input("x", xv.clone());
+                interp.bind_param("w", wv.clone());
+                msrl_tensor::alloc::clear();
+                let out = interp
+                    .eval_fragment_outputs(&fdg.graph, frag, HashMap::new(), &outputs)
+                    .unwrap();
+                (out, msrl_tensor::alloc::stats().high_water_elems)
+            })
+        };
+        let (plain, plain_hw) = run(false);
+        let (fused, fused_hw) = run(true);
+        for id in outputs {
+            assert_eq!(
+                fused[&id].data(),
+                plain[&id].data(),
+                "chained steals must not change values"
+            );
+        }
+        assert!(plain_hw >= 256, "unfused run must pool dead intermediates, got {plain_hw}");
+        assert!(
+            fused_hw < 256,
+            "a chained steal must keep every hop out of the pool, got {fused_hw}"
+        );
+        msrl_tensor::alloc::clear();
+    }
+
+    #[test]
     fn tier_promotes_hot_plans_once_and_repacks_on_rebind() {
         let ctx = TraceCtx::new();
         let x = ctx.input("x", &[4, 64]);
@@ -1133,6 +1248,60 @@ mod tests {
                 interp.eval_fragment_outputs(&fdg.graph, frag, HashMap::new(), &[y.id()]).unwrap()
             });
             assert_eq!(off[&y.id()].data(), reference2[&y.id()].data());
+        });
+    }
+
+    #[test]
+    fn time_cold_plans_skip_promotion_until_the_floor_is_met() {
+        let ctx = TraceCtx::new();
+        let x = ctx.input("x", &[4, 64]);
+        let w = ctx.param("w", &[64, 64]);
+        let y = x.matmul(&w);
+        let graph = ctx.finish();
+        let fdg = build_fdg(graph).unwrap();
+        let frag = &fdg.fragments[0];
+        let xv = Tensor::from_vec((0..256).map(|i| (i as f32 * 0.013).sin()).collect(), &[4, 64])
+            .unwrap();
+        let wv = Tensor::from_vec((0..4096).map(|i| (i as f32 * 0.007).cos()).collect(), &[64, 64])
+            .unwrap();
+        let run = |interp: &mut Interpreter| {
+            interp.eval_fragment_outputs(&fdg.graph, frag, HashMap::new(), &[y.id()]).unwrap()
+        };
+        let tier_epoch = |interp: &Interpreter| {
+            let entry = interp.plans.values().next().expect("one cached plan");
+            entry.plan.tier.as_ref().map(|t| t.packed.len())
+        };
+        par::with_tier(true, || {
+            // An unreachable floor: count-hot evaluations keep skipping
+            // promotion and the skip is accounted.
+            with_tier_min_ns(u64::MAX - 1, || {
+                let mut interp = Interpreter::new();
+                interp.bind_input("x", xv.clone());
+                interp.bind_param("w", wv.clone());
+                let skipped = msrl_telemetry::static_counter!("interp.tier.skipped_cold");
+                let before = skipped.get();
+                for _ in 0..6 {
+                    run(&mut interp);
+                }
+                assert_eq!(tier_epoch(&interp), None, "time-cold plan must stay tier-0");
+                assert!(
+                    skipped.get() >= before + 3,
+                    "every count-hot, time-cold evaluation is accounted"
+                );
+            });
+            // A 1 ns floor: anything real accumulates past it, so the
+            // plan promotes exactly as with the floor disabled.
+            with_tier_min_ns(1, || {
+                let mut interp = Interpreter::new();
+                interp.bind_input("x", xv.clone());
+                interp.bind_param("w", wv.clone());
+                for _ in 0..3 {
+                    run(&mut interp);
+                }
+                assert_eq!(tier_epoch(&interp), Some(1), "time-hot plan promotes");
+                let hot_ns = interp.plans.values().next().unwrap().eval_ns;
+                assert!(hot_ns > 0, "eval time must accumulate while the floor is armed");
+            });
         });
     }
 }

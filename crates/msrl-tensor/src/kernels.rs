@@ -299,6 +299,279 @@ pub fn matmul_bt_rows(
     bt_rows_portable(a, out_rows, p, n, bd);
 }
 
+/// Which fold a reduction microkernel applies.
+///
+/// The scalar reference for each output element is one accumulator,
+/// swept over the reduced axis in ascending index order:
+/// `acc = acc + v` for [`RedOp::Sum`], [`max_fold`] for [`RedOp::Max`].
+/// The vector kernels replicate that per-element sequence exactly —
+/// lanes span independent *output* elements, never one reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedOp {
+    /// `acc + v`, ascending index.
+    Sum,
+    /// [`max_fold`], ascending index.
+    Max,
+}
+
+impl RedOp {
+    /// The fold's identity element (`0.0` / `-∞`).
+    #[inline]
+    pub fn init(self) -> f32 {
+        match self {
+            RedOp::Sum => 0.0,
+            RedOp::Max => f32::NEG_INFINITY,
+        }
+    }
+}
+
+/// The pinned max-fold step shared by the scalar reference and the
+/// vector kernels: take `v` when it compares greater or when the
+/// accumulator is NaN, otherwise keep the accumulator.
+///
+/// This matches `f32::max`'s NaN handling (a NaN operand is ignored;
+/// NaN results only from an all-NaN fold seeded by a NaN accumulator)
+/// but *pins* the tie case `f32::max` leaves unspecified: on operands
+/// that compare equal — notably `+0.0` vs `-0.0` — the accumulator
+/// (earliest) value wins. The vector kernels implement exactly this
+/// predicate (`v > acc`, ordered-quiet, OR `acc ≠ acc`), so tiered and
+/// reference folds are bit-identical on every input including NaN/∞.
+#[inline]
+pub fn max_fold(acc: f32, v: f32) -> f32 {
+    if v > acc || acc.is_nan() {
+        v
+    } else {
+        acc
+    }
+}
+
+/// Row reductions (`inner == 1`): `out[r] = fold(ad[(row0+r)·mid ..
+/// (row0+r+1)·mid])`, then optionally `· scale` — the single-pass
+/// `mean_axis` epilogue, applied to each output element right after its
+/// own fold finishes (the same per-element multiply a separate rescale
+/// traversal would perform).
+///
+/// Each output element is a whole-row fold with a serial dependency, so
+/// the SIMD kernels put lanes across *rows*: one stride-`mid` gather
+/// per ascending `m` step feeds a full block of row accumulators, and
+/// every row keeps the scalar ascending-index fold order exactly.
+pub fn reduce_rows(
+    ad: &[f32],
+    row0: usize,
+    out: &mut [f32],
+    mid: usize,
+    op: RedOp,
+    scale: Option<f32>,
+) {
+    if out.is_empty() {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Gather lane offsets are 32-bit.
+        if mid.saturating_mul(16) <= i32::MAX as usize {
+            match select() {
+                // SAFETY: `select()` only returns these variants after
+                // runtime detection of the corresponding CPU feature.
+                MatKernel::Avx512 => unsafe {
+                    x86::reduce_rows_avx512(ad, row0, out, mid, op, scale);
+                    return;
+                },
+                MatKernel::Avx2 => unsafe {
+                    x86::reduce_rows_avx2(ad, row0, out, mid, op, scale);
+                    return;
+                },
+                MatKernel::Portable => {}
+            }
+        }
+    }
+    reduce_rows_portable(ad, row0, out, mid, op, scale);
+}
+
+/// Group reductions (`inner > 1`): `out` is whole groups of `inner`
+/// output slots, group `g` covering outer index `group0 + g`;
+/// `out[g·inner + i] = fold(ad[((group0+g)·mid + m)·inner + i])` over
+/// ascending `m`, then optionally `· scale`.
+///
+/// Output slots along `inner` are contiguous and independent, so lanes
+/// run straight across them with plain vector loads; each slot keeps
+/// its scalar ascending-`m` fold order.
+pub fn reduce_groups(
+    ad: &[f32],
+    group0: usize,
+    out: &mut [f32],
+    mid: usize,
+    inner: usize,
+    op: RedOp,
+    scale: Option<f32>,
+) {
+    if out.is_empty() || inner == 0 {
+        return;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        match select() {
+            // SAFETY: as in `reduce_rows`.
+            MatKernel::Avx512 => unsafe {
+                x86::reduce_groups_avx512(ad, group0, out, mid, inner, op, scale);
+                return;
+            },
+            MatKernel::Avx2 => unsafe {
+                x86::reduce_groups_avx2(ad, group0, out, mid, inner, op, scale);
+                return;
+            },
+            MatKernel::Portable => {}
+        }
+    }
+    reduce_groups_portable(ad, group0, out, mid, inner, op, scale);
+}
+
+/// Vectorized-across-rows softmax: copies rows `offset/n ..` of the
+/// row-major source into `out` and applies the exact
+/// [`crate::ops::softmax_row_inplace`] arithmetic to each row.
+///
+/// The per-row *max* fold runs with lanes across a block of rows (one
+/// stride-`n` gather per ascending column), and the final scale pass is
+/// a contiguous vector multiply by the row's reciprocal sum; the
+/// exponentiate-and-accumulate middle pass stays scalar per element —
+/// `f32::exp` is a libm call with no bit-identical vector form, and the
+/// running sum is a serial chain whose order the contract fixes. Every
+/// row therefore replays the scalar helper's exact sequence, so results
+/// are bit-identical to the untiered path.
+pub fn softmax_rows_tiered(ad: &[f32], offset: usize, out: &mut [f32], n: usize) {
+    if out.is_empty() || n == 0 {
+        return;
+    }
+    out.copy_from_slice(&ad[offset..offset + out.len()]);
+    #[cfg(target_arch = "x86_64")]
+    {
+        if n.saturating_mul(16) <= i32::MAX as usize {
+            match select() {
+                // SAFETY: as in `reduce_rows`.
+                MatKernel::Avx512 => unsafe {
+                    x86::softmax_rows_avx512(out, n);
+                    return;
+                },
+                MatKernel::Avx2 => unsafe {
+                    x86::softmax_rows_avx2(out, n);
+                    return;
+                },
+                MatKernel::Portable => {}
+            }
+        }
+    }
+    for row in out.chunks_mut(n) {
+        crate::ops::softmax_row_inplace(row);
+    }
+}
+
+/// Portable row-reduction kernel: a block of row accumulators advanced
+/// together per `m` step — plain arrays the compiler can pipeline, each
+/// row still folding in ascending order.
+fn reduce_rows_portable(
+    ad: &[f32],
+    row0: usize,
+    out: &mut [f32],
+    mid: usize,
+    op: RedOp,
+    scale: Option<f32>,
+) {
+    const RB: usize = 8;
+    let rows = out.len();
+    let mut r0 = 0;
+    while r0 + RB <= rows {
+        let mut acc = [op.init(); RB];
+        for m in 0..mid {
+            for (l, a) in acc.iter_mut().enumerate() {
+                let v = ad[(row0 + r0 + l) * mid + m];
+                *a = match op {
+                    RedOp::Sum => *a + v,
+                    RedOp::Max => max_fold(*a, v),
+                };
+            }
+        }
+        if let Some(s) = scale {
+            for a in &mut acc {
+                *a *= s;
+            }
+        }
+        out[r0..r0 + RB].copy_from_slice(&acc);
+        r0 += RB;
+    }
+    for (r, o) in out.iter_mut().enumerate().skip(r0) {
+        let row = &ad[(row0 + r) * mid..(row0 + r + 1) * mid];
+        let mut acc = op.init();
+        match op {
+            RedOp::Sum => {
+                for &v in row {
+                    acc += v;
+                }
+            }
+            RedOp::Max => {
+                for &v in row {
+                    acc = max_fold(acc, v);
+                }
+            }
+        }
+        if let Some(s) = scale {
+            acc *= s;
+        }
+        *o = acc;
+    }
+}
+
+/// Portable group-reduction kernel: 16-slot array accumulators across
+/// the contiguous inner dimension.
+fn reduce_groups_portable(
+    ad: &[f32],
+    group0: usize,
+    out: &mut [f32],
+    mid: usize,
+    inner: usize,
+    op: RedOp,
+    scale: Option<f32>,
+) {
+    const L: usize = 16;
+    for (g, group) in out.chunks_mut(inner).enumerate() {
+        let src = (group0 + g) * mid * inner;
+        let blocks = inner / L;
+        for jb in 0..blocks {
+            let j = jb * L;
+            let mut acc = [op.init(); L];
+            for m in 0..mid {
+                let v: &[f32; L] =
+                    ad[src + m * inner + j..src + m * inner + j + L].try_into().expect("L block");
+                for (a, &vv) in acc.iter_mut().zip(v) {
+                    *a = match op {
+                        RedOp::Sum => *a + vv,
+                        RedOp::Max => max_fold(*a, vv),
+                    };
+                }
+            }
+            if let Some(s) = scale {
+                for a in &mut acc {
+                    *a *= s;
+                }
+            }
+            group[j..j + L].copy_from_slice(&acc);
+        }
+        for (jj, slot) in group.iter_mut().enumerate().skip(blocks * L) {
+            let mut acc = op.init();
+            for m in 0..mid {
+                let v = ad[src + m * inner + jj];
+                acc = match op {
+                    RedOp::Sum => acc + v,
+                    RedOp::Max => max_fold(acc, v),
+                };
+            }
+            if let Some(s) = scale {
+                acc *= s;
+            }
+            *slot = acc;
+        }
+    }
+}
+
 /// Portable `a × bᵀ` row kernel: plain scalar dots — rows of both
 /// operands are contiguous, so there is no strided access to hide and
 /// nothing for lanes to win without changing accumulation order.
@@ -468,14 +741,15 @@ mod x86 {
     //! scalar `acc += av * bv` — never a fused multiply–add.
 
     use std::arch::x86_64::{
-        __m256, __m512, _mm256_add_ps, _mm256_i32gather_ps, _mm256_loadu_ps, _mm256_mul_ps,
-        _mm256_mullo_epi32, _mm256_set1_epi32, _mm256_set1_ps, _mm256_setr_epi32,
-        _mm256_setzero_ps, _mm256_storeu_ps, _mm512_add_ps, _mm512_i32gather_ps, _mm512_loadu_ps,
+        __m256, __m512, _mm256_add_ps, _mm256_blendv_ps, _mm256_cmp_ps, _mm256_i32gather_ps,
+        _mm256_loadu_ps, _mm256_mul_ps, _mm256_mullo_epi32, _mm256_or_ps, _mm256_set1_epi32,
+        _mm256_set1_ps, _mm256_setr_epi32, _mm256_setzero_ps, _mm256_storeu_ps, _mm512_add_ps,
+        _mm512_cmp_ps_mask, _mm512_i32gather_ps, _mm512_loadu_ps, _mm512_mask_blend_ps,
         _mm512_mul_ps, _mm512_mullo_epi32, _mm512_set1_epi32, _mm512_set1_ps, _mm512_setr_epi32,
-        _mm512_setzero_ps, _mm512_storeu_ps,
+        _mm512_setzero_ps, _mm512_storeu_ps, _CMP_GT_OQ, _CMP_UNORD_Q,
     };
 
-    use super::edge_scalar;
+    use super::{edge_scalar, reduce_rows_portable, RedOp};
 
     /// 8×32 zmm register-tile kernel.
     ///
@@ -860,6 +1134,361 @@ mod x86 {
         }
         edge_scalar(a, k, bp, out, n, NR, full_rows, full_panels);
     }
+
+    /// One [`super::max_fold`] step on 16 lanes: take `v` where it
+    /// compares greater (ordered) or where `acc` is NaN.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn max_step_avx512(acc: __m512, v: __m512) -> __m512 {
+        let take =
+            _mm512_cmp_ps_mask::<_CMP_GT_OQ>(v, acc) | _mm512_cmp_ps_mask::<_CMP_UNORD_Q>(acc, acc);
+        _mm512_mask_blend_ps(take, acc, v)
+    }
+
+    /// One [`super::max_fold`] step on 8 lanes.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn max_step_avx2(acc: __m256, v: __m256) -> __m256 {
+        let take = _mm256_or_ps(
+            _mm256_cmp_ps::<_CMP_GT_OQ>(v, acc),
+            _mm256_cmp_ps::<_CMP_UNORD_Q>(acc, acc),
+        );
+        _mm256_blendv_ps(acc, v, take)
+    }
+
+    /// Row reduction, zmm lanes across 16 rows via stride-`mid` gathers.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` (guaranteed by [`super::select`]).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn reduce_rows_avx512(
+        ad: &[f32],
+        row0: usize,
+        out: &mut [f32],
+        mid: usize,
+        op: RedOp,
+        scale: Option<f32>,
+    ) {
+        const L: usize = 16;
+        let rows = out.len();
+        let ap = ad.as_ptr();
+        let step = _mm512_mullo_epi32(
+            _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15),
+            _mm512_set1_epi32(mid as i32),
+        );
+        let init = match op {
+            RedOp::Sum => _mm512_setzero_ps(),
+            RedOp::Max => _mm512_set1_ps(f32::NEG_INFINITY),
+        };
+        let mut r0 = 0;
+        while r0 + L <= rows {
+            let base = ap.add((row0 + r0) * mid);
+            let mut acc = init;
+            for m in 0..mid {
+                let v = _mm512_i32gather_ps::<4>(step, base.add(m));
+                acc = match op {
+                    RedOp::Sum => _mm512_add_ps(acc, v),
+                    RedOp::Max => max_step_avx512(acc, v),
+                };
+            }
+            if let Some(s) = scale {
+                acc = _mm512_mul_ps(acc, _mm512_set1_ps(s));
+            }
+            _mm512_storeu_ps(out.as_mut_ptr().add(r0), acc);
+            r0 += L;
+        }
+        reduce_rows_portable(ad, row0 + r0, &mut out[r0..], mid, op, scale);
+    }
+
+    /// Row reduction, ymm lanes across 8 rows via stride-`mid` gathers.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx2` (guaranteed by [`super::select`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn reduce_rows_avx2(
+        ad: &[f32],
+        row0: usize,
+        out: &mut [f32],
+        mid: usize,
+        op: RedOp,
+        scale: Option<f32>,
+    ) {
+        const L: usize = 8;
+        let rows = out.len();
+        let ap = ad.as_ptr();
+        let step = _mm256_mullo_epi32(
+            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+            _mm256_set1_epi32(mid as i32),
+        );
+        let init = match op {
+            RedOp::Sum => _mm256_setzero_ps(),
+            RedOp::Max => _mm256_set1_ps(f32::NEG_INFINITY),
+        };
+        let mut r0 = 0;
+        while r0 + L <= rows {
+            let base = ap.add((row0 + r0) * mid);
+            let mut acc = init;
+            for m in 0..mid {
+                let v = _mm256_i32gather_ps::<4>(base.add(m), step);
+                acc = match op {
+                    RedOp::Sum => _mm256_add_ps(acc, v),
+                    RedOp::Max => max_step_avx2(acc, v),
+                };
+            }
+            if let Some(s) = scale {
+                acc = _mm256_mul_ps(acc, _mm256_set1_ps(s));
+            }
+            _mm256_storeu_ps(out.as_mut_ptr().add(r0), acc);
+            r0 += L;
+        }
+        reduce_rows_portable(ad, row0 + r0, &mut out[r0..], mid, op, scale);
+    }
+
+    /// Group reduction, zmm lanes across the contiguous inner dim.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` (guaranteed by [`super::select`]).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn reduce_groups_avx512(
+        ad: &[f32],
+        group0: usize,
+        out: &mut [f32],
+        mid: usize,
+        inner: usize,
+        op: RedOp,
+        scale: Option<f32>,
+    ) {
+        const L: usize = 16;
+        let ap = ad.as_ptr();
+        let op_ = out.as_mut_ptr();
+        let init = match op {
+            RedOp::Sum => _mm512_setzero_ps(),
+            RedOp::Max => _mm512_set1_ps(f32::NEG_INFINITY),
+        };
+        let groups = out.len() / inner;
+        for g in 0..groups {
+            let src = (group0 + g) * mid * inner;
+            let dst = g * inner;
+            let blocks = inner / L;
+            for jb in 0..blocks {
+                let j = jb * L;
+                let mut acc = init;
+                for m in 0..mid {
+                    let v = _mm512_loadu_ps(ap.add(src + m * inner + j));
+                    acc = match op {
+                        RedOp::Sum => _mm512_add_ps(acc, v),
+                        RedOp::Max => max_step_avx512(acc, v),
+                    };
+                }
+                if let Some(s) = scale {
+                    acc = _mm512_mul_ps(acc, _mm512_set1_ps(s));
+                }
+                _mm512_storeu_ps(op_.add(dst + j), acc);
+            }
+            reduce_tail_scalar(
+                ad,
+                src,
+                &mut out[dst + blocks * L..dst + inner],
+                mid,
+                inner,
+                blocks * L,
+                op,
+                scale,
+            );
+        }
+    }
+
+    /// Group reduction, ymm lanes across the contiguous inner dim.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx2` (guaranteed by [`super::select`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn reduce_groups_avx2(
+        ad: &[f32],
+        group0: usize,
+        out: &mut [f32],
+        mid: usize,
+        inner: usize,
+        op: RedOp,
+        scale: Option<f32>,
+    ) {
+        const L: usize = 8;
+        let ap = ad.as_ptr();
+        let op_ = out.as_mut_ptr();
+        let init = match op {
+            RedOp::Sum => _mm256_setzero_ps(),
+            RedOp::Max => _mm256_set1_ps(f32::NEG_INFINITY),
+        };
+        let groups = out.len() / inner;
+        for g in 0..groups {
+            let src = (group0 + g) * mid * inner;
+            let dst = g * inner;
+            let blocks = inner / L;
+            for jb in 0..blocks {
+                let j = jb * L;
+                let mut acc = init;
+                for m in 0..mid {
+                    let v = _mm256_loadu_ps(ap.add(src + m * inner + j));
+                    acc = match op {
+                        RedOp::Sum => _mm256_add_ps(acc, v),
+                        RedOp::Max => max_step_avx2(acc, v),
+                    };
+                }
+                if let Some(s) = scale {
+                    acc = _mm256_mul_ps(acc, _mm256_set1_ps(s));
+                }
+                _mm256_storeu_ps(op_.add(dst + j), acc);
+            }
+            reduce_tail_scalar(
+                ad,
+                src,
+                &mut out[dst + blocks * L..dst + inner],
+                mid,
+                inner,
+                blocks * L,
+                op,
+                scale,
+            );
+        }
+    }
+
+    /// Scalar fold for the inner-dim slots a vector block doesn't cover.
+    #[allow(clippy::too_many_arguments)]
+    fn reduce_tail_scalar(
+        ad: &[f32],
+        src: usize,
+        tail: &mut [f32],
+        mid: usize,
+        inner: usize,
+        j0: usize,
+        op: RedOp,
+        scale: Option<f32>,
+    ) {
+        for (t, slot) in tail.iter_mut().enumerate() {
+            let jj = j0 + t;
+            let mut acc = op.init();
+            for m in 0..mid {
+                let v = ad[src + m * inner + jj];
+                acc = match op {
+                    RedOp::Sum => acc + v,
+                    RedOp::Max => super::max_fold(acc, v),
+                };
+            }
+            if let Some(s) = scale {
+                acc *= s;
+            }
+            *slot = acc;
+        }
+    }
+
+    /// Softmax over rows already copied into `out`: per-row max with zmm
+    /// lanes across 16 rows (stride-`n` gathers), the exact scalar
+    /// exp-and-sum sequence per row, then a vectorized scale by `1/sum`.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` (guaranteed by [`super::select`]).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn softmax_rows_avx512(out: &mut [f32], n: usize) {
+        const L: usize = 16;
+        let rows = out.len() / n;
+        let step = _mm512_mullo_epi32(
+            _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15),
+            _mm512_set1_epi32(n as i32),
+        );
+        let mut r0 = 0;
+        while r0 + L <= rows {
+            let base = out.as_ptr().add(r0 * n);
+            let mut acc = _mm512_set1_ps(f32::NEG_INFINITY);
+            for j in 0..n {
+                let v = _mm512_i32gather_ps::<4>(step, base.add(j));
+                acc = max_step_avx512(acc, v);
+            }
+            let mut maxs = [0.0f32; L];
+            _mm512_storeu_ps(maxs.as_mut_ptr(), acc);
+            for (l, &max) in maxs.iter().enumerate() {
+                let row = &mut out[(r0 + l) * n..(r0 + l + 1) * n];
+                // Exactly `softmax_row_inplace`'s middle pass: libm exp
+                // and a serial ascending-index running sum.
+                let mut sum = 0.0f32;
+                for o in row.iter_mut() {
+                    let e = (*o - max).exp();
+                    sum += e;
+                    *o = e;
+                }
+                let inv = 1.0 / sum;
+                let iv = _mm512_set1_ps(inv);
+                let rp = row.as_mut_ptr();
+                let mut j = 0;
+                while j + L <= n {
+                    _mm512_storeu_ps(rp.add(j), _mm512_mul_ps(_mm512_loadu_ps(rp.add(j)), iv));
+                    j += L;
+                }
+                for o in row[j..].iter_mut() {
+                    *o *= inv;
+                }
+            }
+            r0 += L;
+        }
+        for row in out[r0 * n..].chunks_mut(n) {
+            crate::ops::softmax_row_inplace(row);
+        }
+    }
+
+    /// Softmax over rows already copied into `out`, ymm lanes across 8
+    /// rows.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx2` (guaranteed by [`super::select`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn softmax_rows_avx2(out: &mut [f32], n: usize) {
+        const L: usize = 8;
+        let rows = out.len() / n;
+        let step = _mm256_mullo_epi32(
+            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+            _mm256_set1_epi32(n as i32),
+        );
+        let mut r0 = 0;
+        while r0 + L <= rows {
+            let base = out.as_ptr().add(r0 * n);
+            let mut acc = _mm256_set1_ps(f32::NEG_INFINITY);
+            for j in 0..n {
+                let v = _mm256_i32gather_ps::<4>(base.add(j), step);
+                acc = max_step_avx2(acc, v);
+            }
+            let mut maxs = [0.0f32; L];
+            _mm256_storeu_ps(maxs.as_mut_ptr(), acc);
+            for (l, &max) in maxs.iter().enumerate() {
+                let row = &mut out[(r0 + l) * n..(r0 + l + 1) * n];
+                let mut sum = 0.0f32;
+                for o in row.iter_mut() {
+                    let e = (*o - max).exp();
+                    sum += e;
+                    *o = e;
+                }
+                let inv = 1.0 / sum;
+                let iv = _mm256_set1_ps(inv);
+                let rp = row.as_mut_ptr();
+                let mut j = 0;
+                while j + L <= n {
+                    _mm256_storeu_ps(rp.add(j), _mm256_mul_ps(_mm256_loadu_ps(rp.add(j)), iv));
+                    j += L;
+                }
+                for o in row[j..].iter_mut() {
+                    *o *= inv;
+                }
+            }
+            r0 += L;
+        }
+        for row in out[r0 * n..].chunks_mut(n) {
+            crate::ops::softmax_row_inplace(row);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -999,5 +1628,151 @@ mod tests {
         let mut part = vec![0.0f32; (m - 5) * n];
         matmul_packed_rows(&a, 5, &mut part, k, n, &bp);
         assert_eq!(&full[5 * n..], &part[..]);
+    }
+
+    /// Naive reference for the reduction kernels: one accumulator per
+    /// output element, ascending reduced index, optional scale epilogue.
+    fn naive_reduce(
+        ad: &[f32],
+        rows: usize,
+        mid: usize,
+        inner: usize,
+        op: RedOp,
+        scale: Option<f32>,
+    ) -> Vec<f32> {
+        let mut out = vec![op.init(); rows * inner];
+        for r in 0..rows {
+            for m in 0..mid {
+                for i in 0..inner {
+                    let v = ad[(r * mid + m) * inner + i];
+                    let slot = &mut out[r * inner + i];
+                    *slot = match op {
+                        RedOp::Sum => *slot + v,
+                        RedOp::Max => max_fold(*slot, v),
+                    };
+                }
+            }
+            if let Some(s) = scale {
+                for slot in &mut out[r * inner..(r + 1) * inner] {
+                    *slot *= s;
+                }
+            }
+        }
+        out
+    }
+
+    fn assert_bits_eq(got: &[f32], expect: &[f32], what: &str) {
+        assert_eq!(got.len(), expect.len(), "{what}: length");
+        let same = got.iter().zip(expect).all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same, "{what} diverged from the naive fold: {got:?} vs {expect:?}");
+    }
+
+    #[test]
+    fn reduce_rows_matches_naive_bitwise() {
+        // Shapes cover full gather blocks (>=16 rows), remainders,
+        // single rows, and zero-length folds.
+        for &(rows, mid) in &[(1, 1), (33, 7), (16, 64), (5, 3), (40, 1), (7, 0), (18, 25)] {
+            for &op in &[RedOp::Sum, RedOp::Max] {
+                for &scale in &[None, Some(1.0 / mid.max(1) as f32)] {
+                    let a = vals(rows * mid, 21);
+                    let mut out = vec![f32::NAN; rows];
+                    reduce_rows(&a, 0, &mut out, mid, op, scale);
+                    let expect = naive_reduce(&a, rows, mid, 1, op, scale);
+                    assert_bits_eq(&out, &expect, &format!("rows ({rows},{mid}) {op:?}"));
+                }
+            }
+        }
+        // Row offset slices like a threaded chunk would.
+        let (rows, mid) = (37, 9);
+        let a = vals(rows * mid, 22);
+        let mut full = vec![0.0f32; rows];
+        reduce_rows(&a, 0, &mut full, mid, RedOp::Sum, None);
+        let mut part = vec![0.0f32; rows - 4];
+        reduce_rows(&a, 4, &mut part, mid, RedOp::Sum, None);
+        assert_eq!(&full[4..], &part[..]);
+    }
+
+    #[test]
+    fn reduce_groups_matches_naive_bitwise() {
+        for &(groups, mid, inner) in
+            &[(1, 1, 1), (3, 7, 33), (2, 5, 16), (4, 0, 9), (2, 8, 3), (1, 12, 40)]
+        {
+            for &op in &[RedOp::Sum, RedOp::Max] {
+                for &scale in &[None, Some(0.25f32)] {
+                    let a = vals(groups * mid * inner, 23);
+                    let mut out = vec![f32::NAN; groups * inner];
+                    reduce_groups(&a, 0, &mut out, mid, inner, op, scale);
+                    let expect = naive_reduce(&a, groups, mid, inner, op, scale);
+                    assert_bits_eq(
+                        &out,
+                        &expect,
+                        &format!("groups ({groups},{mid},{inner}) {op:?}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_max_handles_nan_and_infinities_like_the_scalar_fold() {
+        // NaN poison in varying positions plus ±∞; the kernel must agree
+        // bitwise with the scalar max_fold (NaN operands ignored, NaN
+        // result only when every element is NaN).
+        for &(rows, mid) in &[(17, 5), (20, 3)] {
+            let mut a = vals(rows * mid, 31);
+            a[0] = f32::NAN; // row 0 starts with NaN
+            a[mid + (mid - 1)] = f32::NAN; // row 1 ends with NaN
+            a[2 * mid] = f32::INFINITY;
+            a[3 * mid] = f32::NEG_INFINITY;
+            for v in a[4 * mid..5 * mid].iter_mut() {
+                *v = f32::NAN; // row 4 all-NaN
+            }
+            let mut out = vec![0.0f32; rows];
+            reduce_rows(&a, 0, &mut out, mid, RedOp::Max, None);
+            let expect = naive_reduce(&a, rows, mid, 1, RedOp::Max, None);
+            assert_bits_eq(&out, &expect, "NaN/∞ max rows");
+            // NaN operands are ignored (as f32::max does), so an all-NaN
+            // row keeps the -∞ seed.
+            assert_eq!(out[4].to_bits(), f32::NEG_INFINITY.to_bits());
+
+            let mut gout = vec![0.0f32; rows];
+            // Same data seen as one group with inner == rows.
+            reduce_groups(&a, 0, &mut gout, mid, rows, RedOp::Max, None);
+            let gexpect = naive_reduce(&a, 1, mid, rows, RedOp::Max, None);
+            assert_bits_eq(&gout, &gexpect, "NaN/∞ max groups");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_tiered_matches_scalar_helper_bitwise() {
+        for &(rows, n) in &[(1, 1), (17, 8), (33, 5), (16, 16), (40, 3), (2, 21)] {
+            let a = vals(rows * n, 41);
+            let mut out = vec![f32::NAN; rows * n];
+            softmax_rows_tiered(&a, 0, &mut out, n);
+            let mut expect = a.clone();
+            for row in expect.chunks_mut(n) {
+                crate::ops::softmax_row_inplace(row);
+            }
+            assert_bits_eq(&out, &expect, &format!("softmax ({rows},{n})"));
+        }
+        // Offset selects a row range like a threaded chunk would.
+        let (rows, n) = (21, 6);
+        let a = vals(rows * n, 42);
+        let mut full = vec![0.0f32; rows * n];
+        softmax_rows_tiered(&a, 0, &mut full, n);
+        let mut part = vec![0.0f32; (rows - 3) * n];
+        softmax_rows_tiered(&a, 3 * n, &mut part, n);
+        assert_eq!(&full[3 * n..], &part[..]);
+    }
+
+    #[test]
+    fn max_fold_pins_f32_max_nan_semantics() {
+        assert_eq!(max_fold(1.0, f32::NAN).to_bits(), 1.0f32.to_bits());
+        assert!(max_fold(f32::NAN, f32::NAN).is_nan());
+        assert_eq!(max_fold(f32::NAN, 2.0).to_bits(), 2.0f32.to_bits());
+        assert_eq!(max_fold(f32::NEG_INFINITY, f32::NAN).to_bits(), f32::NEG_INFINITY.to_bits());
+        // The ±0 tie f32::max leaves unspecified is pinned: acc wins.
+        assert_eq!(max_fold(0.0, -0.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(max_fold(-0.0, 0.0).to_bits(), (-0.0f32).to_bits());
     }
 }

@@ -263,6 +263,60 @@ impl Mlp {
         }
         Ok(())
     }
+
+    /// Packs every layer's weight into the kernel tier's panel layout
+    /// for repeated batched inference ([`PackedMlp::infer`]).
+    ///
+    /// One `pack_b` per layer, paid once per weight version and
+    /// amortized over every forward that follows — the batched-rollout
+    /// analogue of the interpreter's hot-plan tier-up. The caller owns
+    /// invalidation: a [`PackedMlp`] is a snapshot of the weights at
+    /// pack time and must be rebuilt after any parameter update.
+    pub fn pack(&self) -> PackedMlp {
+        let layers = self
+            .layers
+            .iter()
+            .map(|l| {
+                let (k, n) = (l.fan_in(), l.fan_out());
+                (crate::kernels::pack_b(l.w.data(), k, n), l.b.clone())
+            })
+            .collect();
+        PackedMlp {
+            layers,
+            hidden_activation: self.hidden_activation,
+            output_activation: self.output_activation,
+        }
+    }
+}
+
+/// An inference-only [`Mlp`] snapshot whose weights are pre-packed into
+/// the kernel tier's cache-blocked panels.
+///
+/// [`PackedMlp::infer`] mirrors the fused [`Mlp::infer`] loop exactly —
+/// same per-layer [`ops::linear_act_prepacked`] accumulation order, same
+/// intermediate recycling — so outputs are bit-identical to the plain
+/// module the snapshot was packed from.
+#[derive(Debug)]
+pub struct PackedMlp {
+    layers: Vec<(crate::kernels::PackedB, Tensor)>,
+    hidden_activation: Activation,
+    output_activation: Activation,
+}
+
+impl PackedMlp {
+    /// Forward pass over the packed panels: `[batch, in] → [batch, out]`.
+    pub fn infer(&self, x: &Tensor) -> Result<Tensor> {
+        let last = self.layers.len() - 1;
+        let mut h: Option<Tensor> = None;
+        for (i, (wp, b)) in self.layers.iter().enumerate() {
+            let act = if i == last { self.output_activation } else { self.hidden_activation };
+            let next = ops::linear_act_prepacked(h.as_ref().unwrap_or(x), wp, b, act.fused())?;
+            if let Some(dead) = h.replace(next) {
+                dead.recycle();
+            }
+        }
+        Ok(h.unwrap_or_else(|| x.clone()))
+    }
 }
 
 /// An [`Mlp`] whose parameters are live variables on a tape.
@@ -378,6 +432,23 @@ mod tests {
         assert_eq!(loss_on.data(), loss_off.data());
         for (a, b) in grads_on.iter().zip(&grads_off) {
             assert_eq!(a.data(), b.data(), "fused grads must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn packed_infer_is_bit_identical_to_plain_infer() {
+        let mut r = rng(11);
+        let mlp = Mlp::new(&[6, 32, 32, 3], Activation::Tanh, Activation::Linear, &mut r);
+        let packed = mlp.pack();
+        for batch in [1usize, 7, 33] {
+            let x = Tensor::from_vec(
+                (0..batch * 6).map(|i| (i as f32 * 0.17).cos()).collect(),
+                &[batch, 6],
+            )
+            .unwrap();
+            let plain = crate::par::with_fusion(true, || mlp.infer(&x).unwrap());
+            let fast = packed.infer(&x).unwrap();
+            assert_eq!(plain.data(), fast.data(), "batch {batch} diverged");
         }
     }
 

@@ -7,6 +7,7 @@
 //! MindSpore operators.
 
 use crate::error::TensorError;
+use crate::kernels;
 use crate::par;
 use crate::shape::{BroadcastPlan, Shape};
 use crate::tensor::Tensor;
@@ -762,18 +763,21 @@ pub fn max_all(a: &Tensor) -> Result<Tensor> {
     Ok(Tensor::scalar(a.data().iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x))))
 }
 
-/// Reduces along `axis` with the accumulator `f`, removing that axis.
+/// Reduces along `axis`, removing that axis.
 ///
 /// Output slots are independent, so the threaded backend partitions
 /// them across workers (in groups that keep each outer slice whole);
 /// every slot folds over the reduced axis in ascending order on both
-/// backends, so results are bit-exact across backends.
-fn reduce_axis(
-    a: &Tensor,
-    axis: usize,
-    init: f32,
-    f: impl Fn(f32, f32) -> f32 + Sync,
-) -> Result<Tensor> {
+/// backends, so results are bit-exact across backends. With the kernel
+/// tier enabled the fold runs in the SIMD reduction microkernels
+/// ([`kernels::reduce_rows`] / [`kernels::reduce_groups`]), whose lanes
+/// span independent output slots and replay the same per-slot order —
+/// `MSRL_TIER=0/1` stays bit-identical.
+///
+/// `scale`, when set, multiplies each output slot right after its own
+/// fold completes — the single-pass `mean_axis` epilogue; per element it
+/// is the same multiply a separate rescale traversal would perform.
+fn reduce_axis(a: &Tensor, axis: usize, op: kernels::RedOp, scale: Option<f32>) -> Result<Tensor> {
     if axis >= a.rank() {
         return Err(TensorError::AxisOutOfRange { axis, rank: a.rank() });
     }
@@ -782,15 +786,34 @@ fn reduce_axis(
     let mid = dims[axis];
     let inner: usize = dims[axis + 1..].iter().product();
     let ad = a.data();
-    let mut out = crate::alloc::take_filled(outer * inner, init);
+    let tier = par::tier_enabled();
+    let mut out = crate::alloc::take_filled(outer * inner, op.init());
     let fill = |offset: usize, chunk: &mut [f32]| {
+        if tier && inner == 1 {
+            kernels::reduce_rows(ad, offset, chunk, mid, op, scale);
+            return;
+        }
+        if tier && inner > 1 {
+            kernels::reduce_groups(ad, offset / inner, chunk, mid, inner, op, scale);
+            return;
+        }
+        // Reference scalar path: one accumulator per slot, ascending m.
         let o0 = offset / inner.max(1);
         for (oi, group) in chunk.chunks_mut(inner.max(1)).enumerate() {
             let o = o0 + oi;
             for m in 0..mid {
                 let base = (o * mid + m) * inner;
                 for (i, slot) in group.iter_mut().enumerate() {
-                    *slot = f(*slot, ad[base + i]);
+                    let v = ad[base + i];
+                    *slot = match op {
+                        kernels::RedOp::Sum => *slot + v,
+                        kernels::RedOp::Max => kernels::max_fold(*slot, v),
+                    };
+                }
+            }
+            if let Some(s) = scale {
+                for slot in group.iter_mut() {
+                    *slot *= s;
                 }
             }
         }
@@ -807,25 +830,41 @@ fn reduce_axis(
 
 /// Sum along `axis`, removing that axis.
 pub fn sum_axis(a: &Tensor, axis: usize) -> Result<Tensor> {
-    reduce_axis(a, axis, 0.0, |acc, v| acc + v)
+    reduce_axis(a, axis, kernels::RedOp::Sum, None)
 }
 
 /// Mean along `axis`, removing that axis.
+///
+/// Single pass: each output slot is scaled by `1/n` immediately after
+/// its own sum finishes, instead of materializing `sum_axis` and
+/// rescaling in a second full traversal — bit-identical to the former
+/// two-pass form because the per-element multiply is unchanged.
 pub fn mean_axis(a: &Tensor, axis: usize) -> Result<Tensor> {
     let n =
         *a.shape().get(axis).ok_or(TensorError::AxisOutOfRange { axis, rank: a.rank() })? as f32;
-    Ok(mul_scalar(&sum_axis(a, axis)?, 1.0 / n))
+    reduce_axis(a, axis, kernels::RedOp::Sum, Some(1.0 / n))
 }
 
 /// Maximum along `axis`, removing that axis.
+///
+/// Uses the pinned [`kernels::max_fold`] step (NaN operands ignored as
+/// `f32::max` does; the ±0 tie resolved to the earlier element) so the
+/// scalar reference and the SIMD kernels agree bitwise on every input.
 pub fn max_axis(a: &Tensor, axis: usize) -> Result<Tensor> {
-    reduce_axis(a, axis, f32::NEG_INFINITY, |acc, v| acc.max(v))
+    reduce_axis(a, axis, kernels::RedOp::Max, None)
 }
 
 /// Index of the maximum along the last axis of a rank-2 tensor.
 ///
 /// Returns a 1-D tensor of row-wise argmax indices (as `f32` values, the
 /// convention used by the dataflow interpreter for index tensors).
+///
+/// Ties break to the **first** maximum: the fold only moves on a strict
+/// `>`, so among equal maxima the lowest index wins. NaN never compares
+/// greater, so a NaN past column 0 is never selected (a NaN *in* column
+/// 0 seeds the fold and then nothing can displace it). The fold carries
+/// `(index, value)` so each step compares against a register instead of
+/// re-loading `row[best]` through a data-dependent index.
 ///
 /// # Errors
 ///
@@ -841,12 +880,11 @@ pub fn argmax_rows(a: &Tensor) -> Result<Tensor> {
     let mut out = Vec::with_capacity(m);
     for i in 0..m {
         let row = &a.data()[i * n..(i + 1) * n];
-        let mut best = 0usize;
-        for (j, &v) in row.iter().enumerate() {
-            if v > row[best] {
-                best = j;
-            }
-        }
+        let (best, _) = row
+            .iter()
+            .enumerate()
+            .skip(1)
+            .fold((0usize, row[0]), |(bi, bv), (j, &v)| if v > bv { (j, v) } else { (bi, bv) });
         out.push(best as f32);
     }
     Tensor::from_vec(out, &[m])
@@ -882,7 +920,14 @@ pub fn softmax_rows(a: &Tensor) -> Result<Tensor> {
     if out.is_empty() {
         return Tensor::from_vec(out, &[m, n]);
     }
+    let tier = par::tier_enabled();
     let fill = |offset: usize, chunk: &mut [f32]| {
+        if tier {
+            // Vectorized-across-rows kernel; replays this exact per-row
+            // arithmetic, so MSRL_TIER=0/1 stays bit-identical.
+            kernels::softmax_rows_tiered(ad, offset, chunk, n);
+            return;
+        }
         for (r, orow) in chunk.chunks_mut(n).enumerate() {
             orow.copy_from_slice(&ad[offset + r * n..offset + (r + 1) * n]);
             softmax_row_inplace(orow);
@@ -902,7 +947,7 @@ pub fn softmax_rows(a: &Tensor) -> Result<Tensor> {
 /// [`linear_softmax`] epilogue so the two stay bit-identical by
 /// construction.
 pub fn softmax_row_inplace(row: &mut [f32]) {
-    let max = row.iter().fold(f32::NEG_INFINITY, |acc, &v| acc.max(v));
+    let max = row.iter().fold(f32::NEG_INFINITY, |acc, &v| kernels::max_fold(acc, v));
     let mut sum = 0.0f32;
     for o in row.iter_mut() {
         let e = (*o - max).exp();
@@ -1212,6 +1257,17 @@ mod tests {
     fn argmax_rows_finds_max() {
         let a = t(&[0.1, 0.9, 0.5, 0.2, 0.1, 0.05], &[2, 3]);
         assert_eq!(argmax_rows(&a).unwrap().data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_rows_breaks_ties_to_the_first_maximum() {
+        // Equal maxima: the strict-> fold keeps the lowest index.
+        let a = t(&[1.0, 5.0, 5.0, 3.0, 3.0, 2.0, 7.0, 7.0, 7.0], &[3, 3]);
+        assert_eq!(argmax_rows(&a).unwrap().data(), &[1.0, 0.0, 0.0]);
+        // NaN past column 0 never displaces a leader; a column-0 NaN
+        // seeds the fold and nothing compares greater than it.
+        let b = t(&[2.0, f32::NAN, 1.0, f32::NAN, 4.0, 9.0], &[2, 3]);
+        assert_eq!(argmax_rows(&b).unwrap().data(), &[0.0, 0.0]);
     }
 
     #[test]

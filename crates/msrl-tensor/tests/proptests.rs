@@ -344,6 +344,66 @@ proptest! {
         );
     }
 
+    /// The gathered reduction row kernels (tier on) must match the naive
+    /// scalar folds bit-for-bit on any shape, any axis, and both
+    /// backends — degenerate axis lengths (0, 1), single-row inputs,
+    /// and NaN/∞ poison included. `max` pins `f32::max` NaN semantics
+    /// (NaN operands ignored), so an all-NaN reduction over a non-empty
+    /// axis yields the -∞ seed on both tiers.
+    #[test]
+    fn tiered_reductions_match_naive_bitwise(
+        d0 in 1usize..6, d1 in 0usize..6, d2 in 1usize..6,
+        axis in 0usize..3, vals in small_vec(180), poison in 0usize..5
+    ) {
+        let vol = d0 * d1 * d2;
+        let mut v = vals[..vol].to_vec();
+        if vol > 0 {
+            match poison {
+                1 => v[0] = f32::NAN,
+                2 => v[vol / 2] = f32::INFINITY,
+                3 => v[vol - 1] = f32::NEG_INFINITY,
+                4 => v.fill(f32::NAN),
+                _ => {}
+            }
+        }
+        let t = Tensor::from_vec(v, &[d0, d1, d2]).unwrap();
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+        for op in 0..3usize {
+            let run = |tier: bool| par::with_tier(tier, || match op {
+                0 => ops::sum_axis(&t, axis).unwrap(),
+                1 => ops::max_axis(&t, axis).unwrap(),
+                _ => ops::mean_axis(&t, axis).unwrap(),
+            });
+            let naive = run(false);
+            let (s, th) = on_both_backends(|| run(true));
+            prop_assert_eq!(bits(&s), bits(&th));
+            prop_assert_eq!(bits(&s), bits(&naive));
+        }
+    }
+
+    /// The across-rows softmax path (tier on) must match the scalar
+    /// per-row helper bit-for-bit on both backends — single-row and
+    /// single-column matrices and ±∞ operands included (the exp+sum
+    /// pass is the same scalar code on both tiers; only the max fold
+    /// and the scale pass vectorize).
+    #[test]
+    fn tiered_softmax_rows_match_naive_bitwise(
+        m in 1usize..10, n in 1usize..10, vals in small_vec(81), poison in 0usize..3
+    ) {
+        let mut v = vals[..m * n].to_vec();
+        match poison {
+            1 => v[0] = f32::NEG_INFINITY,
+            2 => v[m * n - 1] = f32::INFINITY,
+            _ => {}
+        }
+        let t = Tensor::from_vec(v, &[m, n]).unwrap();
+        let bits = |t: &Tensor| t.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+        let naive = par::with_tier(false, || ops::softmax_rows(&t).unwrap());
+        let (s, th) = on_both_backends(|| par::with_tier(true, || ops::softmax_rows(&t).unwrap()));
+        prop_assert_eq!(bits(&s), bits(&th));
+        prop_assert_eq!(bits(&s), bits(&naive));
+    }
+
     /// Row-softmax and element-wise maps partition on whole rows/chunks and
     /// must agree bit-for-bit with the scalar backend.
     #[test]
