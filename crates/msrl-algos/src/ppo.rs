@@ -158,21 +158,53 @@ impl PpoPolicy {
         rng: &mut StdRng,
         packed: Option<&PackedPpo>,
     ) -> Result<ActOutput> {
+        let (out, values) = self.forward_with(obs, packed)?;
+        self.sample_from(&out, values, rng)
+    }
+
+    /// The deterministic forward half of [`PpoPolicy::act`]: actor head
+    /// outputs (`[batch, act]` logits or means) and critic values
+    /// (`[batch]`). Split out so a micro-batching act server can run
+    /// one forward over rows concatenated from many actors and hand
+    /// each actor its row slice — matmul rows are independent, so the
+    /// batched forward is bit-identical to per-actor forwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed observations.
+    pub fn forward_with(
+        &self,
+        obs: &Tensor,
+        packed: Option<&PackedPpo>,
+    ) -> Result<(Tensor, Tensor)> {
         let (out, values) = match packed {
             Some(p) => (p.actor.infer(obs)?, p.critic.infer(obs)?),
             None => (self.actor.infer(obs)?, self.critic.infer(obs)?),
         };
         let batch = obs.shape()[0];
-        let values = values.reshape(&[batch])?;
+        Ok((out, values.reshape(&[batch])?))
+    }
+
+    /// The sampling half of [`PpoPolicy::act`]: builds the action
+    /// distribution from forward outputs and draws with `rng`. Operates
+    /// on whatever row block it is given, so an act server can apply it
+    /// per-client slice with each client's own generator — the same
+    /// draws the unbatched path would make.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed head outputs.
+    pub fn sample_from(&self, out: &Tensor, values: Tensor, rng: &mut StdRng) -> Result<ActOutput> {
+        let batch = out.shape()[0];
         if self.discrete {
-            let dist = Categorical::from_logits(&out)?;
+            let dist = Categorical::from_logits(out)?;
             let actions = dist.sample(rng);
             let log_probs = dist.log_prob(&actions)?;
             let actions_t =
                 Tensor::from_vec(actions.iter().map(|&a| a as f32).collect(), &[batch])?;
             Ok(ActOutput { actions: actions_t, log_probs, values: Some(values) })
         } else {
-            let dist = DiagGaussian::new(out, self.log_std.clone())?;
+            let dist = DiagGaussian::new(out.clone(), self.log_std.clone())?;
             let actions = dist.sample(rng);
             let log_probs = dist.log_prob(&actions)?;
             Ok(ActOutput { actions, log_probs, values: Some(values) })
@@ -193,13 +225,14 @@ impl PpoPolicy {
 /// A policy's weights packed into the kernel tier's panel layout —
 /// one `pack_b` per layer per weight version, amortized over every
 /// rollout forward until the next weight sync.
-struct PackedPpo {
+pub struct PackedPpo {
     actor: PackedMlp,
     critic: PackedMlp,
 }
 
 impl PackedPpo {
-    fn pack(p: &PpoPolicy) -> Self {
+    /// Packs both heads of a policy snapshot.
+    pub fn pack(p: &PpoPolicy) -> Self {
         PackedPpo { actor: p.actor.pack(), critic: p.critic.pack() }
     }
 }
@@ -253,6 +286,17 @@ impl Actor for PpoActor {
     }
 
     fn set_policy_params(&mut self, flat: &[f32]) -> Result<()> {
+        // A sync carrying the weights the actor already holds (a
+        // re-broadcast of the same epoch) must not invalidate the
+        // packed snapshot — repacking is the expensive half of the
+        // batched fast path, and the partial-update path can deliver
+        // the same version more than once.
+        if self.packed.is_some()
+            && flat.len() == self.policy.num_params()
+            && self.policy.flatten() == flat
+        {
+            return Ok(());
+        }
         self.packed = None;
         self.policy.unflatten(flat)
     }
@@ -544,16 +588,50 @@ mod tests {
         assert_eq!(on.actions.data(), off.actions.data());
         assert_eq!(on.log_probs.data(), off.log_probs.data());
         assert_eq!(on.values.unwrap().data(), off.values.unwrap().data());
-        // A weight sync invalidates the snapshot; the next act repacks.
+        // A weight sync carrying *new* weights invalidates the
+        // snapshot; the next act repacks.
         msrl_tensor::par::with_tier(true, || {
             let mut actor = PpoActor::new(policy.clone(), 9);
             actor.act(&obs).unwrap();
             assert!(actor.has_packed_weights());
-            let flat = actor.policy_params();
+            let mut flat = actor.policy_params();
+            flat[0] += 0.125;
             actor.set_policy_params(&flat).unwrap();
             assert!(!actor.has_packed_weights(), "sync must drop the snapshot");
             actor.act(&obs).unwrap();
             assert!(actor.has_packed_weights(), "next act must repack");
+        });
+    }
+
+    /// The partial-update gap: a sync that delivers the *identical*
+    /// epoch (a re-broadcast) must keep the packed snapshot — no
+    /// invalidation, and no `pack_b` panel repacks on the next act.
+    #[test]
+    fn identical_weight_sync_does_not_repack() {
+        msrl_tensor::par::with_tier(true, || {
+            let policy = PpoPolicy::discrete(4, 3, &[16, 16], 7);
+            let obs = Tensor::from_vec((0..16).map(|i| (i as f32 * 0.3).cos()).collect(), &[4, 4])
+                .unwrap();
+            let mut actor = PpoActor::new(policy, 11);
+            actor.act(&obs).unwrap();
+            assert!(actor.has_packed_weights());
+            let flat = actor.policy_params();
+            let packs_before = msrl_telemetry::counter_total("tensor.pack_b");
+            actor.set_policy_params(&flat).unwrap();
+            assert!(actor.has_packed_weights(), "identical sync keeps the snapshot");
+            actor.act(&obs).unwrap();
+            let packs_after = msrl_telemetry::counter_total("tensor.pack_b");
+            assert_eq!(packs_before, packs_after, "identical sync must not repack");
+            // A genuinely new epoch still invalidates.
+            let mut changed = flat.clone();
+            changed[1] -= 0.25;
+            actor.set_policy_params(&changed).unwrap();
+            assert!(!actor.has_packed_weights());
+            actor.act(&obs).unwrap();
+            assert!(
+                msrl_telemetry::counter_total("tensor.pack_b") > packs_after,
+                "changed sync must repack"
+            );
         });
     }
 

@@ -28,9 +28,20 @@
 //! GFLOP/s at both tiers) and the batched rollout forward (one
 //! `PackedMlp::infer` over all actors' observation rows vs the
 //! per-actor `Mlp::infer` loop), all as interleaved minima. Hard
-//! floors: sum_axis ≥2x, batched rollout ≥1.5x, softmax ≥1.3x (the
-//! exp+sum pass has no bit-exact vector form and stays scalar, so only
-//! the max fold and the scale pass vectorize).
+//! floors: sum_axis ≥2x, batched rollout ≥1.5x, softmax_tier1 ≥1.3x
+//! (the bit-exact tier's exp+sum pass has no bit-exact vector form and
+//! stays scalar, so only the max fold and the scale pass vectorize).
+//!
+//! The `fastmath` section prices the opt-in `MSRL_TIER=2` kernels,
+//! which drop bit-exactness for vectorized polynomial exp/tanh (DESIGN
+//! §3.14): softmax_rows tier 2 vs tier 0 (floor ≥2.5x — the exp pass
+//! finally vectorizes), the tanh-MLP batched rollout forward tier 2 vs
+//! tier 1 on the e2e policy shape (floor ≥1.3x), and the act server's
+//! one-forward-per-round over all actors' rows vs the per-actor packed
+//! loop at 128 actors (floor ≥1.5x). Every kernel section also records
+//! `dispatch` — the microkernel family `kernels::select()` actually
+//! chose on this host (avx512/avx2/portable) — so trend comparisons
+//! across machines are interpretable.
 //!
 //! When the output file already exists from a previous run, the binary
 //! first compares against it (`bench_trend`): per-entry deltas are
@@ -41,7 +52,7 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use msrl_algos::ppo::PpoConfig;
+use msrl_algos::ppo::{PackedPpo, PpoConfig, PpoPolicy};
 use msrl_core::interp::Interpreter;
 use msrl_core::partition::build_fdg;
 use msrl_core::trace::{trace_mlp, TraceCtx};
@@ -81,6 +92,17 @@ struct Row {
 impl Row {
     fn speedup(&self) -> f64 {
         self.scalar_ns / self.threaded_ns.max(1.0)
+    }
+}
+
+/// The microkernel family `kernels::select()` chose on this host,
+/// recorded in each kernel section of the report so trend numbers stay
+/// interpretable across machines.
+fn dispatch_label() -> &'static str {
+    match msrl_tensor::kernels::select() {
+        msrl_tensor::kernels::MatKernel::Avx512 => "avx512",
+        msrl_tensor::kernels::MatKernel::Avx2 => "avx2",
+        msrl_tensor::kernels::MatKernel::Portable => "portable",
     }
 }
 
@@ -167,6 +189,7 @@ fn telemetry_cost() -> TelemetryCost {
             staleness: 1,
             plan_cache_hit_rate: Some(0.9),
             attr: None,
+            actsrv: None,
         })
     });
     tel::set_metrics_file(None);
@@ -606,6 +629,125 @@ fn kernel_reductions_cost() -> KernelReductions {
     }
 }
 
+/// Measured effect of the opt-in fast-math tier (`MSRL_TIER=2`) and the
+/// cross-actor act server on this host.
+struct Fastmath {
+    /// `softmax_rows` on [512, 64]: tier 0 (naive scalar, libm exp) vs
+    /// tier 2 (vectorized max fold + polynomial exp + scale).
+    softmax_tier0_ns: f64,
+    softmax_tier2_ns: f64,
+    /// The batched rollout forward on the e2e policy shape — a tanh
+    /// [17, 32, 32, 6] MLP over 128 actors' rows through the pack
+    /// cache — tier 1 (libm tanh epilogue) vs tier 2 (vectorized
+    /// polynomial tanh). This is the forward the PR 8 batched path
+    /// runs; tier 2 must beat it ≥1.3x because tanh dominates it.
+    rollout_tanh_tier1_ns: f64,
+    rollout_tanh_tier2_ns: f64,
+    /// One rollout step's policy forwards for 128 actors × 1 row: the
+    /// per-actor packed loop (each actor forwards its own rows, the PR 8
+    /// pack-cache path) vs the act server's single forward over the
+    /// concatenated block — the exact kernels `ActServer::submit`'s
+    /// round leader runs, priced without thread-rendezvous noise.
+    actsrv_per_actor_ns: f64,
+    actsrv_batched_ns: f64,
+}
+
+impl Fastmath {
+    fn softmax_tier2_speedup(&self) -> f64 {
+        self.softmax_tier0_ns / self.softmax_tier2_ns.max(1.0)
+    }
+    fn rollout_tanh_tier2_speedup(&self) -> f64 {
+        self.rollout_tanh_tier1_ns / self.rollout_tanh_tier2_ns.max(1.0)
+    }
+    fn actsrv_batch_speedup(&self) -> f64 {
+        self.actsrv_per_actor_ns / self.actsrv_batched_ns.max(1.0)
+    }
+}
+
+fn fastmath_cost() -> Fastmath {
+    // softmax_rows tier 0 vs tier 2, scalar backend, interleaved minima.
+    let s =
+        Tensor::from_vec((0..512 * 64).map(|i| (i as f32 * 0.0213).cos()).collect(), &[512, 64])
+            .expect("shape matches");
+    let mut soft = || ops::softmax_rows(&s).expect("rank 2");
+    let (softmax_tier0_ns, softmax_tier2_ns) = par::with_backend(Backend::Scalar, || {
+        let mut t0 = f64::INFINITY;
+        let mut t2 = f64::INFINITY;
+        for _ in 0..5 {
+            t0 = t0.min(par::with_tier_level(0, || time_ns(3, &mut soft)));
+            t2 = t2.min(par::with_tier_level(2, || time_ns(3, &mut soft)));
+        }
+        (t0, t2)
+    });
+
+    // The e2e-shaped tanh rollout forward through the pack cache, tier 1
+    // vs tier 2: same packed panels, the only difference is the
+    // activation epilogue (libm tanh per element vs the vectorized
+    // polynomial).
+    let mut rng = init::rng(42);
+    let mlp = Mlp::new(&[17, 32, 32, 6], Activation::Tanh, Activation::Linear, &mut rng);
+    let packed = mlp.pack();
+    let big =
+        Tensor::from_vec((0..128 * 17).map(|i| (i as f32 * 0.011).sin()).collect(), &[128, 17])
+            .expect("shape matches");
+    let (rollout_tanh_tier1_ns, rollout_tanh_tier2_ns) = par::with_backend(Backend::Scalar, || {
+        par::with_fusion(true, || {
+            let mut t1 = f64::INFINITY;
+            let mut t2 = f64::INFINITY;
+            for _ in 0..5 {
+                t1 = t1.min(par::with_tier_level(1, || {
+                    time_ns(3, || packed.infer(&big).expect("shapes conform"))
+                }));
+                t2 = t2.min(par::with_tier_level(2, || {
+                    time_ns(3, || packed.infer(&big).expect("shapes conform"))
+                }));
+            }
+            (t1, t2)
+        })
+    });
+
+    // The act server's round forward vs the per-actor loop, on the real
+    // PPO policy forward (actor head + critic) at 128 actors × 1 row.
+    let policy = PpoPolicy::discrete(17, 6, &[32, 32], 42);
+    let ppacked = PackedPpo::pack(&policy);
+    let rows: Vec<Tensor> = (0..128)
+        .map(|k| {
+            Tensor::from_vec(big.data()[k * 17..(k + 1) * 17].to_vec(), &[1, 17])
+                .expect("shape matches")
+        })
+        .collect();
+    let (actsrv_per_actor_ns, actsrv_batched_ns) = par::with_backend(Backend::Scalar, || {
+        par::with_fusion(true, || {
+            par::with_tier(true, || {
+                let mut per = f64::INFINITY;
+                let mut bat = f64::INFINITY;
+                for _ in 0..5 {
+                    per = per.min(time_ns(3, || {
+                        let mut outs = Vec::with_capacity(rows.len());
+                        for x in &rows {
+                            outs.push(policy.forward_with(x, Some(&ppacked)).expect("forwards"));
+                        }
+                        outs
+                    }));
+                    bat = bat.min(time_ns(3, || {
+                        policy.forward_with(&big, Some(&ppacked)).expect("forwards")
+                    }));
+                }
+                (per, bat)
+            })
+        })
+    });
+
+    Fastmath {
+        softmax_tier0_ns,
+        softmax_tier2_ns,
+        rollout_tanh_tier1_ns,
+        rollout_tanh_tier2_ns,
+        actsrv_per_actor_ns,
+        actsrv_batched_ns,
+    }
+}
+
 /// Iterations/sec of one distribution policy with overlap off vs on.
 struct OverlapRow {
     policy: &'static str,
@@ -696,6 +838,7 @@ fn main() {
     let gc = graph_compile_cost();
     let kt = kernel_tier_cost();
     let kr = kernel_reductions_cost();
+    let fm = fastmath_cost();
     let overlap = comm_overlap_rows();
 
     // Per-iteration attribution cost, measured on the macro runs above:
@@ -754,12 +897,13 @@ fn main() {
         gc.plan_cache_speedup(),
     ));
     json.push_str(&format!(
-        "  \"kernel_tier\": {{\"matmul512_naive_ns\": {:.0}, \
+        "  \"kernel_tier\": {{\"dispatch\": \"{}\", \"matmul512_naive_ns\": {:.0}, \
          \"matmul512_tiered_ns\": {:.0}, \"matmul512_naive_gflops\": {:.2}, \
          \"matmul512_tiered_gflops\": {:.2}, \"matmul512_speedup\": {:.2}, \
          \"mlp_fwd_bwd_base_ns\": {:.0}, \"mlp_fwd_bwd_tiered_ns\": {:.0}, \
          \"mlp_fwd_bwd_speedup\": {:.2}, \"threads1_scalar_ns\": {:.0}, \
          \"threads1_threaded_ns\": {:.0}, \"threads1_speedup\": {:.2}}},\n",
+        dispatch_label(),
         kt.matmul512_naive_ns,
         kt.matmul512_tiered_ns,
         KernelTier::gflops512(kt.matmul512_naive_ns),
@@ -778,13 +922,14 @@ fn main() {
     let sum_flops = 512.0 * 1023.0;
     let softmax_flops = 4.0 * 512.0 * 64.0;
     json.push_str(&format!(
-        "  \"kernel_reductions\": {{\"sum_axis_naive_ns\": {:.0}, \
+        "  \"kernel_reductions\": {{\"dispatch\": \"{}\", \"sum_axis_naive_ns\": {:.0}, \
          \"sum_axis_tiered_ns\": {:.0}, \"sum_axis_naive_gflops\": {:.2}, \
          \"sum_axis_tiered_gflops\": {:.2}, \"sum_axis_speedup\": {:.2}, \
-         \"softmax_naive_ns\": {:.0}, \"softmax_tiered_ns\": {:.0}, \
-         \"softmax_naive_gflops\": {:.2}, \"softmax_tiered_gflops\": {:.2}, \
-         \"softmax_speedup\": {:.2}, \"rollout_per_actor_ns\": {:.0}, \
+         \"softmax_tier1_naive_ns\": {:.0}, \"softmax_tier1_tiered_ns\": {:.0}, \
+         \"softmax_tier1_naive_gflops\": {:.2}, \"softmax_tier1_tiered_gflops\": {:.2}, \
+         \"softmax_tier1_speedup\": {:.2}, \"rollout_per_actor_ns\": {:.0}, \
          \"rollout_batched_ns\": {:.0}, \"rollout_batch_speedup\": {:.2}}},\n",
+        dispatch_label(),
         kr.sum_axis_naive_ns,
         kr.sum_axis_tiered_ns,
         KernelReductions::gflops(sum_flops, kr.sum_axis_naive_ns),
@@ -798,6 +943,23 @@ fn main() {
         kr.rollout_per_actor_ns,
         kr.rollout_batched_ns,
         kr.rollout_batch_speedup(),
+    ));
+    json.push_str(&format!(
+        "  \"fastmath\": {{\"dispatch\": \"{}\", \"softmax_tier0_ns\": {:.0}, \
+         \"softmax_tier2_ns\": {:.0}, \"softmax_tier2_speedup\": {:.2}, \
+         \"rollout_tanh_tier1_ns\": {:.0}, \"rollout_tanh_tier2_ns\": {:.0}, \
+         \"rollout_tanh_tier2_speedup\": {:.2}, \"actsrv_per_actor_ns\": {:.0}, \
+         \"actsrv_batched_ns\": {:.0}, \"actsrv_batch_speedup\": {:.2}}},\n",
+        dispatch_label(),
+        fm.softmax_tier0_ns,
+        fm.softmax_tier2_ns,
+        fm.softmax_tier2_speedup(),
+        fm.rollout_tanh_tier1_ns,
+        fm.rollout_tanh_tier2_ns,
+        fm.rollout_tanh_tier2_speedup(),
+        fm.actsrv_per_actor_ns,
+        fm.actsrv_batched_ns,
+        fm.actsrv_batch_speedup(),
     ));
     json.push_str("  \"comm_overlap\": [\n");
     for (i, r) in overlap.iter().enumerate() {
@@ -875,7 +1037,7 @@ fn main() {
             value: kr.sum_axis_speedup(),
         },
         Gated {
-            name: "kernel_reductions.softmax_speedup",
+            name: "kernel_reductions.softmax_tier1_speedup",
             higher_is_better: true,
             floor: 0.0,
             value: kr.softmax_speedup(),
@@ -885,6 +1047,24 @@ fn main() {
             higher_is_better: true,
             floor: 0.0,
             value: kr.rollout_batch_speedup(),
+        },
+        Gated {
+            name: "fastmath.softmax_tier2_speedup",
+            higher_is_better: true,
+            floor: 0.0,
+            value: fm.softmax_tier2_speedup(),
+        },
+        Gated {
+            name: "fastmath.rollout_tanh_tier2_speedup",
+            higher_is_better: true,
+            floor: 0.0,
+            value: fm.rollout_tanh_tier2_speedup(),
+        },
+        Gated {
+            name: "fastmath.actsrv_batch_speedup",
+            higher_is_better: true,
+            floor: 0.0,
+            value: fm.actsrv_batch_speedup(),
         },
     ];
     let regressions = match std::fs::read_to_string(&out_path) {
@@ -963,9 +1143,10 @@ fn main() {
         kt.threads1_speedup(),
     );
     println!(
-        "kernel_reductions: sum_axis[512,1024] naive {:.0} ns / tiered {:.0} ns ({:.2}x); \
-         softmax_rows[512,64] naive {:.0} ns / tiered {:.0} ns ({:.2}x, exp stays scalar); \
+        "kernel_reductions [{}]: sum_axis[512,1024] naive {:.0} ns / tiered {:.0} ns ({:.2}x); \
+         softmax_rows[512,64] tier1 naive {:.0} ns / tiered {:.0} ns ({:.2}x, exp stays scalar); \
          rollout fwd per-actor {:.0} ns / batched {:.0} ns ({:.2}x)",
+        dispatch_label(),
         kr.sum_axis_naive_ns,
         kr.sum_axis_tiered_ns,
         kr.sum_axis_speedup(),
@@ -975,6 +1156,21 @@ fn main() {
         kr.rollout_per_actor_ns,
         kr.rollout_batched_ns,
         kr.rollout_batch_speedup(),
+    );
+    println!(
+        "fastmath [{}]: softmax_rows[512,64] tier0 {:.0} ns / tier2 {:.0} ns ({:.2}x); \
+         tanh rollout fwd tier1 {:.0} ns / tier2 {:.0} ns ({:.2}x); \
+         actsrv fwd per-actor {:.0} ns / batched {:.0} ns ({:.2}x)",
+        dispatch_label(),
+        fm.softmax_tier0_ns,
+        fm.softmax_tier2_ns,
+        fm.softmax_tier2_speedup(),
+        fm.rollout_tanh_tier1_ns,
+        fm.rollout_tanh_tier2_ns,
+        fm.rollout_tanh_tier2_speedup(),
+        fm.actsrv_per_actor_ns,
+        fm.actsrv_batched_ns,
+        fm.actsrv_batch_speedup(),
     );
     for r in &overlap {
         println!(
@@ -1019,8 +1215,11 @@ fn main() {
         ("kernel_tier.mlp_fwd_bwd_speedup", kt.mlp_fwd_bwd_speedup(), 1.8),
         ("kernel_tier.threads1_speedup", kt.threads1_speedup(), 0.99),
         ("kernel_reductions.sum_axis_speedup", kr.sum_axis_speedup(), 2.0),
-        ("kernel_reductions.softmax_speedup", kr.softmax_speedup(), 1.3),
+        ("kernel_reductions.softmax_tier1_speedup", kr.softmax_speedup(), 1.3),
         ("kernel_reductions.rollout_batch_speedup", kr.rollout_batch_speedup(), 1.5),
+        ("fastmath.softmax_tier2_speedup", fm.softmax_tier2_speedup(), 2.5),
+        ("fastmath.rollout_tanh_tier2_speedup", fm.rollout_tanh_tier2_speedup(), 1.3),
+        ("fastmath.actsrv_batch_speedup", fm.actsrv_batch_speedup(), 1.5),
     ];
     let mut breached = false;
     for (name, value, floor) in floors {

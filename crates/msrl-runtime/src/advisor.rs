@@ -667,6 +667,7 @@ mod tests {
             staleness: 0,
             plan_cache_hit_rate: None,
             attr: Some(attr),
+            actsrv: None,
         }
         .to_json_line()
     }

@@ -57,16 +57,27 @@ where
 
     let comm_err = |e: msrl_comm::CommError| FdgError::MissingKernel { op: format!("comm: {e}") };
 
+    // Cross-actor micro-batching: one shared act server collects every
+    // fragment's observation rows per rollout step and runs one fused
+    // forward over the concatenated block (bit-identical to the
+    // per-actor path — see `crate::actsrv`).
+    let srv = dist.act_server.then(|| crate::actsrv::ActServer::new(policy.clone(), p));
+
     let result = std::thread::scope(|scope| -> Result<TrainingReport> {
         let mut handles = Vec::new();
         for (rank, ep) in endpoints.into_iter().enumerate() {
             let policy = policy.clone();
+            let srv = srv.clone();
             let make_env = &make_env;
             let stale_bound = dist.stale_bound();
             handles.push(scope.spawn(move || -> Result<()> {
                 let _frag = msrl_telemetry::span!("fragment.actor", rank);
                 msrl_telemetry::set_fragment("actor", rank as u64);
-                let mut actor = PpoActor::new(policy, dist.seed + 1 + rank as u64);
+                let seed = dist.seed + 1 + rank as u64;
+                let mut actor: Box<dyn Actor> = match &srv {
+                    Some(srv) => Box::new(srv.client(rank, seed)),
+                    None => Box::new(PpoActor::new(policy, seed)),
+                };
                 let mut envs = VecEnv::new(
                     (0..dist.envs_per_actor.max(1))
                         .map(|i| Box::new(make_env(rank, i)) as Box<dyn Environment>)
@@ -78,10 +89,11 @@ where
                 // actor currently runs on (0 = initial weights).
                 let mut pending: VecDeque<PendingRecv> = VecDeque::new();
                 let mut version = 0usize;
-                let swap = |w: Vec<f32>, version: &mut usize, actor: &mut PpoActor| -> Result<()> {
-                    *version = w[0] as usize;
-                    actor.set_policy_params(&w[1..])
-                };
+                let swap =
+                    |w: Vec<f32>, version: &mut usize, actor: &mut dyn Actor| -> Result<()> {
+                        *version = w[0] as usize;
+                        actor.set_policy_params(&w[1..])
+                    };
                 for iter in 0..dist.iterations {
                     {
                         let _s = msrl_telemetry::span!("phase.weight_sync");
@@ -94,7 +106,7 @@ where
                                     .expect("front exists")
                                     .wait()
                                     .map_err(comm_err)?;
-                                swap(w, &mut version, &mut actor)?;
+                                swap(w, &mut version, actor.as_mut())?;
                             } else {
                                 break;
                             }
@@ -107,7 +119,7 @@ where
                                 .expect("a broadcast is outstanding whenever version lags")
                                 .wait()
                                 .map_err(comm_err)?;
-                            swap(w, &mut version, &mut actor)?;
+                            swap(w, &mut version, actor.as_mut())?;
                         }
                     }
                     assert!(
@@ -126,7 +138,7 @@ where
                         let _ov = stale.then(|| msrl_telemetry::span!("comm.overlap"));
                         let _s = msrl_telemetry::span!("phase.rollout");
                         let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Rollout);
-                        collect(&mut actor, &mut envs, dist.steps_per_iter)?
+                        collect(actor.as_mut(), &mut envs, dist.steps_per_iter)?
                     };
                     let _s = msrl_telemetry::span!("phase.weight_sync");
                     ep.isend(p, encode_batch(&batch)).map_err(comm_err)?.wait();
@@ -219,6 +231,39 @@ mod tests {
             "distributed PPO must improve: {:?} → {:?}",
             report.early_reward(5),
             report.recent_reward(5)
+        );
+    }
+
+    #[test]
+    fn act_server_run_is_bit_identical_to_per_actor_run() {
+        // Same config, same seeds; the only difference is routing policy
+        // forwards through the cross-actor act server. Overlap is off so
+        // both runs use the same (zero) staleness bound — the act server
+        // forces zero regardless, and a differing bound would change
+        // which weights actors roll out on.
+        let base = DistPpoConfig {
+            actors: 3,
+            envs_per_actor: 2,
+            steps_per_iter: 32,
+            iterations: 4,
+            hidden: vec![16],
+            seed: 11,
+            overlap: false,
+            act_server: false,
+            ..DistPpoConfig::default()
+        };
+        let plain = run_dp_a(|a, i| CartPole::new((a * 10 + i) as u64), &base).unwrap();
+        let batched = run_dp_a(
+            |a, i| CartPole::new((a * 10 + i) as u64),
+            &DistPpoConfig { act_server: true, ..base },
+        )
+        .unwrap();
+        assert_eq!(plain.final_params, batched.final_params, "weights must match bitwise");
+        assert_eq!(plain.iteration_rewards, batched.iteration_rewards);
+        assert_eq!(plain.losses, batched.losses);
+        assert!(
+            msrl_telemetry::counter_total("actsrv.batches") >= 4 * 32,
+            "act server must have run one batched forward per rollout step"
         );
     }
 

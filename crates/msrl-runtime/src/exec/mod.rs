@@ -77,6 +77,17 @@ pub struct DistPpoConfig {
     /// bit-identical to the unfused path). Defaults from `MSRL_FUSION`
     /// (on unless set to `0`/`off`/`false`/`no`).
     pub fusion: bool,
+    /// Micro-batch policy forwards *across* actor fragments through the
+    /// shared [`crate::actsrv::ActServer`] (DP-A). Bit-identical to the
+    /// per-actor path; forces the staleness bound to zero (all actors
+    /// share one weight snapshot). Defaults from `MSRL_ACTSRV` (off
+    /// unless set to `1`/`on`/`true`/`yes`).
+    pub act_server: bool,
+}
+
+/// Resolves the `MSRL_ACTSRV` toggle (default off).
+pub fn act_server_enabled() -> bool {
+    matches!(std::env::var("MSRL_ACTSRV").as_deref(), Ok("1") | Ok("on") | Ok("true") | Ok("yes"))
 }
 
 impl Default for DistPpoConfig {
@@ -93,15 +104,18 @@ impl Default for DistPpoConfig {
             staleness: msrl_comm::staleness_bound(),
             link_latency: std::time::Duration::ZERO,
             fusion: msrl_tensor::par::fusion_enabled(),
+            act_server: act_server_enabled(),
         }
     }
 }
 
 impl DistPpoConfig {
     /// The effective staleness bound: `staleness` when overlap is on,
-    /// zero (fully synchronous) otherwise — one code path for both.
+    /// zero (fully synchronous) otherwise — one code path for both. The
+    /// act server also forces zero: its clients share one policy
+    /// snapshot, so per-actor weight versions cannot diverge.
     pub(crate) fn stale_bound(&self) -> usize {
-        if self.overlap {
+        if self.overlap && !self.act_server {
             self.staleness
         } else {
             0
@@ -172,6 +186,8 @@ pub(crate) struct RunObserver {
     staleness: u64,
     last: std::time::Instant,
     bytes_prev: u64,
+    actsrv_batches_prev: u64,
+    actsrv_rows_prev: u64,
     iteration: u64,
 }
 
@@ -188,6 +204,8 @@ impl RunObserver {
             staleness: staleness as u64,
             last: std::time::Instant::now(),
             bytes_prev: msrl_telemetry::counter_total("comm.bytes_sent"),
+            actsrv_batches_prev: msrl_telemetry::counter_total("actsrv.batches"),
+            actsrv_rows_prev: msrl_telemetry::counter_total("actsrv.rows"),
             iteration: 0,
         }
     }
@@ -213,6 +231,16 @@ impl RunObserver {
         let hits = msrl_telemetry::counter_total("interp.plan_cache.hit");
         let misses = msrl_telemetry::counter_total("interp.plan_cache.miss");
         let plan_cache_hit_rate = (hits + misses > 0).then(|| hits as f64 / (hits + misses) as f64);
+        // Act-server deltas: an active server runs ≥1 batched forward
+        // per iteration, so a zero delta means it is off — omit the
+        // block rather than streaming noise.
+        let actsrv_batches = msrl_telemetry::counter_total("actsrv.batches");
+        let actsrv_rows = msrl_telemetry::counter_total("actsrv.rows");
+        let actsrv =
+            (actsrv_batches > self.actsrv_batches_prev).then(|| msrl_telemetry::ActsrvStats {
+                batches: actsrv_batches.saturating_sub(self.actsrv_batches_prev),
+                rows: actsrv_rows.saturating_sub(self.actsrv_rows_prev),
+            });
         msrl_telemetry::emit_run_event(&msrl_telemetry::RunEvent {
             policy: self.policy,
             iteration: self.iteration,
@@ -224,8 +252,11 @@ impl RunObserver {
             staleness: self.staleness,
             plan_cache_hit_rate,
             attr,
+            actsrv,
         });
         self.bytes_prev = bytes;
+        self.actsrv_batches_prev = actsrv_batches;
+        self.actsrv_rows_prev = actsrv_rows;
         self.iteration += 1;
     }
 }

@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod actsrv;
 pub mod advisor;
 pub mod coordinator;
 pub mod exec;

@@ -94,7 +94,7 @@ pub use registry::{
 pub use report::{percentile_ns, SpanStats, TelemetryReport};
 pub use sink::{
     emit_run_event, flush_metrics, metrics_text, run_events_emitted, set_metrics_file,
-    validate_metrics, RunEvent,
+    validate_metrics, ActsrvStats, RunEvent,
 };
 
 use std::sync::atomic::{AtomicU8, Ordering};

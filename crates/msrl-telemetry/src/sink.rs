@@ -32,6 +32,20 @@ pub const RUN_EVENT_SCHEMA: &str = "msrl.run_event.v1";
 /// Schema tag of metrics lines carrying a critical-path attribution.
 pub const RUN_EVENT_SCHEMA_V2: &str = "msrl.run_event.v2";
 
+/// Act-server activity during one iteration (counter deltas of the
+/// `actsrv.*` family): how many cross-actor batched forwards ran and
+/// how many observation rows they covered. Carried on [`RunEvent`] only
+/// when the act server is active — its presence does not bump the
+/// schema tag (both v1 and v2 lines may carry it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActsrvStats {
+    /// Batched forwards run by round leaders this iteration.
+    pub batches: u64,
+    /// Observation rows those forwards covered (≥ `batches`: every
+    /// round batches at least one live client's rows).
+    pub rows: u64,
+}
+
 /// One per-iteration training-metrics record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunEvent {
@@ -56,6 +70,9 @@ pub struct RunEvent {
     /// Critical-path attribution for the iteration; when present the
     /// line is stamped schema v2 and carries the per-fragment breakdown.
     pub attr: Option<crate::IterAttribution>,
+    /// Act-server batching activity this iteration; `None` when the
+    /// cross-actor act server is off.
+    pub actsrv: Option<ActsrvStats>,
 }
 
 fn fmt_opt(v: Option<f64>) -> String {
@@ -136,11 +153,17 @@ impl RunEvent {
             Some(a) => format!(", \"attr\": {}", attr_json(a)),
             None => String::new(),
         };
+        let actsrv_field = match &self.actsrv {
+            Some(s) => {
+                format!(", \"actsrv\": {{\"batches\": {}, \"rows\": {}}}", s.batches, s.rows)
+            }
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"schema\": \"{}\", \"policy\": \"{}\", \"iteration\": {}, ",
                 "\"reward\": {}, \"loss\": {}, \"entropy\": {}, \"iters_per_sec\": {}, ",
-                "\"comm_bytes\": {}, \"staleness\": {}, \"plan_cache_hit_rate\": {}{}}}"
+                "\"comm_bytes\": {}, \"staleness\": {}, \"plan_cache_hit_rate\": {}{}{}}}"
             ),
             self.schema(),
             self.policy,
@@ -153,6 +176,7 @@ impl RunEvent {
             self.staleness,
             fmt_opt(self.plan_cache_hit_rate),
             attr_field,
+            actsrv_field,
         )
     }
 }
@@ -355,6 +379,24 @@ pub fn validate_metrics(content: &str) -> Result<usize, String> {
         } else if v.field("attr").is_ok() {
             return Err(format!("line {n}: v1 line must not carry an attr object"));
         }
+        if let Ok(actsrv) = v.field("actsrv") {
+            let uint = |key: &str| -> Result<u64, String> {
+                match actsrv.field(key) {
+                    Ok(Value::U64(x)) => Ok(*x),
+                    Ok(Value::I64(x)) if *x >= 0 => Ok(*x as u64),
+                    other => Err(format!(
+                        "line {n}: actsrv field {key:?} not a non-negative int: {other:?}"
+                    )),
+                }
+            };
+            let (batches, rows) = (uint("batches")?, uint("rows")?);
+            if batches > 0 && rows < batches {
+                return Err(format!(
+                    "line {n}: actsrv rows ({rows}) below batches ({batches}): every \
+                     batched forward covers at least one row"
+                ));
+            }
+        }
         valid += 1;
     }
     Ok(valid)
@@ -437,6 +479,7 @@ mod tests {
             staleness: 1,
             plan_cache_hit_rate: Some(0.97),
             attr: None,
+            actsrv: None,
         }
     }
 
@@ -487,6 +530,24 @@ mod tests {
         // rejected — the identity is part of the schema.
         let broken = line.replacen("\"rollout_ns\": 95", "\"rollout_ns\": 96", 1);
         assert!(validate_metrics(&broken).is_err());
+    }
+
+    #[test]
+    fn actsrv_stats_render_and_validate() {
+        let ev = RunEvent { actsrv: Some(ActsrvStats { batches: 32, rows: 192 }), ..sample(4) };
+        let line = ev.to_json_line();
+        assert!(line.contains("\"actsrv\": {\"batches\": 32, \"rows\": 192}"));
+        // Present on v1 lines without a schema bump, absent when None.
+        assert!(line.contains("\"schema\": \"msrl.run_event.v1\""));
+        assert!(!sample(4).to_json_line().contains("actsrv"));
+        let mixed = format!("{}\n{}", line, sample(5).to_json_line());
+        assert_eq!(validate_metrics(&mixed).expect("actsrv lines validate"), 2);
+        // rows < batches breaks the at-least-one-row-per-forward
+        // invariant and is rejected.
+        let broken = line.replacen("\"rows\": 192", "\"rows\": 7", 1);
+        assert!(validate_metrics(&broken).is_err());
+        let bad_type = line.replacen("\"batches\": 32", "\"batches\": \"32\"", 1);
+        assert!(validate_metrics(&bad_type).is_err());
     }
 
     #[test]

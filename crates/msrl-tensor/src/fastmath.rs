@@ -1,0 +1,696 @@
+//! Opt-in fast-math transcendental kernels — kernel tier level 2.
+//!
+//! Everything below tier 2 in this crate is bit-identical to the naive
+//! reference kernels by construction; that contract caps softmax and
+//! tanh-heavy forwards because scalar libm `exp`/`tanh` dominate their
+//! cost and have no bit-identical vector form. This module is the
+//! explicitly *opt-in* escape hatch (`MSRL_TIER=2`, see
+//! [`crate::par::tier_level`]): polynomial `exp`/`tanh`/`sigmoid`
+//! evaluated 8 or 16 lanes at a time.
+//!
+//! # Accuracy contract
+//!
+//! [`fast_exp`] is the classic Cephes `expf` scheme — range reduction
+//! to `x = z·ln2 + r`, a degree-5 polynomial for `eʳ`, and an exponent
+//! rebuild via integer bit assembly. Its relative error against libm is
+//! below `3e-7` (≈2 ulp) across the clamp range, verified by proptest.
+//! [`fast_tanh`] and [`fast_sigmoid`] derive from it with one division
+//! each and stay within `1e-6` absolute error of libm on ±20 (the
+//! training-relevant range; both saturate identically beyond it).
+//!
+//! # Determinism contract
+//!
+//! Fast-math is *not* bit-identical to tiers 0/1 — that is the point —
+//! but it **is** deterministic and ISA-independent: the AVX-512, AVX2
+//! and portable paths execute the exact scalar operation sequence
+//! (separate multiply and add, never an FMA; `floor`; truncating
+//! int-cast), so every lane rounds identically to the scalar reference
+//! and a tier-2 run reproduces bit-for-bit on any x86-64 host. Row
+//! reductions (the softmax max and sum) use a 16-lane tree fixed by
+//! [`RLANES`], not by the register width, so their combination order —
+//! and therefore their bits — are identical on every dispatch level
+//! too. Tests pin vector == scalar equality; only the *fast vs libm*
+//! gap needs a tolerance.
+//!
+//! # Edge cases
+//!
+//! Inputs are clamped with SSE `min`/`max` semantics (`if a < b`
+//! comparisons, NaN compares false), so a NaN input saturates to the
+//! clamp bound instead of propagating — acceptable for an opt-in tier
+//! whose e2e gates would catch NaN-producing runs anyway. `fast_exp`
+//! never overflows to infinity: the clamp keeps `2^z` finite.
+
+use crate::kernels::{self, MatKernel};
+
+/// Which elementwise transcendental [`apply_slice`] should run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unary {
+    /// `fast_exp(x)`.
+    Exp,
+    /// `fast_tanh(x)`.
+    Tanh,
+    /// `fast_sigmoid(x)`.
+    Sigmoid,
+}
+
+// Cephes expf constants (also used by sse_mathfun / avx_mathfun).
+const EXP_HI: f32 = 88.376_26_f32; // log(2^127.5), keeps 2^z finite
+const EXP_LO: f32 = -88.376_26_f32;
+const LOG2EF: f32 = std::f32::consts::LOG2_E;
+#[allow(clippy::excessive_precision)] // exact: 0x3f318000, the Madsen hi-part of ln2
+const C1: f32 = 0.693_359_375_f32;
+const C2: f32 = -2.121_944_4e-4_f32;
+const P0: f32 = 1.987_569_2e-4_f32;
+const P1: f32 = 1.398_199_9e-3_f32;
+const P2: f32 = 8.333_452e-3_f32;
+const P3: f32 = 4.166_579_6e-2_f32;
+const P4: f32 = 1.666_666_5e-1_f32;
+#[allow(clippy::excessive_precision)] // Cephes coefficient, digits kept verbatim
+const P5: f32 = 5.000_000_2e-1_f32;
+
+/// SSE `minps` semantics: `if a < b { a } else { b }` — NaN in `a`
+/// selects `b`, so a NaN input saturates to the clamp bound.
+#[inline]
+fn ss_min(a: f32, b: f32) -> f32 {
+    if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+/// SSE `maxps` semantics, mirror of [`ss_min`].
+#[inline]
+fn ss_max(a: f32, b: f32) -> f32 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Polynomial `eˣ`, the scalar reference every vector lane replays.
+///
+/// Saturates (finite) at the clamp bounds instead of overflowing to
+/// `inf` / underflowing below `2⁻¹²⁷` (which flushes to exactly `0.0`).
+#[inline]
+pub fn fast_exp(x: f32) -> f32 {
+    let x = ss_min(x, EXP_HI);
+    let x = ss_max(x, EXP_LO);
+    // x = z*ln2 + r with z integer-valued: z = floor(x*log2(e) + 0.5).
+    let z = (x * LOG2EF + 0.5).floor();
+    // Two-constant Madsen split of ln2 keeps r exact to ~1e-11.
+    let x = x - z * C1;
+    let r = x - z * C2;
+    let r2 = r * r;
+    let mut y = P0;
+    y = y * r + P1;
+    y = y * r + P2;
+    y = y * r + P3;
+    y = y * r + P4;
+    y = y * r + P5;
+    y *= r2;
+    y += r;
+    y += 1.0;
+    // 2^z assembled directly in the exponent field; z ∈ [-127, 127].
+    let pow2 = f32::from_bits((((z as i32) + 127) << 23) as u32);
+    y * pow2
+}
+
+/// Polynomial `tanh(x)` via `fast_exp`: `t = e^(−2|x|) ∈ [0, 1]`, then
+/// `(1 − t)/(1 + t)` with the sign of `x` restored — the denominator is
+/// ≥ 1, so no overflow or division hazard exists anywhere in the range.
+#[inline]
+pub fn fast_tanh(x: f32) -> f32 {
+    let ax = f32::from_bits(x.to_bits() & 0x7fff_ffff);
+    let t = fast_exp(ax * -2.0);
+    let r = (1.0 - t) / (1.0 + t);
+    f32::from_bits(r.to_bits() | (x.to_bits() & 0x8000_0000))
+}
+
+/// Polynomial logistic sigmoid `1/(1 + e^(−x))` via `fast_exp`.
+#[inline]
+pub fn fast_sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + fast_exp(f32::from_bits(x.to_bits() ^ 0x8000_0000)))
+}
+
+#[inline]
+fn apply_scalar(u: Unary, v: f32) -> f32 {
+    match u {
+        Unary::Exp => fast_exp(v),
+        Unary::Tanh => fast_tanh(v),
+        Unary::Sigmoid => fast_sigmoid(v),
+    }
+}
+
+fn apply_portable(u: Unary, data: &mut [f32]) {
+    for v in data.iter_mut() {
+        *v = apply_scalar(u, *v);
+    }
+}
+
+/// Applies the transcendental in place over a contiguous slice, lanes
+/// across elements, dispatched AVX-512 → AVX2 → portable like
+/// [`kernels::select`]. All three paths are bitwise-identical (see the
+/// module docs' determinism contract).
+pub fn apply_slice(u: Unary, data: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match kernels::select() {
+            // SAFETY: `select` returned this variant only after runtime
+            // feature detection confirmed the ISA.
+            MatKernel::Avx512 => unsafe {
+                x86::apply_avx512(u, data);
+                return;
+            },
+            MatKernel::Avx2 => unsafe {
+                x86::apply_avx2(u, data);
+                return;
+            },
+            MatKernel::Portable => {}
+        }
+    }
+    apply_portable(u, data);
+}
+
+/// Virtual lane count of the tier-2 row-reduction tree. Fixed at 16 on
+/// every dispatch level so the max/sum combination order — and
+/// therefore the result bits — are ISA-independent: AVX-512 holds the
+/// 16 lanes in one zmm register, AVX2 in two ymm registers, and the
+/// portable path in a plain array, all collapsed by the same fixed
+/// pairwise tree.
+const RLANES: usize = 16;
+
+/// Folds the row's sub-16 remainder into the leading lanes, then
+/// collapses all 16 lanes with a fixed pairwise tree (16 → 8 → 4 → 2
+/// → 1). Shared by every dispatch level, which is what pins the
+/// reduction bits across ISAs.
+#[inline]
+fn fold_tail_and_tree(acc: &mut [f32; RLANES], tail: &[f32], f: impl Fn(f32, f32) -> f32) -> f32 {
+    for (a, &x) in acc.iter_mut().zip(tail) {
+        *a = f(*a, x);
+    }
+    let mut w = RLANES / 2;
+    while w > 0 {
+        for j in 0..w {
+            acc[j] = f(acc[j], acc[j + w]);
+        }
+        w /= 2;
+    }
+    acc[0]
+}
+
+/// 16-lane blocked fold: lane `j` accumulates elements `j`, `j+16`,
+/// `j+32`, … — exactly the order the vector paths replay in registers.
+#[inline]
+fn lane_fold(row: &[f32], init: f32, f: impl Fn(f32, f32) -> f32 + Copy) -> f32 {
+    let mut acc = [init; RLANES];
+    let blocks = row.len() / RLANES;
+    for b in 0..blocks {
+        for (j, a) in acc.iter_mut().enumerate() {
+            *a = f(*a, row[b * RLANES + j]);
+        }
+    }
+    fold_tail_and_tree(&mut acc, &row[blocks * RLANES..], f)
+}
+
+/// Portable reference of the tier-2 softmax row: 16-lane tree max,
+/// `fast_exp(x − max)`, 16-lane tree sum, scale by the reciprocal.
+fn softmax_row_portable(row: &mut [f32]) {
+    let max = lane_fold(row, f32::NEG_INFINITY, ss_max);
+    for o in row.iter_mut() {
+        *o = fast_exp(*o - max);
+    }
+    let sum = lane_fold(row, 0.0, |a, b| a + b);
+    let inv = 1.0 / sum;
+    for o in row.iter_mut() {
+        *o *= inv;
+    }
+}
+
+/// Tier-2 softmax row: tree max, fused vector `fast_exp(x − max)`,
+/// tree sum, vector scale — dispatched AVX-512 → AVX2 → portable, all
+/// three bitwise-identical because the reduction tree is fixed at
+/// [`RLANES`] lanes on every level and the exp pass is elementwise.
+///
+/// Not bit-identical to the tier-0/1 softmax: both the exponentials
+/// (polynomial vs libm) and the reduction order (lane tree vs serial)
+/// differ — tolerance-gated like the rest of tier 2.
+pub fn softmax_row_fast_inplace(row: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match kernels::select() {
+            // SAFETY: `select` returned this variant only after runtime
+            // feature detection confirmed the ISA.
+            MatKernel::Avx512 => unsafe {
+                x86::softmax_row_avx512(row);
+                return;
+            },
+            MatKernel::Avx2 => unsafe {
+                x86::softmax_row_avx2(row);
+                return;
+            },
+            MatKernel::Portable => {}
+        }
+    }
+    softmax_row_portable(row);
+}
+
+/// Tier-2 companion to [`kernels::softmax_rows_tiered`]: copies rows
+/// `offset/n ..` of the row-major source into `out` and applies
+/// [`softmax_row_fast_inplace`] to each row.
+pub fn softmax_rows_fast(ad: &[f32], offset: usize, out: &mut [f32], n: usize) {
+    if out.is_empty() || n == 0 {
+        return;
+    }
+    out.copy_from_slice(&ad[offset..offset + out.len()]);
+    for row in out.chunks_mut(n) {
+        softmax_row_fast_inplace(row);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! Vector lanes of the scalar reference: every step is the same
+    //! rounding sequence (`mul` then `add`, never FMA; `floor`;
+    //! truncating `cvtt`), so lanes match [`super::fast_exp`] bitwise.
+    //! Bitwise ops run on integer vectors (`and`/`or`/`xor` on
+    //! `si512` need only `avx512f`, unlike the `ps` forms).
+
+    use std::arch::x86_64::{
+        __m256, __m512, _mm256_add_epi32, _mm256_add_ps, _mm256_and_si256, _mm256_castps_si256,
+        _mm256_castsi256_ps, _mm256_cvttps_epi32, _mm256_div_ps, _mm256_floor_ps, _mm256_loadu_ps,
+        _mm256_max_ps, _mm256_min_ps, _mm256_mul_ps, _mm256_or_si256, _mm256_set1_epi32,
+        _mm256_set1_ps, _mm256_setzero_ps, _mm256_slli_epi32, _mm256_storeu_ps, _mm256_sub_ps,
+        _mm256_xor_si256, _mm512_add_epi32, _mm512_add_ps, _mm512_and_si512, _mm512_castps_si512,
+        _mm512_castsi512_ps, _mm512_cvttps_epi32, _mm512_div_ps, _mm512_loadu_ps, _mm512_max_ps,
+        _mm512_min_ps, _mm512_mul_ps, _mm512_or_si512, _mm512_roundscale_ps, _mm512_set1_epi32,
+        _mm512_set1_ps, _mm512_setzero_ps, _mm512_slli_epi32, _mm512_storeu_ps, _mm512_sub_ps,
+        _mm512_xor_si512,
+    };
+
+    use super::{Unary, C1, C2, EXP_HI, EXP_LO, LOG2EF, P0, P1, P2, P3, P4, P5, RLANES};
+
+    /// `_MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC` for `roundscale`.
+    const FLOOR: i32 = 0x09;
+
+    /// 8-lane [`super::fast_exp`].
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx2` (guaranteed by [`crate::kernels::select`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn vexp256(x: __m256) -> __m256 {
+        let x = _mm256_min_ps(x, _mm256_set1_ps(EXP_HI));
+        let x = _mm256_max_ps(x, _mm256_set1_ps(EXP_LO));
+        let z = _mm256_floor_ps(_mm256_add_ps(
+            _mm256_mul_ps(x, _mm256_set1_ps(LOG2EF)),
+            _mm256_set1_ps(0.5),
+        ));
+        let x = _mm256_sub_ps(x, _mm256_mul_ps(z, _mm256_set1_ps(C1)));
+        let r = _mm256_sub_ps(x, _mm256_mul_ps(z, _mm256_set1_ps(C2)));
+        let r2 = _mm256_mul_ps(r, r);
+        let mut y = _mm256_set1_ps(P0);
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P1));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P2));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P3));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P4));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(P5));
+        y = _mm256_mul_ps(y, r2);
+        y = _mm256_add_ps(y, r);
+        y = _mm256_add_ps(y, _mm256_set1_ps(1.0));
+        let pow2 = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            _mm256_cvttps_epi32(z),
+            _mm256_set1_epi32(127),
+        )));
+        _mm256_mul_ps(y, pow2)
+    }
+
+    /// 8-lane [`super::fast_tanh`].
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx2` (guaranteed by [`crate::kernels::select`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn vtanh256(x: __m256) -> __m256 {
+        let xi = _mm256_castps_si256(x);
+        let ax = _mm256_castsi256_ps(_mm256_and_si256(xi, _mm256_set1_epi32(0x7fff_ffff)));
+        let t = vexp256(_mm256_mul_ps(ax, _mm256_set1_ps(-2.0)));
+        let one = _mm256_set1_ps(1.0);
+        let r = _mm256_div_ps(_mm256_sub_ps(one, t), _mm256_add_ps(one, t));
+        let sign = _mm256_and_si256(xi, _mm256_set1_epi32(i32::MIN));
+        _mm256_castsi256_ps(_mm256_or_si256(_mm256_castps_si256(r), sign))
+    }
+
+    /// 8-lane [`super::fast_sigmoid`].
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx2` (guaranteed by [`crate::kernels::select`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn vsigmoid256(x: __m256) -> __m256 {
+        let nx = _mm256_castsi256_ps(_mm256_xor_si256(
+            _mm256_castps_si256(x),
+            _mm256_set1_epi32(i32::MIN),
+        ));
+        let one = _mm256_set1_ps(1.0);
+        _mm256_div_ps(one, _mm256_add_ps(one, vexp256(nx)))
+    }
+
+    /// In-place [`super::apply_slice`] over ymm lanes, scalar edge.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx2` (guaranteed by [`crate::kernels::select`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn apply_avx2(u: Unary, data: &mut [f32]) {
+        const L: usize = 8;
+        let p = data.as_mut_ptr();
+        let mut i = 0;
+        while i + L <= data.len() {
+            let v = _mm256_loadu_ps(p.add(i));
+            let o = match u {
+                Unary::Exp => vexp256(v),
+                Unary::Tanh => vtanh256(v),
+                Unary::Sigmoid => vsigmoid256(v),
+            };
+            _mm256_storeu_ps(p.add(i), o);
+            i += L;
+        }
+        for v in data[i..].iter_mut() {
+            *v = super::apply_scalar(u, *v);
+        }
+    }
+
+    /// 16-lane [`super::fast_exp`].
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` (guaranteed by [`crate::kernels::select`]).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn vexp512(x: __m512) -> __m512 {
+        let x = _mm512_min_ps(x, _mm512_set1_ps(EXP_HI));
+        let x = _mm512_max_ps(x, _mm512_set1_ps(EXP_LO));
+        let z = _mm512_roundscale_ps::<FLOOR>(_mm512_add_ps(
+            _mm512_mul_ps(x, _mm512_set1_ps(LOG2EF)),
+            _mm512_set1_ps(0.5),
+        ));
+        let x = _mm512_sub_ps(x, _mm512_mul_ps(z, _mm512_set1_ps(C1)));
+        let r = _mm512_sub_ps(x, _mm512_mul_ps(z, _mm512_set1_ps(C2)));
+        let r2 = _mm512_mul_ps(r, r);
+        let mut y = _mm512_set1_ps(P0);
+        y = _mm512_add_ps(_mm512_mul_ps(y, r), _mm512_set1_ps(P1));
+        y = _mm512_add_ps(_mm512_mul_ps(y, r), _mm512_set1_ps(P2));
+        y = _mm512_add_ps(_mm512_mul_ps(y, r), _mm512_set1_ps(P3));
+        y = _mm512_add_ps(_mm512_mul_ps(y, r), _mm512_set1_ps(P4));
+        y = _mm512_add_ps(_mm512_mul_ps(y, r), _mm512_set1_ps(P5));
+        y = _mm512_mul_ps(y, r2);
+        y = _mm512_add_ps(y, r);
+        y = _mm512_add_ps(y, _mm512_set1_ps(1.0));
+        let pow2 = _mm512_castsi512_ps(_mm512_slli_epi32::<23>(_mm512_add_epi32(
+            _mm512_cvttps_epi32(z),
+            _mm512_set1_epi32(127),
+        )));
+        _mm512_mul_ps(y, pow2)
+    }
+
+    /// 16-lane [`super::fast_tanh`].
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` (guaranteed by [`crate::kernels::select`]).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn vtanh512(x: __m512) -> __m512 {
+        let xi = _mm512_castps_si512(x);
+        let ax = _mm512_castsi512_ps(_mm512_and_si512(xi, _mm512_set1_epi32(0x7fff_ffff)));
+        let t = vexp512(_mm512_mul_ps(ax, _mm512_set1_ps(-2.0)));
+        let one = _mm512_set1_ps(1.0);
+        let r = _mm512_div_ps(_mm512_sub_ps(one, t), _mm512_add_ps(one, t));
+        let sign = _mm512_and_si512(xi, _mm512_set1_epi32(i32::MIN));
+        _mm512_castsi512_ps(_mm512_or_si512(_mm512_castps_si512(r), sign))
+    }
+
+    /// 16-lane [`super::fast_sigmoid`].
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` (guaranteed by [`crate::kernels::select`]).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn vsigmoid512(x: __m512) -> __m512 {
+        let nx = _mm512_castsi512_ps(_mm512_xor_si512(
+            _mm512_castps_si512(x),
+            _mm512_set1_epi32(i32::MIN),
+        ));
+        let one = _mm512_set1_ps(1.0);
+        _mm512_div_ps(one, _mm512_add_ps(one, vexp512(nx)))
+    }
+
+    /// In-place [`super::apply_slice`] over zmm lanes, scalar edge.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` (guaranteed by [`crate::kernels::select`]).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn apply_avx512(u: Unary, data: &mut [f32]) {
+        const L: usize = 16;
+        let p = data.as_mut_ptr();
+        let mut i = 0;
+        while i + L <= data.len() {
+            let v = _mm512_loadu_ps(p.add(i));
+            let o = match u {
+                Unary::Exp => vexp512(v),
+                Unary::Tanh => vtanh512(v),
+                Unary::Sigmoid => vsigmoid512(v),
+            };
+            _mm512_storeu_ps(p.add(i), o);
+            i += L;
+        }
+        for v in data[i..].iter_mut() {
+            *v = super::apply_scalar(u, *v);
+        }
+    }
+
+    /// zmm [`super::softmax_row_fast_inplace`]: the 16 virtual lanes of
+    /// the reduction tree live in one register; the spill array feeds
+    /// the shared scalar tail + tree fold, so bits match the portable
+    /// reference exactly.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx512f` (guaranteed by [`crate::kernels::select`]).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn softmax_row_avx512(row: &mut [f32]) {
+        let n = row.len();
+        let blocks = n / RLANES;
+        let p = row.as_mut_ptr();
+
+        let mut macc = [f32::NEG_INFINITY; RLANES];
+        if blocks > 0 {
+            let mut v = _mm512_set1_ps(f32::NEG_INFINITY);
+            for b in 0..blocks {
+                // maxps(acc, x) = acc > x ? acc : x — matches ss_max.
+                v = _mm512_max_ps(v, _mm512_loadu_ps(p.add(b * RLANES)));
+            }
+            _mm512_storeu_ps(macc.as_mut_ptr(), v);
+        }
+        let max = super::fold_tail_and_tree(&mut macc, &row[blocks * RLANES..], super::ss_max);
+
+        let vm = _mm512_set1_ps(max);
+        let mut i = 0;
+        while i + RLANES <= n {
+            _mm512_storeu_ps(p.add(i), vexp512(_mm512_sub_ps(_mm512_loadu_ps(p.add(i)), vm)));
+            i += RLANES;
+        }
+        for o in row[i..].iter_mut() {
+            *o = super::fast_exp(*o - max);
+        }
+
+        let mut sacc = [0.0f32; RLANES];
+        if blocks > 0 {
+            let mut v = _mm512_setzero_ps();
+            for b in 0..blocks {
+                v = _mm512_add_ps(v, _mm512_loadu_ps(p.add(b * RLANES)));
+            }
+            _mm512_storeu_ps(sacc.as_mut_ptr(), v);
+        }
+        let sum = super::fold_tail_and_tree(&mut sacc, &row[blocks * RLANES..], |a, b| a + b);
+
+        let inv = 1.0 / sum;
+        let vi = _mm512_set1_ps(inv);
+        let mut i = 0;
+        while i + RLANES <= n {
+            _mm512_storeu_ps(p.add(i), _mm512_mul_ps(_mm512_loadu_ps(p.add(i)), vi));
+            i += RLANES;
+        }
+        for o in row[i..].iter_mut() {
+            *o *= inv;
+        }
+    }
+
+    /// ymm [`super::softmax_row_fast_inplace`]: the 16 virtual lanes
+    /// split across two registers (lanes 0–7 and 8–15), spilled into the
+    /// same 16-slot array and folded by the shared tail + tree, so bits
+    /// match the zmm and portable paths exactly.
+    ///
+    /// # Safety
+    ///
+    /// Requires `avx2` (guaranteed by [`crate::kernels::select`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn softmax_row_avx2(row: &mut [f32]) {
+        const H: usize = 8;
+        let n = row.len();
+        let blocks = n / RLANES;
+        let p = row.as_mut_ptr();
+
+        let mut macc = [f32::NEG_INFINITY; RLANES];
+        if blocks > 0 {
+            let mut a0 = _mm256_set1_ps(f32::NEG_INFINITY);
+            let mut a1 = a0;
+            for b in 0..blocks {
+                a0 = _mm256_max_ps(a0, _mm256_loadu_ps(p.add(b * RLANES)));
+                a1 = _mm256_max_ps(a1, _mm256_loadu_ps(p.add(b * RLANES + H)));
+            }
+            _mm256_storeu_ps(macc.as_mut_ptr(), a0);
+            _mm256_storeu_ps(macc.as_mut_ptr().add(H), a1);
+        }
+        let max = super::fold_tail_and_tree(&mut macc, &row[blocks * RLANES..], super::ss_max);
+
+        let vm = _mm256_set1_ps(max);
+        let mut i = 0;
+        while i + H <= n {
+            _mm256_storeu_ps(p.add(i), vexp256(_mm256_sub_ps(_mm256_loadu_ps(p.add(i)), vm)));
+            i += H;
+        }
+        for o in row[i..].iter_mut() {
+            *o = super::fast_exp(*o - max);
+        }
+
+        let mut sacc = [0.0f32; RLANES];
+        if blocks > 0 {
+            let mut a0 = _mm256_setzero_ps();
+            let mut a1 = a0;
+            for b in 0..blocks {
+                a0 = _mm256_add_ps(a0, _mm256_loadu_ps(p.add(b * RLANES)));
+                a1 = _mm256_add_ps(a1, _mm256_loadu_ps(p.add(b * RLANES + H)));
+            }
+            _mm256_storeu_ps(sacc.as_mut_ptr(), a0);
+            _mm256_storeu_ps(sacc.as_mut_ptr().add(H), a1);
+        }
+        let sum = super::fold_tail_and_tree(&mut sacc, &row[blocks * RLANES..], |a, b| a + b);
+
+        let inv = 1.0 / sum;
+        let vi = _mm256_set1_ps(inv);
+        let mut i = 0;
+        while i + H <= n {
+            _mm256_storeu_ps(p.add(i), _mm256_mul_ps(_mm256_loadu_ps(p.add(i)), vi));
+            i += H;
+        }
+        for o in row[i..].iter_mut() {
+            *o *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_range(lo: f32, hi: f32, steps: usize) -> Vec<f32> {
+        (0..=steps).map(|i| lo + (hi - lo) * i as f32 / steps as f32).collect()
+    }
+
+    #[test]
+    fn fast_exp_matches_libm_within_rel_tolerance() {
+        for &x in &dense_range(-87.0, 88.0, 40_000) {
+            let fast = fast_exp(x);
+            let exact = x.exp();
+            let rel = ((fast - exact) / exact).abs();
+            assert!(rel < 3e-7, "x={x}: fast={fast} libm={exact} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn fast_tanh_and_sigmoid_match_libm_on_training_range() {
+        for &x in &dense_range(-20.0, 20.0, 40_000) {
+            let dt = (fast_tanh(x) - x.tanh()).abs();
+            assert!(dt < 1e-6, "tanh x={x} err={dt}");
+            let ds = (fast_sigmoid(x) - 1.0 / (1.0 + (-x).exp())).abs();
+            assert!(ds < 1e-6, "sigmoid x={x} err={ds}");
+        }
+    }
+
+    #[test]
+    fn saturation_and_signed_zero_edges() {
+        assert_eq!(fast_exp(0.0), 1.0);
+        assert_eq!(fast_exp(-1000.0), 0.0);
+        assert!(fast_exp(1000.0).is_finite());
+        assert!(fast_exp(f32::NAN).is_finite(), "NaN saturates to the clamp bound");
+        assert_eq!(fast_tanh(0.0).to_bits(), 0.0f32.to_bits());
+        assert_eq!(fast_tanh(-0.0).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(fast_tanh(50.0), 1.0);
+        assert_eq!(fast_tanh(-50.0), -1.0);
+        assert_eq!(fast_sigmoid(100.0), 1.0);
+        // Saturation divides by e^88.4: the quotient is subnormal, not 0.
+        assert!(fast_sigmoid(-100.0) < 1e-38);
+    }
+
+    #[test]
+    fn dispatched_slice_matches_scalar_reference_bitwise() {
+        // 37 elements: covers full zmm lanes, a ymm-width tail and a
+        // scalar edge on every dispatch level.
+        let input: Vec<f32> = (0..37)
+            .map(|i| (i as f32 - 18.0) * 1.337 + if i % 3 == 0 { 0.123 } else { -0.456 })
+            .collect();
+        for u in [Unary::Exp, Unary::Tanh, Unary::Sigmoid] {
+            let mut dispatched = input.clone();
+            apply_slice(u, &mut dispatched);
+            let mut scalar = input.clone();
+            apply_portable(u, &mut scalar);
+            for (i, (d, s)) in dispatched.iter().zip(&scalar).enumerate() {
+                assert_eq!(d.to_bits(), s.to_bits(), "{u:?} lane {i}: {d} vs {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_row_dispatch_matches_portable_reference_bitwise() {
+        // Lengths exercising: tail-only (< 16), exact blocks, a ymm-wide
+        // tail, sub-8 scalar edges, and multi-block rows.
+        for n in [5usize, 16, 23, 37, 64, 130] {
+            let input: Vec<f32> = (0..n).map(|i| (i as f32 * 0.61).cos() * 7.0 - 1.5).collect();
+            let mut dispatched = input.clone();
+            softmax_row_fast_inplace(&mut dispatched);
+            let mut portable = input.clone();
+            softmax_row_portable(&mut portable);
+            for (i, (d, s)) in dispatched.iter().zip(&portable).enumerate() {
+                assert_eq!(d.to_bits(), s.to_bits(), "n={n} lane {i}: {d} vs {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_row_fast_is_normalized_and_close_to_exact() {
+        let mut row: Vec<f32> = (0..23).map(|i| (i as f32 * 0.77).sin() * 6.0).collect();
+        let mut exact = row.clone();
+        crate::ops::softmax_row_inplace(&mut exact);
+        softmax_row_fast_inplace(&mut row);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "sum={sum}");
+        for (f, e) in row.iter().zip(&exact) {
+            assert!((f - e).abs() < 1e-6, "fast={f} exact={e}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_fast_copies_from_offset() {
+        let n = 5;
+        let ad: Vec<f32> = (0..4 * n).map(|i| i as f32 * 0.3 - 2.0).collect();
+        let mut part = vec![0.0; 2 * n];
+        softmax_rows_fast(&ad, 2 * n, &mut part, n);
+        let mut expect = ad[2 * n..4 * n].to_vec();
+        for row in expect.chunks_mut(n) {
+            softmax_row_fast_inplace(row);
+        }
+        assert_eq!(part, expect);
+    }
+}

@@ -40,6 +40,7 @@ pub mod alloc;
 pub mod autograd;
 pub mod dist;
 pub mod error;
+pub mod fastmath;
 pub mod init;
 pub mod kernels;
 pub mod nn;

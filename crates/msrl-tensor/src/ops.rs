@@ -184,8 +184,30 @@ pub fn neg(a: &Tensor) -> Tensor {
     map(a, |x| -x)
 }
 
-/// Element-wise exponential.
+/// Applies a [`crate::fastmath`] transcendental element-wise — the
+/// tier-2 twin of [`map`], same chunk partitioning (the kernels are
+/// element-wise and ISA-deterministic, so chunk boundaries cannot
+/// perturb results).
+fn map_fast(a: &Tensor, u: crate::fastmath::Unary) -> Tensor {
+    let ad = a.data();
+    let mut data = crate::alloc::take_zeroed(ad.len());
+    let fill = |offset: usize, chunk: &mut [f32]| {
+        chunk.copy_from_slice(&ad[offset..offset + chunk.len()]);
+        crate::fastmath::apply_slice(u, chunk);
+    };
+    if par::should_parallelize(ad.len(), par::PAR_MIN_ELEMS) {
+        par::fill_chunks(&mut data, fill);
+    } else {
+        fill(0, &mut data);
+    }
+    Tensor::from_vec(data, a.shape()).expect("map_fast preserves shape")
+}
+
+/// Element-wise exponential (vectorized polynomial under `MSRL_TIER=2`).
 pub fn exp(a: &Tensor) -> Tensor {
+    if par::fastmath_enabled() {
+        return map_fast(a, crate::fastmath::Unary::Exp);
+    }
     map(a, f32::exp)
 }
 
@@ -207,13 +229,21 @@ pub fn relu(a: &Tensor) -> Tensor {
     map(a, |x| x.max(0.0))
 }
 
-/// Element-wise hyperbolic tangent.
+/// Element-wise hyperbolic tangent (vectorized polynomial under
+/// `MSRL_TIER=2`).
 pub fn tanh(a: &Tensor) -> Tensor {
+    if par::fastmath_enabled() {
+        return map_fast(a, crate::fastmath::Unary::Tanh);
+    }
     map(a, f32::tanh)
 }
 
-/// Element-wise logistic sigmoid.
+/// Element-wise logistic sigmoid (vectorized polynomial under
+/// `MSRL_TIER=2`).
 pub fn sigmoid(a: &Tensor) -> Tensor {
+    if par::fastmath_enabled() {
+        return map_fast(a, crate::fastmath::Unary::Sigmoid);
+    }
     map(a, |x| 1.0 / (1.0 + (-x).exp()))
 }
 
@@ -510,6 +540,37 @@ impl Act {
     }
 }
 
+/// Bias + activation epilogue over a row-aligned output chunk, shared
+/// by [`linear_act`] and [`linear_act_prepacked`]. Under the fast-math
+/// tier (`fm`), Tanh/Sigmoid run the vectorized [`crate::fastmath`]
+/// kernels over the whole chunk after a plain bias pass; every other
+/// combination replays the exact per-element `act(v + b[j])` sequence
+/// of the separate operators (bit-identical contract).
+fn act_epilogue(chunk: &mut [f32], bd: &[f32], n: usize, act: Act, fm: bool) {
+    if n == 0 {
+        return;
+    }
+    let fast = match (fm, act) {
+        (true, Act::Tanh) => Some(crate::fastmath::Unary::Tanh),
+        (true, Act::Sigmoid) => Some(crate::fastmath::Unary::Sigmoid),
+        _ => None,
+    };
+    if let Some(u) = fast {
+        for row in chunk.chunks_mut(n) {
+            for (o, &bv) in row.iter_mut().zip(bd) {
+                *o += bv;
+            }
+        }
+        crate::fastmath::apply_slice(u, chunk);
+        return;
+    }
+    for row in chunk.chunks_mut(n) {
+        for (o, &bv) in row.iter_mut().zip(bd) {
+            *o = act.apply(*o + bv);
+        }
+    }
+}
+
 /// Fused linear layer: `act(x·w + b)` for `x: [m, k]`, `w: [k, n]`,
 /// `b: [n]` in one pass over the output.
 ///
@@ -555,19 +616,14 @@ pub fn linear_act(x: &Tensor, w: &Tensor, b: &Tensor, act: Act) -> Result<Tensor
     let wd = w.data();
     let bd = b.data();
     let tier = par::tier_enabled();
+    let fm = par::fastmath_enabled();
     let fill = |offset: usize, chunk: &mut [f32]| {
         if tier {
             crate::kernels::matmul_simd_rows(xd, offset / n.max(1), chunk, k, n, wd);
         } else {
             matmul_rows(xd, wd, offset / n.max(1), chunk, k, n);
         }
-        if n > 0 {
-            for row in chunk.chunks_mut(n) {
-                for (o, &bv) in row.iter_mut().zip(bd) {
-                    *o = act.apply(*o + bv);
-                }
-            }
-        }
+        act_epilogue(chunk, bd, n, act, fm);
     };
     // Same parallel guard and row-aligned partitioning as matmul, so the
     // fused and unfused paths agree chunk-for-chunk on both backends.
@@ -615,15 +671,10 @@ pub fn linear_act_prepacked(
     let mut out = crate::alloc::take_zeroed(m * n);
     let xd = x.data();
     let bd = b.data();
+    let fm = par::fastmath_enabled();
     let fill = |offset: usize, chunk: &mut [f32]| {
         crate::kernels::matmul_packed_rows(xd, offset / n.max(1), chunk, k, n, wp);
-        if n > 0 {
-            for row in chunk.chunks_mut(n) {
-                for (o, &bv) in row.iter_mut().zip(bd) {
-                    *o = act.apply(*o + bv);
-                }
-            }
-        }
+        act_epilogue(chunk, bd, n, act, fm);
     };
     if par::should_parallelize(m * k * n, par::PAR_MIN_FLOPS) && m > 1 && n > 0 {
         par::fill_chunks_aligned(&mut out, n, fill);
@@ -683,6 +734,7 @@ pub fn linear_softmax(x: &Tensor, w: &Tensor, b: &Tensor) -> Result<Tensor> {
     let wd = w.data();
     let bd = b.data();
     let tier = par::tier_enabled();
+    let fm = par::fastmath_enabled();
     let fill = |offset: usize, chunk: &mut [f32]| {
         if tier {
             crate::kernels::matmul_simd_rows(xd, offset / n.max(1), chunk, k, n, wd);
@@ -694,7 +746,11 @@ pub fn linear_softmax(x: &Tensor, w: &Tensor, b: &Tensor) -> Result<Tensor> {
                 for (o, &bv) in row.iter_mut().zip(bd) {
                     *o += bv;
                 }
-                softmax_row_inplace(row);
+                if fm {
+                    crate::fastmath::softmax_row_fast_inplace(row);
+                } else {
+                    softmax_row_inplace(row);
+                }
             }
         }
     };
@@ -921,7 +977,14 @@ pub fn softmax_rows(a: &Tensor) -> Result<Tensor> {
         return Tensor::from_vec(out, &[m, n]);
     }
     let tier = par::tier_enabled();
+    let fm = par::fastmath_enabled();
     let fill = |offset: usize, chunk: &mut [f32]| {
+        if fm {
+            // Opt-in tier 2: vectorized polynomial exp replaces the
+            // scalar libm middle pass (tolerance-gated, not bitwise).
+            crate::fastmath::softmax_rows_fast(ad, offset, chunk, n);
+            return;
+        }
         if tier {
             // Vectorized-across-rows kernel; replays this exact per-row
             // arithmetic, so MSRL_TIER=0/1 stays bit-identical.

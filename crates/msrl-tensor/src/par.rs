@@ -125,13 +125,47 @@ pub fn with_fusion<T>(on: bool, f: impl FnOnce() -> T) -> T {
     out
 }
 
-const TIER_OFF: u8 = 1;
-const TIER_ON: u8 = 2;
-
+/// The kernel tier stores `level + 1` so `UNSET` (0) can mean
+/// "resolve `MSRL_TIER` on first use".
 static TIER: AtomicU8 = AtomicU8::new(UNSET);
 
-/// Whether the hot-plan kernel tier is active, resolving `MSRL_TIER` on
-/// first use (default: on).
+fn resolve_tier_level() -> u8 {
+    match TIER.load(Ordering::Relaxed) {
+        UNSET => {
+            let resolved = match std::env::var("MSRL_TIER").as_deref() {
+                Ok("0") | Ok("off") | Ok("false") | Ok("no") => 0,
+                Ok("2") | Ok("fast") | Ok("fastmath") => 2,
+                _ => 1,
+            };
+            set_tier_level(resolved);
+            resolved
+        }
+        stored => stored - 1,
+    }
+}
+
+/// The active kernel-tier level, resolving `MSRL_TIER` on first use
+/// (default: 1).
+///
+/// * **0** — naive reference kernels only.
+/// * **1** — bit-identical tiered kernels (packed matmul microkernels,
+///   fused-transpose backward products, gathered SIMD reductions, hot
+///   cached-plan promotion). Same per-element accumulation order as
+///   level 0, so results are bit-identical.
+/// * **2** — everything in level 1 *plus* the opt-in fast-math kernels
+///   in [`crate::fastmath`] (vectorized polynomial `exp`/`tanh`/
+///   `sigmoid`). Not bit-identical to levels 0/1; gated by tolerance
+///   tests instead. Never the default — it must be requested with
+///   `MSRL_TIER=2` (or `fast`/`fastmath`) or [`set_tier_level`].
+///
+/// Ops without a fast-math kernel fall back to their level-1 (or
+/// level-0) path automatically under level 2.
+pub fn tier_level() -> u8 {
+    resolve_tier_level()
+}
+
+/// Whether the hot-plan kernel tier is active (tier level ≥ 1),
+/// resolving `MSRL_TIER` on first use (default: on).
 ///
 /// When on, large matmuls route through the packed register-tiled
 /// microkernels in [`crate::kernels`], autograd backward passes use the
@@ -140,35 +174,49 @@ static TIER: AtomicU8 = AtomicU8::new(UNSET);
 /// hot cached plans to pre-packed tiered execution. Every tiered path
 /// preserves the naive kernels' per-element accumulation order, so
 /// results are bit-identical; `MSRL_TIER=0` restores the untiered
-/// execution exactly.
+/// execution exactly. See [`tier_level`] for the opt-in fast-math
+/// level 2.
 pub fn tier_enabled() -> bool {
-    match TIER.load(Ordering::Relaxed) {
-        TIER_ON => true,
-        TIER_OFF => false,
-        _ => {
-            let resolved = !matches!(
-                std::env::var("MSRL_TIER").as_deref(),
-                Ok("0") | Ok("off") | Ok("false") | Ok("no")
-            );
-            set_tier(resolved);
-            resolved
-        }
-    }
+    resolve_tier_level() >= 1
+}
+
+/// Whether the opt-in fast-math tier (level 2) is active. Paths that
+/// have a fast-math kernel consult this; everything else ignores it.
+pub fn fastmath_enabled() -> bool {
+    resolve_tier_level() >= 2
 }
 
 /// Overrides the global kernel-tier gate (takes precedence over
-/// `MSRL_TIER`).
+/// `MSRL_TIER`). `true` selects level 1, `false` level 0; use
+/// [`set_tier_level`] to request the fast-math level 2.
 pub fn set_tier(on: bool) {
-    TIER.store(if on { TIER_ON } else { TIER_OFF }, Ordering::Relaxed);
+    set_tier_level(if on { 1 } else { 0 });
+}
+
+/// Overrides the global kernel-tier level (takes precedence over
+/// `MSRL_TIER`). Levels above 2 clamp to 2.
+pub fn set_tier_level(level: u8) {
+    TIER.store(level.min(2) + 1, Ordering::Relaxed);
 }
 
 /// Runs `f` with the kernel-tier gate forced to `on`, then restores the
-/// previous setting. Process-global, like [`with_backend`].
+/// previous setting (including a fast-math level 2, which round-trips
+/// intact). Process-global, like [`with_backend`].
 pub fn with_tier<T>(on: bool, f: impl FnOnce() -> T) -> T {
-    let prev = tier_enabled();
+    let prev = resolve_tier_level();
     set_tier(on);
     let out = f();
-    set_tier(prev);
+    set_tier_level(prev);
+    out
+}
+
+/// Runs `f` with the kernel-tier level forced to `level`, then restores
+/// the previous setting. Process-global, like [`with_backend`].
+pub fn with_tier_level<T>(level: u8, f: impl FnOnce() -> T) -> T {
+    let prev = resolve_tier_level();
+    set_tier_level(level);
+    let out = f();
+    set_tier_level(prev);
     out
 }
 
@@ -389,6 +437,28 @@ mod tests {
         let inside = with_tier(true, tier_enabled);
         assert!(inside);
         assert_eq!(tier_enabled(), prev);
+    }
+
+    #[test]
+    fn tier_level_round_trips_and_maps_to_gates() {
+        let prev = tier_level();
+        let inside = with_tier_level(0, || (tier_level(), tier_enabled(), fastmath_enabled()));
+        assert_eq!(inside, (0, false, false));
+        let inside = with_tier_level(1, || (tier_level(), tier_enabled(), fastmath_enabled()));
+        assert_eq!(inside, (1, true, false));
+        let inside = with_tier_level(2, || (tier_level(), tier_enabled(), fastmath_enabled()));
+        assert_eq!(inside, (2, true, true));
+        // Levels above 2 clamp.
+        let inside = with_tier_level(7, tier_level);
+        assert_eq!(inside, 2);
+        assert_eq!(tier_level(), prev);
+        // A boolean with_tier nested under level 2 restores level 2.
+        let restored = with_tier_level(2, || {
+            with_tier(false, fastmath_enabled);
+            tier_level()
+        });
+        assert_eq!(restored, 2);
+        assert_eq!(tier_level(), prev);
     }
 
     #[test]

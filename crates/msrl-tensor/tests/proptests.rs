@@ -417,3 +417,94 @@ proptest! {
         prop_assert_eq!(map_s, map_t);
     }
 }
+
+proptest! {
+    /// Opt-in fast-math tier (`MSRL_TIER=2`): `exp`/`tanh`/`sigmoid`
+    /// must stay within the documented error bounds of libm across the
+    /// training-relevant input range (±20), and must be deterministic
+    /// across backends (chunk partitioning cannot perturb element-wise
+    /// kernels). Deliberately *not* a bit-identity test against tier
+    /// 0/1 — that is the contract fast-math trades away.
+    #[test]
+    fn fastmath_unaries_within_documented_bounds(
+        vals in proptest::collection::vec(-20.0f32..20.0, 33)
+    ) {
+        let t = Tensor::from_vec(vals.clone(), &[3, 11]).unwrap();
+        let (e_s, e_t) = on_both_backends(|| par::with_tier_level(2, || ops::exp(&t)));
+        prop_assert_eq!(&e_s, &e_t);
+        for (&f, &x) in e_s.data().iter().zip(&vals) {
+            let exact = x.exp();
+            let rel = ((f - exact) / exact).abs();
+            prop_assert!(rel < 3e-7, "exp({x}) fast={f} libm={exact} rel={rel}");
+        }
+        let (th_s, th_t) = on_both_backends(|| par::with_tier_level(2, || ops::tanh(&t)));
+        prop_assert_eq!(&th_s, &th_t);
+        for (&f, &x) in th_s.data().iter().zip(&vals) {
+            let err = (f - x.tanh()).abs();
+            prop_assert!(err < 1e-6, "tanh({x}) err={err}");
+        }
+        let (sg_s, sg_t) = on_both_backends(|| par::with_tier_level(2, || ops::sigmoid(&t)));
+        prop_assert_eq!(&sg_s, &sg_t);
+        for (&f, &x) in sg_s.data().iter().zip(&vals) {
+            let err = (f - 1.0 / (1.0 + (-x).exp())).abs();
+            prop_assert!(err < 1e-6, "sigmoid({x}) err={err}");
+        }
+    }
+
+    /// Tier-2 softmax rows are still distributions, stay within 1e-5 of
+    /// the exact tier-0 rows, and the fused policy head remains
+    /// bit-identical to its unfused chain *within* tier 2 (fusion never
+    /// changes results, at any tier).
+    #[test]
+    fn fastmath_softmax_close_to_exact_and_fusion_invariant(
+        m in 1usize..7, k in 1usize..7, n in 1usize..7,
+        xv in small_vec(36), wv in small_vec(36), bv in small_vec(6)
+    ) {
+        let x = Tensor::from_vec(xv[..m * k].to_vec(), &[m, k]).unwrap();
+        let w = Tensor::from_vec(wv[..k * n].to_vec(), &[k, n]).unwrap();
+        let b = Tensor::from_vec(bv[..n].to_vec(), &[n]).unwrap();
+        let exact = par::with_tier(false, || ops::softmax_rows(&x).unwrap());
+        let (fast_s, fast_t) =
+            on_both_backends(|| par::with_tier_level(2, || ops::softmax_rows(&x).unwrap()));
+        prop_assert_eq!(&fast_s, &fast_t);
+        for row in fast_s.data().chunks(k) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5, "row sum {sum}");
+        }
+        for (f, e) in fast_s.data().iter().zip(exact.data()) {
+            prop_assert!((f - e).abs() < 1e-5, "fast={f} exact={e}");
+        }
+        let (fused, unfused) = par::with_tier_level(2, || {
+            let fused = ops::linear_softmax(&x, &w, &b).unwrap();
+            let unfused =
+                ops::softmax_rows(&ops::add(&ops::matmul(&x, &w).unwrap(), &b).unwrap()).unwrap();
+            (fused, unfused)
+        });
+        prop_assert_eq!(fused, unfused);
+    }
+
+    /// Tier-2 fused `linear_act` with Tanh/Sigmoid must match the
+    /// unfused matmul → bias → fast activation chain bit-for-bit (the
+    /// epilogue applies the same fast kernels the map path uses).
+    #[test]
+    fn fastmath_linear_act_matches_unfused_bitwise(
+        m in 1usize..7, k in 1usize..7, n in 1usize..7, which in 0usize..2,
+        xv in small_vec(36), wv in small_vec(36), bv in small_vec(6)
+    ) {
+        let x = Tensor::from_vec(xv[..m * k].to_vec(), &[m, k]).unwrap();
+        let w = Tensor::from_vec(wv[..k * n].to_vec(), &[k, n]).unwrap();
+        let b = Tensor::from_vec(bv[..n].to_vec(), &[n]).unwrap();
+        let act = if which == 0 { ops::Act::Tanh } else { ops::Act::Sigmoid };
+        let ((fused_s, unfused), (fused_t, _)) = on_both_backends(|| {
+            par::with_tier_level(2, || {
+                let fused = ops::linear_act(&x, &w, &b, act).unwrap();
+                let lin = ops::add(&ops::matmul(&x, &w).unwrap(), &b).unwrap();
+                let unfused =
+                    if which == 0 { ops::tanh(&lin) } else { ops::sigmoid(&lin) };
+                (fused, unfused)
+            })
+        });
+        prop_assert_eq!(&fused_s, &fused_t);
+        prop_assert_eq!(&fused_s, &unfused);
+    }
+}
