@@ -181,10 +181,21 @@ impl Learner for A3cLearner {
             );
             offset += len;
         }
-        let mut params = self.policy.actor.params_mut();
-        params.extend(self.policy.critic.params_mut());
-        self.opt.step(&mut params, &grads).map_err(FdgError::Tensor)?;
+        let sentinel = msrl_telemetry::health_enabled();
+        let before = if sentinel { self.policy.flatten() } else { Vec::new() };
+        {
+            let mut params = self.policy.actor.params_mut();
+            params.extend(self.policy.critic.params_mut());
+            self.opt.step(&mut params, &grads).map_err(FdgError::Tensor)?;
+        }
         self.updates += 1;
+        if sentinel {
+            crate::sentinel::publish_update(
+                crate::sentinel::l2_norm(flat) as f32,
+                &before,
+                &self.policy.flatten(),
+            );
+        }
         Ok(())
     }
 }

@@ -167,9 +167,16 @@ impl Learner for Dqn {
         let loss = taken.sub(&target_t)?.square().mean();
         let mut grads = tape.backward(&loss)?;
         let mut gs = qnet.take_grads(&mut grads);
-        clip_grad_norm(&mut gs, self.cfg.max_grad_norm);
-        let mut params = self.q.params_mut();
-        self.opt.step(&mut params, &gs).map_err(FdgError::Tensor)?;
+        let grad_norm = clip_grad_norm(&mut gs, self.cfg.max_grad_norm);
+        let sentinel = msrl_telemetry::health_enabled();
+        let before = if sentinel { self.q.flatten_params() } else { Vec::new() };
+        {
+            let mut params = self.q.params_mut();
+            self.opt.step(&mut params, &gs).map_err(FdgError::Tensor)?;
+        }
+        if sentinel {
+            crate::sentinel::publish_update(grad_norm, &before, &self.q.flatten_params());
+        }
         self.updates += 1;
         if self.updates.is_multiple_of(self.cfg.target_update_every) {
             self.target.load_from(&self.q)?;

@@ -33,6 +33,7 @@ pub mod gae;
 pub mod mappo;
 pub mod ppo;
 pub mod rollout;
+pub mod sentinel;
 
 pub use buffer::{ReplayBuffer, TrajectoryBuffer};
 pub use ppo::{PpoConfig, PpoLearner, PpoPolicy};

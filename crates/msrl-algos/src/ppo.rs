@@ -278,6 +278,20 @@ impl Actor for PpoActor {
             // a packed forward the current mode wouldn't have built.
             self.packed = None;
         }
+        if msrl_telemetry::take_audit_request() {
+            // Tier-2 shadow audit (DESIGN §3.15): run this forward once
+            // on the normal path and once pinned at tier 1, record the
+            // relative drift, and — crucially — sample the action from
+            // the NORMAL-path output so an audited iteration stays
+            // bit-identical to an unaudited one.
+            let (out, values) = self.policy.forward_with(obs, self.packed.as_ref())?;
+            let (ref_out, ref_values) =
+                msrl_tensor::par::with_tier_level(1, || self.policy.forward_with(obs, None))?;
+            let drift = msrl_telemetry::max_rel_err(out.data(), ref_out.data())
+                .max(msrl_telemetry::max_rel_err(values.data(), ref_values.data()));
+            msrl_telemetry::record_audit(drift);
+            return self.policy.sample_from(&out, values, &mut self.rng);
+        }
         self.policy.act_with(obs, &mut self.rng, self.packed.as_ref())
     }
 
@@ -314,13 +328,22 @@ pub struct PpoLearner {
     /// A `Cell` because gradient-only callers reach it through `&self`
     /// paths ([`Learner::grads`]).
     last_metrics: std::cell::Cell<Option<(f32, f32)>>,
+    /// Pre-clip global gradient norm of the most recent backward pass
+    /// (the health sentinel's `health.grad_norm` source).
+    last_grad_norm: std::cell::Cell<Option<f32>>,
 }
 
 impl PpoLearner {
     /// Creates a learner owning a policy.
     pub fn new(policy: PpoPolicy, cfg: PpoConfig) -> Self {
         let opt = Adam::new(cfg.lr);
-        PpoLearner { policy, cfg, opt, last_metrics: std::cell::Cell::new(None) }
+        PpoLearner {
+            policy,
+            cfg,
+            opt,
+            last_metrics: std::cell::Cell::new(None),
+            last_grad_norm: std::cell::Cell::new(None),
+        }
     }
 
     /// Loss of the most recent optimisation pass (set by
@@ -423,7 +446,8 @@ impl PpoLearner {
         if let Some(ls) = &log_std_var {
             gs.push(grads.take_or_zeros(ls));
         }
-        clip_grad_norm(&mut gs, self.cfg.max_grad_norm);
+        let grad_norm = clip_grad_norm(&mut gs, self.cfg.max_grad_norm);
+        self.last_grad_norm.set(Some(grad_norm));
         let loss_v = loss.value().item().map_err(FdgError::Tensor)?;
         let entropy_v = entropy_mean.value().item().map_err(FdgError::Tensor)?;
         self.last_metrics.set(Some((loss_v, entropy_v)));
@@ -447,11 +471,20 @@ impl Learner for PpoLearner {
             return Err(FdgError::MissingKernel { op: "Learn(empty batch)".into() });
         }
         let (adv, ret) = self.advantages(batch)?;
+        let sentinel = msrl_telemetry::health_enabled();
+        let before = if sentinel { self.policy.flatten() } else { Vec::new() };
         let mut last_loss = 0.0;
         for _ in 0..self.cfg.epochs {
             let (loss, grads) = self.loss_and_grads(batch, &adv, &ret)?;
             self.apply(&grads)?;
             last_loss = loss;
+        }
+        if sentinel {
+            crate::sentinel::publish_update(
+                self.last_grad_norm.get().unwrap_or(f32::NAN),
+                &before,
+                &self.policy.flatten(),
+            );
         }
         Ok(last_loss)
     }
@@ -500,7 +533,20 @@ impl Learner for PpoLearner {
                 offset += len;
             }
         }
-        self.apply(&grads)
+        let sentinel = msrl_telemetry::health_enabled();
+        let before = if sentinel { self.policy.flatten() } else { Vec::new() };
+        self.apply(&grads)?;
+        if sentinel {
+            // External-gradient path (DP-C/DP-F): the pre-clip norm was
+            // computed worker-side, so report the norm of the flat
+            // gradient actually applied.
+            crate::sentinel::publish_update(
+                crate::sentinel::l2_norm(flat) as f32,
+                &before,
+                &self.policy.flatten(),
+            );
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,79 @@
+//! Per-update numeric sentinels shared by every learner (DESIGN §3.15).
+//!
+//! Each optimisation step publishes three gauges the exec drivers fold
+//! into the per-iteration health block:
+//!
+//! * `health.grad_norm` — the pre-clip global gradient L2 norm (the
+//!   value [`msrl_tensor::optim::clip_grad_norm`] returns);
+//! * `health.weight_norm` — the post-update parameter L2 norm;
+//! * `health.update_ratio` — `‖Δweights‖ / ‖weights‖`, the
+//!   effective-step-size signal that catches both frozen (≈0) and
+//!   diverging (≫1e-2) training.
+//!
+//! The `health.updates` counter ticks once per publication; the drivers
+//! read the gauges only when the counter moved during the iteration, so
+//! a policy without a learner (DP-E's env-worker split) simply omits
+//! the fields. Algorithm code stays distribution-agnostic: it reports
+//! into the process-wide registry exactly like every other layer, and
+//! the watchdog gate (`MSRL_HEALTH=0`) skips even that.
+
+/// L2 norm of a flat slice, accumulated in `f64` so the square-sum of a
+/// large parameter vector cannot itself overflow `f32`.
+#[must_use]
+pub fn l2_norm(flat: &[f32]) -> f64 {
+    flat.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt()
+}
+
+/// Publishes the per-update health gauges from one optimisation step:
+/// `grad_norm` as returned by the clip, plus weight norm and update
+/// ratio computed from the flat parameter vector before and after the
+/// step. No-op when the health watchdog is disabled.
+pub fn publish_update(grad_norm: f32, before: &[f32], after: &[f32]) {
+    if !msrl_telemetry::health_enabled() {
+        return;
+    }
+    let weight_norm = l2_norm(after);
+    let delta = before
+        .iter()
+        .zip(after)
+        .map(|(&b, &a)| (f64::from(a) - f64::from(b)).powi(2))
+        .sum::<f64>()
+        .sqrt();
+    // A non-finite gradient norm must reach the gauge as-is — the
+    // watchdog's nonfinite detector keys on it — but the gauge store
+    // holds raw f64 bits, so NaN round-trips fine.
+    msrl_telemetry::gauge_set("health.grad_norm", f64::from(grad_norm));
+    msrl_telemetry::gauge_set("health.weight_norm", weight_norm);
+    msrl_telemetry::gauge_set("health.update_ratio", delta / weight_norm.max(1e-12));
+    msrl_telemetry::static_counter!("health.updates").add(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_norm_matches_reference() {
+        assert_eq!(l2_norm(&[]), 0.0);
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+        assert!((l2_norm(&[1.0; 100]) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn publish_update_feeds_gauges_and_counter() {
+        msrl_telemetry::set_health_enabled(true);
+        let before = vec![1.0f32; 4];
+        let after = vec![1.1f32; 4];
+        let n0 = msrl_telemetry::counter_total("health.updates");
+        publish_update(2.5, &before, &after);
+        assert!(msrl_telemetry::counter_total("health.updates") > n0);
+        let g = |name: &str| {
+            msrl_telemetry::gauges_snapshot().into_iter().find(|(k, _)| k == name).unwrap().1
+        };
+        assert!((g("health.grad_norm") - 2.5).abs() < 1e-9);
+        assert!((g("health.weight_norm") - l2_norm(&after)).abs() < 1e-12);
+        let ratio = g("health.update_ratio");
+        // ‖Δ‖ = 0.1·2 (4 entries of ~0.1), ‖w‖ = 1.1·2.
+        assert!((ratio - (0.1f64 * 2.0) / (1.1 * 2.0)).abs() < 1e-3, "ratio {ratio}");
+    }
+}

@@ -190,6 +190,7 @@ fn telemetry_cost() -> TelemetryCost {
             plan_cache_hit_rate: Some(0.9),
             attr: None,
             actsrv: None,
+            health: None,
         })
     });
     tel::set_metrics_file(None);
@@ -266,6 +267,53 @@ fn telemetry_cost() -> TelemetryCost {
             * 100.0,
         traced_on_overhead_pct: (mlp_on_ns - mlp_off_ns) / mlp_off_ns.max(1.0) * 100.0,
     }
+}
+
+/// Measured per-iteration cost of the run-health watchdog on this host
+/// (DESIGN §3.15): the three pieces every learner-side iteration pays
+/// when `MSRL_HEALTH` is on.
+struct HealthCost {
+    /// One streaming-detector pass over a fully populated sample.
+    observe_ns: f64,
+    /// The fused non-finite scan over a policy-sized (8k) f32 vector.
+    nonfinite_scan_ns: f64,
+    /// The parameter flatten the drivers clone for that scan.
+    params_clone_ns: f64,
+}
+
+impl HealthCost {
+    fn per_iter_ns(&self) -> f64 {
+        self.observe_ns + self.nonfinite_scan_ns + self.params_clone_ns
+    }
+}
+
+fn health_cost() -> HealthCost {
+    use msrl_telemetry::{HealthMonitor, HealthSample};
+    let mut monitor = HealthMonitor::default();
+    let mut iter = 0u64;
+    let observe_ns = time_ns(9, || {
+        iter += 1;
+        monitor.observe(&HealthSample {
+            iteration: iter,
+            reward: 10.0 + (iter % 7) as f64,
+            loss: Some(0.3),
+            entropy: Some(1.1),
+            iters_per_sec: 50.0,
+            staleness_bound: 1,
+            staleness_observed: None,
+            grad_norm: Some(2.0),
+            weight_norm: Some(40.0),
+            update_ratio: Some(1e-3),
+            nonfinite_params: Some(0),
+            audit_rel_err: None,
+        })
+    });
+    // A policy-sized parameter vector: the e2e nets flatten to a few
+    // thousand weights; 8k rounds up.
+    let params: Vec<f32> = (0..8192).map(|i| (i as f32 * 0.0137).sin()).collect();
+    let nonfinite_scan_ns = time_ns(9, || msrl_tensor::kernels::count_nonfinite(&params));
+    let params_clone_ns = time_ns(9, || params.clone());
+    HealthCost { observe_ns, nonfinite_scan_ns, params_clone_ns }
 }
 
 /// One gated, host-independent ratio compared release over release by
@@ -857,6 +905,12 @@ fn main() {
         .map_or(f64::INFINITY, |r| 1e9 / r.off_iters_per_sec.max(1e-9));
     let attr_share_pct = attr_finish_iter_ns / dp_a_period_ns * 100.0;
 
+    // Health-watchdog probe cost per iteration (detector pass +
+    // non-finite scan + parameter clone), held to the same <5% share of
+    // a DP-A iteration as the attribution pass.
+    let hc = health_cost();
+    let health_share_pct = hc.per_iter_ns() / dp_a_period_ns * 100.0;
+
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!(
@@ -961,6 +1015,15 @@ fn main() {
         fm.actsrv_batched_ns,
         fm.actsrv_batch_speedup(),
     ));
+    json.push_str(&format!(
+        "  \"health\": {{\"observe_ns\": {:.0}, \"nonfinite_scan_ns\": {:.0}, \
+         \"params_clone_ns\": {:.0}, \"per_iter_ns\": {:.0}, \"share_pct\": {:.3}}},\n",
+        hc.observe_ns,
+        hc.nonfinite_scan_ns,
+        hc.params_clone_ns,
+        hc.per_iter_ns(),
+        health_share_pct,
+    ));
     json.push_str("  \"comm_overlap\": [\n");
     for (i, r) in overlap.iter().enumerate() {
         json.push_str(&format!(
@@ -1011,6 +1074,12 @@ fn main() {
             higher_is_better: false,
             floor: 1.0,
             value: attr_share_pct,
+        },
+        Gated {
+            name: "health.share_pct",
+            higher_is_better: false,
+            floor: 1.0,
+            value: health_share_pct,
         },
         Gated {
             name: "kernel_tier.matmul512_speedup",
@@ -1172,6 +1241,15 @@ fn main() {
         fm.actsrv_batched_ns,
         fm.actsrv_batch_speedup(),
     );
+    println!(
+        "health: observe {:.0} ns + nonfinite scan {:.0} ns + params clone {:.0} ns \
+         = {:.0} ns/iteration = {:.3}% of a DP-A iteration",
+        hc.observe_ns,
+        hc.nonfinite_scan_ns,
+        hc.params_clone_ns,
+        hc.per_iter_ns(),
+        health_share_pct,
+    );
     for r in &overlap {
         println!(
             "comm_overlap {:<6} off {:>6.2} it/s, on {:>6.2} it/s ({:.2}x)",
@@ -1198,6 +1276,12 @@ fn main() {
     // under 5% of a DP-A iteration period.
     if attr_share_pct >= 5.0 {
         eprintln!("bench_report: attribution share {attr_share_pct:.3}% breaches the 5% bound");
+        std::process::exit(1);
+    }
+    // And to the health watchdog's per-iteration probes (acceptance
+    // criterion of the run-health subsystem).
+    if health_share_pct >= 5.0 {
+        eprintln!("bench_report: health-probe share {health_share_pct:.3}% breaches the 5% bound");
         std::process::exit(1);
     }
     // Kernel-tier acceptance bounds: the packed microkernels must beat

@@ -4,9 +4,11 @@
 //! `MSRL_METRICS_FILE` stream) and renders the latest
 //! `msrl.run_event.v2` attribution breakdown as a per-fragment table:
 //! busy share, the rollout/learn/comm/eval split, idle and straggler
-//! slack, plus critical-path membership and straggler flags. The footer
-//! shows the iteration's bottleneck and how much of the wall time the
-//! critical path covers.
+//! slack, plus critical-path membership, straggler flags and — when the
+//! stream carries schema-v3 health blocks — a health column (the run
+//! watchdog's status on the fragment that trains). The footer shows the
+//! iteration's bottleneck, how much of the wall time the critical path
+//! covers, and the health gauges with any active findings.
 //!
 //! ```text
 //! cargo run -p msrl-bench --bin top -- [metrics.jsonl] [--once] [--interval-ms N]
@@ -45,11 +47,36 @@ fn pct(part: u64, whole: u64) -> f64 {
     }
 }
 
-/// Renders one v2 run event as the utilisation table, or `None` when
+/// Formats a possibly-null numeric health gauge compactly.
+fn gauge(v: &Value, name: &str) -> String {
+    match v.field(name).ok().and_then(|f| f64::from_value(f).ok()) {
+        Some(x) => format!("{x:.3e}"),
+        None => "-".to_string(),
+    }
+}
+
+/// The health column for one fragment row: the run watchdog's status on
+/// the fragment that trains (where the sentinel gauges originate),
+/// blank elsewhere.
+fn health_cell(health: Option<&Value>, role: &str) -> &'static str {
+    let trains = matches!(role, "learner" | "param_server") || role.starts_with("fused");
+    match health {
+        Some(h) if trains => match text(h, "status") {
+            "ok" => "ok",
+            "warn" => "WARN",
+            "critical" => "CRIT",
+            _ => "?",
+        },
+        _ => "-",
+    }
+}
+
+/// Renders one v2/v3 run event as the utilisation table, or `None` when
 /// the line carries no attribution payload.
 fn render(line: &str, source: &str, seen: usize) -> Option<String> {
     let root = value_from_str(line).ok()?;
     let attr = root.field("attr").ok()?;
+    let health = root.field("health").ok();
     let policy = text(&root, "policy");
     let iteration = num(&root, "iteration");
     let wall = num(attr, "wall_ns");
@@ -61,8 +88,8 @@ fn render(line: &str, source: &str, seen: usize) -> Option<String> {
         "msrl top — {source} ({seen} v2 event(s), policy {policy}, iteration {iteration})\n\n"
     ));
     out.push_str(&format!(
-        "{:<16} {:>6} {:>9} {:>7} {:>6} {:>6} {:>7}  {}\n",
-        "fragment", "busy%", "rollout%", "learn%", "comm%", "idle%", "slack%", "flags"
+        "{:<16} {:>6} {:>9} {:>7} {:>6} {:>6} {:>7} {:>6}  {}\n",
+        "fragment", "busy%", "rollout%", "learn%", "comm%", "idle%", "slack%", "health", "flags"
     ));
     for f in frags {
         let wall_f = num(f, "wall_ns");
@@ -73,15 +100,17 @@ fn render(line: &str, source: &str, seen: usize) -> Option<String> {
         if flag(f, "straggler") {
             flags.push("strag");
         }
+        let role = text(f, "role");
         out.push_str(&format!(
-            "{:<16} {:>6.1} {:>9.1} {:>7.1} {:>6.1} {:>6.1} {:>7.1}  {}\n",
-            format!("{}/{}", text(f, "role"), num(f, "id")),
+            "{:<16} {:>6.1} {:>9.1} {:>7.1} {:>6.1} {:>6.1} {:>7.1} {:>6}  {}\n",
+            format!("{}/{}", role, num(f, "id")),
             pct(num(f, "busy_ns"), wall_f),
             pct(num(f, "rollout_ns"), wall_f),
             pct(num(f, "learn_ns"), wall_f),
             pct(num(f, "comm_ns"), wall_f),
             pct(num(f, "idle_ns"), wall_f),
             pct(num(f, "slack_ns"), wall_f),
+            health_cell(health, role),
             flags.join(","),
         ));
     }
@@ -92,6 +121,28 @@ fn render(line: &str, source: &str, seen: usize) -> Option<String> {
         wall as f64 / 1e6,
         pct(critical, wall),
     ));
+    if let Some(h) = health {
+        out.push_str(&format!(
+            "health: {}   grad {}  weight {}  upd {}  nonfinite {}  audit {}\n",
+            text(h, "status").to_uppercase(),
+            gauge(h, "grad_norm"),
+            gauge(h, "weight_norm"),
+            gauge(h, "update_ratio"),
+            gauge(h, "nonfinite_params"),
+            gauge(h, "audit_rel_err"),
+        ));
+        if let Ok(Value::Seq(findings)) = h.field("findings") {
+            for f in findings {
+                out.push_str(&format!(
+                    "  finding: {} [{}] @ iter {}: {}\n",
+                    text(f, "detector"),
+                    text(f, "severity"),
+                    num(f, "iteration"),
+                    text(f, "detail"),
+                ));
+            }
+        }
+    }
     Some(out)
 }
 

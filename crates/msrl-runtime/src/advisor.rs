@@ -668,6 +668,7 @@ mod tests {
             plan_cache_hit_rate: None,
             attr: Some(attr),
             actsrv: None,
+            health: None,
         }
         .to_json_line()
     }

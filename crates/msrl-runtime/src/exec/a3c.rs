@@ -138,7 +138,8 @@ where
             remaining[rank] -= 1;
             prev_reward = mean_or_prev(&finished, prev_reward);
             report.iteration_rewards.push(prev_reward);
-            obs_stream.observe(prev_reward, None, None);
+            let params = msrl_telemetry::health_enabled().then(|| learner.policy_params());
+            obs_stream.observe(prev_reward, None, None, params.as_deref());
         }
         for h in handles {
             h.join().expect("worker thread must not panic")?;

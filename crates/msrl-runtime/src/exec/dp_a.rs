@@ -26,7 +26,7 @@ use msrl_env::{Environment, VecEnv};
 
 use crate::wire::{decode_batch, encode_batch};
 
-use super::{finish_run, mean_or_prev, DistPpoConfig, RunObserver, TrainingReport};
+use super::{fault_nan_iter, finish_run, mean_or_prev, DistPpoConfig, RunObserver, TrainingReport};
 
 /// Runs PPO under DP-A. `make_env(actor, instance)` constructs one
 /// environment.
@@ -161,6 +161,7 @@ where
         let mut report = TrainingReport::default();
         let mut prev_reward = 0.0;
         let mut obs = RunObserver::new("dp_a", dist.stale_bound());
+        let fault_nan = fault_nan_iter();
         for iter in 0..dist.iterations {
             let mut batches = Vec::with_capacity(p);
             let mut finished = Vec::new();
@@ -175,6 +176,18 @@ where
                 let _attr = msrl_telemetry::step(msrl_telemetry::StepClass::Learn);
                 learner.learn(&batch)?
             };
+            if fault_nan == Some(iter as u64) {
+                // Fault injection (`MSRL_FAULT_NAN_ITER`): scale one
+                // weight to infinity so this iteration's health pass
+                // must flag the poisoned parameter vector. Injecting at
+                // the run's last iteration keeps the poisoned broadcast
+                // unused — actors drain their final weight sync.
+                let mut w = learner.policy_params();
+                if let Some(v) = w.first_mut() {
+                    *v = f32::INFINITY;
+                }
+                learner.set_policy_params(&w)?;
+            }
             // Version-stamped broadcast: learning from iteration `iter`'s
             // batches produces the version `iter + 1` weights (exact as
             // f32 for any realistic iteration count).
@@ -189,7 +202,8 @@ where
             prev_reward = mean_or_prev(&finished, prev_reward);
             report.iteration_rewards.push(prev_reward);
             report.losses.push(loss);
-            obs.observe(prev_reward, Some(loss), learner.last_entropy());
+            let params = msrl_telemetry::health_enabled().then(|| learner.policy_params());
+            obs.observe(prev_reward, Some(loss), learner.last_entropy(), params.as_deref());
         }
         drop(frag);
         for h in handles {

@@ -175,7 +175,8 @@ where
             prev_reward = mean_or_prev(&finished, prev_reward);
             report.iteration_rewards.push(prev_reward);
             report.losses.push(loss);
-            obs_stream.observe(prev_reward, Some(loss), learner.last_entropy());
+            let params = msrl_telemetry::health_enabled().then(|| learner.policy_params());
+            obs_stream.observe(prev_reward, Some(loss), learner.last_entropy(), params.as_deref());
         }
         drop(frag);
         for h in handles {

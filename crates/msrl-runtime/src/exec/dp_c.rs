@@ -118,7 +118,14 @@ where
                     prev_reward = mean_or_prev(&finished, prev_reward);
                     report.iteration_rewards.push(prev_reward);
                     if let Some(o) = obs_stream.as_mut() {
-                        o.observe(prev_reward, learner.last_loss(), learner.last_entropy());
+                        let params =
+                            msrl_telemetry::health_enabled().then(|| learner.policy_params());
+                        o.observe(
+                            prev_reward,
+                            learner.last_loss(),
+                            learner.last_entropy(),
+                            params.as_deref(),
+                        );
                     }
                 }
                 report.final_params = learner.policy_params();

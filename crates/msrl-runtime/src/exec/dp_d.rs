@@ -130,7 +130,14 @@ where
                     let denom = (env.total_agents() * steps.max(1)) as f32;
                     report.iteration_rewards.push(total_reward / denom);
                     if let Some(o) = obs_stream.as_mut() {
-                        o.observe(total_reward / denom, Some(loss), learner.last_entropy());
+                        let params =
+                            msrl_telemetry::health_enabled().then(|| learner.policy_params());
+                        o.observe(
+                            total_reward / denom,
+                            Some(loss),
+                            learner.last_entropy(),
+                            params.as_deref(),
+                        );
                     }
                 }
                 report.final_params = learner.policy_params();

@@ -192,7 +192,9 @@ where
             env_ep.all_gather(Vec::new()).map_err(comm_err)?;
             let mean = total / (n * steps.max(1)) as f32;
             report.iteration_rewards.push(mean);
-            obs_stream.observe(mean, None, None);
+            // DP-E's driver thread owns no policy replica (the agent
+            // fragments train their own); no parameter scan here.
+            obs_stream.observe(mean, None, None, None);
         }
         drop(frag);
         for h in handles {

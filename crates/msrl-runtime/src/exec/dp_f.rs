@@ -161,7 +161,8 @@ where
             }
             prev_reward = mean_or_prev(&finished, prev_reward);
             report.iteration_rewards.push(prev_reward);
-            obs_stream.observe(prev_reward, None, None);
+            let params = msrl_telemetry::health_enabled().then(|| server.policy_params());
+            obs_stream.observe(prev_reward, None, None, params.as_deref());
         }
         drop(frag);
         for h in handles {

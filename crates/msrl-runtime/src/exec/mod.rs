@@ -189,6 +189,11 @@ pub(crate) struct RunObserver {
     actsrv_batches_prev: u64,
     actsrv_rows_prev: u64,
     iteration: u64,
+    /// Streaming health detectors over this run's metrics (None when
+    /// `MSRL_HEALTH=0`).
+    monitor: Option<msrl_telemetry::HealthMonitor>,
+    health_updates_prev: u64,
+    health_audits_prev: u64,
 }
 
 impl RunObserver {
@@ -207,14 +212,87 @@ impl RunObserver {
             actsrv_batches_prev: msrl_telemetry::counter_total("actsrv.batches"),
             actsrv_rows_prev: msrl_telemetry::counter_total("actsrv.rows"),
             iteration: 0,
+            monitor: msrl_telemetry::health_enabled().then(msrl_telemetry::HealthMonitor::default),
+            health_updates_prev: msrl_telemetry::counter_total("health.updates"),
+            health_audits_prev: msrl_telemetry::counter_total("health.audits"),
         }
+    }
+
+    /// One health pass over the just-closed iteration: folds the
+    /// sentinel gauges the learner published (read only when their
+    /// counters moved, so learner-less drivers omit them), scans the
+    /// policy parameters for non-finite values with the fused kernel,
+    /// and feeds the run-level signals to the streaming detectors. A
+    /// freshly fired Critical finding snapshots the verdict and
+    /// triggers a flight-recorder dump carrying it (DESIGN §3.15).
+    fn health_block(
+        &mut self,
+        reward: f32,
+        loss: Option<f32>,
+        entropy: Option<f32>,
+        iters_per_sec: f64,
+        params: Option<&[f32]>,
+    ) -> Option<msrl_telemetry::HealthStatus> {
+        let monitor = self.monitor.as_mut()?;
+        let _t = msrl_telemetry::static_histogram!("health.observe").time();
+        let gauge = |name: &str| msrl_telemetry::Gauge::handle(name).get();
+        let updates = msrl_telemetry::counter_total("health.updates");
+        let stepped = updates > self.health_updates_prev;
+        self.health_updates_prev = updates;
+        let audits = msrl_telemetry::counter_total("health.audits");
+        let audited = audits > self.health_audits_prev;
+        self.health_audits_prev = audits;
+        let sample = msrl_telemetry::HealthSample {
+            iteration: self.iteration,
+            reward: f64::from(reward),
+            loss: loss.map(f64::from),
+            entropy: entropy.map(f64::from),
+            iters_per_sec,
+            staleness_bound: self.staleness,
+            // Observed staleness is not separately instrumented on the
+            // live path (the comm layer enforces the bound); replay and
+            // unit streams exercise the breach detector.
+            staleness_observed: None,
+            grad_norm: stepped.then(|| gauge("health.grad_norm")),
+            weight_norm: stepped.then(|| gauge("health.weight_norm")),
+            update_ratio: stepped.then(|| gauge("health.update_ratio")),
+            nonfinite_params: params.map(msrl_tensor::kernels::count_nonfinite),
+            audit_rel_err: audited.then(|| gauge("health.audit_rel_err")),
+        };
+        let status = monitor.observe(&sample);
+        let critical = status
+            .findings
+            .iter()
+            .find(|f| f.severity == msrl_telemetry::Severity::Critical)
+            .map(|f| format!("{}: {}", f.detector, f.detail));
+        if let Some(reason) = critical {
+            msrl_telemetry::set_last_verdict(&monitor.verdict());
+            match msrl_telemetry::flightrec::dump("health", &reason) {
+                Ok(_) => {}
+                Err(e) => eprintln!("msrl: health-triggered flightrec dump failed: {e}"),
+            }
+        }
+        // Schedule the next tier-2 shadow audit: first actor forward of
+        // the coming iteration runs the dual-tier comparison.
+        let every = msrl_telemetry::audit_every();
+        if every > 0 && (self.iteration + 1).is_multiple_of(every) {
+            msrl_telemetry::request_audit();
+        }
+        Some(status)
     }
 
     /// Closes one iteration: records its period, computes the
     /// critical-path attribution over the iteration window (draining
-    /// every fragment thread's step stamps), and streams the
-    /// training-metrics event — schema v2 when attribution is on.
-    pub(crate) fn observe(&mut self, reward: f32, loss: Option<f32>, entropy: Option<f32>) {
+    /// every fragment thread's step stamps), runs the health detectors,
+    /// and streams the training-metrics event — schema v2 when
+    /// attribution is on, v3 when the health watchdog is.
+    pub(crate) fn observe(
+        &mut self,
+        reward: f32,
+        loss: Option<f32>,
+        entropy: Option<f32>,
+        params: Option<&[f32]>,
+    ) {
         let now = std::time::Instant::now();
         let dt = now.duration_since(self.last);
         self.last = now;
@@ -241,18 +319,21 @@ impl RunObserver {
                 batches: actsrv_batches.saturating_sub(self.actsrv_batches_prev),
                 rows: actsrv_rows.saturating_sub(self.actsrv_rows_prev),
             });
+        let iters_per_sec = if dt.as_secs_f64() > 0.0 { 1.0 / dt.as_secs_f64() } else { 0.0 };
+        let health = self.health_block(reward, loss, entropy, iters_per_sec, params);
         msrl_telemetry::emit_run_event(&msrl_telemetry::RunEvent {
             policy: self.policy,
             iteration: self.iteration,
             reward: f64::from(reward),
             loss: loss.map(f64::from),
             entropy: entropy.map(f64::from),
-            iters_per_sec: if dt.as_secs_f64() > 0.0 { 1.0 / dt.as_secs_f64() } else { 0.0 },
+            iters_per_sec,
             comm_bytes: bytes.saturating_sub(self.bytes_prev),
             staleness: self.staleness,
             plan_cache_hit_rate,
             attr,
             actsrv,
+            health,
         });
         self.bytes_prev = bytes;
         self.actsrv_batches_prev = actsrv_batches;
@@ -264,10 +345,25 @@ impl RunObserver {
 /// Driver epilogue: flushes the metrics stream (and the
 /// `MSRL_METRICS_TEXT_FILE` exposition) and, on an error outcome,
 /// writes a flight-recorder dump so failed runs leave evidence.
+///
+/// A flush failure is surfaced, not swallowed: the stream is the health
+/// subsystem's evidence trail, and a silently truncated JSONL file
+/// would read as a healthy run. The `sink.io_errors` counter carries
+/// the same signal into the exposition snapshot.
 pub(crate) fn finish_run<T>(policy: &'static str, result: Result<T>) -> Result<T> {
-    let _ = msrl_telemetry::flush_metrics();
+    if let Err(e) = msrl_telemetry::flush_metrics() {
+        eprintln!("msrl: metrics stream write failed for {policy}: {e}");
+    }
     if let Err(e) = &result {
         let _ = msrl_telemetry::flightrec::dump("driver_error", &format!("{policy}: {e:?}"));
     }
     result
+}
+
+/// Resolves `MSRL_FAULT_NAN_ITER`: a fault-injection hook for the
+/// health e2e — after finishing this (0-based) iteration, DP-A scales
+/// one learner weight to infinity so the next health pass must detect
+/// the poisoned parameter vector within one iteration.
+pub(crate) fn fault_nan_iter() -> Option<u64> {
+    std::env::var("MSRL_FAULT_NAN_ITER").ok()?.parse().ok()
 }

@@ -312,8 +312,15 @@ pub struct FragmentAttr {
 pub struct IterAttribution {
     /// Iteration window length.
     pub wall_ns: u64,
-    /// Longest path through the step-dependency DAG.
+    /// Longest path through the step-dependency DAG, clamped to
+    /// `wall_ns` (see `cp_clamped`).
     pub critical_path_ns: u64,
+    /// Whether the DAG's longest path exceeded the iteration wall and
+    /// was clamped. BSP collectives serialise every member's compute
+    /// *and* comm into the dependency chain, so rounds that really
+    /// overlapped can over-serialise the path past wall time — an
+    /// honest flag beats an impossible number.
+    pub cp_clamped: bool,
     /// Mean rollout compute across fragments.
     pub rollout_ns: u64,
     /// Mean learn compute across fragments.
@@ -591,6 +598,11 @@ pub fn attribute(stamps: &[StepStamp], start_ns: u64, end_ns: u64, k: f64) -> It
     let (dag, owner) = build_dag(&timelines);
     let cp = dag.critical_path();
     attr.critical_path_ns = cp.len_ns;
+    if attr.critical_path_ns > wall {
+        attr.critical_path_ns = wall;
+        attr.cp_clamped = true;
+        crate::static_counter!("attr.cp_clamped").add(1);
+    }
     for &node in &cp.path {
         attr.fragments[owner[node]].critical = true;
     }
@@ -696,6 +708,33 @@ mod tests {
             attr.critical_path_ns
         );
         assert!(attr.fragments.iter().any(|f| f.fragment == 1 && f.critical));
+        // The reported path never exceeds the iteration wall.
+        assert!(attr.critical_path_ns <= attr.wall_ns);
+    }
+
+    #[test]
+    fn over_serialised_bsp_path_is_clamped_and_flagged() {
+        // Two fragments that genuinely overlap: each computes 60 and
+        // comms 40 inside a 100 ns window. The BSP DAG serialises the
+        // peer's compute before each comm node, so the raw longest path
+        // (60 + 40 + …) exceeds the wall; the attribution must clamp it
+        // to the wall and flag the clamp instead of reporting an
+        // impossible number.
+        let stamps = vec![
+            stamp("actor", 0, StepClass::Rollout, 0, 60),
+            stamp("actor", 0, StepClass::Comm, 60, 100),
+            stamp("actor", 1, StepClass::Rollout, 0, 95),
+            stamp("actor", 1, StepClass::Comm, 95, 100),
+        ];
+        let before = crate::counter_total("attr.cp_clamped");
+        let attr = attribute(&stamps, 0, 100, 2.0);
+        assert_eq!(attr.critical_path_ns, attr.wall_ns, "clamped to the wall");
+        assert!(attr.cp_clamped, "clamp is flagged, not silent");
+        assert!(crate::counter_total("attr.cp_clamped") > before);
+        // A path that fits is left alone and unflagged.
+        let fits = attribute(&[stamp("actor", 0, StepClass::Rollout, 0, 30)], 0, 100, 2.0);
+        assert!(!fits.cp_clamped);
+        assert_eq!(fits.critical_path_ns, 30);
     }
 
     #[test]

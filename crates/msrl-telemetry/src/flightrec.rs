@@ -265,6 +265,12 @@ pub fn render_dump(trigger: &str, reason: &str) -> String {
     out.push_str(&format!("  \"trigger\": \"{}\",\n", esc(trigger)));
     out.push_str(&format!("  \"reason\": \"{}\",\n", esc(reason)));
     out.push_str(&format!("  \"pid\": {},\n", std::process::id()));
+    // The run's latest health verdict, when the watchdog has stored one
+    // (a critical detector firing is itself a dump trigger): the
+    // post-mortem carries *why* training was judged unhealthy.
+    if let Some(verdict) = crate::health::last_verdict_json() {
+        out.push_str(&format!("  \"health\": {verdict},\n"));
+    }
     out.push_str("  \"config\": {");
     let mut env: Vec<(String, String)> =
         std::env::vars().filter(|(k, _)| k.starts_with("MSRL_")).collect();

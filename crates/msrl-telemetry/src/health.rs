@@ -1,0 +1,1084 @@
+//! Training-health watchdog: streaming detectors over the per-iteration
+//! [`RunEvent`](crate::RunEvent) signal (DESIGN §3.15).
+//!
+//! PRs 2/5/7 made runs observable in *time*; this module watches whether
+//! training is *healthy*. A [`HealthMonitor`] consumes one
+//! [`HealthSample`] per iteration — the same numbers the metrics stream
+//! carries, plus the numeric sentinels the drivers compute (non-finite
+//! parameter counts, gradient/weight norms, tier-2 shadow-audit drift) —
+//! and runs a bank of streaming detectors:
+//!
+//! * **nonfinite** — NaN/Inf in loss, reward, entropy, gradient norm or
+//!   the parameter vector itself (critical, fires on the first sample);
+//! * **entropy_collapse** — policy entropy EWMA falling below a fraction
+//!   of its post-warmup baseline (warn);
+//! * **grad_explosion** — a finite gradient-norm spike far above its
+//!   EWMA (warn; a *non-finite* norm is the nonfinite detector's job);
+//! * **reward_regression** — reward EWMA falling well below the best
+//!   EWMA the run has reached (warn);
+//! * **tput_regression** — iterations/second EWMA collapsing below a
+//!   fraction of its peak (warn);
+//! * **staleness_breach** — observed weight staleness above the
+//!   configured bound (critical; the drivers enforce the bound by
+//!   construction, so a firing means the invariant broke);
+//! * **audit_drift** — tier-2 shadow-audit relative error above the
+//!   tolerance bound (critical): every `MSRL_AUDIT_EVERY` iterations one
+//!   sampled fragment forward is re-run at tier 1 and compared, turning
+//!   the one-shot fast-math tolerance test into a live empirical bound.
+//!
+//! Each detector is an EWMA + hysteresis window in the shape of
+//! `advisor::LiveAdvisor`: a breach must persist for `confirm`
+//! consecutive samples to fire, a firing is reported **exactly once**,
+//! and the detector re-arms only after `rearm` consecutive healthy
+//! samples — sub-hysteresis noise produces no findings at all.
+//!
+//! Firings accumulate into a [`HealthVerdict`]; the drivers embed the
+//! latest verdict in flight-recorder dumps (a critical firing triggers
+//! one automatically) and stamp each RunEvent with a per-iteration
+//! health block, bumping the line to schema v3. [`replay_stream`] runs
+//! the same detectors over a completed JSONL stream — the engine behind
+//! the `doctor` bin's post-hoc verdict report.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Gates and cross-thread plumbing
+// ---------------------------------------------------------------------------
+
+const UNSET: u8 = 0;
+const OFF: u8 = 1;
+const ON: u8 = 2;
+
+static HEALTH: AtomicU8 = AtomicU8::new(UNSET);
+
+/// Whether the health watchdog is active (default **on**). Resolved from
+/// `MSRL_HEALTH` on first call (`0`/`off`/`false`/`no` disable it), then
+/// one relaxed atomic load.
+#[inline]
+pub fn health_enabled() -> bool {
+    match HEALTH.load(Ordering::Relaxed) {
+        ON => true,
+        OFF => false,
+        _ => resolve_health(),
+    }
+}
+
+#[cold]
+fn resolve_health() -> bool {
+    let off = matches!(
+        std::env::var("MSRL_HEALTH").as_deref(),
+        Ok("0") | Ok("off") | Ok("OFF") | Ok("false") | Ok("FALSE") | Ok("no") | Ok("NO")
+    );
+    set_health_enabled(!off);
+    !off
+}
+
+/// Programmatically enables or disables the health watchdog (takes
+/// precedence over `MSRL_HEALTH`).
+pub fn set_health_enabled(on: bool) {
+    HEALTH.store(if on { ON } else { OFF }, Ordering::Relaxed);
+}
+
+/// `u64::MAX` marks "not yet resolved from the environment".
+static AUDIT_EVERY: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// The tier-2 shadow-audit period: every this many iterations the
+/// drivers request one dual-tier fragment forward. Resolved from
+/// `MSRL_AUDIT_EVERY` on first call; `0` (the default) disables audits.
+pub fn audit_every() -> u64 {
+    match AUDIT_EVERY.load(Ordering::Relaxed) {
+        u64::MAX => {
+            let n = std::env::var("MSRL_AUDIT_EVERY")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(0);
+            set_audit_every(n);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Overrides the shadow-audit period (`0` disables; takes precedence
+/// over `MSRL_AUDIT_EVERY`).
+pub fn set_audit_every(every: u64) {
+    AUDIT_EVERY.store(every.min(u64::MAX - 1), Ordering::Relaxed);
+}
+
+static AUDIT_REQUEST: AtomicBool = AtomicBool::new(false);
+
+/// Posts a shadow-audit request: the next policy forward that calls
+/// [`take_audit_request`] (exactly one — first taker wins) re-runs
+/// itself at tier 1 and records the drift via [`record_audit`].
+pub fn request_audit() {
+    AUDIT_REQUEST.store(true, Ordering::Relaxed);
+}
+
+/// Claims a pending shadow-audit request, if any.
+pub fn take_audit_request() -> bool {
+    AUDIT_REQUEST.swap(false, Ordering::Relaxed)
+}
+
+/// Records one shadow-audit observation: the maximum relative error
+/// between a tier-2 (or packed) fragment forward and its tier-1
+/// reference. Feeds the `health.audit_rel_err` gauge, the
+/// `health.audits` counter, and the `health.audit_rel_err` histogram
+/// (recorded in pico-units: `rel_err × 1e12`, so the log₂ buckets
+/// resolve drifts down to 1e-12).
+pub fn record_audit(rel_err: f64) {
+    crate::gauge_set("health.audit_rel_err", rel_err);
+    crate::static_counter!("health.audits").add(1);
+    let picos =
+        if rel_err.is_finite() { (rel_err * 1e12).clamp(0.0, 1e18) as u64 } else { u64::MAX };
+    crate::static_histogram!("health.audit_rel_err").record(picos);
+}
+
+/// Maximum element-wise relative error between two equally-long slices
+/// (`|a-b| / max(|b|, 1e-6)`); `+inf` on a length mismatch or a
+/// non-finite difference.
+pub fn max_rel_err(a: &[f32], b: &[f32]) -> f64 {
+    if a.len() != b.len() {
+        return f64::INFINITY;
+    }
+    let mut worst = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = (f64::from(x) - f64::from(y)).abs() / f64::from(y).abs().max(1e-6);
+        if !d.is_finite() {
+            return f64::INFINITY;
+        }
+        worst = worst.max(d);
+    }
+    worst
+}
+
+fn last_verdict() -> &'static Mutex<Option<HealthVerdict>> {
+    static LAST: std::sync::OnceLock<Mutex<Option<HealthVerdict>>> = std::sync::OnceLock::new();
+    LAST.get_or_init(|| Mutex::new(None))
+}
+
+/// Stores the run's latest verdict so flight-recorder dumps can embed it
+/// (drivers call this when a detector fires).
+pub fn set_last_verdict(v: &HealthVerdict) {
+    *last_verdict().lock().expect("health verdict store poisoned") = Some(v.clone());
+}
+
+/// The latest stored verdict, rendered as JSON — the `health` section of
+/// a flight-recorder dump. `None` when no verdict has been stored.
+pub fn last_verdict_json() -> Option<String> {
+    last_verdict().lock().expect("health verdict store poisoned").as_ref().map(|v| v.to_json())
+}
+
+// ---------------------------------------------------------------------------
+// Samples, findings, verdicts
+// ---------------------------------------------------------------------------
+
+/// Finding severity, ordered `Ok < Warn < Critical`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Nothing wrong.
+    #[default]
+    Ok,
+    /// Degraded but plausibly recoverable (regressions, collapses).
+    Warn,
+    /// Training is numerically broken or an invariant was violated.
+    Critical,
+}
+
+impl Severity {
+    /// Lower-case label used in JSON and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Ok => "ok",
+            Severity::Warn => "warn",
+            Severity::Critical => "critical",
+        }
+    }
+
+    /// Parses [`Severity::name`] output.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "ok" => Some(Severity::Ok),
+            "warn" => Some(Severity::Warn),
+            "critical" => Some(Severity::Critical),
+            _ => None,
+        }
+    }
+}
+
+/// One iteration's worth of health signal, as fed to
+/// [`HealthMonitor::observe`]. Optional fields are simply skipped by the
+/// detectors that need them.
+#[derive(Debug, Clone, Default)]
+pub struct HealthSample {
+    /// Zero-based iteration index.
+    pub iteration: u64,
+    /// Mean episode return this iteration.
+    pub reward: f64,
+    /// Central training loss, when the driver computes one.
+    pub loss: Option<f64>,
+    /// Mean policy entropy, when available.
+    pub entropy: Option<f64>,
+    /// Iterations per second over the last iteration.
+    pub iters_per_sec: f64,
+    /// Configured staleness bound the iteration ran under.
+    pub staleness_bound: u64,
+    /// Observed weight staleness, when the driver measures it.
+    pub staleness_observed: Option<u64>,
+    /// Pre-clip global gradient L2 norm from the learner.
+    pub grad_norm: Option<f64>,
+    /// Post-update weight L2 norm from the learner.
+    pub weight_norm: Option<f64>,
+    /// `‖Δweights‖ / ‖weights‖` of the iteration's update.
+    pub update_ratio: Option<f64>,
+    /// Non-finite entries counted in the flat parameter vector.
+    pub nonfinite_params: Option<u64>,
+    /// Latest tier-2 shadow-audit max relative error.
+    pub audit_rel_err: Option<f64>,
+}
+
+/// One detector firing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthFinding {
+    /// Detector name (`"nonfinite"`, `"entropy_collapse"`, ...).
+    pub detector: &'static str,
+    /// Severity of the firing.
+    pub severity: Severity,
+    /// Iteration the firing was confirmed at.
+    pub iteration: u64,
+    /// Human-readable one-line diagnosis.
+    pub detail: String,
+}
+
+impl HealthFinding {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"detector\": \"{}\", \"severity\": \"{}\", \"iteration\": {}, \"detail\": \"{}\"}}",
+            self.detector,
+            self.severity.name(),
+            self.iteration,
+            esc(&self.detail)
+        )
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x}"),
+        _ => "null".to_string(),
+    }
+}
+
+/// The per-iteration health block carried on schema-v3
+/// [`RunEvent`](crate::RunEvent) lines: the current status, the sentinel
+/// gauges, explicit non-finite flags (the JSON renderer writes NaN/Inf
+/// as `null`, so the booleans carry what the numbers cannot), and any
+/// findings that fired *this* iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthStatus {
+    /// Worst severity currently active (fired detectors stay active
+    /// until they re-arm).
+    pub status: Severity,
+    /// Whether any watched quantity was non-finite this iteration.
+    pub nonfinite: bool,
+    /// Pre-clip gradient L2 norm, when the learner published one.
+    pub grad_norm: Option<f64>,
+    /// Post-update weight L2 norm.
+    pub weight_norm: Option<f64>,
+    /// `‖Δweights‖ / ‖weights‖` of the update.
+    pub update_ratio: Option<f64>,
+    /// Non-finite parameter entries counted this iteration.
+    pub nonfinite_params: Option<u64>,
+    /// Latest shadow-audit max relative error.
+    pub audit_rel_err: Option<f64>,
+    /// Findings that fired this iteration (exactly-once semantics).
+    pub findings: Vec<HealthFinding>,
+}
+
+impl HealthStatus {
+    /// Renders the block as a JSON object (the `health` field of a v3
+    /// metrics line).
+    pub fn to_json(&self) -> String {
+        let findings: Vec<String> = self.findings.iter().map(HealthFinding::to_json).collect();
+        format!(
+            concat!(
+                "{{\"status\": \"{}\", \"nonfinite\": {}, \"grad_norm\": {}, ",
+                "\"weight_norm\": {}, \"update_ratio\": {}, \"nonfinite_params\": {}, ",
+                "\"audit_rel_err\": {}, \"findings\": [{}]}}"
+            ),
+            self.status.name(),
+            self.nonfinite,
+            fmt_opt(self.grad_norm),
+            fmt_opt(self.weight_norm),
+            fmt_opt(self.update_ratio),
+            self.nonfinite_params.map_or("null".to_string(), |c| c.to_string()),
+            fmt_opt(self.audit_rel_err),
+            findings.join(", "),
+        )
+    }
+}
+
+/// Run-level accumulation of every firing: the object embedded in
+/// flight-recorder dumps and printed by the `doctor` bin.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthVerdict {
+    /// Worst severity over the whole run.
+    pub status: Severity,
+    /// Samples the monitor consumed.
+    pub iterations: u64,
+    /// Every firing, in order.
+    pub findings: Vec<HealthFinding>,
+}
+
+impl HealthVerdict {
+    /// Renders the verdict as JSON (`msrl.health_verdict.v1`).
+    pub fn to_json(&self) -> String {
+        let findings: Vec<String> = self.findings.iter().map(HealthFinding::to_json).collect();
+        format!(
+            concat!(
+                "{{\"schema\": \"msrl.health_verdict.v1\", \"status\": \"{}\", ",
+                "\"iterations\": {}, \"findings\": [{}]}}"
+            ),
+            self.status.name(),
+            self.iterations,
+            findings.join(", "),
+        )
+    }
+
+    /// Renders a ranked human-readable report: critical findings first,
+    /// then warnings, each with its iteration and diagnosis.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "verdict: {} ({} findings over {} iterations)\n",
+            self.status.name().to_uppercase(),
+            self.findings.len(),
+            self.iterations
+        );
+        let mut ranked: Vec<&HealthFinding> = self.findings.iter().collect();
+        ranked.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.iteration.cmp(&b.iteration)));
+        for f in ranked {
+            out.push_str(&format!(
+                "  [{:<8}] iter {:>5}  {:<18} {}\n",
+                f.severity.name(),
+                f.iteration,
+                f.detector,
+                f.detail
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Detector machinery
+// ---------------------------------------------------------------------------
+
+/// Detector window parameters. The defaults are deliberately loose —
+/// the watchdog must stay silent on every healthy CI stream; warn-level
+/// sensitivity is tuned by the noise floor of small CartPole runs.
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// EWMA smoothing factor.
+    pub alpha: f64,
+    /// Consecutive breaching samples required to fire.
+    pub confirm: u32,
+    /// Consecutive healthy samples required to re-arm after a firing.
+    pub rearm: u32,
+    /// Samples before the EWMA detectors start judging (baselines are
+    /// snapshotted at the end of warmup).
+    pub warmup: u64,
+    /// Entropy collapse: EWMA below this fraction of the baseline.
+    pub entropy_frac: f64,
+    /// Grad explosion: a finite norm above this multiple of its EWMA.
+    pub grad_margin: f64,
+    /// Reward regression: EWMA below `best − frac·max(|best|, 1)`.
+    pub reward_frac: f64,
+    /// Throughput regression: EWMA below this fraction of its peak.
+    pub tput_frac: f64,
+    /// Shadow-audit tolerance (relative error), from `MSRL_AUDIT_BOUND`.
+    pub audit_bound: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            alpha: 0.2,
+            confirm: 3,
+            rearm: 8,
+            warmup: 5,
+            entropy_frac: 0.2,
+            grad_margin: 12.0,
+            reward_frac: 0.6,
+            tput_frac: 0.25,
+            audit_bound: std::env::var("MSRL_AUDIT_BOUND")
+                .ok()
+                .and_then(|v| v.trim().parse::<f64>().ok())
+                .unwrap_or(5e-2),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Ewma {
+    value: Option<f64>,
+}
+
+impl Ewma {
+    fn update(&mut self, alpha: f64, x: f64) -> f64 {
+        let v = match self.value {
+            Some(v) => v + alpha * (x - v),
+            None => x,
+        };
+        self.value = Some(v);
+        v
+    }
+}
+
+/// The hysteresis half of a detector: `confirm` consecutive breaches to
+/// fire, exactly-once reporting, `rearm` consecutive healthy samples to
+/// re-arm.
+#[derive(Debug, Clone)]
+struct Hysteresis {
+    confirm: u32,
+    rearm: u32,
+    streak: u32,
+    healthy: u32,
+    armed: bool,
+}
+
+impl Hysteresis {
+    fn new(confirm: u32, rearm: u32) -> Self {
+        Hysteresis {
+            confirm: confirm.max(1),
+            rearm: rearm.max(1),
+            streak: 0,
+            healthy: 0,
+            armed: true,
+        }
+    }
+
+    /// Feeds one breach/healthy observation; returns `true` on the one
+    /// sample where the detector fires.
+    fn observe(&mut self, breach: bool) -> bool {
+        if breach {
+            self.healthy = 0;
+            self.streak = self.streak.saturating_add(1);
+            if self.armed && self.streak >= self.confirm {
+                self.armed = false;
+                return true;
+            }
+        } else {
+            self.streak = 0;
+            if !self.armed {
+                self.healthy += 1;
+                if self.healthy >= self.rearm {
+                    self.armed = true;
+                    self.healthy = 0;
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether the detector has fired and not yet re-armed.
+    fn active(&self) -> bool {
+        !self.armed
+    }
+}
+
+struct Detector {
+    name: &'static str,
+    severity: Severity,
+    hyst: Hysteresis,
+}
+
+impl Detector {
+    fn new(name: &'static str, severity: Severity, confirm: u32, rearm: u32) -> Self {
+        Detector { name, severity, hyst: Hysteresis::new(confirm, rearm) }
+    }
+
+    fn observe(
+        &mut self,
+        breach: bool,
+        iteration: u64,
+        detail: impl FnOnce() -> String,
+        findings: &mut Vec<HealthFinding>,
+    ) {
+        if self.hyst.observe(breach) {
+            findings.push(HealthFinding {
+                detector: self.name,
+                severity: self.severity,
+                iteration,
+                detail: detail(),
+            });
+        }
+    }
+}
+
+/// The streaming detector bank. Feed one [`HealthSample`] per iteration
+/// via [`HealthMonitor::observe`]; read the run-level verdict back via
+/// [`HealthMonitor::verdict`].
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    n: u64,
+    reward: Ewma,
+    best_reward: f64,
+    entropy: Ewma,
+    entropy_baseline: Option<f64>,
+    tput: Ewma,
+    tput_peak: f64,
+    grad: Ewma,
+    nonfinite: Detector,
+    entropy_collapse: Detector,
+    grad_explosion: Detector,
+    reward_regression: Detector,
+    tput_regression: Detector,
+    staleness_breach: Detector,
+    audit_drift: Detector,
+    findings: Vec<HealthFinding>,
+}
+
+impl HealthMonitor {
+    /// A monitor with the given window parameters.
+    pub fn new(cfg: HealthConfig) -> Self {
+        let (c, r) = (cfg.confirm, cfg.rearm);
+        HealthMonitor {
+            n: 0,
+            reward: Ewma::default(),
+            best_reward: f64::NEG_INFINITY,
+            entropy: Ewma::default(),
+            entropy_baseline: None,
+            tput: Ewma::default(),
+            tput_peak: 0.0,
+            grad: Ewma::default(),
+            // Numeric-poison and invariant detectors confirm on the
+            // first breaching sample: one NaN is already fatal.
+            nonfinite: Detector::new("nonfinite", Severity::Critical, 1, r),
+            entropy_collapse: Detector::new("entropy_collapse", Severity::Warn, c, r),
+            grad_explosion: Detector::new("grad_explosion", Severity::Warn, c, r),
+            reward_regression: Detector::new("reward_regression", Severity::Warn, c, r),
+            tput_regression: Detector::new("tput_regression", Severity::Warn, c, r),
+            staleness_breach: Detector::new("staleness_breach", Severity::Critical, 1, r),
+            audit_drift: Detector::new("audit_drift", Severity::Critical, 1, r),
+            findings: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Feeds one iteration; returns the per-iteration status block
+    /// (including any findings that fired exactly this iteration).
+    pub fn observe(&mut self, s: &HealthSample) -> HealthStatus {
+        self.n += 1;
+        let a = self.cfg.alpha;
+        let it = s.iteration;
+        let mut new = Vec::new();
+
+        let bad_loss = s.loss.is_some_and(|l| !l.is_finite());
+        let bad_grad = s.grad_norm.is_some_and(|g| !g.is_finite());
+        let bad_params = s.nonfinite_params.is_some_and(|c| c > 0);
+        let nonfinite = !s.reward.is_finite()
+            || bad_loss
+            || s.entropy.is_some_and(|e| !e.is_finite())
+            || bad_grad
+            || s.update_ratio.is_some_and(|u| !u.is_finite())
+            || bad_params;
+        self.nonfinite.observe(
+            nonfinite,
+            it,
+            || {
+                format!(
+                    "non-finite training signal (loss bad: {}, grad bad: {}, params bad: {})",
+                    bad_loss,
+                    bad_grad,
+                    s.nonfinite_params.unwrap_or(0)
+                )
+            },
+            &mut new,
+        );
+
+        let warm = self.n > self.cfg.warmup;
+
+        // Entropy: baseline snapshotted at the end of warmup; collapse =
+        // EWMA below a fraction of that baseline.
+        if let Some(e) = s.entropy.filter(|e| e.is_finite()) {
+            let ewma = self.entropy.update(a, e);
+            if self.n == self.cfg.warmup {
+                self.entropy_baseline = Some(ewma);
+            }
+            let breach = warm
+                && self
+                    .entropy_baseline
+                    .is_some_and(|b| b > 1e-9 && ewma < self.cfg.entropy_frac * b);
+            let baseline = self.entropy_baseline.unwrap_or(0.0);
+            self.entropy_collapse.observe(
+                breach,
+                it,
+                || {
+                    format!(
+                        "entropy EWMA {ewma:.4} below {:.0}% of baseline {baseline:.4}",
+                        self.cfg.entropy_frac * 100.0
+                    )
+                },
+                &mut new,
+            );
+        }
+
+        // Gradient norm: compare against the healthy-sample EWMA, and
+        // keep breaching samples *out* of it — a sustained explosion
+        // must not normalise itself into a new baseline, or the streak
+        // would break after one sample and `confirm` never be reached.
+        if let Some(g) = s.grad_norm.filter(|g| g.is_finite()) {
+            let prev = self.grad.value;
+            let breach = warm && prev.is_some_and(|p| g > self.cfg.grad_margin * p.max(1e-9));
+            let p = prev.unwrap_or(0.0);
+            self.grad_explosion.observe(
+                breach,
+                it,
+                || format!("grad norm {g:.3e} over {}x its EWMA {p:.3e}", self.cfg.grad_margin),
+                &mut new,
+            );
+            if !breach {
+                self.grad.update(a, g);
+            }
+        }
+
+        // Reward: regression against the best EWMA level reached.
+        if s.reward.is_finite() {
+            let ewma = self.reward.update(a, s.reward);
+            if warm {
+                self.best_reward = self.best_reward.max(ewma);
+                let slack = self.cfg.reward_frac * self.best_reward.abs().max(1.0);
+                let best = self.best_reward;
+                self.reward_regression.observe(
+                    ewma < self.best_reward - slack,
+                    it,
+                    || {
+                        format!(
+                            "reward EWMA {ewma:.3} fell below best {best:.3} − slack {slack:.3}"
+                        )
+                    },
+                    &mut new,
+                );
+            }
+        }
+
+        // Throughput: collapse against the peak EWMA.
+        if s.iters_per_sec.is_finite() && s.iters_per_sec > 0.0 {
+            let ewma = self.tput.update(a, s.iters_per_sec);
+            if warm {
+                self.tput_peak = self.tput_peak.max(ewma);
+                let peak = self.tput_peak;
+                self.tput_regression.observe(
+                    ewma < self.cfg.tput_frac * self.tput_peak,
+                    it,
+                    || {
+                        format!(
+                            "it/s EWMA {ewma:.3} below {:.0}% of peak {peak:.3}",
+                            self.cfg.tput_frac * 100.0
+                        )
+                    },
+                    &mut new,
+                );
+            }
+        }
+
+        let observed = s.staleness_observed.unwrap_or(0);
+        self.staleness_breach.observe(
+            s.staleness_observed.is_some_and(|o| o > s.staleness_bound),
+            it,
+            || format!("observed staleness {observed} over bound {}", s.staleness_bound),
+            &mut new,
+        );
+
+        let drift = s.audit_rel_err.unwrap_or(0.0);
+        self.audit_drift.observe(
+            s.audit_rel_err.is_some_and(|e| !e.is_finite() || e > self.cfg.audit_bound),
+            it,
+            || {
+                format!(
+                    "shadow-audit rel error {drift:.3e} over bound {:.3e}",
+                    self.cfg.audit_bound
+                )
+            },
+            &mut new,
+        );
+
+        self.findings.extend(new.iter().cloned());
+
+        let mut status = Severity::Ok;
+        for d in [
+            &self.nonfinite,
+            &self.entropy_collapse,
+            &self.grad_explosion,
+            &self.reward_regression,
+            &self.tput_regression,
+            &self.staleness_breach,
+            &self.audit_drift,
+        ] {
+            if d.hyst.active() {
+                status = status.max(d.severity);
+            }
+        }
+
+        HealthStatus {
+            status,
+            nonfinite,
+            grad_norm: s.grad_norm,
+            weight_norm: s.weight_norm,
+            update_ratio: s.update_ratio,
+            nonfinite_params: s.nonfinite_params,
+            audit_rel_err: s.audit_rel_err,
+            findings: new,
+        }
+    }
+
+    /// Appends an externally-produced finding (the replay path ingests
+    /// recorded v3 findings through this).
+    pub fn ingest(&mut self, f: HealthFinding) {
+        if !self.findings.iter().any(|g| g.detector == f.detector && g.iteration == f.iteration) {
+            self.findings.push(f);
+        }
+    }
+
+    /// The run-level verdict so far.
+    pub fn verdict(&self) -> HealthVerdict {
+        HealthVerdict {
+            status: self.findings.iter().map(|f| f.severity).max().unwrap_or(Severity::Ok),
+            iterations: self.n,
+            findings: self.findings.clone(),
+        }
+    }
+}
+
+impl Default for HealthMonitor {
+    fn default() -> Self {
+        HealthMonitor::new(HealthConfig::default())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream replay (the `doctor` engine)
+// ---------------------------------------------------------------------------
+
+/// Replays a completed RunEvent JSONL stream through fresh detector
+/// banks (one per policy — CI streams interleave policies) and merges in
+/// every finding recorded on v3 `health` blocks. The result is the
+/// post-hoc verdict the `doctor` bin reports.
+///
+/// # Errors
+///
+/// A description of the first unparsable line.
+pub fn replay_stream(content: &str) -> Result<HealthVerdict, String> {
+    use serde_json::Value;
+    let num = |v: &Value| -> Option<f64> {
+        match v {
+            Value::I64(n) => Some(*n as f64),
+            Value::U64(n) => Some(*n as f64),
+            Value::F64(n) => Some(*n),
+            _ => None,
+        }
+    };
+    let mut monitors: std::collections::BTreeMap<String, HealthMonitor> =
+        std::collections::BTreeMap::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = serde_json::value_from_str(line)
+            .map_err(|e| format!("line {}: not JSON: {e}", lineno + 1))?;
+        let Ok(Value::Str(policy)) = v.field("policy") else {
+            return Err(format!("line {}: missing policy", lineno + 1));
+        };
+        let m = monitors.entry(policy.clone()).or_default();
+        let opt = |key: &str| v.field(key).ok().and_then(&num);
+        let mut sample = HealthSample {
+            iteration: opt("iteration").unwrap_or(0.0) as u64,
+            reward: opt("reward").unwrap_or(0.0),
+            loss: opt("loss"),
+            entropy: opt("entropy"),
+            iters_per_sec: opt("iters_per_sec").unwrap_or(0.0),
+            staleness_bound: opt("staleness").unwrap_or(0.0) as u64,
+            ..HealthSample::default()
+        };
+        let mut recorded = Vec::new();
+        if let Ok(health) = v.field("health") {
+            let hopt = |key: &str| health.field(key).ok().and_then(&num);
+            sample.grad_norm = hopt("grad_norm");
+            sample.weight_norm = hopt("weight_norm");
+            sample.update_ratio = hopt("update_ratio");
+            sample.nonfinite_params = hopt("nonfinite_params").map(|c| c as u64);
+            sample.audit_rel_err = hopt("audit_rel_err");
+            // The stream renders NaN/Inf as null; the recorded flag is
+            // the only trace of the poison, so it re-poisons the sample.
+            if matches!(health.field("nonfinite"), Ok(Value::Bool(true)))
+                && sample.nonfinite_params.unwrap_or(0) == 0
+            {
+                sample.nonfinite_params = Some(1);
+            }
+            if let Ok(Value::Seq(fs)) = health.field("findings") {
+                for f in fs {
+                    let detector = match f.field("detector") {
+                        Ok(Value::Str(d)) => leak_detector_name(d),
+                        _ => "recorded",
+                    };
+                    let severity = match f.field("severity") {
+                        Ok(Value::Str(s)) => Severity::parse(s).unwrap_or(Severity::Warn),
+                        _ => Severity::Warn,
+                    };
+                    let detail = match f.field("detail") {
+                        Ok(Value::Str(d)) => format!("{d} (recorded)"),
+                        _ => "(recorded)".to_string(),
+                    };
+                    let iteration = f.field("iteration").ok().and_then(&num).unwrap_or(0.0) as u64;
+                    recorded.push(HealthFinding { detector, severity, iteration, detail });
+                }
+            }
+        }
+        m.observe(&sample);
+        for f in recorded {
+            m.ingest(f);
+        }
+    }
+    let mut verdict = HealthVerdict::default();
+    for m in monitors.values() {
+        let v = m.verdict();
+        verdict.status = verdict.status.max(v.status);
+        verdict.iterations += v.iterations;
+        verdict.findings.extend(v.findings);
+    }
+    Ok(verdict)
+}
+
+/// Maps a recorded detector name back to its `&'static str` (detector
+/// names form a closed set; unknown names collapse to `"recorded"`).
+fn leak_detector_name(name: &str) -> &'static str {
+    for known in [
+        "nonfinite",
+        "entropy_collapse",
+        "grad_explosion",
+        "reward_regression",
+        "tput_regression",
+        "staleness_breach",
+        "audit_drift",
+    ] {
+        if name == known {
+            return known;
+        }
+    }
+    "recorded"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn healthy(iteration: u64) -> HealthSample {
+        HealthSample {
+            iteration,
+            reward: 20.0 + iteration as f64,
+            loss: Some(0.5),
+            entropy: Some(0.6),
+            iters_per_sec: 100.0,
+            staleness_bound: 1,
+            grad_norm: Some(1.0),
+            weight_norm: Some(10.0),
+            update_ratio: Some(1e-3),
+            nonfinite_params: Some(0),
+            ..HealthSample::default()
+        }
+    }
+
+    #[test]
+    fn healthy_stream_stays_silent() {
+        let mut m = HealthMonitor::default();
+        for i in 0..50 {
+            let s = m.observe(&healthy(i));
+            assert_eq!(s.status, Severity::Ok, "iteration {i}: {:?}", s.findings);
+            assert!(s.findings.is_empty());
+        }
+        assert_eq!(m.verdict().status, Severity::Ok);
+        assert!(m.verdict().findings.is_empty());
+    }
+
+    #[test]
+    fn nan_loss_fires_exactly_once_and_rearms() {
+        let mut m = HealthMonitor::default();
+        for i in 0..6 {
+            m.observe(&healthy(i));
+        }
+        // A NaN loss fires on its *first* sample (confirm = 1)...
+        let mut bad = healthy(6);
+        bad.loss = Some(f64::NAN);
+        let s = m.observe(&bad);
+        assert_eq!(s.status, Severity::Critical);
+        assert_eq!(s.findings.len(), 1);
+        assert_eq!(s.findings[0].detector, "nonfinite");
+        // ...then holds silent while the breach persists.
+        for i in 7..12 {
+            let mut bad = healthy(i);
+            bad.loss = Some(f64::NAN);
+            let s = m.observe(&bad);
+            assert!(s.findings.is_empty(), "exactly-once firing");
+            assert_eq!(s.status, Severity::Critical, "stays active while un-armed");
+        }
+        // Healthy samples re-arm it; a fresh poison fires again.
+        for i in 12..12 + 8 {
+            m.observe(&healthy(i));
+        }
+        let mut bad = healthy(40);
+        bad.nonfinite_params = Some(3);
+        let s = m.observe(&bad);
+        assert_eq!(s.findings.len(), 1, "re-armed detector fires a second time");
+        assert_eq!(m.verdict().findings.len(), 2);
+        assert_eq!(m.verdict().status, Severity::Critical);
+    }
+
+    #[test]
+    fn sub_hysteresis_noise_never_fires() {
+        let mut m = HealthMonitor::default();
+        for i in 0..10 {
+            m.observe(&healthy(i));
+        }
+        // Entropy dips hard for confirm−1 samples, then recovers —
+        // repeatedly. The streak never reaches `confirm`, so nothing
+        // fires.
+        for round in 0..5 {
+            for k in 0..2 {
+                let mut s = healthy(10 + round * 3 + k);
+                s.entropy = Some(0.01);
+                let st = m.observe(&s);
+                assert!(st.findings.is_empty(), "round {round}: sub-hysteresis dip fired");
+            }
+            m.observe(&healthy(12 + round * 3));
+        }
+        assert_eq!(m.verdict().status, Severity::Ok);
+    }
+
+    #[test]
+    fn entropy_collapse_fires_after_confirm_window() {
+        let mut m = HealthMonitor::default();
+        for i in 0..8 {
+            m.observe(&healthy(i));
+        }
+        let mut fired = Vec::new();
+        for i in 8..20 {
+            let mut s = healthy(i);
+            s.entropy = Some(0.001);
+            fired.extend(m.observe(&s).findings);
+        }
+        assert_eq!(fired.len(), 1, "one collapse firing: {fired:?}");
+        assert_eq!(fired[0].detector, "entropy_collapse");
+        assert_eq!(fired[0].severity, Severity::Warn);
+        // EWMA needs a few samples to sink below the threshold (8 at
+        // α=0.2 from 0.6 to <0.12, i.e. iteration 15), then the firing
+        // lands at the end of the confirm window: iteration 17.
+        assert!(fired[0].iteration >= 10 && fired[0].iteration <= 18, "{}", fired[0].iteration);
+    }
+
+    #[test]
+    fn grad_explosion_and_audit_drift() {
+        let mut m = HealthMonitor::default();
+        for i in 0..8 {
+            m.observe(&healthy(i));
+        }
+        let mut fired = Vec::new();
+        for i in 8..8 + 4 {
+            let mut s = healthy(i);
+            s.grad_norm = Some(1.0e4);
+            fired.extend(m.observe(&s).findings);
+        }
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].detector, "grad_explosion");
+        assert_eq!(fired[0].severity, Severity::Warn, "finite spike is a warning, not critical");
+        let mut s = healthy(20);
+        s.audit_rel_err = Some(1.0);
+        let st = m.observe(&s);
+        assert_eq!(st.findings.len(), 1);
+        assert_eq!(st.findings[0].detector, "audit_drift");
+        assert_eq!(st.findings[0].severity, Severity::Critical);
+    }
+
+    #[test]
+    fn status_json_and_verdict_roundtrip_through_replay() {
+        let mut m = HealthMonitor::default();
+        let mut lines = String::new();
+        for i in 0..10 {
+            let mut s = healthy(i);
+            if i == 7 {
+                s.loss = Some(f64::INFINITY);
+                s.nonfinite_params = Some(2);
+            }
+            let st = m.observe(&s);
+            lines.push_str(&format!(
+                concat!(
+                    "{{\"schema\": \"msrl.run_event.v3\", \"policy\": \"dp_a\", ",
+                    "\"iteration\": {}, \"reward\": {}, \"loss\": {}, \"entropy\": 0.6, ",
+                    "\"iters_per_sec\": 100, \"comm_bytes\": 0, \"staleness\": 1, ",
+                    "\"plan_cache_hit_rate\": null, \"health\": {}}}\n"
+                ),
+                i,
+                s.reward,
+                if i == 7 { "null".to_string() } else { "0.5".to_string() },
+                st.to_json(),
+            ));
+        }
+        assert_eq!(m.verdict().status, Severity::Critical);
+        let replayed = replay_stream(&lines).expect("replay parses");
+        assert_eq!(replayed.status, Severity::Critical, "{}", replayed.render());
+        assert!(
+            replayed.findings.iter().any(|f| f.detector == "nonfinite" && f.iteration == 7),
+            "replay recovers the recorded firing: {}",
+            replayed.render()
+        );
+        // The ranked report leads with the critical finding.
+        let report = replayed.render();
+        assert!(report.starts_with("verdict: CRITICAL"));
+    }
+
+    #[test]
+    fn replay_is_quiet_on_healthy_v1_lines() {
+        let mut lines = String::new();
+        for i in 0..20 {
+            lines.push_str(&format!(
+                concat!(
+                    "{{\"schema\": \"msrl.run_event.v1\", \"policy\": \"dp_c\", ",
+                    "\"iteration\": {}, \"reward\": {}, \"loss\": 0.4, \"entropy\": 0.7, ",
+                    "\"iters_per_sec\": 50, \"comm_bytes\": 10, \"staleness\": 0, ",
+                    "\"plan_cache_hit_rate\": 0.9}}\n"
+                ),
+                i,
+                10.0 + i as f64
+            ));
+        }
+        let verdict = replay_stream(&lines).expect("replay parses");
+        assert_eq!(verdict.status, Severity::Ok, "{}", verdict.render());
+    }
+
+    #[test]
+    fn rel_err_and_audit_gates() {
+        assert_eq!(max_rel_err(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!(max_rel_err(&[1.1], &[1.0]) > 0.09);
+        assert_eq!(max_rel_err(&[1.0], &[1.0, 2.0]), f64::INFINITY);
+        assert_eq!(max_rel_err(&[f32::NAN], &[1.0]), f64::INFINITY);
+        set_audit_every(3);
+        assert_eq!(audit_every(), 3);
+        set_audit_every(0);
+        assert!(!take_audit_request());
+        request_audit();
+        assert!(take_audit_request(), "first taker wins");
+        assert!(!take_audit_request(), "request is consumed");
+    }
+}

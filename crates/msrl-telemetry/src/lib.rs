@@ -68,6 +68,7 @@
 pub mod attribution;
 mod chrome;
 pub mod flightrec;
+pub mod health;
 mod histogram;
 mod recorder;
 mod registry;
@@ -81,6 +82,11 @@ pub use attribution::{
 };
 pub use chrome::{chrome_trace, validate_chrome_trace, TraceCheck};
 pub use flightrec::{install_panic_hook, validate_flightrec};
+pub use health::{
+    audit_every, health_enabled, max_rel_err, record_audit, replay_stream, request_audit,
+    set_audit_every, set_health_enabled, set_last_verdict, take_audit_request, HealthConfig,
+    HealthFinding, HealthMonitor, HealthSample, HealthStatus, HealthVerdict, Severity,
+};
 pub use histogram::{
     bucket_estimate, bucket_index, bucket_lower_bound, histogram_record, histogram_stats,
     histograms_raw_snapshot, histograms_snapshot, reset_histograms, HistTimer, Histogram,

@@ -32,6 +32,10 @@ pub const RUN_EVENT_SCHEMA: &str = "msrl.run_event.v1";
 /// Schema tag of metrics lines carrying a critical-path attribution.
 pub const RUN_EVENT_SCHEMA_V2: &str = "msrl.run_event.v2";
 
+/// Schema tag of metrics lines carrying a per-iteration health block
+/// (they may also carry an attribution).
+pub const RUN_EVENT_SCHEMA_V3: &str = "msrl.run_event.v3";
+
 /// Act-server activity during one iteration (counter deltas of the
 /// `actsrv.*` family): how many cross-actor batched forwards ran and
 /// how many observation rows they covered. Carried on [`RunEvent`] only
@@ -73,6 +77,9 @@ pub struct RunEvent {
     /// Act-server batching activity this iteration; `None` when the
     /// cross-actor act server is off.
     pub actsrv: Option<ActsrvStats>,
+    /// Per-iteration health block from the watchdog; when present the
+    /// line is stamped schema v3 (see [`crate::health`]).
+    pub health: Option<crate::HealthStatus>,
 }
 
 fn fmt_opt(v: Option<f64>) -> String {
@@ -119,12 +126,14 @@ fn attr_json(a: &crate::IterAttribution) -> String {
     frags.push(']');
     format!(
         concat!(
-            "{{\"wall_ns\": {}, \"critical_path_ns\": {}, \"rollout_ns\": {}, ",
+            "{{\"wall_ns\": {}, \"critical_path_ns\": {}, \"cp_clamped\": {}, ",
+            "\"rollout_ns\": {}, ",
             "\"learn_ns\": {}, \"comm_ns\": {}, \"eval_ns\": {}, \"idle_ns\": {}, ",
             "\"slack_ns\": {}, \"bottleneck\": \"{}\", \"fragments\": {}}}"
         ),
         a.wall_ns,
         a.critical_path_ns,
+        a.cp_clamped,
         a.rollout_ns,
         a.learn_ns,
         a.comm_ns,
@@ -137,10 +146,13 @@ fn attr_json(a: &crate::IterAttribution) -> String {
 }
 
 impl RunEvent {
-    /// The schema tag this event is stamped with: v2 when it carries an
-    /// attribution, v1 otherwise.
+    /// The schema tag this event is stamped with: v3 when it carries a
+    /// health block, v2 when it carries (only) an attribution, v1
+    /// otherwise.
     pub fn schema(&self) -> &'static str {
-        if self.attr.is_some() {
+        if self.health.is_some() {
+            RUN_EVENT_SCHEMA_V3
+        } else if self.attr.is_some() {
             RUN_EVENT_SCHEMA_V2
         } else {
             RUN_EVENT_SCHEMA
@@ -159,11 +171,15 @@ impl RunEvent {
             }
             None => String::new(),
         };
+        let health_field = match &self.health {
+            Some(h) => format!(", \"health\": {}", h.to_json()),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"schema\": \"{}\", \"policy\": \"{}\", \"iteration\": {}, ",
                 "\"reward\": {}, \"loss\": {}, \"entropy\": {}, \"iters_per_sec\": {}, ",
-                "\"comm_bytes\": {}, \"staleness\": {}, \"plan_cache_hit_rate\": {}{}{}}}"
+                "\"comm_bytes\": {}, \"staleness\": {}, \"plan_cache_hit_rate\": {}{}{}{}}}"
             ),
             self.schema(),
             self.policy,
@@ -177,6 +193,7 @@ impl RunEvent {
             fmt_opt(self.plan_cache_hit_rate),
             attr_field,
             actsrv_field,
+            health_field,
         )
     }
 }
@@ -191,12 +208,23 @@ struct SinkState {
     last: BTreeMap<&'static str, RunEvent>,
     /// Total events emitted by this process.
     emitted: u64,
+    /// First write error since the last [`flush_metrics`] — emit is
+    /// called on the iteration hot loop and cannot return it, so the
+    /// error is held (and counted on `sink.io_errors`) until the next
+    /// flush surfaces it.
+    io_error: Option<std::io::Error>,
 }
 
 fn sink() -> &'static Mutex<SinkState> {
     static SINK: OnceLock<Mutex<SinkState>> = OnceLock::new();
     SINK.get_or_init(|| {
-        Mutex::new(SinkState { file: None, resolved: false, last: BTreeMap::new(), emitted: 0 })
+        Mutex::new(SinkState {
+            file: None,
+            resolved: false,
+            last: BTreeMap::new(),
+            emitted: 0,
+            io_error: None,
+        })
     })
 }
 
@@ -233,8 +261,15 @@ pub fn emit_run_event(ev: &RunEvent) {
     }
     if let Some(f) = &mut s.file {
         // One write per line: O_APPEND keeps concurrent writers from
-        // interleaving partial lines.
-        let _ = f.write_all(format!("{}\n", ev.to_json_line()).as_bytes());
+        // interleaving partial lines. A failed write (full disk, yanked
+        // volume) is counted and held for the next flush — losing
+        // metrics must itself be observable.
+        if let Err(e) = f.write_all(format!("{}\n", ev.to_json_line()).as_bytes()) {
+            crate::static_counter!("sink.io_errors").add(1);
+            if s.io_error.is_none() {
+                s.io_error = Some(e);
+            }
+        }
     }
     s.emitted += 1;
     s.last.insert(ev.policy, ev.clone());
@@ -311,10 +346,15 @@ pub fn metrics_text() -> String {
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the flush or the text-file write.
+/// Propagates I/O errors from the flush or the text-file write —
+/// including the first write error any earlier [`emit_run_event`] hit
+/// (held rather than swallowed; also counted on `sink.io_errors`).
 pub fn flush_metrics() -> std::io::Result<()> {
     {
         let mut s = sink().lock().expect("metrics sink poisoned");
+        if let Some(e) = s.io_error.take() {
+            return Err(e);
+        }
         if let Some(f) = &mut s.file {
             f.flush()?;
         }
@@ -344,9 +384,10 @@ pub fn validate_metrics(content: &str) -> Result<usize, String> {
         }
         let n = lineno + 1;
         let v = serde_json::value_from_str(line).map_err(|e| format!("line {n}: not JSON: {e}"))?;
-        let v2 = match v.field("schema") {
-            Ok(Value::Str(s)) if s == RUN_EVENT_SCHEMA => false,
-            Ok(Value::Str(s)) if s == RUN_EVENT_SCHEMA_V2 => true,
+        let (v2, v3) = match v.field("schema") {
+            Ok(Value::Str(s)) if s == RUN_EVENT_SCHEMA => (false, false),
+            Ok(Value::Str(s)) if s == RUN_EVENT_SCHEMA_V2 => (true, false),
+            Ok(Value::Str(s)) if s == RUN_EVENT_SCHEMA_V3 => (false, true),
             other => return Err(format!("line {n}: bad schema: {other:?}")),
         };
         match v.field("policy") {
@@ -376,8 +417,18 @@ pub fn validate_metrics(content: &str) -> Result<usize, String> {
         }
         if v2 {
             validate_attr(&v, n)?;
-        } else if v.field("attr").is_ok() {
+        } else if !v3 && v.field("attr").is_ok() {
             return Err(format!("line {n}: v1 line must not carry an attr object"));
+        }
+        if v3 {
+            // A v3 line must carry a health block and may also carry an
+            // attribution (health presence wins the schema tag).
+            validate_health(&v, n)?;
+            if v.field("attr").is_ok() {
+                validate_attr(&v, n)?;
+            }
+        } else if v.field("health").is_ok() {
+            return Err(format!("line {n}: only v3 lines may carry a health object"));
         }
         if let Ok(actsrv) = v.field("actsrv") {
             let uint = |key: &str| -> Result<u64, String> {
@@ -433,6 +484,14 @@ fn validate_attr(v: &serde_json::Value, n: usize) -> Result<(), String> {
         Ok(Value::Str(b)) if matches!(b.as_str(), "rollout" | "learn" | "comm" | "idle") => {}
         other => return Err(format!("line {n}: bad attr bottleneck: {other:?}")),
     }
+    if !matches!(attr.field("cp_clamped"), Ok(Value::Bool(_))) {
+        return Err(format!("line {n}: attr missing bool field \"cp_clamped\""));
+    }
+    // The clamp invariant itself: a reported critical path never
+    // exceeds the iteration wall.
+    if uint(attr, "critical_path_ns")? > uint(attr, "wall_ns")? {
+        return Err(format!("line {n}: critical_path_ns exceeds wall_ns (clamp missing)"));
+    }
     let Ok(Value::Seq(frags)) = attr.field("fragments") else {
         return Err(format!("line {n}: attr missing fragments array"));
     };
@@ -463,6 +522,51 @@ fn validate_attr(v: &serde_json::Value, n: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates the `health` object of a v3 line: a known status label, an
+/// explicit non-finite flag, null-or-numeric sentinel gauges, and a
+/// findings array of well-formed firings.
+fn validate_health(v: &serde_json::Value, n: usize) -> Result<(), String> {
+    use serde_json::Value;
+    let Ok(health) = v.field("health") else {
+        return Err(format!("line {n}: v3 line missing health object"));
+    };
+    match health.field("status") {
+        Ok(Value::Str(s)) if crate::Severity::parse(s).is_some() => {}
+        other => return Err(format!("line {n}: bad health status: {other:?}")),
+    }
+    if !matches!(health.field("nonfinite"), Ok(Value::Bool(_))) {
+        return Err(format!("line {n}: health missing bool field \"nonfinite\""));
+    }
+    for key in ["grad_norm", "weight_norm", "update_ratio", "audit_rel_err"] {
+        match health.field(key) {
+            Ok(Value::Null | Value::I64(_) | Value::U64(_) | Value::F64(_)) => {}
+            other => return Err(format!("line {n}: bad health field {key:?}: {other:?}")),
+        }
+    }
+    match health.field("nonfinite_params") {
+        Ok(Value::Null | Value::U64(_)) => {}
+        Ok(Value::I64(x)) if *x >= 0 => {}
+        other => return Err(format!("line {n}: bad health nonfinite_params: {other:?}")),
+    }
+    let Ok(Value::Seq(findings)) = health.field("findings") else {
+        return Err(format!("line {n}: health missing findings array"));
+    };
+    for (i, f) in findings.iter().enumerate() {
+        match f.field("detector") {
+            Ok(Value::Str(d)) if !d.is_empty() => {}
+            other => return Err(format!("line {n}: finding {i}: bad detector: {other:?}")),
+        }
+        match f.field("severity") {
+            Ok(Value::Str(s)) if crate::Severity::parse(s).is_some() => {}
+            other => return Err(format!("line {n}: finding {i}: bad severity: {other:?}")),
+        }
+        if !matches!(f.field("iteration"), Ok(Value::I64(_) | Value::U64(_))) {
+            return Err(format!("line {n}: finding {i}: missing iteration"));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -480,6 +584,7 @@ mod tests {
             plan_cache_hit_rate: Some(0.97),
             attr: None,
             actsrv: None,
+            health: None,
         }
     }
 
@@ -530,6 +635,89 @@ mod tests {
         // rejected — the identity is part of the schema.
         let broken = line.replacen("\"rollout_ns\": 95", "\"rollout_ns\": 96", 1);
         assert!(validate_metrics(&broken).is_err());
+    }
+
+    fn sample_v3(iteration: u64) -> RunEvent {
+        let mut monitor = crate::HealthMonitor::default();
+        let health = monitor.observe(&crate::HealthSample {
+            iteration,
+            reward: 21.5,
+            loss: Some(0.42),
+            entropy: Some(0.69),
+            iters_per_sec: 88.0,
+            staleness_bound: 1,
+            grad_norm: Some(1.2),
+            weight_norm: Some(30.0),
+            update_ratio: Some(2e-3),
+            nonfinite_params: Some(0),
+            ..crate::HealthSample::default()
+        });
+        RunEvent { health: Some(health), ..sample(iteration) }
+    }
+
+    #[test]
+    fn v3_lines_validate_and_mix_with_older_schemas() {
+        let ev = sample_v3(4);
+        assert_eq!(ev.schema(), RUN_EVENT_SCHEMA_V3);
+        let line = ev.to_json_line();
+        assert!(line.contains("\"schema\": \"msrl.run_event.v3\""));
+        assert!(line.contains("\"health\": {\"status\": \"ok\", \"nonfinite\": false"));
+        assert!(line.contains("\"findings\": []"));
+        let mixed =
+            format!("{}\n{}\n{}", sample(1).to_json_line(), sample_v2(2).to_json_line(), line);
+        assert_eq!(validate_metrics(&mixed).expect("all three schemas accepted"), 3);
+        // Health on v3 may coexist with an attribution.
+        let both = RunEvent { health: sample_v3(5).health, ..sample_v2(5) };
+        assert_eq!(both.schema(), RUN_EVENT_SCHEMA_V3);
+        assert_eq!(validate_metrics(&both.to_json_line()).expect("attr+health validates"), 1);
+        // A v1 line must not smuggle a health object.
+        let smuggled = sample(6).to_json_line().replacen(
+            ", \"plan_cache_hit_rate\"",
+            ", \"health\": {\"status\": \"ok\"}, \"plan_cache_hit_rate\"",
+            1,
+        );
+        assert!(validate_metrics(&smuggled).is_err());
+        // A bad status label is rejected.
+        let bad = line.replacen("\"status\": \"ok\"", "\"status\": \"meh\"", 1);
+        assert!(validate_metrics(&bad).is_err());
+        // NaN gauges render as null and still validate; the explicit
+        // nonfinite flag carries the poison.
+        let mut monitor = crate::HealthMonitor::default();
+        let health = monitor.observe(&crate::HealthSample {
+            iteration: 7,
+            reward: 1.0,
+            loss: Some(f64::NAN),
+            iters_per_sec: 10.0,
+            grad_norm: Some(f64::INFINITY),
+            nonfinite_params: Some(4),
+            ..crate::HealthSample::default()
+        });
+        assert_eq!(health.status, crate::Severity::Critical);
+        let poisoned = RunEvent { health: Some(health), ..sample(7) };
+        let pline = poisoned.to_json_line();
+        assert!(pline.contains("\"nonfinite\": true"));
+        assert!(pline.contains("\"grad_norm\": null"));
+        assert!(pline.contains("\"detector\": \"nonfinite\""));
+        assert_eq!(validate_metrics(&pline).expect("poisoned line still validates"), 1);
+    }
+
+    #[test]
+    fn emit_write_error_is_counted_and_surfaced_on_flush() {
+        // Point the sink at an unwritable path: open succeeds on a
+        // directory-less path? No — use a path that *opens* but cannot
+        // be written: /dev/full returns ENOSPC on write on Linux.
+        if !std::path::Path::new("/dev/full").exists() {
+            return; // not on this platform; covered in CI (Linux)
+        }
+        let before = crate::counter_total("sink.io_errors");
+        set_metrics_file(Some("/dev/full"));
+        emit_run_event(&sample(1));
+        let err = flush_metrics();
+        set_metrics_file(None);
+        // The registry and sink are process-global and sibling tests
+        // emit concurrently, so assert lower bounds only.
+        assert!(crate::counter_total("sink.io_errors") > before);
+        assert!(err.is_err(), "held write error surfaces on flush");
     }
 
     #[test]

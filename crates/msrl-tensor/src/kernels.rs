@@ -345,6 +345,33 @@ pub fn max_fold(acc: f32, v: f32) -> f32 {
     }
 }
 
+/// Counts the non-finite (NaN or ±∞) entries of a slice — the numeric
+/// sentinel the health watchdog runs over the flat parameter vector
+/// once per iteration.
+///
+/// IEEE-754 single precision encodes every non-finite value with an
+/// all-ones exponent, so the scan is a pure integer mask-and-compare on
+/// the bit pattern: no float compares, no NaN-propagation hazards, and
+/// the unrolled accumulator loop autovectorises on every dispatch
+/// family. Order-independent (a count), so no fold-order pinning is
+/// needed.
+#[must_use]
+pub fn count_nonfinite(data: &[f32]) -> u64 {
+    const EXP_MASK: u32 = 0x7f80_0000;
+    let mut chunks = data.chunks_exact(16);
+    let mut counts = [0u32; 16];
+    for c in &mut chunks {
+        for (acc, v) in counts.iter_mut().zip(c) {
+            *acc += u32::from(v.to_bits() & EXP_MASK == EXP_MASK);
+        }
+    }
+    let mut total: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+    for v in chunks.remainder() {
+        total += u64::from(v.to_bits() & EXP_MASK == EXP_MASK);
+    }
+    total
+}
+
 /// Row reductions (`inner == 1`): `out[r] = fold(ad[(row0+r)·mid ..
 /// (row0+r+1)·mid])`, then optionally `· scale` — the single-pass
 /// `mean_axis` epilogue, applied to each output element right after its
@@ -1511,6 +1538,31 @@ mod tests {
 
     fn vals(len: usize, seed: usize) -> Vec<f32> {
         (0..len).map(|i| (((i * 2654435761 + seed) % 1000) as f32) / 500.0 - 1.0).collect()
+    }
+
+    #[test]
+    fn count_nonfinite_finds_every_poison_at_every_offset() {
+        assert_eq!(count_nonfinite(&[]), 0);
+        assert_eq!(count_nonfinite(&vals(1000, 3)), 0);
+        // Each poison kind counts, at chunk-interior and remainder
+        // offsets alike.
+        for len in [1usize, 15, 16, 17, 64, 1000] {
+            for poison in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+                for pos in [0, len / 2, len - 1] {
+                    let mut v = vals(len, 7);
+                    v[pos] = poison;
+                    assert_eq!(count_nonfinite(&v), 1, "len {len} pos {pos}");
+                }
+            }
+        }
+        // Subnormals, zeros and f32::MAX are finite; counts add up.
+        assert_eq!(count_nonfinite(&[f32::MIN_POSITIVE / 2.0, -0.0, f32::MAX]), 0);
+        let mut v = vals(100, 9);
+        for i in (0..100).step_by(7) {
+            v[i] = if i % 2 == 0 { f32::NAN } else { f32::INFINITY };
+        }
+        let expect = v.iter().filter(|x| !x.is_finite()).count() as u64;
+        assert_eq!(count_nonfinite(&v), expect);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! End-to-end run-health contract (DESIGN §3.15): an induced mid-run
+//! NaN must be caught by the watchdog within one iteration, embed a
+//! critical finding in the schema-v3 metrics stream, trigger a
+//! flight-recorder dump carrying the health verdict, and convict the
+//! completed stream on replay (the `doctor` path).
+//!
+//! One test body: the health gate, metrics sink, flight recorder and
+//! registry are process-global.
+//!
+//! Set `MSRL_HEALTH_E2E_KEEP=<path>` to keep a copy of the poisoned
+//! stream — CI uses this to demonstrate `doctor` exiting non-zero on a
+//! genuinely unhealthy run.
+
+use msrl_env::cartpole::CartPole;
+use msrl_runtime::exec::{run_dp_a, DistPpoConfig};
+
+#[test]
+fn induced_nan_fires_watchdog_dump_and_doctor() {
+    msrl_telemetry::set_health_enabled(true);
+    let tmp = std::env::temp_dir().join(format!("msrl-health-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).expect("temp dir creatable");
+    msrl_telemetry::flightrec::set_dump_dir(tmp.to_str().expect("utf8 temp path"));
+    let metrics_path = tmp.join("nan-run.jsonl");
+    msrl_telemetry::set_metrics_file(metrics_path.to_str());
+
+    let dist = DistPpoConfig {
+        actors: 2,
+        envs_per_actor: 2,
+        steps_per_iter: 32,
+        iterations: 4,
+        hidden: vec![16],
+        seed: 3,
+        ..DistPpoConfig::default()
+    };
+    // Inject at the run's last (0-based) iteration: the learner's
+    // post-learn weights are scaled to infinity there, so the final
+    // broadcast is poisoned but drained unused by the exiting actors.
+    std::env::set_var("MSRL_FAULT_NAN_ITER", (dist.iterations - 1).to_string());
+    let report = run_dp_a(|a, i| CartPole::new((a * 3 + i) as u64), &dist)
+        .expect("poisoned dp_a run still completes");
+    std::env::remove_var("MSRL_FAULT_NAN_ITER");
+    msrl_telemetry::set_metrics_file(None);
+    assert!(
+        report.final_params.iter().any(|v| !v.is_finite()),
+        "the fault injection must actually poison the final weights"
+    );
+
+    // The stream upgraded itself to schema v3 and still validates.
+    let stream = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    assert!(
+        stream.contains("\"schema\": \"msrl.run_event.v3\""),
+        "health-on events carry the v3 health block"
+    );
+    let lines = msrl_telemetry::validate_metrics(&stream).expect("poisoned v3 stream validates");
+    assert_eq!(lines, dist.iterations, "one event per iteration");
+
+    // Detection within one iteration: the injection iteration's own
+    // event carries the critical nonfinite finding; every earlier event
+    // is clean.
+    let events: Vec<&str> = stream.lines().filter(|l| !l.trim().is_empty()).collect();
+    let last = events.last().expect("stream has events");
+    assert!(last.contains("\"nonfinite\": true"), "poisoned event flags nonfinite: {last}");
+    assert!(last.contains("\"detector\": \"nonfinite\""), "nonfinite detector fired: {last}");
+    assert!(last.contains("\"severity\": \"critical\""), "the firing is critical: {last}");
+    for clean in &events[..events.len() - 1] {
+        assert!(
+            clean.contains("\"status\": \"ok\"") && clean.contains("\"nonfinite\": false"),
+            "pre-injection events stay healthy: {clean}"
+        );
+        assert!(
+            !clean.contains("\"grad_norm\": null"),
+            "learner-side events carry the sentinel gauges: {clean}"
+        );
+    }
+
+    // Replay (the doctor path) convicts the completed stream.
+    let verdict = msrl_telemetry::replay_stream(&stream).expect("stream replays");
+    assert_eq!(verdict.status, msrl_telemetry::Severity::Critical, "doctor verdict is critical");
+    assert!(verdict.findings.iter().any(|f| f.detector.contains("nonfinite")));
+    assert!(verdict.render().starts_with("verdict: CRITICAL"));
+
+    // The detector firing triggered a flight-recorder dump with the
+    // health verdict embedded.
+    let dumps: Vec<std::path::PathBuf> = std::fs::read_dir(&tmp)
+        .expect("dump dir readable")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("flightrec-") && n.ends_with(".json"))
+        })
+        .collect();
+    assert!(!dumps.is_empty(), "the critical firing dumps the flight recorder");
+    let dump = std::fs::read_to_string(&dumps[0]).expect("dump readable");
+    msrl_telemetry::flightrec::validate_flightrec(&dump).expect("dump validates");
+    assert!(dump.contains("\"health\":"), "dump embeds the health verdict");
+    assert!(dump.contains("msrl.health_verdict.v1"), "verdict carries its schema tag");
+    assert!(dump.contains("nonfinite"), "verdict names the firing detector");
+
+    // Keep the poisoned stream for the CI doctor demo, or clean up.
+    match std::env::var("MSRL_HEALTH_E2E_KEEP") {
+        Ok(keep) if !keep.is_empty() => {
+            std::fs::copy(&metrics_path, &keep).expect("kept stream copies");
+            let _ = std::fs::remove_dir_all(&tmp);
+        }
+        _ => {
+            let _ = std::fs::remove_dir_all(&tmp);
+        }
+    }
+}

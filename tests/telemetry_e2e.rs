@@ -223,13 +223,16 @@ fn telemetry_observes_without_perturbing() {
     assert_eq!(lines, dist.iterations, "the file holds exactly this run's events");
     assert!(stream.contains("\"policy\": \"dp_a\""));
 
-    // 5b. The untraced stream upgrades itself to schema v2: every event
-    //     carries the critical-path attribution, and the breakdown
+    // 5b. The untraced stream upgrades itself past schema v1: every
+    //     event carries the critical-path attribution, and the breakdown
     //     accounts for the iteration wall time within 2% — no
-    //     MSRL_TRACE, no extra flags.
+    //     MSRL_TRACE, no extra flags. With the health watchdog on (the
+    //     default) the line also carries a health block and reads v3;
+    //     with MSRL_HEALTH=0 it stays v2. Either way attribution rides.
     assert!(
-        stream.contains("\"schema\": \"msrl.run_event.v2\""),
-        "untraced events carry attribution (schema v2)"
+        stream.contains("\"schema\": \"msrl.run_event.v2\"")
+            || stream.contains("\"schema\": \"msrl.run_event.v3\""),
+        "untraced events carry attribution (schema v2/v3)"
     );
     check_attribution_accounts_for_wall(&stream, "dp_a");
     msrl_telemetry::set_metrics_file(None);
